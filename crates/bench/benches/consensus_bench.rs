@@ -1,0 +1,83 @@
+//! Consensus state-machine step costs: how cheap is the pure protocol
+//! logic once crypto and I/O are moved off it (the sans-io design's
+//! premise).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rdb_common::messages::{Message, Sender, SignedMessage};
+use rdb_common::{Batch, ClientId, Digest, Operation, ReplicaId, SeqNum, SignatureBytes, Transaction, ViewNum};
+use rdb_consensus::{ConsensusConfig, Pbft, Zyzzyva};
+use std::hint::black_box;
+
+fn batch(n: usize) -> Batch {
+    (0..n as u64)
+        .map(|i| Transaction::new(ClientId(i), i, vec![Operation::Write { key: i, value: vec![0; 8] }]))
+        .collect()
+}
+
+fn bench_pbft_round(c: &mut Criterion) {
+    let cfg = ConsensusConfig::new(16, 1_000_000);
+    c.bench_function("pbft/full_round_backup", |b| {
+        b.iter_batched(
+            || Pbft::new(ReplicaId(1), cfg),
+            |mut r| {
+                let d = Digest([7; 32]);
+                let seq = SeqNum(1);
+                let view = ViewNum(0);
+                black_box(r.on_message(&SignedMessage::new(
+                    Message::PrePrepare { view, seq, digest: d, batch: batch(100) },
+                    Sender::Replica(ReplicaId(0)),
+                    SignatureBytes::empty(),
+                )));
+                for i in 2..12u32 {
+                    black_box(r.on_message(&SignedMessage::new(
+                        Message::Prepare { view, seq, digest: d },
+                        Sender::Replica(ReplicaId(i)),
+                        SignatureBytes::empty(),
+                    )));
+                }
+                for i in 2..13u32 {
+                    black_box(r.on_message(&SignedMessage::new(
+                        Message::Commit { view, seq, digest: d },
+                        Sender::Replica(ReplicaId(i)),
+                        SignatureBytes::empty(),
+                    )));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pbft_propose(c: &mut Criterion) {
+    let cfg = ConsensusConfig::new(16, 1_000_000);
+    let mut p = Pbft::new(ReplicaId(0), cfg);
+    let b100 = batch(100);
+    c.bench_function("pbft/propose_100txn", |b| {
+        b.iter(|| black_box(p.propose(b100.clone(), Digest([1; 32]))))
+    });
+}
+
+fn bench_zyzzyva_spec_execute(c: &mut Criterion) {
+    let cfg = ConsensusConfig::new(16, 1_000_000);
+    let mut z = Zyzzyva::new(ReplicaId(1), cfg);
+    let b100 = batch(100);
+    let mut seq = 0u64;
+    c.bench_function("zyzzyva/order_and_spec_execute", |b| {
+        b.iter(|| {
+            seq += 1;
+            black_box(z.on_message(&SignedMessage::new(
+                Message::PrePrepare {
+                    view: ViewNum(0),
+                    seq: SeqNum(seq),
+                    digest: Digest([seq as u8; 32]),
+                    batch: b100.clone(),
+                },
+                Sender::Replica(ReplicaId(0)),
+                SignatureBytes::empty(),
+            )))
+        })
+    });
+}
+
+criterion_group!(benches, bench_pbft_round, bench_pbft_propose, bench_zyzzyva_spec_execute);
+criterion_main!(benches);

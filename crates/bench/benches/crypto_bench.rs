@@ -1,0 +1,75 @@
+//! Microbenchmarks of the crypto substrate — the calibration source for
+//! the simulator's cost model (Figure 13's mechanism).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdb_crypto::cmac::CmacAes128;
+use rdb_crypto::ed25519::Ed25519KeyPair;
+use rdb_crypto::rsa::RsaKeyPair;
+use rdb_crypto::sha2::sha256;
+use rdb_crypto::sha3::sha3_256;
+use std::hint::black_box;
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    for size in [64usize, 4096, 65536] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("sha256/{size}"), |b| {
+            b.iter(|| black_box(sha256(black_box(&data))))
+        });
+        g.bench_function(format!("sha3_256/{size}"), |b| {
+            b.iter(|| black_box(sha3_256(black_box(&data))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cmac(c: &mut Criterion) {
+    let cmac = CmacAes128::new(&[7u8; 16]);
+    let mut g = c.benchmark_group("cmac");
+    for size in [64usize, 4096] {
+        let data = vec![0xcdu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("tag/{size}"), |b| {
+            b.iter(|| black_box(cmac.tag(black_box(&data))))
+        });
+    }
+    let data = vec![0xcdu8; 64];
+    let tag = cmac.tag(&data);
+    g.bench_function("verify/64", |b| b.iter(|| black_box(cmac.verify(&data, &tag))));
+    g.finish();
+}
+
+fn bench_ed25519(c: &mut Criterion) {
+    let kp = Ed25519KeyPair::from_seed(&[3u8; 32]);
+    let msg = vec![0xefu8; 100];
+    let sig = kp.sign(&msg);
+    let mut g = c.benchmark_group("ed25519");
+    g.sample_size(20);
+    g.bench_function("sign/100B", |b| b.iter(|| black_box(kp.sign(black_box(&msg)))));
+    g.bench_function("verify/100B", |b| {
+        b.iter(|| black_box(kp.public_key().verify(black_box(&msg), &sig)))
+    });
+    g.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let kp = RsaKeyPair::generate(1024, &mut rng);
+    let msg = vec![0x42u8; 100];
+    let sig = kp.sign(&msg);
+    let mut g = c.benchmark_group("rsa1024");
+    g.sample_size(10);
+    g.bench_function("sign/100B", |b| {
+        b.iter_batched(|| msg.clone(), |m| black_box(kp.sign(&m)), BatchSize::SmallInput)
+    });
+    g.bench_function("verify/100B", |b| {
+        b.iter(|| black_box(kp.public_key().verify(black_box(&msg), &sig)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hashing, bench_cmac, bench_ed25519, bench_rsa);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! End-to-end benches: a real 4-replica deployment under closed-loop load
+//! (threaded runtime) and representative simulator sweeps (the figure
+//! engine itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdb_common::ProtocolKind;
+use resilientdb::{run_closed_loop, SystemBuilder};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_threaded_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threaded_e2e");
+    g.sample_size(10);
+    for protocol in [ProtocolKind::Pbft, ProtocolKind::Zyzzyva] {
+        g.bench_function(format!("{}/4replicas_burst50", protocol.name()), |b| {
+            let db = SystemBuilder::new(4)
+                .protocol(protocol)
+                .batch_size(10)
+                .table_size(1_024)
+                .client_keys(2)
+                .build()
+                .expect("valid config");
+            let mut client = db.client(0);
+            b.iter(|| {
+                let txns: Vec<_> =
+                    (0..50).map(|i| client.write_txn(i % 1_024, vec![i as u8; 8])).collect();
+                let done = client.submit_and_wait(txns, Duration::from_secs(30));
+                assert_eq!(done, 50);
+                black_box(done)
+            });
+            db.shutdown();
+        });
+    }
+    g.finish();
+}
+
+fn bench_closed_loop_measurement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("closed_loop");
+    g.sample_size(10);
+    g.bench_function("pbft/2clients_500ms", |b| {
+        let db = SystemBuilder::new(4)
+            .batch_size(10)
+            .table_size(1_024)
+            .client_keys(4)
+            .build()
+            .expect("valid config");
+        b.iter(|| {
+            let m = run_closed_loop(&db, 2, 20, Duration::from_millis(500));
+            black_box(m.completed)
+        });
+        db.shutdown();
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("pbft/n16_80k_clients", |b| {
+        b.iter(|| {
+            let mut cfg = rdb_bench::sim_base(16);
+            cfg.warmup_ms = 100;
+            cfg.measure_ms = 300;
+            black_box(cfg.run().completed_txns)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_threaded_cluster, bench_closed_loop_measurement, bench_simulator);
+criterion_main!(benches);

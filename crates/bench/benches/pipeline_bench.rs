@@ -1,0 +1,104 @@
+//! Pipeline-plumbing microbenchmarks: the lock-free client queue, the
+//! QC-slot execution queues (Section 4.6), buffer pools (Section 4.8) and
+//! batch digesting (Section 4.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdb_common::block::BlockCertificate;
+use rdb_common::messages::{Message, Sender, SignedMessage};
+use rdb_common::{Batch, ClientId, Digest, SeqNum, SignatureBytes, Transaction, ViewNum};
+use rdb_common::Operation;
+use rdb_common::Wire;
+use rdb_crypto::digest;
+use rdb_pipeline::{ClientRequestQueue, ExecuteItem, ExecutionQueues};
+use rdb_storage::BufferPool;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn sample_batch(n: usize) -> Batch {
+    (0..n as u64)
+        .map(|i| Transaction::new(ClientId(i), i, vec![Operation::Write { key: i, value: vec![0; 8] }]))
+        .collect()
+}
+
+fn bench_client_queue(c: &mut Criterion) {
+    let q = ClientRequestQueue::new();
+    let msg = SignedMessage::new(
+        Message::ClientRequest { txns: sample_batch(1).txns },
+        Sender::Client(ClientId(0)),
+        SignatureBytes::empty(),
+    );
+    c.bench_function("client_queue/push_pop", |b| {
+        b.iter(|| {
+            q.push(msg.clone());
+            black_box(q.pop())
+        })
+    });
+}
+
+fn bench_execution_queues(c: &mut Criterion) {
+    let eq = ExecutionQueues::new(4096);
+    let mut seq = 0u64;
+    c.bench_function("execution_queues/deposit_take", |b| {
+        b.iter(|| {
+            seq += 1;
+            eq.deposit(ExecuteItem {
+                seq: SeqNum(seq),
+                view: ViewNum(0),
+                digest: Digest::ZERO,
+                batch: Batch::default(),
+                certificate: BlockCertificate::default(),
+                history: None,
+            });
+            black_box(eq.take(SeqNum(seq), Duration::from_millis(10)))
+        })
+    });
+}
+
+fn bench_buffer_pool(c: &mut Criterion) {
+    let pool: BufferPool<Vec<u8>> =
+        BufferPool::new(64, 64, || Vec::with_capacity(4096), |v| v.clear());
+    c.bench_function("buffer_pool/take_return", |b| {
+        b.iter(|| {
+            let mut buf = pool.take();
+            buf.extend_from_slice(&[0u8; 128]);
+            black_box(buf.len())
+        })
+    });
+    // Baseline: raw allocation of the same buffer.
+    c.bench_function("buffer_pool/raw_alloc_baseline", |b| {
+        b.iter(|| {
+            let mut buf: Vec<u8> = Vec::with_capacity(4096);
+            buf.extend_from_slice(&[0u8; 128]);
+            black_box(buf.len())
+        })
+    });
+}
+
+fn bench_batch_digest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_digest");
+    for size in [10usize, 100, 1000] {
+        let batch = sample_batch(size);
+        // Single digest over the batch (ResilientDB, Section 4.3) ...
+        g.bench_function(format!("single_hash/{size}"), |b| {
+            b.iter(|| black_box(digest(&batch.canonical_bytes())))
+        });
+        // ... versus hashing every transaction separately.
+        g.bench_function(format!("per_txn_hash/{size}"), |b| {
+            b.iter(|| {
+                for t in &batch.txns {
+                    black_box(digest(&t.encode()));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_client_queue,
+    bench_execution_queues,
+    bench_buffer_pool,
+    bench_batch_digest
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Storage microbenchmarks: the in-memory vs paged trade-off (Figure 14)
+//! at the single-operation level, plus ledger append cost per chain mode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdb_common::block::BlockCertificate;
+use rdb_common::{Digest, ReplicaId, SeqNum, SignatureBytes, ViewNum};
+use rdb_storage::blockchain::ChainMode;
+use rdb_storage::pagedb::{PagedStore, PagedStoreConfig};
+use rdb_storage::{Blockchain, MemStore, StateStore};
+use std::hint::black_box;
+
+fn bench_memstore(c: &mut Criterion) {
+    let store = MemStore::with_table(10_000, 8);
+    let mut g = c.benchmark_group("memstore");
+    let mut k = 0u64;
+    g.bench_function("put", |b| {
+        b.iter(|| {
+            k = (k + 37) % 10_000;
+            store.put(black_box(k), &[1u8; 8]);
+        })
+    });
+    g.bench_function("get", |b| {
+        b.iter(|| {
+            k = (k + 37) % 10_000;
+            black_box(store.get(black_box(k)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_pagedstore(c: &mut Criterion) {
+    let path = std::env::temp_dir().join(format!("rdb-bench-paged-{}", std::process::id()));
+    let store = PagedStore::create(
+        &path,
+        PagedStoreConfig { record_size: 32, capacity: 10_000, cache_pages: 16, fsync_on_write: false },
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("pagedstore");
+    g.sample_size(20);
+    let mut k = 0u64;
+    g.bench_function("put", |b| {
+        b.iter(|| {
+            k = (k + 997) % 10_000; // stride defeats the 16-page cache
+            store.put(black_box(k), &[1u8; 8]);
+        })
+    });
+    g.bench_function("get", |b| {
+        b.iter(|| {
+            k = (k + 997) % 10_000;
+            black_box(store.get(black_box(k)))
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_file(path);
+}
+
+fn bench_blockchain(c: &mut Criterion) {
+    let cert = || {
+        BlockCertificate::new(
+            (0..11).map(|i| (ReplicaId(i), SignatureBytes(vec![i as u8; 16]))).collect(),
+        )
+    };
+    let mut g = c.benchmark_group("blockchain");
+    // ResilientDB's certificate linkage vs traditional hash chaining — the
+    // ablation Section 4.6 motivates.
+    for (label, mode) in [("certificate", ChainMode::Certificate), ("prev_hash", ChainMode::PrevHash)] {
+        g.bench_function(format!("append/{label}"), |b| {
+            let mut chain = Blockchain::new(Digest::ZERO, 11, mode);
+            let mut seq = 0u64;
+            b.iter(|| {
+                seq += 1;
+                chain
+                    .append(SeqNum(seq), Digest([1; 32]), ViewNum(0), cert(), 100, Digest::ZERO)
+                    .unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_memstore, bench_pagedstore, bench_blockchain);
+criterion_main!(benches);

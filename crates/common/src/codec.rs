@@ -1,0 +1,383 @@
+//! Canonical binary wire encoding.
+//!
+//! Messages must serialize identically on every replica because digests and
+//! signatures are computed over the encoded bytes. A hand-rolled, explicit
+//! little-endian encoding keeps the byte layout deterministic and independent
+//! of any serializer's internal representation choices.
+
+use crate::error::{CommonError, Result};
+
+/// Types that can be written to and read from the canonical wire format.
+///
+/// Implementations must round-trip: `T::decode(&t.encode())? == t`.
+pub trait Wire: Sized {
+    /// Appends the canonical encoding of `self` to `w`.
+    fn write(&self, w: &mut WireWriter);
+
+    /// Reads a value of this type from `r`.
+    ///
+    /// # Errors
+    /// Returns [`CommonError::Codec`] if the buffer is truncated or contains
+    /// an invalid tag.
+    fn read(r: &mut WireReader<'_>) -> Result<Self>;
+
+    /// Convenience: encodes `self` into a fresh byte vector.
+    fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        self.write(&mut w);
+        w.into_bytes()
+    }
+
+    /// Convenience: decodes a value from `bytes`, requiring full consumption.
+    ///
+    /// # Errors
+    /// Returns [`CommonError::Codec`] on truncation, invalid tags, or
+    /// trailing bytes.
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = WireReader::new(bytes);
+        let v = Self::read(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+/// Append-only writer for the canonical encoding.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        WireWriter { buf: Vec::new() }
+    }
+
+    /// Creates a writer with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        WireWriter { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16` little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32` little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64` little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes raw bytes with no length prefix (fixed-size fields).
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a `u32` length prefix followed by the bytes.
+    pub fn put_var_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.put_bytes(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_var_bytes(v.as_bytes());
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor-style reader over canonically encoded bytes.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes remaining to be read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CommonError::Codec(format!(
+                "truncated input: wanted {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// Returns [`CommonError::Codec`] if the buffer is exhausted.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    /// Returns [`CommonError::Codec`] if the buffer is exhausted.
+    pub fn get_u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    /// Returns [`CommonError::Codec`] if the buffer is exhausted.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    /// Returns [`CommonError::Codec`] if the buffer is exhausted.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads exactly `n` raw bytes.
+    ///
+    /// # Errors
+    /// Returns [`CommonError::Codec`] if fewer than `n` bytes remain.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Reads a fixed 32-byte array (digest-sized field).
+    ///
+    /// # Errors
+    /// Returns [`CommonError::Codec`] if fewer than 32 bytes remain.
+    pub fn get_array32(&mut self) -> Result<[u8; 32]> {
+        let b = self.take(32)?;
+        let mut a = [0u8; 32];
+        a.copy_from_slice(b);
+        Ok(a)
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    ///
+    /// # Errors
+    /// Returns [`CommonError::Codec`] on truncation or an absurd length.
+    pub fn get_var_bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.get_u32()? as usize;
+        if n > self.remaining() {
+            return Err(CommonError::Codec(format!(
+                "length prefix {n} exceeds remaining {}",
+                self.remaining()
+            )));
+        }
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    /// Returns [`CommonError::Codec`] on truncation or invalid UTF-8.
+    pub fn get_str(&mut self) -> Result<String> {
+        let b = self.get_var_bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|e| CommonError::Codec(format!("invalid utf-8: {e}")))
+    }
+
+    /// Asserts the reader consumed the entire buffer.
+    ///
+    /// # Errors
+    /// Returns [`CommonError::Codec`] if trailing bytes remain.
+    pub fn finish(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(CommonError::Codec(format!(
+                "{} trailing bytes after decode",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Writes a `Vec<T>` with a `u32` count prefix.
+pub fn write_vec<T: Wire>(w: &mut WireWriter, items: &[T]) {
+    w.put_u32(items.len() as u32);
+    for item in items {
+        item.write(w);
+    }
+}
+
+/// Reads a `Vec<T>` with a `u32` count prefix.
+///
+/// # Errors
+/// Returns [`CommonError::Codec`] if any element fails to decode.
+pub fn read_vec<T: Wire>(r: &mut WireReader<'_>) -> Result<Vec<T>> {
+    let n = r.get_u32()? as usize;
+    // Guard against absurd counts from corrupt input: each element costs at
+    // least one byte on the wire.
+    if n > r.remaining() {
+        return Err(CommonError::Codec(format!(
+            "vector count {n} exceeds remaining bytes {}",
+            r.remaining()
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(T::read(r)?);
+    }
+    Ok(out)
+}
+
+impl Wire for u8 {
+    fn write(&self, w: &mut WireWriter) {
+        w.put_u8(*self);
+    }
+    fn read(r: &mut WireReader<'_>) -> Result<Self> {
+        r.get_u8()
+    }
+}
+
+impl Wire for u32 {
+    fn write(&self, w: &mut WireWriter) {
+        w.put_u32(*self);
+    }
+    fn read(r: &mut WireReader<'_>) -> Result<Self> {
+        r.get_u32()
+    }
+}
+
+impl Wire for u64 {
+    fn write(&self, w: &mut WireWriter) {
+        w.put_u64(*self);
+    }
+    fn read(r: &mut WireReader<'_>) -> Result<Self> {
+        r.get_u64()
+    }
+}
+
+impl Wire for Vec<u8> {
+    fn write(&self, w: &mut WireWriter) {
+        w.put_var_bytes(self);
+    }
+    fn read(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(r.get_var_bytes()?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        let mut w = WireWriter::new();
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(u64::MAX);
+        w.put_var_bytes(b"hello");
+        w.put_str("world");
+        let bytes = w.into_bytes();
+
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 300);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_var_bytes().unwrap(), b"hello");
+        assert_eq!(r.get_str().unwrap(), "world");
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut r = WireReader::new(&[1, 2]);
+        assert!(r.get_u32().is_err());
+    }
+
+    #[test]
+    fn bad_length_prefix_errors() {
+        // Claims 100 bytes follow but only 1 does.
+        let mut w = WireWriter::new();
+        w.put_u32(100);
+        w.put_u8(1);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(r.get_var_bytes().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let bytes = 42u32.encode();
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(u32::decode(&bytes).is_ok());
+        assert!(u32::decode(&extended).is_err());
+    }
+
+    #[test]
+    fn vec_round_trip() {
+        let v: Vec<u64> = vec![1, 2, 3, u64::MAX];
+        let mut w = WireWriter::new();
+        write_vec(&mut w, &v);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let back: Vec<u64> = read_vec(&mut r).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn vec_count_overflow_guard() {
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(read_vec::<u64>(&mut r).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_errors() {
+        let mut w = WireWriter::new();
+        w.put_var_bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(r.get_str().is_err());
+    }
+}

@@ -1,0 +1,428 @@
+//! System configuration.
+//!
+//! [`SystemConfig`] captures every knob the paper sweeps: replica count,
+//! batch size, thread counts (the `E`/`B` notation of Figure 8), crypto
+//! scheme (Figure 13), storage mode (Figure 14), client population
+//! (Figure 15), cores per replica (Figure 16), operations per transaction
+//! (Figure 11), payload size (Figure 12) and the consensus protocol
+//! (Figures 1, 8, 17).
+
+use crate::error::{CommonError, Result};
+use crate::quorum;
+use serde::{Deserialize, Serialize};
+
+/// Which consensus protocol the deployment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ProtocolKind {
+    /// Three-phase PBFT (two quadratic phases). The paper's headline choice.
+    #[default]
+    Pbft,
+    /// Single-phase speculative Zyzzyva with client-side commit collection.
+    Zyzzyva,
+}
+
+impl ProtocolKind {
+    /// Human-readable protocol name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Pbft => "PBFT",
+            ProtocolKind::Zyzzyva => "Zyzzyva",
+        }
+    }
+}
+
+/// Cryptographic signing configuration (Figure 13's four settings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum CryptoScheme {
+    /// No signatures anywhere — upper bound only, not a valid deployment.
+    NoCrypto,
+    /// Everyone signs with ED25519 digital signatures.
+    Ed25519,
+    /// Everyone signs with RSA digital signatures.
+    Rsa,
+    /// Replicas authenticate with CMAC(AES-128); clients sign with ED25519.
+    /// The paper's recommended configuration.
+    #[default]
+    CmacEd25519,
+}
+
+impl CryptoScheme {
+    /// Human-readable scheme name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            CryptoScheme::NoCrypto => "NoSig",
+            CryptoScheme::Ed25519 => "ED25519",
+            CryptoScheme::Rsa => "RSA",
+            CryptoScheme::CmacEd25519 => "CMAC+ED25519",
+        }
+    }
+}
+
+/// Where executed state lives (Figure 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum StorageMode {
+    /// In-memory key-value structure (the ResilientDB default).
+    #[default]
+    InMemory,
+    /// File-backed paged store standing in for SQLite: every record access
+    /// pays page-cache and file I/O costs on the execution thread.
+    Paged,
+}
+
+impl StorageMode {
+    /// Human-readable mode name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageMode::InMemory => "in-memory",
+            StorageMode::Paged => "paged",
+        }
+    }
+}
+
+/// Per-replica thread allocation, mirroring Figures 6a/6b.
+///
+/// The paper's `xE yB` notation maps to `execute_threads = x`,
+/// `batch_threads = y`. Setting either to zero folds that stage's work into
+/// the worker-thread (the "0E 0B" monolithic baseline of Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ThreadConfig {
+    /// Input threads receiving client requests (primary only).
+    pub client_input_threads: usize,
+    /// Input threads receiving replica messages.
+    pub replica_input_threads: usize,
+    /// Batch-assembly threads at the primary (`B`).
+    pub batch_threads: usize,
+    /// Worker threads running the consensus state machine (the paper uses
+    /// exactly one to avoid contention on protocol state).
+    pub worker_threads: usize,
+    /// Execution threads (`E`); the paper uses at most one so execution
+    /// stays in order.
+    pub execute_threads: usize,
+    /// Dedicated checkpoint-processing threads.
+    pub checkpoint_threads: usize,
+    /// Output threads sharing the send load.
+    pub output_threads: usize,
+}
+
+impl ThreadConfig {
+    /// The paper's standard pipeline: one worker, one execute (`1E`), two
+    /// batch-threads (`2B`), one client-input + two replica-input threads,
+    /// two output threads and one checkpoint thread.
+    pub fn standard() -> Self {
+        ThreadConfig {
+            client_input_threads: 1,
+            replica_input_threads: 2,
+            batch_threads: 2,
+            worker_threads: 1,
+            execute_threads: 1,
+            checkpoint_threads: 1,
+            output_threads: 2,
+        }
+    }
+
+    /// The `xE yB` notation of Figure 8 applied to the standard pipeline.
+    pub fn with_e_b(execute_threads: usize, batch_threads: usize) -> Self {
+        ThreadConfig { execute_threads, batch_threads, ..Self::standard() }
+    }
+
+    /// Single-threaded monolith: every task on the worker thread (`0E 0B`).
+    pub fn monolithic() -> Self {
+        ThreadConfig {
+            client_input_threads: 1,
+            replica_input_threads: 1,
+            batch_threads: 0,
+            worker_threads: 1,
+            execute_threads: 0,
+            checkpoint_threads: 0,
+            output_threads: 1,
+        }
+    }
+
+    /// Total threads a primary replica runs under this configuration.
+    pub fn total_primary(&self) -> usize {
+        self.client_input_threads
+            + self.replica_input_threads
+            + self.batch_threads
+            + self.worker_threads
+            + self.execute_threads
+            + self.checkpoint_threads
+            + self.output_threads
+    }
+
+    /// Total threads a backup replica runs (no client input, no batching).
+    pub fn total_backup(&self) -> usize {
+        self.replica_input_threads
+            + self.worker_threads
+            + self.execute_threads
+            + self.checkpoint_threads
+            + self.output_threads
+    }
+
+    /// Short `xE yB` label used in figure output.
+    pub fn label(&self) -> String {
+        format!("{}E {}B", self.execute_threads, self.batch_threads)
+    }
+}
+
+impl Default for ThreadConfig {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Full deployment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of replicas `n`.
+    pub n: usize,
+    /// Tolerated byzantine replicas `f = (n-1)/3` (derived, cached).
+    pub f: usize,
+    /// Consensus protocol.
+    pub protocol: ProtocolKind,
+    /// Transactions per consensus batch (the paper's default is 100).
+    pub batch_size: usize,
+    /// Checkpoint period Δ in *transactions* (paper default: 10 000).
+    pub checkpoint_interval: u64,
+    /// Number of closed-loop clients issuing requests.
+    pub num_clients: usize,
+    /// Maximum requests a client keeps outstanding (`Num_Req`).
+    pub max_outstanding: usize,
+    /// Thread allocation per replica.
+    pub threads: ThreadConfig,
+    /// Signing configuration.
+    pub crypto: CryptoScheme,
+    /// State storage mode.
+    pub storage: StorageMode,
+    /// Operations per transaction (Figure 11; paper default 1).
+    pub ops_per_txn: usize,
+    /// Extra payload bytes attached to each transaction (Figure 12).
+    pub payload_bytes: usize,
+    /// Hardware cores per replica machine (Figure 16; paper default 8).
+    pub cores: usize,
+    /// Number of YCSB records pre-loaded into each replica's store.
+    pub table_size: u64,
+    /// Client request timeout in milliseconds (drives Zyzzyva's slow path).
+    pub client_timeout_ms: u64,
+}
+
+impl SystemConfig {
+    /// Creates a configuration for `n` replicas with paper-default settings.
+    ///
+    /// # Errors
+    /// Returns [`CommonError::InvalidConfig`] if `n < 4` (no fault can be
+    /// tolerated below four replicas).
+    pub fn new(n: usize) -> Result<Self> {
+        if n < 4 {
+            return Err(CommonError::InvalidConfig(format!(
+                "need at least 4 replicas for BFT, got {n}"
+            )));
+        }
+        Ok(SystemConfig {
+            n,
+            f: quorum::max_faults(n),
+            protocol: ProtocolKind::Pbft,
+            batch_size: 100,
+            checkpoint_interval: 10_000,
+            num_clients: 80_000,
+            max_outstanding: 1,
+            threads: ThreadConfig::standard(),
+            crypto: CryptoScheme::CmacEd25519,
+            storage: StorageMode::InMemory,
+            ops_per_txn: 1,
+            payload_bytes: 0,
+            cores: 8,
+            table_size: 600_000,
+            client_timeout_ms: 50,
+        })
+    }
+
+    /// Builder-style: sets the consensus protocol.
+    pub fn with_protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Builder-style: sets the batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Builder-style: sets the thread allocation.
+    pub fn with_threads(mut self, threads: ThreadConfig) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builder-style: sets the crypto scheme.
+    pub fn with_crypto(mut self, crypto: CryptoScheme) -> Self {
+        self.crypto = crypto;
+        self
+    }
+
+    /// Builder-style: sets the storage mode.
+    pub fn with_storage(mut self, storage: StorageMode) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Builder-style: sets the client population.
+    pub fn with_clients(mut self, num_clients: usize) -> Self {
+        self.num_clients = num_clients;
+        self
+    }
+
+    /// Builder-style: sets operations per transaction.
+    pub fn with_ops_per_txn(mut self, ops: usize) -> Self {
+        self.ops_per_txn = ops;
+        self
+    }
+
+    /// Builder-style: sets the per-transaction payload size.
+    pub fn with_payload_bytes(mut self, bytes: usize) -> Self {
+        self.payload_bytes = bytes;
+        self
+    }
+
+    /// Builder-style: sets cores per replica machine.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    /// Returns [`CommonError::InvalidConfig`] if the population cannot reach
+    /// quorum, a stage has no thread to run it, or a sweep parameter is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.n < quorum::min_replicas(self.f) {
+            return Err(CommonError::InvalidConfig(format!(
+                "n={} cannot tolerate f={}",
+                self.n, self.f
+            )));
+        }
+        if self.f != quorum::max_faults(self.n) {
+            return Err(CommonError::InvalidConfig(format!(
+                "f={} is not (n-1)/3 for n={}",
+                self.f, self.n
+            )));
+        }
+        if self.batch_size == 0 {
+            return Err(CommonError::InvalidConfig("batch_size must be positive".into()));
+        }
+        if self.threads.worker_threads == 0 {
+            return Err(CommonError::InvalidConfig("need at least one worker thread".into()));
+        }
+        if self.threads.output_threads == 0 || self.threads.client_input_threads == 0 {
+            return Err(CommonError::InvalidConfig("need input and output threads".into()));
+        }
+        if self.ops_per_txn == 0 {
+            return Err(CommonError::InvalidConfig("ops_per_txn must be positive".into()));
+        }
+        if self.cores == 0 {
+            return Err(CommonError::InvalidConfig("cores must be positive".into()));
+        }
+        if self.num_clients == 0 || self.max_outstanding == 0 {
+            return Err(CommonError::InvalidConfig("need at least one client request".into()));
+        }
+        Ok(())
+    }
+
+    /// The execution-queue count `QC = 2 × Num_Clients × Num_Req`
+    /// (Section 4.6). The queues are logical, so the value may be large.
+    pub fn execution_queue_count(&self) -> u64 {
+        2 * self.num_clients as u64 * self.max_outstanding as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = SystemConfig::new(16).unwrap();
+        assert_eq!(c.f, 5);
+        assert_eq!(c.batch_size, 100);
+        assert_eq!(c.checkpoint_interval, 10_000);
+        assert_eq!(c.table_size, 600_000);
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.crypto, CryptoScheme::CmacEd25519);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn too_few_replicas_rejected() {
+        assert!(SystemConfig::new(3).is_err());
+        assert!(SystemConfig::new(4).is_ok());
+    }
+
+    #[test]
+    fn validation_catches_zero_knobs() {
+        let mut c = SystemConfig::new(4).unwrap();
+        c.batch_size = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::new(4).unwrap();
+        c.threads.worker_threads = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::new(4).unwrap();
+        c.cores = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::new(4).unwrap();
+        c.f = 3; // inconsistent with n=4
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn thread_config_counts() {
+        let t = ThreadConfig::standard();
+        // 1 client-in + 2 replica-in + 2 batch + 1 worker + 1 exec + 1 ckpt + 2 out
+        assert_eq!(t.total_primary(), 10);
+        // backups drop client-in and batch threads
+        assert_eq!(t.total_backup(), 7);
+        assert_eq!(t.label(), "1E 2B");
+        assert_eq!(ThreadConfig::monolithic().label(), "0E 0B");
+    }
+
+    #[test]
+    fn execution_queue_count_formula() {
+        let c = SystemConfig::new(4).unwrap().with_clients(100);
+        // QC = 2 * clients * outstanding
+        assert_eq!(c.execution_queue_count(), 200);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = SystemConfig::new(8)
+            .unwrap()
+            .with_protocol(ProtocolKind::Zyzzyva)
+            .with_batch_size(500)
+            .with_crypto(CryptoScheme::Rsa)
+            .with_storage(StorageMode::Paged)
+            .with_ops_per_txn(10)
+            .with_payload_bytes(1024)
+            .with_cores(4)
+            .with_clients(1000);
+        assert_eq!(c.protocol, ProtocolKind::Zyzzyva);
+        assert_eq!(c.batch_size, 500);
+        assert_eq!(c.crypto, CryptoScheme::Rsa);
+        assert_eq!(c.storage, StorageMode::Paged);
+        assert_eq!(c.ops_per_txn, 10);
+        assert_eq!(c.payload_bytes, 1024);
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.num_clients, 1000);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ProtocolKind::Pbft.name(), "PBFT");
+        assert_eq!(ProtocolKind::Zyzzyva.name(), "Zyzzyva");
+        assert_eq!(CryptoScheme::CmacEd25519.name(), "CMAC+ED25519");
+        assert_eq!(StorageMode::Paged.name(), "paged");
+    }
+}

@@ -1,0 +1,48 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Convenience alias over [`CommonError`].
+pub type Result<T> = std::result::Result<T, CommonError>;
+
+/// Errors produced by the shared types and their encodings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommonError {
+    /// Wire encoding/decoding failed (truncated buffer, bad tag, etc.).
+    Codec(String),
+    /// A configuration was internally inconsistent (e.g. `n < 3f + 1`).
+    InvalidConfig(String),
+    /// A message failed structural validation.
+    InvalidMessage(String),
+}
+
+impl fmt::Display for CommonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommonError::Codec(m) => write!(f, "codec error: {m}"),
+            CommonError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            CommonError::InvalidMessage(m) => write!(f, "invalid message: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CommonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase() {
+        let e = CommonError::Codec("boom".into());
+        assert_eq!(e.to_string(), "codec error: boom");
+        let e = CommonError::InvalidConfig("n too small".into());
+        assert!(e.to_string().contains("invalid configuration"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<CommonError>();
+    }
+}

@@ -1,0 +1,269 @@
+//! Client transactions and batches.
+//!
+//! A transaction carries one or more key-value operations (the YCSB workload
+//! in the paper is write-only, but reads are supported) plus an optional
+//! opaque payload used by the message-size experiments (Figure 12). The
+//! primary aggregates transactions into a [`Batch`], which is the unit of
+//! consensus.
+
+use crate::codec::{read_vec, write_vec, Wire, WireReader, WireWriter};
+use crate::error::{CommonError, Result};
+use crate::ids::{ClientId, TxnId};
+
+/// A single key-value operation inside a transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Operation {
+    /// Read the value stored under `key`.
+    Read {
+        /// Record key in the YCSB table.
+        key: u64,
+    },
+    /// Store `value` under `key`.
+    Write {
+        /// Record key in the YCSB table.
+        key: u64,
+        /// New record contents.
+        value: Vec<u8>,
+    },
+}
+
+impl Operation {
+    /// The record key this operation touches.
+    pub fn key(&self) -> u64 {
+        match self {
+            Operation::Read { key } | Operation::Write { key, .. } => *key,
+        }
+    }
+
+    /// Whether this operation mutates state.
+    pub fn is_write(&self) -> bool {
+        matches!(self, Operation::Write { .. })
+    }
+
+    /// Approximate serialized size in bytes, used by the network model.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Operation::Read { .. } => 1 + 8,
+            Operation::Write { value, .. } => 1 + 8 + 4 + value.len(),
+        }
+    }
+}
+
+impl Wire for Operation {
+    fn write(&self, w: &mut WireWriter) {
+        match self {
+            Operation::Read { key } => {
+                w.put_u8(0);
+                w.put_u64(*key);
+            }
+            Operation::Write { key, value } => {
+                w.put_u8(1);
+                w.put_u64(*key);
+                w.put_var_bytes(value);
+            }
+        }
+    }
+
+    fn read(r: &mut WireReader<'_>) -> Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(Operation::Read { key: r.get_u64()? }),
+            1 => Ok(Operation::Write { key: r.get_u64()?, value: r.get_var_bytes()?.to_vec() }),
+            t => Err(CommonError::Codec(format!("invalid operation tag {t}"))),
+        }
+    }
+}
+
+/// A client transaction: the unit of work submitted for ordering.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Transaction {
+    /// Globally unique id `(client, counter)`.
+    pub id: TxnId,
+    /// Operations to apply, in order.
+    pub ops: Vec<Operation>,
+    /// Opaque padding simulating large application requests (Figure 12).
+    pub payload: Vec<u8>,
+}
+
+impl Transaction {
+    /// Creates a transaction for `client` with the given counter and ops.
+    pub fn new(client: ClientId, counter: u64, ops: Vec<Operation>) -> Self {
+        Transaction { id: TxnId::new(client, counter), ops, payload: Vec::new() }
+    }
+
+    /// Attaches an opaque payload (builder-style).
+    pub fn with_payload(mut self, payload: Vec<u8>) -> Self {
+        self.payload = payload;
+        self
+    }
+
+    /// Number of operations in the transaction.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Approximate serialized size in bytes, used by the network model.
+    pub fn wire_size(&self) -> usize {
+        let ops: usize = self.ops.iter().map(Operation::wire_size).sum();
+        8 + 8 + 4 + ops + 4 + self.payload.len()
+    }
+}
+
+impl Wire for Transaction {
+    fn write(&self, w: &mut WireWriter) {
+        w.put_u64(self.id.client.0);
+        w.put_u64(self.id.counter);
+        write_vec(w, &self.ops);
+        w.put_var_bytes(&self.payload);
+    }
+
+    fn read(r: &mut WireReader<'_>) -> Result<Self> {
+        let client = ClientId(r.get_u64()?);
+        let counter = r.get_u64()?;
+        let ops = read_vec(r)?;
+        let payload = r.get_var_bytes()?.to_vec();
+        Ok(Transaction { id: TxnId::new(client, counter), ops, payload })
+    }
+}
+
+/// An ordered collection of transactions: the unit of consensus.
+///
+/// The primary's batch-threads assemble batches; a *single* digest is
+/// computed over the batch's canonical encoding (Section 4.3 of the paper:
+/// hash the concatenated string representation once, not per-transaction).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Batch {
+    /// Transactions in execution order.
+    pub txns: Vec<Transaction>,
+}
+
+impl Batch {
+    /// Creates a batch from transactions.
+    pub fn new(txns: Vec<Transaction>) -> Self {
+        Batch { txns }
+    }
+
+    /// Number of transactions in the batch.
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Whether the batch holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// Total operation count across all transactions.
+    pub fn total_ops(&self) -> usize {
+        self.txns.iter().map(Transaction::op_count).sum()
+    }
+
+    /// Approximate serialized size in bytes, used by the network model.
+    pub fn wire_size(&self) -> usize {
+        4 + self.txns.iter().map(Transaction::wire_size).sum::<usize>()
+    }
+
+    /// Canonical bytes over which the batch digest is computed.
+    ///
+    /// This is the "single string representation of the whole batch" from
+    /// Section 4.3: one hashing pass over the encoded batch rather than one
+    /// per transaction.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        self.encode()
+    }
+}
+
+impl Wire for Batch {
+    fn write(&self, w: &mut WireWriter) {
+        write_vec(w, &self.txns);
+    }
+
+    fn read(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(Batch { txns: read_vec(r)? })
+    }
+}
+
+impl FromIterator<Transaction> for Batch {
+    fn from_iter<I: IntoIterator<Item = Transaction>>(iter: I) -> Self {
+        Batch { txns: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Transaction> for Batch {
+    fn extend<I: IntoIterator<Item = Transaction>>(&mut self, iter: I) {
+        self.txns.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_txn(counter: u64) -> Transaction {
+        Transaction::new(
+            ClientId(7),
+            counter,
+            vec![
+                Operation::Write { key: 42, value: vec![1, 2, 3] },
+                Operation::Read { key: 9 },
+            ],
+        )
+        .with_payload(vec![0xaa; 16])
+    }
+
+    #[test]
+    fn operation_round_trip() {
+        for op in [Operation::Read { key: 5 }, Operation::Write { key: 6, value: vec![9; 10] }] {
+            let bytes = op.encode();
+            assert_eq!(Operation::decode(&bytes).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn operation_bad_tag_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u8(9);
+        assert!(Operation::decode(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn transaction_round_trip() {
+        let t = sample_txn(3);
+        let bytes = t.encode();
+        assert_eq!(Transaction::decode(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn batch_round_trip_and_counts() {
+        let b: Batch = (0..5).map(sample_txn).collect();
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.total_ops(), 10);
+        assert!(!b.is_empty());
+        let bytes = b.encode();
+        assert_eq!(Batch::decode(&bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn canonical_bytes_are_deterministic() {
+        let a: Batch = (0..3).map(sample_txn).collect();
+        let b: Batch = (0..3).map(sample_txn).collect();
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        // Order matters.
+        let c: Batch = (0..3).rev().map(sample_txn).collect();
+        assert_ne!(a.canonical_bytes(), c.canonical_bytes());
+    }
+
+    #[test]
+    fn wire_size_tracks_payload() {
+        let small = sample_txn(1);
+        let large = sample_txn(1).with_payload(vec![0; 1024]);
+        assert!(large.wire_size() > small.wire_size() + 1000);
+    }
+
+    #[test]
+    fn batch_extend() {
+        let mut b = Batch::default();
+        assert!(b.is_empty());
+        b.extend(vec![sample_txn(1)]);
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! The action vocabulary emitted by the consensus state machines.
+//!
+//! State machines are *sans-io*: they never touch the network, clocks or
+//! crypto. Handlers consume messages and return [`Action`]s; the runtime
+//! (threaded pipeline or discrete-event simulator) interprets them — signs
+//! and sends messages, executes batches in order, prunes state.
+
+use rdb_common::block::BlockCertificate;
+use rdb_common::{Batch, ClientId, Digest, Message, ReplicaId, SeqNum, ViewNum};
+
+/// An instruction from a replica state machine to its runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Sign and send `msg` to every other replica.
+    Broadcast(Message),
+    /// Sign and send `msg` to one replica.
+    SendReplica(ReplicaId, Message),
+    /// Sign and send `msg` to a client.
+    SendClient(ClientId, Message),
+    /// The batch at `seq` is committed: execute it **in sequence order**,
+    /// append a block certified by `certificate`, and reply to clients.
+    CommitBatch {
+        /// Committed sequence number.
+        seq: SeqNum,
+        /// View in which the batch committed.
+        view: ViewNum,
+        /// Batch digest.
+        digest: Digest,
+        /// The transactions to execute.
+        batch: Batch,
+        /// 2f+1 commit signatures proving the order.
+        certificate: BlockCertificate,
+    },
+    /// Zyzzyva: execute speculatively (order not yet guaranteed) and send
+    /// each client a `SpecResponse` carrying `history`.
+    SpecExecute {
+        /// Proposed sequence number.
+        seq: SeqNum,
+        /// Current view.
+        view: ViewNum,
+        /// Batch digest.
+        digest: Digest,
+        /// Rolling speculative-history digest after this batch.
+        history: Digest,
+        /// The transactions to execute.
+        batch: Batch,
+    },
+    /// A checkpoint at `seq` became stable: state below it may be pruned.
+    StableCheckpoint {
+        /// The stable sequence number.
+        seq: SeqNum,
+    },
+    /// The replica moved to a new view (primary may have changed).
+    EnterView {
+        /// The view now active.
+        view: ViewNum,
+    },
+}
+
+impl Action {
+    /// Convenience: the outbound message if this action sends one.
+    pub fn message(&self) -> Option<&Message> {
+        match self {
+            Action::Broadcast(m) | Action::SendReplica(_, m) | Action::SendClient(_, m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// An instruction from a *client* state machine to its driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAction {
+    /// Send `msg` to one replica (usually the primary).
+    Send(ReplicaId, Message),
+    /// Send `msg` to all replicas.
+    BroadcastReplicas(Message),
+    /// A request completed with the given result.
+    Complete {
+        /// The finished request.
+        txn_counter: u64,
+        /// Execution result bytes.
+        result: Vec<u8>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_accessor() {
+        let m = Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: Digest::ZERO };
+        assert!(Action::Broadcast(m.clone()).message().is_some());
+        assert!(Action::SendReplica(ReplicaId(1), m.clone()).message().is_some());
+        assert!(Action::SendClient(ClientId(0), m).message().is_some());
+        assert!(Action::StableCheckpoint { seq: SeqNum(0) }.message().is_none());
+    }
+}

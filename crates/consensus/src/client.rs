@@ -1,0 +1,401 @@
+//! Client-side protocol state machines.
+//!
+//! PBFT clients wait for `f+1` matching replies. Zyzzyva clients implement
+//! the protocol's distinctive two paths: complete on `3f+1` matching
+//! speculative responses (fast), or — after a timeout with at least `2f+1`
+//! matching — assemble a commit certificate from the response signatures,
+//! broadcast it, and wait for `2f+1` `LocalCommit` acknowledgements.
+//! The timeout-driven slow path is what makes Zyzzyva collapse under a
+//! single backup failure (Figure 17).
+
+use crate::actions::ClientAction;
+use rdb_common::block::BlockCertificate;
+use rdb_common::messages::{Message, Sender, SignedMessage};
+use rdb_common::{quorum, ClientId, Digest, ReplicaId, SeqNum, SignatureBytes, ViewNum};
+use std::collections::{HashMap, HashSet};
+
+/// PBFT client: collects `f+1` matching replies per request.
+#[derive(Debug)]
+pub struct PbftClient {
+    id: ClientId,
+    f: usize,
+    outstanding: HashMap<u64, PbftTracker>,
+}
+
+#[derive(Debug, Default)]
+struct PbftTracker {
+    /// result bytes → replicas that reported it.
+    replies: HashMap<Vec<u8>, HashSet<ReplicaId>>,
+    done: bool,
+}
+
+impl PbftClient {
+    /// Creates a client for a system tolerating `f` faults.
+    pub fn new(id: ClientId, f: usize) -> Self {
+        PbftClient { id, f, outstanding: HashMap::new() }
+    }
+
+    /// This client's identity.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Registers a request as outstanding (call when sending it).
+    pub fn track(&mut self, counter: u64) {
+        self.outstanding.entry(counter).or_default();
+    }
+
+    /// Number of requests still awaiting a reply quorum.
+    pub fn pending(&self) -> usize {
+        self.outstanding.values().filter(|t| !t.done).count()
+    }
+
+    /// Handles a `ClientReply`. Returns `Complete` once `f+1` distinct
+    /// replicas agree on the result.
+    pub fn on_reply(&mut self, sm: &SignedMessage) -> Vec<ClientAction> {
+        let (Message::ClientReply { txn_id, replica, result, .. }, Sender::Replica(_)) =
+            (&sm.msg, sm.from)
+        else {
+            return Vec::new();
+        };
+        if txn_id.client != self.id {
+            return Vec::new();
+        }
+        let Some(tracker) = self.outstanding.get_mut(&txn_id.counter) else {
+            return Vec::new(); // not ours / already collected
+        };
+        if tracker.done {
+            return Vec::new();
+        }
+        let voters = tracker.replies.entry(result.clone()).or_default();
+        voters.insert(*replica);
+        if voters.len() >= quorum::client_reply_quorum(self.f) {
+            tracker.done = true;
+            let result = result.clone();
+            let counter = txn_id.counter;
+            self.outstanding.remove(&counter);
+            return vec![ClientAction::Complete { txn_counter: counter, result }];
+        }
+        Vec::new()
+    }
+}
+
+/// A matching-group key for speculative responses: all five fields must
+/// agree for responses to count toward the same quorum.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SpecKey {
+    view: ViewNum,
+    seq: SeqNum,
+    digest: Digest,
+    history: Digest,
+    result: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct SpecTracker {
+    groups: HashMap<SpecKey, Vec<(ReplicaId, SignatureBytes)>>,
+    done: bool,
+    cc_sent: bool,
+    local_commits: HashSet<ReplicaId>,
+    /// Result bytes associated with the certificate we distributed.
+    cc_result: Vec<u8>,
+}
+
+/// Zyzzyva client: fast path (3f+1 matching) and commit-certificate slow
+/// path (2f+1 matching + 2f+1 `LocalCommit`s).
+#[derive(Debug)]
+pub struct ZyzzyvaClient {
+    id: ClientId,
+    f: usize,
+    outstanding: HashMap<u64, SpecTracker>,
+}
+
+impl ZyzzyvaClient {
+    /// Creates a client for a system tolerating `f` faults.
+    pub fn new(id: ClientId, f: usize) -> Self {
+        ZyzzyvaClient { id, f, outstanding: HashMap::new() }
+    }
+
+    /// This client's identity.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Registers a request as outstanding (call when sending it).
+    pub fn track(&mut self, counter: u64) {
+        self.outstanding.entry(counter).or_default();
+    }
+
+    /// Number of requests still in flight.
+    pub fn pending(&self) -> usize {
+        self.outstanding.values().filter(|t| !t.done).count()
+    }
+
+    /// Handles a speculative response. Completes on `3f+1` matching.
+    pub fn on_spec_response(&mut self, sm: &SignedMessage) -> Vec<ClientAction> {
+        let Message::SpecResponse { view, seq, digest, history, txn_id, replica, result } = &sm.msg
+        else {
+            return Vec::new();
+        };
+        if txn_id.client != self.id {
+            return Vec::new();
+        }
+        let Some(tracker) = self.outstanding.get_mut(&txn_id.counter) else {
+            return Vec::new();
+        };
+        if tracker.done {
+            return Vec::new();
+        }
+        let key = SpecKey {
+            view: *view,
+            seq: *seq,
+            digest: *digest,
+            history: *history,
+            result: result.clone(),
+        };
+        let group = tracker.groups.entry(key).or_default();
+        if group.iter().any(|(r, _)| r == replica) {
+            return Vec::new(); // duplicate response from the same replica
+        }
+        group.push((*replica, sm.sig.clone()));
+        if group.len() >= quorum::zyzzyva_fast_quorum(self.f) {
+            tracker.done = true;
+            let counter = txn_id.counter;
+            let result = result.clone();
+            self.outstanding.remove(&counter);
+            return vec![ClientAction::Complete { txn_counter: counter, result }];
+        }
+        Vec::new()
+    }
+
+    /// The request timer fired before the fast quorum arrived. With at
+    /// least `2f+1` matching responses, distribute a commit certificate;
+    /// with fewer, the request must be retransmitted (returned as a
+    /// no-action here; the driver handles retransmission policy).
+    pub fn on_timeout(&mut self, counter: u64) -> Vec<ClientAction> {
+        let Some(tracker) = self.outstanding.get_mut(&counter) else {
+            return Vec::new();
+        };
+        if tracker.done || tracker.cc_sent {
+            return Vec::new();
+        }
+        let cc_quorum = quorum::zyzzyva_cc_quorum(self.f);
+        let Some((key, group)) = tracker
+            .groups
+            .iter()
+            .filter(|(_, g)| g.len() >= cc_quorum)
+            .max_by_key(|(_, g)| g.len())
+        else {
+            return Vec::new(); // not enough agreement: caller retransmits
+        };
+        tracker.cc_sent = true;
+        tracker.cc_result = key.result.clone();
+        let cert = BlockCertificate::new(group.clone());
+        let msg = Message::CommitCert {
+            view: key.view,
+            seq: key.seq,
+            digest: key.digest,
+            cert,
+            client: self.id,
+        };
+        vec![ClientAction::BroadcastReplicas(msg)]
+    }
+
+    /// Handles a `LocalCommit` acknowledging our certificate. Completes on
+    /// `2f+1` distinct acknowledgements.
+    ///
+    /// `counter` identifies which outstanding request the acknowledgement
+    /// belongs to (Zyzzyva's `LocalCommit` carries the sequence; the driver
+    /// maps it back to its request).
+    pub fn on_local_commit(&mut self, counter: u64, sm: &SignedMessage) -> Vec<ClientAction> {
+        let (Message::LocalCommit { replica, .. }, Sender::Replica(_)) = (&sm.msg, sm.from) else {
+            return Vec::new();
+        };
+        let Some(tracker) = self.outstanding.get_mut(&counter) else {
+            return Vec::new();
+        };
+        if tracker.done || !tracker.cc_sent {
+            return Vec::new();
+        }
+        tracker.local_commits.insert(*replica);
+        if tracker.local_commits.len() >= quorum::zyzzyva_cc_quorum(self.f) {
+            tracker.done = true;
+            let result = tracker.cc_result.clone();
+            self.outstanding.remove(&counter);
+            return vec![ClientAction::Complete { txn_counter: counter, result }];
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_common::TxnId;
+
+    fn reply(client: u64, counter: u64, replica: u32, result: &[u8]) -> SignedMessage {
+        SignedMessage::new(
+            Message::ClientReply {
+                view: ViewNum(0),
+                txn_id: TxnId::new(ClientId(client), counter),
+                replica: ReplicaId(replica),
+                result: result.to_vec(),
+            },
+            Sender::Replica(ReplicaId(replica)),
+            SignatureBytes::empty(),
+        )
+    }
+
+    fn spec(client: u64, counter: u64, replica: u32, result: &[u8]) -> SignedMessage {
+        SignedMessage::new(
+            Message::SpecResponse {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: Digest([1; 32]),
+                history: Digest([2; 32]),
+                txn_id: TxnId::new(ClientId(client), counter),
+                replica: ReplicaId(replica),
+                result: result.to_vec(),
+            },
+            Sender::Replica(ReplicaId(replica)),
+            SignatureBytes(vec![replica as u8; 4]),
+        )
+    }
+
+    fn local_commit(replica: u32) -> SignedMessage {
+        SignedMessage::new(
+            Message::LocalCommit { view: ViewNum(0), seq: SeqNum(1), replica: ReplicaId(replica) },
+            Sender::Replica(ReplicaId(replica)),
+            SignatureBytes::empty(),
+        )
+    }
+
+    // ---- PBFT client (f = 1: needs 2 matching replies) ----
+
+    #[test]
+    fn pbft_client_completes_at_f_plus_1() {
+        let mut c = PbftClient::new(ClientId(7), 1);
+        c.track(0);
+        assert!(c.on_reply(&reply(7, 0, 0, b"ok")).is_empty());
+        let acts = c.on_reply(&reply(7, 0, 1, b"ok"));
+        assert!(
+            matches!(&acts[..], [ClientAction::Complete { txn_counter: 0, result }] if result == b"ok")
+        );
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn pbft_client_requires_matching_results() {
+        let mut c = PbftClient::new(ClientId(7), 1);
+        c.track(0);
+        assert!(c.on_reply(&reply(7, 0, 0, b"ok")).is_empty());
+        assert!(c.on_reply(&reply(7, 0, 1, b"bad")).is_empty());
+        // A second vote for "ok" completes.
+        let acts = c.on_reply(&reply(7, 0, 2, b"ok"));
+        assert_eq!(acts.len(), 1);
+    }
+
+    #[test]
+    fn pbft_client_ignores_duplicates_and_foreign_replies() {
+        let mut c = PbftClient::new(ClientId(7), 1);
+        c.track(0);
+        c.on_reply(&reply(7, 0, 0, b"ok"));
+        assert!(c.on_reply(&reply(7, 0, 0, b"ok")).is_empty(), "same replica twice");
+        assert!(c.on_reply(&reply(8, 0, 1, b"ok")).is_empty(), "another client's reply");
+        assert!(c.on_reply(&reply(7, 5, 1, b"ok")).is_empty(), "untracked counter");
+        assert_eq!(c.pending(), 1);
+    }
+
+    // ---- Zyzzyva client (f = 1: fast quorum 4, cc quorum 3) ----
+
+    #[test]
+    fn zyzzyva_fast_path_needs_all_replicas() {
+        let mut c = ZyzzyvaClient::new(ClientId(7), 1);
+        c.track(0);
+        for r in 0..3 {
+            assert!(c.on_spec_response(&spec(7, 0, r, b"ok")).is_empty(), "replica {r}");
+        }
+        let acts = c.on_spec_response(&spec(7, 0, 3, b"ok"));
+        assert!(
+            matches!(&acts[..], [ClientAction::Complete { txn_counter: 0, .. }]),
+            "3f+1 matching must complete: {acts:?}"
+        );
+    }
+
+    #[test]
+    fn zyzzyva_slow_path_via_commit_certificate() {
+        let mut c = ZyzzyvaClient::new(ClientId(7), 1);
+        c.track(0);
+        // Only 3 of 4 replicas answer (one crashed) — fast path impossible.
+        for r in 0..3 {
+            c.on_spec_response(&spec(7, 0, r, b"ok"));
+        }
+        // Timeout: with 2f+1 = 3 matching the client distributes a CC.
+        let acts = c.on_timeout(0);
+        match &acts[..] {
+            [ClientAction::BroadcastReplicas(Message::CommitCert { cert, seq, .. })] => {
+                assert_eq!(cert.signer_count(), 3);
+                assert_eq!(*seq, SeqNum(1));
+            }
+            other => panic!("expected CommitCert broadcast, got {other:?}"),
+        }
+        // 2f+1 LocalCommits complete the request.
+        assert!(c.on_local_commit(0, &local_commit(0)).is_empty());
+        assert!(c.on_local_commit(0, &local_commit(1)).is_empty());
+        let acts = c.on_local_commit(0, &local_commit(2));
+        assert!(
+            matches!(&acts[..], [ClientAction::Complete { txn_counter: 0, result }] if result == b"ok")
+        );
+    }
+
+    #[test]
+    fn zyzzyva_timeout_without_cc_quorum_is_noop() {
+        let mut c = ZyzzyvaClient::new(ClientId(7), 1);
+        c.track(0);
+        c.on_spec_response(&spec(7, 0, 0, b"ok"));
+        c.on_spec_response(&spec(7, 0, 1, b"ok"));
+        // Only 2 < 2f+1 matching: the driver must retransmit instead.
+        assert!(c.on_timeout(0).is_empty());
+        assert_eq!(c.pending(), 1);
+    }
+
+    #[test]
+    fn zyzzyva_divergent_histories_do_not_match() {
+        let mut c = ZyzzyvaClient::new(ClientId(7), 1);
+        c.track(0);
+        for r in 0..3 {
+            c.on_spec_response(&spec(7, 0, r, b"ok"));
+        }
+        // Fourth replica diverges on the result: no fast quorum.
+        let acts = c.on_spec_response(&spec(7, 0, 3, b"DIFFERENT"));
+        assert!(acts.is_empty());
+        assert_eq!(c.pending(), 1);
+    }
+
+    #[test]
+    fn zyzzyva_duplicate_spec_responses_ignored() {
+        let mut c = ZyzzyvaClient::new(ClientId(7), 1);
+        c.track(0);
+        for _ in 0..10 {
+            assert!(c.on_spec_response(&spec(7, 0, 0, b"ok")).is_empty());
+        }
+    }
+
+    #[test]
+    fn zyzzyva_timeout_only_sends_cc_once() {
+        let mut c = ZyzzyvaClient::new(ClientId(7), 1);
+        c.track(0);
+        for r in 0..3 {
+            c.on_spec_response(&spec(7, 0, r, b"ok"));
+        }
+        assert_eq!(c.on_timeout(0).len(), 1);
+        assert!(c.on_timeout(0).is_empty(), "second timeout must not re-send");
+    }
+
+    #[test]
+    fn zyzzyva_local_commits_before_cc_ignored() {
+        let mut c = ZyzzyvaClient::new(ClientId(7), 1);
+        c.track(0);
+        assert!(c.on_local_commit(0, &local_commit(0)).is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! Consensus-level configuration shared by both protocols.
+
+use rdb_common::quorum;
+
+/// Parameters the state machines need (a slice of
+/// [`rdb_common::SystemConfig`], kept small so the machines stay portable
+/// between the threaded runtime and the simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsensusConfig {
+    /// Number of replicas.
+    pub n: usize,
+    /// Tolerated faults `f = (n-1)/3`.
+    pub f: usize,
+    /// Broadcast a checkpoint every this many executed *batches*.
+    pub checkpoint_interval_batches: u64,
+}
+
+impl ConsensusConfig {
+    /// Creates a config for `n` replicas (deriving `f`).
+    ///
+    /// # Panics
+    /// Panics if `n < 4`.
+    pub fn new(n: usize, checkpoint_interval_batches: u64) -> Self {
+        assert!(n >= 4, "BFT needs at least 4 replicas");
+        assert!(checkpoint_interval_batches > 0, "checkpoint interval must be positive");
+        ConsensusConfig { n, f: quorum::max_faults(n), checkpoint_interval_batches }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derives_f() {
+        let c = ConsensusConfig::new(16, 100);
+        assert_eq!(c.f, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn too_small_panics() {
+        let _ = ConsensusConfig::new(3, 100);
+    }
+}

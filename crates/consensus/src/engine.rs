@@ -1,0 +1,114 @@
+//! Protocol-agnostic wrapper over the replica state machines.
+//!
+//! The pipeline and simulator drive consensus through this enum so the
+//! protocol is a runtime configuration knob (as in Figures 1, 8 and 17,
+//! which swap PBFT for Zyzzyva on the same fabric).
+
+use crate::actions::Action;
+use crate::config::ConsensusConfig;
+use crate::pbft::Pbft;
+use crate::zyzzyva::Zyzzyva;
+use rdb_common::messages::SignedMessage;
+use rdb_common::{Batch, Digest, ProtocolKind, ReplicaId, SeqNum, ViewNum};
+
+/// A replica's consensus engine: PBFT or Zyzzyva behind one interface.
+#[derive(Debug)]
+pub enum ReplicaEngine {
+    /// Three-phase PBFT.
+    Pbft(Pbft),
+    /// Single-phase speculative Zyzzyva.
+    Zyzzyva(Zyzzyva),
+}
+
+impl ReplicaEngine {
+    /// Creates the engine for `protocol` at replica `id`.
+    pub fn new(protocol: ProtocolKind, id: ReplicaId, config: ConsensusConfig) -> Self {
+        match protocol {
+            ProtocolKind::Pbft => ReplicaEngine::Pbft(Pbft::new(id, config)),
+            ProtocolKind::Zyzzyva => ReplicaEngine::Zyzzyva(Zyzzyva::new(id, config)),
+        }
+    }
+
+    /// Which protocol this engine runs.
+    pub fn protocol(&self) -> ProtocolKind {
+        match self {
+            ReplicaEngine::Pbft(_) => ProtocolKind::Pbft,
+            ReplicaEngine::Zyzzyva(_) => ProtocolKind::Zyzzyva,
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        match self {
+            ReplicaEngine::Pbft(p) => p.id(),
+            ReplicaEngine::Zyzzyva(z) => z.id(),
+        }
+    }
+
+    /// The current view.
+    pub fn view(&self) -> ViewNum {
+        match self {
+            ReplicaEngine::Pbft(p) => p.view(),
+            ReplicaEngine::Zyzzyva(z) => z.view(),
+        }
+    }
+
+    /// The current primary.
+    pub fn primary(&self) -> ReplicaId {
+        match self {
+            ReplicaEngine::Pbft(p) => p.primary(),
+            ReplicaEngine::Zyzzyva(z) => z.primary(),
+        }
+    }
+
+    /// Whether this replica currently leads.
+    pub fn is_primary(&self) -> bool {
+        match self {
+            ReplicaEngine::Pbft(p) => p.is_primary(),
+            ReplicaEngine::Zyzzyva(z) => z.is_primary(),
+        }
+    }
+
+    /// Primary path: propose a digested batch.
+    pub fn propose(&mut self, batch: Batch, digest: Digest) -> Vec<Action> {
+        match self {
+            ReplicaEngine::Pbft(p) => p.propose(batch, digest),
+            ReplicaEngine::Zyzzyva(z) => z.propose(batch, digest),
+        }
+    }
+
+    /// Handles a verified signed message.
+    pub fn on_message(&mut self, sm: &SignedMessage) -> Vec<Action> {
+        match self {
+            ReplicaEngine::Pbft(p) => p.on_message(sm),
+            ReplicaEngine::Zyzzyva(z) => z.on_message(sm),
+        }
+    }
+
+    /// Execution-layer notification that `seq` finished executing.
+    pub fn on_executed(&mut self, seq: SeqNum, state_digest: Digest) -> Vec<Action> {
+        match self {
+            ReplicaEngine::Pbft(p) => p.on_executed(seq, state_digest),
+            ReplicaEngine::Zyzzyva(z) => z.on_executed(seq, state_digest),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_dispatches_by_protocol() {
+        let cfg = ConsensusConfig::new(4, 100);
+        let p = ReplicaEngine::new(ProtocolKind::Pbft, ReplicaId(0), cfg);
+        let z = ReplicaEngine::new(ProtocolKind::Zyzzyva, ReplicaId(1), cfg);
+        assert_eq!(p.protocol(), ProtocolKind::Pbft);
+        assert_eq!(z.protocol(), ProtocolKind::Zyzzyva);
+        assert_eq!(p.id(), ReplicaId(0));
+        assert_eq!(z.id(), ReplicaId(1));
+        assert!(p.is_primary());
+        assert!(!z.is_primary());
+        assert_eq!(p.primary(), ReplicaId(0));
+    }
+}

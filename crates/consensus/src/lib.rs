@@ -1,0 +1,41 @@
+//! Sans-io BFT consensus state machines: PBFT and Zyzzyva.
+//!
+//! Both protocols are implemented as pure state machines — messages in,
+//! [`Action`]s out — so the *same* protocol logic runs under the threaded
+//! pipeline (`rdb-pipeline`) and the discrete-event simulator (`rdb-sim`).
+//! This mirrors the paper's central methodology: hold the protocol fixed
+//! and vary the system architecture around it.
+//!
+//! - [`pbft`] — three-phase PBFT with batching, checkpointing and a
+//!   view-change skeleton (Figures 1, 8-17 run this).
+//! - [`zyzzyva`] — single-phase speculative Zyzzyva with in-order
+//!   speculative execution and the client-driven commit-certificate slow
+//!   path (the comparison protocol of Figures 1, 8, 17).
+//! - [`client`] — the matching client-side machines.
+//!
+//! # Example
+//!
+//! ```
+//! use rdb_consensus::{ConsensusConfig, ReplicaEngine};
+//! use rdb_common::{ProtocolKind, ReplicaId};
+//!
+//! let cfg = ConsensusConfig::new(4, 100);
+//! let engine = ReplicaEngine::new(ProtocolKind::Pbft, ReplicaId(0), cfg);
+//! assert!(engine.is_primary());
+//! ```
+
+pub mod actions;
+pub mod checkpoint;
+pub mod client;
+pub mod config;
+pub mod engine;
+pub mod pbft;
+pub mod zyzzyva;
+
+pub use actions::{Action, ClientAction};
+pub use checkpoint::CheckpointTracker;
+pub use client::{PbftClient, ZyzzyvaClient};
+pub use config::ConsensusConfig;
+pub use engine::ReplicaEngine;
+pub use pbft::Pbft;
+pub use zyzzyva::Zyzzyva;

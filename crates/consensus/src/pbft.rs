@@ -1,0 +1,716 @@
+//! The PBFT replica state machine (Castro & Liskov, OSDI'99), sans-io.
+//!
+//! Three phases: the primary assigns a sequence number and broadcasts
+//! `PrePrepare`; backups broadcast `Prepare`; on 2f matching prepares a
+//! replica broadcasts `Commit`; on 2f+1 matching commits the batch is
+//! committed and handed to ordered execution. Out-of-order consensus is
+//! natural here (Section 4.5 of the paper): instances at different
+//! sequence numbers progress independently, and PBFT's quorum logic — not
+//! hash-chaining between requests — guarantees a single common order.
+//!
+//! The view-change subprotocol is implemented in skeleton form: timeouts
+//! produce `ViewChange` messages, 2f+1 of them install a new view whose
+//! primary re-issues unresolved sequences. The full new-view proof
+//! machinery of the original paper is out of scope (documented in
+//! DESIGN.md); the paper's experiments only fail *backup* replicas, which
+//! PBFT absorbs without view changes.
+
+use crate::actions::Action;
+use crate::checkpoint::CheckpointTracker;
+use crate::config::ConsensusConfig;
+use rdb_common::block::BlockCertificate;
+use rdb_common::messages::{Message, Sender, SignedMessage};
+use rdb_common::{quorum, Batch, Digest, ReplicaId, SeqNum, SignatureBytes, ViewNum};
+use std::collections::{HashMap, HashSet};
+
+/// Per-sequence consensus instance state.
+#[derive(Debug, Default)]
+struct Instance {
+    digest: Option<Digest>,
+    batch: Option<Batch>,
+    view: ViewNum,
+    prepares: HashSet<ReplicaId>,
+    commits: HashSet<ReplicaId>,
+    commit_sigs: Vec<(ReplicaId, SignatureBytes)>,
+    /// Backup has broadcast its own Prepare (broadcasts are not
+    /// self-delivered, so the own vote is tracked here).
+    sent_prepare: bool,
+    sent_commit: bool,
+    committed: bool,
+}
+
+/// The PBFT replica state machine.
+#[derive(Debug)]
+pub struct Pbft {
+    config: ConsensusConfig,
+    id: ReplicaId,
+    view: ViewNum,
+    /// Next sequence number this primary will assign.
+    next_seq: SeqNum,
+    instances: HashMap<SeqNum, Instance>,
+    checkpoints: CheckpointTracker,
+    /// Batches executed since the last checkpoint broadcast.
+    executed_since_checkpoint: u64,
+    /// Highest sequence this replica has been told was executed.
+    last_executed: SeqNum,
+    /// View-change votes: new view → voters.
+    view_change_votes: HashMap<ViewNum, HashSet<ReplicaId>>,
+    /// Set when this replica has voted for a view change.
+    voted_view: Option<ViewNum>,
+}
+
+impl Pbft {
+    /// Creates the state machine for replica `id`.
+    pub fn new(id: ReplicaId, config: ConsensusConfig) -> Self {
+        let quorum = quorum::checkpoint_quorum(config.f);
+        Pbft {
+            config,
+            id,
+            view: ViewNum(0),
+            next_seq: SeqNum(1),
+            instances: HashMap::new(),
+            checkpoints: CheckpointTracker::new(quorum),
+            executed_since_checkpoint: 0,
+            last_executed: SeqNum(0),
+            view_change_votes: HashMap::new(),
+            voted_view: None,
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// The current view.
+    pub fn view(&self) -> ViewNum {
+        self.view
+    }
+
+    /// The current primary.
+    pub fn primary(&self) -> ReplicaId {
+        self.view.primary(self.config.n)
+    }
+
+    /// Whether this replica is the current primary.
+    pub fn is_primary(&self) -> bool {
+        self.primary() == self.id
+    }
+
+    /// Number of in-flight consensus instances (for saturation metrics).
+    pub fn in_flight(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Highest executed sequence this machine knows about.
+    pub fn last_executed(&self) -> SeqNum {
+        self.last_executed
+    }
+
+    fn prepare_quorum(&self) -> usize {
+        quorum::prepare_quorum(self.config.f)
+    }
+
+    fn commit_quorum(&self) -> usize {
+        quorum::commit_quorum(self.config.f)
+    }
+
+    /// Primary path: propose a batch (already digested by a batch-thread).
+    ///
+    /// Assigns the next sequence number and returns the `PrePrepare`
+    /// broadcast. Returns an empty action list when called on a backup.
+    pub fn propose(&mut self, batch: Batch, digest: Digest) -> Vec<Action> {
+        if !self.is_primary() {
+            return Vec::new();
+        }
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.next();
+        let inst = self.instances.entry(seq).or_default();
+        inst.digest = Some(digest);
+        inst.batch = Some(batch.clone());
+        inst.view = self.view;
+        vec![Action::Broadcast(Message::PrePrepare { view: self.view, seq, digest, batch })]
+    }
+
+    /// Handles a signed message from another replica.
+    ///
+    /// Signature verification is the runtime's job (it owns the crypto
+    /// provider); the state machine assumes `sm` was verified.
+    pub fn on_message(&mut self, sm: &SignedMessage) -> Vec<Action> {
+        let from = match sm.from {
+            Sender::Replica(r) => r,
+            Sender::Client(_) => return Vec::new(), // clients talk to the runtime
+        };
+        match &sm.msg {
+            Message::PrePrepare { view, seq, digest, batch } => {
+                self.on_pre_prepare(from, *view, *seq, *digest, batch.clone())
+            }
+            Message::Prepare { view, seq, digest } => self.on_prepare(from, *view, *seq, *digest),
+            Message::Commit { view, seq, digest } => {
+                self.on_commit(from, *view, *seq, *digest, sm.sig.clone())
+            }
+            Message::Checkpoint { seq, state_digest, replica } => {
+                self.on_checkpoint(*replica, *seq, *state_digest)
+            }
+            Message::ViewChange { new_view, replica, .. } => {
+                self.on_view_change(*replica, *new_view)
+            }
+            Message::NewView { new_view, .. } => self.on_new_view(from, *new_view),
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_pre_prepare(
+        &mut self,
+        from: ReplicaId,
+        view: ViewNum,
+        seq: SeqNum,
+        digest: Digest,
+        batch: Batch,
+    ) -> Vec<Action> {
+        if view != self.view || from != self.primary() || self.is_primary() {
+            return Vec::new(); // wrong view, not from the primary, or echo
+        }
+        if seq <= self.checkpoints.stable_seq() {
+            return Vec::new(); // already garbage-collected
+        }
+        let inst = self.instances.entry(seq).or_default();
+        if let Some(existing) = inst.digest {
+            if existing != digest {
+                // Equivocating primary: refuse the conflicting proposal.
+                return Vec::new();
+            }
+        }
+        inst.digest = Some(digest);
+        inst.batch = Some(batch);
+        inst.view = view;
+        inst.sent_prepare = true;
+        let mut actions =
+            vec![Action::Broadcast(Message::Prepare { view, seq, digest })];
+        // Prepares and commits may have raced ahead of this pre-prepare.
+        actions.extend(self.check_progress(seq));
+        actions
+    }
+
+    fn on_prepare(
+        &mut self,
+        from: ReplicaId,
+        view: ViewNum,
+        seq: SeqNum,
+        digest: Digest,
+    ) -> Vec<Action> {
+        if view != self.view || from == self.primary() {
+            return Vec::new(); // the primary never sends Prepare
+        }
+        if seq <= self.checkpoints.stable_seq() {
+            return Vec::new();
+        }
+        let inst = self.instances.entry(seq).or_default();
+        if inst.digest.is_some_and(|d| d != digest) {
+            return Vec::new(); // conflicting digest: ignore
+        }
+        inst.prepares.insert(from);
+        self.check_progress(seq)
+    }
+
+    fn on_commit(
+        &mut self,
+        from: ReplicaId,
+        view: ViewNum,
+        seq: SeqNum,
+        digest: Digest,
+        sig: SignatureBytes,
+    ) -> Vec<Action> {
+        if view != self.view {
+            return Vec::new();
+        }
+        if seq <= self.checkpoints.stable_seq() {
+            return Vec::new();
+        }
+        let inst = self.instances.entry(seq).or_default();
+        if inst.digest.is_some_and(|d| d != digest) {
+            return Vec::new();
+        }
+        if inst.commits.insert(from) {
+            inst.commit_sigs.push((from, sig));
+        }
+        self.check_progress(seq)
+    }
+
+    /// Re-evaluates the prepare and commit quorums for `seq` after any
+    /// state change, emitting whatever the new state warrants. This is the
+    /// single place quorum rules live, so out-of-order arrivals (commit
+    /// before prepare before pre-prepare) cannot wedge an instance.
+    fn check_progress(&mut self, seq: SeqNum) -> Vec<Action> {
+        let prepare_quorum = self.prepare_quorum();
+        let commit_quorum = self.commit_quorum();
+        let is_primary = self.is_primary();
+        let my_id = self.id;
+        let Some(inst) = self.instances.get_mut(&seq) else {
+            return Vec::new();
+        };
+        let mut actions = Vec::new();
+        let (Some(digest), true) = (inst.digest, inst.batch.is_some()) else {
+            return Vec::new(); // no pre-prepare yet: nothing can fire
+        };
+        // Prepared: pre-prepare + 2f prepares from distinct replicas. A
+        // backup's own Prepare counts (broadcasts are not self-delivered);
+        // the primary holds the pre-prepare implicitly and needs 2f
+        // prepares from backups. This own-vote accounting is what lets the
+        // quorum still form when f backups are down (Figure 17).
+        if !inst.sent_commit && inst.prepares.len() + inst.sent_prepare as usize >= prepare_quorum
+        {
+            inst.sent_commit = true;
+            actions.push(Action::Broadcast(Message::Commit { view: inst.view, seq, digest }));
+        }
+        // Committed: 2f+1 distinct commit votes; our own broadcast is not
+        // self-delivered, so it counts via `sent_commit`.
+        let own = inst.sent_commit as usize;
+        if !inst.committed && inst.commits.len() + own >= commit_quorum {
+            inst.committed = true;
+            let mut certificate = BlockCertificate::new(inst.commit_sigs.clone());
+            if inst.sent_commit && !certificate.contains(my_id) {
+                // Include our own commit in the certificate. The runtime
+                // holds the signature; an empty placeholder marks it.
+                certificate.commits.push((my_id, SignatureBytes::empty()));
+            }
+            let _ = is_primary;
+            actions.push(Action::CommitBatch {
+                seq,
+                view: inst.view,
+                digest,
+                batch: inst.batch.clone().expect("batch present"),
+                certificate,
+            });
+        }
+        actions
+    }
+
+    /// Notification from the execution layer that the batch at `seq` has
+    /// been executed with the given replica state digest. Emits a
+    /// `Checkpoint` broadcast every Δ batches (Section 4.7).
+    pub fn on_executed(&mut self, seq: SeqNum, state_digest: Digest) -> Vec<Action> {
+        self.last_executed = self.last_executed.max(seq);
+        self.executed_since_checkpoint += 1;
+        if self.executed_since_checkpoint >= self.config.checkpoint_interval_batches {
+            self.executed_since_checkpoint = 0;
+            return vec![Action::Broadcast(Message::Checkpoint {
+                seq,
+                state_digest,
+                replica: self.id,
+            })];
+        }
+        Vec::new()
+    }
+
+    fn on_checkpoint(&mut self, from: ReplicaId, seq: SeqNum, digest: Digest) -> Vec<Action> {
+        match self.checkpoints.record(from, seq, digest) {
+            Some(stable) => {
+                // Garbage-collect instance state below the checkpoint.
+                self.instances.retain(|s, _| *s > stable);
+                vec![Action::StableCheckpoint { seq: stable }]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Suspicion timer fired (e.g. a proposal stalled): vote to replace the
+    /// primary.
+    pub fn on_timeout(&mut self) -> Vec<Action> {
+        let target = self.view.next();
+        if self.voted_view == Some(target) {
+            return Vec::new(); // already voted
+        }
+        self.voted_view = Some(target);
+        let mut actions = vec![Action::Broadcast(Message::ViewChange {
+            new_view: target,
+            last_stable: self.checkpoints.stable_seq(),
+            prepared: self.prepared_summary(),
+            replica: self.id,
+        })];
+        // Our own vote counts toward the quorum.
+        actions.extend(self.on_view_change(self.id, target));
+        actions
+    }
+
+    fn prepared_summary(&self) -> Vec<(SeqNum, Digest)> {
+        let mut v: Vec<(SeqNum, Digest)> = self
+            .instances
+            .iter()
+            .filter(|(_, i)| i.sent_commit && !i.committed)
+            .filter_map(|(s, i)| i.digest.map(|d| (*s, d)))
+            .collect();
+        v.sort_by_key(|(s, _)| *s);
+        v
+    }
+
+    fn on_view_change(&mut self, from: ReplicaId, new_view: ViewNum) -> Vec<Action> {
+        if new_view <= self.view {
+            return Vec::new();
+        }
+        let quorum = self.commit_quorum();
+        let votes = self.view_change_votes.entry(new_view).or_default();
+        votes.insert(from);
+        let vote_count = votes.len();
+        if vote_count >= quorum && new_view.primary(self.config.n) == self.id {
+            // We are the incoming primary: install and announce.
+            let reissued = self.prepared_summary();
+            let mut actions = self.install_view(new_view);
+            actions.push(Action::Broadcast(Message::NewView { new_view, reissued }));
+            return actions;
+        }
+        Vec::new()
+    }
+
+    fn on_new_view(&mut self, from: ReplicaId, new_view: ViewNum) -> Vec<Action> {
+        if new_view <= self.view || from != new_view.primary(self.config.n) {
+            return Vec::new();
+        }
+        self.install_view(new_view)
+    }
+
+    fn install_view(&mut self, new_view: ViewNum) -> Vec<Action> {
+        self.view = new_view;
+        self.voted_view = None;
+        self.view_change_votes.retain(|v, _| *v > new_view);
+        // Uncommitted instances are abandoned; the new primary re-proposes.
+        self.instances.retain(|_, i| i.committed);
+        self.next_seq = self.last_executed.next();
+        vec![Action::EnterView { view: new_view }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_common::{ClientId, Operation, Transaction};
+
+    fn cfg(n: usize) -> ConsensusConfig {
+        ConsensusConfig::new(n, 2)
+    }
+
+    fn batch() -> Batch {
+        vec![Transaction::new(
+            ClientId(0),
+            0,
+            vec![Operation::Write { key: 1, value: vec![1] }],
+        )]
+        .into_iter()
+        .collect()
+    }
+
+    fn d(b: u8) -> Digest {
+        Digest([b; 32])
+    }
+
+    fn signed(from: u32, msg: Message) -> SignedMessage {
+        SignedMessage::new(msg, Sender::Replica(ReplicaId(from)), SignatureBytes(vec![from as u8]))
+    }
+
+    /// Drives one full consensus round at a backup replica of a 4-node
+    /// system (f = 1: prepare quorum 2, commit quorum 3).
+    #[test]
+    fn backup_full_round() {
+        let mut r1 = Pbft::new(ReplicaId(1), cfg(4));
+        // Pre-prepare from primary r0.
+        let acts = r1.on_message(&signed(
+            0,
+            Message::PrePrepare { view: ViewNum(0), seq: SeqNum(1), digest: d(7), batch: batch() },
+        ));
+        assert!(matches!(&acts[..], [Action::Broadcast(Message::Prepare { .. })]));
+        // Prepare quorum is 2f = 2 distinct replicas; r1's own Prepare
+        // counts (it broadcast one on receiving the pre-prepare), so one
+        // more backup's prepare completes the quorum.
+        let acts = r1.on_message(&signed(
+            2,
+            Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: d(7) },
+        ));
+        assert!(
+            matches!(&acts[..], [Action::Broadcast(Message::Commit { .. })]),
+            "own prepare + one backup = 2f → commit, got {acts:?}"
+        );
+        let acts = r1.on_message(&signed(
+            3,
+            Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: d(7) },
+        ));
+        assert!(acts.is_empty(), "extra prepares are absorbed");
+        // Commits from r0 and r2; with r1's own commit that is 3 = 2f+1.
+        let acts = r1.on_message(&signed(
+            0,
+            Message::Commit { view: ViewNum(0), seq: SeqNum(1), digest: d(7) },
+        ));
+        assert!(acts.is_empty());
+        let acts = r1.on_message(&signed(
+            2,
+            Message::Commit { view: ViewNum(0), seq: SeqNum(1), digest: d(7) },
+        ));
+        match &acts[..] {
+            [Action::CommitBatch { seq, certificate, .. }] => {
+                assert_eq!(*seq, SeqNum(1));
+                assert!(certificate.signer_count() >= 3);
+                assert!(certificate.contains(ReplicaId(1)), "own commit in certificate");
+            }
+            other => panic!("expected CommitBatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn primary_proposes_sequentially() {
+        let mut p = Pbft::new(ReplicaId(0), cfg(4));
+        assert!(p.is_primary());
+        let a1 = p.propose(batch(), d(1));
+        let a2 = p.propose(batch(), d(2));
+        match (&a1[..], &a2[..]) {
+            (
+                [Action::Broadcast(Message::PrePrepare { seq: s1, .. })],
+                [Action::Broadcast(Message::PrePrepare { seq: s2, .. })],
+            ) => {
+                assert_eq!(*s1, SeqNum(1));
+                assert_eq!(*s2, SeqNum(2));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backup_cannot_propose() {
+        let mut b = Pbft::new(ReplicaId(2), cfg(4));
+        assert!(b.propose(batch(), d(1)).is_empty());
+    }
+
+    #[test]
+    fn primary_commits_with_backup_quorum() {
+        // Primary of n=4: needs 2f=2 prepares from backups, then 2f+1=3
+        // commits counting its own implicit one.
+        let mut p = Pbft::new(ReplicaId(0), cfg(4));
+        p.propose(batch(), d(5));
+        assert!(p
+            .on_message(&signed(1, Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: d(5) }))
+            .is_empty());
+        let acts = p.on_message(&signed(
+            2,
+            Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: d(5) },
+        ));
+        assert!(matches!(&acts[..], [Action::Broadcast(Message::Commit { .. })]));
+        p.on_message(&signed(1, Message::Commit { view: ViewNum(0), seq: SeqNum(1), digest: d(5) }));
+        let acts = p.on_message(&signed(
+            2,
+            Message::Commit { view: ViewNum(0), seq: SeqNum(1), digest: d(5) },
+        ));
+        assert!(matches!(&acts[..], [Action::CommitBatch { .. }]), "got {acts:?}");
+    }
+
+    #[test]
+    fn out_of_order_messages_still_commit() {
+        // Commits and prepares arrive before the pre-prepare (Section 4.5).
+        let mut r1 = Pbft::new(ReplicaId(1), cfg(4));
+        r1.on_message(&signed(2, Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: d(7) }));
+        r1.on_message(&signed(3, Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: d(7) }));
+        r1.on_message(&signed(0, Message::Commit { view: ViewNum(0), seq: SeqNum(1), digest: d(7) }));
+        r1.on_message(&signed(2, Message::Commit { view: ViewNum(0), seq: SeqNum(1), digest: d(7) }));
+        // Nothing committed yet — no pre-prepare, so no batch to execute.
+        // When the pre-prepare arrives the stored quorums fire all at once:
+        // prepare, commit, and the commit-quorum (2 stored commits + own).
+        let acts = r1.on_message(&signed(
+            0,
+            Message::PrePrepare { view: ViewNum(0), seq: SeqNum(1), digest: d(7), batch: batch() },
+        ));
+        assert!(
+            acts.iter().any(|a| matches!(a, Action::Broadcast(Message::Commit { .. }))),
+            "stored prepares must trigger commit: {acts:?}"
+        );
+        assert!(
+            acts.iter().any(|a| matches!(a, Action::CommitBatch { seq, .. } if *seq == SeqNum(1))),
+            "stored commits + own must reach quorum: {acts:?}"
+        );
+        // A late commit after the fact is absorbed without re-committing.
+        let acts = r1.on_message(&signed(
+            3,
+            Message::Commit { view: ViewNum(0), seq: SeqNum(1), digest: d(7) },
+        ));
+        assert!(acts.is_empty(), "must not commit twice: {acts:?}");
+    }
+
+    #[test]
+    fn parallel_instances_commit_independently() {
+        let mut r1 = Pbft::new(ReplicaId(1), cfg(4));
+        // Start two instances; finish seq 2 before seq 1.
+        for seq in [1u64, 2] {
+            r1.on_message(&signed(
+                0,
+                Message::PrePrepare {
+                    view: ViewNum(0),
+                    seq: SeqNum(seq),
+                    digest: d(seq as u8),
+                    batch: batch(),
+                },
+            ));
+        }
+        let drive = |r: &mut Pbft, seq: u64| -> Vec<Action> {
+            let mut acts = Vec::new();
+            for from in [2u32, 3] {
+                acts.extend(r.on_message(&signed(
+                    from,
+                    Message::Prepare { view: ViewNum(0), seq: SeqNum(seq), digest: d(seq as u8) },
+                )));
+            }
+            for from in [0u32, 2] {
+                acts.extend(r.on_message(&signed(
+                    from,
+                    Message::Commit { view: ViewNum(0), seq: SeqNum(seq), digest: d(seq as u8) },
+                )));
+            }
+            acts
+        };
+        let acts2 = drive(&mut r1, 2);
+        assert!(
+            acts2.iter().any(|a| matches!(a, Action::CommitBatch { seq, .. } if *seq == SeqNum(2))),
+            "seq 2 commits first"
+        );
+        let acts1 = drive(&mut r1, 1);
+        assert!(
+            acts1.iter().any(|a| matches!(a, Action::CommitBatch { seq, .. } if *seq == SeqNum(1))),
+            "seq 1 commits later"
+        );
+    }
+
+    #[test]
+    fn equivocating_primary_rejected() {
+        let mut r1 = Pbft::new(ReplicaId(1), cfg(4));
+        r1.on_message(&signed(
+            0,
+            Message::PrePrepare { view: ViewNum(0), seq: SeqNum(1), digest: d(7), batch: batch() },
+        ));
+        // Conflicting digest for the same sequence.
+        let acts = r1.on_message(&signed(
+            0,
+            Message::PrePrepare { view: ViewNum(0), seq: SeqNum(1), digest: d(8), batch: batch() },
+        ));
+        assert!(acts.is_empty(), "conflicting pre-prepare must be dropped");
+    }
+
+    #[test]
+    fn pre_prepare_from_non_primary_rejected() {
+        let mut r1 = Pbft::new(ReplicaId(1), cfg(4));
+        let acts = r1.on_message(&signed(
+            2,
+            Message::PrePrepare { view: ViewNum(0), seq: SeqNum(1), digest: d(7), batch: batch() },
+        ));
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn wrong_view_messages_ignored() {
+        let mut r1 = Pbft::new(ReplicaId(1), cfg(4));
+        let acts = r1.on_message(&signed(
+            0,
+            Message::PrePrepare { view: ViewNum(3), seq: SeqNum(1), digest: d(7), batch: batch() },
+        ));
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn duplicate_prepares_do_not_double_count() {
+        // Use the primary (no own-prepare credit): five copies of the same
+        // backup's prepare must never reach the 2f = 2 quorum.
+        let mut p = Pbft::new(ReplicaId(0), cfg(4));
+        p.propose(batch(), d(7));
+        for _ in 0..5 {
+            let acts = p.on_message(&signed(
+                1,
+                Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: d(7) },
+            ));
+            assert!(acts.is_empty(), "same sender must not reach quorum alone");
+        }
+    }
+
+    #[test]
+    fn checkpoint_cycle() {
+        let mut r1 = Pbft::new(ReplicaId(1), cfg(4)); // Δ = 2 batches
+        assert!(r1.on_executed(SeqNum(1), d(1)).is_empty());
+        let acts = r1.on_executed(SeqNum(2), d(2));
+        assert!(
+            matches!(&acts[..], [Action::Broadcast(Message::Checkpoint { seq, .. })] if *seq == SeqNum(2))
+        );
+        // Collect 2f+1 = 3 matching checkpoints.
+        for from in [0u32, 2] {
+            let acts = r1.on_message(&signed(
+                from,
+                Message::Checkpoint { seq: SeqNum(2), state_digest: d(2), replica: ReplicaId(from) },
+            ));
+            if from == 0 {
+                assert!(acts.is_empty());
+            }
+        }
+        let acts = r1.on_message(&signed(
+            3,
+            Message::Checkpoint { seq: SeqNum(2), state_digest: d(2), replica: ReplicaId(3) },
+        ));
+        assert!(
+            matches!(&acts[..], [Action::StableCheckpoint { seq }] if *seq == SeqNum(2)),
+            "got {acts:?}"
+        );
+        // Old sequences are now rejected.
+        let acts = r1.on_message(&signed(
+            0,
+            Message::PrePrepare { view: ViewNum(0), seq: SeqNum(1), digest: d(9), batch: batch() },
+        ));
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn view_change_installs_new_primary() {
+        // n=4: view 1's primary is r1. Drive view-change votes into r1.
+        let mut r1 = Pbft::new(ReplicaId(1), cfg(4));
+        let vote = |from: u32| {
+            signed(
+                from,
+                Message::ViewChange {
+                    new_view: ViewNum(1),
+                    last_stable: SeqNum(0),
+                    prepared: vec![],
+                    replica: ReplicaId(from),
+                },
+            )
+        };
+        assert!(r1.on_message(&vote(0)).is_empty());
+        assert!(r1.on_message(&vote(2)).is_empty());
+        let acts = r1.on_message(&vote(3));
+        assert!(
+            acts.iter().any(|a| matches!(a, Action::EnterView { view } if *view == ViewNum(1))),
+            "got {acts:?}"
+        );
+        assert!(
+            acts.iter().any(|a| matches!(a, Action::Broadcast(Message::NewView { .. }))),
+            "incoming primary must announce"
+        );
+        assert!(r1.is_primary());
+    }
+
+    #[test]
+    fn backup_follows_new_view_announcement() {
+        let mut r2 = Pbft::new(ReplicaId(2), cfg(4));
+        let acts = r2.on_message(&signed(
+            1,
+            Message::NewView { new_view: ViewNum(1), reissued: vec![] },
+        ));
+        assert!(matches!(&acts[..], [Action::EnterView { view }] if *view == ViewNum(1)));
+        assert_eq!(r2.primary(), ReplicaId(1));
+        // NewView from a replica that is not the new primary is ignored.
+        let acts = r2.on_message(&signed(
+            3,
+            Message::NewView { new_view: ViewNum(2), reissued: vec![] },
+        ));
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn timeout_votes_once() {
+        let mut r2 = Pbft::new(ReplicaId(2), cfg(4));
+        let acts = r2.on_timeout();
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(Message::ViewChange { new_view, .. }) if *new_view == ViewNum(1))));
+        assert!(r2.on_timeout().is_empty(), "second timeout must not re-vote");
+    }
+}

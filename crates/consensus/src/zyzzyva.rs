@@ -1,0 +1,370 @@
+//! The Zyzzyva replica state machine (Kotla et al., SOSP'07), sans-io.
+//!
+//! Zyzzyva is the speculative single-phase protocol the paper uses as the
+//! "fast but fragile" comparison point. The primary orders a batch and
+//! broadcasts it; backups **execute immediately** in sequence order and
+//! reply to the client with a speculative response carrying their rolling
+//! history digest. The client completes on 3f+1 *matching* responses (fast
+//! path). With between 2f+1 and 3f matching responses the client times out
+//! and distributes a *commit certificate*; replicas acknowledge with
+//! `LocalCommit` (slow path). This client-driven second phase is exactly
+//! why one crashed backup collapses Zyzzyva's throughput (Figure 17): the
+//! fast path needs *all* replicas to answer.
+//!
+//! View changes and the fill-hole subprotocol are out of scope (documented
+//! in DESIGN.md); the evaluation only fails backups.
+
+use crate::actions::Action;
+use crate::checkpoint::CheckpointTracker;
+use crate::config::ConsensusConfig;
+use rdb_common::messages::{Message, Sender, SignedMessage};
+use rdb_common::{quorum, Batch, Digest, ReplicaId, SeqNum, ViewNum};
+use rdb_crypto::chain_digest;
+use std::collections::BTreeMap;
+
+/// The Zyzzyva replica state machine.
+#[derive(Debug)]
+pub struct Zyzzyva {
+    config: ConsensusConfig,
+    id: ReplicaId,
+    view: ViewNum,
+    /// Next sequence the primary will assign.
+    next_seq: SeqNum,
+    /// Highest sequence executed speculatively (execution is strictly
+    /// sequential in Zyzzyva).
+    spec_executed: SeqNum,
+    /// Rolling digest over the speculatively executed history.
+    history: Digest,
+    /// Proposals that arrived out of order, waiting for their predecessor.
+    pending: BTreeMap<SeqNum, (ViewNum, Digest, Batch)>,
+    /// Highest sequence covered by a commit certificate.
+    committed: SeqNum,
+    checkpoints: CheckpointTracker,
+    executed_since_checkpoint: u64,
+}
+
+impl Zyzzyva {
+    /// Creates the state machine for replica `id`.
+    pub fn new(id: ReplicaId, config: ConsensusConfig) -> Self {
+        let q = quorum::checkpoint_quorum(config.f);
+        Zyzzyva {
+            config,
+            id,
+            view: ViewNum(0),
+            next_seq: SeqNum(1),
+            spec_executed: SeqNum(0),
+            history: Digest::ZERO,
+            pending: BTreeMap::new(),
+            committed: SeqNum(0),
+            checkpoints: CheckpointTracker::new(q),
+            executed_since_checkpoint: 0,
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// The current view.
+    pub fn view(&self) -> ViewNum {
+        self.view
+    }
+
+    /// The current primary.
+    pub fn primary(&self) -> ReplicaId {
+        self.view.primary(self.config.n)
+    }
+
+    /// Whether this replica is the primary.
+    pub fn is_primary(&self) -> bool {
+        self.primary() == self.id
+    }
+
+    /// Highest speculatively executed sequence.
+    pub fn spec_executed(&self) -> SeqNum {
+        self.spec_executed
+    }
+
+    /// Highest certificate-committed sequence.
+    pub fn committed(&self) -> SeqNum {
+        self.committed
+    }
+
+    /// The rolling history digest (what speculative responses carry).
+    pub fn history(&self) -> Digest {
+        self.history
+    }
+
+    /// Primary path: order a batch and broadcast it. The primary also
+    /// speculatively executes its own proposal.
+    pub fn propose(&mut self, batch: Batch, digest: Digest) -> Vec<Action> {
+        if !self.is_primary() {
+            return Vec::new();
+        }
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.next();
+        let mut actions = vec![Action::Broadcast(Message::PrePrepare {
+            view: self.view,
+            seq,
+            digest,
+            batch: batch.clone(),
+        })];
+        actions.extend(self.try_spec_execute(seq, self.view, digest, batch));
+        actions
+    }
+
+    /// Handles a signed message (assumed verified by the runtime).
+    pub fn on_message(&mut self, sm: &SignedMessage) -> Vec<Action> {
+        match (&sm.msg, sm.from) {
+            (Message::PrePrepare { view, seq, digest, batch }, Sender::Replica(from)) => {
+                if *view != self.view || from != self.primary() || self.is_primary() {
+                    return Vec::new();
+                }
+                self.enqueue_proposal(*seq, *view, *digest, batch.clone())
+            }
+            (Message::CommitCert { view, seq, cert, .. }, Sender::Client(client)) => {
+                if *view != self.view {
+                    return Vec::new();
+                }
+                // The runtime verified the certificate's signatures; the
+                // state machine checks the count.
+                if cert.signer_count() < quorum::zyzzyva_cc_quorum(self.config.f) {
+                    return Vec::new();
+                }
+                if *seq > self.committed {
+                    self.committed = *seq;
+                }
+                vec![Action::SendClient(
+                    client,
+                    Message::LocalCommit { view: *view, seq: *seq, replica: self.id },
+                )]
+            }
+            (Message::Checkpoint { seq, state_digest, replica }, Sender::Replica(_)) => {
+                match self.checkpoints.record(*replica, *seq, *state_digest) {
+                    Some(stable) => {
+                        self.pending.retain(|s, _| *s > stable);
+                        vec![Action::StableCheckpoint { seq: stable }]
+                    }
+                    None => Vec::new(),
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Queues a proposal and speculatively executes every consecutive
+    /// sequence now available. Zyzzyva executes strictly in order — a gap
+    /// stalls execution until the hole fills.
+    fn enqueue_proposal(
+        &mut self,
+        seq: SeqNum,
+        view: ViewNum,
+        digest: Digest,
+        batch: Batch,
+    ) -> Vec<Action> {
+        if seq <= self.spec_executed {
+            return Vec::new(); // duplicate
+        }
+        self.pending.insert(seq, (view, digest, batch));
+        let mut actions = Vec::new();
+        while let Some((view, digest, batch)) = self.pending.remove(&self.spec_executed.next()) {
+            actions.extend(self.try_spec_execute(self.spec_executed.next(), view, digest, batch));
+        }
+        actions
+    }
+
+    fn try_spec_execute(
+        &mut self,
+        seq: SeqNum,
+        view: ViewNum,
+        digest: Digest,
+        batch: Batch,
+    ) -> Vec<Action> {
+        debug_assert_eq!(seq, self.spec_executed.next(), "speculative execution is sequential");
+        self.spec_executed = seq;
+        self.history = chain_digest(&self.history, &digest);
+        vec![Action::SpecExecute { seq, view, digest, history: self.history, batch }]
+    }
+
+    /// Notification that the batch at `seq` finished executing. Emits a
+    /// checkpoint broadcast every Δ batches, like PBFT.
+    pub fn on_executed(&mut self, seq: SeqNum, state_digest: Digest) -> Vec<Action> {
+        self.executed_since_checkpoint += 1;
+        if self.executed_since_checkpoint >= self.config.checkpoint_interval_batches {
+            self.executed_since_checkpoint = 0;
+            return vec![Action::Broadcast(Message::Checkpoint {
+                seq,
+                state_digest,
+                replica: self.id,
+            })];
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_common::block::BlockCertificate;
+    use rdb_common::{ClientId, Operation, SignatureBytes, Transaction};
+
+    fn cfg() -> ConsensusConfig {
+        ConsensusConfig::new(4, 1000)
+    }
+
+    fn batch() -> Batch {
+        vec![Transaction::new(ClientId(0), 0, vec![Operation::Write { key: 1, value: vec![1] }])]
+            .into_iter()
+            .collect()
+    }
+
+    fn d(b: u8) -> Digest {
+        Digest([b; 32])
+    }
+
+    fn pre_prepare(seq: u64, digest: Digest) -> SignedMessage {
+        SignedMessage::new(
+            Message::PrePrepare { view: ViewNum(0), seq: SeqNum(seq), digest, batch: batch() },
+            Sender::Replica(ReplicaId(0)),
+            SignatureBytes::empty(),
+        )
+    }
+
+    #[test]
+    fn backup_speculatively_executes_in_order() {
+        let mut r1 = Zyzzyva::new(ReplicaId(1), cfg());
+        let acts = r1.on_message(&pre_prepare(1, d(1)));
+        match &acts[..] {
+            [Action::SpecExecute { seq, history, .. }] => {
+                assert_eq!(*seq, SeqNum(1));
+                assert_ne!(*history, Digest::ZERO);
+            }
+            other => panic!("expected SpecExecute, got {other:?}"),
+        }
+        assert_eq!(r1.spec_executed(), SeqNum(1));
+    }
+
+    #[test]
+    fn gap_stalls_execution_until_hole_fills() {
+        let mut r1 = Zyzzyva::new(ReplicaId(1), cfg());
+        // Seq 2 and 3 arrive before seq 1.
+        assert!(r1.on_message(&pre_prepare(2, d(2))).is_empty());
+        assert!(r1.on_message(&pre_prepare(3, d(3))).is_empty());
+        assert_eq!(r1.spec_executed(), SeqNum(0));
+        // Seq 1 releases all three, in order.
+        let acts = r1.on_message(&pre_prepare(1, d(1)));
+        let seqs: Vec<u64> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::SpecExecute { seq, .. } => Some(seq.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        assert_eq!(r1.spec_executed(), SeqNum(3));
+    }
+
+    #[test]
+    fn history_chains_over_batches() {
+        let mut r1 = Zyzzyva::new(ReplicaId(1), cfg());
+        r1.on_message(&pre_prepare(1, d(1)));
+        let h1 = r1.history();
+        r1.on_message(&pre_prepare(2, d(2)));
+        let h2 = r1.history();
+        assert_ne!(h1, h2);
+        // A replica fed the same proposals computes the same history.
+        let mut r2 = Zyzzyva::new(ReplicaId(2), cfg());
+        r2.on_message(&pre_prepare(1, d(1)));
+        r2.on_message(&pre_prepare(2, d(2)));
+        assert_eq!(r2.history(), h2);
+    }
+
+    #[test]
+    fn primary_executes_its_own_proposal() {
+        let mut p = Zyzzyva::new(ReplicaId(0), cfg());
+        let acts = p.propose(batch(), d(9));
+        assert!(acts.iter().any(|a| matches!(a, Action::Broadcast(Message::PrePrepare { .. }))));
+        assert!(acts.iter().any(|a| matches!(a, Action::SpecExecute { seq, .. } if *seq == SeqNum(1))));
+        assert_eq!(p.spec_executed(), SeqNum(1));
+    }
+
+    #[test]
+    fn duplicate_proposals_ignored() {
+        let mut r1 = Zyzzyva::new(ReplicaId(1), cfg());
+        r1.on_message(&pre_prepare(1, d(1)));
+        assert!(r1.on_message(&pre_prepare(1, d(1))).is_empty());
+    }
+
+    #[test]
+    fn commit_certificate_acknowledged() {
+        let mut r1 = Zyzzyva::new(ReplicaId(1), cfg());
+        r1.on_message(&pre_prepare(1, d(1)));
+        // Client distributes a certificate with 2f+1 = 3 signers.
+        let cert = BlockCertificate::new(
+            (0..3).map(|i| (ReplicaId(i), SignatureBytes(vec![i as u8]))).collect(),
+        );
+        let cc = SignedMessage::new(
+            Message::CommitCert {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(1),
+                cert,
+                client: ClientId(7),
+            },
+            Sender::Client(ClientId(7)),
+            SignatureBytes::empty(),
+        );
+        let acts = r1.on_message(&cc);
+        assert!(
+            matches!(
+                &acts[..],
+                [Action::SendClient(c, Message::LocalCommit { seq, .. })]
+                    if *c == ClientId(7) && *seq == SeqNum(1)
+            ),
+            "got {acts:?}"
+        );
+        assert_eq!(r1.committed(), SeqNum(1));
+    }
+
+    #[test]
+    fn undersized_certificate_rejected() {
+        let mut r1 = Zyzzyva::new(ReplicaId(1), cfg());
+        r1.on_message(&pre_prepare(1, d(1)));
+        let cert = BlockCertificate::new(
+            (0..2).map(|i| (ReplicaId(i), SignatureBytes(vec![i as u8]))).collect(),
+        );
+        let cc = SignedMessage::new(
+            Message::CommitCert {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(1),
+                cert,
+                client: ClientId(7),
+            },
+            Sender::Client(ClientId(7)),
+            SignatureBytes::empty(),
+        );
+        assert!(r1.on_message(&cc).is_empty());
+        assert_eq!(r1.committed(), SeqNum(0));
+    }
+
+    #[test]
+    fn proposal_from_non_primary_rejected() {
+        let mut r1 = Zyzzyva::new(ReplicaId(1), cfg());
+        let bad = SignedMessage::new(
+            Message::PrePrepare { view: ViewNum(0), seq: SeqNum(1), digest: d(1), batch: batch() },
+            Sender::Replica(ReplicaId(2)),
+            SignatureBytes::empty(),
+        );
+        assert!(r1.on_message(&bad).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_interval_fires() {
+        let mut r1 = Zyzzyva::new(ReplicaId(1), ConsensusConfig::new(4, 2));
+        assert!(r1.on_executed(SeqNum(1), d(1)).is_empty());
+        let acts = r1.on_executed(SeqNum(2), d(2));
+        assert!(matches!(&acts[..], [Action::Broadcast(Message::Checkpoint { .. })]));
+    }
+}

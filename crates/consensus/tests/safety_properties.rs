@@ -1,0 +1,185 @@
+//! Property-based safety tests: no delivery order, duplication pattern, or
+//! partial delivery may make two replicas commit different batches at the
+//! same sequence number — the core BFT invariant that makes the paper's
+//! out-of-order consensus (Section 4.5) safe.
+
+use proptest::prelude::*;
+use rdb_common::messages::{Message, Sender, SignedMessage};
+use rdb_common::{
+    Batch, ClientId, Digest, Operation, ProtocolKind, ReplicaId, SeqNum, SignatureBytes,
+    Transaction, ViewNum,
+};
+use rdb_consensus::{Action, ConsensusConfig, ReplicaEngine};
+use std::collections::HashMap;
+
+const N: usize = 4;
+
+fn batch(tag: u64) -> Batch {
+    vec![Transaction::new(
+        ClientId(tag),
+        tag,
+        vec![Operation::Write { key: tag, value: tag.to_le_bytes().to_vec() }],
+    )]
+    .into_iter()
+    .collect()
+}
+
+fn digest_for(tag: u64) -> Digest {
+    Digest([tag as u8; 32])
+}
+
+/// Runs a full cluster of state machines over a message schedule derived
+/// from `order`, returning each replica's committed (seq → digest) map.
+fn run_cluster(
+    protocol: ProtocolKind,
+    n_batches: u64,
+    order: &[usize],
+    duplicate_every: usize,
+) -> Vec<HashMap<SeqNum, Digest>> {
+    let cfg = ConsensusConfig::new(N, 1_000_000);
+    let mut engines: Vec<ReplicaEngine> =
+        (0..N as u32).map(|i| ReplicaEngine::new(protocol, ReplicaId(i), cfg)).collect();
+    let mut committed: Vec<HashMap<SeqNum, Digest>> = vec![HashMap::new(); N];
+    // In-flight messages: (destination, signed message).
+    let mut wires: Vec<(usize, SignedMessage)> = Vec::new();
+
+    let mut drain =
+        |from: usize, actions: Vec<Action>, wires: &mut Vec<(usize, SignedMessage)>,
+         committed: &mut Vec<HashMap<SeqNum, Digest>>| {
+            for act in actions {
+                match act {
+                    Action::Broadcast(msg) => {
+                        for dest in 0..N {
+                            if dest != from {
+                                wires.push((
+                                    dest,
+                                    SignedMessage::new(
+                                        msg.clone(),
+                                        Sender::Replica(ReplicaId(from as u32)),
+                                        SignatureBytes(vec![from as u8]),
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    Action::SendReplica(r, msg) => wires.push((
+                        r.as_usize(),
+                        SignedMessage::new(
+                            msg,
+                            Sender::Replica(ReplicaId(from as u32)),
+                            SignatureBytes(vec![from as u8]),
+                        ),
+                    )),
+                    Action::CommitBatch { seq, digest, .. } => {
+                        let prev = committed[from].insert(seq, digest);
+                        assert!(
+                            prev.is_none() || prev == Some(digest),
+                            "replica {from} committed two digests at {seq}"
+                        );
+                    }
+                    Action::SpecExecute { seq, digest, .. } => {
+                        let prev = committed[from].insert(seq, digest);
+                        assert!(prev.is_none() || prev == Some(digest));
+                    }
+                    _ => {}
+                }
+            }
+        };
+
+    // The primary proposes all batches up front (out-of-order consensus).
+    for tag in 1..=n_batches {
+        let actions = engines[0].propose(batch(tag), digest_for(tag));
+        drain(0, actions, &mut wires, &mut committed);
+    }
+
+    // Deliver messages following the permutation stream until quiescent.
+    let mut step = 0usize;
+    while !wires.is_empty() {
+        let pick = order.get(step % order.len()).copied().unwrap_or(0) % wires.len();
+        step += 1;
+        let (dest, msg) = wires.swap_remove(pick);
+        // Optionally duplicate the message (byzantine-ish network).
+        if duplicate_every > 0 && step % duplicate_every == 0 {
+            let actions = engines[dest].on_message(&msg);
+            drain(dest, actions, &mut wires, &mut committed);
+        }
+        let actions = engines[dest].on_message(&msg);
+        drain(dest, actions, &mut wires, &mut committed);
+        if step > 200_000 {
+            panic!("schedule did not quiesce");
+        }
+    }
+    committed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// PBFT: any delivery order + duplication yields identical commit maps
+    /// at every replica, covering every proposed sequence.
+    #[test]
+    fn pbft_agreement_under_arbitrary_delivery(
+        order in proptest::collection::vec(0usize..64, 8..64),
+        n_batches in 1u64..6,
+        duplicate_every in 0usize..5,
+    ) {
+        let committed = run_cluster(ProtocolKind::Pbft, n_batches, &order, duplicate_every);
+        // Every replica commits every sequence 1..=n_batches.
+        for (r, map) in committed.iter().enumerate() {
+            prop_assert_eq!(map.len() as u64, n_batches, "replica {} incomplete", r);
+        }
+        // All replicas agree on the digest at every sequence.
+        for seq in 1..=n_batches {
+            let d0 = committed[0][&SeqNum(seq)];
+            for map in &committed {
+                prop_assert_eq!(map[&SeqNum(seq)], d0);
+            }
+        }
+    }
+
+    /// Zyzzyva: speculative execution is sequential and identical across
+    /// replicas for any delivery order of the primary's proposals.
+    #[test]
+    fn zyzzyva_speculative_order_is_common(
+        order in proptest::collection::vec(0usize..64, 8..64),
+        n_batches in 1u64..6,
+    ) {
+        let committed = run_cluster(ProtocolKind::Zyzzyva, n_batches, &order, 0);
+        for seq in 1..=n_batches {
+            let d0 = committed[0][&SeqNum(seq)];
+            for map in &committed {
+                prop_assert_eq!(map[&SeqNum(seq)], d0);
+            }
+        }
+    }
+}
+
+#[test]
+fn equivocation_cannot_commit_two_digests_at_one_seq() {
+    // A byzantine primary sends conflicting pre-prepares to different
+    // backups; no correct replica may gather a commit quorum for both.
+    let cfg = ConsensusConfig::new(N, 1_000_000);
+    let mut r1 = rdb_consensus::Pbft::new(ReplicaId(1), cfg);
+
+    let pp = |d: Digest| {
+        SignedMessage::new(
+            Message::PrePrepare { view: ViewNum(0), seq: SeqNum(1), digest: d, batch: batch(1) },
+            Sender::Replica(ReplicaId(0)),
+            SignatureBytes::empty(),
+        )
+    };
+    // r1 accepts digest A, then sees the conflicting B: B must be refused.
+    let a = digest_for(1);
+    let b = digest_for(2);
+    assert!(!r1.on_message(&pp(a)).is_empty());
+    assert!(r1.on_message(&pp(b)).is_empty());
+    // Votes for B never advance r1.
+    for from in [2u32, 3] {
+        let acts = r1.on_message(&SignedMessage::new(
+            Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: b },
+            Sender::Replica(ReplicaId(from)),
+            SignatureBytes::empty(),
+        ));
+        assert!(acts.is_empty(), "conflicting prepares must not fire");
+    }
+}

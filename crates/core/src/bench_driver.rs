@@ -1,0 +1,82 @@
+//! Closed-loop measurement driver for the threaded runtime.
+//!
+//! Runs a population of client threads against a live deployment for a
+//! fixed window and reports throughput/latency — the real-execution
+//! counterpart of the simulator, used by the e2e benches and examples.
+
+use crate::fabric::ResilientDb;
+use rdb_common::Operation;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Result of a measurement run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Completed transactions per second.
+    pub throughput_tps: f64,
+    /// Mean request latency in milliseconds.
+    pub avg_latency_ms: f64,
+    /// Total transactions completed.
+    pub completed: u64,
+}
+
+/// Runs `clients` closed-loop client threads for `window`, each submitting
+/// bursts of `burst` write transactions and waiting for completion.
+///
+/// The deployment must have at least `clients` client keys.
+pub fn run_closed_loop(
+    db: &ResilientDb,
+    clients: u64,
+    burst: usize,
+    window: Duration,
+) -> Measurement {
+    let stop = Arc::new(AtomicBool::new(false));
+    let completed = Arc::new(AtomicU64::new(0));
+    let latency_us = Arc::new(AtomicU64::new(0));
+    let rounds = Arc::new(AtomicU64::new(0));
+    let table = db.config().table_size;
+
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let mut session = db.client(c);
+            let stop = Arc::clone(&stop);
+            let completed = Arc::clone(&completed);
+            let latency_us = Arc::clone(&latency_us);
+            let rounds = Arc::clone(&rounds);
+            std::thread::spawn(move || {
+                let mut k = c;
+                while !stop.load(Ordering::Relaxed) {
+                    let txns: Vec<_> = (0..burst)
+                        .map(|i| {
+                            k = (k * 31 + i as u64 + 7) % table;
+                            session.txn(vec![Operation::Write {
+                                key: k,
+                                value: vec![(k & 0xff) as u8; 8],
+                            }])
+                        })
+                        .collect();
+                    let start = Instant::now();
+                    let done = session.submit_and_wait(txns, Duration::from_secs(10));
+                    completed.fetch_add(done as u64, Ordering::Relaxed);
+                    latency_us.fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    rounds.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let total = completed.load(Ordering::Relaxed);
+    let n_rounds = rounds.load(Ordering::Relaxed).max(1);
+    Measurement {
+        throughput_tps: total as f64 / window.as_secs_f64(),
+        avg_latency_ms: latency_us.load(Ordering::Relaxed) as f64 / n_rounds as f64 / 1_000.0,
+        completed: total,
+    }
+}

@@ -1,0 +1,236 @@
+//! Client sessions: submit transactions, await quorum-backed results.
+//!
+//! A [`ClientSession`] speaks whichever client protocol the deployment
+//! runs: PBFT (f+1 matching replies) or Zyzzyva (3f+1 fast path with the
+//! commit-certificate fallback driven automatically on timeout).
+
+use rdb_common::messages::{Message, Sender, SignedMessage};
+use rdb_common::{ClientId, Operation, ProtocolKind, ReplicaId, Transaction, TxnId};
+use rdb_consensus::{ClientAction, PbftClient, ZyzzyvaClient};
+use rdb_crypto::{CryptoProvider, KeyRegistry, PeerClass};
+use rdb_net::{Endpoint, Network};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How long a Zyzzyva client waits for the fast path before distributing
+/// commit certificates.
+const ZYZZYVA_CLIENT_TIMEOUT: Duration = Duration::from_millis(300);
+
+enum Tracker {
+    Pbft(PbftClient),
+    Zyzzyva(ZyzzyvaClient),
+}
+
+/// A connected client able to submit transactions and collect results.
+pub struct ClientSession {
+    id: ClientId,
+    endpoint: Endpoint,
+    provider: CryptoProvider,
+    tracker: Tracker,
+    primary: ReplicaId,
+    n: usize,
+    counter: u64,
+    results: HashMap<u64, Vec<u8>>,
+    last_progress: Instant,
+}
+
+impl fmt::Debug for ClientSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClientSession").field("id", &self.id).finish()
+    }
+}
+
+impl Drop for ClientSession {
+    fn drop(&mut self) {
+        // Free the address so the same client id can reconnect later
+        // (repeated measurement runs reuse ids).
+        self.endpoint.network().deregister(Sender::Client(self.id));
+    }
+}
+
+impl ClientSession {
+    pub(crate) fn connect(
+        id: ClientId,
+        net: &Network,
+        registry: &KeyRegistry,
+        protocol: ProtocolKind,
+        f: usize,
+        primary: ReplicaId,
+        n: usize,
+    ) -> Self {
+        let tracker = match protocol {
+            ProtocolKind::Pbft => Tracker::Pbft(PbftClient::new(id, f)),
+            ProtocolKind::Zyzzyva => Tracker::Zyzzyva(ZyzzyvaClient::new(id, f)),
+        };
+        ClientSession {
+            id,
+            endpoint: net.register(Sender::Client(id)),
+            provider: registry.provider_for_client(id),
+            tracker,
+            primary,
+            n,
+            counter: 0,
+            results: HashMap::new(),
+            last_progress: Instant::now(),
+        }
+    }
+
+    /// This client's identity.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Requests submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.counter
+    }
+
+    /// Builds a single-write transaction (convenience for examples).
+    pub fn write_txn(&mut self, key: u64, value: Vec<u8>) -> Transaction {
+        let t = Transaction::new(self.id, self.counter, vec![Operation::Write { key, value }]);
+        self.counter += 1;
+        t
+    }
+
+    /// Builds a read transaction.
+    pub fn read_txn(&mut self, key: u64) -> Transaction {
+        let t = Transaction::new(self.id, self.counter, vec![Operation::Read { key }]);
+        self.counter += 1;
+        t
+    }
+
+    /// Builds a transaction with explicit operations.
+    pub fn txn(&mut self, ops: Vec<Operation>) -> Transaction {
+        let t = Transaction::new(self.id, self.counter, ops);
+        self.counter += 1;
+        t
+    }
+
+    /// Signs and submits a burst of transactions as one client request
+    /// (Section 4.2's client-side batching). Transactions must have been
+    /// built by this session so their ids are tracked.
+    pub fn submit(&mut self, txns: Vec<Transaction>) {
+        for t in &txns {
+            debug_assert_eq!(t.id.client, self.id, "foreign transaction");
+            match &mut self.tracker {
+                Tracker::Pbft(p) => p.track(t.id.counter),
+                Tracker::Zyzzyva(z) => z.track(t.id.counter),
+            }
+        }
+        let msg = Message::ClientRequest { txns };
+        let bytes = SignedMessage::signing_bytes(&msg, Sender::Client(self.id));
+        let sig = self.provider.sign(PeerClass::Replica, &bytes);
+        let _ = self
+            .endpoint
+            .send(Sender::Replica(self.primary), SignedMessage::new(msg, Sender::Client(self.id), sig));
+    }
+
+    /// Number of requests still awaiting completion.
+    pub fn pending(&self) -> usize {
+        match &self.tracker {
+            Tracker::Pbft(p) => p.pending(),
+            Tracker::Zyzzyva(z) => z.pending(),
+        }
+    }
+
+    /// The result bytes of a completed request, if available.
+    pub fn result(&self, txn: TxnId) -> Option<&Vec<u8>> {
+        self.results.get(&txn.counter)
+    }
+
+    fn broadcast(&self, msg: &Message) {
+        let bytes = SignedMessage::signing_bytes(msg, Sender::Client(self.id));
+        let sig = self.provider.sign(PeerClass::Replica, &bytes);
+        for r in 0..self.n as u32 {
+            let _ = self.endpoint.send(
+                Sender::Replica(ReplicaId(r)),
+                SignedMessage::new(msg.clone(), Sender::Client(self.id), sig.clone()),
+            );
+        }
+    }
+
+    fn handle_actions(&mut self, actions: Vec<ClientAction>) -> usize {
+        let mut completed = 0;
+        for act in actions {
+            match act {
+                ClientAction::Complete { txn_counter, result } => {
+                    self.results.insert(txn_counter, result);
+                    completed += 1;
+                    self.last_progress = Instant::now();
+                }
+                ClientAction::BroadcastReplicas(msg) => self.broadcast(&msg),
+                ClientAction::Send(r, msg) => {
+                    let bytes = SignedMessage::signing_bytes(&msg, Sender::Client(self.id));
+                    let sig = self.provider.sign(PeerClass::Replica, &bytes);
+                    let _ = self.endpoint.send(
+                        Sender::Replica(r),
+                        SignedMessage::new(msg, Sender::Client(self.id), sig),
+                    );
+                }
+            }
+        }
+        completed
+    }
+
+    /// Processes incoming replies until all submitted requests complete or
+    /// `deadline` passes. Returns the number of requests completed by this
+    /// call. Drives Zyzzyva's commit-certificate path automatically when
+    /// the fast path stalls.
+    pub fn await_all(&mut self, deadline: Duration) -> usize {
+        let start = Instant::now();
+        let mut completed = 0;
+        self.last_progress = Instant::now();
+        let mut cc_counters: Vec<u64> = Vec::new();
+        while self.pending() > 0 && start.elapsed() < deadline {
+            let msg = self.endpoint.recv_timeout(Duration::from_millis(50));
+            match msg {
+                Ok(sm) => {
+                    let acts = match (&mut self.tracker, &sm.msg) {
+                        (Tracker::Pbft(p), Message::ClientReply { .. }) => p.on_reply(&sm),
+                        (Tracker::Zyzzyva(z), Message::SpecResponse { .. }) => {
+                            z.on_spec_response(&sm)
+                        }
+                        (Tracker::Zyzzyva(z), Message::LocalCommit { .. }) => {
+                            // The acknowledgement carries only the sequence;
+                            // offer it to every request that distributed a
+                            // certificate.
+                            let mut acts = Vec::new();
+                            for &c in &cc_counters {
+                                acts.extend(z.on_local_commit(c, &sm));
+                            }
+                            acts
+                        }
+                        _ => Vec::new(),
+                    };
+                    completed += self.handle_actions(acts);
+                }
+                Err(_) => {
+                    // Quiet period: if Zyzzyva's fast path has stalled,
+                    // fire the client timeout on every pending request.
+                    if let Tracker::Zyzzyva(z) = &mut self.tracker {
+                        if self.last_progress.elapsed() > ZYZZYVA_CLIENT_TIMEOUT {
+                            let mut acts = Vec::new();
+                            for c in 0..self.counter {
+                                let a = z.on_timeout(c);
+                                if !a.is_empty() {
+                                    cc_counters.push(c);
+                                    acts.extend(a);
+                                }
+                            }
+                            completed += self.handle_actions(acts);
+                            self.last_progress = Instant::now();
+                        }
+                    }
+                }
+            }
+        }
+        completed
+    }
+
+    /// Convenience: submit `txns` and wait for them all.
+    pub fn submit_and_wait(&mut self, txns: Vec<Transaction>, deadline: Duration) -> usize {
+        self.submit(txns);
+        self.await_all(deadline)
+    }
+}

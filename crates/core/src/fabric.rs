@@ -1,0 +1,250 @@
+//! The fabric: a full ResilientDB deployment in one process.
+//!
+//! [`SystemBuilder`] configures and launches a replica set over the
+//! in-memory network; [`ResilientDb`] is the running deployment handle —
+//! create client sessions, inject faults, inspect chains, shut down.
+
+use crate::client::ClientSession;
+use rdb_common::messages::Sender;
+use rdb_common::{ClientId, CryptoScheme, ProtocolKind, ReplicaId, StorageMode, SystemConfig};
+use rdb_crypto::KeyRegistry;
+use rdb_net::{Network, NetworkConfig};
+use rdb_pipeline::{spawn_replica, ReplicaHandle, SaturationReport};
+use rdb_common::Digest;
+use std::time::Duration;
+
+/// Builder for a [`ResilientDb`] deployment.
+///
+/// # Example
+///
+/// ```
+/// use resilientdb::SystemBuilder;
+///
+/// let db = SystemBuilder::new(4)
+///     .batch_size(10)
+///     .table_size(1_000)
+///     .client_keys(2)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(db.replica_count(), 4);
+/// db.shutdown();
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    config: SystemConfig,
+    client_keys: usize,
+    latency: Duration,
+    seed: u64,
+}
+
+impl SystemBuilder {
+    /// Starts a builder for `n` replicas with paper-default settings but a
+    /// laptop-scale client population.
+    ///
+    /// # Panics
+    /// Panics if `n < 4`.
+    pub fn new(n: usize) -> Self {
+        let mut config = SystemConfig::new(n).expect("need at least 4 replicas");
+        // Laptop-scale defaults; the paper-scale population lives in the
+        // simulator, not the threaded runtime.
+        config.num_clients = 8;
+        config.table_size = 4_096;
+        SystemBuilder { config, client_keys: 8, latency: Duration::ZERO, seed: 42 }
+    }
+
+    /// Sets the consensus protocol.
+    pub fn protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.config.protocol = protocol;
+        self
+    }
+
+    /// Sets transactions per consensus batch.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.config.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the signing scheme.
+    pub fn crypto(mut self, crypto: CryptoScheme) -> Self {
+        self.config.crypto = crypto;
+        self
+    }
+
+    /// Sets the storage backend.
+    pub fn storage(mut self, storage: StorageMode) -> Self {
+        self.config.storage = storage;
+        self
+    }
+
+    /// Sets the thread allocation (the `xE yB` knob of Figure 8).
+    pub fn threads(mut self, threads: rdb_common::ThreadConfig) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Sets the number of pre-loaded table records.
+    pub fn table_size(mut self, records: u64) -> Self {
+        self.config.table_size = records;
+        self
+    }
+
+    /// Sets the checkpoint interval Δ (in transactions).
+    pub fn checkpoint_interval(mut self, txns: u64) -> Self {
+        self.config.checkpoint_interval = txns;
+        self
+    }
+
+    /// Number of client identities to generate keys for.
+    pub fn client_keys(mut self, clients: usize) -> Self {
+        self.client_keys = clients;
+        self.config.num_clients = clients;
+        self
+    }
+
+    /// One-way network latency between all nodes.
+    pub fn latency(mut self, latency: Duration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Seed for deterministic key generation.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Access to the underlying config for advanced tweaks.
+    pub fn config_mut(&mut self) -> &mut SystemConfig {
+        &mut self.config
+    }
+
+    /// Launches the deployment: generates keys, starts the network and all
+    /// replica pipelines.
+    ///
+    /// # Errors
+    /// Returns the validation error if the configuration is inconsistent.
+    pub fn build(self) -> Result<ResilientDb, rdb_common::CommonError> {
+        self.config.validate()?;
+        let registry = KeyRegistry::generate(
+            self.config.crypto,
+            self.config.n,
+            self.client_keys,
+            self.seed,
+        );
+        let net = Network::new(NetworkConfig { latency: self.latency, queue_capacity: None });
+        let replicas: Vec<ReplicaHandle> = (0..self.config.n as u32)
+            .map(|i| spawn_replica(&self.config, ReplicaId(i), &net, &registry))
+            .collect();
+        Ok(ResilientDb { config: self.config, registry, net, replicas })
+    }
+}
+
+/// A running ResilientDB deployment.
+pub struct ResilientDb {
+    config: SystemConfig,
+    registry: KeyRegistry,
+    net: Network,
+    replicas: Vec<ReplicaHandle>,
+}
+
+impl std::fmt::Debug for ResilientDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientDb")
+            .field("n", &self.config.n)
+            .field("protocol", &self.config.protocol)
+            .finish()
+    }
+}
+
+impl ResilientDb {
+    /// The deployment's configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Number of replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The current primary (view 0: replica 0).
+    pub fn primary(&self) -> ReplicaId {
+        ReplicaId(0)
+    }
+
+    /// The shared network (for fault injection and statistics).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Opens a client session for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` exceeds the generated client keys or is reused.
+    pub fn client(&self, id: u64) -> ClientSession {
+        ClientSession::connect(
+            ClientId(id),
+            &self.net,
+            &self.registry,
+            self.config.protocol,
+            self.config.f,
+            self.primary(),
+            self.config.n,
+        )
+    }
+
+    /// Crashes a backup replica (all its traffic is dropped).
+    ///
+    /// # Panics
+    /// Panics when asked to crash the primary — the paper's failure
+    /// experiments fail backups only.
+    pub fn crash_backup(&self, id: ReplicaId) {
+        assert_ne!(id, self.primary(), "failure experiments crash backups only");
+        self.net.faults().crash(Sender::Replica(id));
+    }
+
+    /// Recovers a crashed backup.
+    pub fn recover(&self, id: ReplicaId) {
+        self.net.faults().recover(Sender::Replica(id));
+    }
+
+    /// Chain head sequence at each replica.
+    pub fn chain_heads(&self) -> Vec<u64> {
+        self.replicas.iter().map(|r| r.shared().chain.lock().head_seq().0).collect()
+    }
+
+    /// State digest at each replica (equal across correct replicas once
+    /// execution catches up).
+    pub fn state_digests(&self) -> Vec<Digest> {
+        self.replicas.iter().map(|r| r.shared().store.state_digest()).collect()
+    }
+
+    /// Verifies every replica's retained chain.
+    ///
+    /// # Errors
+    /// Returns the first replica's chain error encountered.
+    pub fn verify_chains(&self) -> Result<(), rdb_common::CommonError> {
+        for r in &self.replicas {
+            r.shared().chain.lock().verify()?;
+        }
+        Ok(())
+    }
+
+    /// Total transactions executed at replica `id`.
+    pub fn executed_txns(&self, id: ReplicaId) -> u64 {
+        self.replicas[id.as_usize()].shared().executor.executed_txns()
+    }
+
+    /// Saturation report for replica `id` (Figure 9's measurement).
+    pub fn saturation(&self, id: ReplicaId) -> SaturationReport {
+        self.replicas[id.as_usize()].shared().metrics.report()
+    }
+
+    /// Stops every replica and the network.
+    pub fn shutdown(self) {
+        for r in self.replicas {
+            r.shutdown();
+        }
+        self.net.shutdown();
+    }
+}

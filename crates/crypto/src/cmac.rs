@@ -1,0 +1,174 @@
+//! CMAC with AES-128 (NIST SP 800-38B, RFC 4493).
+//!
+//! This is the replica↔replica authenticator in the paper's recommended
+//! configuration: MACs are an order of magnitude cheaper than digital
+//! signatures and suffice between replicas because no replica forwards
+//! another replica's messages (non-repudiation is not needed).
+
+use crate::aes::Aes128;
+
+fn dbl(block: &[u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    let carry = block[0] & 0x80;
+    for i in 0..15 {
+        out[i] = (block[i] << 1) | (block[i + 1] >> 7);
+    }
+    out[15] = block[15] << 1;
+    if carry != 0 {
+        out[15] ^= 0x87;
+    }
+    out
+}
+
+/// CMAC-AES128 keyed MAC.
+#[derive(Debug, Clone)]
+pub struct CmacAes128 {
+    cipher: Aes128,
+    k1: [u8; 16],
+    k2: [u8; 16],
+}
+
+impl CmacAes128 {
+    /// Derives the CMAC subkeys from `key`.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let cipher = Aes128::new(key);
+        let l = cipher.encrypt(&[0u8; 16]);
+        let k1 = dbl(&l);
+        let k2 = dbl(&k1);
+        CmacAes128 { cipher, k1, k2 }
+    }
+
+    /// Computes the 16-byte tag over `msg`.
+    pub fn tag(&self, msg: &[u8]) -> [u8; 16] {
+        let mut x = [0u8; 16];
+        let n_blocks = msg.len().div_ceil(16);
+        if n_blocks == 0 {
+            // Empty message: single padded block XOR K2.
+            let mut last = [0u8; 16];
+            last[0] = 0x80;
+            for i in 0..16 {
+                last[i] ^= self.k2[i];
+                x[i] ^= last[i];
+            }
+            self.cipher.encrypt_block(&mut x);
+            return x;
+        }
+        for b in 0..n_blocks - 1 {
+            for i in 0..16 {
+                x[i] ^= msg[b * 16 + i];
+            }
+            self.cipher.encrypt_block(&mut x);
+        }
+        // Final block.
+        let tail = &msg[(n_blocks - 1) * 16..];
+        let mut last = [0u8; 16];
+        if tail.len() == 16 {
+            last.copy_from_slice(tail);
+            for i in 0..16 {
+                last[i] ^= self.k1[i];
+            }
+        } else {
+            last[..tail.len()].copy_from_slice(tail);
+            last[tail.len()] = 0x80;
+            for i in 0..16 {
+                last[i] ^= self.k2[i];
+            }
+        }
+        for i in 0..16 {
+            x[i] ^= last[i];
+        }
+        self.cipher.encrypt_block(&mut x);
+        x
+    }
+
+    /// Verifies that `tag` authenticates `msg` (constant-time comparison).
+    pub fn verify(&self, msg: &[u8], tag: &[u8]) -> bool {
+        if tag.len() != 16 {
+            return false;
+        }
+        let expected = self.tag(msg);
+        let mut diff = 0u8;
+        for i in 0..16 {
+            diff |= expected[i] ^ tag[i];
+        }
+        diff == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4493 test vectors (key 2b7e1516...).
+    const KEY: [u8; 16] = [
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
+    ];
+
+    const MSG64: [u8; 64] = [
+        0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93, 0x17,
+        0x2a, 0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac, 0x45, 0xaf,
+        0x8e, 0x51, 0x30, 0xc8, 0x1c, 0x46, 0xa3, 0x5c, 0xe4, 0x11, 0xe5, 0xfb, 0xc1, 0x19, 0x1a,
+        0x0a, 0x52, 0xef, 0xf6, 0x9f, 0x24, 0x45, 0xdf, 0x4f, 0x9b, 0x17, 0xad, 0x2b, 0x41, 0x7b,
+        0xe6, 0x6c, 0x37, 0x10,
+    ];
+
+    #[test]
+    fn rfc4493_empty_message() {
+        let cmac = CmacAes128::new(&KEY);
+        let expected = [
+            0xbb, 0x1d, 0x69, 0x29, 0xe9, 0x59, 0x37, 0x28, 0x7f, 0xa3, 0x7d, 0x12, 0x9b, 0x75,
+            0x67, 0x46,
+        ];
+        assert_eq!(cmac.tag(b""), expected);
+    }
+
+    #[test]
+    fn rfc4493_16_bytes() {
+        let cmac = CmacAes128::new(&KEY);
+        let expected = [
+            0x07, 0x0a, 0x16, 0xb4, 0x6b, 0x4d, 0x41, 0x44, 0xf7, 0x9b, 0xdd, 0x9d, 0xd0, 0x4a,
+            0x28, 0x7c,
+        ];
+        assert_eq!(cmac.tag(&MSG64[..16]), expected);
+    }
+
+    #[test]
+    fn rfc4493_40_bytes() {
+        let cmac = CmacAes128::new(&KEY);
+        let expected = [
+            0xdf, 0xa6, 0x67, 0x47, 0xde, 0x9a, 0xe6, 0x30, 0x30, 0xca, 0x32, 0x61, 0x14, 0x97,
+            0xc8, 0x27,
+        ];
+        assert_eq!(cmac.tag(&MSG64[..40]), expected);
+    }
+
+    #[test]
+    fn rfc4493_64_bytes() {
+        let cmac = CmacAes128::new(&KEY);
+        let expected = [
+            0x51, 0xf0, 0xbe, 0xbf, 0x7e, 0x3b, 0x9d, 0x92, 0xfc, 0x49, 0x74, 0x17, 0x79, 0x36,
+            0x3c, 0xfe,
+        ];
+        assert_eq!(cmac.tag(&MSG64), expected);
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let cmac = CmacAes128::new(&KEY);
+        let tag = cmac.tag(b"attack at dawn");
+        assert!(cmac.verify(b"attack at dawn", &tag));
+        assert!(!cmac.verify(b"attack at dusk", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!cmac.verify(b"attack at dawn", &bad));
+        assert!(!cmac.verify(b"attack at dawn", &tag[..8]));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_tags() {
+        let a = CmacAes128::new(&[1; 16]);
+        let b = CmacAes128::new(&[2; 16]);
+        assert_ne!(a.tag(b"m"), b.tag(b"m"));
+    }
+}

@@ -1,0 +1,491 @@
+//! Ed25519 signatures (RFC 8032), built on the radix-2^51 field arithmetic
+//! in [`crate::field25519`].
+//!
+//! This is the client-facing digital signature scheme in the paper's
+//! recommended configuration: clients sign requests with Ed25519 (for
+//! non-repudiation), while replica↔replica traffic uses CMAC. Validated
+//! against the RFC 8032 test vectors.
+
+use crate::bignum::BigUint;
+use crate::field25519::{edwards_d, sqrt_m1, Fe};
+use crate::sha2::Sha512;
+
+/// The group order `ℓ = 2^252 + 27742317777372353535851937790883648493`,
+/// big-endian bytes.
+const L_BYTES: [u8; 32] = [
+    0x10, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x14, 0xde, 0xf9, 0xde, 0xa2, 0xf7, 0x9c, 0xd6, 0x58, 0x12, 0x63, 0x1a, 0x5c, 0xf5,
+    0xd3, 0xed,
+];
+
+fn group_order() -> BigUint {
+    BigUint::from_bytes_be(&L_BYTES)
+}
+
+/// Reduces a little-endian byte string modulo ℓ, returning 32 little-endian
+/// bytes.
+fn reduce_mod_l(bytes_le: &[u8]) -> [u8; 32] {
+    let mut be: Vec<u8> = bytes_le.to_vec();
+    be.reverse();
+    let n = BigUint::from_bytes_be(&be).rem(&group_order());
+    let mut out_be = n.to_bytes_be();
+    out_be.reverse(); // now little-endian
+    let mut out = [0u8; 32];
+    out[..out_be.len()].copy_from_slice(&out_be);
+    out
+}
+
+/// Computes `(a * b + c) mod ℓ` over little-endian 32-byte scalars.
+fn mul_add_mod_l(a: &[u8; 32], b: &[u8; 32], c: &[u8; 32]) -> [u8; 32] {
+    let to_big = |s: &[u8; 32]| {
+        let mut be = *s;
+        be.reverse();
+        BigUint::from_bytes_be(&be)
+    };
+    let l = group_order();
+    let r = to_big(a).mul(&to_big(b)).add(&to_big(c)).rem(&l);
+    let mut out_be = r.to_bytes_be();
+    out_be.reverse();
+    let mut out = [0u8; 32];
+    out[..out_be.len()].copy_from_slice(&out_be);
+    out
+}
+
+/// Whether little-endian scalar `s` is canonical (`s < ℓ`).
+fn scalar_is_canonical(s: &[u8; 32]) -> bool {
+    let mut be = *s;
+    be.reverse();
+    BigUint::from_bytes_be(&be).cmp_val(&group_order()) == std::cmp::Ordering::Less
+}
+
+/// A point on the twisted Edwards curve in extended coordinates
+/// `(X : Y : Z : T)` with `T = XY/Z`.
+#[derive(Debug, Clone, Copy)]
+pub struct EdwardsPoint {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+impl EdwardsPoint {
+    /// The identity element (0, 1).
+    pub fn identity() -> Self {
+        EdwardsPoint { x: Fe::ZERO, y: Fe::ONE, z: Fe::ONE, t: Fe::ZERO }
+    }
+
+    /// The standard base point `B` (y = 4/5, x even).
+    pub fn basepoint() -> Self {
+        const BASE_Y: [u8; 32] = [
+            0x58, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+            0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+            0x66, 0x66, 0x66, 0x66,
+        ];
+        Self::decompress(&BASE_Y).expect("the standard base point decompresses")
+    }
+
+    /// Point addition using the unified extended-coordinate formulas for
+    /// `a = -1` twisted Edwards curves.
+    pub fn add(&self, other: &EdwardsPoint) -> EdwardsPoint {
+        let d2 = edwards_d().add(edwards_d());
+        let a = self.y.sub(self.x).mul(other.y.sub(other.x));
+        let b = self.y.add(self.x).mul(other.y.add(other.x));
+        let c = self.t.mul(d2).mul(other.t);
+        let d = self.z.mul(other.z).mul_small(2);
+        let e = b.sub(a);
+        let f = d.sub(c);
+        let g = d.add(c);
+        let h = b.add(a);
+        EdwardsPoint { x: e.mul(f), y: g.mul(h), z: f.mul(g), t: e.mul(h) }
+    }
+
+    /// Point doubling.
+    pub fn double(&self) -> EdwardsPoint {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square().mul_small(2);
+        let h = a.add(b);
+        let e = h.sub(self.x.add(self.y).square());
+        let g = a.sub(b);
+        let f = c.add(g);
+        EdwardsPoint { x: e.mul(f), y: g.mul(h), z: f.mul(g), t: e.mul(h) }
+    }
+
+    /// Negation: `(x, y) → (-x, y)`.
+    pub fn neg(&self) -> EdwardsPoint {
+        EdwardsPoint { x: self.x.neg(), y: self.y, z: self.z, t: self.t.neg() }
+    }
+
+    /// Scalar multiplication by a little-endian 32-byte scalar
+    /// (double-and-add, not constant-time — research code).
+    pub fn scalar_mul(&self, scalar: &[u8; 32]) -> EdwardsPoint {
+        let mut acc = EdwardsPoint::identity();
+        for byte in scalar.iter().rev() {
+            for bit_idx in (0..8).rev() {
+                acc = acc.double();
+                if (byte >> bit_idx) & 1 == 1 {
+                    acc = acc.add(self);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Compresses to the 32-byte encoding: `y` with the sign of `x` in the
+    /// top bit.
+    pub fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(zinv);
+        let y = self.y.mul(zinv);
+        let mut out = y.to_bytes();
+        if x.is_odd() {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Decompresses a 32-byte encoding, if it names a curve point.
+    pub fn decompress(bytes: &[u8; 32]) -> Option<EdwardsPoint> {
+        let sign = bytes[31] >> 7;
+        let mut y_bytes = *bytes;
+        y_bytes[31] &= 0x7f;
+        let y = Fe::from_bytes(&y_bytes);
+        // Reject non-canonical y encodings.
+        if y.to_bytes() != y_bytes {
+            return None;
+        }
+        // x^2 = (y^2 - 1) / (d y^2 + 1)
+        let yy = y.square();
+        let u = yy.sub(Fe::ONE);
+        let v = edwards_d().mul(yy).add(Fe::ONE);
+        // x = u v^3 (u v^7)^((p-5)/8)
+        let v3 = v.square().mul(v);
+        let v7 = v3.square().mul(v);
+        let mut x = u.mul(v3).mul(u.mul(v7).pow_p58());
+        let vxx = v.mul(x.square());
+        if vxx.sub(u).is_zero() {
+            // x is correct
+        } else if vxx.add(u).is_zero() {
+            x = x.mul(sqrt_m1());
+        } else {
+            return None;
+        }
+        if x.is_zero() && sign == 1 {
+            return None; // -0 is not a valid encoding
+        }
+        if x.is_odd() != (sign == 1) {
+            x = x.neg();
+        }
+        Some(EdwardsPoint { x, y, z: Fe::ONE, t: x.mul(y) })
+    }
+
+    /// Equality in the group (projective cross-comparison).
+    pub fn ct_eq(&self, other: &EdwardsPoint) -> bool {
+        let l1 = self.x.mul(other.z);
+        let r1 = other.x.mul(self.z);
+        let l2 = self.y.mul(other.z);
+        let r2 = other.y.mul(self.z);
+        l1.sub(r1).is_zero() && l2.sub(r2).is_zero()
+    }
+}
+
+impl PartialEq for EdwardsPoint {
+    fn eq(&self, other: &Self) -> bool {
+        self.ct_eq(other)
+    }
+}
+
+impl Eq for EdwardsPoint {}
+
+fn clamp(scalar: &mut [u8; 32]) {
+    scalar[0] &= 248;
+    scalar[31] &= 127;
+    scalar[31] |= 64;
+}
+
+/// An Ed25519 public key (compressed point).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ed25519PublicKey {
+    compressed: [u8; 32],
+    point: EdwardsPoint,
+}
+
+impl Ed25519PublicKey {
+    /// Parses a public key from its 32-byte encoding.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Option<Self> {
+        let point = EdwardsPoint::decompress(bytes)?;
+        Some(Ed25519PublicKey { compressed: *bytes, point })
+    }
+
+    /// The 32-byte encoding.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.compressed
+    }
+
+    /// Verifies `sig` (64 bytes: `R || S`) over `msg`.
+    pub fn verify(&self, msg: &[u8], sig: &[u8]) -> bool {
+        if sig.len() != 64 {
+            return false;
+        }
+        let mut r_bytes = [0u8; 32];
+        r_bytes.copy_from_slice(&sig[..32]);
+        let mut s_bytes = [0u8; 32];
+        s_bytes.copy_from_slice(&sig[32..]);
+        if !scalar_is_canonical(&s_bytes) {
+            return false;
+        }
+        let Some(r_point) = EdwardsPoint::decompress(&r_bytes) else {
+            return false;
+        };
+        // k = SHA512(R || A || M) mod ℓ
+        let mut h = Sha512::new();
+        h.update(&r_bytes);
+        h.update(&self.compressed);
+        h.update(msg);
+        let k = reduce_mod_l(&h.finalize());
+        // Check S·B == R + k·A.
+        let sb = EdwardsPoint::basepoint().scalar_mul(&s_bytes);
+        let ka = self.point.scalar_mul(&k);
+        let rhs = r_point.add(&ka);
+        sb.ct_eq(&rhs)
+    }
+}
+
+/// An Ed25519 signing key pair derived from a 32-byte seed.
+#[derive(Debug, Clone)]
+pub struct Ed25519KeyPair {
+    expanded_scalar: [u8; 32],
+    prefix: [u8; 32],
+    public: Ed25519PublicKey,
+}
+
+impl Ed25519KeyPair {
+    /// Derives the key pair from a 32-byte seed (RFC 8032 §5.1.5).
+    pub fn from_seed(seed: &[u8; 32]) -> Self {
+        let h = {
+            let mut hasher = Sha512::new();
+            hasher.update(seed);
+            hasher.finalize()
+        };
+        let mut scalar = [0u8; 32];
+        scalar.copy_from_slice(&h[..32]);
+        clamp(&mut scalar);
+        let mut prefix = [0u8; 32];
+        prefix.copy_from_slice(&h[32..]);
+        let a_point = EdwardsPoint::basepoint().scalar_mul(&scalar);
+        let compressed = a_point.compress();
+        Ed25519KeyPair {
+            expanded_scalar: scalar,
+            prefix,
+            public: Ed25519PublicKey { compressed, point: a_point },
+        }
+    }
+
+    /// The public half.
+    pub fn public_key(&self) -> &Ed25519PublicKey {
+        &self.public
+    }
+
+    /// Signs `msg`, producing the 64-byte signature `R || S`.
+    pub fn sign(&self, msg: &[u8]) -> [u8; 64] {
+        // r = SHA512(prefix || M) mod ℓ
+        let r = {
+            let mut h = Sha512::new();
+            h.update(&self.prefix);
+            h.update(msg);
+            reduce_mod_l(&h.finalize())
+        };
+        let r_point = EdwardsPoint::basepoint().scalar_mul(&r);
+        let r_bytes = r_point.compress();
+        // k = SHA512(R || A || M) mod ℓ
+        let k = {
+            let mut h = Sha512::new();
+            h.update(&r_bytes);
+            h.update(&self.public.compressed);
+            h.update(msg);
+            reduce_mod_l(&h.finalize())
+        };
+        // S = (r + k * a) mod ℓ
+        let s = mul_add_mod_l(&k, &self.expanded_scalar, &r);
+        let mut sig = [0u8; 64];
+        sig[..32].copy_from_slice(&r_bytes);
+        sig[32..].copy_from_slice(&s);
+        sig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn seed32(s: &str) -> [u8; 32] {
+        let v = unhex(s);
+        let mut a = [0u8; 32];
+        a.copy_from_slice(&v);
+        a
+    }
+
+    // RFC 8032 §7.1 TEST 1 (empty message).
+    #[test]
+    fn rfc8032_test1() {
+        let seed = seed32("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+        let kp = Ed25519KeyPair::from_seed(&seed);
+        assert_eq!(
+            kp.public_key().as_bytes().to_vec(),
+            unhex("d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a")
+        );
+        let sig = kp.sign(b"");
+        assert_eq!(
+            sig.to_vec(),
+            unhex(
+                "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+                 5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+            )
+        );
+        assert!(kp.public_key().verify(b"", &sig));
+    }
+
+    // RFC 8032 §7.1 TEST 2 (one byte 0x72).
+    #[test]
+    fn rfc8032_test2() {
+        let seed = seed32("4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+        let kp = Ed25519KeyPair::from_seed(&seed);
+        assert_eq!(
+            kp.public_key().as_bytes().to_vec(),
+            unhex("3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c")
+        );
+        let msg = [0x72u8];
+        let sig = kp.sign(&msg);
+        assert_eq!(
+            sig.to_vec(),
+            unhex(
+                "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+                 085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+            )
+        );
+        assert!(kp.public_key().verify(&msg, &sig));
+    }
+
+    // RFC 8032 §7.1 TEST 3 (two bytes).
+    #[test]
+    fn rfc8032_test3() {
+        let seed = seed32("c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7");
+        let kp = Ed25519KeyPair::from_seed(&seed);
+        let msg = unhex("af82");
+        let sig = kp.sign(&msg);
+        assert_eq!(
+            sig.to_vec(),
+            unhex(
+                "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac\
+                 18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"
+            )
+        );
+        assert!(kp.public_key().verify(&msg, &sig));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let kp = Ed25519KeyPair::from_seed(&[7u8; 32]);
+        let sig = kp.sign(b"hello");
+        assert!(!kp.public_key().verify(b"hellp", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = Ed25519KeyPair::from_seed(&[7u8; 32]);
+        let mut sig = kp.sign(b"hello");
+        sig[10] ^= 1;
+        assert!(!kp.public_key().verify(b"hello", &sig));
+        // Also tamper with S half.
+        let mut sig2 = kp.sign(b"hello");
+        sig2[40] ^= 1;
+        assert!(!kp.public_key().verify(b"hello", &sig2));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = Ed25519KeyPair::from_seed(&[1u8; 32]);
+        let kp2 = Ed25519KeyPair::from_seed(&[2u8; 32]);
+        let sig = kp1.sign(b"msg");
+        assert!(!kp2.public_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn non_canonical_s_rejected() {
+        let kp = Ed25519KeyPair::from_seed(&[3u8; 32]);
+        let mut sig = kp.sign(b"msg");
+        // Set S to ℓ (non-canonical).
+        let mut l_le = super::L_BYTES;
+        l_le.reverse();
+        sig[32..].copy_from_slice(&l_le);
+        assert!(!kp.public_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn group_law_sanity() {
+        let b = EdwardsPoint::basepoint();
+        // 2B via double == B + B
+        assert!(b.double().ct_eq(&b.add(&b)));
+        // B + identity == B
+        assert!(b.add(&EdwardsPoint::identity()).ct_eq(&b));
+        // B + (-B) == identity
+        assert!(b.add(&b.neg()).ct_eq(&EdwardsPoint::identity()));
+        // scalar_mul by 3 == B + B + B
+        let mut three = [0u8; 32];
+        three[0] = 3;
+        assert!(b.scalar_mul(&three).ct_eq(&b.add(&b).add(&b)));
+    }
+
+    #[test]
+    fn order_annihilates_basepoint() {
+        // ℓ·B == identity
+        let mut l_le = super::L_BYTES;
+        l_le.reverse();
+        let lb = EdwardsPoint::basepoint().scalar_mul(&l_le);
+        assert!(lb.ct_eq(&EdwardsPoint::identity()));
+    }
+
+    #[test]
+    fn compress_decompress_round_trip() {
+        let b = EdwardsPoint::basepoint();
+        for k in 1u8..20 {
+            let mut s = [0u8; 32];
+            s[0] = k;
+            let p = b.scalar_mul(&s);
+            let c = p.compress();
+            let q = EdwardsPoint::decompress(&c).expect("valid point");
+            assert!(p.ct_eq(&q), "k={k}");
+        }
+    }
+
+    #[test]
+    fn invalid_point_rejected() {
+        // An encoding whose x^2 has no square root.
+        let mut bad = [0u8; 32];
+        bad[0] = 2;
+        // Find some invalid ones in a small scan (at least one must fail).
+        let mut rejected = 0;
+        for v in 0u8..50 {
+            bad[0] = v;
+            if EdwardsPoint::decompress(&bad).is_none() {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "expected some encodings to be invalid");
+    }
+
+    #[test]
+    fn large_message_signs() {
+        let kp = Ed25519KeyPair::from_seed(&[9u8; 32]);
+        let msg = vec![0xabu8; 10_000];
+        let sig = kp.sign(&msg);
+        assert!(kp.public_key().verify(&msg, &sig));
+    }
+}

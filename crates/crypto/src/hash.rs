@@ -1,0 +1,67 @@
+//! Digest helpers bridging the raw hash functions to [`rdb_common::Digest`].
+
+use crate::sha2::sha256;
+use crate::sha3::sha3_256;
+use rdb_common::Digest;
+
+/// Which hash function produces message digests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HashKind {
+    /// SHA-256 (the default, as in the paper's setup).
+    #[default]
+    Sha256,
+    /// SHA3-256.
+    Sha3,
+}
+
+/// Hashes `data` into a [`Digest`] with the chosen function.
+pub fn digest_with(kind: HashKind, data: &[u8]) -> Digest {
+    match kind {
+        HashKind::Sha256 => Digest(sha256(data)),
+        HashKind::Sha3 => Digest(sha3_256(data)),
+    }
+}
+
+/// Hashes `data` with SHA-256 (the system default).
+pub fn digest(data: &[u8]) -> Digest {
+    digest_with(HashKind::Sha256, data)
+}
+
+/// Chains a rolling history digest with the next batch digest, as Zyzzyva's
+/// replicas do: `h' = H(h || d)`.
+pub fn chain_digest(history: &Digest, next: &Digest) -> Digest {
+    let mut buf = [0u8; 64];
+    buf[..32].copy_from_slice(history.as_bytes());
+    buf[32..].copy_from_slice(next.as_bytes());
+    Digest(sha256(&buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_sha256() {
+        let d = digest(b"abc");
+        assert_eq!(
+            d.to_string(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn sha3_differs_from_sha256() {
+        assert_ne!(digest_with(HashKind::Sha256, b"x"), digest_with(HashKind::Sha3, b"x"));
+    }
+
+    #[test]
+    fn chain_digest_depends_on_both_inputs() {
+        let a = digest(b"a");
+        let b = digest(b"b");
+        let ab = chain_digest(&a, &b);
+        let ba = chain_digest(&b, &a);
+        assert_ne!(ab, ba);
+        assert_ne!(ab, a);
+        assert_eq!(ab, chain_digest(&a, &b));
+    }
+}

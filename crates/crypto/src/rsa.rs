@@ -1,0 +1,182 @@
+//! RSA signatures (PKCS#1 v1.5-style, SHA-256 digest).
+//!
+//! RSA is the *expensive* digital-signature option in Figure 13: its private
+//! key operation is orders of magnitude slower than Ed25519 signing, which
+//! is precisely the effect the paper measures (choosing RSA over the
+//! CMAC/ED25519 combination increases latency by 125×). The default modulus
+//! is 1024 bits to keep key generation fast in tests; the relative cost
+//! against Ed25519/CMAC is preserved.
+
+use crate::bignum::BigUint;
+use crate::sha2::sha256;
+use rand::RngCore;
+
+/// DER prefix for a SHA-256 DigestInfo, per PKCS#1 v1.5.
+const SHA256_DER_PREFIX: [u8; 19] = [
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
+    0x05, 0x00, 0x04, 0x20,
+];
+
+/// RSA public key `(n, e)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    n: BigUint,
+    e: BigUint,
+    modulus_bytes: usize,
+}
+
+/// RSA private key `(n, d)` with the public exponent retained.
+#[derive(Debug, Clone)]
+pub struct RsaPrivateKey {
+    n: BigUint,
+    d: BigUint,
+    public: RsaPublicKey,
+}
+
+/// An RSA signing key pair.
+#[derive(Debug, Clone)]
+pub struct RsaKeyPair {
+    private: RsaPrivateKey,
+}
+
+impl RsaKeyPair {
+    /// Generates a fresh key pair with a modulus of `bits` bits.
+    ///
+    /// # Panics
+    /// Panics if `bits < 128` (too small to hold the padded digest).
+    pub fn generate(bits: usize, rng: &mut impl RngCore) -> Self {
+        assert!(bits >= 512, "modulus must be at least 512 bits to hold a padded SHA-256 digest");
+        let e = BigUint::from_u64(65_537);
+        loop {
+            let p = BigUint::gen_prime(bits / 2, rng);
+            let q = BigUint::gen_prime(bits - bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            if n.bit_len() != bits {
+                continue;
+            }
+            let phi = p.sub(&BigUint::one()).mul(&q.sub(&BigUint::one()));
+            let Some(d) = e.mod_inverse(&phi) else {
+                continue;
+            };
+            let public = RsaPublicKey { n: n.clone(), e: e.clone(), modulus_bytes: bits / 8 };
+            return RsaKeyPair { private: RsaPrivateKey { n, d, public } };
+        }
+    }
+
+    /// The public half of the key pair.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        &self.private.public
+    }
+
+    /// Signs `msg`: PKCS#1 v1.5 padding of SHA-256(msg), then the private
+    /// key operation.
+    pub fn sign(&self, msg: &[u8]) -> Vec<u8> {
+        let em = pkcs1_pad(msg, self.private.public.modulus_bytes);
+        let m = BigUint::from_bytes_be(&em);
+        let s = m.modpow(&self.private.d, &self.private.n);
+        left_pad(&s.to_bytes_be(), self.private.public.modulus_bytes)
+    }
+}
+
+impl RsaPublicKey {
+    /// Verifies `sig` over `msg`.
+    pub fn verify(&self, msg: &[u8], sig: &[u8]) -> bool {
+        if sig.len() != self.modulus_bytes {
+            return false;
+        }
+        let s = BigUint::from_bytes_be(sig);
+        if s.cmp_val(&self.n) != std::cmp::Ordering::Less {
+            return false;
+        }
+        let m = s.modpow(&self.e, &self.n);
+        let em = left_pad(&m.to_bytes_be(), self.modulus_bytes);
+        em == pkcs1_pad(msg, self.modulus_bytes)
+    }
+
+    /// Signature length in bytes (equal to the modulus size).
+    pub fn signature_len(&self) -> usize {
+        self.modulus_bytes
+    }
+}
+
+/// EMSA-PKCS1-v1_5 encoding: `00 01 FF.. 00 DigestInfo`.
+fn pkcs1_pad(msg: &[u8], em_len: usize) -> Vec<u8> {
+    let digest = sha256(msg);
+    let t_len = SHA256_DER_PREFIX.len() + digest.len();
+    assert!(em_len >= t_len + 11, "modulus too small for PKCS#1 padding");
+    let mut em = Vec::with_capacity(em_len);
+    em.push(0x00);
+    em.push(0x01);
+    em.resize(em_len - t_len - 1, 0xff);
+    em.push(0x00);
+    em.extend_from_slice(&SHA256_DER_PREFIX);
+    em.extend_from_slice(&digest);
+    em
+}
+
+fn left_pad(bytes: &[u8], len: usize) -> Vec<u8> {
+    let mut out = vec![0u8; len.saturating_sub(bytes.len())];
+    out.extend_from_slice(bytes);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_keypair() -> RsaKeyPair {
+        let mut rng = StdRng::seed_from_u64(0xdead_beef);
+        RsaKeyPair::generate(1024, &mut rng)
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let kp = test_keypair();
+        let sig = kp.sign(b"permissioned blockchain");
+        assert_eq!(sig.len(), 128);
+        assert!(kp.public_key().verify(b"permissioned blockchain", &sig));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let kp = test_keypair();
+        let sig = kp.sign(b"message one");
+        assert!(!kp.public_key().verify(b"message two", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = test_keypair();
+        let mut sig = kp.sign(b"msg");
+        sig[5] ^= 0x40;
+        assert!(!kp.public_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn wrong_length_signature_rejected() {
+        let kp = test_keypair();
+        let sig = kp.sign(b"msg");
+        assert!(!kp.public_key().verify(b"msg", &sig[..64]));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = test_keypair();
+        let mut rng = StdRng::seed_from_u64(99);
+        let kp2 = RsaKeyPair::generate(1024, &mut rng);
+        let sig = kp1.sign(b"msg");
+        assert!(!kp2.public_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn empty_message_signs() {
+        let kp = test_keypair();
+        let sig = kp.sign(b"");
+        assert!(kp.public_key().verify(b"", &sig));
+    }
+}

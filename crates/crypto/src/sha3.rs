@@ -1,0 +1,193 @@
+//! SHA3-256 (FIPS 202) built on the Keccak-f[1600] permutation.
+//!
+//! The paper lists SHA-256 and SHA3 as the standard digest options for
+//! blockchain payloads; this module provides the SHA3 side, validated
+//! against the FIPS known-answer vectors.
+
+const ROUNDS: usize = 24;
+
+const RC: [u64; ROUNDS] = [
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808a, 0x8000000080008000,
+    0x000000000000808b, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+    0x000000000000008a, 0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+    0x000000008000808b, 0x800000000000008b, 0x8000000000008089, 0x8000000000008003,
+    0x8000000000008002, 0x8000000000000080, 0x000000000000800a, 0x800000008000000a,
+    0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+];
+
+/// Rotation offsets, indexed `[x][y]`.
+const ROTC: [[u32; 5]; 5] = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+];
+
+fn keccak_f(state: &mut [u64; 25]) {
+    let idx = |x: usize, y: usize| x + 5 * y;
+    for rc in RC.iter().take(ROUNDS) {
+        // θ
+        let mut c = [0u64; 5];
+        for x in 0..5 {
+            c[x] = state[idx(x, 0)]
+                ^ state[idx(x, 1)]
+                ^ state[idx(x, 2)]
+                ^ state[idx(x, 3)]
+                ^ state[idx(x, 4)];
+        }
+        for x in 0..5 {
+            let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+            for y in 0..5 {
+                state[idx(x, y)] ^= d;
+            }
+        }
+        // ρ and π
+        let mut b = [0u64; 25];
+        for x in 0..5 {
+            for y in 0..5 {
+                b[idx(y, (2 * x + 3 * y) % 5)] = state[idx(x, y)].rotate_left(ROTC[x][y]);
+            }
+        }
+        // χ
+        for x in 0..5 {
+            for y in 0..5 {
+                state[idx(x, y)] = b[idx(x, y)] ^ (!b[idx((x + 1) % 5, y)] & b[idx((x + 2) % 5, y)]);
+            }
+        }
+        // ι
+        state[0] ^= rc;
+    }
+}
+
+/// Incremental SHA3-256 hasher (rate 136 bytes, capacity 512 bits).
+#[derive(Debug, Clone)]
+pub struct Sha3_256 {
+    state: [u64; 25],
+    buf: [u8; 136],
+    buf_len: usize,
+}
+
+impl Default for Sha3_256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha3_256 {
+    const RATE: usize = 136;
+
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha3_256 { state: [0u64; 25], buf: [0u8; 136], buf_len: 0 }
+    }
+
+    fn absorb_block(&mut self) {
+        for i in 0..Self::RATE / 8 {
+            let mut lane = [0u8; 8];
+            lane.copy_from_slice(&self.buf[i * 8..i * 8 + 8]);
+            self.state[i] ^= u64::from_le_bytes(lane);
+        }
+        keccak_f(&mut self.state);
+        self.buf_len = 0;
+    }
+
+    /// Absorbs `data` into the sponge.
+    pub fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.buf[self.buf_len] = byte;
+            self.buf_len += 1;
+            if self.buf_len == Self::RATE {
+                self.absorb_block();
+            }
+        }
+    }
+
+    /// Finishes the hash, producing the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        // SHA-3 domain separation: append 0b01 then pad10*1.
+        self.buf[self.buf_len..].fill(0);
+        self.buf[self.buf_len] = 0x06;
+        self.buf[Self::RATE - 1] |= 0x80;
+        self.buf_len = Self::RATE; // mark full so absorb uses the whole buffer
+        for i in 0..Self::RATE / 8 {
+            let mut lane = [0u8; 8];
+            lane.copy_from_slice(&self.buf[i * 8..i * 8 + 8]);
+            self.state[i] ^= u64::from_le_bytes(lane);
+        }
+        keccak_f(&mut self.state);
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..i * 8 + 8].copy_from_slice(&self.state[i].to_le_bytes());
+        }
+        out
+    }
+}
+
+/// One-shot SHA3-256 over `data`.
+pub fn sha3_256(data: &[u8]) -> [u8; 32] {
+    let mut h = Sha3_256::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // FIPS 202 known-answer vectors.
+    #[test]
+    fn sha3_256_empty() {
+        assert_eq!(
+            hex(&sha3_256(b"")),
+            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
+        );
+    }
+
+    #[test]
+    fn sha3_256_abc() {
+        assert_eq!(
+            hex(&sha3_256(b"abc")),
+            "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"
+        );
+    }
+
+    #[test]
+    fn sha3_256_448_bit_message() {
+        assert_eq!(
+            hex(&sha3_256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "41c0dba2a9d6240849100376a8235e2c82e1b9998a999e21db32dd97496d3376"
+        );
+    }
+
+    #[test]
+    fn sha3_256_exact_rate_block() {
+        // 136 bytes = exactly one rate block, exercises padding-in-new-block.
+        let data = vec![0x61u8; 136];
+        let d1 = sha3_256(&data);
+        let mut h = Sha3_256::new();
+        h.update(&data[..70]);
+        h.update(&data[70..]);
+        assert_eq!(h.finalize(), d1);
+    }
+
+    #[test]
+    fn sha3_256_incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..2048).map(|i| (i * 7 % 256) as u8).collect();
+        let oneshot = sha3_256(&data);
+        let mut h = Sha3_256::new();
+        for chunk in data.chunks(41) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), oneshot);
+    }
+
+    #[test]
+    fn differs_from_inputs() {
+        assert_ne!(sha3_256(b"x"), sha3_256(b"y"));
+    }
+}

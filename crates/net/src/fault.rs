@@ -1,0 +1,176 @@
+//! Fault injection: crashes, probabilistic drops, and partitions.
+
+use parking_lot::RwLock;
+use rdb_common::messages::Sender;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Controls which messages the network discards.
+///
+/// Cloneable handle; all clones share state, so tests can hold the
+/// controller while the system holds the network.
+#[derive(Debug, Default, Clone)]
+pub struct FaultController {
+    inner: Arc<FaultInner>,
+}
+
+#[derive(Debug, Default)]
+struct FaultInner {
+    crashed: RwLock<HashSet<Sender>>,
+    /// Pairs (a, b) that cannot communicate, stored in both directions.
+    severed: RwLock<HashSet<(Sender, Sender)>>,
+    /// Drop probability in units of 1/10000 (0 = reliable).
+    drop_per_10k: AtomicU64,
+    /// Deterministic counter-based "randomness" for drop decisions.
+    counter: AtomicU64,
+}
+
+impl FaultController {
+    /// Creates a controller with no faults active.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Crashes `node`: all traffic to and from it is discarded until
+    /// [`FaultController::recover`].
+    pub fn crash(&self, node: Sender) {
+        self.inner.crashed.write().insert(node);
+    }
+
+    /// Recovers a crashed node.
+    pub fn recover(&self, node: Sender) {
+        self.inner.crashed.write().remove(&node);
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn is_crashed(&self, node: Sender) -> bool {
+        self.inner.crashed.read().contains(&node)
+    }
+
+    /// Number of currently crashed nodes.
+    pub fn crashed_count(&self) -> usize {
+        self.inner.crashed.read().len()
+    }
+
+    /// Severs the link between `a` and `b` in both directions.
+    pub fn sever(&self, a: Sender, b: Sender) {
+        let mut s = self.inner.severed.write();
+        s.insert((a, b));
+        s.insert((b, a));
+    }
+
+    /// Heals the link between `a` and `b`.
+    pub fn heal(&self, a: Sender, b: Sender) {
+        let mut s = self.inner.severed.write();
+        s.remove(&(a, b));
+        s.remove(&(b, a));
+    }
+
+    /// Partitions the membership into two groups that cannot talk across
+    /// the cut.
+    pub fn partition(&self, group_a: &[Sender], group_b: &[Sender]) {
+        for &a in group_a {
+            for &b in group_b {
+                self.sever(a, b);
+            }
+        }
+    }
+
+    /// Heals every severed link.
+    pub fn heal_all(&self) {
+        self.inner.severed.write().clear();
+    }
+
+    /// Sets a uniform message-drop probability (0.0 ..= 1.0).
+    pub fn set_drop_rate(&self, rate: f64) {
+        let per_10k = (rate.clamp(0.0, 1.0) * 10_000.0) as u64;
+        self.inner.drop_per_10k.store(per_10k, Ordering::Relaxed);
+    }
+
+    /// Decides whether a message from `from` to `to` should be dropped.
+    pub fn should_drop(&self, from: Sender, to: Sender) -> bool {
+        if self.is_crashed(from) || self.is_crashed(to) {
+            return true;
+        }
+        if self.inner.severed.read().contains(&(from, to)) {
+            return true;
+        }
+        let rate = self.inner.drop_per_10k.load(Ordering::Relaxed);
+        if rate == 0 {
+            return false;
+        }
+        // Cheap deterministic hash of a counter: evenly spreads drops
+        // without a seeded RNG behind a lock.
+        let tick = self.inner.counter.fetch_add(1, Ordering::Relaxed);
+        let mixed = tick.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17);
+        mixed % 10_000 < rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_common::{ClientId, ReplicaId};
+
+    fn r(i: u32) -> Sender {
+        Sender::Replica(ReplicaId(i))
+    }
+
+    #[test]
+    fn crash_blocks_both_directions() {
+        let fc = FaultController::new();
+        fc.crash(r(1));
+        assert!(fc.should_drop(r(0), r(1)));
+        assert!(fc.should_drop(r(1), r(0)));
+        assert!(!fc.should_drop(r(0), r(2)));
+        assert_eq!(fc.crashed_count(), 1);
+        fc.recover(r(1));
+        assert!(!fc.should_drop(r(0), r(1)));
+    }
+
+    #[test]
+    fn sever_and_heal() {
+        let fc = FaultController::new();
+        fc.sever(r(0), r(1));
+        assert!(fc.should_drop(r(0), r(1)));
+        assert!(fc.should_drop(r(1), r(0)));
+        fc.heal(r(0), r(1));
+        assert!(!fc.should_drop(r(0), r(1)));
+    }
+
+    #[test]
+    fn partition_cuts_cross_traffic_only() {
+        let fc = FaultController::new();
+        let a = [r(0), r(1)];
+        let b = [r(2), r(3)];
+        fc.partition(&a, &b);
+        assert!(fc.should_drop(r(0), r(2)));
+        assert!(fc.should_drop(r(3), r(1)));
+        assert!(!fc.should_drop(r(0), r(1)));
+        assert!(!fc.should_drop(r(2), r(3)));
+        fc.heal_all();
+        assert!(!fc.should_drop(r(0), r(2)));
+    }
+
+    #[test]
+    fn drop_rate_statistics() {
+        let fc = FaultController::new();
+        fc.set_drop_rate(0.5);
+        let drops = (0..10_000)
+            .filter(|_| fc.should_drop(r(0), r(1)))
+            .count();
+        // Deterministic mixing should land near 50%.
+        assert!((3_000..7_000).contains(&drops), "drops={drops}");
+        fc.set_drop_rate(0.0);
+        assert!(!fc.should_drop(r(0), r(1)));
+    }
+
+    #[test]
+    fn clients_can_crash_too() {
+        let fc = FaultController::new();
+        let c = Sender::Client(ClientId(7));
+        fc.crash(c);
+        assert!(fc.should_drop(c, r(0)));
+    }
+}

@@ -1,0 +1,35 @@
+//! In-memory transport for the threaded ResilientDB runtime.
+//!
+//! Replicas and clients register with a [`Network`] and obtain an
+//! [`Endpoint`] for sending and receiving [`SignedMessage`]s. The network
+//! supports per-link latency, byte-accounted delivery statistics, and fault
+//! injection (crashes, message drops, partitions) — the substrate for the
+//! paper's failure experiments (Figure 17).
+//!
+//! # Example
+//!
+//! ```
+//! use rdb_net::{Network, NetworkConfig};
+//! use rdb_common::messages::{Message, Sender, SignedMessage};
+//! use rdb_common::{ReplicaId, SignatureBytes};
+//!
+//! let net = Network::new(NetworkConfig::default());
+//! let a = net.register(Sender::Replica(ReplicaId(0)));
+//! let b = net.register(Sender::Replica(ReplicaId(1)));
+//! let msg = SignedMessage::new(
+//!     Message::ClientRequest { txns: vec![] },
+//!     Sender::Replica(ReplicaId(0)),
+//!     SignatureBytes::empty(),
+//! );
+//! a.send(Sender::Replica(ReplicaId(1)), msg.clone()).unwrap();
+//! let got = b.recv_timeout(std::time::Duration::from_secs(1)).unwrap();
+//! assert_eq!(got.msg, msg.msg);
+//! ```
+
+pub mod fault;
+pub mod stats;
+pub mod transport;
+
+pub use fault::FaultController;
+pub use stats::NetworkStats;
+pub use transport::{Endpoint, EndpointSender, Network, NetworkConfig, NetworkError};

@@ -1,0 +1,96 @@
+//! Delivery statistics for the in-memory network.
+
+use parking_lot::Mutex;
+use rdb_common::MessageKind;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Counters shared by all endpoints of one [`crate::Network`].
+#[derive(Debug, Default, Clone)]
+pub struct NetworkStats {
+    inner: Arc<Mutex<StatsInner>>,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    sent: HashMap<MessageKind, u64>,
+    delivered: HashMap<MessageKind, u64>,
+    dropped: u64,
+    bytes_sent: u64,
+}
+
+impl NetworkStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_sent(&self, kind: MessageKind, bytes: usize) {
+        let mut s = self.inner.lock();
+        *s.sent.entry(kind).or_insert(0) += 1;
+        s.bytes_sent += bytes as u64;
+    }
+
+    pub(crate) fn record_delivered(&self, kind: MessageKind) {
+        *self.inner.lock().delivered.entry(kind).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_dropped(&self) {
+        self.inner.lock().dropped += 1;
+    }
+
+    /// Messages sent of `kind`.
+    pub fn sent(&self, kind: MessageKind) -> u64 {
+        self.inner.lock().sent.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Messages delivered of `kind`.
+    pub fn delivered(&self, kind: MessageKind) -> u64 {
+        self.inner.lock().delivered.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Messages discarded by fault injection or missing destinations.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Total payload bytes offered to the network.
+    pub fn bytes_sent(&self) -> u64 {
+        self.inner.lock().bytes_sent
+    }
+
+    /// Total messages sent across all kinds.
+    pub fn total_sent(&self) -> u64 {
+        self.inner.lock().sent.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = NetworkStats::new();
+        s.record_sent(MessageKind::Prepare, 100);
+        s.record_sent(MessageKind::Prepare, 50);
+        s.record_sent(MessageKind::Commit, 10);
+        s.record_delivered(MessageKind::Prepare);
+        s.record_dropped();
+        assert_eq!(s.sent(MessageKind::Prepare), 2);
+        assert_eq!(s.sent(MessageKind::Commit), 1);
+        assert_eq!(s.delivered(MessageKind::Prepare), 1);
+        assert_eq!(s.delivered(MessageKind::Commit), 0);
+        assert_eq!(s.dropped(), 1);
+        assert_eq!(s.bytes_sent(), 160);
+        assert_eq!(s.total_sent(), 3);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let s = NetworkStats::new();
+        let s2 = s.clone();
+        s.record_sent(MessageKind::Checkpoint, 5);
+        assert_eq!(s2.sent(MessageKind::Checkpoint), 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! Ordered batch execution (the execute-thread's work).
+//!
+//! Applies each transaction's operations to the state store, appends a
+//! block to the ledger, and produces the per-client reply messages. Under
+//! PBFT the block is certified by the 2f+1 commit signatures; under
+//! Zyzzyva execution is speculative and replies carry the rolling history
+//! digest.
+
+use crate::queues::ExecuteItem;
+use parking_lot::Mutex;
+use rdb_common::messages::{Message, Sender};
+use rdb_common::{Operation, ProtocolKind, ReplicaId};
+use rdb_common::Digest;
+use rdb_crypto::chain_digest;
+use rdb_storage::{Blockchain, StateStore};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An outgoing message with its destinations (all of one peer class, so
+/// the output thread signs once).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutItem {
+    /// Destinations (never empty).
+    pub targets: Vec<Sender>,
+    /// Unsigned message body.
+    pub msg: Message,
+}
+
+impl OutItem {
+    /// Single-destination item.
+    pub fn to(dest: Sender, msg: Message) -> Self {
+        OutItem { targets: vec![dest], msg }
+    }
+}
+
+/// The execution engine shared by the execute-thread (1E) or the worker
+/// (0E: integrated ordering and execution).
+pub struct Executor {
+    id: ReplicaId,
+    protocol: ProtocolKind,
+    store: Arc<dyn StateStore>,
+    chain: Arc<Mutex<Blockchain>>,
+    executed_txns: AtomicU64,
+    executed_batches: AtomicU64,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("id", &self.id)
+            .field("protocol", &self.protocol)
+            .field("executed_batches", &self.executed_batches.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Creates an executor over the replica's store and chain.
+    pub fn new(
+        id: ReplicaId,
+        protocol: ProtocolKind,
+        store: Arc<dyn StateStore>,
+        chain: Arc<Mutex<Blockchain>>,
+    ) -> Self {
+        Executor {
+            id,
+            protocol,
+            store,
+            chain,
+            executed_txns: AtomicU64::new(0),
+            executed_batches: AtomicU64::new(0),
+        }
+    }
+
+    /// Total transactions executed.
+    pub fn executed_txns(&self) -> u64 {
+        self.executed_txns.load(Ordering::Relaxed)
+    }
+
+    /// Total batches executed.
+    pub fn executed_batches(&self) -> u64 {
+        self.executed_batches.load(Ordering::Relaxed)
+    }
+
+    /// Executes `item`: applies operations, appends the block, builds the
+    /// client replies. Returns the replica state digest after execution
+    /// (fed back to the consensus engine for checkpointing) and the
+    /// outgoing reply messages.
+    pub fn execute(&self, item: &ExecuteItem) -> (Digest, Vec<OutItem>) {
+        let mut replies = Vec::with_capacity(item.batch.len());
+        for txn in &item.batch.txns {
+            // Apply operations in order; the result echoes the last
+            // operation's key so it is deterministic across replicas.
+            let mut result = Vec::with_capacity(8);
+            for op in &txn.ops {
+                match op {
+                    Operation::Write { key, value } => {
+                        self.store.put(*key, value);
+                        result = key.to_le_bytes().to_vec();
+                    }
+                    Operation::Read { key } => {
+                        result = self.store.get(*key).unwrap_or_default();
+                        result.truncate(8);
+                    }
+                }
+            }
+            let msg = match item.history {
+                // Zyzzyva: speculative response with the history digest.
+                Some(history) => Message::SpecResponse {
+                    view: item.view,
+                    seq: item.seq,
+                    digest: item.digest,
+                    history,
+                    txn_id: txn.id,
+                    replica: self.id,
+                    result,
+                },
+                // PBFT: committed reply.
+                None => Message::ClientReply {
+                    view: item.view,
+                    txn_id: txn.id,
+                    replica: self.id,
+                    result,
+                },
+            };
+            replies.push(OutItem::to(Sender::Client(txn.id.client), msg));
+        }
+        // Append the block. The result digest covers the store state so
+        // replicas can cross-check execution.
+        let store_digest = self.store.state_digest();
+        {
+            let mut chain = self.chain.lock();
+            chain
+                .append(
+                    item.seq,
+                    item.digest,
+                    item.view,
+                    item.certificate.clone(),
+                    item.batch.len() as u32,
+                    store_digest,
+                )
+                .expect("execution is sequential, append cannot gap");
+        }
+        // The checkpoint state digest must be identical across replicas, so
+        // it covers the ordered batch digest and the store contents — NOT
+        // the block certificate (each replica legitimately collects a
+        // different 2f+1 commit-signature set).
+        let state_digest = chain_digest(&item.digest, &store_digest);
+        self.executed_txns.fetch_add(item.batch.len() as u64, Ordering::Relaxed);
+        self.executed_batches.fetch_add(1, Ordering::Relaxed);
+        let _ = self.protocol;
+        (state_digest, replies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_common::block::BlockCertificate;
+    use rdb_common::{Batch, ClientId, SeqNum, SignatureBytes, Transaction, ViewNum};
+    use rdb_storage::blockchain::ChainMode;
+    use rdb_storage::MemStore;
+
+    fn exec_item(seq: u64, history: Option<Digest>) -> ExecuteItem {
+        let batch: Batch = (0..3u64)
+            .map(|i| {
+                Transaction::new(
+                    ClientId(i),
+                    0,
+                    vec![Operation::Write { key: 10 + i, value: vec![i as u8; 4] }],
+                )
+            })
+            .collect();
+        ExecuteItem {
+            seq: SeqNum(seq),
+            view: ViewNum(0),
+            digest: Digest([seq as u8; 32]),
+            batch,
+            certificate: BlockCertificate::new(vec![
+                (ReplicaId(0), SignatureBytes(vec![1])),
+                (ReplicaId(1), SignatureBytes(vec![2])),
+                (ReplicaId(2), SignatureBytes(vec![3])),
+            ]),
+            history,
+        }
+    }
+
+    fn executor(protocol: ProtocolKind, mode: ChainMode) -> Executor {
+        let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+        let chain = Arc::new(Mutex::new(Blockchain::new(Digest::ZERO, 3, mode)));
+        Executor::new(ReplicaId(1), protocol, store, chain)
+    }
+
+    #[test]
+    fn pbft_execution_writes_and_replies() {
+        let ex = executor(ProtocolKind::Pbft, ChainMode::Certificate);
+        let (digest, replies) = ex.execute(&exec_item(1, None));
+        assert_ne!(digest, Digest::ZERO);
+        assert_eq!(replies.len(), 3);
+        for (i, r) in replies.iter().enumerate() {
+            assert_eq!(r.targets, vec![Sender::Client(ClientId(i as u64))]);
+            assert!(matches!(&r.msg, Message::ClientReply { .. }));
+        }
+        assert_eq!(ex.executed_txns(), 3);
+        assert_eq!(ex.executed_batches(), 1);
+    }
+
+    #[test]
+    fn zyzzyva_execution_sends_spec_responses() {
+        let ex = executor(ProtocolKind::Zyzzyva, ChainMode::PrevHash);
+        let h = Digest([9; 32]);
+        let (_, replies) = ex.execute(&exec_item(1, Some(h)));
+        for r in &replies {
+            match &r.msg {
+                Message::SpecResponse { history, .. } => assert_eq!(*history, h),
+                other => panic!("expected SpecResponse, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_replicas() {
+        let a = executor(ProtocolKind::Pbft, ChainMode::Certificate);
+        let b = executor(ProtocolKind::Pbft, ChainMode::Certificate);
+        let (da, ra) = a.execute(&exec_item(1, None));
+        let (db, rb) = b.execute(&exec_item(1, None));
+        assert_eq!(da, db, "state digests must match across replicas");
+        let result = |o: &OutItem| match &o.msg {
+            Message::ClientReply { result, .. } => result.clone(),
+            _ => panic!(),
+        };
+        for (x, y) in ra.iter().zip(rb.iter()) {
+            assert_eq!(result(x), result(y));
+        }
+    }
+
+    #[test]
+    fn chain_grows_per_batch() {
+        let ex = executor(ProtocolKind::Pbft, ChainMode::Certificate);
+        ex.execute(&exec_item(1, None));
+        ex.execute(&exec_item(2, None));
+        assert_eq!(ex.chain.lock().head_seq(), SeqNum(2));
+        assert!(ex.chain.lock().verify().is_ok());
+    }
+
+    #[test]
+    fn read_operations_return_stored_values() {
+        let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+        store.put(42, &[7, 7, 7]);
+        let chain = Arc::new(Mutex::new(Blockchain::new(
+            Digest::ZERO,
+            0,
+            ChainMode::Certificate,
+        )));
+        let ex = Executor::new(ReplicaId(0), ProtocolKind::Pbft, store, chain);
+        let batch: Batch =
+            vec![Transaction::new(ClientId(0), 0, vec![Operation::Read { key: 42 }])]
+                .into_iter()
+                .collect();
+        let item = ExecuteItem {
+            seq: SeqNum(1),
+            view: ViewNum(0),
+            digest: Digest::ZERO,
+            batch,
+            certificate: BlockCertificate::default(),
+            history: None,
+        };
+        let (_, replies) = ex.execute(&item);
+        match &replies[0].msg {
+            Message::ClientReply { result, .. } => assert_eq!(result, &vec![7, 7, 7]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

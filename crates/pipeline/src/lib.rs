@@ -1,0 +1,28 @@
+//! The threaded replica runtime: ResilientDB's multi-threaded deep
+//! pipeline (Section 4 of the paper) over real OS threads.
+//!
+//! Each replica runs dedicated stage threads — input, batch (primary),
+//! worker, execute, checkpoint, output — connected by queues:
+//!
+//! - [`queues::ClientRequestQueue`] — the lock-free common queue feeding
+//!   the batch-threads.
+//! - [`queues::ExecutionQueues`] — the `QC`-slot logical queue array that
+//!   lets the execute-thread wait on *exactly* the next sequence number.
+//! - [`metrics`] — per-thread busy-time tracking, producing the saturation
+//!   percentages of Figure 9.
+//! - [`executor`] — ordered execution, block creation, client replies.
+//! - [`replica`] — [`spawn_replica`] wires it all together.
+//!
+//! Thread counts are configuration (`ThreadConfig`), so the paper's
+//! `0E 0B` → `1E 2B` progression (Figure 8) is a parameter sweep, not a
+//! code change.
+
+pub mod executor;
+pub mod metrics;
+pub mod queues;
+pub mod replica;
+
+pub use executor::{Executor, OutItem};
+pub use metrics::{MetricsRegistry, SaturationReport, Stage, StageRecorder, ThreadSaturation};
+pub use queues::{ClientRequestQueue, ExecuteItem, ExecutionQueues};
+pub use replica::{spawn_replica, ReplicaHandle, ReplicaShared};

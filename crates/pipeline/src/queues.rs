@@ -1,0 +1,231 @@
+//! Inter-stage queues.
+//!
+//! Two special-purpose structures from the paper's design:
+//!
+//! - [`ClientRequestQueue`] — the lock-free common queue between the
+//!   input-thread and the batch-threads (Section 4.3: "to prevent
+//!   contention among the batch-threads, we design the common queue as
+//!   lock-free... any enqueued request is consumed as soon as any
+//!   batch-thread is available").
+//! - [`ExecutionQueues`] — the array of `QC` logical queues in front of the
+//!   execute-thread (Section 4.6): the worker deposits the batch for
+//!   sequence `k` into queue `k mod QC`, and the execute-thread *waits on
+//!   exactly the queue of the next sequence in order*, never scanning or
+//!   re-queuing out-of-order arrivals.
+
+use crossbeam::queue::SegQueue;
+use parking_lot::{Condvar, Mutex};
+use rdb_common::block::BlockCertificate;
+use rdb_common::messages::SignedMessage;
+use rdb_common::{Batch, Digest, SeqNum, ViewNum};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Lock-free multi-producer multi-consumer queue of client requests.
+#[derive(Debug, Default)]
+pub struct ClientRequestQueue {
+    queue: SegQueue<SignedMessage>,
+    enqueued: AtomicU64,
+    dequeued: AtomicU64,
+}
+
+impl ClientRequestQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a client request (input-thread side).
+    pub fn push(&self, msg: SignedMessage) {
+        self.queue.push(msg);
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Dequeues a request if one is available (batch-thread side).
+    pub fn pop(&self) -> Option<SignedMessage> {
+        let m = self.queue.pop();
+        if m.is_some() {
+            self.dequeued.fetch_add(1, Ordering::Relaxed);
+        }
+        m
+    }
+
+    /// Requests currently waiting.
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total requests ever enqueued.
+    pub fn total_enqueued(&self) -> u64 {
+        self.enqueued.load(Ordering::Relaxed)
+    }
+}
+
+/// A batch ready for ordered execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecuteItem {
+    /// Sequence number of the batch.
+    pub seq: SeqNum,
+    /// View in which it was ordered.
+    pub view: ViewNum,
+    /// Batch digest.
+    pub digest: Digest,
+    /// The transactions.
+    pub batch: Batch,
+    /// PBFT: the 2f+1 commit signatures. Empty for speculative execution.
+    pub certificate: BlockCertificate,
+    /// Zyzzyva: the rolling history digest (`None` for PBFT).
+    pub history: Option<Digest>,
+}
+
+/// The `QC`-slot logical queue array in front of the execute-thread.
+///
+/// Slot `k mod QC` holds the item for sequence `k`. Because at most `QC`
+/// sequences can be in flight (bounded by clients × outstanding requests),
+/// no two live sequences collide in a slot.
+#[derive(Debug)]
+pub struct ExecutionQueues {
+    slots: Vec<Mutex<Vec<ExecuteItem>>>,
+    ready: Vec<Condvar>,
+}
+
+impl ExecutionQueues {
+    /// Creates `qc` logical queues.
+    ///
+    /// # Panics
+    /// Panics if `qc` is zero.
+    pub fn new(qc: usize) -> Self {
+        assert!(qc > 0, "need at least one execution queue");
+        ExecutionQueues {
+            slots: (0..qc).map(|_| Mutex::new(Vec::new())).collect(),
+            ready: (0..qc).map(|_| Condvar::new()).collect(),
+        }
+    }
+
+    /// Number of logical queues (`QC`).
+    pub fn qc(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn index(&self, seq: SeqNum) -> usize {
+        (seq.0 % self.slots.len() as u64) as usize
+    }
+
+    /// Deposits the item for its sequence's slot (worker-thread side).
+    pub fn deposit(&self, item: ExecuteItem) {
+        let idx = self.index(item.seq);
+        self.slots[idx].lock().push(item);
+        self.ready[idx].notify_all();
+    }
+
+    /// Waits up to `timeout` for the item of exactly `seq` (execute-thread
+    /// side). This is the paper's trick: the execute-thread blocks on the
+    /// one queue that will hold the next batch in order.
+    pub fn take(&self, seq: SeqNum, timeout: Duration) -> Option<ExecuteItem> {
+        let idx = self.index(seq);
+        let mut slot = self.slots[idx].lock();
+        loop {
+            if let Some(pos) = slot.iter().position(|i| i.seq == seq) {
+                return Some(slot.swap_remove(pos));
+            }
+            if self.ready[idx].wait_for(&mut slot, timeout).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Items waiting across all slots (for saturation metrics).
+    pub fn depth(&self) -> usize {
+        self.slots.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_common::messages::{Message, Sender};
+    use rdb_common::{ClientId, SignatureBytes};
+    use std::sync::Arc;
+
+    fn item(seq: u64) -> ExecuteItem {
+        ExecuteItem {
+            seq: SeqNum(seq),
+            view: ViewNum(0),
+            digest: Digest::ZERO,
+            batch: Batch::default(),
+            certificate: BlockCertificate::default(),
+            history: None,
+        }
+    }
+
+    #[test]
+    fn client_queue_fifo_and_counts() {
+        let q = ClientRequestQueue::new();
+        for i in 0..5u64 {
+            q.push(SignedMessage::new(
+                Message::ClientRequest { txns: vec![] },
+                Sender::Client(ClientId(i)),
+                SignatureBytes::empty(),
+            ));
+        }
+        assert_eq!(q.depth(), 5);
+        assert_eq!(q.total_enqueued(), 5);
+        let first = q.pop().unwrap();
+        assert_eq!(first.from, Sender::Client(ClientId(0)));
+        assert_eq!(q.depth(), 4);
+    }
+
+    #[test]
+    fn execution_take_exact_sequence() {
+        let eq = ExecutionQueues::new(8);
+        eq.deposit(item(2));
+        eq.deposit(item(1));
+        // Taking seq 1 ignores the parked seq 2.
+        let got = eq.take(SeqNum(1), Duration::from_millis(100)).unwrap();
+        assert_eq!(got.seq, SeqNum(1));
+        let got = eq.take(SeqNum(2), Duration::from_millis(100)).unwrap();
+        assert_eq!(got.seq, SeqNum(2));
+        assert_eq!(eq.depth(), 0);
+    }
+
+    #[test]
+    fn take_times_out_when_absent() {
+        let eq = ExecutionQueues::new(8);
+        eq.deposit(item(5));
+        assert!(eq.take(SeqNum(1), Duration::from_millis(20)).is_none());
+        assert_eq!(eq.depth(), 1, "wrong-seq item stays parked");
+    }
+
+    #[test]
+    fn colliding_slots_distinguished_by_seq() {
+        // QC=4: seq 1 and seq 5 share slot 1.
+        let eq = ExecutionQueues::new(4);
+        eq.deposit(item(5));
+        eq.deposit(item(1));
+        assert_eq!(eq.take(SeqNum(1), Duration::from_millis(50)).unwrap().seq, SeqNum(1));
+        assert_eq!(eq.take(SeqNum(5), Duration::from_millis(50)).unwrap().seq, SeqNum(5));
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let eq = Arc::new(ExecutionQueues::new(16));
+        let eq2 = Arc::clone(&eq);
+        let producer = std::thread::spawn(move || {
+            for seq in (1..=50u64).rev() {
+                eq2.deposit(item(seq));
+            }
+        });
+        // Consume strictly in order despite reversed production.
+        for seq in 1..=50u64 {
+            let got = eq.take(SeqNum(seq), Duration::from_secs(2)).expect("item arrives");
+            assert_eq!(got.seq, SeqNum(seq));
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_queues_panics() {
+        let _ = ExecutionQueues::new(0);
+    }
+}

@@ -1,0 +1,649 @@
+//! The threaded replica runtime (Figures 6a/6b).
+//!
+//! [`spawn_replica`] starts the paper's pipeline for one replica:
+//!
+//! ```text
+//! network ─▶ input threads ──▶ client-request queue ─▶ batch threads ─┐
+//!                    │                                                │ Propose
+//!                    ├─ replica msgs ──────────────────▶ worker ◀─────┘
+//!                    └─ checkpoints ──▶ checkpoint thread ─▶ worker
+//!  worker ─▶ execution queues (QC slots) ─▶ execute thread ─▶ output threads ─▶ network
+//! ```
+//!
+//! Thread counts come from [`ThreadConfig`]; setting `batch_threads = 0`
+//! or `execute_threads = 0` folds that stage into the worker thread,
+//! reproducing the paper's `0B`/`0E` degraded configurations (Figure 8).
+
+use crate::executor::{Executor, OutItem};
+use crate::metrics::{MetricsRegistry, Stage, StageRecorder};
+use crate::queues::{ClientRequestQueue, ExecuteItem, ExecutionQueues};
+use crossbeam::channel::{self, Receiver, Sender as ChanSender};
+use parking_lot::Mutex;
+use rdb_common::messages::{Message, Sender, SignedMessage};
+use rdb_common::{
+    Batch, Digest, ProtocolKind, ReplicaId, SeqNum, StorageMode, SystemConfig, Transaction,
+};
+use rdb_consensus::{Action, ConsensusConfig, ReplicaEngine};
+use rdb_crypto::{digest, CryptoProvider, KeyRegistry, PeerClass};
+use rdb_net::{EndpointSender, Network};
+use rdb_storage::blockchain::ChainMode;
+use rdb_storage::pagedb::{PagedStore, PagedStoreConfig};
+use rdb_storage::{Blockchain, MemStore, StateStore};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a batch-thread waits before flushing a partial batch.
+const BATCH_FLUSH_AFTER: Duration = Duration::from_millis(1);
+/// Queue polling granularity while checking for shutdown.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Work items flowing into the worker thread.
+#[derive(Debug)]
+enum Work {
+    /// Unverified message from the network.
+    Raw(SignedMessage),
+    /// Message already verified by another stage (checkpoint thread).
+    Verified(SignedMessage),
+    /// Client request routed to the worker because `batch_threads == 0`.
+    ClientRequest(SignedMessage),
+    /// A digested batch ready to propose (from a batch-thread).
+    Propose {
+        batch: Batch,
+        digest: Digest,
+    },
+    /// Execution finished for `seq` (from the execute-thread).
+    Executed {
+        seq: SeqNum,
+        state_digest: Digest,
+    },
+}
+
+/// State shared between the replica's threads and exposed to callers.
+pub struct ReplicaShared {
+    /// This replica's id.
+    pub id: ReplicaId,
+    /// The key-value state.
+    pub store: Arc<dyn StateStore>,
+    /// The ledger.
+    pub chain: Arc<Mutex<Blockchain>>,
+    /// Per-thread saturation metrics.
+    pub metrics: MetricsRegistry,
+    /// The lock-free client request queue (primary only; empty on backups).
+    pub client_queue: Arc<ClientRequestQueue>,
+    /// The execution engine (owns executed-transaction counters).
+    pub executor: Arc<Executor>,
+    committed_batches: AtomicU64,
+    dropped_bad_sigs: AtomicU64,
+}
+
+impl ReplicaShared {
+    /// Batches committed by consensus so far.
+    pub fn committed_batches(&self) -> u64 {
+        self.committed_batches.load(Ordering::Relaxed)
+    }
+
+    /// Messages dropped due to failed signature verification.
+    pub fn dropped_bad_sigs(&self) -> u64 {
+        self.dropped_bad_sigs.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for ReplicaShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaShared")
+            .field("id", &self.id)
+            .field("committed_batches", &self.committed_batches())
+            .finish()
+    }
+}
+
+/// A running replica: join handle bundle plus its shared state.
+pub struct ReplicaHandle {
+    shared: Arc<ReplicaShared>,
+    threads: Vec<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for ReplicaHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaHandle")
+            .field("id", &self.shared.id)
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+impl ReplicaHandle {
+    /// The replica's shared state (store, chain, metrics, counters).
+    pub fn shared(&self) -> &Arc<ReplicaShared> {
+        &self.shared
+    }
+
+    /// Number of OS threads this replica runs.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Stops all stage threads and joins them.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Spawns the full pipeline for replica `id` on `net`.
+///
+/// # Panics
+/// Panics if the configuration is invalid (`config.validate()` fails) or a
+/// paged store cannot be created.
+pub fn spawn_replica(
+    config: &SystemConfig,
+    id: ReplicaId,
+    net: &Network,
+    registry: &KeyRegistry,
+) -> ReplicaHandle {
+    config.validate().expect("invalid system configuration");
+    let provider = registry.provider_for_replica(id);
+    let endpoint = net.register(Sender::Replica(id));
+    let me = Sender::Replica(id);
+
+    // --- storage ----------------------------------------------------------
+    let store: Arc<dyn StateStore> = match config.storage {
+        StorageMode::InMemory => Arc::new(MemStore::with_table(config.table_size, 8)),
+        StorageMode::Paged => {
+            let path = std::env::temp_dir().join(format!(
+                "rdb-paged-{}-r{}-{:x}",
+                std::process::id(),
+                id.0,
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0)
+            ));
+            let paged = PagedStore::create(
+                &path,
+                PagedStoreConfig {
+                    record_size: 64,
+                    capacity: config.table_size,
+                    cache_pages: 64,
+                    fsync_on_write: false,
+                },
+            )
+            .expect("create paged store");
+            Arc::new(paged)
+        }
+    };
+    let chain_mode = match config.protocol {
+        ProtocolKind::Pbft => ChainMode::Certificate,
+        // Zyzzyva's speculative history is itself a hash chain.
+        ProtocolKind::Zyzzyva => ChainMode::PrevHash,
+    };
+    let chain_quorum = match config.protocol {
+        ProtocolKind::Pbft => rdb_common::quorum::commit_quorum(config.f),
+        ProtocolKind::Zyzzyva => 0,
+    };
+    let chain = Arc::new(Mutex::new(Blockchain::new(
+        digest(&id.0.to_le_bytes()),
+        chain_quorum,
+        chain_mode,
+    )));
+    let executor = Arc::new(Executor::new(id, config.protocol, Arc::clone(&store), Arc::clone(&chain)));
+
+    // --- queues and channels ----------------------------------------------
+    let (work_tx, work_rx) = channel::unbounded::<Work>();
+    let (ckpt_tx, ckpt_rx) = channel::unbounded::<SignedMessage>();
+    let out_channels: Vec<(ChanSender<OutItem>, Receiver<OutItem>)> =
+        (0..config.threads.output_threads).map(|_| channel::unbounded()).collect();
+    let client_queue = Arc::new(ClientRequestQueue::new());
+    let qc = (config.execution_queue_count() as usize).clamp(1024, 1 << 16);
+    let exec_queues = Arc::new(ExecutionQueues::new(qc));
+
+    let metrics = MetricsRegistry::new();
+    metrics.start_window();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let shared = Arc::new(ReplicaShared {
+        id,
+        store,
+        chain: Arc::clone(&chain),
+        metrics: metrics.clone(),
+        client_queue: Arc::clone(&client_queue),
+        executor: Arc::clone(&executor),
+        committed_batches: AtomicU64::new(0),
+        dropped_bad_sigs: AtomicU64::new(0),
+    });
+
+    let consensus_cfg = ConsensusConfig::new(
+        config.n,
+        (config.checkpoint_interval / config.batch_size as u64).max(1),
+    );
+    let engine = ReplicaEngine::new(config.protocol, id, consensus_cfg);
+    let is_primary = engine.is_primary();
+    let replicas: Vec<Sender> =
+        (0..config.n as u32).map(|r| Sender::Replica(ReplicaId(r))).collect();
+
+    let mut threads = Vec::new();
+    let spawn = |name: String, f: Box<dyn FnOnce() + Send>| -> JoinHandle<()> {
+        std::thread::Builder::new().name(name).spawn(f).expect("spawn stage thread")
+    };
+
+    // --- input threads ------------------------------------------------------
+    let input_total = if is_primary {
+        config.threads.client_input_threads + config.threads.replica_input_threads
+    } else {
+        config.threads.replica_input_threads.max(1)
+    };
+    for i in 0..input_total {
+        let rx = endpoint.receiver();
+        let work_tx = work_tx.clone();
+        let ckpt_tx = ckpt_tx.clone();
+        let cq = Arc::clone(&client_queue);
+        let stop = Arc::clone(&shutdown);
+        let rec = metrics.recorder(Stage::Input, i);
+        let has_batch_threads = config.threads.batch_threads > 0 && is_primary;
+        let has_ckpt_thread = config.threads.checkpoint_threads > 0;
+        threads.push(spawn(
+            format!("r{}-input-{i}", id.0),
+            Box::new(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let Ok(sm) = rx.recv_timeout(POLL) else { continue };
+                    rec.record(|| match &sm.msg {
+                        Message::ClientRequest { .. } => {
+                            if is_primary {
+                                if has_batch_threads {
+                                    cq.push(sm);
+                                } else {
+                                    let _ = work_tx.send(Work::ClientRequest(sm));
+                                }
+                            }
+                            // Backups drop direct client traffic; clients
+                            // address the primary.
+                        }
+                        Message::Checkpoint { .. } if has_ckpt_thread => {
+                            let _ = ckpt_tx.send(sm);
+                        }
+                        _ => {
+                            let _ = work_tx.send(Work::Raw(sm));
+                        }
+                    });
+                }
+            }),
+        ));
+    }
+
+    // --- batch threads (primary only) ---------------------------------------
+    if is_primary {
+        for b in 0..config.threads.batch_threads {
+            let cq = Arc::clone(&client_queue);
+            let work_tx = work_tx.clone();
+            let stop = Arc::clone(&shutdown);
+            let rec = metrics.recorder(Stage::Batch, b);
+            let provider = provider.clone();
+            let batch_size = config.batch_size;
+            let dropped = Arc::clone(&shared);
+            threads.push(spawn(
+                format!("r{}-batch-{b}", id.0),
+                Box::new(move || {
+                    batch_loop(&cq, &work_tx, &stop, &rec, &provider, batch_size, &dropped);
+                }),
+            ));
+        }
+    }
+
+    // --- checkpoint thread ---------------------------------------------------
+    for c in 0..config.threads.checkpoint_threads {
+        let rx = ckpt_rx.clone();
+        let work_tx = work_tx.clone();
+        let stop = Arc::clone(&shutdown);
+        let rec = metrics.recorder(Stage::Checkpoint, c);
+        let provider = provider.clone();
+        let shared2 = Arc::clone(&shared);
+        threads.push(spawn(
+            format!("r{}-ckpt-{c}", id.0),
+            Box::new(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let Ok(sm) = rx.recv_timeout(POLL) else { continue };
+                    rec.record(|| {
+                        let bytes = SignedMessage::signing_bytes(&sm.msg, sm.from);
+                        if provider.verify(sm.from, &bytes, &sm.sig) {
+                            let _ = work_tx.send(Work::Verified(sm));
+                        } else {
+                            shared2.dropped_bad_sigs.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            }),
+        ));
+    }
+
+    // --- worker thread(s) ----------------------------------------------------
+    // The paper dedicates exactly one worker to the protocol state machine
+    // (Section 4.3); additional workers would contend on consensus state.
+    {
+        let rx = work_rx;
+        let stop = Arc::clone(&shutdown);
+        let rec = metrics.recorder(Stage::Worker, 0);
+        let provider = provider.clone();
+        let out_txs: Vec<ChanSender<OutItem>> =
+            out_channels.iter().map(|(tx, _)| tx.clone()).collect();
+        let exec_queues2 = Arc::clone(&exec_queues);
+        let executor2 = Arc::clone(&executor);
+        let shared2 = Arc::clone(&shared);
+        let chain2 = Arc::clone(&chain);
+        let cfg = config.clone();
+        threads.push(spawn(
+            format!("r{}-worker", id.0),
+            Box::new(move || {
+                let mut ctx = WorkerCtx {
+                    engine,
+                    provider,
+                    out_txs,
+                    out_rr: 0,
+                    exec_queues: exec_queues2,
+                    executor: executor2,
+                    shared: shared2,
+                    chain: chain2,
+                    replicas,
+                    me,
+                    execute_inline: cfg.threads.execute_threads == 0,
+                    batch_size: cfg.batch_size,
+                    pending_txns: Vec::new(),
+                    last_flush: Instant::now(),
+                    inline_exec_buf: BTreeMap::new(),
+                    inline_next_exec: SeqNum(1),
+                };
+                while !stop.load(Ordering::Relaxed) {
+                    match rx.recv_timeout(POLL) {
+                        Ok(work) => rec.record(|| ctx.handle(work)),
+                        Err(_) => {
+                            // Idle: flush a partial worker-side batch (0B).
+                            if !ctx.pending_txns.is_empty()
+                                && ctx.last_flush.elapsed() > BATCH_FLUSH_AFTER
+                            {
+                                rec.record(|| ctx.flush_pending());
+                            }
+                        }
+                    }
+                }
+            }),
+        ));
+    }
+
+    // --- execute thread(s) -----------------------------------------------------
+    for e in 0..config.threads.execute_threads {
+        let stop = Arc::clone(&shutdown);
+        let rec = metrics.recorder(Stage::Execute, e);
+        let exec_queues2 = Arc::clone(&exec_queues);
+        let executor2 = Arc::clone(&executor);
+        let work_tx2 = work_tx.clone();
+        let out_txs: Vec<ChanSender<OutItem>> =
+            out_channels.iter().map(|(tx, _)| tx.clone()).collect();
+        threads.push(spawn(
+            format!("r{}-execute-{e}", id.0),
+            Box::new(move || {
+                let mut next = SeqNum(1);
+                let mut rr = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let Some(item) = exec_queues2.take(next, POLL) else { continue };
+                    rec.record(|| {
+                        let (state_digest, replies) = executor2.execute(&item);
+                        for out in replies {
+                            let shard = rr % out_txs.len();
+                            rr += 1;
+                            let _ = out_txs[shard].send(out);
+                        }
+                        let _ = work_tx2.send(Work::Executed { seq: item.seq, state_digest });
+                    });
+                    next = next.next();
+                }
+            }),
+        ));
+    }
+
+    // --- output threads ----------------------------------------------------------
+    for (o, (_, out_rx)) in out_channels.iter().enumerate() {
+        let rx = out_rx.clone();
+        let stop = Arc::clone(&shutdown);
+        let rec = metrics.recorder(Stage::Output, o);
+        let provider = provider.clone();
+        let sender: EndpointSender = endpoint.sender();
+        threads.push(spawn(
+            format!("r{}-output-{o}", id.0),
+            Box::new(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let Ok(item) = rx.recv_timeout(POLL) else { continue };
+                    rec.record(|| {
+                        let class = match item.targets.first() {
+                            Some(Sender::Replica(_)) => PeerClass::Replica,
+                            Some(Sender::Client(_)) => PeerClass::Client,
+                            None => return,
+                        };
+                        let bytes = SignedMessage::signing_bytes(&item.msg, me);
+                        let sig = provider.sign(class, &bytes);
+                        for &dest in &item.targets {
+                            if dest == me {
+                                continue;
+                            }
+                            let _ = sender
+                                .send(dest, SignedMessage::new(item.msg.clone(), me, sig.clone()));
+                        }
+                    });
+                }
+            }),
+        ));
+    }
+
+    // Hold the endpoint alive inside a drain thread? No: the receiver clones
+    // keep the channel alive; drop the endpoint handle but keep the network
+    // registration (mailbox sender lives in the switchboard).
+    drop(endpoint);
+
+    ReplicaHandle { shared, threads, shutdown }
+}
+
+/// The batch-thread body (Section 4.3): verify client signatures, assemble
+/// batches, digest them once, hand them to the worker for proposing.
+fn batch_loop(
+    cq: &ClientRequestQueue,
+    work_tx: &ChanSender<Work>,
+    stop: &AtomicBool,
+    rec: &StageRecorder,
+    provider: &CryptoProvider,
+    batch_size: usize,
+    shared: &ReplicaShared,
+) {
+    let mut pending: Vec<Transaction> = Vec::with_capacity(batch_size * 2);
+    let mut last_flush = Instant::now();
+    while !stop.load(Ordering::Relaxed) {
+        match cq.pop() {
+            Some(sm) => rec.record(|| {
+                let bytes = SignedMessage::signing_bytes(&sm.msg, sm.from);
+                if !provider.verify(sm.from, &bytes, &sm.sig) {
+                    shared.dropped_bad_sigs.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                if let Message::ClientRequest { txns } = sm.msg {
+                    pending.extend(txns);
+                }
+                while pending.len() >= batch_size {
+                    let rest = pending.split_off(batch_size);
+                    let batch = Batch::new(std::mem::replace(&mut pending, rest));
+                    let d = digest(&batch.canonical_bytes());
+                    let _ = work_tx.send(Work::Propose { batch, digest: d });
+                    last_flush = Instant::now();
+                }
+            }),
+            None => {
+                if !pending.is_empty() && last_flush.elapsed() > BATCH_FLUSH_AFTER {
+                    rec.record(|| {
+                        let batch = Batch::new(std::mem::take(&mut pending));
+                        let d = digest(&batch.canonical_bytes());
+                        let _ = work_tx.send(Work::Propose { batch, digest: d });
+                    });
+                    last_flush = Instant::now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+        }
+    }
+}
+
+/// Worker-thread state: the consensus engine plus everything needed to
+/// interpret its actions.
+struct WorkerCtx {
+    engine: ReplicaEngine,
+    provider: CryptoProvider,
+    out_txs: Vec<ChanSender<OutItem>>,
+    out_rr: usize,
+    exec_queues: Arc<ExecutionQueues>,
+    executor: Arc<Executor>,
+    shared: Arc<ReplicaShared>,
+    chain: Arc<Mutex<Blockchain>>,
+    replicas: Vec<Sender>,
+    me: Sender,
+    execute_inline: bool,
+    batch_size: usize,
+    pending_txns: Vec<Transaction>,
+    last_flush: Instant,
+    /// 0E mode: commit actions may arrive out of order; buffer them so the
+    /// inline execution stays sequential.
+    inline_exec_buf: BTreeMap<SeqNum, ExecuteItem>,
+    inline_next_exec: SeqNum,
+}
+
+impl WorkerCtx {
+    fn handle(&mut self, work: Work) {
+        match work {
+            Work::Raw(sm) => {
+                let bytes = SignedMessage::signing_bytes(&sm.msg, sm.from);
+                if !self.provider.verify(sm.from, &bytes, &sm.sig) {
+                    self.shared.dropped_bad_sigs.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                let actions = self.engine.on_message(&sm);
+                self.run_actions(actions);
+            }
+            Work::Verified(sm) => {
+                let actions = self.engine.on_message(&sm);
+                self.run_actions(actions);
+            }
+            Work::ClientRequest(sm) => {
+                // 0B configuration: the worker performs the batch-thread's
+                // duties inline (Figure 8's monolithic baseline).
+                let bytes = SignedMessage::signing_bytes(&sm.msg, sm.from);
+                if !self.provider.verify(sm.from, &bytes, &sm.sig) {
+                    self.shared.dropped_bad_sigs.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                if let Message::ClientRequest { txns } = sm.msg {
+                    self.pending_txns.extend(txns);
+                }
+                while self.pending_txns.len() >= self.batch_size {
+                    let rest = self.pending_txns.split_off(self.batch_size);
+                    let batch = Batch::new(std::mem::replace(&mut self.pending_txns, rest));
+                    self.propose(batch);
+                }
+            }
+            Work::Propose { batch, digest } => {
+                let actions = self.engine.propose(batch, digest);
+                self.run_actions(actions);
+            }
+            Work::Executed { seq, state_digest } => {
+                let actions = self.engine.on_executed(seq, state_digest);
+                self.run_actions(actions);
+            }
+        }
+    }
+
+    fn flush_pending(&mut self) {
+        if self.pending_txns.is_empty() {
+            return;
+        }
+        let batch = Batch::new(std::mem::take(&mut self.pending_txns));
+        self.propose(batch);
+    }
+
+    fn propose(&mut self, batch: Batch) {
+        let d = digest(&batch.canonical_bytes());
+        let actions = self.engine.propose(batch, d);
+        self.last_flush = Instant::now();
+        self.run_actions(actions);
+    }
+
+    fn send_out(&mut self, item: OutItem) {
+        let shard = self.out_rr % self.out_txs.len();
+        self.out_rr += 1;
+        let _ = self.out_txs[shard].send(item);
+    }
+
+    fn run_actions(&mut self, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Broadcast(msg) => {
+                    let targets: Vec<Sender> =
+                        self.replicas.iter().copied().filter(|r| *r != self.me).collect();
+                    self.send_out(OutItem { targets, msg });
+                }
+                Action::SendReplica(r, msg) => {
+                    self.send_out(OutItem::to(Sender::Replica(r), msg));
+                }
+                Action::SendClient(c, msg) => {
+                    self.send_out(OutItem::to(Sender::Client(c), msg));
+                }
+                Action::CommitBatch { seq, view, digest, batch, certificate } => {
+                    self.shared.committed_batches.fetch_add(1, Ordering::Relaxed);
+                    self.dispatch_execution(ExecuteItem {
+                        seq,
+                        view,
+                        digest,
+                        batch,
+                        certificate,
+                        history: None,
+                    });
+                }
+                Action::SpecExecute { seq, view, digest, history, batch } => {
+                    self.shared.committed_batches.fetch_add(1, Ordering::Relaxed);
+                    self.dispatch_execution(ExecuteItem {
+                        seq,
+                        view,
+                        digest,
+                        batch,
+                        certificate: Default::default(),
+                        history: Some(history),
+                    });
+                }
+                Action::StableCheckpoint { seq } => {
+                    self.chain.lock().prune_below(seq);
+                }
+                Action::EnterView { .. } => {
+                    // View installation is engine-internal; the runtime has
+                    // nothing to do for the skeleton view change.
+                }
+            }
+        }
+    }
+
+    fn dispatch_execution(&mut self, item: ExecuteItem) {
+        if !self.execute_inline {
+            self.exec_queues.deposit(item);
+            return;
+        }
+        // 0E configuration: integrated ordering and execution on the
+        // worker, buffered so execution stays in sequence order.
+        self.inline_exec_buf.insert(item.seq, item);
+        while let Some(item) = self.inline_exec_buf.remove(&self.inline_next_exec) {
+            let (state_digest, replies) = self.executor.execute(&item);
+            for out in replies {
+                self.send_out(out);
+            }
+            self.inline_next_exec = self.inline_next_exec.next();
+            let actions = self.engine.on_executed(item.seq, state_digest);
+            self.run_actions(actions);
+        }
+    }
+}

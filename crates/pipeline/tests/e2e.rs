@@ -1,0 +1,332 @@
+//! End-to-end tests: full replica pipelines over the in-memory network,
+//! real crypto, both protocols, with and without failures.
+
+use rdb_common::messages::{Message, Sender, SignedMessage};
+use rdb_common::{
+    ClientId, CryptoScheme, Operation, ProtocolKind, ReplicaId, SystemConfig, ThreadConfig,
+    Transaction,
+};
+use rdb_consensus::{ClientAction, PbftClient, ZyzzyvaClient};
+use rdb_crypto::{KeyRegistry, PeerClass};
+use rdb_net::{Endpoint, Network, NetworkConfig};
+use rdb_pipeline::{spawn_replica, ReplicaHandle};
+use std::time::{Duration, Instant};
+
+fn test_config(n: usize, protocol: ProtocolKind) -> SystemConfig {
+    let mut cfg = SystemConfig::new(n).unwrap();
+    cfg.protocol = protocol;
+    cfg.batch_size = 5;
+    cfg.checkpoint_interval = 1000;
+    cfg.num_clients = 4;
+    cfg.table_size = 512;
+    cfg.threads = ThreadConfig::standard();
+    cfg
+}
+
+struct TestClient {
+    id: ClientId,
+    endpoint: Endpoint,
+    provider: rdb_crypto::CryptoProvider,
+    counter: u64,
+}
+
+impl TestClient {
+    fn new(id: u64, net: &Network, registry: &KeyRegistry) -> Self {
+        let cid = ClientId(id);
+        TestClient {
+            id: cid,
+            endpoint: net.register(Sender::Client(cid)),
+            provider: registry.provider_for_client(cid),
+            counter: 0,
+        }
+    }
+
+    fn make_txns(&mut self, count: usize) -> Vec<Transaction> {
+        (0..count)
+            .map(|i| {
+                let t = Transaction::new(
+                    self.id,
+                    self.counter,
+                    vec![Operation::Write { key: (i as u64) % 512, value: vec![i as u8; 8] }],
+                );
+                self.counter += 1;
+                t
+            })
+            .collect()
+    }
+
+    fn send_request(&self, txns: Vec<Transaction>, to: ReplicaId) {
+        let msg = Message::ClientRequest { txns };
+        let bytes = SignedMessage::signing_bytes(&msg, Sender::Client(self.id));
+        let sig = self.provider.sign(PeerClass::Replica, &bytes);
+        self.endpoint
+            .send(Sender::Replica(to), SignedMessage::new(msg, Sender::Client(self.id), sig))
+            .expect("send to primary");
+    }
+}
+
+fn spawn_cluster(
+    cfg: &SystemConfig,
+    net: &Network,
+    registry: &KeyRegistry,
+) -> Vec<ReplicaHandle> {
+    (0..cfg.n as u32)
+        .map(|i| spawn_replica(cfg, ReplicaId(i), net, registry))
+        .collect()
+}
+
+#[test]
+fn pbft_end_to_end_commits_and_replies() {
+    let cfg = test_config(4, ProtocolKind::Pbft);
+    let registry = KeyRegistry::generate(CryptoScheme::CmacEd25519, 4, 4, 7);
+    let net = Network::new(NetworkConfig::default());
+    let replicas = spawn_cluster(&cfg, &net, &registry);
+
+    let mut client = TestClient::new(0, &net, &registry);
+    let mut tracker = PbftClient::new(client.id, cfg.f);
+    let txns = client.make_txns(25); // 5 batches of 5
+    for t in &txns {
+        tracker.track(t.id.counter);
+    }
+    client.send_request(txns, ReplicaId(0));
+
+    // Collect replies until all 25 requests complete.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut completed = 0;
+    while completed < 25 && Instant::now() < deadline {
+        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else { continue };
+        for act in tracker.on_reply(&sm) {
+            if matches!(act, ClientAction::Complete { .. }) {
+                completed += 1;
+            }
+        }
+    }
+    assert_eq!(completed, 25, "all requests must complete");
+
+    // Every replica executed the same chain.
+    std::thread::sleep(Duration::from_millis(300));
+    let heads: Vec<u64> = replicas.iter().map(|r| r.shared().chain.lock().head_seq().0).collect();
+    assert!(heads.iter().all(|h| *h == 5), "all replicas at 5 blocks: {heads:?}");
+    let digests: Vec<_> =
+        replicas.iter().map(|r| r.shared().store.state_digest()).collect();
+    assert!(digests.windows(2).all(|w| w[0] == w[1]), "stores must agree");
+    for r in &replicas {
+        assert!(r.shared().chain.lock().verify().is_ok());
+    }
+    for r in replicas {
+        r.shutdown();
+    }
+    net.shutdown();
+}
+
+#[test]
+fn zyzzyva_fast_path_end_to_end() {
+    let cfg = test_config(4, ProtocolKind::Zyzzyva);
+    let registry = KeyRegistry::generate(CryptoScheme::CmacEd25519, 4, 4, 8);
+    let net = Network::new(NetworkConfig::default());
+    let replicas = spawn_cluster(&cfg, &net, &registry);
+
+    let mut client = TestClient::new(0, &net, &registry);
+    let mut tracker = ZyzzyvaClient::new(client.id, cfg.f);
+    let txns = client.make_txns(10); // 2 batches of 5
+    for t in &txns {
+        tracker.track(t.id.counter);
+    }
+    client.send_request(txns, ReplicaId(0));
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut completed = 0;
+    while completed < 10 && Instant::now() < deadline {
+        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else { continue };
+        for act in tracker.on_spec_response(&sm) {
+            if matches!(act, ClientAction::Complete { .. }) {
+                completed += 1;
+            }
+        }
+    }
+    assert_eq!(completed, 10, "fast path must complete with all replicas live");
+    for r in replicas {
+        r.shutdown();
+    }
+    net.shutdown();
+}
+
+#[test]
+fn pbft_survives_backup_failure() {
+    let cfg = test_config(4, ProtocolKind::Pbft);
+    let registry = KeyRegistry::generate(CryptoScheme::CmacEd25519, 4, 4, 9);
+    let net = Network::new(NetworkConfig::default());
+    let replicas = spawn_cluster(&cfg, &net, &registry);
+
+    // Crash one backup (f = 1 tolerated).
+    net.faults().crash(Sender::Replica(ReplicaId(3)));
+
+    let mut client = TestClient::new(0, &net, &registry);
+    let mut tracker = PbftClient::new(client.id, cfg.f);
+    let txns = client.make_txns(10);
+    for t in &txns {
+        tracker.track(t.id.counter);
+    }
+    client.send_request(txns, ReplicaId(0));
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut completed = 0;
+    while completed < 10 && Instant::now() < deadline {
+        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else { continue };
+        for act in tracker.on_reply(&sm) {
+            if matches!(act, ClientAction::Complete { .. }) {
+                completed += 1;
+            }
+        }
+    }
+    assert_eq!(completed, 10, "PBFT must commit with one backup down");
+    for r in replicas {
+        r.shutdown();
+    }
+    net.shutdown();
+}
+
+#[test]
+fn zyzzyva_backup_failure_needs_commit_certificates() {
+    let cfg = test_config(4, ProtocolKind::Zyzzyva);
+    let registry = KeyRegistry::generate(CryptoScheme::CmacEd25519, 4, 4, 10);
+    let net = Network::new(NetworkConfig::default());
+    let replicas = spawn_cluster(&cfg, &net, &registry);
+
+    net.faults().crash(Sender::Replica(ReplicaId(3)));
+
+    let mut client = TestClient::new(0, &net, &registry);
+    let mut tracker = ZyzzyvaClient::new(client.id, cfg.f);
+    let txns = client.make_txns(5); // one batch
+    for t in &txns {
+        tracker.track(t.id.counter);
+    }
+    let counters: Vec<u64> = txns.iter().map(|t| t.id.counter).collect();
+    client.send_request(txns, ReplicaId(0));
+
+    // Fast path cannot complete (only 3 of 4 respond). Gather responses,
+    // then fire the client timeout to trigger the commit-certificate path.
+    let gather_deadline = Instant::now() + Duration::from_secs(10);
+    let mut specs = 0;
+    while specs < 15 && Instant::now() < gather_deadline {
+        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else { continue };
+        let acts = tracker.on_spec_response(&sm);
+        assert!(acts.is_empty(), "fast path must not complete with a dead backup");
+        if matches!(sm.msg, Message::SpecResponse { .. }) {
+            specs += 1;
+        }
+    }
+    assert!(specs >= 15, "3 live replicas × 5 txns spec responses, got {specs}");
+
+    // Timeout: distribute commit certificates.
+    let mut completed = 0;
+    for &counter in &counters {
+        for act in tracker.on_timeout(counter) {
+            if let ClientAction::BroadcastReplicas(msg) = act {
+                let bytes = SignedMessage::signing_bytes(&msg, Sender::Client(client.id));
+                let sig = client.provider.sign(PeerClass::Replica, &bytes);
+                for r in 0..4u32 {
+                    let _ = client.endpoint.send(
+                        Sender::Replica(ReplicaId(r)),
+                        SignedMessage::new(msg.clone(), Sender::Client(client.id), sig.clone()),
+                    );
+                }
+            }
+        }
+    }
+    // Collect LocalCommits. They carry the sequence; all five requests were
+    // in the same batch (seq 1), so route to each tracked counter.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while completed < 5 && Instant::now() < deadline {
+        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else { continue };
+        if !matches!(sm.msg, Message::LocalCommit { .. }) {
+            continue;
+        }
+        for &counter in &counters {
+            for act in tracker.on_local_commit(counter, &sm) {
+                if matches!(act, ClientAction::Complete { .. }) {
+                    completed += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(completed, 5, "slow path must complete all requests");
+    for r in replicas {
+        r.shutdown();
+    }
+    net.shutdown();
+}
+
+#[test]
+fn monolithic_configuration_still_commits() {
+    // 0E 0B: everything on the worker thread (Figure 8's baseline).
+    let mut cfg = test_config(4, ProtocolKind::Pbft);
+    cfg.threads = ThreadConfig::monolithic();
+    let registry = KeyRegistry::generate(CryptoScheme::CmacEd25519, 4, 4, 11);
+    let net = Network::new(NetworkConfig::default());
+    let replicas = spawn_cluster(&cfg, &net, &registry);
+
+    let mut client = TestClient::new(0, &net, &registry);
+    let mut tracker = PbftClient::new(client.id, cfg.f);
+    let txns = client.make_txns(10);
+    for t in &txns {
+        tracker.track(t.id.counter);
+    }
+    client.send_request(txns, ReplicaId(0));
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut completed = 0;
+    while completed < 10 && Instant::now() < deadline {
+        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else { continue };
+        for act in tracker.on_reply(&sm) {
+            if matches!(act, ClientAction::Complete { .. }) {
+                completed += 1;
+            }
+        }
+    }
+    assert_eq!(completed, 10, "monolithic pipeline must still be correct");
+    for r in replicas {
+        r.shutdown();
+    }
+    net.shutdown();
+}
+
+#[test]
+fn checkpoints_prune_the_chain() {
+    let mut cfg = test_config(4, ProtocolKind::Pbft);
+    cfg.checkpoint_interval = 10; // every 2 batches of 5
+    let registry = KeyRegistry::generate(CryptoScheme::CmacEd25519, 4, 4, 12);
+    let net = Network::new(NetworkConfig::default());
+    let replicas = spawn_cluster(&cfg, &net, &registry);
+
+    let mut client = TestClient::new(0, &net, &registry);
+    let mut tracker = PbftClient::new(client.id, cfg.f);
+    let txns = client.make_txns(50); // 10 batches → ~5 checkpoints
+    for t in &txns {
+        tracker.track(t.id.counter);
+    }
+    client.send_request(txns, ReplicaId(0));
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut completed = 0;
+    while completed < 50 && Instant::now() < deadline {
+        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else { continue };
+        for act in tracker.on_reply(&sm) {
+            if matches!(act, ClientAction::Complete { .. }) {
+                completed += 1;
+            }
+        }
+    }
+    assert_eq!(completed, 50);
+    // Give checkpoints a moment to propagate, then check pruning happened.
+    std::thread::sleep(Duration::from_millis(500));
+    let retained = replicas[0].shared().chain.lock().retained();
+    assert!(
+        retained < 11,
+        "checkpointing should prune old blocks, retained={retained}"
+    );
+    for r in replicas {
+        r.shutdown();
+    }
+    net.shutdown();
+}

@@ -1,0 +1,23 @@
+//! Storage substrate: state stores, the blockchain ledger, and buffer pools.
+//!
+//! Three pieces of the paper's replica live here:
+//!
+//! - [`store`] — the key-value state the execute-thread reads and writes.
+//!   [`MemStore`] is the in-memory structure ResilientDB uses by default;
+//!   [`pagedb::PagedStore`] is a from-scratch file-backed paged store that
+//!   stands in for SQLite in the off-memory experiment (Figure 14).
+//! - [`blockchain`] — the immutable ledger. Blocks are certified by the
+//!   2f+1 commit signatures gathered during consensus instead of hashing
+//!   the previous block on the critical path (Section 4.6).
+//! - [`pool`] — object pools that avoid per-message allocation
+//!   (Section 4.8, "Buffer Pool Management").
+
+pub mod blockchain;
+pub mod pagedb;
+pub mod pool;
+pub mod store;
+
+pub use blockchain::Blockchain;
+pub use pagedb::PagedStore;
+pub use pool::BufferPool;
+pub use store::{MemStore, StateStore};

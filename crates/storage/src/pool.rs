@@ -1,0 +1,210 @@
+//! Object pools (Section 4.8, "Buffer Pool Management").
+//!
+//! ResilientDB pre-allocates message and transaction objects at startup and
+//! recycles them instead of calling the allocator per message. The generic
+//! [`BufferPool`] here hands out [`Pooled`] guards that return the object
+//! (after a user-supplied reset) when dropped.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct PoolInner<T> {
+    free: Mutex<Vec<T>>,
+    factory: Box<dyn Fn() -> T + Send + Sync>,
+    reset: Box<dyn Fn(&mut T) + Send + Sync>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    max_retained: usize,
+}
+
+/// A pool of reusable objects.
+pub struct BufferPool<T> {
+    inner: Arc<PoolInner<T>>,
+}
+
+impl<T> Clone for BufferPool<T> {
+    fn clone(&self) -> Self {
+        BufferPool { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> fmt::Debug for BufferPool<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("free", &self.inner.free.lock().len())
+            .field("hits", &self.inner.hits.load(Ordering::Relaxed))
+            .field("misses", &self.inner.misses.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<T> BufferPool<T> {
+    /// Creates a pool that pre-allocates `prealloc` objects via `factory`
+    /// and calls `reset` on objects as they return. At most `max_retained`
+    /// idle objects are kept; surplus returns are dropped.
+    pub fn new(
+        prealloc: usize,
+        max_retained: usize,
+        factory: impl Fn() -> T + Send + Sync + 'static,
+        reset: impl Fn(&mut T) + Send + Sync + 'static,
+    ) -> Self {
+        let free: Vec<T> = (0..prealloc).map(|_| factory()).collect();
+        BufferPool {
+            inner: Arc::new(PoolInner {
+                free: Mutex::new(free),
+                factory: Box::new(factory),
+                reset: Box::new(reset),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                max_retained,
+            }),
+        }
+    }
+
+    /// Takes an object from the pool (allocating if the pool is empty).
+    pub fn take(&self) -> Pooled<T> {
+        let obj = self.inner.free.lock().pop();
+        let obj = match obj {
+            Some(o) => {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                o
+            }
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                (self.inner.factory)()
+            }
+        };
+        Pooled { obj: Some(obj), pool: Arc::clone(&self.inner) }
+    }
+
+    /// `(hits, misses)`: takes served from the pool vs fresh allocations.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.inner.hits.load(Ordering::Relaxed), self.inner.misses.load(Ordering::Relaxed))
+    }
+
+    /// Number of idle objects currently pooled.
+    pub fn idle(&self) -> usize {
+        self.inner.free.lock().len()
+    }
+}
+
+/// Guard over a pooled object; returns it to the pool on drop.
+pub struct Pooled<T> {
+    obj: Option<T>,
+    pool: Arc<PoolInner<T>>,
+}
+
+impl<T> Pooled<T> {
+    /// Detaches the object from the pool (it will not be returned).
+    pub fn into_inner(mut self) -> T {
+        self.obj.take().expect("object present until drop")
+    }
+}
+
+impl<T> std::ops::Deref for Pooled<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.obj.as_ref().expect("object present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for Pooled<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.obj.as_mut().expect("object present until drop")
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Pooled<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Pooled").field(&self.obj).finish()
+    }
+}
+
+impl<T> Drop for Pooled<T> {
+    fn drop(&mut self) {
+        if let Some(mut obj) = self.obj.take() {
+            (self.pool.reset)(&mut obj);
+            let mut free = self.pool.free.lock();
+            if free.len() < self.pool.max_retained {
+                free.push(obj);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn byte_pool(prealloc: usize) -> BufferPool<Vec<u8>> {
+        BufferPool::new(prealloc, 64, || Vec::with_capacity(1024), |v| v.clear())
+    }
+
+    #[test]
+    fn take_reuses_objects() {
+        let pool = byte_pool(2);
+        assert_eq!(pool.idle(), 2);
+        {
+            let mut a = pool.take();
+            a.extend_from_slice(b"data");
+            assert_eq!(pool.idle(), 1);
+        }
+        // Returned and reset.
+        assert_eq!(pool.idle(), 2);
+        let b = pool.take();
+        assert!(b.is_empty(), "reset must clear contents");
+        assert!(b.capacity() >= 1024, "capacity survives reset");
+        let (hits, misses) = pool.stats();
+        assert_eq!(hits, 2);
+        assert_eq!(misses, 0);
+    }
+
+    #[test]
+    fn exhausted_pool_allocates() {
+        let pool = byte_pool(1);
+        let _a = pool.take();
+        let _b = pool.take(); // must allocate
+        let (hits, misses) = pool.stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 1);
+    }
+
+    #[test]
+    fn into_inner_detaches() {
+        let pool = byte_pool(1);
+        let v = pool.take().into_inner();
+        drop(v);
+        assert_eq!(pool.idle(), 0, "detached object must not return");
+    }
+
+    #[test]
+    fn retention_cap_drops_surplus() {
+        let pool = BufferPool::new(0, 2, Vec::<u8>::new, |v| v.clear());
+        let items: Vec<_> = (0..5).map(|_| pool.take()).collect();
+        drop(items);
+        assert_eq!(pool.idle(), 2, "at most max_retained kept");
+    }
+
+    #[test]
+    fn concurrent_take_return() {
+        let pool = byte_pool(8);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let p = pool.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        let mut v = p.take();
+                        v.push(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All objects returned.
+        assert!(pool.idle() >= 8);
+    }
+}

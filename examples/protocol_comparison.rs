@@ -1,0 +1,66 @@
+//! The paper's headline question, live: can a well-crafted system running
+//! three-phase PBFT outperform single-phase Zyzzyva? Runs both protocols
+//! on the threaded runtime at laptop scale, then reruns the comparison in
+//! the calibrated simulator at paper scale (16 replicas, 80K clients),
+//! healthy and under one backup failure.
+//!
+//! ```text
+//! cargo run --release --example protocol_comparison
+//! ```
+
+use rdb_common::{ProtocolKind, ThreadConfig};
+use resilientdb::{run_closed_loop, SystemBuilder};
+use std::time::Duration;
+
+fn threaded_measurement(protocol: ProtocolKind) -> resilientdb::Measurement {
+    let db = SystemBuilder::new(4)
+        .protocol(protocol)
+        .batch_size(10)
+        .table_size(1_024)
+        .client_keys(4)
+        .build()
+        .expect("valid configuration");
+    let m = run_closed_loop(&db, 3, 30, Duration::from_secs(2));
+    db.shutdown();
+    m
+}
+
+fn sim_tput(protocol: ProtocolKind, threads: ThreadConfig, failures: usize) -> f64 {
+    let mut cfg = rdb_sim::SimConfig::new(rdb_common::SystemConfig::new(16).unwrap());
+    cfg.system.protocol = protocol;
+    cfg.system.threads = threads;
+    cfg.failures = failures;
+    cfg.warmup_ms = 300;
+    cfg.measure_ms = 700;
+    cfg.run().throughput_tps
+}
+
+fn main() {
+    println!("-- threaded runtime (4 replicas, laptop scale) --");
+    let pbft = threaded_measurement(ProtocolKind::Pbft);
+    let zyz = threaded_measurement(ProtocolKind::Zyzzyva);
+    println!("PBFT    : {:>8.0} txn/s, {:>6.1} ms per burst", pbft.throughput_tps, pbft.avg_latency_ms);
+    println!("Zyzzyva : {:>8.0} txn/s, {:>6.1} ms per burst", zyz.throughput_tps, zyz.avg_latency_ms);
+
+    println!("\n-- simulator (16 replicas, 80K clients, paper scale) --");
+    let pbft_good = sim_tput(ProtocolKind::Pbft, ThreadConfig::standard(), 0);
+    let zyz_mono = sim_tput(ProtocolKind::Zyzzyva, ThreadConfig::monolithic(), 0);
+    let zyz_good = sim_tput(ProtocolKind::Zyzzyva, ThreadConfig::standard(), 0);
+    println!("PBFT on the ResilientDB pipeline (1E 2B): {:>8.0} txn/s", pbft_good);
+    println!("Zyzzyva, protocol-centric design (0E 0B): {:>8.0} txn/s", zyz_mono);
+    println!("Zyzzyva on the ResilientDB pipeline:      {:>8.0} txn/s", zyz_good);
+    println!(
+        "→ well-crafted PBFT beats protocol-centric Zyzzyva by {:.0}%",
+        100.0 * (pbft_good / zyz_mono - 1.0)
+    );
+
+    println!("\n-- one backup failure (the paper's Q11) --");
+    let pbft_fail = sim_tput(ProtocolKind::Pbft, ThreadConfig::standard(), 1);
+    let zyz_fail = sim_tput(ProtocolKind::Zyzzyva, ThreadConfig::standard(), 1);
+    println!("PBFT with 1 crashed backup:    {:>8.0} txn/s (unaffected)", pbft_fail);
+    println!(
+        "Zyzzyva with 1 crashed backup: {:>8.0} txn/s ({:.0}x collapse)",
+        zyz_fail,
+        zyz_good / zyz_fail.max(1.0)
+    );
+}

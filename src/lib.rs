@@ -1,0 +1,3 @@
+//! Repo-level facade: re-exports the public fabric crate so the
+//! workspace examples and integration tests use one import path.
+pub use resilientdb::*;

@@ -1,0 +1,194 @@
+//! Cross-crate integration tests: the full public API surface exercised
+//! end-to-end — fabric, clients, workloads, failures, storage modes,
+//! and sim-vs-threaded cross-checks.
+
+use rdb_common::{CryptoScheme, ProtocolKind, ReplicaId, StorageMode, SystemConfig, ThreadConfig};
+use rdb_sim::SimConfig;
+use rdb_workload::{WorkloadConfig, WorkloadGenerator};
+use resilientdb::SystemBuilder;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(25);
+
+#[test]
+fn full_stack_pbft_with_workload_generator() {
+    let db = SystemBuilder::new(4)
+        .batch_size(10)
+        .table_size(512)
+        .client_keys(2)
+        .build()
+        .unwrap();
+    let mut gen = WorkloadGenerator::new(
+        WorkloadConfig { table_size: 512, ops_per_txn: 3, ..Default::default() },
+        11,
+    );
+    let mut client = db.client(0);
+    let txns: Vec<_> = (0..40).map(|_| gen.next_transaction(client.id())).collect();
+    assert_eq!(client.submit_and_wait(txns, WAIT), 40);
+    assert!(db.verify_chains().is_ok());
+    assert!(db.executed_txns(ReplicaId(0)) >= 40);
+    db.shutdown();
+}
+
+#[test]
+fn two_clients_interleave() {
+    let db = SystemBuilder::new(4)
+        .batch_size(8)
+        .table_size(256)
+        .client_keys(2)
+        .build()
+        .unwrap();
+    let mut c0 = db.client(0);
+    let mut c1 = db.client(1);
+    let t0: Vec<_> = (0..16).map(|i| c0.write_txn(i, vec![0xa0; 4])).collect();
+    let t1: Vec<_> = (0..16).map(|i| c1.write_txn(i + 100, vec![0xb1; 4])).collect();
+    c0.submit(t0);
+    c1.submit(t1);
+    assert_eq!(c0.await_all(WAIT), 16);
+    assert_eq!(c1.await_all(WAIT), 16);
+    db.shutdown();
+}
+
+#[test]
+fn eight_replicas_commit() {
+    let db = SystemBuilder::new(8)
+        .batch_size(10)
+        .table_size(256)
+        .client_keys(1)
+        .build()
+        .unwrap();
+    let mut client = db.client(0);
+    let txns: Vec<_> = (0..20).map(|i| client.write_txn(i % 256, vec![i as u8])).collect();
+    assert_eq!(client.submit_and_wait(txns, WAIT), 20);
+    db.shutdown();
+}
+
+#[test]
+fn pure_ed25519_scheme_end_to_end() {
+    let db = SystemBuilder::new(4)
+        .crypto(CryptoScheme::Ed25519)
+        .batch_size(5)
+        .table_size(128)
+        .client_keys(1)
+        .build()
+        .unwrap();
+    let mut client = db.client(0);
+    let txns: Vec<_> = (0..10).map(|i| client.write_txn(i, vec![1])).collect();
+    assert_eq!(client.submit_and_wait(txns, WAIT), 10);
+    db.shutdown();
+}
+
+#[test]
+fn paged_storage_end_to_end() {
+    let db = SystemBuilder::new(4)
+        .storage(StorageMode::Paged)
+        .batch_size(5)
+        .table_size(512)
+        .client_keys(1)
+        .build()
+        .unwrap();
+    let mut client = db.client(0);
+    let txns: Vec<_> = (0..10).map(|i| client.write_txn(i % 512, vec![i as u8])).collect();
+    assert_eq!(client.submit_and_wait(txns, WAIT), 10);
+    db.shutdown();
+}
+
+#[test]
+fn pbft_tolerates_f_failures_zyzzyva_needs_cc() {
+    // PBFT side: crash one backup of four, everything still commits.
+    let db = SystemBuilder::new(4)
+        .batch_size(5)
+        .table_size(128)
+        .client_keys(1)
+        .build()
+        .unwrap();
+    db.crash_backup(ReplicaId(2));
+    let mut client = db.client(0);
+    let txns: Vec<_> = (0..10).map(|i| client.write_txn(i, vec![2])).collect();
+    assert_eq!(client.submit_and_wait(txns, WAIT), 10);
+    db.shutdown();
+
+    // Zyzzyva side: same failure forces the commit-certificate slow path,
+    // which the client session drives automatically.
+    let db = SystemBuilder::new(4)
+        .protocol(ProtocolKind::Zyzzyva)
+        .batch_size(5)
+        .table_size(128)
+        .client_keys(1)
+        .build()
+        .unwrap();
+    db.crash_backup(ReplicaId(3));
+    let mut client = db.client(0);
+    let txns: Vec<_> = (0..5).map(|i| client.write_txn(i, vec![3])).collect();
+    assert_eq!(client.submit_and_wait(txns, WAIT), 5);
+    db.shutdown();
+}
+
+#[test]
+fn thread_config_sweep_commits_everywhere() {
+    // Every Figure 8 configuration must be *correct*; performance differs,
+    // safety must not.
+    for threads in [
+        ThreadConfig::monolithic(),
+        ThreadConfig::with_e_b(1, 0),
+        ThreadConfig::with_e_b(1, 1),
+        ThreadConfig::with_e_b(1, 2),
+    ] {
+        let db = SystemBuilder::new(4)
+            .threads(threads)
+            .batch_size(5)
+            .table_size(128)
+            .client_keys(1)
+            .build()
+            .unwrap();
+        let mut client = db.client(0);
+        let txns: Vec<_> = (0..10).map(|i| client.write_txn(i, vec![4])).collect();
+        assert_eq!(
+            client.submit_and_wait(txns, WAIT),
+            10,
+            "config {} must commit",
+            threads.label()
+        );
+        db.shutdown();
+    }
+}
+
+#[test]
+fn simulator_matches_threaded_runtime_ordering() {
+    // Qualitative cross-check: in both the simulator and the threaded
+    // runtime, the pipelined configuration beats the monolith and PBFT
+    // survives failures. (Absolute numbers differ by design — the sim
+    // models a datacenter, the runtime shares one laptop.)
+    let sim_run = |threads: ThreadConfig, failures: usize| -> f64 {
+        let mut sys = SystemConfig::new(4).unwrap();
+        sys.num_clients = 2_000;
+        sys.threads = threads;
+        let mut cfg = SimConfig::new(sys);
+        cfg.failures = failures;
+        cfg.warmup_ms = 150;
+        cfg.measure_ms = 300;
+        cfg.run().throughput_tps
+    };
+    let piped = sim_run(ThreadConfig::standard(), 0);
+    let mono = sim_run(ThreadConfig::monolithic(), 0);
+    assert!(piped > mono, "sim: pipeline {piped} must beat monolith {mono}");
+    let failed = sim_run(ThreadConfig::standard(), 1);
+    assert!(failed > piped * 0.5, "sim: PBFT under failure must hold up");
+}
+
+#[test]
+fn saturation_metrics_exposed() {
+    let db = SystemBuilder::new(4)
+        .batch_size(5)
+        .table_size(128)
+        .client_keys(1)
+        .build()
+        .unwrap();
+    let mut client = db.client(0);
+    let txns: Vec<_> = (0..20).map(|i| client.write_txn(i, vec![5])).collect();
+    assert_eq!(client.submit_and_wait(txns, WAIT), 20);
+    let report = db.saturation(ReplicaId(0));
+    assert!(!report.threads.is_empty(), "primary must report thread metrics");
+    assert!(report.cumulative_pct() >= 0.0);
+    db.shutdown();
+}
