@@ -4,13 +4,24 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rdb_common::messages::{Message, Sender, SignedMessage};
-use rdb_common::{Batch, ClientId, Digest, Operation, ReplicaId, SeqNum, SignatureBytes, Transaction, ViewNum};
+use rdb_common::{
+    Batch, ClientId, Digest, Operation, ReplicaId, SeqNum, SignatureBytes, Transaction, ViewNum,
+};
 use rdb_consensus::{ConsensusConfig, Pbft, Zyzzyva};
 use std::hint::black_box;
 
 fn batch(n: usize) -> Batch {
     (0..n as u64)
-        .map(|i| Transaction::new(ClientId(i), i, vec![Operation::Write { key: i, value: vec![0; 8] }]))
+        .map(|i| {
+            Transaction::new(
+                ClientId(i),
+                i,
+                vec![Operation::Write {
+                    key: i,
+                    value: vec![0; 8],
+                }],
+            )
+        })
         .collect()
 }
 
@@ -24,20 +35,33 @@ fn bench_pbft_round(c: &mut Criterion) {
                 let seq = SeqNum(1);
                 let view = ViewNum(0);
                 black_box(r.on_message(&SignedMessage::new(
-                    Message::PrePrepare { view, seq, digest: d, batch: batch(100) },
+                    Message::PrePrepare {
+                        view,
+                        seq,
+                        digest: d,
+                        batch: batch(100),
+                    },
                     Sender::Replica(ReplicaId(0)),
                     SignatureBytes::empty(),
                 )));
                 for i in 2..12u32 {
                     black_box(r.on_message(&SignedMessage::new(
-                        Message::Prepare { view, seq, digest: d },
+                        Message::Prepare {
+                            view,
+                            seq,
+                            digest: d,
+                        },
                         Sender::Replica(ReplicaId(i)),
                         SignatureBytes::empty(),
                     )));
                 }
                 for i in 2..13u32 {
                     black_box(r.on_message(&SignedMessage::new(
-                        Message::Commit { view, seq, digest: d },
+                        Message::Commit {
+                            view,
+                            seq,
+                            digest: d,
+                        },
                         Sender::Replica(ReplicaId(i)),
                         SignatureBytes::empty(),
                     )));
@@ -79,5 +103,10 @@ fn bench_zyzzyva_spec_execute(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_pbft_round, bench_pbft_propose, bench_zyzzyva_spec_execute);
+criterion_group!(
+    benches,
+    bench_pbft_round,
+    bench_pbft_propose,
+    bench_zyzzyva_spec_execute
+);
 criterion_main!(benches);

@@ -38,7 +38,9 @@ fn bench_cmac(c: &mut Criterion) {
     }
     let data = vec![0xcdu8; 64];
     let tag = cmac.tag(&data);
-    g.bench_function("verify/64", |b| b.iter(|| black_box(cmac.verify(&data, &tag))));
+    g.bench_function("verify/64", |b| {
+        b.iter(|| black_box(cmac.verify(&data, &tag)))
+    });
     g.finish();
 }
 
@@ -48,7 +50,9 @@ fn bench_ed25519(c: &mut Criterion) {
     let sig = kp.sign(&msg);
     let mut g = c.benchmark_group("ed25519");
     g.sample_size(20);
-    g.bench_function("sign/100B", |b| b.iter(|| black_box(kp.sign(black_box(&msg)))));
+    g.bench_function("sign/100B", |b| {
+        b.iter(|| black_box(kp.sign(black_box(&msg))))
+    });
     g.bench_function("verify/100B", |b| {
         b.iter(|| black_box(kp.public_key().verify(black_box(&msg), &sig)))
     });
@@ -63,7 +67,11 @@ fn bench_rsa(c: &mut Criterion) {
     let mut g = c.benchmark_group("rsa1024");
     g.sample_size(10);
     g.bench_function("sign/100B", |b| {
-        b.iter_batched(|| msg.clone(), |m| black_box(kp.sign(&m)), BatchSize::SmallInput)
+        b.iter_batched(
+            || msg.clone(),
+            |m| black_box(kp.sign(&m)),
+            BatchSize::SmallInput,
+        )
     });
     g.bench_function("verify/100B", |b| {
         b.iter(|| black_box(kp.public_key().verify(black_box(&msg), &sig)))

@@ -22,8 +22,9 @@ fn bench_threaded_cluster(c: &mut Criterion) {
                 .expect("valid config");
             let mut client = db.client(0);
             b.iter(|| {
-                let txns: Vec<_> =
-                    (0..50).map(|i| client.write_txn(i % 1_024, vec![i as u8; 8])).collect();
+                let txns: Vec<_> = (0..50)
+                    .map(|i| client.write_txn(i % 1_024, vec![i as u8; 8]))
+                    .collect();
                 let done = client.submit_and_wait(txns, Duration::from_secs(30));
                 assert_eq!(done, 50);
                 black_box(done)
@@ -67,5 +68,10 @@ fn bench_simulator(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_threaded_cluster, bench_closed_loop_measurement, bench_simulator);
+criterion_group!(
+    benches,
+    bench_threaded_cluster,
+    bench_closed_loop_measurement,
+    bench_simulator
+);
 criterion_main!(benches);

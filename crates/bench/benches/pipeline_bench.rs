@@ -5,9 +5,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rdb_common::block::BlockCertificate;
 use rdb_common::messages::{Message, Sender, SignedMessage};
-use rdb_common::{Batch, ClientId, Digest, SeqNum, SignatureBytes, Transaction, ViewNum};
 use rdb_common::Operation;
 use rdb_common::Wire;
+use rdb_common::{Batch, ClientId, Digest, SeqNum, SignatureBytes, Transaction, ViewNum};
 use rdb_crypto::digest;
 use rdb_pipeline::{ClientRequestQueue, ExecuteItem, ExecutionQueues};
 use rdb_storage::BufferPool;
@@ -16,14 +16,25 @@ use std::time::Duration;
 
 fn sample_batch(n: usize) -> Batch {
     (0..n as u64)
-        .map(|i| Transaction::new(ClientId(i), i, vec![Operation::Write { key: i, value: vec![0; 8] }]))
+        .map(|i| {
+            Transaction::new(
+                ClientId(i),
+                i,
+                vec![Operation::Write {
+                    key: i,
+                    value: vec![0; 8],
+                }],
+            )
+        })
         .collect()
 }
 
 fn bench_client_queue(c: &mut Criterion) {
     let q = ClientRequestQueue::new();
     let msg = SignedMessage::new(
-        Message::ClientRequest { txns: sample_batch(1).txns },
+        Message::ClientRequest {
+            txns: sample_batch(1).txns,
+        },
         Sender::Client(ClientId(0)),
         SignatureBytes::empty(),
     );

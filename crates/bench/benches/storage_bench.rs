@@ -32,7 +32,12 @@ fn bench_pagedstore(c: &mut Criterion) {
     let path = std::env::temp_dir().join(format!("rdb-bench-paged-{}", std::process::id()));
     let store = PagedStore::create(
         &path,
-        PagedStoreConfig { record_size: 32, capacity: 10_000, cache_pages: 16, fsync_on_write: false },
+        PagedStoreConfig {
+            record_size: 32,
+            capacity: 10_000,
+            cache_pages: 16,
+            fsync_on_write: false,
+        },
     )
     .unwrap();
     let mut g = c.benchmark_group("pagedstore");
@@ -57,20 +62,32 @@ fn bench_pagedstore(c: &mut Criterion) {
 fn bench_blockchain(c: &mut Criterion) {
     let cert = || {
         BlockCertificate::new(
-            (0..11).map(|i| (ReplicaId(i), SignatureBytes(vec![i as u8; 16]))).collect(),
+            (0..11)
+                .map(|i| (ReplicaId(i), SignatureBytes(vec![i as u8; 16])))
+                .collect(),
         )
     };
     let mut g = c.benchmark_group("blockchain");
     // ResilientDB's certificate linkage vs traditional hash chaining — the
     // ablation Section 4.6 motivates.
-    for (label, mode) in [("certificate", ChainMode::Certificate), ("prev_hash", ChainMode::PrevHash)] {
+    for (label, mode) in [
+        ("certificate", ChainMode::Certificate),
+        ("prev_hash", ChainMode::PrevHash),
+    ] {
         g.bench_function(format!("append/{label}"), |b| {
             let mut chain = Blockchain::new(Digest::ZERO, 11, mode);
             let mut seq = 0u64;
             b.iter(|| {
                 seq += 1;
                 chain
-                    .append(SeqNum(seq), Digest([1; 32]), ViewNum(0), cert(), 100, Digest::ZERO)
+                    .append(
+                        SeqNum(seq),
+                        Digest([1; 32]),
+                        ViewNum(0),
+                        cert(),
+                        100,
+                        Digest::ZERO,
+                    )
                     .unwrap();
             })
         });

@@ -15,7 +15,10 @@ fn run_figure(id: &str) {
             &fig1(),
         ),
         "fig7" => print_points("Figure 7: upper bound without consensus", &fig7()),
-        "fig8" => print_points("Figure 8: threading/pipelining configurations vs replicas", &fig8()),
+        "fig8" => print_points(
+            "Figure 8: threading/pipelining configurations vs replicas",
+            &fig8(),
+        ),
         "fig9" => {
             println!("\n=== Figure 9: per-thread saturation (16 replicas) ===");
             println!(
@@ -53,24 +56,54 @@ fn run_figure(id: &str) {
             }
         }
         "fig10" => print_points("Figure 10: transactions per batch", &fig10()),
-        "fig11" => print_points("Figure 11: operations per transaction × batch-threads", &fig11()),
+        "fig11" => print_points(
+            "Figure 11: operations per transaction × batch-threads",
+            &fig11(),
+        ),
         "fig12" => print_points("Figure 12: message (payload) size", &fig12()),
         "fig13" => print_points("Figure 13: cryptographic signature schemes", &fig13()),
-        "fig14" => print_points("Figure 14: in-memory vs paged (SQLite-like) storage", &fig14()),
+        "fig14" => print_points(
+            "Figure 14: in-memory vs paged (SQLite-like) storage",
+            &fig14(),
+        ),
         "fig15" => print_points("Figure 15: number of clients", &fig15()),
         "fig16" => print_points("Figure 16: hardware cores per replica", &fig16()),
         "fig17" => print_points("Figure 17: backup replica failures", &fig17()),
         "summary" => {
             let s = summary();
             println!("\n=== Section 1 headline observations (measured) ===");
-            println!("batching gain (B=1000 vs B=1):          {:>8.1}x   (paper: 66x)", s.batching_gain);
-            println!("crypto gain (CMAC+ED25519 vs RSA):      {:>8.1}x   (paper: 103x tput incl. NoSig)", s.crypto_gain);
-            println!("RSA latency multiplier vs CMAC:         {:>8.1}x   (paper: 125x)", s.rsa_latency_multiplier);
-            println!("in-memory gain vs paged storage:        {:>8.1}x   (paper: 18x)", s.memory_gain);
-            println!("decoupled execution gain (1E vs 0E):    {:>8.1}%   (paper: 9.5%)", s.decoupled_execution_gain_pct);
-            println!("Zyzzyva loss under one failure:         {:>8.1}x   (paper: 39x)", s.zyzzyva_failure_loss);
-            println!("PBFT advantage at n=32:                 {:>8.1}%   (paper: up to 79%)", s.pbft_advantage_pct);
-            println!("8-core vs 1-core gain:                  {:>8.1}x   (paper: 8.92x)", s.cores_gain);
+            println!(
+                "batching gain (B=1000 vs B=1):          {:>8.1}x   (paper: 66x)",
+                s.batching_gain
+            );
+            println!(
+                "crypto gain (CMAC+ED25519 vs RSA):      {:>8.1}x   (paper: 103x tput incl. NoSig)",
+                s.crypto_gain
+            );
+            println!(
+                "RSA latency multiplier vs CMAC:         {:>8.1}x   (paper: 125x)",
+                s.rsa_latency_multiplier
+            );
+            println!(
+                "in-memory gain vs paged storage:        {:>8.1}x   (paper: 18x)",
+                s.memory_gain
+            );
+            println!(
+                "decoupled execution gain (1E vs 0E):    {:>8.1}%   (paper: 9.5%)",
+                s.decoupled_execution_gain_pct
+            );
+            println!(
+                "Zyzzyva loss under one failure:         {:>8.1}x   (paper: 39x)",
+                s.zyzzyva_failure_loss
+            );
+            println!(
+                "PBFT advantage at n=32:                 {:>8.1}%   (paper: up to 79%)",
+                s.pbft_advantage_pct
+            );
+            println!(
+                "8-core vs 1-core gain:                  {:>8.1}x   (paper: 8.92x)",
+                s.cores_gain
+            );
         }
         other => {
             eprintln!("unknown figure id: {other}");

@@ -107,7 +107,11 @@ pub fn fig8() -> Vec<Point> {
                     c.system.protocol = protocol;
                     c.system.threads = threads;
                 });
-                out.push(Point::from_report(format!("{} {label}", protocol.name()), n, &r));
+                out.push(Point::from_report(
+                    format!("{} {label}", protocol.name()),
+                    n,
+                    &r,
+                ));
             }
         }
     }
@@ -288,13 +292,19 @@ pub fn summary() -> Summary {
     let b_best = run(sim_base(16), |c| c.system.batch_size = 1_000);
 
     let rsa = run(sim_base(16), |c| c.system.crypto = CryptoScheme::Rsa);
-    let cmac = run(sim_base(16), |c| c.system.crypto = CryptoScheme::CmacEd25519);
+    let cmac = run(sim_base(16), |c| {
+        c.system.crypto = CryptoScheme::CmacEd25519
+    });
 
     let mem = run(sim_base(16), |c| c.system.storage = StorageMode::InMemory);
     let paged = run(sim_base(16), |c| c.system.storage = StorageMode::Paged);
 
-    let e0 = run(sim_base(16), |c| c.system.threads = ThreadConfig::monolithic());
-    let e1 = run(sim_base(16), |c| c.system.threads = ThreadConfig::with_e_b(1, 0));
+    let e0 = run(sim_base(16), |c| {
+        c.system.threads = ThreadConfig::monolithic()
+    });
+    let e1 = run(sim_base(16), |c| {
+        c.system.threads = ThreadConfig::with_e_b(1, 0)
+    });
 
     let zyz_ok = run(sim_base(16), |c| c.system.protocol = ProtocolKind::Zyzzyva);
     let zyz_fail = run(sim_base(16), |c| {
@@ -302,7 +312,9 @@ pub fn summary() -> Summary {
         c.failures = 1;
     });
 
-    let pbft32 = run(sim_base(32), |c| c.system.threads = ThreadConfig::standard());
+    let pbft32 = run(sim_base(32), |c| {
+        c.system.threads = ThreadConfig::standard()
+    });
     let zyz32 = run(sim_base(32), |c| {
         c.system.protocol = ProtocolKind::Zyzzyva;
         c.system.threads = ThreadConfig::monolithic();
@@ -326,7 +338,10 @@ pub fn summary() -> Summary {
 /// Renders points as an aligned text table.
 pub fn print_points(title: &str, points: &[Point]) {
     println!("\n=== {title} ===");
-    println!("{:<28} {:>10} {:>14} {:>12}", "series", "x", "ktxn/s", "latency ms");
+    println!(
+        "{:<28} {:>10} {:>14} {:>12}",
+        "series", "x", "ktxn/s", "latency ms"
+    );
     for p in points {
         println!(
             "{:<28} {:>10} {:>14.1} {:>12.2}",

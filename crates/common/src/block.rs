@@ -236,7 +236,10 @@ mod tests {
 
     #[test]
     fn blocks_vector_round_trip() {
-        let blocks = vec![Block::genesis(Digest([1; 32])), Block::genesis(Digest([2; 32]))];
+        let blocks = vec![
+            Block::genesis(Digest([1; 32])),
+            Block::genesis(Digest([2; 32])),
+        ];
         let mut w = WireWriter::new();
         write_blocks(&mut w, &blocks);
         let bytes = w.into_bytes();

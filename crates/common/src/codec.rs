@@ -55,7 +55,9 @@ impl WireWriter {
 
     /// Creates a writer with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        WireWriter { buf: Vec::with_capacity(cap) }
+        WireWriter {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of bytes written so far.
@@ -217,8 +219,7 @@ impl<'a> WireReader<'a> {
     /// Returns [`CommonError::Codec`] on truncation or invalid UTF-8.
     pub fn get_str(&mut self) -> Result<String> {
         let b = self.get_var_bytes()?;
-        String::from_utf8(b.to_vec())
-            .map_err(|e| CommonError::Codec(format!("invalid utf-8: {e}")))
+        String::from_utf8(b.to_vec()).map_err(|e| CommonError::Codec(format!("invalid utf-8: {e}")))
     }
 
     /// Asserts the reader consumed the entire buffer.

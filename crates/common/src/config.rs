@@ -122,7 +122,11 @@ impl ThreadConfig {
 
     /// The `xE yB` notation of Figure 8 applied to the standard pipeline.
     pub fn with_e_b(execute_threads: usize, batch_threads: usize) -> Self {
-        ThreadConfig { execute_threads, batch_threads, ..Self::standard() }
+        ThreadConfig {
+            execute_threads,
+            batch_threads,
+            ..Self::standard()
+        }
     }
 
     /// Single-threaded monolith: every task on the worker thread (`0E 0B`).
@@ -309,22 +313,32 @@ impl SystemConfig {
             )));
         }
         if self.batch_size == 0 {
-            return Err(CommonError::InvalidConfig("batch_size must be positive".into()));
+            return Err(CommonError::InvalidConfig(
+                "batch_size must be positive".into(),
+            ));
         }
         if self.threads.worker_threads == 0 {
-            return Err(CommonError::InvalidConfig("need at least one worker thread".into()));
+            return Err(CommonError::InvalidConfig(
+                "need at least one worker thread".into(),
+            ));
         }
         if self.threads.output_threads == 0 || self.threads.client_input_threads == 0 {
-            return Err(CommonError::InvalidConfig("need input and output threads".into()));
+            return Err(CommonError::InvalidConfig(
+                "need input and output threads".into(),
+            ));
         }
         if self.ops_per_txn == 0 {
-            return Err(CommonError::InvalidConfig("ops_per_txn must be positive".into()));
+            return Err(CommonError::InvalidConfig(
+                "ops_per_txn must be positive".into(),
+            ));
         }
         if self.cores == 0 {
             return Err(CommonError::InvalidConfig("cores must be positive".into()));
         }
         if self.num_clients == 0 || self.max_outstanding == 0 {
-            return Err(CommonError::InvalidConfig("need at least one client request".into()));
+            return Err(CommonError::InvalidConfig(
+                "need at least one client request".into(),
+            ));
         }
         Ok(())
     }

@@ -312,7 +312,12 @@ impl Wire for Message {
                 w.put_u8(0);
                 crate::codec::write_vec(w, txns);
             }
-            Message::PrePrepare { view, seq, digest, batch } => {
+            Message::PrePrepare {
+                view,
+                seq,
+                digest,
+                batch,
+            } => {
                 w.put_u8(1);
                 w.put_u64(view.0);
                 w.put_u64(seq.0);
@@ -331,7 +336,12 @@ impl Wire for Message {
                 w.put_u64(seq.0);
                 w.put_bytes(digest.as_bytes());
             }
-            Message::ClientReply { view, txn_id, replica, result } => {
+            Message::ClientReply {
+                view,
+                txn_id,
+                replica,
+                result,
+            } => {
                 w.put_u8(4);
                 w.put_u64(view.0);
                 w.put_u64(txn_id.client.0);
@@ -339,7 +349,15 @@ impl Wire for Message {
                 w.put_u32(replica.0);
                 w.put_var_bytes(result);
             }
-            Message::SpecResponse { view, seq, digest, history, txn_id, replica, result } => {
+            Message::SpecResponse {
+                view,
+                seq,
+                digest,
+                history,
+                txn_id,
+                replica,
+                result,
+            } => {
                 w.put_u8(5);
                 w.put_u64(view.0);
                 w.put_u64(seq.0);
@@ -350,7 +368,13 @@ impl Wire for Message {
                 w.put_u32(replica.0);
                 w.put_var_bytes(result);
             }
-            Message::CommitCert { view, seq, digest, cert, client } => {
+            Message::CommitCert {
+                view,
+                seq,
+                digest,
+                cert,
+                client,
+            } => {
                 w.put_u8(6);
                 w.put_u64(view.0);
                 w.put_u64(seq.0);
@@ -364,13 +388,22 @@ impl Wire for Message {
                 w.put_u64(seq.0);
                 w.put_u32(replica.0);
             }
-            Message::Checkpoint { seq, state_digest, replica } => {
+            Message::Checkpoint {
+                seq,
+                state_digest,
+                replica,
+            } => {
                 w.put_u8(8);
                 w.put_u64(seq.0);
                 w.put_bytes(state_digest.as_bytes());
                 w.put_u32(replica.0);
             }
-            Message::ViewChange { new_view, last_stable, prepared, replica } => {
+            Message::ViewChange {
+                new_view,
+                last_stable,
+                prepared,
+                replica,
+            } => {
                 w.put_u8(9);
                 w.put_u64(new_view.0);
                 w.put_u64(last_stable.0);
@@ -387,7 +420,9 @@ impl Wire for Message {
 
     fn read(r: &mut WireReader<'_>) -> Result<Self> {
         match r.get_u8()? {
-            0 => Ok(Message::ClientRequest { txns: crate::codec::read_vec(r)? }),
+            0 => Ok(Message::ClientRequest {
+                txns: crate::codec::read_vec(r)?,
+            }),
             1 => Ok(Message::PrePrepare {
                 view: ViewNum(r.get_u64()?),
                 seq: SeqNum(r.get_u64()?),
@@ -510,7 +545,10 @@ mod tests {
                 Transaction::new(
                     ClientId(i),
                     i,
-                    vec![Operation::Write { key: i, value: vec![i as u8; 4] }],
+                    vec![Operation::Write {
+                        key: i,
+                        value: vec![i as u8; 4],
+                    }],
                 )
             })
             .collect()
@@ -518,15 +556,25 @@ mod tests {
 
     fn all_messages() -> Vec<Message> {
         vec![
-            Message::ClientRequest { txns: sample_batch().txns },
+            Message::ClientRequest {
+                txns: sample_batch().txns,
+            },
             Message::PrePrepare {
                 view: ViewNum(1),
                 seq: SeqNum(2),
                 digest: Digest([3; 32]),
                 batch: sample_batch(),
             },
-            Message::Prepare { view: ViewNum(1), seq: SeqNum(2), digest: Digest([3; 32]) },
-            Message::Commit { view: ViewNum(1), seq: SeqNum(2), digest: Digest([3; 32]) },
+            Message::Prepare {
+                view: ViewNum(1),
+                seq: SeqNum(2),
+                digest: Digest([3; 32]),
+            },
+            Message::Commit {
+                view: ViewNum(1),
+                seq: SeqNum(2),
+                digest: Digest([3; 32]),
+            },
             Message::ClientReply {
                 view: ViewNum(1),
                 txn_id: TxnId::new(ClientId(4), 5),
@@ -549,7 +597,11 @@ mod tests {
                 cert: BlockCertificate::new(vec![(ReplicaId(0), SignatureBytes(vec![1; 16]))]),
                 client: ClientId(4),
             },
-            Message::LocalCommit { view: ViewNum(1), seq: SeqNum(2), replica: ReplicaId(3) },
+            Message::LocalCommit {
+                view: ViewNum(1),
+                seq: SeqNum(2),
+                replica: ReplicaId(3),
+            },
             Message::Checkpoint {
                 seq: SeqNum(100),
                 state_digest: Digest([5; 32]),
@@ -561,7 +613,10 @@ mod tests {
                 prepared: vec![(SeqNum(91), Digest([1; 32]))],
                 replica: ReplicaId(3),
             },
-            Message::NewView { new_view: ViewNum(2), reissued: vec![(SeqNum(91), Digest([1; 32]))] },
+            Message::NewView {
+                new_view: ViewNum(2),
+                reissued: vec![(SeqNum(91), Digest([1; 32]))],
+            },
         ]
     }
 
@@ -601,15 +656,27 @@ mod tests {
 
     #[test]
     fn signed_message_round_trip() {
-        let msg = Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: Digest([2; 32]) };
-        let sm = SignedMessage::new(msg, Sender::Replica(ReplicaId(1)), SignatureBytes(vec![9; 64]));
+        let msg = Message::Prepare {
+            view: ViewNum(0),
+            seq: SeqNum(1),
+            digest: Digest([2; 32]),
+        };
+        let sm = SignedMessage::new(
+            msg,
+            Sender::Replica(ReplicaId(1)),
+            SignatureBytes(vec![9; 64]),
+        );
         let bytes = sm.encode();
         assert_eq!(SignedMessage::decode(&bytes).unwrap(), sm);
     }
 
     #[test]
     fn signing_bytes_bind_sender() {
-        let msg = Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: Digest([2; 32]) };
+        let msg = Message::Prepare {
+            view: ViewNum(0),
+            seq: SeqNum(1),
+            digest: Digest([2; 32]),
+        };
         let a = SignedMessage::signing_bytes(&msg, Sender::Replica(ReplicaId(1)));
         let b = SignedMessage::signing_bytes(&msg, Sender::Replica(ReplicaId(2)));
         assert_ne!(a, b);
@@ -618,7 +685,12 @@ mod tests {
     #[test]
     fn seq_accessor() {
         assert_eq!(
-            Message::Prepare { view: ViewNum(0), seq: SeqNum(7), digest: Digest::ZERO }.seq(),
+            Message::Prepare {
+                view: ViewNum(0),
+                seq: SeqNum(7),
+                digest: Digest::ZERO
+            }
+            .seq(),
             Some(SeqNum(7))
         );
         assert_eq!(Message::ClientRequest { txns: vec![] }.seq(), None);

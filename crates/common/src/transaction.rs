@@ -67,7 +67,10 @@ impl Wire for Operation {
     fn read(r: &mut WireReader<'_>) -> Result<Self> {
         match r.get_u8()? {
             0 => Ok(Operation::Read { key: r.get_u64()? }),
-            1 => Ok(Operation::Write { key: r.get_u64()?, value: r.get_var_bytes()?.to_vec() }),
+            1 => Ok(Operation::Write {
+                key: r.get_u64()?,
+                value: r.get_var_bytes()?.to_vec(),
+            }),
             t => Err(CommonError::Codec(format!("invalid operation tag {t}"))),
         }
     }
@@ -87,7 +90,11 @@ pub struct Transaction {
 impl Transaction {
     /// Creates a transaction for `client` with the given counter and ops.
     pub fn new(client: ClientId, counter: u64, ops: Vec<Operation>) -> Self {
-        Transaction { id: TxnId::new(client, counter), ops, payload: Vec::new() }
+        Transaction {
+            id: TxnId::new(client, counter),
+            ops,
+            payload: Vec::new(),
+        }
     }
 
     /// Attaches an opaque payload (builder-style).
@@ -121,7 +128,11 @@ impl Wire for Transaction {
         let counter = r.get_u64()?;
         let ops = read_vec(r)?;
         let payload = r.get_var_bytes()?.to_vec();
-        Ok(Transaction { id: TxnId::new(client, counter), ops, payload })
+        Ok(Transaction {
+            id: TxnId::new(client, counter),
+            ops,
+            payload,
+        })
     }
 }
 
@@ -184,7 +195,9 @@ impl Wire for Batch {
 
 impl FromIterator<Transaction> for Batch {
     fn from_iter<I: IntoIterator<Item = Transaction>>(iter: I) -> Self {
-        Batch { txns: iter.into_iter().collect() }
+        Batch {
+            txns: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -203,7 +216,10 @@ mod tests {
             ClientId(7),
             counter,
             vec![
-                Operation::Write { key: 42, value: vec![1, 2, 3] },
+                Operation::Write {
+                    key: 42,
+                    value: vec![1, 2, 3],
+                },
                 Operation::Read { key: 9 },
             ],
         )
@@ -212,7 +228,13 @@ mod tests {
 
     #[test]
     fn operation_round_trip() {
-        for op in [Operation::Read { key: 5 }, Operation::Write { key: 6, value: vec![9; 10] }] {
+        for op in [
+            Operation::Read { key: 5 },
+            Operation::Write {
+                key: 6,
+                value: vec![9; 10],
+            },
+        ] {
             let bytes = op.encode();
             assert_eq!(Operation::decode(&bytes).unwrap(), op);
         }

@@ -89,10 +89,18 @@ mod tests {
 
     #[test]
     fn message_accessor() {
-        let m = Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: Digest::ZERO };
+        let m = Message::Prepare {
+            view: ViewNum(0),
+            seq: SeqNum(1),
+            digest: Digest::ZERO,
+        };
         assert!(Action::Broadcast(m.clone()).message().is_some());
-        assert!(Action::SendReplica(ReplicaId(1), m.clone()).message().is_some());
+        assert!(Action::SendReplica(ReplicaId(1), m.clone())
+            .message()
+            .is_some());
         assert!(Action::SendClient(ClientId(0), m).message().is_some());
-        assert!(Action::StableCheckpoint { seq: SeqNum(0) }.message().is_none());
+        assert!(Action::StableCheckpoint { seq: SeqNum(0) }
+            .message()
+            .is_none());
     }
 }

@@ -20,7 +20,11 @@ pub struct CheckpointTracker {
 impl CheckpointTracker {
     /// Creates a tracker requiring `quorum` (= 2f+1) matching votes.
     pub fn new(quorum: usize) -> Self {
-        CheckpointTracker { quorum, votes: HashMap::new(), stable: SeqNum(0) }
+        CheckpointTracker {
+            quorum,
+            votes: HashMap::new(),
+            stable: SeqNum(0),
+        }
     }
 
     /// The highest stable checkpoint seen so far.

@@ -32,7 +32,11 @@ struct PbftTracker {
 impl PbftClient {
     /// Creates a client for a system tolerating `f` faults.
     pub fn new(id: ClientId, f: usize) -> Self {
-        PbftClient { id, f, outstanding: HashMap::new() }
+        PbftClient {
+            id,
+            f,
+            outstanding: HashMap::new(),
+        }
     }
 
     /// This client's identity.
@@ -53,8 +57,15 @@ impl PbftClient {
     /// Handles a `ClientReply`. Returns `Complete` once `f+1` distinct
     /// replicas agree on the result.
     pub fn on_reply(&mut self, sm: &SignedMessage) -> Vec<ClientAction> {
-        let (Message::ClientReply { txn_id, replica, result, .. }, Sender::Replica(_)) =
-            (&sm.msg, sm.from)
+        let (
+            Message::ClientReply {
+                txn_id,
+                replica,
+                result,
+                ..
+            },
+            Sender::Replica(_),
+        ) = (&sm.msg, sm.from)
         else {
             return Vec::new();
         };
@@ -74,7 +85,10 @@ impl PbftClient {
             let result = result.clone();
             let counter = txn_id.counter;
             self.outstanding.remove(&counter);
-            return vec![ClientAction::Complete { txn_counter: counter, result }];
+            return vec![ClientAction::Complete {
+                txn_counter: counter,
+                result,
+            }];
         }
         Vec::new()
     }
@@ -113,7 +127,11 @@ pub struct ZyzzyvaClient {
 impl ZyzzyvaClient {
     /// Creates a client for a system tolerating `f` faults.
     pub fn new(id: ClientId, f: usize) -> Self {
-        ZyzzyvaClient { id, f, outstanding: HashMap::new() }
+        ZyzzyvaClient {
+            id,
+            f,
+            outstanding: HashMap::new(),
+        }
     }
 
     /// This client's identity.
@@ -133,7 +151,15 @@ impl ZyzzyvaClient {
 
     /// Handles a speculative response. Completes on `3f+1` matching.
     pub fn on_spec_response(&mut self, sm: &SignedMessage) -> Vec<ClientAction> {
-        let Message::SpecResponse { view, seq, digest, history, txn_id, replica, result } = &sm.msg
+        let Message::SpecResponse {
+            view,
+            seq,
+            digest,
+            history,
+            txn_id,
+            replica,
+            result,
+        } = &sm.msg
         else {
             return Vec::new();
         };
@@ -163,7 +189,10 @@ impl ZyzzyvaClient {
             let counter = txn_id.counter;
             let result = result.clone();
             self.outstanding.remove(&counter);
-            return vec![ClientAction::Complete { txn_counter: counter, result }];
+            return vec![ClientAction::Complete {
+                txn_counter: counter,
+                result,
+            }];
         }
         Vec::new()
     }
@@ -222,7 +251,10 @@ impl ZyzzyvaClient {
             tracker.done = true;
             let result = tracker.cc_result.clone();
             self.outstanding.remove(&counter);
-            return vec![ClientAction::Complete { txn_counter: counter, result }];
+            return vec![ClientAction::Complete {
+                txn_counter: counter,
+                result,
+            }];
         }
         Vec::new()
     }
@@ -264,7 +296,11 @@ mod tests {
 
     fn local_commit(replica: u32) -> SignedMessage {
         SignedMessage::new(
-            Message::LocalCommit { view: ViewNum(0), seq: SeqNum(1), replica: ReplicaId(replica) },
+            Message::LocalCommit {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                replica: ReplicaId(replica),
+            },
             Sender::Replica(ReplicaId(replica)),
             SignatureBytes::empty(),
         )
@@ -300,9 +336,18 @@ mod tests {
         let mut c = PbftClient::new(ClientId(7), 1);
         c.track(0);
         c.on_reply(&reply(7, 0, 0, b"ok"));
-        assert!(c.on_reply(&reply(7, 0, 0, b"ok")).is_empty(), "same replica twice");
-        assert!(c.on_reply(&reply(8, 0, 1, b"ok")).is_empty(), "another client's reply");
-        assert!(c.on_reply(&reply(7, 5, 1, b"ok")).is_empty(), "untracked counter");
+        assert!(
+            c.on_reply(&reply(7, 0, 0, b"ok")).is_empty(),
+            "same replica twice"
+        );
+        assert!(
+            c.on_reply(&reply(8, 0, 1, b"ok")).is_empty(),
+            "another client's reply"
+        );
+        assert!(
+            c.on_reply(&reply(7, 5, 1, b"ok")).is_empty(),
+            "untracked counter"
+        );
         assert_eq!(c.pending(), 1);
     }
 
@@ -313,7 +358,10 @@ mod tests {
         let mut c = ZyzzyvaClient::new(ClientId(7), 1);
         c.track(0);
         for r in 0..3 {
-            assert!(c.on_spec_response(&spec(7, 0, r, b"ok")).is_empty(), "replica {r}");
+            assert!(
+                c.on_spec_response(&spec(7, 0, r, b"ok")).is_empty(),
+                "replica {r}"
+            );
         }
         let acts = c.on_spec_response(&spec(7, 0, 3, b"ok"));
         assert!(
@@ -389,7 +437,10 @@ mod tests {
             c.on_spec_response(&spec(7, 0, r, b"ok"));
         }
         assert_eq!(c.on_timeout(0).len(), 1);
-        assert!(c.on_timeout(0).is_empty(), "second timeout must not re-send");
+        assert!(
+            c.on_timeout(0).is_empty(),
+            "second timeout must not re-send"
+        );
     }
 
     #[test]

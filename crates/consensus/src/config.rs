@@ -22,8 +22,15 @@ impl ConsensusConfig {
     /// Panics if `n < 4`.
     pub fn new(n: usize, checkpoint_interval_batches: u64) -> Self {
         assert!(n >= 4, "BFT needs at least 4 replicas");
-        assert!(checkpoint_interval_batches > 0, "checkpoint interval must be positive");
-        ConsensusConfig { n, f: quorum::max_faults(n), checkpoint_interval_batches }
+        assert!(
+            checkpoint_interval_batches > 0,
+            "checkpoint interval must be positive"
+        );
+        ConsensusConfig {
+            n,
+            f: quorum::max_faults(n),
+            checkpoint_interval_batches,
+        }
     }
 }
 

@@ -129,7 +129,12 @@ impl Pbft {
         inst.digest = Some(digest);
         inst.batch = Some(batch.clone());
         inst.view = self.view;
-        vec![Action::Broadcast(Message::PrePrepare { view: self.view, seq, digest, batch })]
+        vec![Action::Broadcast(Message::PrePrepare {
+            view: self.view,
+            seq,
+            digest,
+            batch,
+        })]
     }
 
     /// Handles a signed message from another replica.
@@ -142,19 +147,24 @@ impl Pbft {
             Sender::Client(_) => return Vec::new(), // clients talk to the runtime
         };
         match &sm.msg {
-            Message::PrePrepare { view, seq, digest, batch } => {
-                self.on_pre_prepare(from, *view, *seq, *digest, batch.clone())
-            }
+            Message::PrePrepare {
+                view,
+                seq,
+                digest,
+                batch,
+            } => self.on_pre_prepare(from, *view, *seq, *digest, batch.clone()),
             Message::Prepare { view, seq, digest } => self.on_prepare(from, *view, *seq, *digest),
             Message::Commit { view, seq, digest } => {
                 self.on_commit(from, *view, *seq, *digest, sm.sig.clone())
             }
-            Message::Checkpoint { seq, state_digest, replica } => {
-                self.on_checkpoint(*replica, *seq, *state_digest)
-            }
-            Message::ViewChange { new_view, replica, .. } => {
-                self.on_view_change(*replica, *new_view)
-            }
+            Message::Checkpoint {
+                seq,
+                state_digest,
+                replica,
+            } => self.on_checkpoint(*replica, *seq, *state_digest),
+            Message::ViewChange {
+                new_view, replica, ..
+            } => self.on_view_change(*replica, *new_view),
             Message::NewView { new_view, .. } => self.on_new_view(from, *new_view),
             _ => Vec::new(),
         }
@@ -185,8 +195,7 @@ impl Pbft {
         inst.batch = Some(batch);
         inst.view = view;
         inst.sent_prepare = true;
-        let mut actions =
-            vec![Action::Broadcast(Message::Prepare { view, seq, digest })];
+        let mut actions = vec![Action::Broadcast(Message::Prepare { view, seq, digest })];
         // Prepares and commits may have raced ahead of this pre-prepare.
         actions.extend(self.check_progress(seq));
         actions
@@ -258,10 +267,13 @@ impl Pbft {
         // the primary holds the pre-prepare implicitly and needs 2f
         // prepares from backups. This own-vote accounting is what lets the
         // quorum still form when f backups are down (Figure 17).
-        if !inst.sent_commit && inst.prepares.len() + inst.sent_prepare as usize >= prepare_quorum
-        {
+        if !inst.sent_commit && inst.prepares.len() + inst.sent_prepare as usize >= prepare_quorum {
             inst.sent_commit = true;
-            actions.push(Action::Broadcast(Message::Commit { view: inst.view, seq, digest }));
+            actions.push(Action::Broadcast(Message::Commit {
+                view: inst.view,
+                seq,
+                digest,
+            }));
         }
         // Committed: 2f+1 distinct commit votes; our own broadcast is not
         // self-delivered, so it counts via `sent_commit`.
@@ -393,7 +405,10 @@ mod tests {
         vec![Transaction::new(
             ClientId(0),
             0,
-            vec![Operation::Write { key: 1, value: vec![1] }],
+            vec![Operation::Write {
+                key: 1,
+                value: vec![1],
+            }],
         )]
         .into_iter()
         .collect()
@@ -404,7 +419,11 @@ mod tests {
     }
 
     fn signed(from: u32, msg: Message) -> SignedMessage {
-        SignedMessage::new(msg, Sender::Replica(ReplicaId(from)), SignatureBytes(vec![from as u8]))
+        SignedMessage::new(
+            msg,
+            Sender::Replica(ReplicaId(from)),
+            SignatureBytes(vec![from as u8]),
+        )
     }
 
     /// Drives one full consensus round at a backup replica of a 4-node
@@ -415,15 +434,27 @@ mod tests {
         // Pre-prepare from primary r0.
         let acts = r1.on_message(&signed(
             0,
-            Message::PrePrepare { view: ViewNum(0), seq: SeqNum(1), digest: d(7), batch: batch() },
+            Message::PrePrepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(7),
+                batch: batch(),
+            },
         ));
-        assert!(matches!(&acts[..], [Action::Broadcast(Message::Prepare { .. })]));
+        assert!(matches!(
+            &acts[..],
+            [Action::Broadcast(Message::Prepare { .. })]
+        ));
         // Prepare quorum is 2f = 2 distinct replicas; r1's own Prepare
         // counts (it broadcast one on receiving the pre-prepare), so one
         // more backup's prepare completes the quorum.
         let acts = r1.on_message(&signed(
             2,
-            Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: d(7) },
+            Message::Prepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(7),
+            },
         ));
         assert!(
             matches!(&acts[..], [Action::Broadcast(Message::Commit { .. })]),
@@ -431,24 +462,41 @@ mod tests {
         );
         let acts = r1.on_message(&signed(
             3,
-            Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: d(7) },
+            Message::Prepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(7),
+            },
         ));
         assert!(acts.is_empty(), "extra prepares are absorbed");
         // Commits from r0 and r2; with r1's own commit that is 3 = 2f+1.
         let acts = r1.on_message(&signed(
             0,
-            Message::Commit { view: ViewNum(0), seq: SeqNum(1), digest: d(7) },
+            Message::Commit {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(7),
+            },
         ));
         assert!(acts.is_empty());
         let acts = r1.on_message(&signed(
             2,
-            Message::Commit { view: ViewNum(0), seq: SeqNum(1), digest: d(7) },
+            Message::Commit {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(7),
+            },
         ));
         match &acts[..] {
-            [Action::CommitBatch { seq, certificate, .. }] => {
+            [Action::CommitBatch {
+                seq, certificate, ..
+            }] => {
                 assert_eq!(*seq, SeqNum(1));
                 assert!(certificate.signer_count() >= 3);
-                assert!(certificate.contains(ReplicaId(1)), "own commit in certificate");
+                assert!(
+                    certificate.contains(ReplicaId(1)),
+                    "own commit in certificate"
+                );
             }
             other => panic!("expected CommitBatch, got {other:?}"),
         }
@@ -485,48 +533,115 @@ mod tests {
         let mut p = Pbft::new(ReplicaId(0), cfg(4));
         p.propose(batch(), d(5));
         assert!(p
-            .on_message(&signed(1, Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: d(5) }))
+            .on_message(&signed(
+                1,
+                Message::Prepare {
+                    view: ViewNum(0),
+                    seq: SeqNum(1),
+                    digest: d(5)
+                }
+            ))
             .is_empty());
         let acts = p.on_message(&signed(
             2,
-            Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: d(5) },
+            Message::Prepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(5),
+            },
         ));
-        assert!(matches!(&acts[..], [Action::Broadcast(Message::Commit { .. })]));
-        p.on_message(&signed(1, Message::Commit { view: ViewNum(0), seq: SeqNum(1), digest: d(5) }));
+        assert!(matches!(
+            &acts[..],
+            [Action::Broadcast(Message::Commit { .. })]
+        ));
+        p.on_message(&signed(
+            1,
+            Message::Commit {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(5),
+            },
+        ));
         let acts = p.on_message(&signed(
             2,
-            Message::Commit { view: ViewNum(0), seq: SeqNum(1), digest: d(5) },
+            Message::Commit {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(5),
+            },
         ));
-        assert!(matches!(&acts[..], [Action::CommitBatch { .. }]), "got {acts:?}");
+        assert!(
+            matches!(&acts[..], [Action::CommitBatch { .. }]),
+            "got {acts:?}"
+        );
     }
 
     #[test]
     fn out_of_order_messages_still_commit() {
         // Commits and prepares arrive before the pre-prepare (Section 4.5).
         let mut r1 = Pbft::new(ReplicaId(1), cfg(4));
-        r1.on_message(&signed(2, Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: d(7) }));
-        r1.on_message(&signed(3, Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: d(7) }));
-        r1.on_message(&signed(0, Message::Commit { view: ViewNum(0), seq: SeqNum(1), digest: d(7) }));
-        r1.on_message(&signed(2, Message::Commit { view: ViewNum(0), seq: SeqNum(1), digest: d(7) }));
+        r1.on_message(&signed(
+            2,
+            Message::Prepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(7),
+            },
+        ));
+        r1.on_message(&signed(
+            3,
+            Message::Prepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(7),
+            },
+        ));
+        r1.on_message(&signed(
+            0,
+            Message::Commit {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(7),
+            },
+        ));
+        r1.on_message(&signed(
+            2,
+            Message::Commit {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(7),
+            },
+        ));
         // Nothing committed yet — no pre-prepare, so no batch to execute.
         // When the pre-prepare arrives the stored quorums fire all at once:
         // prepare, commit, and the commit-quorum (2 stored commits + own).
         let acts = r1.on_message(&signed(
             0,
-            Message::PrePrepare { view: ViewNum(0), seq: SeqNum(1), digest: d(7), batch: batch() },
+            Message::PrePrepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(7),
+                batch: batch(),
+            },
         ));
         assert!(
-            acts.iter().any(|a| matches!(a, Action::Broadcast(Message::Commit { .. }))),
+            acts.iter()
+                .any(|a| matches!(a, Action::Broadcast(Message::Commit { .. }))),
             "stored prepares must trigger commit: {acts:?}"
         );
         assert!(
-            acts.iter().any(|a| matches!(a, Action::CommitBatch { seq, .. } if *seq == SeqNum(1))),
+            acts.iter()
+                .any(|a| matches!(a, Action::CommitBatch { seq, .. } if *seq == SeqNum(1))),
             "stored commits + own must reach quorum: {acts:?}"
         );
         // A late commit after the fact is absorbed without re-committing.
         let acts = r1.on_message(&signed(
             3,
-            Message::Commit { view: ViewNum(0), seq: SeqNum(1), digest: d(7) },
+            Message::Commit {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(7),
+            },
         ));
         assert!(acts.is_empty(), "must not commit twice: {acts:?}");
     }
@@ -551,25 +666,37 @@ mod tests {
             for from in [2u32, 3] {
                 acts.extend(r.on_message(&signed(
                     from,
-                    Message::Prepare { view: ViewNum(0), seq: SeqNum(seq), digest: d(seq as u8) },
+                    Message::Prepare {
+                        view: ViewNum(0),
+                        seq: SeqNum(seq),
+                        digest: d(seq as u8),
+                    },
                 )));
             }
             for from in [0u32, 2] {
                 acts.extend(r.on_message(&signed(
                     from,
-                    Message::Commit { view: ViewNum(0), seq: SeqNum(seq), digest: d(seq as u8) },
+                    Message::Commit {
+                        view: ViewNum(0),
+                        seq: SeqNum(seq),
+                        digest: d(seq as u8),
+                    },
                 )));
             }
             acts
         };
         let acts2 = drive(&mut r1, 2);
         assert!(
-            acts2.iter().any(|a| matches!(a, Action::CommitBatch { seq, .. } if *seq == SeqNum(2))),
+            acts2
+                .iter()
+                .any(|a| matches!(a, Action::CommitBatch { seq, .. } if *seq == SeqNum(2))),
             "seq 2 commits first"
         );
         let acts1 = drive(&mut r1, 1);
         assert!(
-            acts1.iter().any(|a| matches!(a, Action::CommitBatch { seq, .. } if *seq == SeqNum(1))),
+            acts1
+                .iter()
+                .any(|a| matches!(a, Action::CommitBatch { seq, .. } if *seq == SeqNum(1))),
             "seq 1 commits later"
         );
     }
@@ -579,12 +706,22 @@ mod tests {
         let mut r1 = Pbft::new(ReplicaId(1), cfg(4));
         r1.on_message(&signed(
             0,
-            Message::PrePrepare { view: ViewNum(0), seq: SeqNum(1), digest: d(7), batch: batch() },
+            Message::PrePrepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(7),
+                batch: batch(),
+            },
         ));
         // Conflicting digest for the same sequence.
         let acts = r1.on_message(&signed(
             0,
-            Message::PrePrepare { view: ViewNum(0), seq: SeqNum(1), digest: d(8), batch: batch() },
+            Message::PrePrepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(8),
+                batch: batch(),
+            },
         ));
         assert!(acts.is_empty(), "conflicting pre-prepare must be dropped");
     }
@@ -594,7 +731,12 @@ mod tests {
         let mut r1 = Pbft::new(ReplicaId(1), cfg(4));
         let acts = r1.on_message(&signed(
             2,
-            Message::PrePrepare { view: ViewNum(0), seq: SeqNum(1), digest: d(7), batch: batch() },
+            Message::PrePrepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(7),
+                batch: batch(),
+            },
         ));
         assert!(acts.is_empty());
     }
@@ -604,7 +746,12 @@ mod tests {
         let mut r1 = Pbft::new(ReplicaId(1), cfg(4));
         let acts = r1.on_message(&signed(
             0,
-            Message::PrePrepare { view: ViewNum(3), seq: SeqNum(1), digest: d(7), batch: batch() },
+            Message::PrePrepare {
+                view: ViewNum(3),
+                seq: SeqNum(1),
+                digest: d(7),
+                batch: batch(),
+            },
         ));
         assert!(acts.is_empty());
     }
@@ -618,7 +765,11 @@ mod tests {
         for _ in 0..5 {
             let acts = p.on_message(&signed(
                 1,
-                Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: d(7) },
+                Message::Prepare {
+                    view: ViewNum(0),
+                    seq: SeqNum(1),
+                    digest: d(7),
+                },
             ));
             assert!(acts.is_empty(), "same sender must not reach quorum alone");
         }
@@ -636,7 +787,11 @@ mod tests {
         for from in [0u32, 2] {
             let acts = r1.on_message(&signed(
                 from,
-                Message::Checkpoint { seq: SeqNum(2), state_digest: d(2), replica: ReplicaId(from) },
+                Message::Checkpoint {
+                    seq: SeqNum(2),
+                    state_digest: d(2),
+                    replica: ReplicaId(from),
+                },
             ));
             if from == 0 {
                 assert!(acts.is_empty());
@@ -644,7 +799,11 @@ mod tests {
         }
         let acts = r1.on_message(&signed(
             3,
-            Message::Checkpoint { seq: SeqNum(2), state_digest: d(2), replica: ReplicaId(3) },
+            Message::Checkpoint {
+                seq: SeqNum(2),
+                state_digest: d(2),
+                replica: ReplicaId(3),
+            },
         ));
         assert!(
             matches!(&acts[..], [Action::StableCheckpoint { seq }] if *seq == SeqNum(2)),
@@ -653,7 +812,12 @@ mod tests {
         // Old sequences are now rejected.
         let acts = r1.on_message(&signed(
             0,
-            Message::PrePrepare { view: ViewNum(0), seq: SeqNum(1), digest: d(9), batch: batch() },
+            Message::PrePrepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(9),
+                batch: batch(),
+            },
         ));
         assert!(acts.is_empty());
     }
@@ -677,11 +841,13 @@ mod tests {
         assert!(r1.on_message(&vote(2)).is_empty());
         let acts = r1.on_message(&vote(3));
         assert!(
-            acts.iter().any(|a| matches!(a, Action::EnterView { view } if *view == ViewNum(1))),
+            acts.iter()
+                .any(|a| matches!(a, Action::EnterView { view } if *view == ViewNum(1))),
             "got {acts:?}"
         );
         assert!(
-            acts.iter().any(|a| matches!(a, Action::Broadcast(Message::NewView { .. }))),
+            acts.iter()
+                .any(|a| matches!(a, Action::Broadcast(Message::NewView { .. }))),
             "incoming primary must announce"
         );
         assert!(r1.is_primary());
@@ -692,14 +858,20 @@ mod tests {
         let mut r2 = Pbft::new(ReplicaId(2), cfg(4));
         let acts = r2.on_message(&signed(
             1,
-            Message::NewView { new_view: ViewNum(1), reissued: vec![] },
+            Message::NewView {
+                new_view: ViewNum(1),
+                reissued: vec![],
+            },
         ));
         assert!(matches!(&acts[..], [Action::EnterView { view }] if *view == ViewNum(1)));
         assert_eq!(r2.primary(), ReplicaId(1));
         // NewView from a replica that is not the new primary is ignored.
         let acts = r2.on_message(&signed(
             3,
-            Message::NewView { new_view: ViewNum(2), reissued: vec![] },
+            Message::NewView {
+                new_view: ViewNum(2),
+                reissued: vec![],
+            },
         ));
         assert!(acts.is_empty());
     }
@@ -711,6 +883,9 @@ mod tests {
         assert!(acts
             .iter()
             .any(|a| matches!(a, Action::Broadcast(Message::ViewChange { new_view, .. }) if *new_view == ViewNum(1))));
-        assert!(r2.on_timeout().is_empty(), "second timeout must not re-vote");
+        assert!(
+            r2.on_timeout().is_empty(),
+            "second timeout must not re-vote"
+        );
     }
 }

@@ -117,13 +117,26 @@ impl Zyzzyva {
     /// Handles a signed message (assumed verified by the runtime).
     pub fn on_message(&mut self, sm: &SignedMessage) -> Vec<Action> {
         match (&sm.msg, sm.from) {
-            (Message::PrePrepare { view, seq, digest, batch }, Sender::Replica(from)) => {
+            (
+                Message::PrePrepare {
+                    view,
+                    seq,
+                    digest,
+                    batch,
+                },
+                Sender::Replica(from),
+            ) => {
                 if *view != self.view || from != self.primary() || self.is_primary() {
                     return Vec::new();
                 }
                 self.enqueue_proposal(*seq, *view, *digest, batch.clone())
             }
-            (Message::CommitCert { view, seq, cert, .. }, Sender::Client(client)) => {
+            (
+                Message::CommitCert {
+                    view, seq, cert, ..
+                },
+                Sender::Client(client),
+            ) => {
                 if *view != self.view {
                     return Vec::new();
                 }
@@ -137,18 +150,27 @@ impl Zyzzyva {
                 }
                 vec![Action::SendClient(
                     client,
-                    Message::LocalCommit { view: *view, seq: *seq, replica: self.id },
+                    Message::LocalCommit {
+                        view: *view,
+                        seq: *seq,
+                        replica: self.id,
+                    },
                 )]
             }
-            (Message::Checkpoint { seq, state_digest, replica }, Sender::Replica(_)) => {
-                match self.checkpoints.record(*replica, *seq, *state_digest) {
-                    Some(stable) => {
-                        self.pending.retain(|s, _| *s > stable);
-                        vec![Action::StableCheckpoint { seq: stable }]
-                    }
-                    None => Vec::new(),
+            (
+                Message::Checkpoint {
+                    seq,
+                    state_digest,
+                    replica,
+                },
+                Sender::Replica(_),
+            ) => match self.checkpoints.record(*replica, *seq, *state_digest) {
+                Some(stable) => {
+                    self.pending.retain(|s, _| *s > stable);
+                    vec![Action::StableCheckpoint { seq: stable }]
                 }
-            }
+                None => Vec::new(),
+            },
             _ => Vec::new(),
         }
     }
@@ -181,10 +203,20 @@ impl Zyzzyva {
         digest: Digest,
         batch: Batch,
     ) -> Vec<Action> {
-        debug_assert_eq!(seq, self.spec_executed.next(), "speculative execution is sequential");
+        debug_assert_eq!(
+            seq,
+            self.spec_executed.next(),
+            "speculative execution is sequential"
+        );
         self.spec_executed = seq;
         self.history = chain_digest(&self.history, &digest);
-        vec![Action::SpecExecute { seq, view, digest, history: self.history, batch }]
+        vec![Action::SpecExecute {
+            seq,
+            view,
+            digest,
+            history: self.history,
+            batch,
+        }]
     }
 
     /// Notification that the batch at `seq` finished executing. Emits a
@@ -214,9 +246,16 @@ mod tests {
     }
 
     fn batch() -> Batch {
-        vec![Transaction::new(ClientId(0), 0, vec![Operation::Write { key: 1, value: vec![1] }])]
-            .into_iter()
-            .collect()
+        vec![Transaction::new(
+            ClientId(0),
+            0,
+            vec![Operation::Write {
+                key: 1,
+                value: vec![1],
+            }],
+        )]
+        .into_iter()
+        .collect()
     }
 
     fn d(b: u8) -> Digest {
@@ -225,7 +264,12 @@ mod tests {
 
     fn pre_prepare(seq: u64, digest: Digest) -> SignedMessage {
         SignedMessage::new(
-            Message::PrePrepare { view: ViewNum(0), seq: SeqNum(seq), digest, batch: batch() },
+            Message::PrePrepare {
+                view: ViewNum(0),
+                seq: SeqNum(seq),
+                digest,
+                batch: batch(),
+            },
             Sender::Replica(ReplicaId(0)),
             SignatureBytes::empty(),
         )
@@ -284,8 +328,12 @@ mod tests {
     fn primary_executes_its_own_proposal() {
         let mut p = Zyzzyva::new(ReplicaId(0), cfg());
         let acts = p.propose(batch(), d(9));
-        assert!(acts.iter().any(|a| matches!(a, Action::Broadcast(Message::PrePrepare { .. }))));
-        assert!(acts.iter().any(|a| matches!(a, Action::SpecExecute { seq, .. } if *seq == SeqNum(1))));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(Message::PrePrepare { .. }))));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::SpecExecute { seq, .. } if *seq == SeqNum(1))));
         assert_eq!(p.spec_executed(), SeqNum(1));
     }
 
@@ -302,7 +350,9 @@ mod tests {
         r1.on_message(&pre_prepare(1, d(1)));
         // Client distributes a certificate with 2f+1 = 3 signers.
         let cert = BlockCertificate::new(
-            (0..3).map(|i| (ReplicaId(i), SignatureBytes(vec![i as u8]))).collect(),
+            (0..3)
+                .map(|i| (ReplicaId(i), SignatureBytes(vec![i as u8])))
+                .collect(),
         );
         let cc = SignedMessage::new(
             Message::CommitCert {
@@ -332,7 +382,9 @@ mod tests {
         let mut r1 = Zyzzyva::new(ReplicaId(1), cfg());
         r1.on_message(&pre_prepare(1, d(1)));
         let cert = BlockCertificate::new(
-            (0..2).map(|i| (ReplicaId(i), SignatureBytes(vec![i as u8]))).collect(),
+            (0..2)
+                .map(|i| (ReplicaId(i), SignatureBytes(vec![i as u8])))
+                .collect(),
         );
         let cc = SignedMessage::new(
             Message::CommitCert {
@@ -353,7 +405,12 @@ mod tests {
     fn proposal_from_non_primary_rejected() {
         let mut r1 = Zyzzyva::new(ReplicaId(1), cfg());
         let bad = SignedMessage::new(
-            Message::PrePrepare { view: ViewNum(0), seq: SeqNum(1), digest: d(1), batch: batch() },
+            Message::PrePrepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(1),
+                batch: batch(),
+            },
             Sender::Replica(ReplicaId(2)),
             SignatureBytes::empty(),
         );
@@ -365,6 +422,9 @@ mod tests {
         let mut r1 = Zyzzyva::new(ReplicaId(1), ConsensusConfig::new(4, 2));
         assert!(r1.on_executed(SeqNum(1), d(1)).is_empty());
         let acts = r1.on_executed(SeqNum(2), d(2));
-        assert!(matches!(&acts[..], [Action::Broadcast(Message::Checkpoint { .. })]));
+        assert!(matches!(
+            &acts[..],
+            [Action::Broadcast(Message::Checkpoint { .. })]
+        ));
     }
 }

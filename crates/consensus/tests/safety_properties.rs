@@ -18,7 +18,10 @@ fn batch(tag: u64) -> Batch {
     vec![Transaction::new(
         ClientId(tag),
         tag,
-        vec![Operation::Write { key: tag, value: tag.to_le_bytes().to_vec() }],
+        vec![Operation::Write {
+            key: tag,
+            value: tag.to_le_bytes().to_vec(),
+        }],
     )]
     .into_iter()
     .collect()
@@ -37,54 +40,56 @@ fn run_cluster(
     duplicate_every: usize,
 ) -> Vec<HashMap<SeqNum, Digest>> {
     let cfg = ConsensusConfig::new(N, 1_000_000);
-    let mut engines: Vec<ReplicaEngine> =
-        (0..N as u32).map(|i| ReplicaEngine::new(protocol, ReplicaId(i), cfg)).collect();
+    let mut engines: Vec<ReplicaEngine> = (0..N as u32)
+        .map(|i| ReplicaEngine::new(protocol, ReplicaId(i), cfg))
+        .collect();
     let mut committed: Vec<HashMap<SeqNum, Digest>> = vec![HashMap::new(); N];
     // In-flight messages: (destination, signed message).
     let mut wires: Vec<(usize, SignedMessage)> = Vec::new();
 
-    let mut drain =
-        |from: usize, actions: Vec<Action>, wires: &mut Vec<(usize, SignedMessage)>,
-         committed: &mut Vec<HashMap<SeqNum, Digest>>| {
-            for act in actions {
-                match act {
-                    Action::Broadcast(msg) => {
-                        for dest in 0..N {
-                            if dest != from {
-                                wires.push((
-                                    dest,
-                                    SignedMessage::new(
-                                        msg.clone(),
-                                        Sender::Replica(ReplicaId(from as u32)),
-                                        SignatureBytes(vec![from as u8]),
-                                    ),
-                                ));
-                            }
+    let drain = |from: usize,
+                 actions: Vec<Action>,
+                 wires: &mut Vec<(usize, SignedMessage)>,
+                 committed: &mut Vec<HashMap<SeqNum, Digest>>| {
+        for act in actions {
+            match act {
+                Action::Broadcast(msg) => {
+                    for dest in 0..N {
+                        if dest != from {
+                            wires.push((
+                                dest,
+                                SignedMessage::new(
+                                    msg.clone(),
+                                    Sender::Replica(ReplicaId(from as u32)),
+                                    SignatureBytes(vec![from as u8]),
+                                ),
+                            ));
                         }
                     }
-                    Action::SendReplica(r, msg) => wires.push((
-                        r.as_usize(),
-                        SignedMessage::new(
-                            msg,
-                            Sender::Replica(ReplicaId(from as u32)),
-                            SignatureBytes(vec![from as u8]),
-                        ),
-                    )),
-                    Action::CommitBatch { seq, digest, .. } => {
-                        let prev = committed[from].insert(seq, digest);
-                        assert!(
-                            prev.is_none() || prev == Some(digest),
-                            "replica {from} committed two digests at {seq}"
-                        );
-                    }
-                    Action::SpecExecute { seq, digest, .. } => {
-                        let prev = committed[from].insert(seq, digest);
-                        assert!(prev.is_none() || prev == Some(digest));
-                    }
-                    _ => {}
                 }
+                Action::SendReplica(r, msg) => wires.push((
+                    r.as_usize(),
+                    SignedMessage::new(
+                        msg,
+                        Sender::Replica(ReplicaId(from as u32)),
+                        SignatureBytes(vec![from as u8]),
+                    ),
+                )),
+                Action::CommitBatch { seq, digest, .. } => {
+                    let prev = committed[from].insert(seq, digest);
+                    assert!(
+                        prev.is_none() || prev == Some(digest),
+                        "replica {from} committed two digests at {seq}"
+                    );
+                }
+                Action::SpecExecute { seq, digest, .. } => {
+                    let prev = committed[from].insert(seq, digest);
+                    assert!(prev.is_none() || prev == Some(digest));
+                }
+                _ => {}
             }
-        };
+        }
+    };
 
     // The primary proposes all batches up front (out-of-order consensus).
     for tag in 1..=n_batches {
@@ -99,7 +104,7 @@ fn run_cluster(
         step += 1;
         let (dest, msg) = wires.swap_remove(pick);
         // Optionally duplicate the message (byzantine-ish network).
-        if duplicate_every > 0 && step % duplicate_every == 0 {
+        if duplicate_every > 0 && step.is_multiple_of(duplicate_every) {
             let actions = engines[dest].on_message(&msg);
             drain(dest, actions, &mut wires, &mut committed);
         }
@@ -163,7 +168,12 @@ fn equivocation_cannot_commit_two_digests_at_one_seq() {
 
     let pp = |d: Digest| {
         SignedMessage::new(
-            Message::PrePrepare { view: ViewNum(0), seq: SeqNum(1), digest: d, batch: batch(1) },
+            Message::PrePrepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d,
+                batch: batch(1),
+            },
             Sender::Replica(ReplicaId(0)),
             SignatureBytes::empty(),
         )
@@ -176,7 +186,11 @@ fn equivocation_cannot_commit_two_digests_at_one_seq() {
     // Votes for B never advance r1.
     for from in [2u32, 3] {
         let acts = r1.on_message(&SignedMessage::new(
-            Message::Prepare { view: ViewNum(0), seq: SeqNum(1), digest: b },
+            Message::Prepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: b,
+            },
             Sender::Replica(ReplicaId(from)),
             SignatureBytes::empty(),
         ));

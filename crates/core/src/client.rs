@@ -37,7 +37,9 @@ pub struct ClientSession {
 
 impl fmt::Debug for ClientSession {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ClientSession").field("id", &self.id).finish()
+        f.debug_struct("ClientSession")
+            .field("id", &self.id)
+            .finish()
     }
 }
 
@@ -121,9 +123,10 @@ impl ClientSession {
         let msg = Message::ClientRequest { txns };
         let bytes = SignedMessage::signing_bytes(&msg, Sender::Client(self.id));
         let sig = self.provider.sign(PeerClass::Replica, &bytes);
-        let _ = self
-            .endpoint
-            .send(Sender::Replica(self.primary), SignedMessage::new(msg, Sender::Client(self.id), sig));
+        let _ = self.endpoint.send(
+            Sender::Replica(self.primary),
+            SignedMessage::new(msg, Sender::Client(self.id), sig),
+        );
     }
 
     /// Number of requests still awaiting completion.
@@ -154,7 +157,10 @@ impl ClientSession {
         let mut completed = 0;
         for act in actions {
             match act {
-                ClientAction::Complete { txn_counter, result } => {
+                ClientAction::Complete {
+                    txn_counter,
+                    result,
+                } => {
                     self.results.insert(txn_counter, result);
                     completed += 1;
                     self.last_progress = Instant::now();

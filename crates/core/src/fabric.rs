@@ -6,11 +6,11 @@
 
 use crate::client::ClientSession;
 use rdb_common::messages::Sender;
+use rdb_common::Digest;
 use rdb_common::{ClientId, CryptoScheme, ProtocolKind, ReplicaId, StorageMode, SystemConfig};
 use rdb_crypto::KeyRegistry;
 use rdb_net::{Network, NetworkConfig};
 use rdb_pipeline::{spawn_replica, ReplicaHandle, SaturationReport};
-use rdb_common::Digest;
 use std::time::Duration;
 
 /// Builder for a [`ResilientDb`] deployment.
@@ -49,7 +49,12 @@ impl SystemBuilder {
         // simulator, not the threaded runtime.
         config.num_clients = 8;
         config.table_size = 4_096;
-        SystemBuilder { config, client_keys: 8, latency: Duration::ZERO, seed: 42 }
+        SystemBuilder {
+            config,
+            client_keys: 8,
+            latency: Duration::ZERO,
+            seed: 42,
+        }
     }
 
     /// Sets the consensus protocol.
@@ -131,11 +136,19 @@ impl SystemBuilder {
             self.client_keys,
             self.seed,
         );
-        let net = Network::new(NetworkConfig { latency: self.latency, queue_capacity: None });
+        let net = Network::new(NetworkConfig {
+            latency: self.latency,
+            queue_capacity: None,
+        });
         let replicas: Vec<ReplicaHandle> = (0..self.config.n as u32)
             .map(|i| spawn_replica(&self.config, ReplicaId(i), &net, &registry))
             .collect();
-        Ok(ResilientDb { config: self.config, registry, net, replicas })
+        Ok(ResilientDb {
+            config: self.config,
+            registry,
+            net,
+            replicas,
+        })
     }
 }
 
@@ -210,13 +223,19 @@ impl ResilientDb {
 
     /// Chain head sequence at each replica.
     pub fn chain_heads(&self) -> Vec<u64> {
-        self.replicas.iter().map(|r| r.shared().chain.lock().head_seq().0).collect()
+        self.replicas
+            .iter()
+            .map(|r| r.shared().chain.lock().head_seq().0)
+            .collect()
     }
 
     /// State digest at each replica (equal across correct replicas once
     /// execution catches up).
     pub fn state_digests(&self) -> Vec<Digest> {
-        self.replicas.iter().map(|r| r.shared().store.state_digest()).collect()
+        self.replicas
+            .iter()
+            .map(|r| r.shared().store.state_digest())
+            .collect()
     }
 
     /// Verifies every replica's retained chain.
@@ -232,7 +251,10 @@ impl ResilientDb {
 
     /// Total transactions executed at replica `id`.
     pub fn executed_txns(&self, id: ReplicaId) -> u64 {
-        self.replicas[id.as_usize()].shared().executor.executed_txns()
+        self.replicas[id.as_usize()]
+            .shared()
+            .executor
+            .executed_txns()
     }
 
     /// Saturation report for replica `id` (Figure 9's measurement).

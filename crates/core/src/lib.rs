@@ -130,7 +130,9 @@ mod tests {
             .build()
             .unwrap();
         let mut c = db.client(0);
-        let txns: Vec<_> = (0..20).map(|i| c.write_txn(i % 256, vec![i as u8])).collect();
+        let txns: Vec<_> = (0..20)
+            .map(|i| c.write_txn(i % 256, vec![i as u8]))
+            .collect();
         assert_eq!(c.submit_and_wait(txns, Duration::from_secs(15)), 20);
         // Allow the slowest replica to finish executing.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);

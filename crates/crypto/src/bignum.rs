@@ -274,7 +274,9 @@ impl BigUint {
                 quotient_limbs[i / 64] |= 1 << (i % 64);
             }
         }
-        let mut q = BigUint { limbs: quotient_limbs };
+        let mut q = BigUint {
+            limbs: quotient_limbs,
+        };
         q.normalize();
         (q, rem)
     }
@@ -418,7 +420,9 @@ impl BigUint {
             return false;
         }
         // Quick trial division by small primes.
-        for p in [3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73] {
+        for p in [
+            3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73,
+        ] {
             let pb = BigUint::from_u64(p);
             if self.cmp_val(&pb) == Ordering::Equal {
                 return true;
@@ -489,7 +493,11 @@ impl Montgomery {
         let n0_inv = inv.wrapping_neg();
         // R^2 mod n computed by shifting.
         let rr = BigUint::one().shl(2 * 64 * k).rem(modulus);
-        Montgomery { n: modulus.limbs.clone(), n0_inv, rr }
+        Montgomery {
+            n: modulus.limbs.clone(),
+            n0_inv,
+            rr,
+        }
     }
 
     /// Montgomery product: returns `a * b * R^{-1} mod n` (inputs as k-limb
@@ -530,7 +538,9 @@ impl Montgomery {
         // Conditional subtraction to bring into [0, n).
         let mut result = BigUint { limbs: t };
         result.normalize();
-        let n_big = BigUint { limbs: self.n.clone() };
+        let n_big = BigUint {
+            limbs: self.n.clone(),
+        };
         if result.cmp_val(&n_big) != Ordering::Less {
             result = result.sub(&n_big);
         }
@@ -541,7 +551,9 @@ impl Montgomery {
 
     fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
         let k = self.n.len();
-        let n_big = BigUint { limbs: self.n.clone() };
+        let n_big = BigUint {
+            limbs: self.n.clone(),
+        };
         let base_red = base.rem(&n_big);
         let mut base_limbs = base_red.limbs.clone();
         base_limbs.resize(k, 0);
@@ -582,7 +594,10 @@ mod tests {
     #[test]
     fn byte_round_trip() {
         let n = BigUint::from_bytes_be(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
-        assert_eq!(n.to_bytes_be(), vec![0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
+        assert_eq!(
+            n.to_bytes_be(),
+            vec![0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]
+        );
         assert_eq!(BigUint::zero().to_bytes_be(), Vec::<u8>::new());
         // Leading zeros stripped.
         let n = BigUint::from_bytes_be(&[0x00, 0x00, 0xff]);
@@ -601,7 +616,9 @@ mod tests {
 
     #[test]
     fn carry_propagation() {
-        let a = BigUint { limbs: vec![u64::MAX, u64::MAX] };
+        let a = BigUint {
+            limbs: vec![u64::MAX, u64::MAX],
+        };
         let b = a.add(&BigUint::one());
         assert_eq!(b.limbs, vec![0, 0, 1]);
         assert_eq!(b.sub(&BigUint::one()).limbs, vec![u64::MAX, u64::MAX]);
@@ -646,10 +663,23 @@ mod tests {
     fn miller_rabin_knowns() {
         let mut rng = StdRng::seed_from_u64(42);
         for p in [2u64, 3, 5, 101, 65_537, 2_147_483_647] {
-            assert!(big(p).is_probable_prime(20, &mut rng), "{p} should be prime");
+            assert!(
+                big(p).is_probable_prime(20, &mut rng),
+                "{p} should be prime"
+            );
         }
-        for c in [1u64, 4, 100, 65_535, 561 /* Carmichael */, 2_147_483_649] {
-            assert!(!big(c).is_probable_prime(20, &mut rng), "{c} should be composite");
+        for c in [
+            1u64,
+            4,
+            100,
+            65_535,
+            561, /* Carmichael */
+            2_147_483_649,
+        ] {
+            assert!(
+                !big(c).is_probable_prime(20, &mut rng),
+                "{c} should be composite"
+            );
         }
     }
 

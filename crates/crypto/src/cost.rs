@@ -95,19 +95,34 @@ impl CostModel {
         };
 
         // Hashing: solve fixed + per-byte from two sizes.
-        let sha_small = time_per_call(&mut || std::hint::black_box(sha256(&small)).to_vec().clear(), 2000);
-        let sha_large = time_per_call(&mut || std::hint::black_box(sha256(&large)).to_vec().clear(), 50);
+        let sha_small = time_per_call(
+            &mut || std::hint::black_box(sha256(&small)).to_vec().clear(),
+            2000,
+        );
+        let sha_large = time_per_call(
+            &mut || std::hint::black_box(sha256(&large)).to_vec().clear(),
+            50,
+        );
         let sha_per_byte = (sha_large - sha_small) / (large.len() - small.len()) as f64;
         let sha_fixed = (sha_small - sha_per_byte * small.len() as f64).max(10.0);
 
         let cmac = CmacAes128::new(&[7u8; 16]);
-        let cmac_small = time_per_call(&mut || std::hint::black_box(cmac.tag(&small)).to_vec().clear(), 2000);
-        let cmac_large = time_per_call(&mut || std::hint::black_box(cmac.tag(&large)).to_vec().clear(), 20);
+        let cmac_small = time_per_call(
+            &mut || std::hint::black_box(cmac.tag(&small)).to_vec().clear(),
+            2000,
+        );
+        let cmac_large = time_per_call(
+            &mut || std::hint::black_box(cmac.tag(&large)).to_vec().clear(),
+            20,
+        );
         let cmac_per_byte = (cmac_large - cmac_small) / (large.len() - small.len()) as f64;
         let cmac_fixed = (cmac_small - cmac_per_byte * small.len() as f64).max(10.0);
 
         let ed = Ed25519KeyPair::from_seed(&[3u8; 32]);
-        let ed_sign = time_per_call(&mut || std::hint::black_box(ed.sign(&small)).to_vec().clear(), 50);
+        let ed_sign = time_per_call(
+            &mut || std::hint::black_box(ed.sign(&small)).to_vec().clear(),
+            50,
+        );
         let sig = ed.sign(&small);
         let ed_verify = time_per_call(
             &mut || {
@@ -196,7 +211,10 @@ mod tests {
         let ed = m.sign_ns(CryptoScheme::Ed25519, true, 100);
         let rsa = m.sign_ns(CryptoScheme::Rsa, true, 100);
         assert!(mac * 10.0 < ed, "MAC should be ≫10× cheaper than Ed25519");
-        assert!(ed * 10.0 < rsa, "Ed25519 should be ≫10× cheaper than RSA sign");
+        assert!(
+            ed * 10.0 < rsa,
+            "Ed25519 should be ≫10× cheaper than RSA sign"
+        );
         assert_eq!(m.sign_ns(CryptoScheme::NoCrypto, true, 100), 0.0);
     }
 

@@ -13,9 +13,8 @@ use crate::sha2::Sha512;
 /// The group order `ℓ = 2^252 + 27742317777372353535851937790883648493`,
 /// big-endian bytes.
 const L_BYTES: [u8; 32] = [
-    0x10, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
-    0x00, 0x14, 0xde, 0xf9, 0xde, 0xa2, 0xf7, 0x9c, 0xd6, 0x58, 0x12, 0x63, 0x1a, 0x5c, 0xf5,
-    0xd3, 0xed,
+    0x10, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x14, 0xde, 0xf9, 0xde, 0xa2, 0xf7, 0x9c, 0xd6, 0x58, 0x12, 0x63, 0x1a, 0x5c, 0xf5, 0xd3, 0xed,
 ];
 
 fn group_order() -> BigUint {
@@ -71,7 +70,12 @@ pub struct EdwardsPoint {
 impl EdwardsPoint {
     /// The identity element (0, 1).
     pub fn identity() -> Self {
-        EdwardsPoint { x: Fe::ZERO, y: Fe::ONE, z: Fe::ONE, t: Fe::ZERO }
+        EdwardsPoint {
+            x: Fe::ZERO,
+            y: Fe::ONE,
+            z: Fe::ONE,
+            t: Fe::ZERO,
+        }
     }
 
     /// The standard base point `B` (y = 4/5, x even).
@@ -96,7 +100,12 @@ impl EdwardsPoint {
         let f = d.sub(c);
         let g = d.add(c);
         let h = b.add(a);
-        EdwardsPoint { x: e.mul(f), y: g.mul(h), z: f.mul(g), t: e.mul(h) }
+        EdwardsPoint {
+            x: e.mul(f),
+            y: g.mul(h),
+            z: f.mul(g),
+            t: e.mul(h),
+        }
     }
 
     /// Point doubling.
@@ -108,12 +117,22 @@ impl EdwardsPoint {
         let e = h.sub(self.x.add(self.y).square());
         let g = a.sub(b);
         let f = c.add(g);
-        EdwardsPoint { x: e.mul(f), y: g.mul(h), z: f.mul(g), t: e.mul(h) }
+        EdwardsPoint {
+            x: e.mul(f),
+            y: g.mul(h),
+            z: f.mul(g),
+            t: e.mul(h),
+        }
     }
 
     /// Negation: `(x, y) → (-x, y)`.
     pub fn neg(&self) -> EdwardsPoint {
-        EdwardsPoint { x: self.x.neg(), y: self.y, z: self.z, t: self.t.neg() }
+        EdwardsPoint {
+            x: self.x.neg(),
+            y: self.y,
+            z: self.z,
+            t: self.t.neg(),
+        }
     }
 
     /// Scalar multiplication by a little-endian 32-byte scalar
@@ -176,7 +195,12 @@ impl EdwardsPoint {
         if x.is_odd() != (sign == 1) {
             x = x.neg();
         }
-        Some(EdwardsPoint { x, y, z: Fe::ONE, t: x.mul(y) })
+        Some(EdwardsPoint {
+            x,
+            y,
+            z: Fe::ONE,
+            t: x.mul(y),
+        })
     }
 
     /// Equality in the group (projective cross-comparison).
@@ -214,7 +238,10 @@ impl Ed25519PublicKey {
     /// Parses a public key from its 32-byte encoding.
     pub fn from_bytes(bytes: &[u8; 32]) -> Option<Self> {
         let point = EdwardsPoint::decompress(bytes)?;
-        Some(Ed25519PublicKey { compressed: *bytes, point })
+        Some(Ed25519PublicKey {
+            compressed: *bytes,
+            point,
+        })
     }
 
     /// The 32-byte encoding.
@@ -277,7 +304,10 @@ impl Ed25519KeyPair {
         Ed25519KeyPair {
             expanded_scalar: scalar,
             prefix,
-            public: Ed25519PublicKey { compressed, point: a_point },
+            public: Ed25519PublicKey {
+                compressed,
+                point: a_point,
+            },
         }
     }
 

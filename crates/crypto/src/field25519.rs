@@ -144,15 +144,12 @@ impl Fe {
         let a = self.reduced().0;
         let b = other.reduced().0;
         let m = |x: u64, y: u64| x as u128 * y as u128;
-        let t0 = m(a[0], b[0])
-            + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
-        let t1 = m(a[0], b[1])
-            + m(a[1], b[0])
-            + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
-        let t2 = m(a[0], b[2])
-            + m(a[1], b[1])
-            + m(a[2], b[0])
-            + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
+        let t0 =
+            m(a[0], b[0]) + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
+        let t1 =
+            m(a[0], b[1]) + m(a[1], b[0]) + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
+        let t2 =
+            m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
         let t3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + 19 * m(a[4], b[4]);
         let t4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
         Self::carry128([t0, t1, t2, t3, t4])
@@ -391,7 +388,11 @@ mod tests {
         for v in [1u64, 2, 19, 12345, 0xffff_ffff] {
             let a = fe(v);
             let inv = a.invert();
-            assert_eq!(a.mul(inv).to_bytes(), Fe::ONE.to_bytes(), "1/{v} * {v} != 1");
+            assert_eq!(
+                a.mul(inv).to_bytes(),
+                Fe::ONE.to_bytes(),
+                "1/{v} * {v} != 1"
+            );
         }
     }
 

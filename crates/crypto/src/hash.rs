@@ -51,7 +51,10 @@ mod tests {
 
     #[test]
     fn sha3_differs_from_sha256() {
-        assert_ne!(digest_with(HashKind::Sha256, b"x"), digest_with(HashKind::Sha3, b"x"));
+        assert_ne!(
+            digest_with(HashKind::Sha256, b"x"),
+            digest_with(HashKind::Sha3, b"x")
+        );
     }
 
     #[test]

@@ -13,8 +13,8 @@ use rand::RngCore;
 
 /// DER prefix for a SHA-256 DigestInfo, per PKCS#1 v1.5.
 const SHA256_DER_PREFIX: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// RSA public key `(n, e)`.
@@ -45,7 +45,10 @@ impl RsaKeyPair {
     /// # Panics
     /// Panics if `bits < 128` (too small to hold the padded digest).
     pub fn generate(bits: usize, rng: &mut impl RngCore) -> Self {
-        assert!(bits >= 512, "modulus must be at least 512 bits to hold a padded SHA-256 digest");
+        assert!(
+            bits >= 512,
+            "modulus must be at least 512 bits to hold a padded SHA-256 digest"
+        );
         let e = BigUint::from_u64(65_537);
         loop {
             let p = BigUint::gen_prime(bits / 2, rng);
@@ -61,8 +64,14 @@ impl RsaKeyPair {
             let Some(d) = e.mod_inverse(&phi) else {
                 continue;
             };
-            let public = RsaPublicKey { n: n.clone(), e: e.clone(), modulus_bytes: bits / 8 };
-            return RsaKeyPair { private: RsaPrivateKey { n, d, public } };
+            let public = RsaPublicKey {
+                n: n.clone(),
+                e: e.clone(),
+                modulus_bytes: bits / 8,
+            };
+            return RsaKeyPair {
+                private: RsaPrivateKey { n, d, public },
+            };
         }
     }
 

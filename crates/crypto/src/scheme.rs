@@ -58,8 +58,18 @@ impl std::fmt::Debug for KeyRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KeyRegistry")
             .field("scheme", &self.inner.scheme)
-            .field("replicas", &self.inner.replica_ed.len().max(self.inner.replica_rsa.len()))
-            .field("clients", &self.inner.client_ed.len().max(self.inner.client_rsa.len()))
+            .field(
+                "replicas",
+                &self
+                    .inner
+                    .replica_ed
+                    .len()
+                    .max(self.inner.replica_rsa.len()),
+            )
+            .field(
+                "clients",
+                &self.inner.client_ed.len().max(self.inner.client_rsa.len()),
+            )
             .finish()
     }
 }
@@ -72,12 +82,7 @@ impl KeyRegistry {
     /// them for the client path); RSA keys are generated only when the
     /// scheme is [`CryptoScheme::Rsa`] because 1024-bit key generation is
     /// slow.
-    pub fn generate(
-        scheme: CryptoScheme,
-        n_replicas: usize,
-        n_clients: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn generate(scheme: CryptoScheme, n_replicas: usize, n_clients: usize, seed: u64) -> Self {
         let mut ed_publics = HashMap::new();
         let mut rsa_publics = HashMap::new();
 
@@ -96,7 +101,10 @@ impl KeyRegistry {
             .map(|i| Ed25519KeyPair::from_seed(&derive_seed(1, i as u64)))
             .collect();
         for (i, kp) in replica_ed.iter().enumerate() {
-            ed_publics.insert(Sender::Replica(ReplicaId(i as u32)), kp.public_key().clone());
+            ed_publics.insert(
+                Sender::Replica(ReplicaId(i as u32)),
+                kp.public_key().clone(),
+            );
         }
         for (i, kp) in client_ed.iter().enumerate() {
             ed_publics.insert(Sender::Client(ClientId(i as u64)), kp.public_key().clone());
@@ -104,12 +112,17 @@ impl KeyRegistry {
 
         let (replica_rsa, client_rsa) = if scheme == CryptoScheme::Rsa {
             let mut rng = StdRng::seed_from_u64(seed ^ 0x5151_5151);
-            let r: Vec<RsaKeyPair> =
-                (0..n_replicas).map(|_| RsaKeyPair::generate(RSA_BITS, &mut rng)).collect();
-            let c: Vec<RsaKeyPair> =
-                (0..n_clients).map(|_| RsaKeyPair::generate(RSA_BITS, &mut rng)).collect();
+            let r: Vec<RsaKeyPair> = (0..n_replicas)
+                .map(|_| RsaKeyPair::generate(RSA_BITS, &mut rng))
+                .collect();
+            let c: Vec<RsaKeyPair> = (0..n_clients)
+                .map(|_| RsaKeyPair::generate(RSA_BITS, &mut rng))
+                .collect();
             for (i, kp) in r.iter().enumerate() {
-                rsa_publics.insert(Sender::Replica(ReplicaId(i as u32)), kp.public_key().clone());
+                rsa_publics.insert(
+                    Sender::Replica(ReplicaId(i as u32)),
+                    kp.public_key().clone(),
+                );
             }
             for (i, kp) in c.iter().enumerate() {
                 rsa_publics.insert(Sender::Client(ClientId(i as u64)), kp.public_key().clone());
@@ -151,7 +164,10 @@ impl KeyRegistry {
             id.as_usize() < self.inner.replica_ed.len(),
             "replica {id} not in registry"
         );
-        CryptoProvider { registry: self.clone(), me: Sender::Replica(id) }
+        CryptoProvider {
+            registry: self.clone(),
+            me: Sender::Replica(id),
+        }
     }
 
     /// A provider for client `id`.
@@ -163,7 +179,10 @@ impl KeyRegistry {
             id.as_usize() < self.inner.client_ed.len(),
             "client {id} not in registry"
         );
-        CryptoProvider { registry: self.clone(), me: Sender::Client(id) }
+        CryptoProvider {
+            registry: self.clone(),
+            me: Sender::Client(id),
+        }
     }
 }
 
@@ -332,18 +351,30 @@ mod tests {
     fn registry_is_deterministic() {
         let r1 = registry(CryptoScheme::CmacEd25519);
         let r2 = registry(CryptoScheme::CmacEd25519);
-        let s1 = r1.provider_for_replica(ReplicaId(0)).sign(PeerClass::Client, b"m");
-        let s2 = r2.provider_for_replica(ReplicaId(0)).sign(PeerClass::Client, b"m");
+        let s1 = r1
+            .provider_for_replica(ReplicaId(0))
+            .sign(PeerClass::Client, b"m");
+        let s2 = r2
+            .provider_for_replica(ReplicaId(0))
+            .sign(PeerClass::Client, b"m");
         assert_eq!(s1, s2);
     }
 
     #[test]
     fn signature_len_matches_actual() {
-        for scheme in [CryptoScheme::NoCrypto, CryptoScheme::Ed25519, CryptoScheme::CmacEd25519] {
+        for scheme in [
+            CryptoScheme::NoCrypto,
+            CryptoScheme::Ed25519,
+            CryptoScheme::CmacEd25519,
+        ] {
             let reg = registry(scheme);
             let p = reg.provider_for_replica(ReplicaId(0));
             for class in [PeerClass::Replica, PeerClass::Client] {
-                assert_eq!(p.sign(class, b"m").len(), p.signature_len(class), "{scheme:?}");
+                assert_eq!(
+                    p.sign(class, b"m").len(),
+                    p.signature_len(class),
+                    "{scheme:?}"
+                );
             }
         }
     }

@@ -7,12 +7,30 @@
 const ROUNDS: usize = 24;
 
 const RC: [u64; ROUNDS] = [
-    0x0000000000000001, 0x0000000000008082, 0x800000000000808a, 0x8000000080008000,
-    0x000000000000808b, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
-    0x000000000000008a, 0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
-    0x000000008000808b, 0x800000000000008b, 0x8000000000008089, 0x8000000000008003,
-    0x8000000000008002, 0x8000000000000080, 0x000000000000800a, 0x800000008000000a,
-    0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
 ];
 
 /// Rotation offsets, indexed `[x][y]`.
@@ -52,7 +70,8 @@ fn keccak_f(state: &mut [u64; 25]) {
         // χ
         for x in 0..5 {
             for y in 0..5 {
-                state[idx(x, y)] = b[idx(x, y)] ^ (!b[idx((x + 1) % 5, y)] & b[idx((x + 2) % 5, y)]);
+                state[idx(x, y)] =
+                    b[idx(x, y)] ^ (!b[idx((x + 1) % 5, y)] & b[idx((x + 2) % 5, y)]);
             }
         }
         // ι
@@ -79,7 +98,11 @@ impl Sha3_256 {
 
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Sha3_256 { state: [0u64; 25], buf: [0u8; 136], buf_len: 0 }
+        Sha3_256 {
+            state: [0u64; 25],
+            buf: [0u8; 136],
+            buf_len: 0,
+        }
     }
 
     fn absorb_block(&mut self) {
@@ -159,7 +182,9 @@ mod tests {
     #[test]
     fn sha3_256_448_bit_message() {
         assert_eq!(
-            hex(&sha3_256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha3_256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "41c0dba2a9d6240849100376a8235e2c82e1b9998a999e21db32dd97496d3376"
         );
     }

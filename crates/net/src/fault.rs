@@ -157,9 +157,7 @@ mod tests {
     fn drop_rate_statistics() {
         let fc = FaultController::new();
         fc.set_drop_rate(0.5);
-        let drops = (0..10_000)
-            .filter(|_| fc.should_drop(r(0), r(1)))
-            .count();
+        let drops = (0..10_000).filter(|_| fc.should_drop(r(0), r(1))).count();
         // Deterministic mixing should land near 50%.
         assert!((3_000..7_000).contains(&drops), "drops={drops}");
         fc.set_drop_rate(0.0);

@@ -46,7 +46,10 @@ pub struct NetworkConfig {
 
 impl Default for NetworkConfig {
     fn default() -> Self {
-        NetworkConfig { latency: Duration::ZERO, queue_capacity: None }
+        NetworkConfig {
+            latency: Duration::ZERO,
+            queue_capacity: None,
+        }
     }
 }
 
@@ -132,7 +135,11 @@ impl Network {
             mailboxes: RwLock::new(HashMap::new()),
             stats: NetworkStats::new(),
             faults: FaultController::new(),
-            wire: Mutex::new(WireState { heap: BinaryHeap::new(), next_seq: 0, shutdown: false }),
+            wire: Mutex::new(WireState {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                shutdown: false,
+            }),
             wire_signal: Condvar::new(),
         });
         if needs_wire {
@@ -193,7 +200,11 @@ impl Network {
         };
         let prev = self.inner.mailboxes.write().insert(addr, tx);
         assert!(prev.is_none(), "address {addr:?} registered twice");
-        Endpoint { addr, rx, net: self.clone() }
+        Endpoint {
+            addr,
+            rx,
+            net: self.clone(),
+        }
     }
 
     /// Removes `addr` from the switchboard (future sends to it error).
@@ -216,7 +227,9 @@ impl Network {
             self.inner.stats.record_dropped();
             return Err(NetworkError::UnknownDestination(format!("{to:?}")));
         }
-        self.inner.stats.record_sent(msg.msg.kind(), msg.wire_size());
+        self.inner
+            .stats
+            .record_sent(msg.msg.kind(), msg.wire_size());
         if self.inner.faults.should_drop(from, to) {
             self.inner.stats.record_dropped();
             return Ok(()); // silently dropped, like a real network
@@ -255,7 +268,9 @@ pub struct Endpoint {
 
 impl fmt::Debug for Endpoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Endpoint").field("addr", &self.addr).finish()
+        f.debug_struct("Endpoint")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -330,7 +345,10 @@ impl Endpoint {
     /// A cloneable send-only handle, for distributing the transmit side
     /// across multiple output threads.
     pub fn sender(&self) -> EndpointSender {
-        EndpointSender { addr: self.addr, net: self.net.clone() }
+        EndpointSender {
+            addr: self.addr,
+            net: self.net.clone(),
+        }
     }
 
     /// The network this endpoint belongs to.
@@ -348,7 +366,9 @@ pub struct EndpointSender {
 
 impl fmt::Debug for EndpointSender {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("EndpointSender").field("addr", &self.addr).finish()
+        f.debug_struct("EndpointSender")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -379,7 +399,11 @@ mod tests {
     }
 
     fn msg(from: Sender) -> SignedMessage {
-        SignedMessage::new(Message::ClientRequest { txns: vec![] }, from, SignatureBytes::empty())
+        SignedMessage::new(
+            Message::ClientRequest { txns: vec![] },
+            from,
+            SignatureBytes::empty(),
+        )
     }
 
     #[test]
@@ -443,7 +467,10 @@ mod tests {
         let got = b.recv_timeout(Duration::from_secs(2));
         assert!(got.is_ok());
         let elapsed = start.elapsed();
-        assert!(elapsed >= Duration::from_millis(25), "arrived after {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(25),
+            "arrived after {elapsed:?}"
+        );
         net.shutdown();
     }
 

@@ -9,8 +9,8 @@
 use crate::queues::ExecuteItem;
 use parking_lot::Mutex;
 use rdb_common::messages::{Message, Sender};
-use rdb_common::{Operation, ProtocolKind, ReplicaId};
 use rdb_common::Digest;
+use rdb_common::{Operation, ProtocolKind, ReplicaId};
 use rdb_crypto::chain_digest;
 use rdb_storage::{Blockchain, StateStore};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,7 +29,10 @@ pub struct OutItem {
 impl OutItem {
     /// Single-destination item.
     pub fn to(dest: Sender, msg: Message) -> Self {
-        OutItem { targets: vec![dest], msg }
+        OutItem {
+            targets: vec![dest],
+            msg,
+        }
     }
 }
 
@@ -49,7 +52,10 @@ impl std::fmt::Debug for Executor {
         f.debug_struct("Executor")
             .field("id", &self.id)
             .field("protocol", &self.protocol)
-            .field("executed_batches", &self.executed_batches.load(Ordering::Relaxed))
+            .field(
+                "executed_batches",
+                &self.executed_batches.load(Ordering::Relaxed),
+            )
             .finish()
     }
 }
@@ -146,7 +152,8 @@ impl Executor {
         // the block certificate (each replica legitimately collects a
         // different 2f+1 commit-signature set).
         let state_digest = chain_digest(&item.digest, &store_digest);
-        self.executed_txns.fetch_add(item.batch.len() as u64, Ordering::Relaxed);
+        self.executed_txns
+            .fetch_add(item.batch.len() as u64, Ordering::Relaxed);
         self.executed_batches.fetch_add(1, Ordering::Relaxed);
         let _ = self.protocol;
         (state_digest, replies)
@@ -167,7 +174,10 @@ mod tests {
                 Transaction::new(
                     ClientId(i),
                     0,
-                    vec![Operation::Write { key: 10 + i, value: vec![i as u8; 4] }],
+                    vec![Operation::Write {
+                        key: 10 + i,
+                        value: vec![i as u8; 4],
+                    }],
                 )
             })
             .collect();
@@ -253,10 +263,13 @@ mod tests {
             ChainMode::Certificate,
         )));
         let ex = Executor::new(ReplicaId(0), ProtocolKind::Pbft, store, chain);
-        let batch: Batch =
-            vec![Transaction::new(ClientId(0), 0, vec![Operation::Read { key: 42 }])]
-                .into_iter()
-                .collect();
+        let batch: Batch = vec![Transaction::new(
+            ClientId(0),
+            0,
+            vec![Operation::Read { key: 42 }],
+        )]
+        .into_iter()
+        .collect();
         let item = ExecuteItem {
             seq: SeqNum(1),
             view: ViewNum(0),

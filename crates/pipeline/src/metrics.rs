@@ -158,7 +158,9 @@ impl SaturationReport {
 
     /// Saturation of a specific thread, if present.
     pub fn thread(&self, stage: Stage, index: usize) -> Option<&ThreadSaturation> {
-        self.threads.iter().find(|t| t.stage == stage && t.index == index)
+        self.threads
+            .iter()
+            .find(|t| t.stage == stage && t.index == index)
     }
 
     /// Mean saturation across the threads of `stage`.

@@ -202,8 +202,14 @@ mod tests {
         let eq = ExecutionQueues::new(4);
         eq.deposit(item(5));
         eq.deposit(item(1));
-        assert_eq!(eq.take(SeqNum(1), Duration::from_millis(50)).unwrap().seq, SeqNum(1));
-        assert_eq!(eq.take(SeqNum(5), Duration::from_millis(50)).unwrap().seq, SeqNum(5));
+        assert_eq!(
+            eq.take(SeqNum(1), Duration::from_millis(50)).unwrap().seq,
+            SeqNum(1)
+        );
+        assert_eq!(
+            eq.take(SeqNum(5), Duration::from_millis(50)).unwrap().seq,
+            SeqNum(5)
+        );
     }
 
     #[test]
@@ -217,7 +223,9 @@ mod tests {
         });
         // Consume strictly in order despite reversed production.
         for seq in 1..=50u64 {
-            let got = eq.take(SeqNum(seq), Duration::from_secs(2)).expect("item arrives");
+            let got = eq
+                .take(SeqNum(seq), Duration::from_secs(2))
+                .expect("item arrives");
             assert_eq!(got.seq, SeqNum(seq));
         }
         producer.join().unwrap();

@@ -50,15 +50,9 @@ enum Work {
     /// Client request routed to the worker because `batch_threads == 0`.
     ClientRequest(SignedMessage),
     /// A digested batch ready to propose (from a batch-thread).
-    Propose {
-        batch: Batch,
-        digest: Digest,
-    },
+    Propose { batch: Batch, digest: Digest },
     /// Execution finished for `seq` (from the execute-thread).
-    Executed {
-        seq: SeqNum,
-        state_digest: Digest,
-    },
+    Executed { seq: SeqNum, state_digest: Digest },
 }
 
 /// State shared between the replica's threads and exposed to callers.
@@ -192,13 +186,20 @@ pub fn spawn_replica(
         chain_quorum,
         chain_mode,
     )));
-    let executor = Arc::new(Executor::new(id, config.protocol, Arc::clone(&store), Arc::clone(&chain)));
+    let executor = Arc::new(Executor::new(
+        id,
+        config.protocol,
+        Arc::clone(&store),
+        Arc::clone(&chain),
+    ));
 
     // --- queues and channels ----------------------------------------------
     let (work_tx, work_rx) = channel::unbounded::<Work>();
     let (ckpt_tx, ckpt_rx) = channel::unbounded::<SignedMessage>();
     let out_channels: Vec<(ChanSender<OutItem>, Receiver<OutItem>)> =
-        (0..config.threads.output_threads).map(|_| channel::unbounded()).collect();
+        (0..config.threads.output_threads)
+            .map(|_| channel::unbounded())
+            .collect();
     let client_queue = Arc::new(ClientRequestQueue::new());
     let qc = (config.execution_queue_count() as usize).clamp(1024, 1 << 16);
     let exec_queues = Arc::new(ExecutionQueues::new(qc));
@@ -223,12 +224,16 @@ pub fn spawn_replica(
     );
     let engine = ReplicaEngine::new(config.protocol, id, consensus_cfg);
     let is_primary = engine.is_primary();
-    let replicas: Vec<Sender> =
-        (0..config.n as u32).map(|r| Sender::Replica(ReplicaId(r))).collect();
+    let replicas: Vec<Sender> = (0..config.n as u32)
+        .map(|r| Sender::Replica(ReplicaId(r)))
+        .collect();
 
     let mut threads = Vec::new();
     let spawn = |name: String, f: Box<dyn FnOnce() + Send>| -> JoinHandle<()> {
-        std::thread::Builder::new().name(name).spawn(f).expect("spawn stage thread")
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(f)
+            .expect("spawn stage thread")
     };
 
     // --- input threads ------------------------------------------------------
@@ -250,7 +255,9 @@ pub fn spawn_replica(
             format!("r{}-input-{i}", id.0),
             Box::new(move || {
                 while !stop.load(Ordering::Relaxed) {
-                    let Ok(sm) = rx.recv_timeout(POLL) else { continue };
+                    let Ok(sm) = rx.recv_timeout(POLL) else {
+                        continue;
+                    };
                     rec.record(|| match &sm.msg {
                         Message::ClientRequest { .. } => {
                             if is_primary {
@@ -306,7 +313,9 @@ pub fn spawn_replica(
             format!("r{}-ckpt-{c}", id.0),
             Box::new(move || {
                 while !stop.load(Ordering::Relaxed) {
-                    let Ok(sm) = rx.recv_timeout(POLL) else { continue };
+                    let Ok(sm) = rx.recv_timeout(POLL) else {
+                        continue;
+                    };
                     rec.record(|| {
                         let bytes = SignedMessage::signing_bytes(&sm.msg, sm.from);
                         if provider.verify(sm.from, &bytes, &sm.sig) {
@@ -388,7 +397,9 @@ pub fn spawn_replica(
                 let mut next = SeqNum(1);
                 let mut rr = 0usize;
                 while !stop.load(Ordering::Relaxed) {
-                    let Some(item) = exec_queues2.take(next, POLL) else { continue };
+                    let Some(item) = exec_queues2.take(next, POLL) else {
+                        continue;
+                    };
                     rec.record(|| {
                         let (state_digest, replies) = executor2.execute(&item);
                         for out in replies {
@@ -396,7 +407,10 @@ pub fn spawn_replica(
                             rr += 1;
                             let _ = out_txs[shard].send(out);
                         }
-                        let _ = work_tx2.send(Work::Executed { seq: item.seq, state_digest });
+                        let _ = work_tx2.send(Work::Executed {
+                            seq: item.seq,
+                            state_digest,
+                        });
                     });
                     next = next.next();
                 }
@@ -415,7 +429,9 @@ pub fn spawn_replica(
             format!("r{}-output-{o}", id.0),
             Box::new(move || {
                 while !stop.load(Ordering::Relaxed) {
-                    let Ok(item) = rx.recv_timeout(POLL) else { continue };
+                    let Ok(item) = rx.recv_timeout(POLL) else {
+                        continue;
+                    };
                     rec.record(|| {
                         let class = match item.targets.first() {
                             Some(Sender::Replica(_)) => PeerClass::Replica,
@@ -442,7 +458,11 @@ pub fn spawn_replica(
     // registration (mailbox sender lives in the switchboard).
     drop(endpoint);
 
-    ReplicaHandle { shared, threads, shutdown }
+    ReplicaHandle {
+        shared,
+        threads,
+        shutdown,
+    }
 }
 
 /// The batch-thread body (Section 4.3): verify client signatures, assemble
@@ -585,8 +605,12 @@ impl WorkerCtx {
         for action in actions {
             match action {
                 Action::Broadcast(msg) => {
-                    let targets: Vec<Sender> =
-                        self.replicas.iter().copied().filter(|r| *r != self.me).collect();
+                    let targets: Vec<Sender> = self
+                        .replicas
+                        .iter()
+                        .copied()
+                        .filter(|r| *r != self.me)
+                        .collect();
                     self.send_out(OutItem { targets, msg });
                 }
                 Action::SendReplica(r, msg) => {
@@ -595,8 +619,16 @@ impl WorkerCtx {
                 Action::SendClient(c, msg) => {
                     self.send_out(OutItem::to(Sender::Client(c), msg));
                 }
-                Action::CommitBatch { seq, view, digest, batch, certificate } => {
-                    self.shared.committed_batches.fetch_add(1, Ordering::Relaxed);
+                Action::CommitBatch {
+                    seq,
+                    view,
+                    digest,
+                    batch,
+                    certificate,
+                } => {
+                    self.shared
+                        .committed_batches
+                        .fetch_add(1, Ordering::Relaxed);
                     self.dispatch_execution(ExecuteItem {
                         seq,
                         view,
@@ -606,8 +638,16 @@ impl WorkerCtx {
                         history: None,
                     });
                 }
-                Action::SpecExecute { seq, view, digest, history, batch } => {
-                    self.shared.committed_batches.fetch_add(1, Ordering::Relaxed);
+                Action::SpecExecute {
+                    seq,
+                    view,
+                    digest,
+                    history,
+                    batch,
+                } => {
+                    self.shared
+                        .committed_batches
+                        .fetch_add(1, Ordering::Relaxed);
                     self.dispatch_execution(ExecuteItem {
                         seq,
                         view,

@@ -47,7 +47,10 @@ impl TestClient {
                 let t = Transaction::new(
                     self.id,
                     self.counter,
-                    vec![Operation::Write { key: (i as u64) % 512, value: vec![i as u8; 8] }],
+                    vec![Operation::Write {
+                        key: (i as u64) % 512,
+                        value: vec![i as u8; 8],
+                    }],
                 );
                 self.counter += 1;
                 t
@@ -60,16 +63,15 @@ impl TestClient {
         let bytes = SignedMessage::signing_bytes(&msg, Sender::Client(self.id));
         let sig = self.provider.sign(PeerClass::Replica, &bytes);
         self.endpoint
-            .send(Sender::Replica(to), SignedMessage::new(msg, Sender::Client(self.id), sig))
+            .send(
+                Sender::Replica(to),
+                SignedMessage::new(msg, Sender::Client(self.id), sig),
+            )
             .expect("send to primary");
     }
 }
 
-fn spawn_cluster(
-    cfg: &SystemConfig,
-    net: &Network,
-    registry: &KeyRegistry,
-) -> Vec<ReplicaHandle> {
+fn spawn_cluster(cfg: &SystemConfig, net: &Network, registry: &KeyRegistry) -> Vec<ReplicaHandle> {
     (0..cfg.n as u32)
         .map(|i| spawn_replica(cfg, ReplicaId(i), net, registry))
         .collect()
@@ -94,7 +96,9 @@ fn pbft_end_to_end_commits_and_replies() {
     let deadline = Instant::now() + Duration::from_secs(20);
     let mut completed = 0;
     while completed < 25 && Instant::now() < deadline {
-        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else { continue };
+        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else {
+            continue;
+        };
         for act in tracker.on_reply(&sm) {
             if matches!(act, ClientAction::Complete { .. }) {
                 completed += 1;
@@ -105,11 +109,22 @@ fn pbft_end_to_end_commits_and_replies() {
 
     // Every replica executed the same chain.
     std::thread::sleep(Duration::from_millis(300));
-    let heads: Vec<u64> = replicas.iter().map(|r| r.shared().chain.lock().head_seq().0).collect();
-    assert!(heads.iter().all(|h| *h == 5), "all replicas at 5 blocks: {heads:?}");
-    let digests: Vec<_> =
-        replicas.iter().map(|r| r.shared().store.state_digest()).collect();
-    assert!(digests.windows(2).all(|w| w[0] == w[1]), "stores must agree");
+    let heads: Vec<u64> = replicas
+        .iter()
+        .map(|r| r.shared().chain.lock().head_seq().0)
+        .collect();
+    assert!(
+        heads.iter().all(|h| *h == 5),
+        "all replicas at 5 blocks: {heads:?}"
+    );
+    let digests: Vec<_> = replicas
+        .iter()
+        .map(|r| r.shared().store.state_digest())
+        .collect();
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "stores must agree"
+    );
     for r in &replicas {
         assert!(r.shared().chain.lock().verify().is_ok());
     }
@@ -137,14 +152,19 @@ fn zyzzyva_fast_path_end_to_end() {
     let deadline = Instant::now() + Duration::from_secs(20);
     let mut completed = 0;
     while completed < 10 && Instant::now() < deadline {
-        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else { continue };
+        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else {
+            continue;
+        };
         for act in tracker.on_spec_response(&sm) {
             if matches!(act, ClientAction::Complete { .. }) {
                 completed += 1;
             }
         }
     }
-    assert_eq!(completed, 10, "fast path must complete with all replicas live");
+    assert_eq!(
+        completed, 10,
+        "fast path must complete with all replicas live"
+    );
     for r in replicas {
         r.shutdown();
     }
@@ -172,7 +192,9 @@ fn pbft_survives_backup_failure() {
     let deadline = Instant::now() + Duration::from_secs(20);
     let mut completed = 0;
     while completed < 10 && Instant::now() < deadline {
-        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else { continue };
+        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else {
+            continue;
+        };
         for act in tracker.on_reply(&sm) {
             if matches!(act, ClientAction::Complete { .. }) {
                 completed += 1;
@@ -209,14 +231,22 @@ fn zyzzyva_backup_failure_needs_commit_certificates() {
     let gather_deadline = Instant::now() + Duration::from_secs(10);
     let mut specs = 0;
     while specs < 15 && Instant::now() < gather_deadline {
-        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else { continue };
+        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else {
+            continue;
+        };
         let acts = tracker.on_spec_response(&sm);
-        assert!(acts.is_empty(), "fast path must not complete with a dead backup");
+        assert!(
+            acts.is_empty(),
+            "fast path must not complete with a dead backup"
+        );
         if matches!(sm.msg, Message::SpecResponse { .. }) {
             specs += 1;
         }
     }
-    assert!(specs >= 15, "3 live replicas × 5 txns spec responses, got {specs}");
+    assert!(
+        specs >= 15,
+        "3 live replicas × 5 txns spec responses, got {specs}"
+    );
 
     // Timeout: distribute commit certificates.
     let mut completed = 0;
@@ -238,7 +268,9 @@ fn zyzzyva_backup_failure_needs_commit_certificates() {
     // in the same batch (seq 1), so route to each tracked counter.
     let deadline = Instant::now() + Duration::from_secs(10);
     while completed < 5 && Instant::now() < deadline {
-        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else { continue };
+        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else {
+            continue;
+        };
         if !matches!(sm.msg, Message::LocalCommit { .. }) {
             continue;
         }
@@ -277,7 +309,9 @@ fn monolithic_configuration_still_commits() {
     let deadline = Instant::now() + Duration::from_secs(20);
     let mut completed = 0;
     while completed < 10 && Instant::now() < deadline {
-        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else { continue };
+        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else {
+            continue;
+        };
         for act in tracker.on_reply(&sm) {
             if matches!(act, ClientAction::Complete { .. }) {
                 completed += 1;
@@ -310,7 +344,9 @@ fn checkpoints_prune_the_chain() {
     let deadline = Instant::now() + Duration::from_secs(20);
     let mut completed = 0;
     while completed < 50 && Instant::now() < deadline {
-        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else { continue };
+        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else {
+            continue;
+        };
         for act in tracker.on_reply(&sm) {
             if matches!(act, ClientAction::Complete { .. }) {
                 completed += 1;

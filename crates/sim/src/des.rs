@@ -108,7 +108,12 @@ enum After {
     /// NIC finished sending the pre-prepare broadcast.
     PrePrepareSent { batch: usize },
     /// Input ingested a quorum (or straggler) vote bundle.
-    VoteBundleIngested { batch: usize, phase: Phase, count: u64, advance: bool },
+    VoteBundleIngested {
+        batch: usize,
+        phase: Phase,
+        count: u64,
+        advance: bool,
+    },
     /// Worker processed a vote bundle that completed a quorum.
     QuorumReached { batch: usize, phase: Phase },
     /// Capacity-only work (stragglers); no protocol progress.
@@ -136,11 +141,21 @@ enum After {
 #[derive(Debug)]
 enum EventKind {
     /// A stage job completed.
-    JobDone { replica: usize, stage: usize, service: Ns, after: After },
+    JobDone {
+        replica: usize,
+        stage: usize,
+        service: Ns,
+        after: After,
+    },
     /// The NIC finished a transmission.
     NicDone { replica: usize, after: After },
     /// A job arrives at a stage's queue.
-    JobArrive { replica: usize, stage: usize, service: Ns, after: After },
+    JobArrive {
+        replica: usize,
+        stage: usize,
+        service: Ns,
+        after: After,
+    },
     /// Client requests reach the primary.
     ClientArrive { count: u64 },
     /// A Zyzzyva client's fast-path timer expired.
@@ -265,14 +280,23 @@ impl<'a> Sim<'a> {
                             t.replica_input_threads.max(1)
                         }
                     }
-                    S_BATCH => if is_primary { t.batch_threads } else { 0 },
+                    S_BATCH => {
+                        if is_primary {
+                            t.batch_threads
+                        } else {
+                            0
+                        }
+                    }
                     S_WORKER => t.worker_threads.max(1),
                     S_EXECUTE => t.execute_threads,
                     _ => t.output_threads.max(1),
                 }
             };
             for s in 0..STAGE_COUNT {
-                stages.push(StageState { servers: servers(s), ..Default::default() });
+                stages.push(StageState {
+                    servers: servers(s),
+                    ..Default::default()
+                });
             }
             let crashed = r != 0 && r >= n - cfg.failures;
             reps.push(Rep {
@@ -287,8 +311,7 @@ impl<'a> Sim<'a> {
         }
         let warmup_end = cfg.warmup_ms * 1_000_000;
         let end = warmup_end + cfg.measure_ms * 1_000_000;
-        let interval_batches =
-            (sys.checkpoint_interval / sys.batch_size as u64).max(1);
+        let interval_batches = (sys.checkpoint_interval / sys.batch_size as u64).max(1);
         let ckpt_amortized = svc.checkpoint_worker_amortized(n, interval_batches);
         Sim {
             cfg,
@@ -315,7 +338,11 @@ impl<'a> Sim<'a> {
 
     fn push_event(&mut self, at: Ns, kind: EventKind) {
         self.event_seq += 1;
-        self.events.push(Reverse(Event { at, seq: self.event_seq, kind }));
+        self.events.push(Reverse(Event {
+            at,
+            seq: self.event_seq,
+            kind,
+        }));
     }
 
     /// Enqueues a job for `stage` at `replica`, starting it if a server
@@ -332,7 +359,15 @@ impl<'a> Sim<'a> {
                 st.busy += 1;
                 rep.cores_busy += 1;
                 let at = self.now + service;
-                self.push_event(at, EventKind::JobDone { replica, stage, service, after });
+                self.push_event(
+                    at,
+                    EventKind::JobDone {
+                        replica,
+                        stage,
+                        service,
+                        after,
+                    },
+                );
             } else {
                 rep.core_wait.push_back((stage, service, after));
             }
@@ -353,12 +388,19 @@ impl<'a> Sim<'a> {
             for i in 0..rep.core_wait.len() {
                 let stage = rep.core_wait[i].0;
                 if rep.stages[stage].busy < rep.stages[stage].servers {
-                    let (stage, service, after) =
-                        rep.core_wait.remove(i).expect("index checked");
+                    let (stage, service, after) = rep.core_wait.remove(i).expect("index checked");
                     rep.stages[stage].busy += 1;
                     rep.cores_busy += 1;
                     let at = self.now + service;
-                    self.push_event(at, EventKind::JobDone { replica, stage, service, after });
+                    self.push_event(
+                        at,
+                        EventKind::JobDone {
+                            replica,
+                            stage,
+                            service,
+                            after,
+                        },
+                    );
                     started = true;
                     break;
                 }
@@ -377,7 +419,12 @@ impl<'a> Sim<'a> {
                         let at = self.now + service;
                         self.push_event(
                             at,
-                            EventKind::JobDone { replica, stage, service, after },
+                            EventKind::JobDone {
+                                replica,
+                                stage,
+                                service,
+                                after,
+                            },
                         );
                         started = true;
                         break;
@@ -425,10 +472,12 @@ impl<'a> Sim<'a> {
                         0.0
                     }
                     + self.cfg.overheads.reply_create_ns;
-                self.enqueue(0, S_WORKER, count as f64 * per_req, After::UpperDone {
-                    count,
-                    arrival,
-                });
+                self.enqueue(
+                    0,
+                    S_WORKER,
+                    count as f64 * per_req,
+                    After::UpperDone { count, arrival },
+                );
             }
             SimMode::Consensus => {
                 self.enqueue(
@@ -449,7 +498,9 @@ impl<'a> Sim<'a> {
             let mut need = b;
             let mut arrival = self.now;
             while need > 0 {
-                let Some((cnt, t)) = self.pool_arrivals.front_mut() else { break };
+                let Some((cnt, t)) = self.pool_arrivals.front_mut() else {
+                    break;
+                };
                 arrival = arrival.min(*t);
                 if *cnt > need {
                     *cnt -= need;
@@ -460,12 +511,19 @@ impl<'a> Sim<'a> {
                 }
             }
             let id = self.batches.len();
-            self.batches.push(BatchSt { size: b, arrival, ..Default::default() });
+            self.batches.push(BatchSt {
+                size: b,
+                arrival,
+                ..Default::default()
+            });
             let has_batch_stage = self.reps[0].stages[S_BATCH].servers > 0;
             if has_batch_stage {
-                self.enqueue(0, S_BATCH, self.svc.assemble_batch(), After::BatchAssembled {
-                    batch: id,
-                });
+                self.enqueue(
+                    0,
+                    S_BATCH,
+                    self.svc.assemble_batch(),
+                    After::BatchAssembled { batch: id },
+                );
             } else {
                 // 0B: assembly + propose folded into the worker.
                 self.enqueue(
@@ -481,7 +539,12 @@ impl<'a> Sim<'a> {
     fn schedule_execute(&mut self, replica: usize, batch: usize) {
         let has_exec = self.reps[replica].stages[S_EXECUTE].servers > 0;
         let stage = if has_exec { S_EXECUTE } else { S_WORKER };
-        self.enqueue(replica, stage, self.svc.execute_batch(), After::Executed { batch });
+        self.enqueue(
+            replica,
+            stage,
+            self.svc.execute_batch(),
+            After::Executed { batch },
+        );
     }
 
     /// Vote-bundle scheduling: when enough senders of `phase` have finished
@@ -533,12 +596,20 @@ impl<'a> Sim<'a> {
                 }
                 let count = needed_from_others as u64;
                 let at = self.now + self.latency_ns;
-                self.push_event(at, EventKind::JobArrive {
-                    replica: r,
-                    stage: S_INPUT,
-                    service: (count as f64 * self.svc.input_message()).max(1.0) as Ns,
-                    after: After::VoteBundleIngested { batch, phase, count, advance: true },
-                });
+                self.push_event(
+                    at,
+                    EventKind::JobArrive {
+                        replica: r,
+                        stage: S_INPUT,
+                        service: (count as f64 * self.svc.input_message()).max(1.0) as Ns,
+                        after: After::VoteBundleIngested {
+                            batch,
+                            phase,
+                            count,
+                            advance: true,
+                        },
+                    },
+                );
             }
         }
         // Stragglers: once every live sender transmitted, receivers pay for
@@ -557,8 +628,7 @@ impl<'a> Sim<'a> {
                 if !self.live(r) {
                     continue;
                 }
-                let total_from_others =
-                    live_senders.iter().filter(|&&s| s != r).count();
+                let total_from_others = live_senders.iter().filter(|&&s| s != r).count();
                 let needed = match phase {
                     Phase::Prepare => {
                         if r == 0 {
@@ -572,17 +642,20 @@ impl<'a> Sim<'a> {
                 let extra = total_from_others.saturating_sub(needed) as u64;
                 if extra > 0 {
                     let at = self.now + self.latency_ns;
-                    self.push_event(at, EventKind::JobArrive {
-                        replica: r,
-                        stage: S_INPUT,
-                        service: (extra as f64 * self.svc.input_message()).max(1.0) as Ns,
-                        after: After::VoteBundleIngested {
-                            batch,
-                            phase,
-                            count: extra,
-                            advance: false,
+                    self.push_event(
+                        at,
+                        EventKind::JobArrive {
+                            replica: r,
+                            stage: S_INPUT,
+                            service: (extra as f64 * self.svc.input_message()).max(1.0) as Ns,
+                            after: After::VoteBundleIngested {
+                                batch,
+                                phase,
+                                count: extra,
+                                advance: false,
+                            },
                         },
-                    });
+                    );
                 }
             }
         }
@@ -605,7 +678,10 @@ impl<'a> Sim<'a> {
         // Closed loop: the clients re-submit; their requests reach the
         // primary one link latency later.
         if at < self.end {
-            self.push_event(at + self.latency_ns, EventKind::ClientArrive { count: size });
+            self.push_event(
+                at + self.latency_ns,
+                EventKind::ClientArrive { count: size },
+            );
         }
     }
 
@@ -634,9 +710,11 @@ impl<'a> Sim<'a> {
             }
             After::PrePrepareSigned { batch } => {
                 let fanout = (self.n - 1) as f64;
-                self.nic_push(0, fanout * self.svc.batch_bytes as f64, After::PrePrepareSent {
-                    batch,
-                });
+                self.nic_push(
+                    0,
+                    fanout * self.svc.batch_bytes as f64,
+                    After::PrePrepareSent { batch },
+                );
             }
             After::PrePrepareSent { batch } => {
                 for r in 1..self.n {
@@ -644,12 +722,15 @@ impl<'a> Sim<'a> {
                         continue;
                     }
                     let at = self.now + self.latency_ns;
-                    self.push_event(at, EventKind::JobArrive {
-                        replica: r,
-                        stage: S_INPUT,
-                        service: self.svc.input_message().max(1.0) as Ns,
-                        after: After::PrePrepareDelivered { batch },
-                    });
+                    self.push_event(
+                        at,
+                        EventKind::JobArrive {
+                            replica: r,
+                            stage: S_INPUT,
+                            service: self.svc.input_message().max(1.0) as Ns,
+                            after: After::PrePrepareDelivered { batch },
+                        },
+                    );
                 }
             }
             After::PrePrepareDelivered { batch } => {
@@ -666,7 +747,10 @@ impl<'a> Sim<'a> {
                         replica,
                         S_OUTPUT,
                         self.svc.sign_replica_msg(self.svc.vote_bytes),
-                        After::VoteSigned { batch, phase: Phase::Prepare },
+                        After::VoteSigned {
+                            batch,
+                            phase: Phase::Prepare,
+                        },
                     );
                 }
                 ProtocolKind::Zyzzyva => {
@@ -675,27 +759,38 @@ impl<'a> Sim<'a> {
             },
             After::VoteSigned { batch, phase } => {
                 let fanout = (self.n - 1) as f64;
-                self.nic_push(replica, fanout * self.svc.vote_bytes as f64, After::VoteSent {
-                    batch,
-                    phase,
-                });
+                self.nic_push(
+                    replica,
+                    fanout * self.svc.vote_bytes as f64,
+                    After::VoteSent { batch, phase },
+                );
             }
             After::VoteSent { batch, phase } => {
                 match phase {
-                    Phase::Prepare => {
-                        self.batches[batch].prepare_senders.push((replica, self.now))
-                    }
+                    Phase::Prepare => self.batches[batch]
+                        .prepare_senders
+                        .push((replica, self.now)),
                     Phase::Commit => self.batches[batch].commit_senders.push((replica, self.now)),
                 }
                 self.check_vote_receivers(batch, phase);
             }
-            After::VoteBundleIngested { batch, phase, count, advance } => {
+            After::VoteBundleIngested {
+                batch,
+                phase,
+                count,
+                advance,
+            } => {
                 let after = if advance {
                     After::QuorumReached { batch, phase }
                 } else {
                     After::Absorb
                 };
-                self.enqueue(replica, S_WORKER, count as f64 * self.svc.process_vote(), after);
+                self.enqueue(
+                    replica,
+                    S_WORKER,
+                    count as f64 * self.svc.process_vote(),
+                    after,
+                );
             }
             After::QuorumReached { batch, phase } => match phase {
                 Phase::Prepare => {
@@ -703,7 +798,10 @@ impl<'a> Sim<'a> {
                         replica,
                         S_OUTPUT,
                         self.svc.sign_replica_msg(self.svc.vote_bytes),
-                        After::VoteSigned { batch, phase: Phase::Commit },
+                        After::VoteSigned {
+                            batch,
+                            phase: Phase::Commit,
+                        },
                     );
                 }
                 Phase::Commit => {
@@ -715,15 +813,20 @@ impl<'a> Sim<'a> {
             },
             After::Absorb => {}
             After::Executed { batch } => {
-                self.enqueue(replica, S_OUTPUT, self.svc.reply_batch(), After::RepliesSigned {
-                    batch,
-                });
+                self.enqueue(
+                    replica,
+                    S_OUTPUT,
+                    self.svc.reply_batch(),
+                    After::RepliesSigned { batch },
+                );
             }
             After::RepliesSigned { batch } => {
                 let b = self.batches[batch].size as f64;
-                self.nic_push(replica, b * self.svc.reply_bytes as f64, After::RepliesSent {
-                    batch,
-                });
+                self.nic_push(
+                    replica,
+                    b * self.svc.reply_bytes as f64,
+                    After::RepliesSent { batch },
+                );
             }
             After::RepliesSent { batch } => {
                 self.batches[batch].reply_arrivals += 1;
@@ -748,8 +851,7 @@ impl<'a> Sim<'a> {
                             // Fast path is impossible: the client waits out
                             // its timer, then distributes certificates.
                             self.batches[batch].cc_fired = true;
-                            let timeout =
-                                self.cfg.system.client_timeout_ms * 1_000_000;
+                            let timeout = self.cfg.system.client_timeout_ms * 1_000_000;
                             self.push_event(
                                 client_sees_at + timeout,
                                 EventKind::ZyzzyvaTimeout { batch },
@@ -780,9 +882,11 @@ impl<'a> Sim<'a> {
             }
             After::LocalCommitsSigned { batch } => {
                 let b = self.batches[batch].size as f64;
-                self.nic_push(replica, b * self.svc.vote_bytes as f64, After::LocalCommitsSent {
-                    batch,
-                });
+                self.nic_push(
+                    replica,
+                    b * self.svc.vote_bytes as f64,
+                    After::LocalCommitsSent { batch },
+                );
             }
             After::LocalCommitsSent { batch } => {
                 self.batches[batch].lc_arrivals += 1;
@@ -791,10 +895,11 @@ impl<'a> Sim<'a> {
                 }
             }
             After::UpperDone { count, arrival } => {
-                self.nic_push(0, count as f64 * self.svc.reply_bytes as f64, After::UpperSent {
-                    count,
-                    arrival,
-                });
+                self.nic_push(
+                    0,
+                    count as f64 * self.svc.reply_bytes as f64,
+                    After::UpperSent { count, arrival },
+                );
             }
             After::UpperSent { count, arrival } => {
                 let at = self.now + self.latency_ns;
@@ -831,10 +936,20 @@ impl<'a> Sim<'a> {
             self.now = ev.at;
             match ev.kind {
                 EventKind::ClientArrive { count } => self.on_client_arrive(count),
-                EventKind::JobArrive { replica, stage, service, after } => {
+                EventKind::JobArrive {
+                    replica,
+                    stage,
+                    service,
+                    after,
+                } => {
                     self.enqueue(replica, stage, service as f64, after);
                 }
-                EventKind::JobDone { replica, stage, service, after } => {
+                EventKind::JobDone {
+                    replica,
+                    stage,
+                    service,
+                    after,
+                } => {
                     {
                         let rep = &mut self.reps[replica];
                         rep.stages[stage].busy -= 1;
@@ -853,12 +968,15 @@ impl<'a> Sim<'a> {
                             continue;
                         }
                         let at = self.now + self.latency_ns;
-                        self.push_event(at, EventKind::JobArrive {
-                            replica: r,
-                            stage: S_INPUT,
-                            service: (b * self.svc.input_message()).max(1.0) as Ns,
-                            after: After::CcIngested { batch },
-                        });
+                        self.push_event(
+                            at,
+                            EventKind::JobArrive {
+                                replica: r,
+                                stage: S_INPUT,
+                                service: (b * self.svc.input_message()).max(1.0) as Ns,
+                                after: After::CcIngested { batch },
+                            },
+                        );
                     }
                 }
             }
@@ -877,8 +995,7 @@ impl<'a> Sim<'a> {
         let mut backup_saturation = BTreeMap::new();
         for s in 0..STAGE_COUNT {
             primary_saturation.insert(stage_enum(s), sat(&self.reps[0], s));
-            let backups: Vec<&Rep> =
-                self.reps[1..].iter().filter(|r| !r.crashed).collect();
+            let backups: Vec<&Rep> = self.reps[1..].iter().filter(|r| !r.crashed).collect();
             let mean = if backups.is_empty() {
                 0.0
             } else {
@@ -886,8 +1003,10 @@ impl<'a> Sim<'a> {
             };
             backup_saturation.insert(stage_enum(s), mean);
         }
-        primary_saturation
-            .insert(SimStage::Nic, 100.0 * self.reps[0].nic_busy_ns as f64 / duration);
+        primary_saturation.insert(
+            SimStage::Nic,
+            100.0 * self.reps[0].nic_busy_ns as f64 / duration,
+        );
 
         let measure_s = self.cfg.measure_ms as f64 / 1_000.0;
         SimReport {

@@ -22,8 +22,13 @@ pub enum SimStage {
 
 impl SimStage {
     /// All CPU stages (excluding the NIC).
-    pub const CPU: [SimStage; 5] =
-        [SimStage::Input, SimStage::Batch, SimStage::Worker, SimStage::Execute, SimStage::Output];
+    pub const CPU: [SimStage; 5] = [
+        SimStage::Input,
+        SimStage::Batch,
+        SimStage::Worker,
+        SimStage::Execute,
+        SimStage::Output,
+    ];
 
     /// Short label for tables.
     pub fn label(self) -> &'static str {

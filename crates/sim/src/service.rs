@@ -125,9 +125,8 @@ impl ServiceModel {
     pub fn assemble_batch(&self) -> f64 {
         let b = self.batch_size as f64;
         let verify = b * self.cost.verify_ns(self.scheme, false, self.txn_bytes);
-        let copy = b
-            * (self.over.batch_per_txn_ns
-                + self.over.batch_per_byte_ns * self.txn_bytes as f64);
+        let copy =
+            b * (self.over.batch_per_txn_ns + self.over.batch_per_byte_ns * self.txn_bytes as f64);
         // One digest over the whole batch (Section 4.3's single-hash trick).
         let digest = self.cost.hash_ns(self.batch_bytes);
         verify + copy + digest
@@ -177,8 +176,7 @@ impl ServiceModel {
         let sign = match (self.protocol, self.scheme) {
             (_, CryptoScheme::NoCrypto) => 0.0,
             (ProtocolKind::Zyzzyva, CryptoScheme::CmacEd25519) => {
-                self.cost.ed25519_sign_ns
-                    + self.cost.sha256_per_byte_ns * self.reply_bytes as f64
+                self.cost.ed25519_sign_ns + self.cost.sha256_per_byte_ns * self.reply_bytes as f64
             }
             (_, scheme) => self.cost.sign_ns(scheme, true, self.reply_bytes),
         };

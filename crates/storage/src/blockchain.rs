@@ -110,7 +110,14 @@ impl Blockchain {
             ChainMode::Certificate => BlockLink::Certificate(certificate),
             ChainMode::PrevHash => BlockLink::Hash(self.head_hash),
         };
-        let block = Block { seq, digest: batch_digest, view, link, txn_count, result_digest };
+        let block = Block {
+            seq,
+            digest: batch_digest,
+            view,
+            link,
+            txn_count,
+            result_digest,
+        };
         if self.mode == ChainMode::PrevHash {
             self.head_hash = digest(&block.canonical_bytes());
         }
@@ -214,8 +221,15 @@ mod tests {
     fn append_and_verify_certificate_mode() {
         let mut c = chain(ChainMode::Certificate);
         for i in 1..=10u64 {
-            c.append(SeqNum(i), digest(&i.to_le_bytes()), ViewNum(0), cert(3), 100, Digest::ZERO)
-                .unwrap();
+            c.append(
+                SeqNum(i),
+                digest(&i.to_le_bytes()),
+                ViewNum(0),
+                cert(3),
+                100,
+                Digest::ZERO,
+            )
+            .unwrap();
         }
         assert_eq!(c.head_seq(), SeqNum(10));
         assert_eq!(c.appended(), 10);
@@ -226,15 +240,29 @@ mod tests {
     fn append_and_verify_prevhash_mode() {
         let mut c = chain(ChainMode::PrevHash);
         for i in 1..=10u64 {
-            c.append(SeqNum(i), digest(&i.to_le_bytes()), ViewNum(0), cert(3), 100, Digest::ZERO)
-                .unwrap();
+            c.append(
+                SeqNum(i),
+                digest(&i.to_le_bytes()),
+                ViewNum(0),
+                cert(3),
+                100,
+                Digest::ZERO,
+            )
+            .unwrap();
         }
         assert!(c.verify().is_ok());
         // Tamper with a middle block: verification must fail.
         let mut tampered = chain(ChainMode::PrevHash);
         for i in 1..=5u64 {
             tampered
-                .append(SeqNum(i), digest(&i.to_le_bytes()), ViewNum(0), cert(3), 100, Digest::ZERO)
+                .append(
+                    SeqNum(i),
+                    digest(&i.to_le_bytes()),
+                    ViewNum(0),
+                    cert(3),
+                    100,
+                    Digest::ZERO,
+                )
                 .unwrap();
         }
         tampered.blocks[2].digest = digest(b"evil");
@@ -245,13 +273,34 @@ mod tests {
     fn rejects_gap_and_small_certificate() {
         let mut c = chain(ChainMode::Certificate);
         assert!(c
-            .append(SeqNum(2), Digest::ZERO, ViewNum(0), cert(3), 1, Digest::ZERO)
+            .append(
+                SeqNum(2),
+                Digest::ZERO,
+                ViewNum(0),
+                cert(3),
+                1,
+                Digest::ZERO
+            )
             .is_err());
         assert!(c
-            .append(SeqNum(1), Digest::ZERO, ViewNum(0), cert(2), 1, Digest::ZERO)
+            .append(
+                SeqNum(1),
+                Digest::ZERO,
+                ViewNum(0),
+                cert(2),
+                1,
+                Digest::ZERO
+            )
             .is_err());
         assert!(c
-            .append(SeqNum(1), Digest::ZERO, ViewNum(0), cert(3), 1, Digest::ZERO)
+            .append(
+                SeqNum(1),
+                Digest::ZERO,
+                ViewNum(0),
+                cert(3),
+                1,
+                Digest::ZERO
+            )
             .is_ok());
     }
 
@@ -259,11 +308,21 @@ mod tests {
     fn block_lookup() {
         let mut c = chain(ChainMode::Certificate);
         for i in 1..=5u64 {
-            c.append(SeqNum(i), digest(&i.to_le_bytes()), ViewNum(0), cert(3), 10, Digest::ZERO)
-                .unwrap();
+            c.append(
+                SeqNum(i),
+                digest(&i.to_le_bytes()),
+                ViewNum(0),
+                cert(3),
+                10,
+                Digest::ZERO,
+            )
+            .unwrap();
         }
         assert!(c.block_at(SeqNum(0)).unwrap().is_genesis());
-        assert_eq!(c.block_at(SeqNum(3)).unwrap().digest, digest(&3u64.to_le_bytes()));
+        assert_eq!(
+            c.block_at(SeqNum(3)).unwrap().digest,
+            digest(&3u64.to_le_bytes())
+        );
         assert!(c.block_at(SeqNum(6)).is_none());
     }
 
@@ -271,15 +330,30 @@ mod tests {
     fn pruning_respects_base() {
         let mut c = chain(ChainMode::Certificate);
         for i in 1..=10u64 {
-            c.append(SeqNum(i), digest(&i.to_le_bytes()), ViewNum(0), cert(3), 10, Digest::ZERO)
-                .unwrap();
+            c.append(
+                SeqNum(i),
+                digest(&i.to_le_bytes()),
+                ViewNum(0),
+                cert(3),
+                10,
+                Digest::ZERO,
+            )
+            .unwrap();
         }
         c.prune_below(SeqNum(6));
         assert_eq!(c.retained(), 5); // blocks 6..=10
         assert!(c.block_at(SeqNum(5)).is_none());
         assert_eq!(c.block_at(SeqNum(6)).unwrap().seq, SeqNum(6));
         // Appending continues to work after pruning.
-        c.append(SeqNum(11), Digest::ZERO, ViewNum(0), cert(3), 10, Digest::ZERO).unwrap();
+        c.append(
+            SeqNum(11),
+            Digest::ZERO,
+            ViewNum(0),
+            cert(3),
+            10,
+            Digest::ZERO,
+        )
+        .unwrap();
         assert_eq!(c.head_seq(), SeqNum(11));
         assert!(c.verify().is_ok());
         // Pruning below the base is a no-op.
@@ -291,8 +365,15 @@ mod tests {
     fn blocks_between_for_checkpoints() {
         let mut c = chain(ChainMode::Certificate);
         for i in 1..=10u64 {
-            c.append(SeqNum(i), digest(&i.to_le_bytes()), ViewNum(0), cert(3), 10, Digest::ZERO)
-                .unwrap();
+            c.append(
+                SeqNum(i),
+                digest(&i.to_le_bytes()),
+                ViewNum(0),
+                cert(3),
+                10,
+                Digest::ZERO,
+            )
+            .unwrap();
         }
         let blocks = c.blocks_between(SeqNum(3), SeqNum(7));
         let seqs: Vec<u64> = blocks.iter().map(|b| b.seq.0).collect();
@@ -303,7 +384,15 @@ mod tests {
     fn head_digest_changes_with_appends() {
         let mut c = chain(ChainMode::Certificate);
         let d0 = c.head_digest();
-        c.append(SeqNum(1), digest(b"x"), ViewNum(0), cert(3), 1, Digest::ZERO).unwrap();
+        c.append(
+            SeqNum(1),
+            digest(b"x"),
+            ViewNum(0),
+            cert(3),
+            1,
+            Digest::ZERO,
+        )
+        .unwrap();
         assert_ne!(c.head_digest(), d0);
     }
 }

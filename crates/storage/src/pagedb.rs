@@ -167,7 +167,14 @@ impl PagedStore {
         let mut data = vec![0u8; PAGE_SIZE];
         st.file.seek(SeekFrom::Start(page_id * PAGE_SIZE as u64))?;
         st.file.read_exact(&mut data)?;
-        st.cache.insert(page_id, Page { data, dirty: false, last_used: tick });
+        st.cache.insert(
+            page_id,
+            Page {
+                data,
+                dirty: false,
+                last_used: tick,
+            },
+        );
         Ok(page_id)
     }
 
@@ -228,7 +235,10 @@ fn record_hash(key: u64, value: &[u8]) -> [u8; 32] {
 
 impl StateStore for PagedStore {
     fn get(&self, key: u64) -> Option<Vec<u8>> {
-        assert!(key < self.config.capacity, "key {key} beyond store capacity");
+        assert!(
+            key < self.config.capacity,
+            "key {key} beyond store capacity"
+        );
         let mut st = self.state.lock();
         let off = self.slot_offset(key);
         let raw = self
@@ -242,7 +252,10 @@ impl StateStore for PagedStore {
     }
 
     fn put(&self, key: u64, value: &[u8]) {
-        assert!(key < self.config.capacity, "key {key} beyond store capacity");
+        assert!(
+            key < self.config.capacity,
+            "key {key} beyond store capacity"
+        );
         assert!(
             value.len() <= self.config.record_size,
             "value of {} bytes exceeds record size {}",
@@ -275,7 +288,8 @@ impl StateStore for PagedStore {
         let mut buf = Vec::with_capacity(SLOT_HDR + value.len());
         buf.extend_from_slice(&(value.len() as u16).to_le_bytes());
         buf.extend_from_slice(value);
-        self.write_at(&mut st, off, &buf).expect("paged write failed");
+        self.write_at(&mut st, off, &buf)
+            .expect("paged write failed");
     }
 
     fn len(&self) -> usize {
@@ -303,7 +317,12 @@ mod tests {
     }
 
     fn small_config() -> PagedStoreConfig {
-        PagedStoreConfig { record_size: 32, capacity: 1000, cache_pages: 4, fsync_on_write: false }
+        PagedStoreConfig {
+            record_size: 32,
+            capacity: 1000,
+            cache_pages: 4,
+            fsync_on_write: false,
+        }
     }
 
     #[test]
@@ -327,7 +346,11 @@ mod tests {
             s.put(key, &key.to_le_bytes());
         }
         for key in (0..1000u64).step_by(97) {
-            assert_eq!(s.get(key).as_deref(), Some(&key.to_le_bytes()[..]), "key {key}");
+            assert_eq!(
+                s.get(key).as_deref(),
+                Some(&key.to_le_bytes()[..]),
+                "key {key}"
+            );
         }
         let (hits, misses) = s.cache_stats();
         assert!(misses > 0, "a 4-page cache must miss");

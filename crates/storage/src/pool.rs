@@ -26,7 +26,9 @@ pub struct BufferPool<T> {
 
 impl<T> Clone for BufferPool<T> {
     fn clone(&self) -> Self {
-        BufferPool { inner: Arc::clone(&self.inner) }
+        BufferPool {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -76,12 +78,18 @@ impl<T> BufferPool<T> {
                 (self.inner.factory)()
             }
         };
-        Pooled { obj: Some(obj), pool: Arc::clone(&self.inner) }
+        Pooled {
+            obj: Some(obj),
+            pool: Arc::clone(&self.inner),
+        }
     }
 
     /// `(hits, misses)`: takes served from the pool vs fresh allocations.
     pub fn stats(&self) -> (u64, u64) {
-        (self.inner.hits.load(Ordering::Relaxed), self.inner.misses.load(Ordering::Relaxed))
+        (
+            self.inner.hits.load(Ordering::Relaxed),
+            self.inner.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Number of idle objects currently pooled.

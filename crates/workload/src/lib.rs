@@ -69,7 +69,12 @@ impl WorkloadGenerator {
     /// Creates a generator with the given config and seed.
     pub fn new(config: WorkloadConfig, seed: u64) -> Self {
         let zipf = Zipfian::new(config.table_size, config.zipf_theta);
-        WorkloadGenerator { config, rng: StdRng::seed_from_u64(seed), zipf, counters: HashMap::new() }
+        WorkloadGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            zipf,
+            counters: HashMap::new(),
+        }
     }
 
     /// The active configuration.
@@ -139,7 +144,10 @@ mod tests {
 
     #[test]
     fn ops_per_txn_respected() {
-        let cfg = WorkloadConfig { ops_per_txn: 10, ..Default::default() };
+        let cfg = WorkloadConfig {
+            ops_per_txn: 10,
+            ..Default::default()
+        };
         let mut g = WorkloadGenerator::new(cfg, 1);
         let t = g.next_transaction(ClientId(0));
         assert_eq!(t.op_count(), 10);
@@ -156,7 +164,10 @@ mod tests {
 
     #[test]
     fn read_ratio_respected() {
-        let cfg = WorkloadConfig { write_ratio: 0.0, ..Default::default() };
+        let cfg = WorkloadConfig {
+            write_ratio: 0.0,
+            ..Default::default()
+        };
         let mut g = WorkloadGenerator::new(cfg, 1);
         let t = g.next_transaction(ClientId(0));
         assert!(t.ops.iter().all(|o| !o.is_write()));
@@ -164,7 +175,11 @@ mod tests {
 
     #[test]
     fn keys_within_table() {
-        let cfg = WorkloadConfig { table_size: 100, ops_per_txn: 5, ..Default::default() };
+        let cfg = WorkloadConfig {
+            table_size: 100,
+            ops_per_txn: 5,
+            ..Default::default()
+        };
         let mut g = WorkloadGenerator::new(cfg, 1);
         for _ in 0..200 {
             let t = g.next_transaction(ClientId(0));
@@ -176,7 +191,10 @@ mod tests {
 
     #[test]
     fn payload_size_respected() {
-        let cfg = WorkloadConfig { payload_bytes: 4096, ..Default::default() };
+        let cfg = WorkloadConfig {
+            payload_bytes: 4096,
+            ..Default::default()
+        };
         let mut g = WorkloadGenerator::new(cfg, 1);
         let t = g.next_transaction(ClientId(0));
         assert_eq!(t.payload.len(), 4096);
@@ -188,7 +206,10 @@ mod tests {
         let mut a = WorkloadGenerator::new(WorkloadConfig::default(), 9);
         let mut b = WorkloadGenerator::new(WorkloadConfig::default(), 9);
         for _ in 0..50 {
-            assert_eq!(a.next_transaction(ClientId(1)), b.next_transaction(ClientId(1)));
+            assert_eq!(
+                a.next_transaction(ClientId(1)),
+                b.next_transaction(ClientId(1))
+            );
         }
     }
 
@@ -198,7 +219,11 @@ mod tests {
         let clients = [ClientId(0), ClientId(1), ClientId(2)];
         let batch = g.next_batch(&clients, 7);
         assert_eq!(batch.len(), 7);
-        let from_c0 = batch.txns.iter().filter(|t| t.id.client == ClientId(0)).count();
+        let from_c0 = batch
+            .txns
+            .iter()
+            .filter(|t| t.id.client == ClientId(0))
+            .count();
         assert_eq!(from_c0, 3); // positions 0, 3, 6
     }
 

@@ -26,12 +26,22 @@ impl Zipfian {
     /// the normalization singular).
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "domain must be non-empty");
-        assert!(theta >= 0.0 && (theta - 1.0).abs() > 1e-9, "theta must be >= 0 and != 1");
+        assert!(
+            theta >= 0.0 && (theta - 1.0).abs() > 1e-9,
+            "theta must be >= 0 and != 1"
+        );
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipfian { n, theta, alpha, zetan, eta, zeta2 }
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -46,8 +56,8 @@ impl Zipfian {
         }
         if n > EXACT && theta < 1.0 {
             // ∫ x^-θ dx from EXACT to n
-            sum += ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta))
-                / (1.0 - theta);
+            sum +=
+                ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta)) / (1.0 - theta);
         }
         sum
     }

@@ -23,7 +23,11 @@ fn main() {
     // YCSB-style generator: Zipfian key choice over the table, write-only
     // (the paper's workload), seeded for reproducibility.
     let mut gen = WorkloadGenerator::new(
-        WorkloadConfig { table_size, zipf_theta: 0.9, ..Default::default() },
+        WorkloadConfig {
+            table_size,
+            zipf_theta: 0.9,
+            ..Default::default()
+        },
         7,
     );
     let mut client = db.client(0);

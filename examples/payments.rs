@@ -37,8 +37,14 @@ fn main() {
                         let to = (from + 1 + i) % ACCOUNTS;
                         let amount = (10 + i).to_le_bytes().to_vec();
                         session.txn(vec![
-                            Operation::Write { key: from, value: amount.clone() },
-                            Operation::Write { key: to, value: amount },
+                            Operation::Write {
+                                key: from,
+                                value: amount.clone(),
+                            },
+                            Operation::Write {
+                                key: to,
+                                value: amount,
+                            },
                         ])
                     })
                     .collect();
@@ -48,7 +54,10 @@ fn main() {
         }));
     }
 
-    let total: usize = handles.into_iter().map(|h| h.join().expect("bank thread")).sum();
+    let total: usize = handles
+        .into_iter()
+        .map(|h| h.join().expect("bank thread"))
+        .sum();
     println!("completed {total} transfer transactions across 3 banks");
     assert_eq!(total, 120, "all transfers must commit");
 
@@ -62,9 +71,18 @@ fn main() {
         std::thread::sleep(Duration::from_millis(50));
     }
     let digests = db.state_digests();
-    assert!(digests.windows(2).all(|w| w[0] == w[1]), "replica state diverged");
-    println!("all {} replicas agree on final balances", db.replica_count());
-    println!("executed {} transactions at replica 0", db.executed_txns(rdb_common::ReplicaId(0)));
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "replica state diverged"
+    );
+    println!(
+        "all {} replicas agree on final balances",
+        db.replica_count()
+    );
+    println!(
+        "executed {} transactions at replica 0",
+        db.executed_txns(rdb_common::ReplicaId(0))
+    );
 
     db.shutdown();
 }

@@ -39,16 +39,31 @@ fn main() {
     println!("-- threaded runtime (4 replicas, laptop scale) --");
     let pbft = threaded_measurement(ProtocolKind::Pbft);
     let zyz = threaded_measurement(ProtocolKind::Zyzzyva);
-    println!("PBFT    : {:>8.0} txn/s, {:>6.1} ms per burst", pbft.throughput_tps, pbft.avg_latency_ms);
-    println!("Zyzzyva : {:>8.0} txn/s, {:>6.1} ms per burst", zyz.throughput_tps, zyz.avg_latency_ms);
+    println!(
+        "PBFT    : {:>8.0} txn/s, {:>6.1} ms per burst",
+        pbft.throughput_tps, pbft.avg_latency_ms
+    );
+    println!(
+        "Zyzzyva : {:>8.0} txn/s, {:>6.1} ms per burst",
+        zyz.throughput_tps, zyz.avg_latency_ms
+    );
 
     println!("\n-- simulator (16 replicas, 80K clients, paper scale) --");
     let pbft_good = sim_tput(ProtocolKind::Pbft, ThreadConfig::standard(), 0);
     let zyz_mono = sim_tput(ProtocolKind::Zyzzyva, ThreadConfig::monolithic(), 0);
     let zyz_good = sim_tput(ProtocolKind::Zyzzyva, ThreadConfig::standard(), 0);
-    println!("PBFT on the ResilientDB pipeline (1E 2B): {:>8.0} txn/s", pbft_good);
-    println!("Zyzzyva, protocol-centric design (0E 0B): {:>8.0} txn/s", zyz_mono);
-    println!("Zyzzyva on the ResilientDB pipeline:      {:>8.0} txn/s", zyz_good);
+    println!(
+        "PBFT on the ResilientDB pipeline (1E 2B): {:>8.0} txn/s",
+        pbft_good
+    );
+    println!(
+        "Zyzzyva, protocol-centric design (0E 0B): {:>8.0} txn/s",
+        zyz_mono
+    );
+    println!(
+        "Zyzzyva on the ResilientDB pipeline:      {:>8.0} txn/s",
+        zyz_good
+    );
     println!(
         "→ well-crafted PBFT beats protocol-centric Zyzzyva by {:.0}%",
         100.0 * (pbft_good / zyz_mono - 1.0)
@@ -57,7 +72,10 @@ fn main() {
     println!("\n-- one backup failure (the paper's Q11) --");
     let pbft_fail = sim_tput(ProtocolKind::Pbft, ThreadConfig::standard(), 1);
     let zyz_fail = sim_tput(ProtocolKind::Zyzzyva, ThreadConfig::standard(), 1);
-    println!("PBFT with 1 crashed backup:    {:>8.0} txn/s (unaffected)", pbft_fail);
+    println!(
+        "PBFT with 1 crashed backup:    {:>8.0} txn/s (unaffected)",
+        pbft_fail
+    );
     println!(
         "Zyzzyva with 1 crashed backup: {:>8.0} txn/s ({:.0}x collapse)",
         zyz_fail,

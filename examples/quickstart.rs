@@ -19,7 +19,11 @@ fn main() {
         .build()
         .expect("valid configuration");
 
-    println!("started {} replicas, primary = {}", db.replica_count(), db.primary());
+    println!(
+        "started {} replicas, primary = {}",
+        db.replica_count(),
+        db.primary()
+    );
 
     let mut client = db.client(0);
     let txns = vec![

@@ -5,10 +5,33 @@
 use rdb_common::{CryptoScheme, ProtocolKind, ReplicaId, StorageMode, SystemConfig, ThreadConfig};
 use rdb_sim::SimConfig;
 use rdb_workload::{WorkloadConfig, WorkloadGenerator};
-use resilientdb::SystemBuilder;
-use std::time::Duration;
+use resilientdb::{ResilientDb, SystemBuilder};
+use std::time::{Duration, Instant};
 
-const WAIT: Duration = Duration::from_secs(25);
+/// Per-wait budget for commit/execution progress. 25 s covers a loaded
+/// laptop running the suite in parallel; slow CI machines can extend it
+/// with `RDB_TEST_WAIT_SECS` instead of editing every bound.
+fn wait() -> Duration {
+    let secs = std::env::var("RDB_TEST_WAIT_SECS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(25);
+    Duration::from_secs(secs)
+}
+
+/// Clients only need `f + 1` matching replies, so any single replica's
+/// execute stage may trail `submit_and_wait`; poll instead of asserting
+/// instantaneous progress.
+fn await_executed(db: &ResilientDb, id: ReplicaId, at_least: u64) -> u64 {
+    let deadline = Instant::now() + wait();
+    loop {
+        let executed = db.executed_txns(id);
+        if executed >= at_least || Instant::now() >= deadline {
+            return executed;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
 
 #[test]
 fn full_stack_pbft_with_workload_generator() {
@@ -19,15 +42,49 @@ fn full_stack_pbft_with_workload_generator() {
         .build()
         .unwrap();
     let mut gen = WorkloadGenerator::new(
-        WorkloadConfig { table_size: 512, ops_per_txn: 3, ..Default::default() },
+        WorkloadConfig {
+            table_size: 512,
+            ops_per_txn: 3,
+            ..Default::default()
+        },
         11,
     );
     let mut client = db.client(0);
     let txns: Vec<_> = (0..40).map(|_| gen.next_transaction(client.id())).collect();
-    assert_eq!(client.submit_and_wait(txns, WAIT), 40);
+    assert_eq!(client.submit_and_wait(txns, wait()), 40);
     assert!(db.verify_chains().is_ok());
-    assert!(db.executed_txns(ReplicaId(0)) >= 40);
+    assert!(await_executed(&db, ReplicaId(0), 40) >= 40);
     db.shutdown();
+}
+
+#[test]
+fn protocol_smoke_both_variants_build_and_verify() {
+    // Both protocol paths must come up, commit a trivial workload and
+    // leave verifiable chains — keeps the non-default variant exercised
+    // in tier-1, not only in the long e2e tests.
+    for protocol in [ProtocolKind::Pbft, ProtocolKind::Zyzzyva] {
+        let db = SystemBuilder::new(4)
+            .protocol(protocol)
+            .batch_size(4)
+            .table_size(64)
+            .client_keys(1)
+            .build()
+            .unwrap_or_else(|e| panic!("{protocol:?} must build: {e:?}"));
+        let mut client = db.client(0);
+        let txns: Vec<_> = (0..8)
+            .map(|i| client.write_txn(i % 64, vec![i as u8]))
+            .collect();
+        assert_eq!(
+            client.submit_and_wait(txns, wait()),
+            8,
+            "{protocol:?} must commit"
+        );
+        assert!(
+            db.verify_chains().is_ok(),
+            "{protocol:?} chains must verify"
+        );
+        db.shutdown();
+    }
 }
 
 #[test]
@@ -41,11 +98,13 @@ fn two_clients_interleave() {
     let mut c0 = db.client(0);
     let mut c1 = db.client(1);
     let t0: Vec<_> = (0..16).map(|i| c0.write_txn(i, vec![0xa0; 4])).collect();
-    let t1: Vec<_> = (0..16).map(|i| c1.write_txn(i + 100, vec![0xb1; 4])).collect();
+    let t1: Vec<_> = (0..16)
+        .map(|i| c1.write_txn(i + 100, vec![0xb1; 4]))
+        .collect();
     c0.submit(t0);
     c1.submit(t1);
-    assert_eq!(c0.await_all(WAIT), 16);
-    assert_eq!(c1.await_all(WAIT), 16);
+    assert_eq!(c0.await_all(wait()), 16);
+    assert_eq!(c1.await_all(wait()), 16);
     db.shutdown();
 }
 
@@ -58,8 +117,10 @@ fn eight_replicas_commit() {
         .build()
         .unwrap();
     let mut client = db.client(0);
-    let txns: Vec<_> = (0..20).map(|i| client.write_txn(i % 256, vec![i as u8])).collect();
-    assert_eq!(client.submit_and_wait(txns, WAIT), 20);
+    let txns: Vec<_> = (0..20)
+        .map(|i| client.write_txn(i % 256, vec![i as u8]))
+        .collect();
+    assert_eq!(client.submit_and_wait(txns, wait()), 20);
     db.shutdown();
 }
 
@@ -74,7 +135,7 @@ fn pure_ed25519_scheme_end_to_end() {
         .unwrap();
     let mut client = db.client(0);
     let txns: Vec<_> = (0..10).map(|i| client.write_txn(i, vec![1])).collect();
-    assert_eq!(client.submit_and_wait(txns, WAIT), 10);
+    assert_eq!(client.submit_and_wait(txns, wait()), 10);
     db.shutdown();
 }
 
@@ -88,8 +149,10 @@ fn paged_storage_end_to_end() {
         .build()
         .unwrap();
     let mut client = db.client(0);
-    let txns: Vec<_> = (0..10).map(|i| client.write_txn(i % 512, vec![i as u8])).collect();
-    assert_eq!(client.submit_and_wait(txns, WAIT), 10);
+    let txns: Vec<_> = (0..10)
+        .map(|i| client.write_txn(i % 512, vec![i as u8]))
+        .collect();
+    assert_eq!(client.submit_and_wait(txns, wait()), 10);
     db.shutdown();
 }
 
@@ -105,7 +168,7 @@ fn pbft_tolerates_f_failures_zyzzyva_needs_cc() {
     db.crash_backup(ReplicaId(2));
     let mut client = db.client(0);
     let txns: Vec<_> = (0..10).map(|i| client.write_txn(i, vec![2])).collect();
-    assert_eq!(client.submit_and_wait(txns, WAIT), 10);
+    assert_eq!(client.submit_and_wait(txns, wait()), 10);
     db.shutdown();
 
     // Zyzzyva side: same failure forces the commit-certificate slow path,
@@ -120,7 +183,7 @@ fn pbft_tolerates_f_failures_zyzzyva_needs_cc() {
     db.crash_backup(ReplicaId(3));
     let mut client = db.client(0);
     let txns: Vec<_> = (0..5).map(|i| client.write_txn(i, vec![3])).collect();
-    assert_eq!(client.submit_and_wait(txns, WAIT), 5);
+    assert_eq!(client.submit_and_wait(txns, wait()), 5);
     db.shutdown();
 }
 
@@ -144,7 +207,7 @@ fn thread_config_sweep_commits_everywhere() {
         let mut client = db.client(0);
         let txns: Vec<_> = (0..10).map(|i| client.write_txn(i, vec![4])).collect();
         assert_eq!(
-            client.submit_and_wait(txns, WAIT),
+            client.submit_and_wait(txns, wait()),
             10,
             "config {} must commit",
             threads.label()
@@ -171,7 +234,10 @@ fn simulator_matches_threaded_runtime_ordering() {
     };
     let piped = sim_run(ThreadConfig::standard(), 0);
     let mono = sim_run(ThreadConfig::monolithic(), 0);
-    assert!(piped > mono, "sim: pipeline {piped} must beat monolith {mono}");
+    assert!(
+        piped > mono,
+        "sim: pipeline {piped} must beat monolith {mono}"
+    );
     let failed = sim_run(ThreadConfig::standard(), 1);
     assert!(failed > piped * 0.5, "sim: PBFT under failure must hold up");
 }
@@ -186,9 +252,12 @@ fn saturation_metrics_exposed() {
         .unwrap();
     let mut client = db.client(0);
     let txns: Vec<_> = (0..20).map(|i| client.write_txn(i, vec![5])).collect();
-    assert_eq!(client.submit_and_wait(txns, WAIT), 20);
+    assert_eq!(client.submit_and_wait(txns, wait()), 20);
     let report = db.saturation(ReplicaId(0));
-    assert!(!report.threads.is_empty(), "primary must report thread metrics");
+    assert!(
+        !report.threads.is_empty(),
+        "primary must report thread metrics"
+    );
     assert!(report.cumulative_pct() >= 0.0);
     db.shutdown();
 }

@@ -1,0 +1,260 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! provides an API-compatible miniature of criterion 0.5: benches
+//! compile unchanged (`cargo bench --no-run` is the CI gate) and, when
+//! actually executed with `cargo bench`, each benchmark runs a short
+//! timed loop and prints a mean-time-per-iteration line. Statistical
+//! analysis, HTML reports and regression detection are out of scope —
+//! swap in the real crate when a network is available.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; retained for signature
+/// compatibility (the shim re-runs setup every iteration regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+/// Measured quantity used to annotate throughput-oriented groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    samples: u64,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher {
+            samples,
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` with fresh input from `setup` each iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but hands the routine `&mut I`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.iters == 0 {
+        println!("{name:<48} (no iterations)");
+        return;
+    }
+    let per_iter = b.total.as_nanos() as f64 / b.iters as f64;
+    let mut line = format!("{name:<48} {:>12.0} ns/iter", per_iter);
+    if let Some(Throughput::Bytes(bytes) | Throughput::BytesDecimal(bytes)) = throughput {
+        let secs = per_iter / 1e9;
+        if secs > 0.0 {
+            line.push_str(&format!(
+                "  {:>10.1} MiB/s",
+                bytes as f64 / secs / (1024.0 * 1024.0)
+            ));
+        }
+    }
+    println!("{line}");
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Small fixed sample count: the shim's job is compile parity and
+        // a quick sanity number, not statistics.
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&name, &b, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// Named group of related benchmarks sharing sample-size/throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&full, &b, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass libtest-style flags; a
+            // `--test` invocation only needs to prove the bench runs.
+            let quick = std::env::args().any(|a| a == "--test");
+            if quick {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn group_settings_apply() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2).throughput(Throughput::Bytes(1024));
+        let mut runs = 0u64;
+        g.bench_function("inner", |b| {
+            b.iter_batched(|| 41, |x| x + runs as i32, BatchSize::SmallInput);
+            runs += 1;
+        });
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline shim for `serde`.
+//!
+//! Exposes `Serialize`/`Deserialize` as blanket-implemented marker
+//! traits plus the same-named no-op derive macros from the
+//! `serde_derive` shim (traits and derives live in different
+//! namespaces, exactly as in real serde). This keeps the
+//! `#[derive(Serialize, Deserialize)]` annotations on config types
+//! compiling in an offline environment; swap in the real crates to get
+//! actual serialization.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
