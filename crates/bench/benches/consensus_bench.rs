@@ -9,6 +9,7 @@ use rdb_common::{
 };
 use rdb_consensus::{ConsensusConfig, Pbft, Zyzzyva};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn batch(n: usize) -> Batch {
     (0..n as u64)
@@ -39,7 +40,7 @@ fn bench_pbft_round(c: &mut Criterion) {
                         view,
                         seq,
                         digest: d,
-                        batch: batch(100),
+                        batch: batch(100).into(),
                     },
                     Sender::Replica(ReplicaId(0)),
                     SignatureBytes::empty(),
@@ -84,7 +85,7 @@ fn bench_pbft_propose(c: &mut Criterion) {
 fn bench_zyzzyva_spec_execute(c: &mut Criterion) {
     let cfg = ConsensusConfig::new(16, 1_000_000);
     let mut z = Zyzzyva::new(ReplicaId(1), cfg);
-    let b100 = batch(100);
+    let b100 = Arc::new(batch(100));
     let mut seq = 0u64;
     c.bench_function("zyzzyva/order_and_spec_execute", |b| {
         b.iter(|| {
@@ -94,7 +95,7 @@ fn bench_zyzzyva_spec_execute(c: &mut Criterion) {
                     view: ViewNum(0),
                     seq: SeqNum(seq),
                     digest: Digest([seq as u8; 32]),
-                    batch: b100.clone(),
+                    batch: Arc::clone(&b100),
                 },
                 Sender::Replica(ReplicaId(0)),
                 SignatureBytes::empty(),

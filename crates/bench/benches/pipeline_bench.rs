@@ -56,7 +56,7 @@ fn bench_execution_queues(c: &mut Criterion) {
                 seq: SeqNum(seq),
                 view: ViewNum(0),
                 digest: Digest::ZERO,
-                batch: Batch::default(),
+                batch: Batch::default().into(),
                 certificate: BlockCertificate::default(),
                 history: None,
             });

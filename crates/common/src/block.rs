@@ -58,6 +58,14 @@ impl Wire for BlockCertificate {
         }
         Ok(BlockCertificate { commits })
     }
+
+    fn encoded_len(&self) -> usize {
+        4 + self
+            .commits
+            .iter()
+            .map(|(_, sig)| 4 + 4 + sig.len())
+            .sum::<usize>()
+    }
 }
 
 /// How a block is linked to its predecessor.
@@ -90,6 +98,13 @@ impl Wire for BlockLink {
             0 => Ok(BlockLink::Hash(Digest(r.get_array32()?))),
             1 => Ok(BlockLink::Certificate(BlockCertificate::read(r)?)),
             t => Err(CommonError::Codec(format!("invalid block link tag {t}"))),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            BlockLink::Hash(_) => 1 + 32,
+            BlockLink::Certificate(c) => 1 + c.encoded_len(),
         }
     }
 }
@@ -157,6 +172,10 @@ impl Wire for Block {
             result_digest: Digest(r.get_array32()?),
         })
     }
+
+    fn encoded_len(&self) -> usize {
+        8 + 32 + 8 + self.link.encoded_len() + 4 + 32
+    }
 }
 
 /// Serializes a vector of blocks (checkpoint payloads).
@@ -217,6 +236,26 @@ mod tests {
             result_digest: Digest([4; 32]),
         };
         assert_eq!(Block::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        let hash_block = Block {
+            seq: SeqNum(5),
+            digest: Digest([1; 32]),
+            view: ViewNum(2),
+            link: BlockLink::Hash(Digest([9; 32])),
+            txn_count: 100,
+            result_digest: Digest([4; 32]),
+        };
+        let cert_block = Block {
+            link: BlockLink::Certificate(cert()),
+            ..hash_block.clone()
+        };
+        for b in [hash_block, cert_block] {
+            assert_eq!(b.encoded_len(), b.encode().len());
+        }
+        assert_eq!(cert().encoded_len(), cert().encode().len());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::codec::{Wire, WireReader, WireWriter};
 use crate::error::{CommonError, Result};
 use crate::ids::{ClientId, Digest, ReplicaId, SeqNum, SignatureBytes, TxnId, ViewNum};
 use crate::transaction::{Batch, Transaction};
+use std::sync::{Arc, OnceLock};
 
 /// Originator of a message: a replica or a client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,6 +63,13 @@ impl Wire for Sender {
             t => Err(CommonError::Codec(format!("invalid sender tag {t}"))),
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            Sender::Replica(_) => 1 + 4,
+            Sender::Client(_) => 1 + 8,
+        }
+    }
 }
 
 /// Discriminant for [`Message`], used for dispatch tables and statistics.
@@ -92,8 +100,29 @@ pub enum MessageKind {
 }
 
 impl MessageKind {
+    /// Number of message kinds (the length of [`MessageKind::ALL`]).
+    pub const COUNT: usize = 11;
+
+    /// Dense index of this kind into [`MessageKind::ALL`], for atomic
+    /// per-kind counter tables that avoid hashing.
+    pub const fn index(self) -> usize {
+        match self {
+            MessageKind::ClientRequest => 0,
+            MessageKind::PrePrepare => 1,
+            MessageKind::Prepare => 2,
+            MessageKind::Commit => 3,
+            MessageKind::ClientReply => 4,
+            MessageKind::SpecResponse => 5,
+            MessageKind::CommitCert => 6,
+            MessageKind::LocalCommit => 7,
+            MessageKind::Checkpoint => 8,
+            MessageKind::ViewChange => 9,
+            MessageKind::NewView => 10,
+        }
+    }
+
     /// All kinds, for iteration in statistics tables.
-    pub const ALL: [MessageKind; 11] = [
+    pub const ALL: [MessageKind; Self::COUNT] = [
         MessageKind::ClientRequest,
         MessageKind::PrePrepare,
         MessageKind::Prepare,
@@ -123,10 +152,14 @@ pub enum Message {
         view: ViewNum,
         /// Sequence number assigned by the primary.
         seq: SeqNum,
-        /// Digest over the batch's canonical bytes.
+        /// Digest over the batch's canonical bytes, computed once by the
+        /// batch-thread and threaded through every later stage.
         digest: Digest,
         /// The batch itself (full payload travels with the proposal).
-        batch: Batch,
+        /// Shared: the proposing engine, the in-flight message, and the
+        /// execution queue all hold the same allocation, so cloning a
+        /// `PrePrepare` never deep-copies the transactions.
+        batch: Arc<Batch>,
     },
     /// Backup → all replicas: agreement to order `digest` at `(view, seq)`.
     Prepare {
@@ -427,7 +460,7 @@ impl Wire for Message {
                 view: ViewNum(r.get_u64()?),
                 seq: SeqNum(r.get_u64()?),
                 digest: Digest(r.get_array32()?),
-                batch: Batch::read(r)?,
+                batch: Arc::new(Batch::read(r)?),
             }),
             2 => Ok(Message::Prepare {
                 view: ViewNum(r.get_u64()?),
@@ -484,53 +517,196 @@ impl Wire for Message {
             t => Err(CommonError::Codec(format!("invalid message tag {t}"))),
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        const DIG: usize = 32;
+        1 + match self {
+            Message::ClientRequest { txns } => crate::codec::vec_encoded_len(txns),
+            Message::PrePrepare { batch, .. } => 8 + 8 + DIG + batch.encoded_len(),
+            Message::Prepare { .. } | Message::Commit { .. } => 8 + 8 + DIG,
+            Message::ClientReply { result, .. } => 8 + 8 + 8 + 4 + 4 + result.len(),
+            Message::SpecResponse { result, .. } => 8 + 8 + 2 * DIG + 8 + 8 + 4 + 4 + result.len(),
+            Message::CommitCert { cert, .. } => 8 + 8 + DIG + cert.encoded_len() + 8,
+            Message::LocalCommit { .. } => 8 + 8 + 4,
+            Message::Checkpoint { .. } => 8 + DIG + 4,
+            Message::ViewChange { prepared, .. } => 8 + 8 + 4 + prepared.len() * (8 + DIG) + 4,
+            Message::NewView { reissued, .. } => 8 + 4 + reissued.len() * (8 + DIG),
+        }
+    }
+}
+
+/// Shared memoization slots of a [`SignedMessage`]: every clone of an
+/// envelope points at the same cache, so whatever one handle computes —
+/// canonical signing bytes, digest, modeled wire size — is free for all
+/// the others (including the copies a broadcast fans out to n peers).
+#[derive(Debug, Default)]
+struct EnvelopeCache {
+    /// Canonical `sender ‖ body` encoding: the bytes that are signed,
+    /// verified, and (plus the signature) sent on the wire.
+    signing: OnceLock<Vec<u8>>,
+    /// Digest over the signing bytes (hasher supplied by the caller, since
+    /// `rdb_common` has no crypto dependency).
+    digest: OnceLock<Digest>,
+    /// Analytic wire size, otherwise recomputed per destination on
+    /// broadcast (it walks the whole batch for a `PrePrepare`).
+    wire_size: OnceLock<usize>,
 }
 
 /// A message plus its authentication: who sent it and the signature/MAC over
 /// the body's canonical encoding.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// This is an **encode-once envelope**: the body lives behind an `Arc`, the
+/// canonical encoding is memoized in a cache shared by all clones, and
+/// `clone()` is a couple of reference-count bumps plus a small signature
+/// copy. Broadcasting to *n* peers therefore performs **one** serialization
+/// and **one** batch allocation instead of *n* of each, and every receiver
+/// verifies against the already-encoded bytes.
+#[derive(Debug, Clone)]
 pub struct SignedMessage {
-    /// The message body.
-    pub msg: Message,
-    /// Originator.
-    pub from: Sender,
-    /// Signature or MAC over [`SignedMessage::signing_bytes`].
-    pub sig: SignatureBytes,
+    body: Arc<Message>,
+    from: Sender,
+    sig: SignatureBytes,
+    cache: Arc<EnvelopeCache>,
+}
+
+impl PartialEq for SignedMessage {
+    fn eq(&self, other: &Self) -> bool {
+        self.from == other.from && self.sig == other.sig && self.body == other.body
+    }
 }
 
 impl SignedMessage {
     /// Wraps a message with its sender and signature.
     pub fn new(msg: Message, from: Sender, sig: SignatureBytes) -> Self {
-        SignedMessage { msg, from, sig }
+        Self::from_shared(Arc::new(msg), from, sig)
+    }
+
+    /// Wraps an already-shared body (forwarding or re-signing paths): the
+    /// transactions are never copied, only the `Arc` is cloned.
+    ///
+    /// The canonical-bytes cache is *not* carried over because the sender
+    /// may differ; [`SignedMessage::signing_bytes`] repopulates it lazily.
+    pub fn from_shared(body: Arc<Message>, from: Sender, sig: SignatureBytes) -> Self {
+        SignedMessage {
+            body,
+            from,
+            sig,
+            cache: Arc::new(EnvelopeCache::default()),
+        }
+    }
+
+    /// Builds a signed envelope in one pass: encodes `sender ‖ msg` once,
+    /// hands the bytes to `signer`, and keeps them memoized so every later
+    /// verification (at any clone, on any receiver) reuses them.
+    pub fn sign_with(
+        msg: Message,
+        from: Sender,
+        signer: impl FnOnce(&[u8]) -> SignatureBytes,
+    ) -> Self {
+        Self::sign_shared(Arc::new(msg), from, signer)
+    }
+
+    /// [`SignedMessage::sign_with`] over an already-shared body, for
+    /// re-signing a forwarded message without copying its transactions.
+    pub fn sign_shared(
+        body: Arc<Message>,
+        from: Sender,
+        signer: impl FnOnce(&[u8]) -> SignatureBytes,
+    ) -> Self {
+        let mut sm = Self::from_shared(body, from, SignatureBytes::empty());
+        sm.sig = signer(sm.signing_bytes());
+        sm
+    }
+
+    /// The message body.
+    pub fn msg(&self) -> &Message {
+        &self.body
+    }
+
+    /// The shared body handle, for forwarding without a deep copy.
+    pub fn body(&self) -> &Arc<Message> {
+        &self.body
+    }
+
+    /// Extracts the owned message body: zero-copy when this envelope holds
+    /// the last reference, cloning only otherwise.
+    pub fn into_message(self) -> Message {
+        Arc::try_unwrap(self.body).unwrap_or_else(|arc| (*arc).clone())
+    }
+
+    /// Originator.
+    pub fn sender(&self) -> Sender {
+        self.from
+    }
+
+    /// Signature or MAC over [`SignedMessage::signing_bytes`].
+    pub fn sig(&self) -> &SignatureBytes {
+        &self.sig
+    }
+
+    /// The discriminant of the message body.
+    pub fn kind(&self) -> MessageKind {
+        self.body.kind()
     }
 
     /// The bytes that are signed: sender followed by the message body, so a
     /// signature cannot be replayed as coming from someone else.
-    pub fn signing_bytes(msg: &Message, from: Sender) -> Vec<u8> {
-        let mut w = WireWriter::with_capacity(64);
-        from.write(&mut w);
-        msg.write(&mut w);
-        w.into_bytes()
+    ///
+    /// Computed at most once per envelope *family* — clones share the
+    /// buffer, so a body signed once and broadcast to n peers is verified n
+    /// times against a single serialization.
+    pub fn signing_bytes(&self) -> &[u8] {
+        self.cache.signing.get_or_init(|| {
+            let mut w =
+                WireWriter::with_capacity(self.from.encoded_len() + self.body.encoded_len());
+            self.from.write(&mut w);
+            self.body.write(&mut w);
+            w.into_bytes()
+        })
     }
 
-    /// Total size on the wire including the signature.
+    /// Memoized digest over the signing bytes. The hasher is supplied by
+    /// the caller (`rdb_common` is crypto-free); it runs at most once per
+    /// envelope family regardless of how many clones ask.
+    pub fn digest_with(&self, hasher: impl FnOnce(&[u8]) -> Digest) -> Digest {
+        *self
+            .cache
+            .digest
+            .get_or_init(|| hasher(self.signing_bytes()))
+    }
+
+    /// Total size on the wire including the signature (analytic, memoized).
     pub fn wire_size(&self) -> usize {
-        self.msg.wire_size() + 5 + self.sig.len()
+        *self
+            .cache
+            .wire_size
+            .get_or_init(|| self.body.wire_size() + 5 + self.sig.len())
     }
 }
 
 impl Wire for SignedMessage {
     fn write(&self, w: &mut WireWriter) {
-        self.from.write(w);
-        self.msg.write(w);
+        // The wire layout is exactly `signing_bytes ‖ len(sig) ‖ sig`, so a
+        // memoized envelope serializes with a memcpy, not a re-encode.
+        w.put_bytes(self.signing_bytes());
         w.put_var_bytes(self.sig.as_ref());
     }
 
     fn read(r: &mut WireReader<'_>) -> Result<Self> {
+        let start = r.offset();
         let from = Sender::read(r)?;
         let msg = Message::read(r)?;
+        let end = r.offset();
         let sig = SignatureBytes(r.get_var_bytes()?.to_vec());
-        Ok(SignedMessage { msg, from, sig })
+        let sm = Self::new(msg, from, sig);
+        // Seed the cache from the raw input: verification after a decode
+        // costs zero serializations.
+        let _ = sm.cache.signing.set(r.window(start, end).to_vec());
+        Ok(sm)
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.from.encoded_len() + self.body.encoded_len() + 4 + self.sig.len()
     }
 }
 
@@ -563,7 +739,7 @@ mod tests {
                 view: ViewNum(1),
                 seq: SeqNum(2),
                 digest: Digest([3; 32]),
-                batch: sample_batch(),
+                batch: sample_batch().into(),
             },
             Message::Prepare {
                 view: ViewNum(1),
@@ -677,9 +853,126 @@ mod tests {
             seq: SeqNum(1),
             digest: Digest([2; 32]),
         };
-        let a = SignedMessage::signing_bytes(&msg, Sender::Replica(ReplicaId(1)));
-        let b = SignedMessage::signing_bytes(&msg, Sender::Replica(ReplicaId(2)));
-        assert_ne!(a, b);
+        let a = SignedMessage::new(
+            msg.clone(),
+            Sender::Replica(ReplicaId(1)),
+            SignatureBytes::empty(),
+        );
+        let b = SignedMessage::new(msg, Sender::Replica(ReplicaId(2)), SignatureBytes::empty());
+        assert_ne!(a.signing_bytes(), b.signing_bytes());
+    }
+
+    #[test]
+    fn clones_share_one_serialization() {
+        // The encode-once guarantee, asserted structurally: every clone of
+        // an envelope returns the *same buffer* from signing_bytes(), so a
+        // broadcast that clones per destination serializes exactly once.
+        let sm = SignedMessage::sign_with(
+            Message::PrePrepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: Digest([3; 32]),
+                batch: sample_batch().into(),
+            },
+            Sender::Replica(ReplicaId(0)),
+            |_| SignatureBytes(vec![7; 32]),
+        );
+        let original = sm.signing_bytes().as_ptr();
+        for _ in 0..16 {
+            let clone = sm.clone();
+            assert_eq!(clone.signing_bytes().as_ptr(), original);
+            assert!(Arc::ptr_eq(clone.body(), sm.body()), "body is shared");
+        }
+    }
+
+    #[test]
+    fn sign_with_signs_canonical_bytes() {
+        let msg = Message::LocalCommit {
+            view: ViewNum(1),
+            seq: SeqNum(2),
+            replica: ReplicaId(3),
+        };
+        let from = Sender::Replica(ReplicaId(3));
+        let sm = SignedMessage::sign_with(msg.clone(), from, |bytes| {
+            SignatureBytes(bytes.iter().rev().copied().collect())
+        });
+        let manual = SignedMessage::new(msg, from, SignatureBytes::empty());
+        let expected: Vec<u8> = manual.signing_bytes().iter().rev().copied().collect();
+        assert_eq!(sm.sig().as_ref(), &expected[..]);
+    }
+
+    #[test]
+    fn digest_with_memoizes() {
+        let sm = SignedMessage::new(
+            Message::ClientRequest { txns: vec![] },
+            Sender::Client(ClientId(1)),
+            SignatureBytes::empty(),
+        );
+        let mut calls = 0;
+        let d1 = sm.digest_with(|_| {
+            calls += 1;
+            Digest([9; 32])
+        });
+        // Second ask (even via a clone) must not re-hash.
+        let d2 = sm.clone().digest_with(|_| {
+            calls += 1;
+            Digest([1; 32])
+        });
+        assert_eq!(d1, d2);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn into_message_avoids_copy_when_unique() {
+        let sm = SignedMessage::new(
+            Message::Prepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: Digest([2; 32]),
+            },
+            Sender::Replica(ReplicaId(1)),
+            SignatureBytes::empty(),
+        );
+        let msg = sm.into_message();
+        assert!(matches!(msg, Message::Prepare { .. }));
+    }
+
+    #[test]
+    fn decode_seeds_signing_cache() {
+        let sm = SignedMessage::new(
+            Message::Checkpoint {
+                seq: SeqNum(4),
+                state_digest: Digest([5; 32]),
+                replica: ReplicaId(2),
+            },
+            Sender::Replica(ReplicaId(2)),
+            SignatureBytes(vec![1; 16]),
+        );
+        let bytes = sm.encode();
+        let back = SignedMessage::decode(&bytes).unwrap();
+        // The decoded envelope's signing bytes must equal the sender's
+        // without re-serializing (cache seeded straight from the input).
+        assert_eq!(back.signing_bytes(), sm.signing_bytes());
+    }
+
+    #[test]
+    fn encoded_len_is_exact_for_all_variants() {
+        for msg in all_messages() {
+            assert_eq!(msg.encoded_len(), msg.encode().len(), "{:?}", msg.kind());
+            let sm = SignedMessage::new(
+                msg,
+                Sender::Replica(ReplicaId(1)),
+                SignatureBytes(vec![7; 64]),
+            );
+            assert_eq!(sm.encoded_len(), sm.encode().len());
+        }
+    }
+
+    #[test]
+    fn kind_index_is_dense_and_consistent() {
+        for (i, k) in MessageKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
     }
 
     #[test]

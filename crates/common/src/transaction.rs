@@ -74,6 +74,13 @@ impl Wire for Operation {
             t => Err(CommonError::Codec(format!("invalid operation tag {t}"))),
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            Operation::Read { .. } => 1 + 8,
+            Operation::Write { value, .. } => 1 + 8 + 4 + value.len(),
+        }
+    }
 }
 
 /// A client transaction: the unit of work submitted for ordering.
@@ -134,6 +141,10 @@ impl Wire for Transaction {
             payload,
         })
     }
+
+    fn encoded_len(&self) -> usize {
+        8 + 8 + crate::codec::vec_encoded_len(&self.ops) + 4 + self.payload.len()
+    }
 }
 
 /// An ordered collection of transactions: the unit of consensus.
@@ -177,7 +188,8 @@ impl Batch {
     ///
     /// This is the "single string representation of the whole batch" from
     /// Section 4.3: one hashing pass over the encoded batch rather than one
-    /// per transaction.
+    /// per transaction. The buffer is preallocated to the exact encoded
+    /// size, so large batches encode in a single allocation.
     pub fn canonical_bytes(&self) -> Vec<u8> {
         self.encode()
     }
@@ -190,6 +202,10 @@ impl Wire for Batch {
 
     fn read(r: &mut WireReader<'_>) -> Result<Self> {
         Ok(Batch { txns: read_vec(r)? })
+    }
+
+    fn encoded_len(&self) -> usize {
+        crate::codec::vec_encoded_len(&self.txns)
     }
 }
 
@@ -272,6 +288,27 @@ mod tests {
         // Order matters.
         let c: Batch = (0..3).rev().map(sample_txn).collect();
         assert_ne!(a.canonical_bytes(), c.canonical_bytes());
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        for op in [
+            Operation::Read { key: 5 },
+            Operation::Write {
+                key: 6,
+                value: vec![9; 10],
+            },
+        ] {
+            assert_eq!(op.encoded_len(), op.encode().len());
+        }
+        let t = sample_txn(3);
+        assert_eq!(t.encoded_len(), t.encode().len());
+        let b: Batch = (0..5).map(sample_txn).collect();
+        assert_eq!(b.encoded_len(), b.encode().len());
+        assert_eq!(
+            Batch::default().encoded_len(),
+            Batch::default().encode().len()
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use rdb_common::block::BlockCertificate;
 use rdb_common::{Batch, ClientId, Digest, Message, ReplicaId, SeqNum, ViewNum};
+use std::sync::Arc;
 
 /// An instruction from a replica state machine to its runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,8 +27,9 @@ pub enum Action {
         view: ViewNum,
         /// Batch digest.
         digest: Digest,
-        /// The transactions to execute.
-        batch: Batch,
+        /// The transactions to execute, shared with the in-flight
+        /// `PrePrepare` (no deep copy on commit).
+        batch: Arc<Batch>,
         /// 2f+1 commit signatures proving the order.
         certificate: BlockCertificate,
     },
@@ -42,8 +44,9 @@ pub enum Action {
         digest: Digest,
         /// Rolling speculative-history digest after this batch.
         history: Digest,
-        /// The transactions to execute.
-        batch: Batch,
+        /// The transactions to execute, shared with the in-flight
+        /// `PrePrepare` (no deep copy on speculative dispatch).
+        batch: Arc<Batch>,
     },
     /// A checkpoint at `seq` became stable: state below it may be pruned.
     StableCheckpoint {

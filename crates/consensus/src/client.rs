@@ -65,7 +65,7 @@ impl PbftClient {
                 ..
             },
             Sender::Replica(_),
-        ) = (&sm.msg, sm.from)
+        ) = (sm.msg(), sm.sender())
         else {
             return Vec::new();
         };
@@ -159,7 +159,7 @@ impl ZyzzyvaClient {
             txn_id,
             replica,
             result,
-        } = &sm.msg
+        } = sm.msg()
         else {
             return Vec::new();
         };
@@ -183,7 +183,7 @@ impl ZyzzyvaClient {
         if group.iter().any(|(r, _)| r == replica) {
             return Vec::new(); // duplicate response from the same replica
         }
-        group.push((*replica, sm.sig.clone()));
+        group.push((*replica, sm.sig().clone()));
         if group.len() >= quorum::zyzzyva_fast_quorum(self.f) {
             tracker.done = true;
             let counter = txn_id.counter;
@@ -237,7 +237,8 @@ impl ZyzzyvaClient {
     /// belongs to (Zyzzyva's `LocalCommit` carries the sequence; the driver
     /// maps it back to its request).
     pub fn on_local_commit(&mut self, counter: u64, sm: &SignedMessage) -> Vec<ClientAction> {
-        let (Message::LocalCommit { replica, .. }, Sender::Replica(_)) = (&sm.msg, sm.from) else {
+        let (Message::LocalCommit { replica, .. }, Sender::Replica(_)) = (sm.msg(), sm.sender())
+        else {
             return Vec::new();
         };
         let Some(tracker) = self.outstanding.get_mut(&counter) else {

@@ -22,12 +22,15 @@ use rdb_common::block::BlockCertificate;
 use rdb_common::messages::{Message, Sender, SignedMessage};
 use rdb_common::{quorum, Batch, Digest, ReplicaId, SeqNum, SignatureBytes, ViewNum};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Per-sequence consensus instance state.
 #[derive(Debug, Default)]
 struct Instance {
     digest: Option<Digest>,
-    batch: Option<Batch>,
+    /// Shared with the `PrePrepare` that carried it — storing it here is a
+    /// reference-count bump, not a copy of the transactions.
+    batch: Option<Arc<Batch>>,
     view: ViewNum,
     prepares: HashSet<ReplicaId>,
     commits: HashSet<ReplicaId>,
@@ -125,9 +128,12 @@ impl Pbft {
         }
         let seq = self.next_seq;
         self.next_seq = self.next_seq.next();
+        // One allocation for the batch; the instance and the broadcast
+        // message share it from here on.
+        let batch = Arc::new(batch);
         let inst = self.instances.entry(seq).or_default();
         inst.digest = Some(digest);
-        inst.batch = Some(batch.clone());
+        inst.batch = Some(Arc::clone(&batch));
         inst.view = self.view;
         vec![Action::Broadcast(Message::PrePrepare {
             view: self.view,
@@ -142,20 +148,20 @@ impl Pbft {
     /// Signature verification is the runtime's job (it owns the crypto
     /// provider); the state machine assumes `sm` was verified.
     pub fn on_message(&mut self, sm: &SignedMessage) -> Vec<Action> {
-        let from = match sm.from {
+        let from = match sm.sender() {
             Sender::Replica(r) => r,
             Sender::Client(_) => return Vec::new(), // clients talk to the runtime
         };
-        match &sm.msg {
+        match sm.msg() {
             Message::PrePrepare {
                 view,
                 seq,
                 digest,
                 batch,
-            } => self.on_pre_prepare(from, *view, *seq, *digest, batch.clone()),
+            } => self.on_pre_prepare(from, *view, *seq, *digest, Arc::clone(batch)),
             Message::Prepare { view, seq, digest } => self.on_prepare(from, *view, *seq, *digest),
             Message::Commit { view, seq, digest } => {
-                self.on_commit(from, *view, *seq, *digest, sm.sig.clone())
+                self.on_commit(from, *view, *seq, *digest, sm.sig().clone())
             }
             Message::Checkpoint {
                 seq,
@@ -176,7 +182,7 @@ impl Pbft {
         view: ViewNum,
         seq: SeqNum,
         digest: Digest,
-        batch: Batch,
+        batch: Arc<Batch>,
     ) -> Vec<Action> {
         if view != self.view || from != self.primary() || self.is_primary() {
             return Vec::new(); // wrong view, not from the primary, or echo
@@ -438,7 +444,7 @@ mod tests {
                 view: ViewNum(0),
                 seq: SeqNum(1),
                 digest: d(7),
-                batch: batch(),
+                batch: batch().into(),
             },
         ));
         assert!(matches!(
@@ -621,7 +627,7 @@ mod tests {
                 view: ViewNum(0),
                 seq: SeqNum(1),
                 digest: d(7),
-                batch: batch(),
+                batch: batch().into(),
             },
         ));
         assert!(
@@ -657,7 +663,7 @@ mod tests {
                     view: ViewNum(0),
                     seq: SeqNum(seq),
                     digest: d(seq as u8),
-                    batch: batch(),
+                    batch: batch().into(),
                 },
             ));
         }
@@ -710,7 +716,7 @@ mod tests {
                 view: ViewNum(0),
                 seq: SeqNum(1),
                 digest: d(7),
-                batch: batch(),
+                batch: batch().into(),
             },
         ));
         // Conflicting digest for the same sequence.
@@ -720,7 +726,7 @@ mod tests {
                 view: ViewNum(0),
                 seq: SeqNum(1),
                 digest: d(8),
-                batch: batch(),
+                batch: batch().into(),
             },
         ));
         assert!(acts.is_empty(), "conflicting pre-prepare must be dropped");
@@ -735,7 +741,7 @@ mod tests {
                 view: ViewNum(0),
                 seq: SeqNum(1),
                 digest: d(7),
-                batch: batch(),
+                batch: batch().into(),
             },
         ));
         assert!(acts.is_empty());
@@ -750,7 +756,7 @@ mod tests {
                 view: ViewNum(3),
                 seq: SeqNum(1),
                 digest: d(7),
-                batch: batch(),
+                batch: batch().into(),
             },
         ));
         assert!(acts.is_empty());
@@ -816,7 +822,7 @@ mod tests {
                 view: ViewNum(0),
                 seq: SeqNum(1),
                 digest: d(9),
-                batch: batch(),
+                batch: batch().into(),
             },
         ));
         assert!(acts.is_empty());

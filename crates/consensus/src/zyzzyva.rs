@@ -21,6 +21,7 @@ use rdb_common::messages::{Message, Sender, SignedMessage};
 use rdb_common::{quorum, Batch, Digest, ReplicaId, SeqNum, ViewNum};
 use rdb_crypto::chain_digest;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The Zyzzyva replica state machine.
 #[derive(Debug)]
@@ -36,7 +37,8 @@ pub struct Zyzzyva {
     /// Rolling digest over the speculatively executed history.
     history: Digest,
     /// Proposals that arrived out of order, waiting for their predecessor.
-    pending: BTreeMap<SeqNum, (ViewNum, Digest, Batch)>,
+    /// Batches are shared with the `PrePrepare`s that carried them.
+    pending: BTreeMap<SeqNum, (ViewNum, Digest, Arc<Batch>)>,
     /// Highest sequence covered by a commit certificate.
     committed: SeqNum,
     checkpoints: CheckpointTracker,
@@ -104,11 +106,14 @@ impl Zyzzyva {
         }
         let seq = self.next_seq;
         self.next_seq = self.next_seq.next();
+        // One allocation; the broadcast and the speculative execution
+        // share the same batch.
+        let batch = Arc::new(batch);
         let mut actions = vec![Action::Broadcast(Message::PrePrepare {
             view: self.view,
             seq,
             digest,
-            batch: batch.clone(),
+            batch: Arc::clone(&batch),
         })];
         actions.extend(self.try_spec_execute(seq, self.view, digest, batch));
         actions
@@ -116,7 +121,7 @@ impl Zyzzyva {
 
     /// Handles a signed message (assumed verified by the runtime).
     pub fn on_message(&mut self, sm: &SignedMessage) -> Vec<Action> {
-        match (&sm.msg, sm.from) {
+        match (sm.msg(), sm.sender()) {
             (
                 Message::PrePrepare {
                     view,
@@ -129,7 +134,7 @@ impl Zyzzyva {
                 if *view != self.view || from != self.primary() || self.is_primary() {
                     return Vec::new();
                 }
-                self.enqueue_proposal(*seq, *view, *digest, batch.clone())
+                self.enqueue_proposal(*seq, *view, *digest, Arc::clone(batch))
             }
             (
                 Message::CommitCert {
@@ -183,7 +188,7 @@ impl Zyzzyva {
         seq: SeqNum,
         view: ViewNum,
         digest: Digest,
-        batch: Batch,
+        batch: Arc<Batch>,
     ) -> Vec<Action> {
         if seq <= self.spec_executed {
             return Vec::new(); // duplicate
@@ -201,7 +206,7 @@ impl Zyzzyva {
         seq: SeqNum,
         view: ViewNum,
         digest: Digest,
-        batch: Batch,
+        batch: Arc<Batch>,
     ) -> Vec<Action> {
         debug_assert_eq!(
             seq,
@@ -268,7 +273,7 @@ mod tests {
                 view: ViewNum(0),
                 seq: SeqNum(seq),
                 digest,
-                batch: batch(),
+                batch: batch().into(),
             },
             Sender::Replica(ReplicaId(0)),
             SignatureBytes::empty(),
@@ -409,7 +414,7 @@ mod tests {
                 view: ViewNum(0),
                 seq: SeqNum(1),
                 digest: d(1),
-                batch: batch(),
+                batch: batch().into(),
             },
             Sender::Replica(ReplicaId(2)),
             SignatureBytes::empty(),

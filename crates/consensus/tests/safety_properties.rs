@@ -172,7 +172,7 @@ fn equivocation_cannot_commit_two_digests_at_one_seq() {
                 view: ViewNum(0),
                 seq: SeqNum(1),
                 digest: d,
-                batch: batch(1),
+                batch: batch(1).into(),
             },
             Sender::Replica(ReplicaId(0)),
             SignatureBytes::empty(),

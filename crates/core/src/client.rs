@@ -121,12 +121,10 @@ impl ClientSession {
             }
         }
         let msg = Message::ClientRequest { txns };
-        let bytes = SignedMessage::signing_bytes(&msg, Sender::Client(self.id));
-        let sig = self.provider.sign(PeerClass::Replica, &bytes);
-        let _ = self.endpoint.send(
-            Sender::Replica(self.primary),
-            SignedMessage::new(msg, Sender::Client(self.id), sig),
-        );
+        let sm = SignedMessage::sign_with(msg, Sender::Client(self.id), |bytes| {
+            self.provider.sign(PeerClass::Replica, bytes)
+        });
+        let _ = self.endpoint.send(Sender::Replica(self.primary), sm);
     }
 
     /// Number of requests still awaiting completion.
@@ -143,13 +141,14 @@ impl ClientSession {
     }
 
     fn broadcast(&self, msg: &Message) {
-        let bytes = SignedMessage::signing_bytes(msg, Sender::Client(self.id));
-        let sig = self.provider.sign(PeerClass::Replica, &bytes);
+        // Encode-once: one envelope shared across all n destinations.
+        let sm = SignedMessage::sign_with(msg.clone(), Sender::Client(self.id), |bytes| {
+            self.provider.sign(PeerClass::Replica, bytes)
+        });
         for r in 0..self.n as u32 {
-            let _ = self.endpoint.send(
-                Sender::Replica(ReplicaId(r)),
-                SignedMessage::new(msg.clone(), Sender::Client(self.id), sig.clone()),
-            );
+            let _ = self
+                .endpoint
+                .send(Sender::Replica(ReplicaId(r)), sm.clone());
         }
     }
 
@@ -167,12 +166,10 @@ impl ClientSession {
                 }
                 ClientAction::BroadcastReplicas(msg) => self.broadcast(&msg),
                 ClientAction::Send(r, msg) => {
-                    let bytes = SignedMessage::signing_bytes(&msg, Sender::Client(self.id));
-                    let sig = self.provider.sign(PeerClass::Replica, &bytes);
-                    let _ = self.endpoint.send(
-                        Sender::Replica(r),
-                        SignedMessage::new(msg, Sender::Client(self.id), sig),
-                    );
+                    let sm = SignedMessage::sign_with(msg, Sender::Client(self.id), |bytes| {
+                        self.provider.sign(PeerClass::Replica, bytes)
+                    });
+                    let _ = self.endpoint.send(Sender::Replica(r), sm);
                 }
             }
         }
@@ -192,7 +189,7 @@ impl ClientSession {
             let msg = self.endpoint.recv_timeout(Duration::from_millis(50));
             match msg {
                 Ok(sm) => {
-                    let acts = match (&mut self.tracker, &sm.msg) {
+                    let acts = match (&mut self.tracker, sm.msg()) {
                         (Tracker::Pbft(p), Message::ClientReply { .. }) => p.on_reply(&sm),
                         (Tracker::Zyzzyva(z), Message::SpecResponse { .. }) => {
                             z.on_spec_response(&sm)

@@ -49,4 +49,4 @@ pub mod sha3;
 
 pub use cost::CostModel;
 pub use hash::{chain_digest, digest, digest_with, HashKind};
-pub use scheme::{CryptoProvider, KeyRegistry, PeerClass};
+pub use scheme::{CryptoProvider, CryptoStats, KeyRegistry, PeerClass};

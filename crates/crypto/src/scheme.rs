@@ -21,6 +21,7 @@ use rand::SeedableRng;
 use rdb_common::messages::Sender;
 use rdb_common::{ClientId, CryptoScheme, ReplicaId, SignatureBytes};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Whether a message is addressed to a replica or a client — this decides
@@ -167,6 +168,7 @@ impl KeyRegistry {
         CryptoProvider {
             registry: self.clone(),
             me: Sender::Replica(id),
+            stats: CryptoStats::default(),
         }
     }
 
@@ -182,7 +184,37 @@ impl KeyRegistry {
         CryptoProvider {
             registry: self.clone(),
             me: Sender::Client(id),
+            stats: CryptoStats::default(),
         }
+    }
+}
+
+/// Shared sign/verify call counters for one [`CryptoProvider`] family.
+///
+/// Every clone of a provider (one per pipeline stage thread) bumps the
+/// same counters, so tests can assert that a refactor of the message path
+/// did not silently change how often a node signs or verifies — the
+/// "no accidentally-skipped verification" invariant.
+#[derive(Debug, Default, Clone)]
+pub struct CryptoStats {
+    inner: Arc<CryptoStatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct CryptoStatsInner {
+    signs: AtomicU64,
+    verifies: AtomicU64,
+}
+
+impl CryptoStats {
+    /// Total [`CryptoProvider::sign`] calls.
+    pub fn signs(&self) -> u64 {
+        self.inner.signs.load(Ordering::Relaxed)
+    }
+
+    /// Total [`CryptoProvider::verify`] calls.
+    pub fn verifies(&self) -> u64 {
+        self.inner.verifies.load(Ordering::Relaxed)
     }
 }
 
@@ -193,12 +225,19 @@ impl KeyRegistry {
 pub struct CryptoProvider {
     registry: KeyRegistry,
     me: Sender,
+    stats: CryptoStats,
 }
 
 impl CryptoProvider {
     /// The identity this provider signs as.
     pub fn identity(&self) -> Sender {
         self.me
+    }
+
+    /// The shared sign/verify call counters (clones of this provider all
+    /// report here).
+    pub fn stats(&self) -> &CryptoStats {
+        &self.stats
     }
 
     /// Which primitive authenticates a message from `from`.
@@ -216,6 +255,7 @@ impl CryptoProvider {
 
     /// Signs `bytes` for a destination of class `to`.
     pub fn sign(&self, to: PeerClass, bytes: &[u8]) -> SignatureBytes {
+        self.stats.inner.signs.fetch_add(1, Ordering::Relaxed);
         let inner = &self.registry.inner;
         match inner.scheme {
             CryptoScheme::NoCrypto => SignatureBytes::empty(),
@@ -242,6 +282,7 @@ impl CryptoProvider {
     /// Verifies `sig` over `bytes` as coming from `from` (addressed to this
     /// node).
     pub fn verify(&self, from: Sender, bytes: &[u8], sig: &SignatureBytes) -> bool {
+        self.stats.inner.verifies.fetch_add(1, Ordering::Relaxed);
         let inner = &self.registry.inner;
         let my_class = match self.me {
             Sender::Replica(_) => PeerClass::Replica,

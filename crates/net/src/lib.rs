@@ -23,7 +23,7 @@
 //! );
 //! a.send(Sender::Replica(ReplicaId(1)), msg.clone()).unwrap();
 //! let got = b.recv_timeout(std::time::Duration::from_secs(1)).unwrap();
-//! assert_eq!(got.msg, msg.msg);
+//! assert_eq!(got.msg(), msg.msg());
 //! ```
 
 pub mod fault;

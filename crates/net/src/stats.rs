@@ -1,22 +1,44 @@
 //! Delivery statistics for the in-memory network.
+//!
+//! Counters are per-[`MessageKind`] atomics indexed through
+//! [`MessageKind::index`] — the old `Mutex<HashMap>` was taken on every
+//! send *and* every delivery, serializing all endpoints of a busy network
+//! through one lock just to bump an integer.
 
-use parking_lot::Mutex;
 use rdb_common::MessageKind;
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Counters shared by all endpoints of one [`crate::Network`].
 #[derive(Debug, Default, Clone)]
 pub struct NetworkStats {
-    inner: Arc<Mutex<StatsInner>>,
+    inner: Arc<StatsInner>,
 }
 
 #[derive(Debug, Default)]
 struct StatsInner {
-    sent: HashMap<MessageKind, u64>,
-    delivered: HashMap<MessageKind, u64>,
-    dropped: u64,
-    bytes_sent: u64,
+    sent: KindCounters,
+    delivered: KindCounters,
+    dropped: AtomicU64,
+    bytes_sent: AtomicU64,
+}
+
+/// One atomic counter per message kind, indexed densely.
+#[derive(Debug, Default)]
+struct KindCounters([AtomicU64; MessageKind::COUNT]);
+
+impl KindCounters {
+    fn add(&self, kind: MessageKind) {
+        self.0[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn get(&self, kind: MessageKind) -> u64 {
+        self.0[kind.index()].load(Ordering::Relaxed)
+    }
+
+    fn total(&self) -> u64 {
+        self.0.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
 }
 
 impl NetworkStats {
@@ -26,42 +48,48 @@ impl NetworkStats {
     }
 
     pub(crate) fn record_sent(&self, kind: MessageKind, bytes: usize) {
-        let mut s = self.inner.lock();
-        *s.sent.entry(kind).or_insert(0) += 1;
-        s.bytes_sent += bytes as u64;
+        self.inner.sent.add(kind);
+        self.inner
+            .bytes_sent
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn record_delivered(&self, kind: MessageKind) {
-        *self.inner.lock().delivered.entry(kind).or_insert(0) += 1;
+        self.inner.delivered.add(kind);
     }
 
     pub(crate) fn record_dropped(&self) {
-        self.inner.lock().dropped += 1;
+        self.inner.dropped.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Messages sent of `kind`.
     pub fn sent(&self, kind: MessageKind) -> u64 {
-        self.inner.lock().sent.get(&kind).copied().unwrap_or(0)
+        self.inner.sent.get(kind)
     }
 
     /// Messages delivered of `kind`.
     pub fn delivered(&self, kind: MessageKind) -> u64 {
-        self.inner.lock().delivered.get(&kind).copied().unwrap_or(0)
+        self.inner.delivered.get(kind)
     }
 
     /// Messages discarded by fault injection or missing destinations.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().dropped
+        self.inner.dropped.load(Ordering::Relaxed)
     }
 
     /// Total payload bytes offered to the network.
     pub fn bytes_sent(&self) -> u64 {
-        self.inner.lock().bytes_sent
+        self.inner.bytes_sent.load(Ordering::Relaxed)
     }
 
     /// Total messages sent across all kinds.
     pub fn total_sent(&self) -> u64 {
-        self.inner.lock().sent.values().sum()
+        self.inner.sent.total()
+    }
+
+    /// Total messages delivered across all kinds.
+    pub fn total_delivered(&self) -> u64 {
+        self.inner.delivered.total()
     }
 }
 
@@ -84,6 +112,7 @@ mod tests {
         assert_eq!(s.dropped(), 1);
         assert_eq!(s.bytes_sent(), 160);
         assert_eq!(s.total_sent(), 3);
+        assert_eq!(s.total_delivered(), 1);
     }
 
     #[test]
@@ -92,5 +121,41 @@ mod tests {
         let s2 = s.clone();
         s.record_sent(MessageKind::Checkpoint, 5);
         assert_eq!(s2.sent(MessageKind::Checkpoint), 1);
+    }
+
+    #[test]
+    fn every_kind_has_a_counter() {
+        let s = NetworkStats::new();
+        for k in MessageKind::ALL {
+            s.record_sent(k, 1);
+            s.record_delivered(k);
+        }
+        for k in MessageKind::ALL {
+            assert_eq!(s.sent(k), 1);
+            assert_eq!(s.delivered(k), 1);
+        }
+        assert_eq!(s.total_sent(), MessageKind::COUNT as u64);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let s = NetworkStats::new();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_sent(MessageKind::Prepare, 1);
+                        s.record_delivered(MessageKind::Prepare);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(s.sent(MessageKind::Prepare), 4000);
+        assert_eq!(s.delivered(MessageKind::Prepare), 4000);
+        assert_eq!(s.bytes_sent(), 4000);
     }
 }

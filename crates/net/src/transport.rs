@@ -90,7 +90,7 @@ struct NetInner {
 
 impl NetInner {
     fn deliver(&self, to: Sender, msg: SignedMessage) {
-        let kind = msg.msg.kind();
+        let kind = msg.kind();
         let mailboxes = self.mailboxes.read();
         if let Some(tx) = mailboxes.get(&to) {
             if tx.send(msg).is_ok() {
@@ -227,9 +227,9 @@ impl Network {
             self.inner.stats.record_dropped();
             return Err(NetworkError::UnknownDestination(format!("{to:?}")));
         }
-        self.inner
-            .stats
-            .record_sent(msg.msg.kind(), msg.wire_size());
+        // `wire_size` is memoized in the envelope, so pricing a broadcast
+        // walks the batch once, not once per destination.
+        self.inner.stats.record_sent(msg.kind(), msg.wire_size());
         if self.inner.faults.should_drop(from, to) {
             self.inner.stats.record_dropped();
             return Ok(()); // silently dropped, like a real network
@@ -291,6 +291,10 @@ impl Endpoint {
     }
 
     /// Sends `msg` to every address in `to`.
+    ///
+    /// The envelope is a shared handle, so the per-destination clone is a
+    /// reference-count bump — one serialization and one batch allocation
+    /// regardless of fan-out.
     ///
     /// # Errors
     /// Returns the first [`NetworkError`] encountered; remaining
@@ -413,7 +417,7 @@ mod tests {
         let b = net.register(r(1));
         a.send(r(1), msg(r(0))).unwrap();
         let got = b.recv_timeout(Duration::from_secs(1)).unwrap();
-        assert_eq!(got.from, r(0));
+        assert_eq!(got.sender(), r(0));
         assert_eq!(net.stats().total_sent(), 1);
     }
 
@@ -496,7 +500,7 @@ mod tests {
         }
         for i in 0..20u64 {
             let got = b.recv_timeout(Duration::from_secs(2)).unwrap();
-            assert_eq!(got.msg.seq(), Some(rdb_common::SeqNum(i)));
+            assert_eq!(got.msg().seq(), Some(rdb_common::SeqNum(i)));
         }
         net.shutdown();
     }

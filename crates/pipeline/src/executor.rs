@@ -185,7 +185,7 @@ mod tests {
             seq: SeqNum(seq),
             view: ViewNum(0),
             digest: Digest([seq as u8; 32]),
-            batch,
+            batch: batch.into(),
             certificate: BlockCertificate::new(vec![
                 (ReplicaId(0), SignatureBytes(vec![1])),
                 (ReplicaId(1), SignatureBytes(vec![2])),
@@ -274,7 +274,7 @@ mod tests {
             seq: SeqNum(1),
             view: ViewNum(0),
             digest: Digest::ZERO,
-            batch,
+            batch: batch.into(),
             certificate: BlockCertificate::default(),
             history: None,
         };

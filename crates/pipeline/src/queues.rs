@@ -19,6 +19,7 @@ use rdb_common::block::BlockCertificate;
 use rdb_common::messages::SignedMessage;
 use rdb_common::{Batch, Digest, SeqNum, ViewNum};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Lock-free multi-producer multi-consumer queue of client requests.
@@ -70,8 +71,9 @@ pub struct ExecuteItem {
     pub view: ViewNum,
     /// Batch digest.
     pub digest: Digest,
-    /// The transactions.
-    pub batch: Batch,
+    /// The transactions, shared with the consensus instance and the
+    /// original `PrePrepare` (committing never copies the batch).
+    pub batch: Arc<Batch>,
     /// PBFT: the 2f+1 commit signatures. Empty for speculative execution.
     pub certificate: BlockCertificate,
     /// Zyzzyva: the rolling history digest (`None` for PBFT).
@@ -112,10 +114,15 @@ impl ExecutionQueues {
     }
 
     /// Deposits the item for its sequence's slot (worker-thread side).
+    ///
+    /// `notify_one` suffices: the execute-thread design gives each slot at
+    /// most one waiter (the thread blocked on exactly the next sequence in
+    /// order), so waking "all" waiters was only ever waking that one — at
+    /// the cost of a broadcast syscall per deposit.
     pub fn deposit(&self, item: ExecuteItem) {
         let idx = self.index(item.seq);
         self.slots[idx].lock().push(item);
-        self.ready[idx].notify_all();
+        self.ready[idx].notify_one();
     }
 
     /// Waits up to `timeout` for the item of exactly `seq` (execute-thread
@@ -152,7 +159,7 @@ mod tests {
             seq: SeqNum(seq),
             view: ViewNum(0),
             digest: Digest::ZERO,
-            batch: Batch::default(),
+            batch: Arc::new(Batch::default()),
             certificate: BlockCertificate::default(),
             history: None,
         }
@@ -171,7 +178,7 @@ mod tests {
         assert_eq!(q.depth(), 5);
         assert_eq!(q.total_enqueued(), 5);
         let first = q.pop().unwrap();
-        assert_eq!(first.from, Sender::Client(ClientId(0)));
+        assert_eq!(first.sender(), Sender::Client(ClientId(0)));
         assert_eq!(q.depth(), 4);
     }
 
@@ -235,5 +242,31 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_queues_panics() {
         let _ = ExecutionQueues::new(0);
+    }
+
+    #[test]
+    fn multi_deposit_into_one_slot_wakes_the_waiter_every_time() {
+        // Regression for the notify_all → notify_one change: with QC=1
+        // every deposit lands in the same slot, and the single waiter must
+        // be woken for each of a rapid burst of deposits — a lost wakeup
+        // would stall the take-loop until its timeout.
+        let eq = Arc::new(ExecutionQueues::new(1));
+        let eq2 = Arc::clone(&eq);
+        let producer = std::thread::spawn(move || {
+            // Burst several items into the slot, out of order, with no
+            // pacing: the waiter is mid-wait for seq 1 while later seqs
+            // pile into the same slot vector.
+            for seq in [3u64, 1, 2, 5, 4] {
+                eq2.deposit(item(seq));
+            }
+        });
+        for seq in 1..=5u64 {
+            let got = eq
+                .take(SeqNum(seq), Duration::from_secs(5))
+                .unwrap_or_else(|| panic!("waiter missed wakeup for seq {seq}"));
+            assert_eq!(got.seq, SeqNum(seq));
+        }
+        producer.join().unwrap();
+        assert_eq!(eq.depth(), 0);
     }
 }

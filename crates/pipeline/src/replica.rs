@@ -24,7 +24,7 @@ use rdb_common::{
     Batch, Digest, ProtocolKind, ReplicaId, SeqNum, StorageMode, SystemConfig, Transaction,
 };
 use rdb_consensus::{Action, ConsensusConfig, ReplicaEngine};
-use rdb_crypto::{digest, CryptoProvider, KeyRegistry, PeerClass};
+use rdb_crypto::{digest, CryptoProvider, CryptoStats, KeyRegistry, PeerClass};
 use rdb_net::{EndpointSender, Network};
 use rdb_storage::blockchain::ChainMode;
 use rdb_storage::pagedb::{PagedStore, PagedStoreConfig};
@@ -69,6 +69,8 @@ pub struct ReplicaShared {
     pub client_queue: Arc<ClientRequestQueue>,
     /// The execution engine (owns executed-transaction counters).
     pub executor: Arc<Executor>,
+    /// Sign/verify call counters shared by every stage thread's provider.
+    pub crypto_stats: CryptoStats,
     committed_batches: AtomicU64,
     dropped_bad_sigs: AtomicU64,
 }
@@ -214,6 +216,7 @@ pub fn spawn_replica(
         metrics: metrics.clone(),
         client_queue: Arc::clone(&client_queue),
         executor: Arc::clone(&executor),
+        crypto_stats: provider.stats().clone(),
         committed_batches: AtomicU64::new(0),
         dropped_bad_sigs: AtomicU64::new(0),
     });
@@ -258,7 +261,7 @@ pub fn spawn_replica(
                     let Ok(sm) = rx.recv_timeout(POLL) else {
                         continue;
                     };
-                    rec.record(|| match &sm.msg {
+                    rec.record(|| match sm.msg() {
                         Message::ClientRequest { .. } => {
                             if is_primary {
                                 if has_batch_threads {
@@ -317,8 +320,9 @@ pub fn spawn_replica(
                         continue;
                     };
                     rec.record(|| {
-                        let bytes = SignedMessage::signing_bytes(&sm.msg, sm.from);
-                        if provider.verify(sm.from, &bytes, &sm.sig) {
+                        // Memoized canonical bytes: the sender's clone
+                        // already serialized them, so this is a lookup.
+                        if provider.verify(sm.sender(), sm.signing_bytes(), sm.sig()) {
                             let _ = work_tx.send(Work::Verified(sm));
                         } else {
                             shared2.dropped_bad_sigs.fetch_add(1, Ordering::Relaxed);
@@ -438,14 +442,17 @@ pub fn spawn_replica(
                             Some(Sender::Client(_)) => PeerClass::Client,
                             None => return,
                         };
-                        let bytes = SignedMessage::signing_bytes(&item.msg, me);
-                        let sig = provider.sign(class, &bytes);
+                        // Encode once, sign once; each destination gets a
+                        // reference-count bump of the same envelope, not a
+                        // fresh copy + re-serialization.
+                        let sm = SignedMessage::sign_with(item.msg, me, |bytes| {
+                            provider.sign(class, bytes)
+                        });
                         for &dest in &item.targets {
                             if dest == me {
                                 continue;
                             }
-                            let _ = sender
-                                .send(dest, SignedMessage::new(item.msg.clone(), me, sig.clone()));
+                            let _ = sender.send(dest, sm.clone());
                         }
                     });
                 }
@@ -481,12 +488,13 @@ fn batch_loop(
     while !stop.load(Ordering::Relaxed) {
         match cq.pop() {
             Some(sm) => rec.record(|| {
-                let bytes = SignedMessage::signing_bytes(&sm.msg, sm.from);
-                if !provider.verify(sm.from, &bytes, &sm.sig) {
+                if !provider.verify(sm.sender(), sm.signing_bytes(), sm.sig()) {
                     shared.dropped_bad_sigs.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
-                if let Message::ClientRequest { txns } = sm.msg {
+                // `into_message` is move-out, not copy: the client's send
+                // handed over the only reference to the request body.
+                if let Message::ClientRequest { txns } = sm.into_message() {
                     pending.extend(txns);
                 }
                 while pending.len() >= batch_size {
@@ -540,8 +548,13 @@ impl WorkerCtx {
     fn handle(&mut self, work: Work) {
         match work {
             Work::Raw(sm) => {
-                let bytes = SignedMessage::signing_bytes(&sm.msg, sm.from);
-                if !self.provider.verify(sm.from, &bytes, &sm.sig) {
+                // The signing bytes are memoized in the envelope — when
+                // the sender runs in-process (the in-memory network) they
+                // were serialized exactly once, by the signer.
+                if !self
+                    .provider
+                    .verify(sm.sender(), sm.signing_bytes(), sm.sig())
+                {
                     self.shared.dropped_bad_sigs.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
@@ -555,12 +568,14 @@ impl WorkerCtx {
             Work::ClientRequest(sm) => {
                 // 0B configuration: the worker performs the batch-thread's
                 // duties inline (Figure 8's monolithic baseline).
-                let bytes = SignedMessage::signing_bytes(&sm.msg, sm.from);
-                if !self.provider.verify(sm.from, &bytes, &sm.sig) {
+                if !self
+                    .provider
+                    .verify(sm.sender(), sm.signing_bytes(), sm.sig())
+                {
                     self.shared.dropped_bad_sigs.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
-                if let Message::ClientRequest { txns } = sm.msg {
+                if let Message::ClientRequest { txns } = sm.into_message() {
                     self.pending_txns.extend(txns);
                 }
                 while self.pending_txns.len() >= self.batch_size {

@@ -60,13 +60,11 @@ impl TestClient {
 
     fn send_request(&self, txns: Vec<Transaction>, to: ReplicaId) {
         let msg = Message::ClientRequest { txns };
-        let bytes = SignedMessage::signing_bytes(&msg, Sender::Client(self.id));
-        let sig = self.provider.sign(PeerClass::Replica, &bytes);
+        let sm = SignedMessage::sign_with(msg, Sender::Client(self.id), |bytes| {
+            self.provider.sign(PeerClass::Replica, bytes)
+        });
         self.endpoint
-            .send(
-                Sender::Replica(to),
-                SignedMessage::new(msg, Sender::Client(self.id), sig),
-            )
+            .send(Sender::Replica(to), sm)
             .expect("send to primary");
     }
 }
@@ -239,7 +237,7 @@ fn zyzzyva_backup_failure_needs_commit_certificates() {
             acts.is_empty(),
             "fast path must not complete with a dead backup"
         );
-        if matches!(sm.msg, Message::SpecResponse { .. }) {
+        if matches!(sm.msg(), Message::SpecResponse { .. }) {
             specs += 1;
         }
     }
@@ -253,13 +251,14 @@ fn zyzzyva_backup_failure_needs_commit_certificates() {
     for &counter in &counters {
         for act in tracker.on_timeout(counter) {
             if let ClientAction::BroadcastReplicas(msg) = act {
-                let bytes = SignedMessage::signing_bytes(&msg, Sender::Client(client.id));
-                let sig = client.provider.sign(PeerClass::Replica, &bytes);
+                // Encode-once broadcast: one envelope, cloned per replica.
+                let sm = SignedMessage::sign_with(msg, Sender::Client(client.id), |bytes| {
+                    client.provider.sign(PeerClass::Replica, bytes)
+                });
                 for r in 0..4u32 {
-                    let _ = client.endpoint.send(
-                        Sender::Replica(ReplicaId(r)),
-                        SignedMessage::new(msg.clone(), Sender::Client(client.id), sig.clone()),
-                    );
+                    let _ = client
+                        .endpoint
+                        .send(Sender::Replica(ReplicaId(r)), sm.clone());
                 }
             }
         }
@@ -271,7 +270,7 @@ fn zyzzyva_backup_failure_needs_commit_certificates() {
         let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else {
             continue;
         };
-        if !matches!(sm.msg, Message::LocalCommit { .. }) {
+        if !matches!(sm.msg(), Message::LocalCommit { .. }) {
             continue;
         }
         for &counter in &counters {

@@ -62,7 +62,9 @@ fn main() {
     assert_eq!(total, 120, "all transfers must commit");
 
     // Wait for all replicas to finish executing, then cross-check state.
-    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    // Generous deadline: loaded single-core machines can lag replicas by
+    // seconds; the assert below only makes sense once heads converge.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
     while std::time::Instant::now() < deadline {
         let heads = db.chain_heads();
         if heads.iter().all(|h| *h == heads[0]) {
