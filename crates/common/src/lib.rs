@@ -33,4 +33,4 @@ pub use config::{CryptoScheme, ProtocolKind, StorageMode, SystemConfig, ThreadCo
 pub use error::{CommonError, Result};
 pub use ids::{ClientId, Digest, ReplicaId, SeqNum, SignatureBytes, TxnId, ViewNum};
 pub use messages::{Message, MessageKind};
-pub use transaction::{Batch, Operation, Transaction};
+pub use transaction::{Batch, Operation, ReadWriteSet, Transaction};

@@ -104,6 +104,44 @@ impl Transaction {
         }
     }
 
+    /// The declared read set: keys this transaction reads, sorted and
+    /// deduplicated. Operations are declarative key accesses (not a
+    /// Turing-complete program), so the declaration is derived from the
+    /// operation list — it cannot disagree with what execution touches.
+    pub fn read_set(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self
+            .ops
+            .iter()
+            .filter(|op| !op.is_write())
+            .map(Operation::key)
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// The declared write set: keys this transaction writes, sorted and
+    /// deduplicated.
+    pub fn write_set(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self
+            .ops
+            .iter()
+            .filter(|op| op.is_write())
+            .map(Operation::key)
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// The full declared access declaration used by the conflict scheduler.
+    pub fn rw_set(&self) -> ReadWriteSet {
+        ReadWriteSet {
+            reads: self.read_set(),
+            writes: self.write_set(),
+        }
+    }
+
     /// Attaches an opaque payload (builder-style).
     pub fn with_payload(mut self, payload: Vec<u8>) -> Self {
         self.payload = payload;
@@ -144,6 +182,47 @@ impl Wire for Transaction {
 
     fn encoded_len(&self) -> usize {
         8 + 8 + crate::codec::vec_encoded_len(&self.ops) + 4 + self.payload.len()
+    }
+}
+
+/// A transaction's declared key accesses, the input to read/write-set
+/// conflict scheduling (the Fabric-style execution lesson): two
+/// transactions may execute concurrently iff neither writes a key the
+/// other reads or writes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReadWriteSet {
+    /// Keys read, sorted and deduplicated.
+    pub reads: Vec<u64>,
+    /// Keys written, sorted and deduplicated.
+    pub writes: Vec<u64>,
+}
+
+/// Whether two sorted key slices intersect (linear merge scan).
+fn sorted_intersects(a: &[u64], b: &[u64]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+impl ReadWriteSet {
+    /// Whether scheduling `self` and `other` concurrently could change the
+    /// serial-order outcome: true on any write-write, write-read or
+    /// read-write key overlap. Read-read overlap never conflicts.
+    pub fn conflicts_with(&self, other: &ReadWriteSet) -> bool {
+        sorted_intersects(&self.writes, &other.writes)
+            || sorted_intersects(&self.writes, &other.reads)
+            || sorted_intersects(&self.reads, &other.writes)
+    }
+
+    /// Whether the transaction touches no keys at all.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
     }
 }
 
@@ -316,6 +395,56 @@ mod tests {
         let small = sample_txn(1);
         let large = sample_txn(1).with_payload(vec![0; 1024]);
         assert!(large.wire_size() > small.wire_size() + 1000);
+    }
+
+    #[test]
+    fn read_write_sets_sorted_and_deduped() {
+        let t = Transaction::new(
+            ClientId(1),
+            0,
+            vec![
+                Operation::Write {
+                    key: 9,
+                    value: vec![1],
+                },
+                Operation::Read { key: 30 },
+                Operation::Write {
+                    key: 2,
+                    value: vec![2],
+                },
+                Operation::Read { key: 30 },
+                Operation::Write {
+                    key: 9,
+                    value: vec![3],
+                },
+            ],
+        );
+        assert_eq!(t.write_set(), vec![2, 9]);
+        assert_eq!(t.read_set(), vec![30]);
+        let rw = t.rw_set();
+        assert_eq!(rw.reads, vec![30]);
+        assert_eq!(rw.writes, vec![2, 9]);
+        assert!(!rw.is_empty());
+    }
+
+    #[test]
+    fn conflict_rules() {
+        let w = |keys: &[u64]| ReadWriteSet {
+            reads: vec![],
+            writes: keys.to_vec(),
+        };
+        let r = |keys: &[u64]| ReadWriteSet {
+            reads: keys.to_vec(),
+            writes: vec![],
+        };
+        // Write-write, write-read and read-write overlaps all conflict.
+        assert!(w(&[1, 5]).conflicts_with(&w(&[5, 9])));
+        assert!(w(&[5]).conflicts_with(&r(&[5])));
+        assert!(r(&[5]).conflicts_with(&w(&[5])));
+        // Read-read overlap never conflicts; disjoint keys never conflict.
+        assert!(!r(&[5]).conflicts_with(&r(&[5])));
+        assert!(!w(&[1, 2]).conflicts_with(&w(&[3, 4])));
+        assert!(ReadWriteSet::default().is_empty());
     }
 
     #[test]

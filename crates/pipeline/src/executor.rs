@@ -1,18 +1,29 @@
-//! Ordered batch execution (the execute-thread's work).
+//! Ordered batch execution (the execute stage's work).
 //!
-//! Applies each transaction's operations to the state store, appends a
-//! block to the ledger, and produces the per-client reply messages. Under
-//! PBFT the block is certified by the 2f+1 commit signatures; under
-//! Zyzzyva execution is speculative and replies carry the rolling history
-//! digest.
+//! Executes each transaction's operations against a read view of the
+//! state, buffers the writes, commits them in canonical order through
+//! [`StateStore::apply`], appends a block to the ledger, and produces the
+//! per-client reply messages. Under PBFT the block is certified by the
+//! 2f+1 commit signatures; under Zyzzyva execution is speculative and
+//! replies carry the rolling history digest.
+//!
+//! Execution is split into two halves so the conflict scheduler
+//! ([`crate::scheduler`]) can run the first half on a worker pool:
+//!
+//! - [`execute_txn`] — pure transaction evaluation over a read closure,
+//!   producing a [`TxnOutcome`] (reply bytes + buffered, pre-hashed
+//!   writes). Safe to run concurrently for non-conflicting transactions.
+//! - [`Executor::commit`] — the in-order half: apply writes, append the
+//!   block, build replies, maintain counters.
 
 use crate::queues::ExecuteItem;
 use parking_lot::Mutex;
 use rdb_common::messages::{Message, Sender};
 use rdb_common::Digest;
-use rdb_common::{Operation, ProtocolKind, ReplicaId};
+use rdb_common::{Operation, ProtocolKind, ReplicaId, Transaction};
 use rdb_crypto::chain_digest;
-use rdb_storage::{Blockchain, StateStore};
+use rdb_storage::{Blockchain, StateStore, WriteRecord};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -33,6 +44,62 @@ impl OutItem {
             targets: vec![dest],
             msg,
         }
+    }
+}
+
+/// The buffered result of evaluating one transaction: the reply bytes and
+/// the final per-key writes (pre-hashed, in first-write order).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TxnOutcome {
+    /// Reply payload: the last operation's echo, exactly as the serial
+    /// executor produced it (write → key bytes, read → value truncated
+    /// to 8 bytes).
+    pub result: Vec<u8>,
+    /// Final value per written key, hashed where produced.
+    pub writes: Vec<WriteRecord>,
+}
+
+/// Evaluates `txn` against `read`, buffering writes instead of mutating.
+///
+/// Reads observe the transaction's own earlier writes first (read-your-own
+/// -writes), then fall through to `read` — which the caller points at the
+/// batch overlay plus the base store. Pure in the scheduling sense: no
+/// shared state is touched, so non-conflicting transactions can be
+/// evaluated concurrently and the outcome is a function of `(txn, read)`.
+pub fn execute_txn<F>(txn: &Transaction, read: F) -> TxnOutcome
+where
+    F: Fn(u64) -> Option<Vec<u8>>,
+{
+    // Final value per key in first-write order; transactions carry few ops,
+    // so a linear scan beats a per-txn hash map.
+    let mut local: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut result = Vec::with_capacity(8);
+    for op in &txn.ops {
+        match op {
+            Operation::Write { key, value } => {
+                match local.iter_mut().find(|(k, _)| k == key) {
+                    Some((_, v)) => v.clone_from(value),
+                    None => local.push((*key, value.clone())),
+                }
+                result = key.to_le_bytes().to_vec();
+            }
+            Operation::Read { key } => {
+                result = local
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v.clone())
+                    .or_else(|| read(*key))
+                    .unwrap_or_default();
+                result.truncate(8);
+            }
+        }
+    }
+    TxnOutcome {
+        result,
+        writes: local
+            .into_iter()
+            .map(|(k, v)| WriteRecord::new(k, v))
+            .collect(),
     }
 }
 
@@ -88,28 +155,50 @@ impl Executor {
         self.executed_batches.load(Ordering::Relaxed)
     }
 
-    /// Executes `item`: applies operations, appends the block, builds the
-    /// client replies. Returns the replica state digest after execution
-    /// (fed back to the consensus engine for checkpointing) and the
-    /// outgoing reply messages.
+    /// The state store this executor commits into.
+    pub fn store(&self) -> &Arc<dyn StateStore> {
+        &self.store
+    }
+
+    /// Executes `item` serially: evaluates each transaction in batch order
+    /// against the store overlaid with the batch's earlier writes, then
+    /// commits. Returns the replica state digest after execution (fed back
+    /// to the consensus engine for checkpointing) and the outgoing reply
+    /// messages.
     pub fn execute(&self, item: &ExecuteItem) -> (Digest, Vec<OutItem>) {
-        let mut replies = Vec::with_capacity(item.batch.len());
+        let mut overlay: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut results = Vec::with_capacity(item.batch.len());
+        let mut writes: Vec<WriteRecord> = Vec::with_capacity(item.batch.len());
         for txn in &item.batch.txns {
-            // Apply operations in order; the result echoes the last
-            // operation's key so it is deterministic across replicas.
-            let mut result = Vec::with_capacity(8);
-            for op in &txn.ops {
-                match op {
-                    Operation::Write { key, value } => {
-                        self.store.put(*key, value);
-                        result = key.to_le_bytes().to_vec();
-                    }
-                    Operation::Read { key } => {
-                        result = self.store.get(*key).unwrap_or_default();
-                        result.truncate(8);
-                    }
-                }
+            let out = execute_txn(txn, |k| {
+                overlay.get(&k).cloned().or_else(|| self.store.get(k))
+            });
+            for w in &out.writes {
+                overlay.insert(w.key, w.value.clone());
             }
+            results.push(out.result);
+            writes.extend(out.writes);
+        }
+        self.commit(item, results, &writes)
+    }
+
+    /// The in-order half of execution: applies the buffered writes in
+    /// canonical order, appends the block, builds the client replies and
+    /// bumps the executed counters. `results` holds one reply payload per
+    /// transaction, in batch order.
+    ///
+    /// Callers (the serial path above and the parallel scheduler) must
+    /// invoke this in sequence order — the ledger append asserts it.
+    pub fn commit(
+        &self,
+        item: &ExecuteItem,
+        results: Vec<Vec<u8>>,
+        writes: &[WriteRecord],
+    ) -> (Digest, Vec<OutItem>) {
+        debug_assert_eq!(results.len(), item.batch.len());
+        self.store.apply(writes);
+        let mut replies = Vec::with_capacity(item.batch.len());
+        for (txn, result) in item.batch.txns.iter().zip(results) {
             let msg = match item.history {
                 // Zyzzyva: speculative response with the history digest.
                 Some(history) => Message::SpecResponse {

@@ -21,8 +21,10 @@ pub mod executor;
 pub mod metrics;
 pub mod queues;
 pub mod replica;
+pub mod scheduler;
 
-pub use executor::{Executor, OutItem};
+pub use executor::{execute_txn, Executor, OutItem, TxnOutcome};
 pub use metrics::{MetricsRegistry, SaturationReport, Stage, StageRecorder, ThreadSaturation};
 pub use queues::{ClientRequestQueue, ExecuteItem, ExecutionQueues};
 pub use replica::{spawn_replica, ReplicaHandle, ReplicaShared};
+pub use scheduler::{conflict_waves, ExecPool, ParallelExecutor};

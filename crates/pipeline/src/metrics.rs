@@ -19,8 +19,12 @@ pub enum Stage {
     Batch,
     /// Runs the consensus state machine.
     Worker,
-    /// Executes committed batches in order.
+    /// Executes committed batches (serial execute-thread, or the pool
+    /// workers under parallel execution).
     Execute,
+    /// Schedules conflict waves and commits in order (parallel execution
+    /// only, `execute_threads ≥ 2`).
+    ExecuteCoord,
     /// Collects checkpoint messages.
     Checkpoint,
     /// Signs and transmits outgoing messages.
@@ -35,6 +39,7 @@ impl Stage {
             Stage::Batch => "batch",
             Stage::Worker => "worker",
             Stage::Execute => "execute",
+            Stage::ExecuteCoord => "execute-coord",
             Stage::Checkpoint => "checkpoint",
             Stage::Output => "output",
         }

@@ -141,6 +141,16 @@ impl ExecutionQueues {
         }
     }
 
+    /// Non-blocking take: the item for exactly `seq`, if already deposited
+    /// (the parallel coordinator uses this to widen its in-order window
+    /// opportunistically).
+    pub fn try_take(&self, seq: SeqNum) -> Option<ExecuteItem> {
+        let idx = self.index(seq);
+        let mut slot = self.slots[idx].lock();
+        let pos = slot.iter().position(|i| i.seq == seq)?;
+        Some(slot.swap_remove(pos))
+    }
+
     /// Items waiting across all slots (for saturation metrics).
     pub fn depth(&self) -> usize {
         self.slots.iter().map(|s| s.lock().len()).sum()
@@ -192,6 +202,18 @@ mod tests {
         assert_eq!(got.seq, SeqNum(1));
         let got = eq.take(SeqNum(2), Duration::from_millis(100)).unwrap();
         assert_eq!(got.seq, SeqNum(2));
+        assert_eq!(eq.depth(), 0);
+    }
+
+    #[test]
+    fn try_take_is_non_blocking_and_exact() {
+        let eq = ExecutionQueues::new(8);
+        assert!(eq.try_take(SeqNum(1)).is_none());
+        eq.deposit(item(2));
+        eq.deposit(item(1));
+        assert_eq!(eq.try_take(SeqNum(1)).unwrap().seq, SeqNum(1));
+        assert!(eq.try_take(SeqNum(1)).is_none());
+        assert_eq!(eq.try_take(SeqNum(2)).unwrap().seq, SeqNum(2));
         assert_eq!(eq.depth(), 0);
     }
 

@@ -13,10 +13,15 @@
 //! Thread counts come from [`ThreadConfig`]; setting `batch_threads = 0`
 //! or `execute_threads = 0` folds that stage into the worker thread,
 //! reproducing the paper's `0B`/`0E` degraded configurations (Figure 8).
+//! `execute_threads = 1` is the paper's serial execute-thread;
+//! `execute_threads = N ≥ 2` runs a coordinator plus `N` conflict-scheduled
+//! execute workers ([`crate::scheduler`]) whose committed results are
+//! bit-identical to serial execution.
 
 use crate::executor::{Executor, OutItem};
 use crate::metrics::{MetricsRegistry, Stage, StageRecorder};
 use crate::queues::{ClientRequestQueue, ExecuteItem, ExecutionQueues};
+use crate::scheduler::{ExecPool, ParallelExecutor};
 use crossbeam::channel::{self, Receiver, Sender as ChanSender};
 use parking_lot::Mutex;
 use rdb_common::messages::{Message, Sender, SignedMessage};
@@ -35,10 +40,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// How long a batch-thread waits before flushing a partial batch.
-const BATCH_FLUSH_AFTER: Duration = Duration::from_millis(1);
-/// Queue polling granularity while checking for shutdown.
-const POLL: Duration = Duration::from_millis(20);
+// Flush and poll latencies are configuration now: see
+// `ThreadConfig::batch_flush_after_us` / `poll_interval_us` (defaults
+// preserve the constants that used to live here).
 
 /// Work items flowing into the worker thread.
 #[derive(Debug)]
@@ -147,6 +151,8 @@ pub fn spawn_replica(
     let provider = registry.provider_for_replica(id);
     let endpoint = net.register(Sender::Replica(id));
     let me = Sender::Replica(id);
+    let poll = config.threads.poll_interval();
+    let flush_after = config.threads.batch_flush_after();
 
     // --- storage ----------------------------------------------------------
     let store: Arc<dyn StateStore> = match config.storage {
@@ -258,7 +264,7 @@ pub fn spawn_replica(
             format!("r{}-input-{i}", id.0),
             Box::new(move || {
                 while !stop.load(Ordering::Relaxed) {
-                    let Ok(sm) = rx.recv_timeout(POLL) else {
+                    let Ok(sm) = rx.recv_timeout(poll) else {
                         continue;
                     };
                     rec.record(|| match sm.msg() {
@@ -298,7 +304,16 @@ pub fn spawn_replica(
             threads.push(spawn(
                 format!("r{}-batch-{b}", id.0),
                 Box::new(move || {
-                    batch_loop(&cq, &work_tx, &stop, &rec, &provider, batch_size, &dropped);
+                    batch_loop(
+                        &cq,
+                        &work_tx,
+                        &stop,
+                        &rec,
+                        &provider,
+                        batch_size,
+                        flush_after,
+                        &dropped,
+                    );
                 }),
             ));
         }
@@ -316,7 +331,7 @@ pub fn spawn_replica(
             format!("r{}-ckpt-{c}", id.0),
             Box::new(move || {
                 while !stop.load(Ordering::Relaxed) {
-                    let Ok(sm) = rx.recv_timeout(POLL) else {
+                    let Ok(sm) = rx.recv_timeout(poll) else {
                         continue;
                     };
                     rec.record(|| {
@@ -364,18 +379,19 @@ pub fn spawn_replica(
                     me,
                     execute_inline: cfg.threads.execute_threads == 0,
                     batch_size: cfg.batch_size,
+                    flush_after,
                     pending_txns: Vec::new(),
                     last_flush: Instant::now(),
                     inline_exec_buf: BTreeMap::new(),
                     inline_next_exec: SeqNum(1),
                 };
                 while !stop.load(Ordering::Relaxed) {
-                    match rx.recv_timeout(POLL) {
+                    match rx.recv_timeout(poll) {
                         Ok(work) => rec.record(|| ctx.handle(work)),
                         Err(_) => {
                             // Idle: flush a partial worker-side batch (0B).
                             if !ctx.pending_txns.is_empty()
-                                && ctx.last_flush.elapsed() > BATCH_FLUSH_AFTER
+                                && ctx.last_flush.elapsed() > ctx.flush_after
                             {
                                 rec.record(|| ctx.flush_pending());
                             }
@@ -386,22 +402,23 @@ pub fn spawn_replica(
         ));
     }
 
-    // --- execute thread(s) -----------------------------------------------------
-    for e in 0..config.threads.execute_threads {
+    // --- execute stage ---------------------------------------------------------
+    // 1E: the paper's serial execute-thread draining the QC slots in order.
+    if config.threads.execute_threads == 1 {
         let stop = Arc::clone(&shutdown);
-        let rec = metrics.recorder(Stage::Execute, e);
+        let rec = metrics.recorder(Stage::Execute, 0);
         let exec_queues2 = Arc::clone(&exec_queues);
         let executor2 = Arc::clone(&executor);
         let work_tx2 = work_tx.clone();
         let out_txs: Vec<ChanSender<OutItem>> =
             out_channels.iter().map(|(tx, _)| tx.clone()).collect();
         threads.push(spawn(
-            format!("r{}-execute-{e}", id.0),
+            format!("r{}-execute-0", id.0),
             Box::new(move || {
                 let mut next = SeqNum(1);
                 let mut rr = 0usize;
                 while !stop.load(Ordering::Relaxed) {
-                    let Some(item) = exec_queues2.take(next, POLL) else {
+                    let Some(item) = exec_queues2.take(next, poll) else {
                         continue;
                     };
                     rec.record(|| {
@@ -422,6 +439,71 @@ pub fn spawn_replica(
         ));
     }
 
+    // NE (N ≥ 2): deterministic parallel execution. A coordinator thread
+    // collects the in-order window of committed sequences, schedules the
+    // conflict waves across a pool of N execute workers, and commits in
+    // sequence order — `on_executed(seq, state_digest)` fires exactly as
+    // the serial path would, with identical digests.
+    if config.threads.execute_threads >= 2 {
+        let stop = Arc::clone(&shutdown);
+        let rec = metrics.recorder(Stage::ExecuteCoord, 0);
+        let exec_queues2 = Arc::clone(&exec_queues);
+        let executor2 = Arc::clone(&executor);
+        let work_tx2 = work_tx.clone();
+        let out_txs: Vec<ChanSender<OutItem>> =
+            out_channels.iter().map(|(tx, _)| tx.clone()).collect();
+        let pool_recorders: Vec<StageRecorder> = (0..config.threads.execute_threads)
+            .map(|w| metrics.recorder(Stage::Execute, w))
+            .collect();
+        let pool_name = format!("r{}", id.0);
+        let workers = config.threads.execute_threads;
+        let window_cap = config.threads.execute_window.max(1);
+        threads.push(spawn(
+            format!("r{}-execute-coord", id.0),
+            Box::new(move || {
+                // The pool lives on the coordinator thread: dropping it at
+                // shutdown closes the task channel and joins the workers.
+                let pool = ExecPool::new(&pool_name, workers, pool_recorders);
+                let parallel = ParallelExecutor::new(executor2, pool);
+                let mut next = SeqNum(1);
+                let mut rr = 0usize;
+                let mut window = Vec::with_capacity(window_cap);
+                while !stop.load(Ordering::Relaxed) {
+                    let Some(first) = exec_queues2.take(next, poll) else {
+                        continue;
+                    };
+                    window.clear();
+                    window.push(first);
+                    // Widen the window with whatever committed sequences
+                    // are already queued, without blocking.
+                    while window.len() < window_cap {
+                        let seq = SeqNum(next.0 + window.len() as u64);
+                        match exec_queues2.try_take(seq) {
+                            Some(item) => window.push(item),
+                            None => break,
+                        }
+                    }
+                    rec.record(|| {
+                        for (item, (state_digest, replies)) in
+                            window.iter().zip(parallel.execute_window(&window))
+                        {
+                            for out in replies {
+                                let shard = rr % out_txs.len();
+                                rr += 1;
+                                let _ = out_txs[shard].send(out);
+                            }
+                            let _ = work_tx2.send(Work::Executed {
+                                seq: item.seq,
+                                state_digest,
+                            });
+                        }
+                    });
+                    next = SeqNum(next.0 + window.len() as u64);
+                }
+            }),
+        ));
+    }
+
     // --- output threads ----------------------------------------------------------
     for (o, (_, out_rx)) in out_channels.iter().enumerate() {
         let rx = out_rx.clone();
@@ -433,7 +515,7 @@ pub fn spawn_replica(
             format!("r{}-output-{o}", id.0),
             Box::new(move || {
                 while !stop.load(Ordering::Relaxed) {
-                    let Ok(item) = rx.recv_timeout(POLL) else {
+                    let Ok(item) = rx.recv_timeout(poll) else {
                         continue;
                     };
                     rec.record(|| {
@@ -474,6 +556,7 @@ pub fn spawn_replica(
 
 /// The batch-thread body (Section 4.3): verify client signatures, assemble
 /// batches, digest them once, hand them to the worker for proposing.
+#[allow(clippy::too_many_arguments)]
 fn batch_loop(
     cq: &ClientRequestQueue,
     work_tx: &ChanSender<Work>,
@@ -481,6 +564,7 @@ fn batch_loop(
     rec: &StageRecorder,
     provider: &CryptoProvider,
     batch_size: usize,
+    flush_after: Duration,
     shared: &ReplicaShared,
 ) {
     let mut pending: Vec<Transaction> = Vec::with_capacity(batch_size * 2);
@@ -506,7 +590,7 @@ fn batch_loop(
                 }
             }),
             None => {
-                if !pending.is_empty() && last_flush.elapsed() > BATCH_FLUSH_AFTER {
+                if !pending.is_empty() && last_flush.elapsed() > flush_after {
                     rec.record(|| {
                         let batch = Batch::new(std::mem::take(&mut pending));
                         let d = digest(&batch.canonical_bytes());
@@ -536,6 +620,7 @@ struct WorkerCtx {
     me: Sender,
     execute_inline: bool,
     batch_size: usize,
+    flush_after: Duration,
     pending_txns: Vec<Transaction>,
     last_flush: Instant,
     /// 0E mode: commit actions may arrive out of order; buffer them so the

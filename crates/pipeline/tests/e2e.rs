@@ -324,6 +324,97 @@ fn monolithic_configuration_still_commits() {
     net.shutdown();
 }
 
+/// Runs a PBFT cluster with the given thread config over a fixed,
+/// conflict-heavy workload; returns the replicas' state digests once all
+/// `n_txns` requests complete.
+fn run_fixed_workload(threads: ThreadConfig, seed: u64) -> Vec<rdb_common::Digest> {
+    let mut cfg = test_config(4, ProtocolKind::Pbft);
+    cfg.threads = threads;
+    let registry = KeyRegistry::generate(CryptoScheme::CmacEd25519, 4, 4, seed);
+    let net = Network::new(NetworkConfig::default());
+    let replicas = spawn_cluster(&cfg, &net, &registry);
+
+    let mut client = TestClient::new(0, &net, &registry);
+    let mut tracker = PbftClient::new(client.id, cfg.f);
+    // Deliberately conflicting: every transaction hits key (i % 7), so the
+    // conflict scheduler must chain most of them; a scheduling bug that
+    // reorders conflicting transactions would diverge the digests.
+    let txns: Vec<Transaction> = (0..40u64)
+        .map(|i| {
+            let t = Transaction::new(
+                client.id,
+                client.counter,
+                vec![
+                    Operation::Write {
+                        key: i % 7,
+                        value: vec![i as u8; 8],
+                    },
+                    Operation::Read { key: (i + 1) % 7 },
+                    Operation::Write {
+                        key: 100 + i,
+                        value: vec![(i as u8) ^ 0xff; 8],
+                    },
+                ],
+            );
+            client.counter += 1;
+            t
+        })
+        .collect();
+    for t in &txns {
+        tracker.track(t.id.counter);
+    }
+    client.send_request(txns, ReplicaId(0));
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut completed = 0;
+    while completed < 40 && Instant::now() < deadline {
+        let Ok(sm) = client.endpoint.recv_timeout(Duration::from_millis(200)) else {
+            continue;
+        };
+        for act in tracker.on_reply(&sm) {
+            if matches!(act, ClientAction::Complete { .. }) {
+                completed += 1;
+            }
+        }
+    }
+    assert_eq!(completed, 40, "all requests must complete");
+    // Let the last batch's execution land everywhere.
+    std::thread::sleep(Duration::from_millis(300));
+    let digests = replicas
+        .iter()
+        .map(|r| r.shared().store.state_digest())
+        .collect();
+    for r in &replicas {
+        assert!(r.shared().chain.lock().verify().is_ok());
+    }
+    for r in replicas {
+        r.shutdown();
+    }
+    net.shutdown();
+    digests
+}
+
+#[test]
+fn parallel_execution_matches_serial_digests_end_to_end() {
+    // The determinism invariant, pinned through the full pipeline: a 4E
+    // cluster (conflict-scheduled worker pool) must reach exactly the
+    // state digest of a 1E cluster executing the same workload serially.
+    let serial = run_fixed_workload(ThreadConfig::with_e_b(1, 2), 21);
+    let parallel = run_fixed_workload(ThreadConfig::with_e_b(4, 2), 21);
+    assert!(
+        serial.windows(2).all(|w| w[0] == w[1]),
+        "serial replicas agree"
+    );
+    assert!(
+        parallel.windows(2).all(|w| w[0] == w[1]),
+        "parallel replicas agree"
+    );
+    assert_eq!(
+        serial[0], parallel[0],
+        "parallel execution must be bit-identical to serial"
+    );
+}
+
 #[test]
 fn checkpoints_prune_the_chain() {
     let mut cfg = test_config(4, ProtocolKind::Pbft);

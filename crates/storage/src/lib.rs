@@ -20,4 +20,4 @@ pub mod store;
 pub use blockchain::Blockchain;
 pub use pagedb::PagedStore;
 pub use pool::BufferPool;
-pub use store::{MemStore, StateStore};
+pub use store::{record_hash, MemStore, StateStore, WriteRecord};

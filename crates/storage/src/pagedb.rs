@@ -8,10 +8,9 @@
 //! real `read`/`write` syscall; every put pays a write (plus an optional
 //! `fsync`).
 
-use crate::store::StateStore;
+use crate::store::{record_hash, StateStore, WriteRecord};
 use parking_lot::Mutex;
 use rdb_common::Digest;
-use rdb_crypto::digest;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -226,32 +225,13 @@ impl PagedStore {
     }
 }
 
-fn record_hash(key: u64, value: &[u8]) -> [u8; 32] {
-    let mut buf = Vec::with_capacity(8 + value.len());
-    buf.extend_from_slice(&key.to_le_bytes());
-    buf.extend_from_slice(value);
-    *digest(&buf).as_bytes()
-}
-
-impl StateStore for PagedStore {
-    fn get(&self, key: u64) -> Option<Vec<u8>> {
-        assert!(
-            key < self.config.capacity,
-            "key {key} beyond store capacity"
-        );
-        let mut st = self.state.lock();
-        let off = self.slot_offset(key);
-        let raw = self
-            .read_at(&mut st, off, SLOT_HDR + self.config.record_size)
-            .expect("paged read failed");
-        let len = u16::from_le_bytes([raw[0], raw[1]]);
-        if len == EMPTY_LEN {
-            return None;
-        }
-        Some(raw[SLOT_HDR..SLOT_HDR + len as usize].to_vec())
-    }
-
-    fn put(&self, key: u64, value: &[u8]) {
+impl PagedStore {
+    /// Shared put body: `new_hash` is the caller's precomputed
+    /// `record_hash(key, value)`, so the deferred-commit path does not
+    /// re-hash values it already hashed in the execute workers. The *old*
+    /// value's hash still has to be recomputed from the slot bytes — the
+    /// file format stores raw records, not hashes.
+    fn put_hashed(&self, key: u64, value: &[u8], new_hash: [u8; 32]) {
         assert!(
             key < self.config.capacity,
             "key {key} beyond store capacity"
@@ -279,9 +259,8 @@ impl StateStore for PagedStore {
         } else {
             st.record_count += 1;
         }
-        let h = record_hash(key, value);
         for i in 0..32 {
-            acc[i] ^= h[i];
+            acc[i] ^= new_hash[i];
         }
         st.digest_acc = acc;
         // Write slot: length header + payload.
@@ -290,6 +269,35 @@ impl StateStore for PagedStore {
         buf.extend_from_slice(value);
         self.write_at(&mut st, off, &buf)
             .expect("paged write failed");
+    }
+}
+
+impl StateStore for PagedStore {
+    fn get(&self, key: u64) -> Option<Vec<u8>> {
+        assert!(
+            key < self.config.capacity,
+            "key {key} beyond store capacity"
+        );
+        let mut st = self.state.lock();
+        let off = self.slot_offset(key);
+        let raw = self
+            .read_at(&mut st, off, SLOT_HDR + self.config.record_size)
+            .expect("paged read failed");
+        let len = u16::from_le_bytes([raw[0], raw[1]]);
+        if len == EMPTY_LEN {
+            return None;
+        }
+        Some(raw[SLOT_HDR..SLOT_HDR + len as usize].to_vec())
+    }
+
+    fn put(&self, key: u64, value: &[u8]) {
+        self.put_hashed(key, value, record_hash(key, value));
+    }
+
+    fn apply(&self, writes: &[WriteRecord]) {
+        for w in writes {
+            self.put_hashed(w.key, &w.value, w.hash);
+        }
     }
 
     fn len(&self) -> usize {
@@ -372,6 +380,27 @@ mod tests {
         assert_eq!(s.len(), m.len());
         drop(s);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn apply_uses_precomputed_hashes_and_matches_puts() {
+        let (applied, path_a) = temp_store(small_config());
+        applied.apply(&[
+            WriteRecord::new(3, b"one".to_vec()),
+            WriteRecord::new(9, b"two".to_vec()),
+            WriteRecord::new(3, b"uno".to_vec()),
+        ]);
+        let (direct, path_b) = temp_store(small_config());
+        direct.put(3, b"one");
+        direct.put(9, b"two");
+        direct.put(3, b"uno");
+        assert_eq!(applied.state_digest(), direct.state_digest());
+        assert_eq!(applied.get(3).as_deref(), Some(&b"uno"[..]));
+        assert_eq!(applied.len(), 2);
+        drop(applied);
+        drop(direct);
+        let _ = std::fs::remove_file(path_a);
+        let _ = std::fs::remove_file(path_b);
     }
 
     #[test]

@@ -1,9 +1,17 @@
 //! Key-value state stores.
 //!
-//! The execute-thread applies transaction operations against a
+//! The execute stage applies transaction operations against a
 //! [`StateStore`]. The digest of the state (needed by checkpoints) is
 //! maintained *incrementally* as an XOR-fold of per-record hashes, so
 //! taking a checkpoint never requires scanning the store.
+//!
+//! Execution never mutates the store directly: it buffers writes as
+//! [`WriteRecord`]s (hashing each record where it is produced — under
+//! parallel execution that is an execute-worker, off the commit path) and
+//! commits them in canonical order through [`StateStore::apply`]. Because
+//! the state digest is content-based (an XOR fold over final records),
+//! any apply schedule that produces the same final contents produces the
+//! same digest.
 
 use parking_lot::{Mutex, RwLock};
 use rdb_common::Digest;
@@ -14,16 +22,57 @@ use std::collections::HashMap;
 /// key is a mask away.
 const SHARDS: usize = 16;
 
+/// Hash of one `(key, value)` record, folded into the state digest.
+pub fn record_hash(key: u64, value: &[u8]) -> [u8; 32] {
+    let mut buf = Vec::with_capacity(8 + value.len());
+    buf.extend_from_slice(&key.to_le_bytes());
+    buf.extend_from_slice(value);
+    *digest(&buf).as_bytes()
+}
+
+/// A buffered write: the unit of the deferred-commit execution path.
+///
+/// The record hash is computed when the write is produced, so the serial
+/// `apply` step only folds precomputed hashes instead of re-hashing every
+/// value on the commit path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteRecord {
+    /// Record key in the table.
+    pub key: u64,
+    /// Final value for the key.
+    pub value: Vec<u8>,
+    /// Precomputed `record_hash(key, value)`.
+    pub hash: [u8; 32],
+}
+
+impl WriteRecord {
+    /// Creates a record, hashing it immediately (caller's thread).
+    pub fn new(key: u64, value: Vec<u8>) -> Self {
+        let hash = record_hash(key, &value);
+        WriteRecord { key, value, hash }
+    }
+}
+
 /// Abstract key-value state accessed during execution.
 ///
-/// Implementations must be thread-safe: the execute-thread writes while
-/// checkpoint threads read digests.
+/// Implementations must be thread-safe: execute workers read while the
+/// commit step writes and checkpoint threads read digests.
 pub trait StateStore: Send + Sync {
     /// Reads the value stored under `key`.
     fn get(&self, key: u64) -> Option<Vec<u8>>;
 
     /// Stores `value` under `key`.
     fn put(&self, key: u64, value: &[u8]);
+
+    /// Commits buffered writes in order (the in-order commit step of
+    /// deferred execution). The default delegates to [`StateStore::put`];
+    /// backends that track per-record hashes override this to reuse the
+    /// precomputed hashes.
+    fn apply(&self, writes: &[WriteRecord]) {
+        for w in writes {
+            self.put(w.key, &w.value);
+        }
+    }
 
     /// Number of records present.
     fn len(&self) -> usize;
@@ -37,24 +86,24 @@ pub trait StateStore: Send + Sync {
     fn state_digest(&self) -> Digest;
 }
 
-/// Hash of one `(key, value)` record, folded into the state digest.
-fn record_hash(key: u64, value: &[u8]) -> [u8; 32] {
-    let mut buf = Vec::with_capacity(8 + value.len());
-    buf.extend_from_slice(&key.to_le_bytes());
-    buf.extend_from_slice(value);
-    *digest(&buf).as_bytes()
-}
-
 fn xor_into(acc: &mut [u8; 32], h: &[u8; 32]) {
     for i in 0..32 {
         acc[i] ^= h[i];
     }
 }
 
+/// One stored record: the value plus its folded hash, kept so overwrites
+/// can XOR the old hash out of the digest without re-hashing the old value.
+#[derive(Debug, Clone)]
+struct Record {
+    value: Vec<u8>,
+    hash: [u8; 32],
+}
+
 /// Sharded in-memory key-value store — ResilientDB's default state backend.
 #[derive(Debug)]
 pub struct MemStore {
-    shards: Vec<RwLock<HashMap<u64, Vec<u8>>>>,
+    shards: Vec<RwLock<HashMap<u64, Record>>>,
     digest_acc: Mutex<[u8; 32]>,
 }
 
@@ -84,24 +133,34 @@ impl MemStore {
         store
     }
 
-    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, Vec<u8>>> {
+    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, Record>> {
         &self.shards[(key as usize) & (SHARDS - 1)]
+    }
+
+    fn insert_hashed(&self, key: u64, value: Vec<u8>, hash: [u8; 32]) {
+        let mut shard = self.shard(key).write();
+        let old = shard.insert(key, Record { value, hash });
+        let mut acc = self.digest_acc.lock();
+        if let Some(old) = old {
+            xor_into(&mut acc, &old.hash);
+        }
+        xor_into(&mut acc, &hash);
     }
 }
 
 impl StateStore for MemStore {
     fn get(&self, key: u64) -> Option<Vec<u8>> {
-        self.shard(key).read().get(&key).cloned()
+        self.shard(key).read().get(&key).map(|r| r.value.clone())
     }
 
     fn put(&self, key: u64, value: &[u8]) {
-        let mut shard = self.shard(key).write();
-        let old = shard.insert(key, value.to_vec());
-        let mut acc = self.digest_acc.lock();
-        if let Some(old) = old {
-            xor_into(&mut acc, &record_hash(key, &old));
+        self.insert_hashed(key, value.to_vec(), record_hash(key, value));
+    }
+
+    fn apply(&self, writes: &[WriteRecord]) {
+        for w in writes {
+            self.insert_hashed(w.key, w.value.clone(), w.hash);
         }
-        xor_into(&mut acc, &record_hash(key, value));
     }
 
     fn len(&self) -> usize {
@@ -169,6 +228,39 @@ mod tests {
         let b = MemStore::new();
         b.put(1, b"y");
         assert_ne!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn apply_equals_direct_puts() {
+        let direct = MemStore::new();
+        direct.put(1, b"one");
+        direct.put(2, b"two");
+        direct.put(1, b"uno");
+
+        let applied = MemStore::new();
+        applied.apply(&[
+            WriteRecord::new(1, b"one".to_vec()),
+            WriteRecord::new(2, b"two".to_vec()),
+            WriteRecord::new(1, b"uno".to_vec()),
+        ]);
+
+        assert_eq!(direct.state_digest(), applied.state_digest());
+        assert_eq!(applied.get(1).as_deref(), Some(&b"uno"[..]));
+        assert_eq!(applied.get(2).as_deref(), Some(&b"two"[..]));
+        assert_eq!(applied.len(), 2);
+    }
+
+    #[test]
+    fn apply_uses_precomputed_hashes() {
+        // A WriteRecord constructed off-thread carries its hash; apply must
+        // fold exactly that hash, so the digest matches a plain put.
+        let w = WriteRecord::new(7, b"payload".to_vec());
+        assert_eq!(w.hash, record_hash(7, b"payload"));
+        let s = MemStore::new();
+        s.apply(std::slice::from_ref(&w));
+        let p = MemStore::new();
+        p.put(7, b"payload");
+        assert_eq!(s.state_digest(), p.state_digest());
     }
 
     #[test]

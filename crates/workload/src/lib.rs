@@ -38,6 +38,14 @@ pub struct WorkloadConfig {
     pub payload_bytes: usize,
     /// Zipfian skew parameter θ (0 = uniform).
     pub zipf_theta: f64,
+    /// Fraction of operations redirected to the hot-key set. `0.0`
+    /// (the default) leaves key choice purely Zipfian; `1.0` sends every
+    /// operation to one of [`WorkloadConfig::hot_keys`] keys, forcing the
+    /// conflict scheduler to serialize almost everything. The knob lets
+    /// benchmarks sweep contention independently of the Zipf skew.
+    pub conflict_ratio: f64,
+    /// Size of the hot-key set targeted by conflicting operations.
+    pub hot_keys: u64,
 }
 
 impl Default for WorkloadConfig {
@@ -49,6 +57,8 @@ impl Default for WorkloadConfig {
             value_size: 8,
             payload_bytes: 0,
             zipf_theta: 0.9,
+            conflict_ratio: 0.0,
+            hot_keys: 16,
         }
     }
 }
@@ -89,7 +99,17 @@ impl WorkloadGenerator {
         *counter += 1;
         let mut ops = Vec::with_capacity(self.config.ops_per_txn);
         for _ in 0..self.config.ops_per_txn {
-            let key = self.zipf.next(&mut self.rng);
+            // The contention knob short-circuits the Zipfian stream only
+            // when active, so `conflict_ratio: 0.0` consumes exactly the
+            // randomness the pre-knob generator did.
+            let key = if self.config.conflict_ratio > 0.0
+                && self.rng.gen_bool(self.config.conflict_ratio.min(1.0))
+            {
+                self.rng
+                    .gen_range(0..self.config.hot_keys.clamp(1, self.config.table_size))
+            } else {
+                self.zipf.next(&mut self.rng)
+            };
             if self.rng.gen_bool(self.config.write_ratio) {
                 let mut value = vec![0u8; self.config.value_size];
                 self.rng.fill(&mut value[..]);
@@ -199,6 +219,69 @@ mod tests {
         let t = g.next_transaction(ClientId(0));
         assert_eq!(t.payload.len(), 4096);
         assert!(t.wire_size() > 4096);
+    }
+
+    #[test]
+    fn conflict_ratio_one_stays_in_hot_set() {
+        let cfg = WorkloadConfig {
+            conflict_ratio: 1.0,
+            hot_keys: 8,
+            ops_per_txn: 4,
+            ..Default::default()
+        };
+        let mut g = WorkloadGenerator::new(cfg, 3);
+        for _ in 0..100 {
+            let t = g.next_transaction(ClientId(0));
+            for op in &t.ops {
+                assert!(op.key() < 8, "hot-set key expected, got {}", op.key());
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_ratio_zero_matches_pre_knob_stream() {
+        // The knob must be a pure extension: disabled, the generator
+        // produces the exact transactions it did before the knob existed.
+        let mut plain = WorkloadGenerator::new(WorkloadConfig::default(), 11);
+        let mut knobbed = WorkloadGenerator::new(
+            WorkloadConfig {
+                conflict_ratio: 0.0,
+                hot_keys: 4,
+                ..Default::default()
+            },
+            11,
+        );
+        for _ in 0..50 {
+            assert_eq!(
+                plain.next_transaction(ClientId(2)),
+                knobbed.next_transaction(ClientId(2))
+            );
+        }
+    }
+
+    #[test]
+    fn partial_conflict_ratio_mixes_hot_and_cold() {
+        let cfg = WorkloadConfig {
+            conflict_ratio: 0.5,
+            hot_keys: 4,
+            zipf_theta: 0.0,
+            ..Default::default()
+        };
+        let mut g = WorkloadGenerator::new(cfg, 5);
+        let mut hot = 0usize;
+        let mut total = 0usize;
+        for _ in 0..400 {
+            let t = g.next_transaction(ClientId(0));
+            for op in &t.ops {
+                total += 1;
+                if op.key() < 4 {
+                    hot += 1;
+                }
+            }
+        }
+        // ~50% hot (plus a sliver of cold traffic landing there by chance).
+        let frac = hot as f64 / total as f64;
+        assert!((0.35..0.75).contains(&frac), "hot fraction {frac}");
     }
 
     #[test]

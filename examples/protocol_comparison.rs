@@ -8,7 +8,8 @@
 //! cargo run --release --example protocol_comparison
 //! ```
 
-use rdb_common::{ProtocolKind, ThreadConfig};
+use rdb_common::{ProtocolKind, ReplicaId, ThreadConfig};
+use rdb_pipeline::Stage;
 use resilientdb::{run_closed_loop, SystemBuilder};
 use std::time::Duration;
 
@@ -23,6 +24,52 @@ fn threaded_measurement(protocol: ProtocolKind) -> resilientdb::Measurement {
     let m = run_closed_loop(&db, 3, 30, Duration::from_secs(2));
     db.shutdown();
     m
+}
+
+/// Runs PBFT on the parallel-execution pipeline and prints the primary's
+/// per-stage saturation (Figure 9's measurement, now including the
+/// execute-worker pool), making the pipeline's bottleneck visible.
+fn saturation_breakdown() {
+    let db = SystemBuilder::new(4)
+        .batch_size(10)
+        .table_size(1_024)
+        // 4 conflict-scheduled execute workers behind the coordinator.
+        .threads(ThreadConfig::with_e_b(4, 2))
+        .client_keys(4)
+        .build()
+        .expect("valid configuration");
+    let m = run_closed_loop(&db, 3, 30, Duration::from_secs(2));
+    let report = db.saturation(ReplicaId(0));
+    println!("\n-- primary per-stage saturation (PBFT, 4E 2B pipeline) --");
+    println!("   ({:.0} txn/s over the window)", m.throughput_tps);
+    let stages = [
+        Stage::Input,
+        Stage::Batch,
+        Stage::Worker,
+        Stage::ExecuteCoord,
+        Stage::Execute,
+        Stage::Checkpoint,
+        Stage::Output,
+    ];
+    for stage in stages {
+        let threads: Vec<_> = report.threads.iter().filter(|t| t.stage == stage).collect();
+        if threads.is_empty() {
+            continue;
+        }
+        let items: u64 = threads.iter().map(|t| t.items).sum();
+        println!(
+            "{:>14}: {:>5.1}% mean over {} thread(s), {:>7} items",
+            stage.label(),
+            report.stage_mean(stage),
+            threads.len(),
+            items
+        );
+    }
+    println!(
+        "cumulative saturation: {:.0}% (the paper's Figure 9 metric)",
+        report.cumulative_pct()
+    );
+    db.shutdown();
 }
 
 fn sim_tput(protocol: ProtocolKind, threads: ThreadConfig, failures: usize) -> f64 {
@@ -47,6 +94,8 @@ fn main() {
         "Zyzzyva : {:>8.0} txn/s, {:>6.1} ms per burst",
         zyz.throughput_tps, zyz.avg_latency_ms
     );
+
+    saturation_breakdown();
 
     println!("\n-- simulator (16 replicas, 80K clients, paper scale) --");
     let pbft_good = sim_tput(ProtocolKind::Pbft, ThreadConfig::standard(), 0);
