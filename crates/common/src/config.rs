@@ -114,6 +114,11 @@ pub struct ThreadConfig {
     /// conflict graph (the in-order window). Only meaningful with
     /// `execute_threads ≥ 2`.
     pub execute_window: usize,
+    /// Maximum pending signed messages an input or batch thread drains and
+    /// verifies as one crypto batch. `1` disables batching (every message
+    /// is verified individually); larger windows amortize the shared
+    /// doubling chain of Ed25519 batch verification across the window.
+    pub verify_window: usize,
 }
 
 impl ThreadConfig {
@@ -124,6 +129,10 @@ impl ThreadConfig {
     pub const DEFAULT_POLL_INTERVAL_US: u64 = 20_000;
     /// Default parallel-execution scheduling window: 4 sequences.
     pub const DEFAULT_EXECUTE_WINDOW: usize = 4;
+    /// Default signature-verification batching window: 32 messages (past
+    /// ~32 signatures the per-signature amortization of Ed25519 batch
+    /// verification has flattened out).
+    pub const DEFAULT_VERIFY_WINDOW: usize = 32;
 
     /// The paper's standard pipeline: one worker, one execute (`1E`), two
     /// batch-threads (`2B`), one client-input + two replica-input threads,
@@ -140,6 +149,7 @@ impl ThreadConfig {
             batch_flush_after_us: Self::DEFAULT_BATCH_FLUSH_AFTER_US,
             poll_interval_us: Self::DEFAULT_POLL_INTERVAL_US,
             execute_window: Self::DEFAULT_EXECUTE_WINDOW,
+            verify_window: Self::DEFAULT_VERIFY_WINDOW,
         }
     }
 
@@ -165,6 +175,7 @@ impl ThreadConfig {
             batch_flush_after_us: Self::DEFAULT_BATCH_FLUSH_AFTER_US,
             poll_interval_us: Self::DEFAULT_POLL_INTERVAL_US,
             execute_window: Self::DEFAULT_EXECUTE_WINDOW,
+            verify_window: Self::DEFAULT_VERIFY_WINDOW,
         }
     }
 
@@ -371,6 +382,11 @@ impl SystemConfig {
         if self.threads.execute_threads >= 2 && self.threads.execute_window == 0 {
             return Err(CommonError::InvalidConfig(
                 "execute_window must be positive when running parallel execution".into(),
+            ));
+        }
+        if self.threads.verify_window == 0 {
+            return Err(CommonError::InvalidConfig(
+                "verify_window must be positive (1 disables verify batching)".into(),
             ));
         }
         if self.ops_per_txn == 0 {

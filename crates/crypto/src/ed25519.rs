@@ -5,56 +5,64 @@
 //! recommended configuration: clients sign requests with Ed25519 (for
 //! non-repudiation), while replica↔replica traffic uses CMAC. Validated
 //! against the RFC 8032 test vectors.
+//!
+//! # Hot-path structure
+//!
+//! The paper's core crypto lesson (Section 6) is that signature checking,
+//! not consensus, burns most replica cycles — so the scalar multiplications
+//! here are organized around how the pipeline actually calls them:
+//!
+//! - **Signing** is always fixed-base (`r·B`, `a·B`). [`basepoint_table`]
+//!   holds the odd radix-16 multiples of `B` for all 64 digit positions,
+//!   so a fixed-base multiplication is ~64 table additions and *zero*
+//!   doublings, instead of the naive 256-double/128-add ladder that
+//!   [`EdwardsPoint::scalar_mul`] keeps around as the reference baseline.
+//! - **Single verification** evaluates `S·B − k·A − R == 𝒪` as one
+//!   variable-time Straus multi-scalar multiplication
+//!   ([`multiscalar_mul_vartime`]): one shared doubling chain with
+//!   width-5 wNAF digit tables per point.
+//! - **Batch verification** ([`verify_batch`]) folds the whole batch into
+//!   a single random-linear-combination equation
+//!   `(Σ zᵢsᵢ)·B − Σ zᵢ·Rᵢ − Σ (zᵢkᵢ)·Aᵢ == 𝒪`, reduced to one
+//!   multi-scalar multiplication whose doubling chain is shared across
+//!   every signature in the batch. On failure it bisects to identify the
+//!   bad indices, bottoming out in the exact single-signature equation so
+//!   the per-item accept/reject semantics match [`Ed25519PublicKey::verify`]
+//!   bit for bit.
+//!
+//! All scalar-mult routines here are variable-time (research code, as
+//! noted in the crate docs); the batch coefficients `zᵢ` are 128-bit
+//! values derived from a process nonce and the batch transcript.
 
-use crate::bignum::BigUint;
-use crate::field25519::{edwards_d, sqrt_m1, Fe};
+use crate::field25519::{edwards_d, edwards_d2, sqrt_m1, Fe};
+use crate::scalar25519;
 use crate::sha2::Sha512;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// The group order `ℓ = 2^252 + 27742317777372353535851937790883648493`,
-/// big-endian bytes.
+/// big-endian bytes (the fast limb arithmetic lives in
+/// [`crate::scalar25519`]; tests use these bytes to build non-canonical
+/// and order-adjacent scalars).
+#[cfg(test)]
 const L_BYTES: [u8; 32] = [
     0x10, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
     0x14, 0xde, 0xf9, 0xde, 0xa2, 0xf7, 0x9c, 0xd6, 0x58, 0x12, 0x63, 0x1a, 0x5c, 0xf5, 0xd3, 0xed,
 ];
 
-fn group_order() -> BigUint {
-    BigUint::from_bytes_be(&L_BYTES)
-}
-
-/// Reduces a little-endian byte string modulo ℓ, returning 32 little-endian
-/// bytes.
-fn reduce_mod_l(bytes_le: &[u8]) -> [u8; 32] {
-    let mut be: Vec<u8> = bytes_le.to_vec();
-    be.reverse();
-    let n = BigUint::from_bytes_be(&be).rem(&group_order());
-    let mut out_be = n.to_bytes_be();
-    out_be.reverse(); // now little-endian
-    let mut out = [0u8; 32];
-    out[..out_be.len()].copy_from_slice(&out_be);
-    out
+/// Reduces the 64-byte SHA-512 output modulo ℓ (little-endian in and out).
+fn reduce_mod_l(bytes_le: &[u8; 64]) -> [u8; 32] {
+    scalar25519::reduce512(bytes_le)
 }
 
 /// Computes `(a * b + c) mod ℓ` over little-endian 32-byte scalars.
 fn mul_add_mod_l(a: &[u8; 32], b: &[u8; 32], c: &[u8; 32]) -> [u8; 32] {
-    let to_big = |s: &[u8; 32]| {
-        let mut be = *s;
-        be.reverse();
-        BigUint::from_bytes_be(&be)
-    };
-    let l = group_order();
-    let r = to_big(a).mul(&to_big(b)).add(&to_big(c)).rem(&l);
-    let mut out_be = r.to_bytes_be();
-    out_be.reverse();
-    let mut out = [0u8; 32];
-    out[..out_be.len()].copy_from_slice(&out_be);
-    out
+    scalar25519::mul_add(a, b, c)
 }
 
 /// Whether little-endian scalar `s` is canonical (`s < ℓ`).
 fn scalar_is_canonical(s: &[u8; 32]) -> bool {
-    let mut be = *s;
-    be.reverse();
-    BigUint::from_bytes_be(&be).cmp_val(&group_order()) == std::cmp::Ordering::Less
+    scalar25519::is_canonical(s)
 }
 
 /// A point on the twisted Edwards curve in extended coordinates
@@ -80,18 +88,21 @@ impl EdwardsPoint {
 
     /// The standard base point `B` (y = 4/5, x even).
     pub fn basepoint() -> Self {
-        const BASE_Y: [u8; 32] = [
-            0x58, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
-            0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
-            0x66, 0x66, 0x66, 0x66,
-        ];
-        Self::decompress(&BASE_Y).expect("the standard base point decompresses")
+        static BASE: OnceLock<EdwardsPoint> = OnceLock::new();
+        *BASE.get_or_init(|| {
+            const BASE_Y: [u8; 32] = [
+                0x58, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+                0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+                0x66, 0x66, 0x66, 0x66,
+            ];
+            Self::decompress(&BASE_Y).expect("the standard base point decompresses")
+        })
     }
 
     /// Point addition using the unified extended-coordinate formulas for
     /// `a = -1` twisted Edwards curves.
     pub fn add(&self, other: &EdwardsPoint) -> EdwardsPoint {
-        let d2 = edwards_d().add(edwards_d());
+        let d2 = edwards_d2();
         let a = self.y.sub(self.x).mul(other.y.sub(other.x));
         let b = self.y.add(self.x).mul(other.y.add(other.x));
         let c = self.t.mul(d2).mul(other.t);
@@ -135,8 +146,11 @@ impl EdwardsPoint {
         }
     }
 
-    /// Scalar multiplication by a little-endian 32-byte scalar
-    /// (double-and-add, not constant-time — research code).
+    /// Scalar multiplication by a little-endian 32-byte scalar.
+    ///
+    /// This is the naive 256-step double-and-add ladder, kept as the
+    /// correctness reference and the bench baseline; the hot paths use
+    /// [`BasepointTable::mul`] and [`multiscalar_mul_vartime`].
     pub fn scalar_mul(&self, scalar: &[u8; 32]) -> EdwardsPoint {
         let mut acc = EdwardsPoint::identity();
         for byte in scalar.iter().rev() {
@@ -221,17 +235,258 @@ impl PartialEq for EdwardsPoint {
 
 impl Eq for EdwardsPoint {}
 
+// ---------------------------------------------------------------------------
+// Scalar recodings
+// ---------------------------------------------------------------------------
+
+/// Signed radix-16 digits of a little-endian scalar: 64 digits in `[-8, 8]`
+/// with `s = Σ dᵢ·16ⁱ`. Requires `s < 2^255` (true for every scalar this
+/// module produces: canonical scalars are `< ℓ < 2^253` and clamped secret
+/// scalars clear bit 255).
+fn radix16_digits(scalar: &[u8; 32]) -> [i8; 64] {
+    debug_assert!(scalar[31] & 0x80 == 0, "scalar must be < 2^255");
+    let mut e = [0i8; 64];
+    for (i, b) in scalar.iter().enumerate() {
+        e[2 * i] = (b & 15) as i8;
+        e[2 * i + 1] = (b >> 4) as i8;
+    }
+    // Re-center each digit into [-8, 8), pushing the carry upward; the top
+    // digit absorbs the final carry without overflow because s < 2^255.
+    let mut carry = 0i8;
+    for d in e.iter_mut().take(63) {
+        *d += carry;
+        carry = (*d + 8) >> 4;
+        *d -= carry << 4;
+    }
+    e[63] += carry;
+    e
+}
+
+/// Width-5 non-adjacent form of a little-endian scalar: 256 digits, each
+/// zero or odd in `[-15, 15]`, with at most one nonzero digit in any five
+/// consecutive positions. Requires `s < 2^255`.
+fn non_adjacent_form5(scalar: &[u8; 32]) -> [i8; 256] {
+    debug_assert!(scalar[31] & 0x80 == 0, "scalar must be < 2^255");
+    let mut naf = [0i8; 256];
+    let mut limbs = [0u64; 5];
+    for i in 0..4 {
+        limbs[i] = u64::from_le_bytes(scalar[8 * i..8 * i + 8].try_into().unwrap());
+    }
+    let mut pos = 0usize;
+    let mut carry = 0u64;
+    while pos < 256 {
+        let idx = pos / 64;
+        let shift = pos % 64;
+        // Five bits of the (carry-adjusted) scalar starting at `pos`.
+        let bits = if shift <= 59 {
+            limbs[idx] >> shift
+        } else {
+            (limbs[idx] >> shift) | (limbs[idx + 1] << (64 - shift))
+        };
+        let window = carry + (bits & 31);
+        if window & 1 == 0 {
+            pos += 1;
+            continue;
+        }
+        if window < 16 {
+            naf[pos] = window as i8;
+            carry = 0;
+        } else {
+            // Take window - 32 (negative, odd) and carry the borrow up.
+            naf[pos] = window as i8 - 32;
+            carry = 1;
+        }
+        pos += 5;
+    }
+    naf
+}
+
+/// The odd multiples `[P, 3P, 5P, …, 15P]` used by the wNAF evaluation.
+fn odd_multiples(p: &EdwardsPoint) -> [EdwardsPoint; 8] {
+    let p2 = p.double();
+    let mut t = [*p; 8];
+    for j in 1..8 {
+        t[j] = t[j - 1].add(&p2);
+    }
+    t
+}
+
+/// The base point's odd-multiples table, cached: `B` appears in *every*
+/// verification equation, so its wNAF table (1 doubling + 7 additions)
+/// should not be rebuilt per call.
+fn basepoint_odd_multiples() -> &'static [EdwardsPoint; 8] {
+    static TABLE: OnceLock<[EdwardsPoint; 8]> = OnceLock::new();
+    TABLE.get_or_init(|| odd_multiples(&EdwardsPoint::basepoint()))
+}
+
+/// Variable-time multi-scalar multiplication `Σ sᵢ·Pᵢ` (Straus'
+/// interleaving trick): one shared doubling chain over all points, with a
+/// width-5 wNAF digit table per point. The doubling chain is what batch
+/// verification amortizes — its cost is paid once per *batch*, not once
+/// per signature. Scalars must be `< 2^255`.
+pub fn multiscalar_mul_vartime(scalars: &[[u8; 32]], points: &[EdwardsPoint]) -> EdwardsPoint {
+    assert_eq!(scalars.len(), points.len());
+    let tables: Vec<[EdwardsPoint; 8]> = points.iter().map(odd_multiples).collect();
+    let table_refs: Vec<&[EdwardsPoint; 8]> = tables.iter().collect();
+    msm_with_tables(scalars, &table_refs)
+}
+
+/// The MSM evaluation loop over prepared odd-multiples tables (the
+/// verification paths pass the cached basepoint table instead of
+/// rebuilding it).
+fn msm_with_tables(scalars: &[[u8; 32]], tables: &[&[EdwardsPoint; 8]]) -> EdwardsPoint {
+    assert_eq!(scalars.len(), tables.len());
+    let nafs: Vec<[i8; 256]> = scalars.iter().map(non_adjacent_form5).collect();
+    let mut high = None;
+    'scan: for i in (0..256).rev() {
+        for naf in &nafs {
+            if naf[i] != 0 {
+                high = Some(i);
+                break 'scan;
+            }
+        }
+    }
+    let Some(high) = high else {
+        return EdwardsPoint::identity();
+    };
+    let mut acc = EdwardsPoint::identity();
+    for i in (0..=high).rev() {
+        acc = acc.double();
+        for (naf, table) in nafs.iter().zip(tables) {
+            let d = naf[i];
+            if d > 0 {
+                acc = acc.add(&table[d as usize / 2]);
+            } else if d < 0 {
+                acc = acc.add(&table[(-d) as usize / 2].neg());
+            }
+        }
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-base table
+// ---------------------------------------------------------------------------
+
+/// Precomputed odd radix-16 multiples of the base point: `table[i][j]`
+/// holds `(j+1)·16ⁱ·B` for all 64 digit positions. A fixed-base scalar
+/// multiplication becomes ~64 table additions with *no* doublings — the
+/// doubling chain is baked into the table at startup.
+pub struct BasepointTable {
+    tables: Vec<[EdwardsPoint; 8]>,
+}
+
+impl BasepointTable {
+    fn build() -> Self {
+        let mut tables = Vec::with_capacity(64);
+        let mut p = EdwardsPoint::basepoint(); // 16^i · B
+        for _ in 0..64 {
+            let mut row = [p; 8];
+            for j in 1..8 {
+                row[j] = row[j - 1].add(&p);
+            }
+            tables.push(row);
+            for _ in 0..4 {
+                p = p.double();
+            }
+        }
+        BasepointTable { tables }
+    }
+
+    /// Fixed-base scalar multiplication `s·B` via the precomputed table.
+    /// Requires `s < 2^255` (canonical and clamped scalars both qualify).
+    pub fn mul(&self, scalar: &[u8; 32]) -> EdwardsPoint {
+        let digits = radix16_digits(scalar);
+        let mut acc = EdwardsPoint::identity();
+        for (row, &d) in self.tables.iter().zip(digits.iter()) {
+            if d > 0 {
+                acc = acc.add(&row[d as usize - 1]);
+            } else if d < 0 {
+                acc = acc.add(&row[(-d) as usize - 1].neg());
+            }
+        }
+        acc
+    }
+}
+
+/// The process-wide precomputed basepoint table, built on first use.
+pub fn basepoint_table() -> &'static BasepointTable {
+    static TABLE: OnceLock<BasepointTable> = OnceLock::new();
+    TABLE.get_or_init(BasepointTable::build)
+}
+
 fn clamp(scalar: &mut [u8; 32]) {
     scalar[0] &= 248;
     scalar[31] &= 127;
     scalar[31] |= 64;
 }
 
+// ---------------------------------------------------------------------------
+// Keys
+// ---------------------------------------------------------------------------
+
 /// An Ed25519 public key (compressed point).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ed25519PublicKey {
     compressed: [u8; 32],
     point: EdwardsPoint,
+}
+
+/// A verification equation with all per-signature parsing and hashing done:
+/// `S·B == R + k·A`, held as the points and scalars the multi-scalar
+/// multiplication consumes. Shared between the single and batch paths so
+/// both check exactly the same equation.
+struct PreparedVerify {
+    a_neg: EdwardsPoint,
+    r_point: EdwardsPoint,
+    r_bytes: [u8; 32],
+    a_bytes: [u8; 32],
+    s: [u8; 32],
+    k: [u8; 32],
+}
+
+impl PreparedVerify {
+    /// Parses and hashes one (key, message, signature) triple. `None` means
+    /// the signature is structurally invalid (wrong length, non-canonical
+    /// `S`, or `R` not a curve point) — definitively rejected, no group
+    /// equation needed.
+    fn new(public: &Ed25519PublicKey, msg: &[u8], sig: &[u8]) -> Option<Self> {
+        if sig.len() != 64 {
+            return None;
+        }
+        let mut r_bytes = [0u8; 32];
+        r_bytes.copy_from_slice(&sig[..32]);
+        let mut s_bytes = [0u8; 32];
+        s_bytes.copy_from_slice(&sig[32..]);
+        if !scalar_is_canonical(&s_bytes) {
+            return None;
+        }
+        let r_point = EdwardsPoint::decompress(&r_bytes)?;
+        // k = SHA512(R || A || M) mod ℓ
+        let mut h = Sha512::new();
+        h.update(&r_bytes);
+        h.update(&public.compressed);
+        h.update(msg);
+        let k = reduce_mod_l(&h.finalize());
+        Some(PreparedVerify {
+            a_neg: public.point.neg(),
+            r_point,
+            r_bytes,
+            a_bytes: public.compressed,
+            s: s_bytes,
+            k,
+        })
+    }
+
+    /// The exact single-signature check `S·B − k·A − R == 𝒪`, evaluated as
+    /// one Straus double-scalar multiplication plus one addition.
+    fn check_single(&self) -> bool {
+        let a_table = odd_multiples(&self.a_neg);
+        let sb_ka = msm_with_tables(&[self.s, self.k], &[basepoint_odd_multiples(), &a_table]);
+        sb_ka
+            .add(&self.r_point.neg())
+            .ct_eq(&EdwardsPoint::identity())
+    }
 }
 
 impl Ed25519PublicKey {
@@ -251,31 +506,133 @@ impl Ed25519PublicKey {
 
     /// Verifies `sig` (64 bytes: `R || S`) over `msg`.
     pub fn verify(&self, msg: &[u8], sig: &[u8]) -> bool {
-        if sig.len() != 64 {
-            return false;
+        match PreparedVerify::new(self, msg, sig) {
+            Some(p) => p.check_single(),
+            None => false,
         }
-        let mut r_bytes = [0u8; 32];
-        r_bytes.copy_from_slice(&sig[..32]);
-        let mut s_bytes = [0u8; 32];
-        s_bytes.copy_from_slice(&sig[32..]);
-        if !scalar_is_canonical(&s_bytes) {
-            return false;
-        }
-        let Some(r_point) = EdwardsPoint::decompress(&r_bytes) else {
-            return false;
-        };
-        // k = SHA512(R || A || M) mod ℓ
-        let mut h = Sha512::new();
-        h.update(&r_bytes);
-        h.update(&self.compressed);
-        h.update(msg);
-        let k = reduce_mod_l(&h.finalize());
-        // Check S·B == R + k·A.
-        let sb = EdwardsPoint::basepoint().scalar_mul(&s_bytes);
-        let ka = self.point.scalar_mul(&k);
-        let rhs = r_point.add(&ka);
-        sb.ct_eq(&rhs)
     }
+}
+
+// ---------------------------------------------------------------------------
+// Batch verification
+// ---------------------------------------------------------------------------
+
+/// One (key, message, signature) triple submitted to [`verify_batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchEntry<'a> {
+    /// The claimed signer.
+    pub public: &'a Ed25519PublicKey,
+    /// The signed bytes.
+    pub msg: &'a [u8],
+    /// The 64-byte signature `R || S`.
+    pub sig: &'a [u8],
+}
+
+/// Process entropy mixed into the batch coefficients so they are not
+/// predictable across runs.
+fn batch_nonce() -> &'static [u8; 32] {
+    static NONCE: OnceLock<[u8; 32]> = OnceLock::new();
+    NONCE.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        let mut h = Sha512::new();
+        h.update(b"rdb.ed25519.batch-nonce");
+        h.update(&nanos.to_le_bytes());
+        h.update(&std::process::id().to_le_bytes());
+        let out = h.finalize();
+        let mut nonce = [0u8; 32];
+        nonce.copy_from_slice(&out[..32]);
+        nonce
+    })
+}
+
+/// Derives the 128-bit random-linear-combination coefficient for one batch
+/// item from the process nonce, a per-batch counter, and the item's
+/// transcript (R, A, S). Forced odd so a pure small-order defect cannot be
+/// annihilated by the coefficient alone.
+fn derive_z(counter: u64, index: usize, p: &PreparedVerify) -> [u8; 32] {
+    let mut h = Sha512::new();
+    h.update(b"rdb.ed25519.batch-z");
+    h.update(batch_nonce());
+    h.update(&counter.to_le_bytes());
+    h.update(&(index as u64).to_le_bytes());
+    h.update(&p.r_bytes);
+    h.update(&p.a_bytes);
+    h.update(&p.s);
+    let out = h.finalize();
+    let mut z = [0u8; 32];
+    z[..16].copy_from_slice(&out[..16]);
+    z[0] |= 1;
+    z
+}
+
+/// Whether the random-linear-combination equation holds over `items`:
+/// `(Σ zᵢsᵢ)·B − Σ zᵢ·Rᵢ − Σ (zᵢkᵢ)·Aᵢ == 𝒪`, one multi-scalar
+/// multiplication over `2n + 1` points with a single shared doubling chain.
+fn rlc_holds(items: &[(usize, PreparedVerify, [u8; 32])]) -> bool {
+    const ZERO: [u8; 32] = [0u8; 32];
+    let mut scalars = Vec::with_capacity(2 * items.len() + 1);
+    let mut tables = Vec::with_capacity(2 * items.len() + 1);
+    let mut b_coef = ZERO;
+    for (_, p, z) in items {
+        b_coef = mul_add_mod_l(z, &p.s, &b_coef);
+        scalars.push(*z);
+        tables.push(odd_multiples(&p.r_point.neg()));
+        scalars.push(mul_add_mod_l(z, &p.k, &ZERO));
+        tables.push(odd_multiples(&p.a_neg));
+    }
+    scalars.push(b_coef);
+    let mut table_refs: Vec<&[EdwardsPoint; 8]> = tables.iter().collect();
+    table_refs.push(basepoint_odd_multiples());
+    msm_with_tables(&scalars, &table_refs).ct_eq(&EdwardsPoint::identity())
+}
+
+/// Recursive bisection: try the whole sub-batch in one equation; on failure
+/// split in half, bottoming out in the exact per-signature check so every
+/// bad index is identified with per-item semantics.
+fn check_bisect(items: &[(usize, PreparedVerify, [u8; 32])], results: &mut [bool]) {
+    match items {
+        [] => {}
+        [(idx, p, _)] => results[*idx] = p.check_single(),
+        _ => {
+            if rlc_holds(items) {
+                for (idx, _, _) in items {
+                    results[*idx] = true;
+                }
+            } else {
+                let mid = items.len() / 2;
+                check_bisect(&items[..mid], results);
+                check_bisect(&items[mid..], results);
+            }
+        }
+    }
+}
+
+/// Batch verification: one verdict per entry, in order.
+///
+/// Structurally invalid signatures (bad length, non-canonical `S`,
+/// undecompressable `R`) are rejected up front; the remainder are checked
+/// together via random linear combination, bisecting on failure. A batch
+/// of valid signatures costs one multi-scalar multiplication — the shared
+/// doubling chain amortizes across the batch, which is where the ≥2×
+/// per-signature speedup over single verification comes from.
+pub fn verify_batch(entries: &[BatchEntry<'_>]) -> Vec<bool> {
+    static BATCH_COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut results = vec![false; entries.len()];
+    let counter = BATCH_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let prepared: Vec<(usize, PreparedVerify, [u8; 32])> = entries
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| PreparedVerify::new(e.public, e.msg, e.sig).map(|p| (i, p)))
+        .map(|(i, p)| {
+            let z = derive_z(counter, i, &p);
+            (i, p, z)
+        })
+        .collect();
+    check_bisect(&prepared, &mut results);
+    results
 }
 
 /// An Ed25519 signing key pair derived from a 32-byte seed.
@@ -299,7 +656,7 @@ impl Ed25519KeyPair {
         clamp(&mut scalar);
         let mut prefix = [0u8; 32];
         prefix.copy_from_slice(&h[32..]);
-        let a_point = EdwardsPoint::basepoint().scalar_mul(&scalar);
+        let a_point = basepoint_table().mul(&scalar);
         let compressed = a_point.compress();
         Ed25519KeyPair {
             expanded_scalar: scalar,
@@ -325,7 +682,7 @@ impl Ed25519KeyPair {
             h.update(msg);
             reduce_mod_l(&h.finalize())
         };
-        let r_point = EdwardsPoint::basepoint().scalar_mul(&r);
+        let r_point = basepoint_table().mul(&r);
         let r_bytes = r_point.compress();
         // k = SHA512(R || A || M) mod ℓ
         let k = {
@@ -517,5 +874,190 @@ mod tests {
         let msg = vec![0xabu8; 10_000];
         let sig = kp.sign(&msg);
         assert!(kp.public_key().verify(&msg, &sig));
+    }
+
+    // --- fast-path equivalence -------------------------------------------
+
+    /// A spread of scalars exercising digit/carry edge cases: tiny, all-ones
+    /// nibbles, near-ℓ, and pseudo-random.
+    fn test_scalars() -> Vec<[u8; 32]> {
+        let mut out = Vec::new();
+        out.push([0u8; 32]);
+        let mut one = [0u8; 32];
+        one[0] = 1;
+        out.push(one);
+        out.push({
+            let mut s = [0x77u8; 32];
+            s[31] = 0x07;
+            s
+        });
+        out.push({
+            let mut s = [0x88u8; 32];
+            s[31] = 0x08;
+            s
+        });
+        // ℓ - 1 (the largest canonical scalar).
+        let mut l_le = super::L_BYTES;
+        l_le.reverse();
+        l_le[0] -= 1;
+        out.push(l_le);
+        // Pseudo-random scalars reduced mod ℓ.
+        for seed in 0u8..8 {
+            let mut h = Sha512::new();
+            h.update(&[seed]);
+            out.push(reduce_mod_l(&h.finalize()));
+        }
+        out
+    }
+
+    #[test]
+    fn basepoint_table_matches_naive_ladder() {
+        let b = EdwardsPoint::basepoint();
+        let table = basepoint_table();
+        for s in test_scalars() {
+            assert!(
+                table.mul(&s).ct_eq(&b.scalar_mul(&s)),
+                "table/ladder mismatch for scalar {s:02x?}"
+            );
+        }
+        // Clamped secret scalars have bit 254 set — the table must handle
+        // the top-digit carry they produce.
+        let mut clamped = [0xffu8; 32];
+        clamp(&mut clamped);
+        assert!(table.mul(&clamped).ct_eq(&b.scalar_mul(&clamped)));
+    }
+
+    #[test]
+    fn multiscalar_matches_naive_sum() {
+        let b = EdwardsPoint::basepoint();
+        let scalars = test_scalars();
+        let p1 = b.scalar_mul(&scalars[5]);
+        let p2 = b.scalar_mul(&scalars[6]).neg();
+        let p3 = b.double();
+        let picks = [scalars[2], scalars[4], scalars[7]];
+        let points = [p1, p2, p3];
+        let fast = multiscalar_mul_vartime(&picks, &points);
+        let mut slow = EdwardsPoint::identity();
+        for (s, p) in picks.iter().zip(&points) {
+            slow = slow.add(&p.scalar_mul(s));
+        }
+        assert!(fast.ct_eq(&slow));
+    }
+
+    #[test]
+    fn multiscalar_empty_is_identity() {
+        assert!(multiscalar_mul_vartime(&[], &[]).ct_eq(&EdwardsPoint::identity()));
+        // All-zero scalars likewise.
+        let z = [[0u8; 32]];
+        let p = [EdwardsPoint::basepoint()];
+        assert!(multiscalar_mul_vartime(&z, &p).ct_eq(&EdwardsPoint::identity()));
+    }
+
+    // --- batch verification ----------------------------------------------
+
+    fn batch_fixture(n: usize) -> (Vec<Ed25519KeyPair>, Vec<Vec<u8>>, Vec<[u8; 64]>) {
+        let keys: Vec<Ed25519KeyPair> = (0..n)
+            .map(|i| Ed25519KeyPair::from_seed(&[i as u8 + 1; 32]))
+            .collect();
+        let msgs: Vec<Vec<u8>> = (0..n)
+            .map(|i| format!("message {i}").into_bytes())
+            .collect();
+        let sigs: Vec<[u8; 64]> = keys.iter().zip(&msgs).map(|(k, m)| k.sign(m)).collect();
+        (keys, msgs, sigs)
+    }
+
+    #[test]
+    fn batch_of_valid_signatures_accepts() {
+        let (keys, msgs, sigs) = batch_fixture(8);
+        let entries: Vec<BatchEntry> = keys
+            .iter()
+            .zip(&msgs)
+            .zip(&sigs)
+            .map(|((k, m), s)| BatchEntry {
+                public: k.public_key(),
+                msg: m,
+                sig: s,
+            })
+            .collect();
+        assert_eq!(verify_batch(&entries), vec![true; 8]);
+    }
+
+    #[test]
+    fn batch_bisection_identifies_every_bad_signature() {
+        let (keys, msgs, mut sigs) = batch_fixture(9);
+        // Corrupt a spread of indices, including both halves and the ends.
+        let bad = [0usize, 3, 4, 8];
+        for &i in &bad {
+            sigs[i][7] ^= 0x40;
+        }
+        let entries: Vec<BatchEntry> = keys
+            .iter()
+            .zip(&msgs)
+            .zip(&sigs)
+            .map(|((k, m), s)| BatchEntry {
+                public: k.public_key(),
+                msg: m,
+                sig: s,
+            })
+            .collect();
+        let verdicts = verify_batch(&entries);
+        for i in 0..9 {
+            assert_eq!(
+                verdicts[i],
+                !bad.contains(&i),
+                "index {i}: batch verdict disagrees with corruption set"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_rejects_structurally_invalid_signatures() {
+        let (keys, msgs, sigs) = batch_fixture(3);
+        let short = [0u8; 10];
+        let mut non_canonical = sigs[1];
+        let mut l_le = super::L_BYTES;
+        l_le.reverse();
+        non_canonical[32..].copy_from_slice(&l_le);
+        let entries = vec![
+            BatchEntry {
+                public: keys[0].public_key(),
+                msg: &msgs[0],
+                sig: &short,
+            },
+            BatchEntry {
+                public: keys[1].public_key(),
+                msg: &msgs[1],
+                sig: &non_canonical,
+            },
+            BatchEntry {
+                public: keys[2].public_key(),
+                msg: &msgs[2],
+                sig: &sigs[2],
+            },
+        ];
+        assert_eq!(verify_batch(&entries), vec![false, false, true]);
+    }
+
+    #[test]
+    fn batch_of_one_matches_single_verify() {
+        let (keys, msgs, mut sigs) = batch_fixture(1);
+        let good = verify_batch(&[BatchEntry {
+            public: keys[0].public_key(),
+            msg: &msgs[0],
+            sig: &sigs[0],
+        }]);
+        assert_eq!(good, vec![true]);
+        sigs[0][40] ^= 1;
+        let bad = verify_batch(&[BatchEntry {
+            public: keys[0].public_key(),
+            msg: &msgs[0],
+            sig: &sigs[0],
+        }]);
+        assert_eq!(bad, vec![false]);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(verify_batch(&[]).is_empty());
     }
 }

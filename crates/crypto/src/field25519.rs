@@ -334,23 +334,37 @@ impl Fe {
 
 /// `sqrt(-1) mod p`, needed during decompression.
 pub fn sqrt_m1() -> Fe {
-    // Canonical little-endian encoding of 2^((p-1)/4).
-    const BYTES: [u8; 32] = [
-        0xb0, 0xa0, 0x0e, 0x4a, 0x27, 0x1b, 0xee, 0xc4, 0x78, 0xe4, 0x2f, 0xad, 0x06, 0x18, 0x43,
-        0x2f, 0xa7, 0xd7, 0xfb, 0x3d, 0x99, 0x00, 0x4d, 0x2b, 0x0b, 0xdf, 0xc1, 0x4f, 0x80, 0x24,
-        0x83, 0x2b,
-    ];
-    Fe::from_bytes(&BYTES)
+    static CACHE: std::sync::OnceLock<Fe> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        // Canonical little-endian encoding of 2^((p-1)/4).
+        const BYTES: [u8; 32] = [
+            0xb0, 0xa0, 0x0e, 0x4a, 0x27, 0x1b, 0xee, 0xc4, 0x78, 0xe4, 0x2f, 0xad, 0x06, 0x18,
+            0x43, 0x2f, 0xa7, 0xd7, 0xfb, 0x3d, 0x99, 0x00, 0x4d, 0x2b, 0x0b, 0xdf, 0xc1, 0x4f,
+            0x80, 0x24, 0x83, 0x2b,
+        ];
+        Fe::from_bytes(&BYTES)
+    })
 }
 
 /// The Edwards curve constant `d = -121665/121666 mod p`.
 pub fn edwards_d() -> Fe {
-    const BYTES: [u8; 32] = [
-        0xa3, 0x78, 0x59, 0x13, 0xca, 0x4d, 0xeb, 0x75, 0xab, 0xd8, 0x41, 0x41, 0x4d, 0x0a, 0x70,
-        0x00, 0x98, 0xe8, 0x79, 0x77, 0x79, 0x40, 0xc7, 0x8c, 0x73, 0xfe, 0x6f, 0x2b, 0xee, 0x6c,
-        0x03, 0x52,
-    ];
-    Fe::from_bytes(&BYTES)
+    static CACHE: std::sync::OnceLock<Fe> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        const BYTES: [u8; 32] = [
+            0xa3, 0x78, 0x59, 0x13, 0xca, 0x4d, 0xeb, 0x75, 0xab, 0xd8, 0x41, 0x41, 0x4d, 0x0a,
+            0x70, 0x00, 0x98, 0xe8, 0x79, 0x77, 0x79, 0x40, 0xc7, 0x8c, 0x73, 0xfe, 0x6f, 0x2b,
+            0xee, 0x6c, 0x03, 0x52,
+        ];
+        Fe::from_bytes(&BYTES)
+    })
+}
+
+/// `2d`, the constant the extended-coordinate addition formula actually
+/// consumes — cached so the point-addition hot path (hundreds of calls per
+/// scalar multiplication) does not re-derive it from bytes every time.
+pub fn edwards_d2() -> Fe {
+    static CACHE: std::sync::OnceLock<Fe> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| edwards_d().add(edwards_d()))
 }
 
 #[cfg(test)]

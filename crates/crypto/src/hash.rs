@@ -1,6 +1,6 @@
 //! Digest helpers bridging the raw hash functions to [`rdb_common::Digest`].
 
-use crate::sha2::sha256;
+use crate::sha2::{sha256, sha256_parts};
 use crate::sha3::sha3_256;
 use rdb_common::Digest;
 
@@ -27,13 +27,16 @@ pub fn digest(data: &[u8]) -> Digest {
     digest_with(HashKind::Sha256, data)
 }
 
+/// Hashes the logical concatenation of `parts` with SHA-256, streaming each
+/// part into the hasher instead of allocating the concatenation.
+pub fn digest_parts(parts: &[&[u8]]) -> Digest {
+    Digest(sha256_parts(parts))
+}
+
 /// Chains a rolling history digest with the next batch digest, as Zyzzyva's
 /// replicas do: `h' = H(h || d)`.
 pub fn chain_digest(history: &Digest, next: &Digest) -> Digest {
-    let mut buf = [0u8; 64];
-    buf[..32].copy_from_slice(history.as_bytes());
-    buf[32..].copy_from_slice(next.as_bytes());
-    Digest(sha256(&buf))
+    digest_parts(&[history.as_bytes(), next.as_bytes()])
 }
 
 #[cfg(test)]
@@ -55,6 +58,17 @@ mod tests {
             digest_with(HashKind::Sha256, b"x"),
             digest_with(HashKind::Sha3, b"x")
         );
+    }
+
+    #[test]
+    fn digest_parts_matches_concatenated_digest() {
+        let a = digest(b"a");
+        let b = digest(b"b");
+        let mut concat = Vec::new();
+        concat.extend_from_slice(a.as_bytes());
+        concat.extend_from_slice(b.as_bytes());
+        assert_eq!(digest_parts(&[a.as_bytes(), b.as_bytes()]), digest(&concat));
+        assert_eq!(chain_digest(&a, &b), digest(&concat));
     }
 
     #[test]

@@ -43,10 +43,11 @@ pub mod ed25519;
 pub mod field25519;
 pub mod hash;
 pub mod rsa;
+pub mod scalar25519;
 pub mod scheme;
 pub mod sha2;
 pub mod sha3;
 
 pub use cost::CostModel;
-pub use hash::{chain_digest, digest, digest_with, HashKind};
+pub use hash::{chain_digest, digest, digest_parts, digest_with, HashKind};
 pub use scheme::{CryptoProvider, CryptoStats, KeyRegistry, PeerClass};

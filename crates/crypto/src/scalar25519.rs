@@ -1,0 +1,293 @@
+//! Fast arithmetic modulo the Ed25519 group order
+//! `ℓ = 2^252 + 27742317777372353535851937790883648493`.
+//!
+//! Every signature — signing, verifying, and each member of a verification
+//! batch — performs a handful of scalar operations mod ℓ (reducing SHA-512
+//! outputs, `r + k·a`, the batch coefficients `z·s` and `z·k`). The
+//! original implementation routed these through the general [`BigUint`]
+//! with bit-at-a-time long division: ~512 allocate-shift-compare rounds
+//! *per reduction*, which showed up as a fixed per-signature cost large
+//! enough to cancel most of what batch verification amortizes.
+//!
+//! This module replaces that path with allocation-free Barrett reduction
+//! (HAC 14.42) on fixed-size u64 limb arrays: a 512-bit value reduces with
+//! two small multiplications and at most two conditional subtractions. The
+//! Barrett constant `μ = ⌊2^512 / ℓ⌋` is derived once at startup *from*
+//! the `BigUint` path, which doubles as a cross-check that the two
+//! implementations agree on the modulus.
+//!
+//! All scalars are little-endian 32-byte strings, as everywhere in
+//! RFC 8032.
+
+use crate::bignum::BigUint;
+use std::sync::OnceLock;
+
+/// ℓ as four little-endian 64-bit limbs.
+const L: [u64; 4] = [
+    0x5812_631a_5cf5_d3ed,
+    0x14de_f9de_a2f7_9cd6,
+    0,
+    0x1000_0000_0000_0000,
+];
+
+/// `μ = ⌊2^512 / ℓ⌋`, five little-endian limbs (261 bits), computed once
+/// via the bignum path.
+fn mu() -> &'static [u64; 5] {
+    static MU: OnceLock<[u64; 5]> = OnceLock::new();
+    MU.get_or_init(|| {
+        let two_512 = BigUint::one().shl(512);
+        let l = {
+            let mut be = [0u8; 32];
+            for (i, limb) in L.iter().enumerate() {
+                be[32 - 8 * (i + 1)..32 - 8 * i].copy_from_slice(&limb.to_be_bytes());
+            }
+            BigUint::from_bytes_be(&be)
+        };
+        let q = two_512.divrem(&l).0;
+        let mut be = q.to_bytes_be();
+        be.reverse(); // little-endian bytes
+        let mut limbs = [0u64; 5];
+        for (i, chunk) in be.chunks(8).enumerate().take(5) {
+            let mut b = [0u8; 8];
+            b[..chunk.len()].copy_from_slice(chunk);
+            limbs[i] = u64::from_le_bytes(b);
+        }
+        limbs
+    })
+}
+
+fn load4(bytes: &[u8; 32]) -> [u64; 4] {
+    let mut limbs = [0u64; 4];
+    for (i, limb) in limbs.iter_mut().enumerate() {
+        *limb = u64::from_le_bytes(bytes[8 * i..8 * i + 8].try_into().unwrap());
+    }
+    limbs
+}
+
+fn store4(limbs: &[u64; 4]) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for (i, limb) in limbs.iter().enumerate() {
+        out[8 * i..8 * i + 8].copy_from_slice(&limb.to_le_bytes());
+    }
+    out
+}
+
+/// Schoolbook product of two little-endian limb slices into `out`
+/// (`out.len() >= a.len() + b.len()`), all fixed-size, no allocation.
+fn mul_limbs(a: &[u64], b: &[u64], out: &mut [u64]) {
+    out.fill(0);
+    for (i, &ai) in a.iter().enumerate() {
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = out[k] as u128 + carry;
+            out[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+}
+
+/// `x >= y` over equal-length little-endian limb slices.
+fn geq(x: &[u64], y: &[u64]) -> bool {
+    for i in (0..x.len()).rev() {
+        if x[i] != y[i] {
+            return x[i] > y[i];
+        }
+    }
+    true
+}
+
+/// In-place `x -= y` over equal-length slices (caller guarantees `x >= y`).
+fn sub_in_place(x: &mut [u64], y: &[u64]) {
+    let mut borrow = 0u64;
+    for (xi, &yi) in x.iter_mut().zip(y) {
+        let (d1, b1) = xi.overflowing_sub(yi);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *xi = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
+/// Barrett reduction of a 512-bit little-endian limb value modulo ℓ
+/// (HAC Algorithm 14.42 with `b = 2^64`, `n = 4`).
+fn barrett(x: &[u64; 8]) -> [u64; 4] {
+    // q1 = ⌊x / b^3⌋ — the top five limbs.
+    let q1: [u64; 5] = x[3..8].try_into().unwrap();
+    // q2 = q1 · μ (10 limbs); q̂ = ⌊q2 / b^5⌋ — the top five limbs.
+    let mut q2 = [0u64; 10];
+    mul_limbs(&q1, mu(), &mut q2);
+    let q3: [u64; 5] = q2[5..10].try_into().unwrap();
+    // r = (x mod b^5) − (q̂·ℓ mod b^5), wrapped mod b^5.
+    let mut r: [u64; 5] = x[0..5].try_into().unwrap();
+    let mut q3l = [0u64; 9];
+    mul_limbs(&q3, &L, &mut q3l);
+    let mut borrow = 0u64;
+    for i in 0..5 {
+        let (d1, b1) = r[i].overflowing_sub(q3l[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        r[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    // A leftover borrow is the algorithm's "add b^{n+1}" case — wrapping
+    // arithmetic already performed it.
+    // At most two final subtractions of ℓ.
+    let l5 = [L[0], L[1], L[2], L[3], 0u64];
+    while geq(&r, &l5) {
+        sub_in_place(&mut r, &l5);
+    }
+    debug_assert_eq!(r[4], 0);
+    [r[0], r[1], r[2], r[3]]
+}
+
+/// Reduces a 64-byte little-endian value (a SHA-512 output) modulo ℓ.
+pub fn reduce512(bytes: &[u8; 64]) -> [u8; 32] {
+    let mut x = [0u64; 8];
+    for (i, limb) in x.iter_mut().enumerate() {
+        *limb = u64::from_le_bytes(bytes[8 * i..8 * i + 8].try_into().unwrap());
+    }
+    store4(&barrett(&x))
+}
+
+/// Computes `(a·b + c) mod ℓ` over little-endian 32-byte scalars. Inputs
+/// need not be canonical (clamped secret scalars are < 2^255); the 512-bit
+/// intermediate cannot overflow.
+pub fn mul_add(a: &[u8; 32], b: &[u8; 32], c: &[u8; 32]) -> [u8; 32] {
+    let (a, b, c) = (load4(a), load4(b), load4(c));
+    let mut prod = [0u64; 8];
+    mul_limbs(&a, &b, &mut prod);
+    let mut carry = 0u128;
+    for i in 0..4 {
+        let t = prod[i] as u128 + c[i] as u128 + carry;
+        prod[i] = t as u64;
+        carry = t >> 64;
+    }
+    let mut k = 4;
+    while carry != 0 {
+        let t = prod[k] as u128 + carry;
+        prod[k] = t as u64;
+        carry = t >> 64;
+        k += 1;
+    }
+    store4(&barrett(&prod))
+}
+
+/// Whether a little-endian 32-byte scalar is canonical (`s < ℓ`).
+pub fn is_canonical(s: &[u8; 32]) -> bool {
+    let limbs = load4(s);
+    !geq(&limbs, &L)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The reference implementation these routines replaced: the same
+    /// operations through the general bignum with long division.
+    mod reference {
+        use crate::bignum::BigUint;
+
+        fn to_big(le: &[u8]) -> BigUint {
+            let mut be = le.to_vec();
+            be.reverse();
+            BigUint::from_bytes_be(&be)
+        }
+
+        fn order() -> BigUint {
+            to_big(&super::store4(&super::L))
+        }
+
+        pub fn reduce(le: &[u8]) -> [u8; 32] {
+            let mut out_be = to_big(le).rem(&order()).to_bytes_be();
+            out_be.reverse();
+            let mut out = [0u8; 32];
+            out[..out_be.len()].copy_from_slice(&out_be);
+            out
+        }
+
+        pub fn mul_add(a: &[u8; 32], b: &[u8; 32], c: &[u8; 32]) -> [u8; 32] {
+            let r = to_big(a).mul(&to_big(b)).add(&to_big(c));
+            let mut out_be = r.rem(&order()).to_bytes_be();
+            out_be.reverse();
+            let mut out = [0u8; 32];
+            out[..out_be.len()].copy_from_slice(&out_be);
+            out
+        }
+    }
+
+    /// A spread of interesting 64-byte inputs: zero, one, ℓ-adjacent
+    /// values in both halves, all-ones, and pseudo-random fills.
+    fn inputs64() -> Vec<[u8; 64]> {
+        let mut out = vec![[0u8; 64], [0xffu8; 64]];
+        let mut one = [0u8; 64];
+        one[0] = 1;
+        out.push(one);
+        let l_le = store4(&L);
+        let mut exactly_l = [0u8; 64];
+        exactly_l[..32].copy_from_slice(&l_le);
+        out.push(exactly_l);
+        let mut l_high = [0u8; 64];
+        l_high[32..].copy_from_slice(&l_le);
+        out.push(l_high);
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..16 {
+            let mut buf = [0u8; 64];
+            for chunk in buf.chunks_mut(8) {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                chunk.copy_from_slice(&state.to_le_bytes());
+            }
+            out.push(buf);
+        }
+        out
+    }
+
+    #[test]
+    fn reduce512_matches_bignum_reference() {
+        for x in inputs64() {
+            assert_eq!(reduce512(&x), reference::reduce(&x), "input {x:02x?}");
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_bignum_reference() {
+        let cases = inputs64();
+        for w in cases.windows(3) {
+            let mut a = [0u8; 32];
+            a.copy_from_slice(&w[0][..32]);
+            a[31] &= 0x7f; // < 2^255, as for clamped scalars
+            let mut b = [0u8; 32];
+            b.copy_from_slice(&w[1][32..]);
+            b[31] &= 0x7f;
+            let mut c = [0u8; 32];
+            c.copy_from_slice(&w[2][..32]);
+            c[31] &= 0x7f;
+            assert_eq!(mul_add(&a, &b, &c), reference::mul_add(&a, &b, &c));
+        }
+    }
+
+    #[test]
+    fn canonicality_boundary() {
+        let l_le = store4(&L);
+        assert!(!is_canonical(&l_le), "ℓ itself is not canonical");
+        let mut l_minus_1 = l_le;
+        l_minus_1[0] -= 1;
+        assert!(is_canonical(&l_minus_1));
+        assert!(is_canonical(&[0u8; 32]));
+        assert!(!is_canonical(&[0xffu8; 32]));
+    }
+
+    #[test]
+    fn mu_has_expected_width() {
+        // μ = ⌊2^512/ℓ⌋ is a 261-bit value: the top limb holds 5 bits.
+        let m = mu();
+        assert!(m[4] != 0 && m[4] < 32);
+    }
+}

@@ -132,6 +132,10 @@ impl Sha256 {
     }
 
     /// Absorbs `data` into the hash state.
+    ///
+    /// Block-aligned input is compressed straight out of the caller's
+    /// slice — the internal buffer is only touched for the ragged head
+    /// (completing a partial block) and tail (carrying a partial block).
     pub fn update(&mut self, data: &[u8]) {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);
         let mut rest = data;
@@ -147,16 +151,16 @@ impl Sha256 {
                 self.buf_len = 0;
             }
         }
-        while rest.len() >= 64 {
-            let (block, tail) = rest.split_at(64);
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.compress(&b);
-            rest = tail;
+        let mut chunks = rest.chunks_exact(64);
+        for block in chunks.by_ref() {
+            // `try_into` is a size-check cast, not a copy: the compression
+            // function reads the caller's bytes in place.
+            self.compress(block.try_into().expect("exact 64-byte chunk"));
         }
-        if !rest.is_empty() {
-            self.buf[..rest.len()].copy_from_slice(rest);
-            self.buf_len = rest.len();
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            self.buf[..tail.len()].copy_from_slice(tail);
+            self.buf_len = tail.len();
         }
     }
 
@@ -235,6 +239,18 @@ pub fn sha256(data: &[u8]) -> [u8; 32] {
     h.finalize()
 }
 
+/// SHA-256 over the logical concatenation of `parts`, without building the
+/// concatenation: each part streams into the hasher, so multi-part digests
+/// (history chaining, header-plus-payload hashes) never allocate a scratch
+/// buffer.
+pub fn sha256_parts(parts: &[&[u8]]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    for part in parts {
+        h.update(part);
+    }
+    h.finalize()
+}
+
 /// Incremental SHA-512 hasher.
 #[derive(Debug, Clone)]
 pub struct Sha512 {
@@ -271,6 +287,9 @@ impl Sha512 {
     }
 
     /// Absorbs `data` into the hash state.
+    ///
+    /// Block-aligned input is compressed straight out of the caller's
+    /// slice, as in [`Sha256::update`].
     pub fn update(&mut self, data: &[u8]) {
         self.total_len = self.total_len.wrapping_add(data.len() as u128);
         let mut rest = data;
@@ -286,16 +305,14 @@ impl Sha512 {
                 self.buf_len = 0;
             }
         }
-        while rest.len() >= 128 {
-            let (block, tail) = rest.split_at(128);
-            let mut b = [0u8; 128];
-            b.copy_from_slice(block);
-            self.compress(&b);
-            rest = tail;
+        let mut chunks = rest.chunks_exact(128);
+        for block in chunks.by_ref() {
+            self.compress(block.try_into().expect("exact 128-byte chunk"));
         }
-        if !rest.is_empty() {
-            self.buf[..rest.len()].copy_from_slice(rest);
-            self.buf_len = rest.len();
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            self.buf[..tail.len()].copy_from_slice(tail);
+            self.buf_len = tail.len();
         }
     }
 
@@ -469,6 +486,36 @@ ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
             h.update(chunk);
         }
         assert_eq!(h.finalize(), oneshot);
+    }
+
+    #[test]
+    fn sha256_parts_matches_concatenation() {
+        let a = vec![0x11u8; 37];
+        let b = vec![0x22u8; 64];
+        let c = vec![0x33u8; 1];
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        concat.extend_from_slice(&c);
+        assert_eq!(sha256_parts(&[&a, &b, &c]), sha256(&concat));
+        assert_eq!(sha256_parts(&[]), sha256(b""));
+        assert_eq!(sha256_parts(&[&[], &a, &[]]), sha256(&a));
+    }
+
+    #[test]
+    fn block_aligned_update_matches_buffered() {
+        // Exercise the direct-compress path: exact multiples of the block
+        // size, fed whole and in aligned halves.
+        let data: Vec<u8> = (0..512).map(|i| (i * 7 % 256) as u8).collect();
+        let oneshot = sha256(&data);
+        let mut h = Sha256::new();
+        h.update(&data[..256]);
+        h.update(&data[256..]);
+        assert_eq!(h.finalize(), oneshot);
+        let one512 = sha512(&data);
+        let mut h = Sha512::new();
+        h.update(&data[..128]);
+        h.update(&data[128..]);
+        assert_eq!(h.finalize(), one512);
     }
 
     #[test]
