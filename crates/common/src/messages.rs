@@ -550,6 +550,10 @@ struct EnvelopeCache {
     /// Analytic wire size, otherwise recomputed per destination on
     /// broadcast (it walks the whole batch for a `PrePrepare`).
     wire_size: OnceLock<usize>,
+    /// Exact encoded size (`Wire::encoded_len`), memoized because the body
+    /// walk behind it is O(batch) and the network layer asks once per
+    /// destination when accounting bytes-on-wire.
+    encoded_len: OnceLock<usize>,
 }
 
 /// A message plus its authentication: who sent it and the signature/MAC over
@@ -706,7 +710,17 @@ impl Wire for SignedMessage {
     }
 
     fn encoded_len(&self) -> usize {
-        self.from.encoded_len() + self.body.encoded_len() + 4 + self.sig.len()
+        // Memoized: the envelope is immutable once built, so the exact
+        // wire footprint is a per-family constant. When the canonical
+        // signing bytes are already cached the answer is a length lookup;
+        // otherwise it costs one body walk, once, for all clones.
+        *self
+            .cache
+            .encoded_len
+            .get_or_init(|| match self.cache.signing.get() {
+                Some(signing) => signing.len() + 4 + self.sig.len(),
+                None => self.from.encoded_len() + self.body.encoded_len() + 4 + self.sig.len(),
+            })
     }
 }
 
@@ -966,6 +980,38 @@ mod tests {
             );
             assert_eq!(sm.encoded_len(), sm.encode().len());
         }
+    }
+
+    #[test]
+    fn encoded_len_memoized_and_consistent_across_paths() {
+        // Path 1: built locally (no signing bytes cached yet).
+        let sm = SignedMessage::new(
+            Message::PrePrepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: Digest([3; 32]),
+                batch: sample_batch().into(),
+            },
+            Sender::Replica(ReplicaId(0)),
+            SignatureBytes(vec![7; 64]),
+        );
+        let bytes = sm.encode();
+        assert_eq!(sm.encoded_len(), bytes.len());
+        // Path 2: decoded (signing bytes seeded from the input buffer).
+        let back = SignedMessage::decode(&bytes).unwrap();
+        assert_eq!(back.encoded_len(), bytes.len());
+        // Path 3: signing bytes computed first, then the length asked for.
+        let sm2 = SignedMessage::new(
+            Message::ClientRequest {
+                txns: sample_batch().txns,
+            },
+            Sender::Client(ClientId(9)),
+            SignatureBytes(vec![1; 16]),
+        );
+        let _ = sm2.signing_bytes();
+        assert_eq!(sm2.encoded_len(), sm2.encode().len());
+        // Clones share the memoized answer.
+        assert_eq!(sm2.clone().encoded_len(), sm2.encoded_len());
     }
 
     #[test]

@@ -312,11 +312,21 @@ impl Pbft {
         self.executed_since_checkpoint += 1;
         if self.executed_since_checkpoint >= self.config.checkpoint_interval_batches {
             self.executed_since_checkpoint = 0;
-            return vec![Action::Broadcast(Message::Checkpoint {
+            let mut actions = vec![Action::Broadcast(Message::Checkpoint {
                 seq,
                 state_digest,
                 replica: self.id,
             })];
+            // The 2f+1 stability quorum includes this replica's own
+            // checkpoint (the broadcast skips self-delivery, so the vote
+            // is recorded here). This is both the PBFT-paper counting and
+            // what lets a replica that lagged behind its peers stabilize
+            // the moment its own execution reaches the boundary.
+            if let Some(stable) = self.checkpoints.record(self.id, seq, state_digest) {
+                self.instances.retain(|s, _| *s > stable);
+                actions.push(Action::StableCheckpoint { seq: stable });
+            }
+            return actions;
         }
         Vec::new()
     }
@@ -789,20 +799,30 @@ mod tests {
         assert!(
             matches!(&acts[..], [Action::Broadcast(Message::Checkpoint { seq, .. })] if *seq == SeqNum(2))
         );
-        // Collect 2f+1 = 3 matching checkpoints.
-        for from in [0u32, 2] {
-            let acts = r1.on_message(&signed(
-                from,
-                Message::Checkpoint {
-                    seq: SeqNum(2),
-                    state_digest: d(2),
-                    replica: ReplicaId(from),
-                },
-            ));
-            if from == 0 {
-                assert!(acts.is_empty());
-            }
-        }
+        // The broadcast recorded r1's own vote; two matching remote
+        // checkpoints complete the 2f+1 = 3 quorum.
+        let acts = r1.on_message(&signed(
+            0,
+            Message::Checkpoint {
+                seq: SeqNum(2),
+                state_digest: d(2),
+                replica: ReplicaId(0),
+            },
+        ));
+        assert!(acts.is_empty());
+        let acts = r1.on_message(&signed(
+            2,
+            Message::Checkpoint {
+                seq: SeqNum(2),
+                state_digest: d(2),
+                replica: ReplicaId(2),
+            },
+        ));
+        assert!(
+            matches!(&acts[..], [Action::StableCheckpoint { seq }] if *seq == SeqNum(2)),
+            "got {acts:?}"
+        );
+        // A late straggler vote for the already-stable sequence is a no-op.
         let acts = r1.on_message(&signed(
             3,
             Message::Checkpoint {
@@ -811,10 +831,7 @@ mod tests {
                 replica: ReplicaId(3),
             },
         ));
-        assert!(
-            matches!(&acts[..], [Action::StableCheckpoint { seq }] if *seq == SeqNum(2)),
-            "got {acts:?}"
-        );
+        assert!(acts.is_empty(), "got {acts:?}");
         // Old sequences are now rejected.
         let acts = r1.on_message(&signed(
             0,

@@ -230,11 +230,18 @@ impl Zyzzyva {
         self.executed_since_checkpoint += 1;
         if self.executed_since_checkpoint >= self.config.checkpoint_interval_batches {
             self.executed_since_checkpoint = 0;
-            return vec![Action::Broadcast(Message::Checkpoint {
+            let mut actions = vec![Action::Broadcast(Message::Checkpoint {
                 seq,
                 state_digest,
                 replica: self.id,
             })];
+            // Own checkpoint counts toward the 2f+1 stability quorum
+            // (broadcast skips self-delivery, so record the vote here).
+            if let Some(stable) = self.checkpoints.record(self.id, seq, state_digest) {
+                self.pending.retain(|s, _| *s > stable);
+                actions.push(Action::StableCheckpoint { seq: stable });
+            }
+            return actions;
         }
         Vec::new()
     }

@@ -1,0 +1,307 @@
+//! `rdb-node` — one node of a multi-process ResilientDB cluster.
+//!
+//! A replica process runs the full pipeline over the TCP transport and
+//! reports progress on stdout; a client process submits a closed-loop
+//! write workload and exits when it completes. All processes must agree
+//! on the peer map, seed and crypto scheme so they derive identical keys.
+//!
+//! ```text
+//! # replica 0 of a 4-replica cluster
+//! rdb-node --replica 0 --peers 0=127.0.0.1:7000,1=127.0.0.1:7001,\
+//!          2=127.0.0.1:7002,3=127.0.0.1:7003 --exit-after-txns 200
+//!
+//! # the client driving it
+//! rdb-node --client --peers cluster.toml --txns 200
+//! ```
+//!
+//! Replica output protocol (consumed by the loopback smoke harness):
+//!
+//! ```text
+//! READY replica=0 listen=127.0.0.1:7000
+//! STATE replica=0 executed=120 digest=ab…   (periodic)
+//! FINAL replica=0 executed=200 digest=ab…   (once --exit-after-txns is reached)
+//! ```
+
+use rdb_common::{ClientId, CryptoScheme, PeerMap, ProtocolKind, ReplicaId};
+use resilientdb::{connect_client, start_replica, NodeConfig};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Args {
+    role: Role,
+    peers: PeerMap,
+    protocol: ProtocolKind,
+    crypto: CryptoScheme,
+    batch_size: usize,
+    client_keys: usize,
+    seed: u64,
+    // replica knobs
+    exit_after_txns: Option<u64>,
+    report_every_ms: u64,
+    run_secs: u64,
+    linger_ms: u64,
+    // client knobs
+    client_id: u64,
+    txns: u64,
+    burst: Option<usize>,
+    wait_secs: u64,
+}
+
+enum Role {
+    Replica(ReplicaId),
+    Client,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rdb-node (--replica <id> | --client) --peers <spec|file> [options]
+
+options:
+  --peers <spec|file>     0=host:port,1=host:port,… or a TOML file with [peers]
+  --protocol <p>          pbft (default) | zyzzyva
+  --crypto <c>            cmac (default) | ed25519 | rsa | nocrypto
+  --batch-size <n>        transactions per consensus batch (default 20)
+  --client-keys <n>       client identities to derive keys for (default 8)
+  --seed <n>              deterministic key seed, identical cluster-wide (default 42)
+
+replica options:
+  --exit-after-txns <n>   print FINAL and exit once n txns executed
+  --report-every-ms <n>   STATE line period (default 1000)
+  --run-secs <n>          hard lifetime limit (default 600)
+  --linger-ms <n>         drain time after FINAL before shutdown (default 2000)
+
+client options:
+  --client-id <n>         which client identity to use (default 0)
+  --txns <n>              total transactions to submit (default 100)
+  --burst <n>             transactions per request (default: batch size)
+  --wait-secs <n>         per-burst completion deadline (default 60)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        role: Role::Client,
+        peers: PeerMap::new(),
+        protocol: ProtocolKind::Pbft,
+        crypto: CryptoScheme::CmacEd25519,
+        batch_size: 20,
+        client_keys: 8,
+        seed: 42,
+        exit_after_txns: None,
+        report_every_ms: 1_000,
+        run_secs: 600,
+        linger_ms: 2_000,
+        client_id: 0,
+        txns: 100,
+        burst: None,
+        wait_secs: 60,
+    };
+    let mut role = None;
+    let mut it = std::env::args().skip(1);
+    let missing = |flag: &str| -> ! {
+        eprintln!("rdb-node: {flag} needs a value");
+        std::process::exit(2);
+    };
+    let bad = |flag: &str, v: &str| -> ! {
+        eprintln!("rdb-node: invalid value '{v}' for {flag}");
+        std::process::exit(2);
+    };
+    while let Some(flag) = it.next() {
+        macro_rules! value {
+            () => {
+                match it.next() {
+                    Some(v) => v,
+                    None => missing(&flag),
+                }
+            };
+        }
+        macro_rules! parsed {
+            () => {{
+                let v = value!();
+                match v.parse() {
+                    Ok(x) => x,
+                    Err(_) => bad(&flag, &v),
+                }
+            }};
+        }
+        match flag.as_str() {
+            "--replica" => role = Some(Role::Replica(ReplicaId(parsed!()))),
+            "--client" => role = Some(Role::Client),
+            "--peers" => {
+                let v = value!();
+                let parsed = if v.contains('=') {
+                    PeerMap::parse_flag(&v)
+                } else {
+                    PeerMap::from_file(std::path::Path::new(&v))
+                };
+                match parsed {
+                    Ok(p) => args.peers = p,
+                    Err(e) => {
+                        eprintln!("rdb-node: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--protocol" => {
+                let v = value!();
+                args.protocol = match v.as_str() {
+                    "pbft" => ProtocolKind::Pbft,
+                    "zyzzyva" => ProtocolKind::Zyzzyva,
+                    _ => bad(&flag, &v),
+                };
+            }
+            "--crypto" => {
+                let v = value!();
+                args.crypto = match v.as_str() {
+                    "cmac" => CryptoScheme::CmacEd25519,
+                    "ed25519" => CryptoScheme::Ed25519,
+                    "rsa" => CryptoScheme::Rsa,
+                    "nocrypto" => CryptoScheme::NoCrypto,
+                    _ => bad(&flag, &v),
+                };
+            }
+            "--batch-size" => args.batch_size = parsed!(),
+            "--client-keys" => args.client_keys = parsed!(),
+            "--seed" => args.seed = parsed!(),
+            "--exit-after-txns" => args.exit_after_txns = Some(parsed!()),
+            "--report-every-ms" => args.report_every_ms = parsed!(),
+            "--run-secs" => args.run_secs = parsed!(),
+            "--linger-ms" => args.linger_ms = parsed!(),
+            "--client-id" => args.client_id = parsed!(),
+            "--txns" => args.txns = parsed!(),
+            "--burst" => args.burst = Some(parsed!()),
+            "--wait-secs" => args.wait_secs = parsed!(),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("rdb-node: unknown flag '{other}'");
+                usage();
+            }
+        }
+    }
+    match role {
+        Some(r) => args.role = r,
+        None => usage(),
+    }
+    args
+}
+
+fn node_config(args: &Args) -> NodeConfig {
+    let mut node = match NodeConfig::new(args.peers.clone()) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("rdb-node: {e}");
+            std::process::exit(2);
+        }
+    };
+    node.system.protocol = args.protocol;
+    node.system.crypto = args.crypto;
+    node.system.batch_size = args.batch_size;
+    node.client_keys = args.client_keys;
+    node.system.num_clients = args.client_keys;
+    node.seed = args.seed;
+    node
+}
+
+fn run_replica(args: &Args, id: ReplicaId) -> ExitCode {
+    let node_cfg = node_config(args);
+    let node = match start_replica(&node_cfg, id) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("rdb-node: cannot start replica {id}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!(
+        "READY replica={} listen={}",
+        id.0,
+        node_cfg.peers.get(id).expect("own peer entry")
+    );
+    let started = Instant::now();
+    let report_every = Duration::from_millis(args.report_every_ms.max(10));
+    let deadline = started + Duration::from_secs(args.run_secs);
+    loop {
+        std::thread::sleep(report_every);
+        let executed = node.shared().executor.executed_txns();
+        let digest = node.shared().store.state_digest();
+        println!("STATE replica={} executed={executed} digest={digest}", id.0);
+        if let Some(target) = args.exit_after_txns {
+            if executed >= target {
+                // Snapshot-stable read: the executed counter only advances
+                // after the store writes land, but execution may still be
+                // in flight past the target (the client is free to submit
+                // more than --exit-after-txns). Pair the digest with a
+                // count that is identical before and after reading it, so
+                // FINAL lines are bit-comparable across replicas at equal
+                // counts.
+                let mut attempts = 0;
+                let (executed, digest) = loop {
+                    let before = node.shared().executor.executed_txns();
+                    let digest = node.shared().store.state_digest();
+                    attempts += 1;
+                    if node.shared().executor.executed_txns() == before || attempts > 250 {
+                        break (before, digest);
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                };
+                println!("FINAL replica={} executed={executed} digest={digest}", id.0);
+                // Let queued consensus traffic drain so slower replicas
+                // can still reach their own target.
+                std::thread::sleep(Duration::from_millis(args.linger_ms));
+                node.shutdown();
+                return ExitCode::SUCCESS;
+            }
+        }
+        if Instant::now() > deadline {
+            eprintln!("rdb-node: replica {} hit --run-secs limit", id.0);
+            node.shutdown();
+            return ExitCode::from(3);
+        }
+    }
+}
+
+fn run_client(args: &Args) -> ExitCode {
+    let node_cfg = node_config(args);
+    let (mut session, net) = match connect_client(&node_cfg, ClientId(args.client_id)) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("rdb-node: cannot connect client: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let burst = args.burst.unwrap_or(args.batch_size).max(1) as u64;
+    let wait = Duration::from_secs(args.wait_secs);
+    let table = node_cfg.system.table_size;
+    let mut done: u64 = 0;
+    let mut submitted: u64 = 0;
+    while submitted < args.txns {
+        let count = burst.min(args.txns - submitted);
+        let txns: Vec<_> = (0..count)
+            .map(|i| {
+                let key = (submitted + i) % table;
+                session.write_txn(key, (submitted + i).to_le_bytes().to_vec())
+            })
+            .collect();
+        submitted += count;
+        done += session.submit_and_wait(txns, wait) as u64;
+    }
+    println!("CLIENT done={done} submitted={submitted}");
+    net.shutdown();
+    if done == args.txns {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "rdb-node: client completed {done}/{} transactions",
+            args.txns
+        );
+        ExitCode::from(1)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match args.role {
+        Role::Replica(id) => run_replica(&args, id),
+        Role::Client => run_client(&args),
+    }
+}

@@ -8,7 +8,7 @@ use rdb_common::messages::{Message, Sender, SignedMessage};
 use rdb_common::{ClientId, Operation, ProtocolKind, ReplicaId, Transaction, TxnId};
 use rdb_consensus::{ClientAction, PbftClient, ZyzzyvaClient};
 use rdb_crypto::{CryptoProvider, KeyRegistry, PeerClass};
-use rdb_net::{Endpoint, Network};
+use rdb_net::{Endpoint, NetHandle};
 use std::collections::HashMap;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -54,7 +54,7 @@ impl Drop for ClientSession {
 impl ClientSession {
     pub(crate) fn connect(
         id: ClientId,
-        net: &Network,
+        net: &NetHandle,
         registry: &KeyRegistry,
         protocol: ProtocolKind,
         f: usize,

@@ -1,17 +1,40 @@
-//! The fabric: a full ResilientDB deployment in one process.
+//! The fabric: ResilientDB deployments, in one process or many.
 //!
-//! [`SystemBuilder`] configures and launches a replica set over the
-//! in-memory network; [`ResilientDb`] is the running deployment handle —
-//! create client sessions, inject faults, inspect chains, shut down.
+//! [`SystemBuilder`] configures and launches a replica set — over the
+//! in-memory switchboard (the default) or over real TCP loopback sockets
+//! ([`TransportMode::TcpLoopback`]), still inside one process.
+//! [`ResilientDb`] is the running deployment handle — create client
+//! sessions, inject faults, inspect chains, shut down.
+//!
+//! For genuine multi-process clusters, [`NodeConfig`] plus
+//! [`start_replica`]/[`connect_client`] launch a *single* node against a
+//! shared peer address map; the `rdb-node` binary is a thin CLI over
+//! exactly these entry points.
 
 use crate::client::ClientSession;
 use rdb_common::messages::Sender;
-use rdb_common::Digest;
-use rdb_common::{ClientId, CryptoScheme, ProtocolKind, ReplicaId, StorageMode, SystemConfig};
+use rdb_common::{
+    ClientId, CryptoScheme, Digest, PeerMap, ProtocolKind, ReplicaId, StorageMode, SystemConfig,
+};
 use rdb_crypto::KeyRegistry;
-use rdb_net::{Network, NetworkConfig};
-use rdb_pipeline::{spawn_replica, ReplicaHandle, SaturationReport};
+use rdb_net::{NetHandle, Network, NetworkConfig, TcpConfig, TcpTransport};
+use rdb_pipeline::{spawn_replica, ReplicaHandle, ReplicaShared, SaturationReport};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Which transport backend an in-process deployment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportMode {
+    /// The in-memory switchboard: fastest, zero-copy, the default for
+    /// tests and simulation-adjacent runs.
+    #[default]
+    InMemory,
+    /// Real TCP sockets over 127.0.0.1, one transport per replica plus
+    /// one for clients — every message crosses a genuine socket with
+    /// length-prefixed framing, exactly as a multi-process cluster would
+    /// send it.
+    TcpLoopback,
+}
 
 /// Builder for a [`ResilientDb`] deployment.
 ///
@@ -35,6 +58,7 @@ pub struct SystemBuilder {
     client_keys: usize,
     latency: Duration,
     seed: u64,
+    transport: TransportMode,
 }
 
 impl SystemBuilder {
@@ -54,6 +78,7 @@ impl SystemBuilder {
             client_keys: 8,
             latency: Duration::ZERO,
             seed: 42,
+            transport: TransportMode::InMemory,
         }
     }
 
@@ -106,7 +131,8 @@ impl SystemBuilder {
         self
     }
 
-    /// One-way network latency between all nodes.
+    /// One-way network latency between all nodes (in-memory backend only;
+    /// TCP loopback pays whatever the kernel charges).
     pub fn latency(mut self, latency: Duration) -> Self {
         self.latency = latency;
         self
@@ -118,16 +144,24 @@ impl SystemBuilder {
         self
     }
 
+    /// Selects the transport backend (default: in-memory).
+    pub fn transport(mut self, transport: TransportMode) -> Self {
+        self.transport = transport;
+        self
+    }
+
     /// Access to the underlying config for advanced tweaks.
     pub fn config_mut(&mut self) -> &mut SystemConfig {
         &mut self.config
     }
 
-    /// Launches the deployment: generates keys, starts the network and all
-    /// replica pipelines.
+    /// Launches the deployment: generates keys, starts the transport(s)
+    /// and all replica pipelines.
     ///
     /// # Errors
-    /// Returns the validation error if the configuration is inconsistent.
+    /// Returns the validation error if the configuration is inconsistent,
+    /// or an `InvalidConfig` error if the TCP loopback sockets cannot be
+    /// bound.
     pub fn build(self) -> Result<ResilientDb, rdb_common::CommonError> {
         self.config.validate()?;
         let registry = KeyRegistry::generate(
@@ -136,17 +170,56 @@ impl SystemBuilder {
             self.client_keys,
             self.seed,
         );
-        let net = Network::new(NetworkConfig {
-            latency: self.latency,
-            queue_capacity: None,
-        });
+        let (replica_nets, client_net) = match self.transport {
+            TransportMode::InMemory => {
+                let net = Network::new(NetworkConfig {
+                    latency: self.latency,
+                    queue_capacity: None,
+                })
+                .handle();
+                (vec![net.clone(); self.config.n], net)
+            }
+            TransportMode::TcpLoopback => {
+                let (peers, listeners) = TcpTransport::bind_loopback_cluster(self.config.n)
+                    .map_err(|e| {
+                        rdb_common::CommonError::InvalidConfig(format!(
+                            "cannot bind loopback cluster: {e}"
+                        ))
+                    })?;
+                let replica_nets: Vec<NetHandle> = listeners
+                    .into_iter()
+                    .map(|listener| {
+                        TcpTransport::with_listener(
+                            TcpConfig {
+                                listen: listener.local_addr().ok(),
+                                peers: peers.clone(),
+                                ..TcpConfig::default()
+                            },
+                            Some(listener),
+                        )
+                        .handle()
+                    })
+                    .collect();
+                let client_net =
+                    TcpTransport::with_listener(TcpConfig::for_client(peers), None).handle();
+                (replica_nets, client_net)
+            }
+        };
         let replicas: Vec<ReplicaHandle> = (0..self.config.n as u32)
-            .map(|i| spawn_replica(&self.config, ReplicaId(i), &net, &registry))
+            .map(|i| {
+                spawn_replica(
+                    &self.config,
+                    ReplicaId(i),
+                    &replica_nets[i as usize],
+                    &registry,
+                )
+            })
             .collect();
         Ok(ResilientDb {
             config: self.config,
             registry,
-            net,
+            replica_nets,
+            client_net,
             replicas,
         })
     }
@@ -156,7 +229,11 @@ impl SystemBuilder {
 pub struct ResilientDb {
     config: SystemConfig,
     registry: KeyRegistry,
-    net: Network,
+    /// One handle per replica — clones of a single switchboard for the
+    /// in-memory backend, distinct socket transports for TCP loopback.
+    replica_nets: Vec<NetHandle>,
+    /// The transport client sessions attach to.
+    client_net: NetHandle,
     replicas: Vec<ReplicaHandle>,
 }
 
@@ -185,9 +262,11 @@ impl ResilientDb {
         ReplicaId(0)
     }
 
-    /// The shared network (for fault injection and statistics).
-    pub fn network(&self) -> &Network {
-        &self.net
+    /// The client-side transport handle (for statistics; for the
+    /// in-memory backend this is the shared switchboard, so its stats
+    /// cover all replicas too).
+    pub fn network(&self) -> &NetHandle {
+        &self.client_net
     }
 
     /// Opens a client session for `id`.
@@ -197,13 +276,23 @@ impl ResilientDb {
     pub fn client(&self, id: u64) -> ClientSession {
         ClientSession::connect(
             ClientId(id),
-            &self.net,
+            &self.client_net,
             &self.registry,
             self.config.protocol,
             self.config.f,
             self.primary(),
             self.config.n,
         )
+    }
+
+    /// Every transport's fault controller (one shared controller for the
+    /// in-memory backend, one per node over TCP). Fault injection applies
+    /// to all so both backends behave identically.
+    fn all_fault_controllers(&self) -> impl Iterator<Item = &rdb_net::FaultController> {
+        self.replica_nets
+            .iter()
+            .chain(std::iter::once(&self.client_net))
+            .map(|net| net.faults())
     }
 
     /// Crashes a backup replica (all its traffic is dropped).
@@ -213,12 +302,16 @@ impl ResilientDb {
     /// experiments fail backups only.
     pub fn crash_backup(&self, id: ReplicaId) {
         assert_ne!(id, self.primary(), "failure experiments crash backups only");
-        self.net.faults().crash(Sender::Replica(id));
+        for faults in self.all_fault_controllers() {
+            faults.crash(Sender::Replica(id));
+        }
     }
 
     /// Recovers a crashed backup.
     pub fn recover(&self, id: ReplicaId) {
-        self.net.faults().recover(Sender::Replica(id));
+        for faults in self.all_fault_controllers() {
+            faults.recover(Sender::Replica(id));
+        }
     }
 
     /// Chain head sequence at each replica.
@@ -262,11 +355,152 @@ impl ResilientDb {
         self.replicas[id.as_usize()].shared().metrics.report()
     }
 
-    /// Stops every replica and the network.
+    /// Stops every replica and the transport(s).
     pub fn shutdown(self) {
         for r in self.replicas {
             r.shutdown();
         }
+        for net in &self.replica_nets {
+            net.shutdown();
+        }
+        self.client_net.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process deployment: one node per OS process.
+// ---------------------------------------------------------------------------
+
+/// Everything a single node of a multi-process cluster needs to know:
+/// the shared system configuration, the replica address map, and the key
+/// generation parameters (all processes must agree on `seed` and
+/// `client_keys`, so every node derives the same [`KeyRegistry`]).
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// The cluster-wide system configuration (`n` must equal the peer
+    /// map's size).
+    pub system: SystemConfig,
+    /// Replica id → TCP address, identical on every node.
+    pub peers: PeerMap,
+    /// Client identities to generate keys for.
+    pub client_keys: usize,
+    /// Deterministic key-generation seed shared by all nodes.
+    pub seed: u64,
+}
+
+impl NodeConfig {
+    /// A node configuration for `peers.len()` replicas with the fabric's
+    /// laptop-scale defaults.
+    ///
+    /// # Errors
+    /// Returns `InvalidConfig` if the map is not a dense `0..n` membership
+    /// of at least 4 replicas.
+    pub fn new(peers: PeerMap) -> Result<Self, rdb_common::CommonError> {
+        peers.validate_dense()?;
+        let mut system = SystemConfig::new(peers.len())?;
+        system.num_clients = 8;
+        system.table_size = 4_096;
+        Ok(NodeConfig {
+            system,
+            peers,
+            client_keys: 8,
+            seed: 42,
+        })
+    }
+
+    fn registry(&self) -> KeyRegistry {
+        KeyRegistry::generate(
+            self.system.crypto,
+            self.system.n,
+            self.client_keys,
+            self.seed,
+        )
+    }
+}
+
+/// A single replica process: its pipeline plus its TCP transport.
+pub struct ReplicaNode {
+    net: NetHandle,
+    handle: ReplicaHandle,
+}
+
+impl std::fmt::Debug for ReplicaNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaNode")
+            .field("replica", &self.handle.shared().id)
+            .finish()
+    }
+}
+
+impl ReplicaNode {
+    /// The replica's shared state (store, chain, counters).
+    pub fn shared(&self) -> &Arc<ReplicaShared> {
+        self.handle.shared()
+    }
+
+    /// The node's transport handle.
+    pub fn network(&self) -> &NetHandle {
+        &self.net
+    }
+
+    /// Stops the pipeline and the transport.
+    pub fn shutdown(self) {
+        self.handle.shutdown();
         self.net.shutdown();
     }
+}
+
+/// Starts replica `id` of a multi-process cluster: binds its listener
+/// from the peer map, spawns the full pipeline, and returns the running
+/// node.
+///
+/// # Errors
+/// Returns an error if `id` is missing from the map, the map is
+/// inconsistent with `system.n`, or the listener cannot be bound.
+pub fn start_replica(node: &NodeConfig, id: ReplicaId) -> std::io::Result<ReplicaNode> {
+    let invalid = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, m);
+    if node.peers.len() != node.system.n {
+        return Err(invalid(format!(
+            "peer map has {} replicas but the system config says n={}",
+            node.peers.len(),
+            node.system.n
+        )));
+    }
+    if node.peers.get(id).is_none() {
+        return Err(invalid(format!("replica {id} is not in the peer map")));
+    }
+    let transport = TcpTransport::new(TcpConfig::for_replica(id, node.peers.clone()))?;
+    let net = transport.handle();
+    let handle = spawn_replica(&node.system, id, &net, &node.registry());
+    Ok(ReplicaNode { net, handle })
+}
+
+/// Connects a client process to a multi-process cluster: creates a
+/// listener-less TCP transport that dials every replica, and opens a
+/// session for `id`. The returned handle shuts the transport down.
+///
+/// # Errors
+/// Returns an error if the peer map is empty.
+pub fn connect_client(
+    node: &NodeConfig,
+    id: ClientId,
+) -> std::io::Result<(ClientSession, NetHandle)> {
+    if node.peers.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "peer map is empty",
+        ));
+    }
+    let transport = TcpTransport::new(TcpConfig::for_client(node.peers.clone()))?;
+    let net = transport.handle();
+    let session = ClientSession::connect(
+        id,
+        &net,
+        &node.registry(),
+        node.system.protocol,
+        node.system.f,
+        ReplicaId(0),
+        node.system.n,
+    );
+    Ok((session, net))
 }

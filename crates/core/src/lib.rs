@@ -51,7 +51,10 @@ pub mod fabric;
 
 pub use bench_driver::{run_closed_loop, Measurement};
 pub use client::ClientSession;
-pub use fabric::{ResilientDb, SystemBuilder};
+pub use fabric::{
+    connect_client, start_replica, NodeConfig, ReplicaNode, ResilientDb, SystemBuilder,
+    TransportMode,
+};
 
 /// Re-export of the shared types crate.
 pub use rdb_common as common;
@@ -118,6 +121,26 @@ mod tests {
         let txns: Vec<_> = (0..5).map(|i| c.write_txn(i, vec![i as u8])).collect();
         let done = c.submit_and_wait(txns, Duration::from_secs(20));
         assert_eq!(done, 5, "commit-certificate path must complete");
+        db.shutdown();
+    }
+
+    #[test]
+    fn quickstart_over_tcp_loopback() {
+        // The same fabric, every message over a real socket: an
+        // in-process cluster on TransportMode::TcpLoopback must commit
+        // and converge exactly like the in-memory default.
+        let db = SystemBuilder::new(4)
+            .transport(TransportMode::TcpLoopback)
+            .batch_size(5)
+            .table_size(256)
+            .client_keys(1)
+            .build()
+            .unwrap();
+        let mut c = db.client(0);
+        let txns: Vec<_> = (0..10).map(|i| c.write_txn(i, vec![i as u8])).collect();
+        let done = c.submit_and_wait(txns, Duration::from_secs(30));
+        assert_eq!(done, 10);
+        assert!(db.verify_chains().is_ok());
         db.shutdown();
     }
 

@@ -1,10 +1,22 @@
-//! In-memory transport for the threaded ResilientDB runtime.
+//! Transport fabric for the threaded ResilientDB runtime.
 //!
-//! Replicas and clients register with a [`Network`] and obtain an
-//! [`Endpoint`] for sending and receiving [`SignedMessage`]s. The network
-//! supports per-link latency, byte-accounted delivery statistics, and fault
-//! injection (crashes, message drops, partitions) — the substrate for the
-//! paper's failure experiments (Figure 17).
+//! Replicas and clients register with a [`Transport`] backend and obtain an
+//! [`Endpoint`] for sending and receiving [`SignedMessage`]s
+//! (`rdb_common::messages::SignedMessage`). Two backends exist behind the
+//! same trait:
+//!
+//! - [`Network`] — the in-memory switchboard: zero-copy channel hand-off,
+//!   optional modeled latency, the default for tests and single-process
+//!   deployments.
+//! - [`TcpTransport`] — real sockets: length-prefixed frames over the
+//!   canonical wire encoding, one writer thread per peer with bounded
+//!   queues, reconnect-with-backoff, and reply routing for clients that
+//!   dial in. The substrate for multi-process clusters (`rdb-node`).
+//!
+//! Both support byte-accounted delivery statistics ([`NetworkStats`]) and
+//! send-side fault injection ([`FaultController`]: crashes, message drops,
+//! partitions) — the substrate for the paper's failure experiments
+//! (Figure 17).
 //!
 //! # Example
 //!
@@ -27,9 +39,14 @@
 //! ```
 
 pub mod fault;
+pub mod frame;
+pub mod memory;
 pub mod stats;
+pub mod tcp;
 pub mod transport;
 
 pub use fault::FaultController;
+pub use memory::{Network, NetworkConfig};
 pub use stats::NetworkStats;
-pub use transport::{Endpoint, EndpointSender, Network, NetworkConfig, NetworkError};
+pub use tcp::{TcpConfig, TcpTransport};
+pub use transport::{Endpoint, EndpointSender, NetHandle, NetworkError, Transport};

@@ -1,0 +1,432 @@
+//! The in-memory switchboard: endpoints, delivery, latency shaping.
+//!
+//! Delivery is direct channel hand-off when latency is zero; with a
+//! configured latency a background *wire thread* holds messages in a
+//! deadline heap and releases them when due, preserving per-link FIFO
+//! ordering for equal deadlines.
+
+use crate::fault::FaultController;
+use crate::stats::NetworkStats;
+use crate::transport::{Endpoint, NetHandle, NetworkError, Transport};
+use crossbeam::channel::{self, Receiver, Sender as ChanSender};
+use parking_lot::{Condvar, Mutex, RwLock};
+use rdb_common::codec::Wire;
+use rdb_common::messages::{Sender, SignedMessage};
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for an in-memory network.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// One-way delivery latency applied to every message.
+    pub latency: Duration,
+    /// Per-endpoint inbound queue bound (`None` = unbounded).
+    pub queue_capacity: Option<usize>,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            latency: Duration::ZERO,
+            queue_capacity: None,
+        }
+    }
+}
+
+struct WireEntry {
+    due: Instant,
+    seq: u64,
+    to: Sender,
+    msg: SignedMessage,
+}
+
+impl PartialEq for WireEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for WireEntry {}
+impl PartialOrd for WireEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WireEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse so the BinaryHeap pops the earliest deadline first;
+        // tie-break on sequence for FIFO between equal deadlines.
+        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct NetInner {
+    config: NetworkConfig,
+    mailboxes: RwLock<HashMap<Sender, ChanSender<SignedMessage>>>,
+    stats: NetworkStats,
+    faults: FaultController,
+    wire: Mutex<WireState>,
+    wire_signal: Condvar,
+}
+
+impl NetInner {
+    fn deliver(&self, to: Sender, msg: SignedMessage) {
+        let kind = msg.kind();
+        let mailboxes = self.mailboxes.read();
+        if let Some(tx) = mailboxes.get(&to) {
+            if tx.send(msg).is_ok() {
+                self.stats.record_delivered(kind);
+                return;
+            }
+        }
+        self.stats.record_dropped();
+    }
+}
+
+struct WireState {
+    heap: BinaryHeap<WireEntry>,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+/// An in-memory network connecting replicas and clients.
+///
+/// Cloneable handle; all clones refer to the same switchboard. Implements
+/// [`Transport`], so a [`NetHandle`] over it is interchangeable with the
+/// TCP backend.
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<NetInner>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("endpoints", &self.inner.mailboxes.read().len())
+            .field("latency", &self.inner.config.latency)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates a network; if `config.latency` is non-zero, spawns the wire
+    /// thread that delays deliveries.
+    pub fn new(config: NetworkConfig) -> Self {
+        let needs_wire = !config.latency.is_zero();
+        let inner = Arc::new(NetInner {
+            config,
+            mailboxes: RwLock::new(HashMap::new()),
+            stats: NetworkStats::new(),
+            faults: FaultController::new(),
+            wire: Mutex::new(WireState {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                shutdown: false,
+            }),
+            wire_signal: Condvar::new(),
+        });
+        if needs_wire {
+            let weak = Arc::downgrade(&inner);
+            std::thread::Builder::new()
+                .name("rdb-net-wire".into())
+                .spawn(move || {
+                    while let Some(inner) = weak.upgrade() {
+                        let mut due_msgs = Vec::new();
+                        {
+                            let mut wire = inner.wire.lock();
+                            if wire.shutdown {
+                                return;
+                            }
+                            let now = Instant::now();
+                            while wire.heap.peek().is_some_and(|e| e.due <= now) {
+                                let e = wire.heap.pop().expect("peeked entry exists");
+                                due_msgs.push((e.to, e.msg));
+                            }
+                            if due_msgs.is_empty() {
+                                match wire.heap.peek().map(|e| e.due) {
+                                    Some(due) => {
+                                        let wait = due.saturating_duration_since(Instant::now());
+                                        inner.wire_signal.wait_for(&mut wire, wait);
+                                    }
+                                    None => {
+                                        inner
+                                            .wire_signal
+                                            .wait_for(&mut wire, Duration::from_millis(50));
+                                    }
+                                }
+                                if wire.shutdown {
+                                    return;
+                                }
+                            }
+                        }
+                        for (to, msg) in due_msgs {
+                            inner.deliver(to, msg);
+                        }
+                        // Drop the strong reference before looping so the
+                        // network can be freed while the thread sleeps.
+                        drop(inner);
+                    }
+                })
+                .expect("spawn wire thread");
+        }
+        Network { inner }
+    }
+
+    /// A [`NetHandle`] over this switchboard, for APIs that take the
+    /// backend-agnostic transport handle.
+    pub fn handle(&self) -> NetHandle {
+        NetHandle::new(Arc::new(self.clone()))
+    }
+
+    /// Registers `addr`, returning its endpoint.
+    ///
+    /// # Panics
+    /// Panics if `addr` is already registered.
+    pub fn register(&self, addr: Sender) -> Endpoint {
+        self.handle().register(addr)
+    }
+
+    /// Removes `addr` from the switchboard (future sends to it error).
+    pub fn deregister(&self, addr: Sender) {
+        self.inner.mailboxes.write().remove(&addr);
+    }
+
+    /// The shared fault controller.
+    pub fn faults(&self) -> &FaultController {
+        &self.inner.faults
+    }
+
+    /// The shared delivery statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.inner.stats
+    }
+
+    /// Shuts down the wire thread (no-op for zero-latency networks).
+    pub fn shutdown(&self) {
+        let mut wire = self.inner.wire.lock();
+        wire.shutdown = true;
+        self.inner.wire_signal.notify_all();
+    }
+}
+
+impl Transport for Network {
+    fn register_mailbox(&self, addr: Sender) -> Receiver<SignedMessage> {
+        let (tx, rx) = match self.inner.config.queue_capacity {
+            Some(cap) => channel::bounded(cap),
+            None => channel::unbounded(),
+        };
+        let prev = self.inner.mailboxes.write().insert(addr, tx);
+        assert!(prev.is_none(), "address {addr:?} registered twice");
+        rx
+    }
+
+    fn deregister(&self, addr: Sender) {
+        Network::deregister(self, addr);
+    }
+
+    fn send_from(&self, from: Sender, to: Sender, msg: SignedMessage) -> Result<(), NetworkError> {
+        if !self.inner.mailboxes.read().contains_key(&to) {
+            self.inner.stats.record_dropped();
+            return Err(NetworkError::UnknownDestination(format!("{to:?}")));
+        }
+        // Exact bytes-on-wire accounting: `encoded_len` is memoized in the
+        // envelope, so pricing a broadcast walks the batch once, not once
+        // per destination — and both transport backends report the same
+        // number for the same message.
+        self.inner.stats.record_sent(msg.kind(), msg.encoded_len());
+        if self.inner.faults.should_drop(from, to) {
+            self.inner.stats.record_dropped();
+            return Ok(()); // silently dropped, like a real network
+        }
+        if self.inner.config.latency.is_zero() {
+            self.inner.deliver(to, msg);
+        } else {
+            let mut wire = self.inner.wire.lock();
+            let seq = wire.next_seq;
+            wire.next_seq += 1;
+            wire.heap.push(WireEntry {
+                due: Instant::now() + self.inner.config.latency,
+                seq,
+                to,
+                msg,
+            });
+            self.inner.wire_signal.notify_one();
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> &NetworkStats {
+        &self.inner.stats
+    }
+
+    fn faults(&self) -> &FaultController {
+        &self.inner.faults
+    }
+
+    fn shutdown(&self) {
+        Network::shutdown(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_common::messages::Message;
+    use rdb_common::{ReplicaId, SignatureBytes};
+
+    fn r(i: u32) -> Sender {
+        Sender::Replica(ReplicaId(i))
+    }
+
+    fn msg(from: Sender) -> SignedMessage {
+        SignedMessage::new(
+            Message::ClientRequest { txns: vec![] },
+            from,
+            SignatureBytes::empty(),
+        )
+    }
+
+    #[test]
+    fn point_to_point_delivery() {
+        let net = Network::new(NetworkConfig::default());
+        let a = net.register(r(0));
+        let b = net.register(r(1));
+        a.send(r(1), msg(r(0))).unwrap();
+        let got = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(got.sender(), r(0));
+        assert_eq!(net.stats().total_sent(), 1);
+    }
+
+    #[test]
+    fn broadcast_skips_self() {
+        let net = Network::new(NetworkConfig::default());
+        let eps: Vec<Endpoint> = (0..4).map(|i| net.register(r(i))).collect();
+        let all: Vec<Sender> = (0..4).map(r).collect();
+        eps[0].broadcast(&all, &msg(r(0))).unwrap();
+        assert!(eps[0].try_recv().is_none(), "no self-delivery");
+        for ep in &eps[1..] {
+            assert!(ep.recv_timeout(Duration::from_secs(1)).is_ok());
+        }
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let net = Network::new(NetworkConfig::default());
+        let a = net.register(r(0));
+        assert!(matches!(
+            a.send(r(9), msg(r(0))),
+            Err(NetworkError::UnknownDestination(_))
+        ));
+    }
+
+    #[test]
+    fn crashed_node_receives_nothing() {
+        let net = Network::new(NetworkConfig::default());
+        let a = net.register(r(0));
+        let b = net.register(r(1));
+        net.faults().crash(r(1));
+        a.send(r(1), msg(r(0))).unwrap(); // no error: silent drop
+        assert!(b.try_recv().is_none());
+        assert_eq!(net.stats().dropped(), 1);
+        net.faults().recover(r(1));
+        a.send(r(1), msg(r(0))).unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let net = Network::new(NetworkConfig {
+            latency: Duration::from_millis(30),
+            queue_capacity: None,
+        });
+        let a = net.register(r(0));
+        let b = net.register(r(1));
+        let start = Instant::now();
+        a.send(r(1), msg(r(0))).unwrap();
+        assert!(b.try_recv().is_none(), "must not arrive instantly");
+        let got = b.recv_timeout(Duration::from_secs(2));
+        assert!(got.is_ok());
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(25),
+            "arrived after {elapsed:?}"
+        );
+        net.shutdown();
+    }
+
+    #[test]
+    fn latency_preserves_fifo_per_link() {
+        let net = Network::new(NetworkConfig {
+            latency: Duration::from_millis(5),
+            queue_capacity: None,
+        });
+        let a = net.register(r(0));
+        let b = net.register(r(1));
+        for i in 0..20u64 {
+            let m = SignedMessage::new(
+                Message::Checkpoint {
+                    seq: rdb_common::SeqNum(i),
+                    state_digest: rdb_common::Digest::ZERO,
+                    replica: ReplicaId(0),
+                },
+                r(0),
+                SignatureBytes::empty(),
+            );
+            a.send(r(1), m).unwrap();
+        }
+        for i in 0..20u64 {
+            let got = b.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(got.msg().seq(), Some(rdb_common::SeqNum(i)));
+        }
+        net.shutdown();
+    }
+
+    #[test]
+    fn deregister_stops_delivery() {
+        let net = Network::new(NetworkConfig::default());
+        let a = net.register(r(0));
+        let _b = net.register(r(1));
+        net.deregister(r(1));
+        assert!(a.send(r(1), msg(r(0))).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_registration_panics() {
+        let net = Network::new(NetworkConfig::default());
+        let _a = net.register(r(0));
+        let _a2 = net.register(r(0));
+    }
+
+    #[test]
+    fn multi_consumer_receiver() {
+        let net = Network::new(NetworkConfig::default());
+        let a = net.register(r(0));
+        let b = net.register(r(1));
+        let rx2 = b.receiver();
+        a.send(r(1), msg(r(0))).unwrap();
+        a.send(r(1), msg(r(0))).unwrap();
+        // Both receivers drain from the same queue.
+        let m1 = b.recv_timeout(Duration::from_secs(1));
+        let m2 = rx2.recv_timeout(Duration::from_secs(1));
+        assert!(m1.is_ok());
+        assert!(m2.is_ok());
+    }
+
+    #[test]
+    fn bytes_accounted_exactly() {
+        let net = Network::new(NetworkConfig::default());
+        let a = net.register(r(0));
+        let _b = net.register(r(1));
+        let m = msg(r(0));
+        let want = m.encoded_len() as u64;
+        a.send(r(1), m).unwrap();
+        assert_eq!(net.stats().bytes_sent(), want);
+        assert_eq!(
+            net.stats()
+                .bytes_for(rdb_common::MessageKind::ClientRequest),
+            want
+        );
+    }
+}

@@ -19,8 +19,11 @@ pub struct NetworkStats {
 struct StatsInner {
     sent: KindCounters,
     delivered: KindCounters,
+    /// Bytes-on-wire per kind, from the exact `Wire::encoded_len` of each
+    /// sent envelope — both transport backends record the same number for
+    /// the same message, so in-memory and TCP runs are comparable.
+    bytes: KindCounters,
     dropped: AtomicU64,
-    bytes_sent: AtomicU64,
 }
 
 /// One atomic counter per message kind, indexed densely.
@@ -29,7 +32,11 @@ struct KindCounters([AtomicU64; MessageKind::COUNT]);
 
 impl KindCounters {
     fn add(&self, kind: MessageKind) {
-        self.0[kind.index()].fetch_add(1, Ordering::Relaxed);
+        self.add_n(kind, 1);
+    }
+
+    fn add_n(&self, kind: MessageKind, n: u64) {
+        self.0[kind.index()].fetch_add(n, Ordering::Relaxed);
     }
 
     fn get(&self, kind: MessageKind) -> u64 {
@@ -49,9 +56,7 @@ impl NetworkStats {
 
     pub(crate) fn record_sent(&self, kind: MessageKind, bytes: usize) {
         self.inner.sent.add(kind);
-        self.inner
-            .bytes_sent
-            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.inner.bytes.add_n(kind, bytes as u64);
     }
 
     pub(crate) fn record_delivered(&self, kind: MessageKind) {
@@ -72,14 +77,20 @@ impl NetworkStats {
         self.inner.delivered.get(kind)
     }
 
+    /// Bytes-on-wire offered to the network for `kind` (exact canonical
+    /// encoding sizes, including signatures).
+    pub fn bytes_for(&self, kind: MessageKind) -> u64 {
+        self.inner.bytes.get(kind)
+    }
+
     /// Messages discarded by fault injection or missing destinations.
     pub fn dropped(&self) -> u64 {
         self.inner.dropped.load(Ordering::Relaxed)
     }
 
-    /// Total payload bytes offered to the network.
+    /// Total payload bytes offered to the network (sum over all kinds).
     pub fn bytes_sent(&self) -> u64 {
-        self.inner.bytes_sent.load(Ordering::Relaxed)
+        self.inner.bytes.total()
     }
 
     /// Total messages sent across all kinds.
@@ -111,6 +122,9 @@ mod tests {
         assert_eq!(s.delivered(MessageKind::Commit), 0);
         assert_eq!(s.dropped(), 1);
         assert_eq!(s.bytes_sent(), 160);
+        assert_eq!(s.bytes_for(MessageKind::Prepare), 150);
+        assert_eq!(s.bytes_for(MessageKind::Commit), 10);
+        assert_eq!(s.bytes_for(MessageKind::Checkpoint), 0);
         assert_eq!(s.total_sent(), 3);
         assert_eq!(s.total_delivered(), 1);
     }

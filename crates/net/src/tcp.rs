@@ -1,0 +1,921 @@
+//! Real TCP transport: the in-memory switchboard's semantics over sockets.
+//!
+//! One [`TcpTransport`] is one node of a multi-process deployment (it can
+//! host several local endpoints, e.g. many client sessions in a client
+//! process). Architecture:
+//!
+//! - **Outbound**: one writer thread per peer with a bounded frame queue.
+//!   Replica-destined traffic (consensus gossip) uses a *drop-oldest*
+//!   policy on overflow — the protocol tolerates loss and retransmits by
+//!   design — while client-destined replies are *never* dropped: the
+//!   sender blocks on the queue (backpressure) until space frees up.
+//!   Broadcasts serialize the envelope **once** and share the encoded
+//!   buffer across every peer's queue.
+//! - **Inbound**: an acceptor plus one reader thread per connection.
+//!   Frames decode through [`SignedMessage::decode`]'s memo-seeding path,
+//!   so the zero-copy envelope (canonical bytes memoized, verified
+//!   without re-serialization) survives the socket.
+//! - **Routing**: replicas are dialed from the [`PeerMap`]; dialed links
+//!   reconnect with exponential backoff, so a restarted replica rejoins
+//!   without any coordination. Clients are *not* in the map — a client
+//!   dials every replica and announces itself with a HELLO frame, and
+//!   replies travel back over the client-initiated connection (learned as
+//!   a *reverse link*).
+//! - **Faults**: [`FaultController`] is evaluated on the send side, same
+//!   as the in-memory backend, so drops and partitions behave identically
+//!   over both.
+
+use crate::fault::FaultController;
+use crate::frame::{self, Frame, FrameReader};
+use crate::stats::NetworkStats;
+use crate::transport::{Endpoint, NetHandle, NetworkError, Transport};
+use crossbeam::channel::{self, Receiver, Sender as ChanSender};
+use parking_lot::{Condvar, Mutex, RwLock};
+use rdb_common::codec::Wire;
+use rdb_common::messages::{Sender, SignedMessage};
+use rdb_common::{PeerMap, ReplicaId};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration for a [`TcpTransport`].
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Address to accept peer connections on. `None` for client processes,
+    /// which only dial out.
+    pub listen: Option<SocketAddr>,
+    /// Replica id → address map (clients are learned via HELLO frames).
+    pub peers: PeerMap,
+    /// Outbound frames buffered per peer link before the overflow policy
+    /// applies (drop-oldest for replica gossip, blocking for client
+    /// replies).
+    pub queue_capacity: usize,
+    /// Initial reconnect backoff for dialed links.
+    pub reconnect_min: Duration,
+    /// Backoff ceiling (doubles from `reconnect_min` up to this).
+    pub reconnect_max: Duration,
+    /// Socket write timeout; a peer stuck longer than this is treated as
+    /// disconnected.
+    pub write_timeout: Duration,
+    /// Granularity at which blocked threads re-check for shutdown.
+    pub poll_interval: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            listen: None,
+            peers: PeerMap::new(),
+            queue_capacity: 4096,
+            reconnect_min: Duration::from_millis(10),
+            reconnect_max: Duration::from_secs(1),
+            write_timeout: Duration::from_secs(2),
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Config for replica `id` of `peers`: listens on its map entry.
+    ///
+    /// # Panics
+    /// Panics if `id` is not in the map.
+    pub fn for_replica(id: ReplicaId, peers: PeerMap) -> Self {
+        let listen = peers.get(id).expect("replica id missing from peer map");
+        TcpConfig {
+            listen: Some(listen),
+            peers,
+            ..TcpConfig::default()
+        }
+    }
+
+    /// Config for a client process: no listener, dials every replica.
+    pub fn for_client(peers: PeerMap) -> Self {
+        TcpConfig {
+            listen: None,
+            peers,
+            ..TcpConfig::default()
+        }
+    }
+}
+
+/// Upper bound of the per-destination MSG frame header (tag + `Sender`),
+/// used by the send-side oversize guard.
+const MSG_HEADER_MAX: usize = 16;
+
+/// One queued outbound frame.
+enum OutFrame {
+    /// Announce a local endpoint to the peer (routing for replies).
+    Hello(Sender),
+    /// An envelope for `to`; `payload` is the shared canonical encoding.
+    Msg { to: Sender, payload: Arc<Vec<u8>> },
+}
+
+enum Popped {
+    Frame(OutFrame),
+    Empty,
+    Done,
+}
+
+/// A bounded outbound queue feeding one writer thread.
+struct Link {
+    state: Mutex<LinkState>,
+    ready: Condvar,
+    space: Condvar,
+    capacity: usize,
+}
+
+struct LinkState {
+    frames: VecDeque<OutFrame>,
+    closed: bool,
+}
+
+impl Link {
+    fn new(capacity: usize) -> Arc<Link> {
+        Arc::new(Link {
+            state: Mutex::new(LinkState {
+                frames: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+        })
+    }
+
+    /// Drop-oldest on overflow: consensus gossip tolerates loss, so a slow
+    /// peer sheds its own backlog instead of stalling the pipeline.
+    /// Only `Msg` frames are ever shed — a queued HELLO is a routing
+    /// announcement, and losing one would permanently strand the reply
+    /// path of an endpoint registered after the connection came up.
+    fn push_gossip(&self, f: OutFrame, stats: &NetworkStats) {
+        let mut s = self.state.lock();
+        if s.closed {
+            return;
+        }
+        if s.frames.len() >= self.capacity {
+            if let Some(idx) = s
+                .frames
+                .iter()
+                .position(|f| matches!(f, OutFrame::Msg { .. }))
+            {
+                s.frames.remove(idx);
+                stats.record_dropped();
+            }
+        }
+        s.frames.push_back(f);
+        self.ready.notify_one();
+    }
+
+    /// Blocking on overflow: client replies are never shed — the sending
+    /// stage backpressures until the writer drains.
+    fn push_reliable(&self, f: OutFrame) {
+        let mut s = self.state.lock();
+        while !s.closed && s.frames.len() >= self.capacity {
+            self.space.wait(&mut s);
+        }
+        if s.closed {
+            return;
+        }
+        s.frames.push_back(f);
+        self.ready.notify_one();
+    }
+
+    fn pop_wait(&self, timeout: Duration) -> Popped {
+        let mut s = self.state.lock();
+        if s.frames.is_empty() && !s.closed {
+            self.ready.wait_for(&mut s, timeout);
+        }
+        match s.frames.pop_front() {
+            Some(f) => {
+                self.space.notify_one();
+                Popped::Frame(f)
+            }
+            None if s.closed => Popped::Done,
+            None => Popped::Empty,
+        }
+    }
+
+    fn close(&self) {
+        let mut s = self.state.lock();
+        s.closed = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+}
+
+struct TcpInner {
+    cfg: TcpConfig,
+    local_addr: Option<SocketAddr>,
+    mailboxes: RwLock<HashMap<Sender, ChanSender<SignedMessage>>>,
+    /// Endpoints hosted by this transport, announced in HELLOs.
+    local_addrs: RwLock<Vec<Sender>>,
+    /// Outbound links to replicas in the peer map, created on first use.
+    dialed: RwLock<HashMap<u32, Arc<Link>>>,
+    /// Links learned from inbound HELLOs (clients, chiefly).
+    reverse: RwLock<HashMap<Sender, Arc<Link>>>,
+    stats: NetworkStats,
+    faults: FaultController,
+    shutdown: AtomicBool,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl TcpInner {
+    fn deliver(&self, to: Sender, msg: SignedMessage) {
+        let kind = msg.kind();
+        if let Some(tx) = self.mailboxes.read().get(&to) {
+            if tx.send(msg).is_ok() {
+                self.stats.record_delivered(kind);
+                return;
+            }
+        }
+        self.stats.record_dropped();
+    }
+
+    fn spawn(self: &Arc<Self>, name: String, f: impl FnOnce() + Send + 'static) {
+        let handle = std::thread::Builder::new()
+            .name(name)
+            .spawn(f)
+            .expect("spawn tcp transport thread");
+        let mut threads = self.threads.lock();
+        // Reap finished readers/writers as we go: a long-lived node serves
+        // many short-lived connections, and keeping every dead handle
+        // until shutdown would grow this vector without bound.
+        threads.retain(|h| !h.is_finished());
+        threads.push(handle);
+    }
+
+    /// Get-or-create the dialed link (and its writer thread) for a mapped
+    /// replica. Read-locked fast path: after the first message to a peer
+    /// this is a shared-lock map lookup, so concurrent sender threads do
+    /// not serialize on the hot path.
+    fn dialed_link(self: &Arc<Self>, id: ReplicaId, addr: SocketAddr) -> Arc<Link> {
+        if let Some(link) = self.dialed.read().get(&id.0) {
+            return Arc::clone(link);
+        }
+        let mut dialed = self.dialed.write();
+        // Double-check: another sender may have raced the upgrade.
+        if let Some(link) = dialed.get(&id.0) {
+            return Arc::clone(link);
+        }
+        let link = Link::new(self.cfg.queue_capacity);
+        dialed.insert(id.0, Arc::clone(&link));
+        let inner = Arc::clone(self);
+        let writer_link = Arc::clone(&link);
+        self.spawn(format!("tcp-dial-r{}", id.0), move || {
+            dialed_writer(&inner, &writer_link, addr);
+        });
+        link
+    }
+
+    /// The outbound link for `to`, if any route exists.
+    fn route_to(self: &Arc<Self>, to: Sender) -> Option<Arc<Link>> {
+        if let Sender::Replica(r) = to {
+            if let Some(addr) = self.cfg.peers.get(r) {
+                return Some(self.dialed_link(r, addr));
+            }
+        }
+        self.reverse.read().get(&to).cloned()
+    }
+
+    fn push_out(&self, link: &Link, to: Sender, payload: Arc<Vec<u8>>) {
+        let frame = OutFrame::Msg { to, payload };
+        if matches!(to, Sender::Client(_)) {
+            link.push_reliable(frame);
+        } else {
+            link.push_gossip(frame, &self.stats);
+        }
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Sleeps `dur` in `poll_interval` slices so shutdown stays responsive.
+    fn interruptible_sleep(&self, dur: Duration) {
+        let deadline = Instant::now() + dur;
+        while !self.is_shutdown() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return;
+            }
+            std::thread::sleep(left.min(self.cfg.poll_interval));
+        }
+    }
+}
+
+fn configure_stream(stream: &TcpStream, cfg: &TcpConfig) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(cfg.write_timeout))?;
+    Ok(())
+}
+
+fn write_out_frame(stream: &mut TcpStream, frame: &OutFrame) -> io::Result<()> {
+    match frame {
+        OutFrame::Hello(from) => {
+            let body = frame::hello_body(*from);
+            let mut head = (body.len() as u32).to_le_bytes().to_vec();
+            head.extend_from_slice(&body);
+            stream.write_all(&head)
+        }
+        OutFrame::Msg { to, payload } => {
+            // Length prefix + tiny per-destination header in one small
+            // buffer; the payload is the broadcast-shared encoding and is
+            // written straight from the shared allocation.
+            let header = frame::msg_header(*to);
+            let total = (header.len() + payload.len()) as u32;
+            let mut head = total.to_le_bytes().to_vec();
+            head.extend_from_slice(&header);
+            stream.write_all(&head)?;
+            stream.write_all(payload)
+        }
+    }
+}
+
+/// Writes HELLO frames announcing every locally hosted endpoint; called on
+/// every (re)connect so a restarted peer relearns reply routes.
+fn write_hellos(stream: &mut TcpStream, inner: &TcpInner) -> io::Result<()> {
+    let addrs: Vec<Sender> = inner.local_addrs.read().clone();
+    for addr in addrs {
+        write_out_frame(stream, &OutFrame::Hello(addr))?;
+    }
+    Ok(())
+}
+
+/// Writer loop for a dialed (peer-map) link: connects with exponential
+/// backoff, announces local endpoints, drains the queue, reconnects on any
+/// write failure without losing the failed frame.
+fn dialed_writer(inner: &Arc<TcpInner>, link: &Link, peer: SocketAddr) {
+    let mut stream: Option<TcpStream> = None;
+    let mut backoff = inner.cfg.reconnect_min;
+    loop {
+        if inner.is_shutdown() {
+            return;
+        }
+        let frame = match link.pop_wait(inner.cfg.poll_interval) {
+            Popped::Frame(f) => f,
+            Popped::Empty => continue,
+            Popped::Done => return,
+        };
+        loop {
+            if inner.is_shutdown() {
+                return;
+            }
+            if stream.is_none() {
+                match TcpStream::connect_timeout(&peer, inner.cfg.write_timeout) {
+                    Ok(mut s) => {
+                        if configure_stream(&s, &inner.cfg).is_ok()
+                            && write_hellos(&mut s, inner).is_ok()
+                        {
+                            // Links are full-duplex: the peer replies over
+                            // the connection we initiated (that is how
+                            // client processes, which never listen, get
+                            // their replies), so every established stream
+                            // also gets a reader.
+                            if let Ok(rs) = s.try_clone() {
+                                let inner2 = Arc::clone(inner);
+                                inner.spawn("tcp-dial-reader".into(), move || {
+                                    serve_conn(&inner2, rs);
+                                });
+                            }
+                            stream = Some(s);
+                            backoff = inner.cfg.reconnect_min;
+                        } else {
+                            inner.interruptible_sleep(backoff);
+                            backoff = (backoff * 2).min(inner.cfg.reconnect_max);
+                            continue;
+                        }
+                    }
+                    Err(_) => {
+                        inner.interruptible_sleep(backoff);
+                        backoff = (backoff * 2).min(inner.cfg.reconnect_max);
+                        continue;
+                    }
+                }
+            }
+            match write_out_frame(stream.as_mut().expect("stream connected"), &frame) {
+                Ok(()) => break,
+                Err(_) => {
+                    // Connection died (or stalled past the write timeout);
+                    // retry the same frame on a fresh one. Shut the old
+                    // socket down fully so its reader thread — which holds
+                    // a clone of the same connection — sees EOF and exits
+                    // instead of polling a zombie stream forever.
+                    if let Some(dead) = stream.take() {
+                        let _ = dead.shutdown(std::net::Shutdown::Both);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Writer loop for a reverse link (an accepted connection): no reconnect —
+/// if the peer-initiated socket dies, the peer re-dials and re-announces.
+fn reverse_writer(inner: &Arc<TcpInner>, link: &Link, mut stream: TcpStream) {
+    loop {
+        if inner.is_shutdown() {
+            return;
+        }
+        let frame = match link.pop_wait(inner.cfg.poll_interval) {
+            Popped::Frame(f) => f,
+            Popped::Empty => continue,
+            Popped::Done => return,
+        };
+        if write_out_frame(&mut stream, &frame).is_err() {
+            // Fully shut the socket down so the paired serve_conn reader
+            // sees EOF, exits, and removes the stale reverse route —
+            // otherwise replies would keep routing to this closed link
+            // while the connection still looked healthy.
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            link.close();
+            return;
+        }
+    }
+}
+
+/// Reader loop for one accepted connection: parses frames, learns reverse
+/// links from HELLOs, delivers envelopes to local mailboxes.
+fn serve_conn(inner: &Arc<TcpInner>, stream: TcpStream) {
+    if stream.set_nodelay(true).is_err()
+        || stream
+            .set_read_timeout(Some(inner.cfg.poll_interval))
+            .is_err()
+    {
+        return;
+    }
+    let Ok(reader_stream) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = FrameReader::new(reader_stream);
+    // One writer link per connection, shared by every endpoint the peer
+    // announces over it.
+    let mut conn_link: Option<Arc<Link>> = None;
+    let mut announced: Vec<Sender> = Vec::new();
+    while !inner.is_shutdown() {
+        let body = match reader.poll_frame() {
+            Ok(Some(body)) => body,
+            Ok(None) => continue,
+            Err(_) => break, // EOF or transport error: connection is gone
+        };
+        match frame::parse_frame(&body) {
+            Ok(Frame::Hello(from)) => {
+                let link = match &conn_link {
+                    Some(l) => Arc::clone(l),
+                    None => {
+                        let link = Link::new(inner.cfg.queue_capacity);
+                        if let Ok(ws) = stream.try_clone() {
+                            if configure_stream(&ws, &inner.cfg).is_err() {
+                                break;
+                            }
+                            let inner2 = Arc::clone(inner);
+                            let wl = Arc::clone(&link);
+                            inner.spawn("tcp-reverse-writer".into(), move || {
+                                reverse_writer(&inner2, &wl, ws);
+                            });
+                        } else {
+                            break;
+                        }
+                        conn_link = Some(Arc::clone(&link));
+                        link
+                    }
+                };
+                // Latest announcement wins: a restarted client's new
+                // connection replaces the stale route.
+                if let Some(old) = inner.reverse.write().insert(from, link) {
+                    if !conn_link.as_ref().is_some_and(|l| Arc::ptr_eq(l, &old)) {
+                        old.close();
+                    }
+                }
+                announced.push(from);
+            }
+            Ok(Frame::Msg { to, msg }) => inner.deliver(to, msg),
+            Err(_) => break, // protocol violation: drop the connection
+        }
+    }
+    // Tear down routes announced over this connection (unless a newer
+    // connection already replaced them).
+    if let Some(link) = conn_link {
+        link.close();
+        let mut reverse = inner.reverse.write();
+        for addr in announced {
+            if reverse.get(&addr).is_some_and(|l| Arc::ptr_eq(l, &link)) {
+                reverse.remove(&addr);
+            }
+        }
+    }
+}
+
+fn acceptor(inner: &Arc<TcpInner>, listener: TcpListener) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !inner.is_shutdown() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Accepted sockets must block (reads use a timeout).
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let inner2 = Arc::clone(inner);
+                inner.spawn("tcp-conn-reader".into(), move || {
+                    serve_conn(&inner2, stream);
+                });
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(inner.cfg.poll_interval.min(Duration::from_millis(10)));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// A TCP-backed [`Transport`]: one instance per OS process/node.
+///
+/// Call [`TcpTransport::shutdown`] (or `NetHandle::shutdown`) when done —
+/// background threads hold the transport alive until then.
+#[derive(Clone)]
+pub struct TcpTransport {
+    inner: Arc<TcpInner>,
+}
+
+impl fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("listen", &self.inner.local_addr)
+            .field("peers", &self.inner.cfg.peers.len())
+            .finish()
+    }
+}
+
+impl TcpTransport {
+    /// Starts a transport, binding the listener named in `cfg.listen` (if
+    /// any) and spawning the acceptor.
+    ///
+    /// # Errors
+    /// Returns the bind error if the listen address is taken or invalid.
+    pub fn new(cfg: TcpConfig) -> io::Result<TcpTransport> {
+        let listener = match cfg.listen {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
+        Ok(Self::with_listener(cfg, listener))
+    }
+
+    /// Starts a transport over a pre-bound listener (or none). Useful when
+    /// ports are allocated by the OS first (`127.0.0.1:0`) and the peer
+    /// map is assembled from the actual bound addresses.
+    pub fn with_listener(cfg: TcpConfig, listener: Option<TcpListener>) -> TcpTransport {
+        let local_addr = listener.as_ref().and_then(|l| l.local_addr().ok());
+        let inner = Arc::new(TcpInner {
+            cfg,
+            local_addr,
+            mailboxes: RwLock::new(HashMap::new()),
+            local_addrs: RwLock::new(Vec::new()),
+            dialed: RwLock::new(HashMap::new()),
+            reverse: RwLock::new(HashMap::new()),
+            stats: NetworkStats::new(),
+            faults: FaultController::new(),
+            shutdown: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+        });
+        if let Some(listener) = listener {
+            let inner2 = Arc::clone(&inner);
+            inner.spawn("tcp-acceptor".into(), move || {
+                acceptor(&inner2, listener);
+            });
+        }
+        TcpTransport { inner }
+    }
+
+    /// Binds `n` ephemeral loopback listeners and returns the resulting
+    /// peer map plus the listeners (pass each to
+    /// [`TcpTransport::with_listener`] via its replica's config).
+    ///
+    /// # Errors
+    /// Returns the first bind error.
+    pub fn bind_loopback_cluster(n: usize) -> io::Result<(PeerMap, Vec<TcpListener>)> {
+        let mut peers = PeerMap::new();
+        let mut listeners = Vec::with_capacity(n);
+        for i in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            peers.insert(ReplicaId(i as u32), listener.local_addr()?);
+            listeners.push(listener);
+        }
+        Ok((peers, listeners))
+    }
+
+    /// The actually bound listen address, if this transport listens.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.inner.local_addr
+    }
+
+    /// A [`NetHandle`] over this transport.
+    pub fn handle(&self) -> NetHandle {
+        NetHandle::new(Arc::new(self.clone()))
+    }
+
+    /// Registers `addr`, returning its endpoint (convenience mirroring the
+    /// in-memory backend).
+    ///
+    /// # Panics
+    /// Panics if `addr` is already registered on this transport.
+    pub fn register(&self, addr: Sender) -> Endpoint {
+        self.handle().register(addr)
+    }
+
+    /// The shared fault controller (send-side evaluation).
+    pub fn faults(&self) -> &FaultController {
+        &self.inner.faults
+    }
+
+    /// The shared delivery statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.inner.stats
+    }
+
+    /// Routes one envelope to one destination: local mailboxes
+    /// short-circuit the socket entirely (a transport can host several
+    /// endpoints; self-sends behave like in-memory), everything else
+    /// goes through a peer link. `payload` memoizes the serialized bytes
+    /// so a broadcast encodes once no matter how many link destinations.
+    ///
+    /// The one copy of the stats/fault/routing sequence shared by
+    /// `send_from` and `broadcast_from`.
+    fn dispatch_one(
+        &self,
+        from: Sender,
+        to: Sender,
+        msg: &SignedMessage,
+        payload: &mut Option<Arc<Vec<u8>>>,
+    ) -> Result<(), NetworkError> {
+        let local = self.inner.mailboxes.read().contains_key(&to);
+        let link = if local { None } else { self.inner.route_to(to) };
+        if !local && link.is_none() {
+            self.inner.stats.record_dropped();
+            return Err(NetworkError::UnknownDestination(format!("{to:?}")));
+        }
+        self.inner.stats.record_sent(msg.kind(), msg.encoded_len());
+        if self.inner.faults.should_drop(from, to) {
+            self.inner.stats.record_dropped();
+            return Ok(()); // silently dropped, like a real network
+        }
+        match link {
+            None => self.inner.deliver(to, msg.clone()),
+            Some(link) => {
+                // Send-side twin of the reader's MAX_FRAME guard: an
+                // envelope the receiver is guaranteed to reject must not
+                // reach the wire — a dialed writer would otherwise retry
+                // the same doomed frame through endless reconnects,
+                // wedging the link. Dropping it (counted) is the only
+                // deliverable outcome.
+                if msg.encoded_len() + MSG_HEADER_MAX > frame::MAX_FRAME {
+                    self.inner.stats.record_dropped();
+                    return Ok(());
+                }
+                let shared = payload
+                    .get_or_insert_with(|| Arc::new(msg.encode()))
+                    .clone();
+                self.inner.push_out(&link, to, shared);
+            }
+        }
+        Ok(())
+    }
+
+    /// Stops the acceptor, readers and writers, and joins them.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for link in self.inner.dialed.read().values() {
+            link.close();
+        }
+        for link in self.inner.reverse.read().values() {
+            link.close();
+        }
+        // Reader threads spawn writer threads, so drain until quiescent.
+        loop {
+            let handles: Vec<JoinHandle<()>> = self.inner.threads.lock().drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn register_mailbox(&self, addr: Sender) -> Receiver<SignedMessage> {
+        let (tx, rx) = channel::unbounded();
+        let prev = self.inner.mailboxes.write().insert(addr, tx);
+        assert!(prev.is_none(), "address {addr:?} registered twice");
+        self.inner.local_addrs.write().push(addr);
+        // A client eagerly dials every replica and announces itself, so
+        // replicas it has never messaged (PBFT backups replying to a
+        // request sent only to the primary) still have a reply route.
+        if matches!(addr, Sender::Client(_)) {
+            let peers: Vec<(ReplicaId, SocketAddr)> = self.inner.cfg.peers.iter().collect();
+            for (id, peer_addr) in peers {
+                let link = self.inner.dialed_link(id, peer_addr);
+                link.push_reliable(OutFrame::Hello(addr));
+            }
+        }
+        rx
+    }
+
+    fn deregister(&self, addr: Sender) {
+        self.inner.mailboxes.write().remove(&addr);
+        self.inner.local_addrs.write().retain(|a| *a != addr);
+    }
+
+    fn send_from(&self, from: Sender, to: Sender, msg: SignedMessage) -> Result<(), NetworkError> {
+        self.dispatch_one(from, to, &msg, &mut None)
+    }
+
+    fn broadcast_from(
+        &self,
+        from: Sender,
+        to: &[Sender],
+        msg: &SignedMessage,
+    ) -> Result<(), NetworkError> {
+        // Encode once, lazily: a broadcast that is entirely dropped by
+        // fault injection never serializes at all, and n live peers share
+        // one buffer.
+        let mut payload: Option<Arc<Vec<u8>>> = None;
+        let mut first_err = None;
+        for &dest in to {
+            if dest == from {
+                continue; // no self-delivery on broadcast
+            }
+            if let Err(e) = self.dispatch_one(from, dest, msg, &mut payload) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn stats(&self) -> &NetworkStats {
+        &self.inner.stats
+    }
+
+    fn faults(&self) -> &FaultController {
+        &self.inner.faults
+    }
+
+    fn shutdown(&self) {
+        TcpTransport::shutdown(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_common::messages::Message;
+    use rdb_common::{ClientId, SignatureBytes};
+
+    fn r(i: u32) -> Sender {
+        Sender::Replica(ReplicaId(i))
+    }
+
+    fn msg(from: Sender) -> SignedMessage {
+        SignedMessage::new(
+            Message::ClientRequest { txns: vec![] },
+            from,
+            SignatureBytes(vec![3; 8]),
+        )
+    }
+
+    /// Two replica transports wired through a loopback peer map.
+    fn pair() -> (TcpTransport, TcpTransport) {
+        let (peers, mut listeners) = TcpTransport::bind_loopback_cluster(2).unwrap();
+        let t1 = TcpTransport::with_listener(
+            TcpConfig {
+                peers: peers.clone(),
+                ..TcpConfig::default()
+            },
+            Some(listeners.remove(1)),
+        );
+        let t0 = TcpTransport::with_listener(
+            TcpConfig {
+                peers,
+                ..TcpConfig::default()
+            },
+            Some(listeners.remove(0)),
+        );
+        (t0, t1)
+    }
+
+    #[test]
+    fn replica_to_replica_over_sockets() {
+        let (t0, t1) = pair();
+        let a = t0.register(r(0));
+        let b = t1.register(r(1));
+        a.send(r(1), msg(r(0))).unwrap();
+        let got = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got.sender(), r(0));
+        assert_eq!(t0.stats().total_sent(), 1);
+        assert_eq!(t1.stats().total_delivered(), 1);
+        t0.shutdown();
+        t1.shutdown();
+    }
+
+    #[test]
+    fn client_reply_routes_over_reverse_link() {
+        let (t0, t1) = pair();
+        let replica = t0.register(r(0));
+        let client_net =
+            TcpTransport::new(TcpConfig::for_client(t0.inner.cfg.peers.clone())).unwrap();
+        let client = client_net.register(Sender::Client(ClientId(7)));
+        // Client → replica over a dialed link…
+        client.send(r(0), msg(Sender::Client(ClientId(7)))).unwrap();
+        let got = replica.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got.sender(), Sender::Client(ClientId(7)));
+        // …and the replica can reply without the client being in any map,
+        // even though the client never listens.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match replica.send(Sender::Client(ClientId(7)), msg(r(0))) {
+                Ok(()) => break,
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => panic!("no reverse route established: {e}"),
+            }
+        }
+        assert!(client.recv_timeout(Duration::from_secs(5)).is_ok());
+        t0.shutdown();
+        t1.shutdown();
+        client_net.shutdown();
+    }
+
+    #[test]
+    fn local_endpoints_short_circuit() {
+        let t = TcpTransport::new(TcpConfig::default()).unwrap();
+        let a = t.register(Sender::Client(ClientId(1)));
+        let b = t.register(Sender::Client(ClientId(2)));
+        a.send(
+            Sender::Client(ClientId(2)),
+            msg(Sender::Client(ClientId(1))),
+        )
+        .unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
+        t.shutdown();
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let t = TcpTransport::new(TcpConfig::default()).unwrap();
+        let a = t.register(r(0));
+        assert!(matches!(
+            a.send(Sender::Client(ClientId(99)), msg(r(0))),
+            Err(NetworkError::UnknownDestination(_))
+        ));
+        t.shutdown();
+    }
+
+    #[test]
+    fn gossip_overflow_sheds_messages_never_hellos() {
+        let stats = NetworkStats::new();
+        let link = Link::new(2);
+        link.push_reliable(OutFrame::Hello(Sender::Client(ClientId(1))));
+        let msg_frame = |b: u8| OutFrame::Msg {
+            to: r(1),
+            payload: Arc::new(vec![b]),
+        };
+        link.push_gossip(msg_frame(1), &stats);
+        // Queue is at capacity: the overflow victim must be the Msg, not
+        // the routing announcement sitting in front of it.
+        link.push_gossip(msg_frame(2), &stats);
+        assert_eq!(stats.dropped(), 1);
+        match link.pop_wait(Duration::from_millis(10)) {
+            Popped::Frame(OutFrame::Hello(from)) => {
+                assert_eq!(from, Sender::Client(ClientId(1)));
+            }
+            other => panic!(
+                "hello must survive gossip overflow, got {:?}",
+                matches!(other, Popped::Frame(_))
+            ),
+        }
+    }
+
+    #[test]
+    fn shutdown_joins_threads_quickly() {
+        let (t0, t1) = pair();
+        let _a = t0.register(r(0));
+        let _b = t1.register(r(1));
+        let start = Instant::now();
+        t0.shutdown();
+        t1.shutdown();
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+}

@@ -1,24 +1,35 @@
-//! The in-memory switchboard: endpoints, delivery, latency shaping.
+//! The pluggable transport abstraction.
 //!
-//! Delivery is direct channel hand-off when latency is zero; with a
-//! configured latency a background *wire thread* holds messages in a
-//! deadline heap and releases them when due, preserving per-link FIFO
-//! ordering for equal deadlines.
+//! [`Transport`] is what the replica pipeline and client sessions program
+//! against: register an address, get an [`Endpoint`], send/broadcast
+//! [`SignedMessage`]s, observe [`NetworkStats`], inject faults through a
+//! [`FaultController`]. Two backends implement it:
+//!
+//! - [`crate::Network`] — the in-memory switchboard (zero-copy channel
+//!   hand-off, optional modeled latency). The default for tests, examples
+//!   and the simulator-adjacent threaded runtime.
+//! - [`crate::TcpTransport`] — real sockets with length-prefixed framing
+//!   over the canonical [`Wire`](rdb_common::Wire) encoding, one writer
+//!   thread per peer, and reconnect-with-backoff. The substrate for
+//!   multi-process deployments (`rdb-node`).
+//!
+//! Backends deliver inbound messages into per-address crossbeam mailboxes,
+//! so an [`Endpoint`]'s receive side is backend-agnostic and multiple
+//! input threads can drain one mailbox concurrently.
 
 use crate::fault::FaultController;
 use crate::stats::NetworkStats;
-use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender as ChanSender};
-use parking_lot::{Condvar, Mutex, RwLock};
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 use rdb_common::messages::{Sender, SignedMessage};
-use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Errors returned by network operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetworkError {
-    /// Destination address was never registered.
+    /// Destination address was never registered (in-memory) or has no
+    /// route — not in the peer map and no connection announced it (TCP).
     UnknownDestination(String),
     /// The network has been shut down.
     Closed,
@@ -35,158 +46,90 @@ impl fmt::Display for NetworkError {
 
 impl std::error::Error for NetworkError {}
 
-/// Configuration for an in-memory network.
-#[derive(Debug, Clone)]
-pub struct NetworkConfig {
-    /// One-way delivery latency applied to every message.
-    pub latency: Duration,
-    /// Per-endpoint inbound queue bound (`None` = unbounded).
-    pub queue_capacity: Option<usize>,
-}
+/// A message transport connecting replicas and clients.
+///
+/// Object-safe so deployments can choose a backend at runtime; consumers
+/// hold a [`NetHandle`] rather than a concrete network type. Fault
+/// injection is evaluated on the **send side** for both backends: a
+/// message is discarded when the sender's controller says
+/// [`FaultController::should_drop`], which makes drop/partition semantics
+/// identical whether the link is a channel or a socket.
+pub trait Transport: Send + Sync + fmt::Debug {
+    /// Creates the inbound mailbox for `addr` and returns its receiver.
+    ///
+    /// # Panics
+    /// Panics if `addr` is already registered on this transport.
+    fn register_mailbox(&self, addr: Sender) -> Receiver<SignedMessage>;
 
-impl Default for NetworkConfig {
-    fn default() -> Self {
-        NetworkConfig {
-            latency: Duration::ZERO,
-            queue_capacity: None,
-        }
-    }
-}
+    /// Removes `addr`; future sends to it fail or are dropped.
+    fn deregister(&self, addr: Sender);
 
-struct WireEntry {
-    due: Instant,
-    seq: u64,
-    to: Sender,
-    msg: SignedMessage,
-}
+    /// Sends `msg` from `from` to `to`.
+    ///
+    /// # Errors
+    /// Returns [`NetworkError::UnknownDestination`] if the backend has no
+    /// route to `to`. Messages discarded by fault injection do *not*
+    /// error — like a real network, the sender cannot tell.
+    fn send_from(&self, from: Sender, to: Sender, msg: SignedMessage) -> Result<(), NetworkError>;
 
-impl PartialEq for WireEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.due == other.due && self.seq == other.seq
-    }
-}
-impl Eq for WireEntry {}
-impl PartialOrd for WireEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for WireEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse so the BinaryHeap pops the earliest deadline first;
-        // tie-break on sequence for FIFO between equal deadlines.
-        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
-    }
-}
-
-struct NetInner {
-    config: NetworkConfig,
-    mailboxes: RwLock<HashMap<Sender, ChanSender<SignedMessage>>>,
-    stats: NetworkStats,
-    faults: FaultController,
-    wire: Mutex<WireState>,
-    wire_signal: Condvar,
-}
-
-impl NetInner {
-    fn deliver(&self, to: Sender, msg: SignedMessage) {
-        let kind = msg.kind();
-        let mailboxes = self.mailboxes.read();
-        if let Some(tx) = mailboxes.get(&to) {
-            if tx.send(msg).is_ok() {
-                self.stats.record_delivered(kind);
-                return;
+    /// Sends `msg` to every address in `to`, skipping `from` itself.
+    ///
+    /// The default forwards to [`Transport::send_from`] per destination
+    /// (cheap for the in-memory backend: a clone is reference-count
+    /// bumps). The TCP backend overrides this to serialize the envelope
+    /// once and share the encoded bytes across every peer's writer queue.
+    ///
+    /// # Errors
+    /// Returns the first error encountered; remaining destinations are
+    /// still attempted.
+    fn broadcast_from(
+        &self,
+        from: Sender,
+        to: &[Sender],
+        msg: &SignedMessage,
+    ) -> Result<(), NetworkError> {
+        let mut first_err = None;
+        for &dest in to {
+            if dest == from {
+                continue; // no self-delivery on broadcast
+            }
+            if let Err(e) = self.send_from(from, dest, msg.clone()) {
+                first_err.get_or_insert(e);
             }
         }
-        self.stats.record_dropped();
-    }
-}
-
-struct WireState {
-    heap: BinaryHeap<WireEntry>,
-    next_seq: u64,
-    shutdown: bool,
-}
-
-/// An in-memory network connecting replicas and clients.
-///
-/// Cloneable handle; all clones refer to the same switchboard.
-#[derive(Clone)]
-pub struct Network {
-    inner: Arc<NetInner>,
-}
-
-impl fmt::Debug for Network {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Network")
-            .field("endpoints", &self.inner.mailboxes.read().len())
-            .field("latency", &self.inner.config.latency)
-            .finish()
-    }
-}
-
-impl Network {
-    /// Creates a network; if `config.latency` is non-zero, spawns the wire
-    /// thread that delays deliveries.
-    pub fn new(config: NetworkConfig) -> Self {
-        let needs_wire = !config.latency.is_zero();
-        let inner = Arc::new(NetInner {
-            config,
-            mailboxes: RwLock::new(HashMap::new()),
-            stats: NetworkStats::new(),
-            faults: FaultController::new(),
-            wire: Mutex::new(WireState {
-                heap: BinaryHeap::new(),
-                next_seq: 0,
-                shutdown: false,
-            }),
-            wire_signal: Condvar::new(),
-        });
-        if needs_wire {
-            let weak = Arc::downgrade(&inner);
-            std::thread::Builder::new()
-                .name("rdb-net-wire".into())
-                .spawn(move || {
-                    while let Some(inner) = weak.upgrade() {
-                        let mut due_msgs = Vec::new();
-                        {
-                            let mut wire = inner.wire.lock();
-                            if wire.shutdown {
-                                return;
-                            }
-                            let now = Instant::now();
-                            while wire.heap.peek().is_some_and(|e| e.due <= now) {
-                                let e = wire.heap.pop().expect("peeked entry exists");
-                                due_msgs.push((e.to, e.msg));
-                            }
-                            if due_msgs.is_empty() {
-                                match wire.heap.peek().map(|e| e.due) {
-                                    Some(due) => {
-                                        let wait = due.saturating_duration_since(Instant::now());
-                                        inner.wire_signal.wait_for(&mut wire, wait);
-                                    }
-                                    None => {
-                                        inner
-                                            .wire_signal
-                                            .wait_for(&mut wire, Duration::from_millis(50));
-                                    }
-                                }
-                                if wire.shutdown {
-                                    return;
-                                }
-                            }
-                        }
-                        for (to, msg) in due_msgs {
-                            inner.deliver(to, msg);
-                        }
-                        // Drop the strong reference before looping so the
-                        // network can be freed while the thread sleeps.
-                        drop(inner);
-                    }
-                })
-                .expect("spawn wire thread");
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        Network { inner }
+    }
+
+    /// The shared delivery statistics.
+    fn stats(&self) -> &NetworkStats;
+
+    /// The shared fault controller.
+    fn faults(&self) -> &FaultController;
+
+    /// Stops background threads (wire thread, acceptors, writers).
+    fn shutdown(&self);
+}
+
+/// Cloneable handle to a [`Transport`] backend — the currency passed to
+/// `spawn_replica`, client sessions and the fabric.
+#[derive(Clone)]
+pub struct NetHandle {
+    transport: Arc<dyn Transport>,
+}
+
+impl fmt::Debug for NetHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("NetHandle").field(&self.transport).finish()
+    }
+}
+
+impl NetHandle {
+    /// Wraps a transport backend.
+    pub fn new(transport: Arc<dyn Transport>) -> Self {
+        NetHandle { transport }
     }
 
     /// Registers `addr`, returning its endpoint.
@@ -194,68 +137,36 @@ impl Network {
     /// # Panics
     /// Panics if `addr` is already registered.
     pub fn register(&self, addr: Sender) -> Endpoint {
-        let (tx, rx) = match self.inner.config.queue_capacity {
-            Some(cap) => channel::bounded(cap),
-            None => channel::unbounded(),
-        };
-        let prev = self.inner.mailboxes.write().insert(addr, tx);
-        assert!(prev.is_none(), "address {addr:?} registered twice");
         Endpoint {
             addr,
-            rx,
+            rx: self.transport.register_mailbox(addr),
             net: self.clone(),
         }
     }
 
-    /// Removes `addr` from the switchboard (future sends to it error).
+    /// Removes `addr` (future sends to it error or drop).
     pub fn deregister(&self, addr: Sender) {
-        self.inner.mailboxes.write().remove(&addr);
+        self.transport.deregister(addr);
     }
 
     /// The shared fault controller.
     pub fn faults(&self) -> &FaultController {
-        &self.inner.faults
+        self.transport.faults()
     }
 
     /// The shared delivery statistics.
     pub fn stats(&self) -> &NetworkStats {
-        &self.inner.stats
+        self.transport.stats()
     }
 
-    fn send_from(&self, from: Sender, to: Sender, msg: SignedMessage) -> Result<(), NetworkError> {
-        if !self.inner.mailboxes.read().contains_key(&to) {
-            self.inner.stats.record_dropped();
-            return Err(NetworkError::UnknownDestination(format!("{to:?}")));
-        }
-        // `wire_size` is memoized in the envelope, so pricing a broadcast
-        // walks the batch once, not once per destination.
-        self.inner.stats.record_sent(msg.kind(), msg.wire_size());
-        if self.inner.faults.should_drop(from, to) {
-            self.inner.stats.record_dropped();
-            return Ok(()); // silently dropped, like a real network
-        }
-        if self.inner.config.latency.is_zero() {
-            self.inner.deliver(to, msg);
-        } else {
-            let mut wire = self.inner.wire.lock();
-            let seq = wire.next_seq;
-            wire.next_seq += 1;
-            wire.heap.push(WireEntry {
-                due: Instant::now() + self.inner.config.latency,
-                seq,
-                to,
-                msg,
-            });
-            self.inner.wire_signal.notify_one();
-        }
-        Ok(())
-    }
-
-    /// Shuts down the wire thread (no-op for zero-latency networks).
+    /// Shuts down the backend's threads.
     pub fn shutdown(&self) {
-        let mut wire = self.inner.wire.lock();
-        wire.shutdown = true;
-        self.inner.wire_signal.notify_all();
+        self.transport.shutdown();
+    }
+
+    /// The underlying transport object.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 }
 
@@ -263,7 +174,7 @@ impl Network {
 pub struct Endpoint {
     addr: Sender,
     rx: Receiver<SignedMessage>,
-    net: Network,
+    net: NetHandle,
 }
 
 impl fmt::Debug for Endpoint {
@@ -283,36 +194,24 @@ impl Endpoint {
     /// Sends `msg` to `to`.
     ///
     /// # Errors
-    /// Returns [`NetworkError::UnknownDestination`] if `to` was never
-    /// registered. Messages discarded by fault injection do *not* error —
-    /// like a real network, the sender cannot tell.
+    /// Returns [`NetworkError::UnknownDestination`] if the backend has no
+    /// route to `to`. Messages discarded by fault injection do *not*
+    /// error — like a real network, the sender cannot tell.
     pub fn send(&self, to: Sender, msg: SignedMessage) -> Result<(), NetworkError> {
-        self.net.send_from(self.addr, to, msg)
+        self.net.transport.send_from(self.addr, to, msg)
     }
 
     /// Sends `msg` to every address in `to`.
     ///
-    /// The envelope is a shared handle, so the per-destination clone is a
-    /// reference-count bump — one serialization and one batch allocation
-    /// regardless of fan-out.
+    /// The envelope is a shared handle: the in-memory backend bumps a
+    /// reference count per destination, the TCP backend serializes once
+    /// and shares the bytes across all peer writer queues.
     ///
     /// # Errors
     /// Returns the first [`NetworkError`] encountered; remaining
     /// destinations are still attempted.
     pub fn broadcast(&self, to: &[Sender], msg: &SignedMessage) -> Result<(), NetworkError> {
-        let mut first_err = None;
-        for &dest in to {
-            if dest == self.addr {
-                continue; // no self-delivery on broadcast
-            }
-            if let Err(e) = self.send(dest, msg.clone()) {
-                first_err.get_or_insert(e);
-            }
-        }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
+        self.net.transport.broadcast_from(self.addr, to, msg)
     }
 
     /// Blocks until a message arrives.
@@ -323,10 +222,11 @@ impl Endpoint {
         self.rx.recv().map_err(|_| NetworkError::Closed)
     }
 
-    /// Blocks up to `timeout` for a message; `Ok(None)` on timeout.
+    /// Blocks up to `timeout` for a message; errors on timeout.
     ///
     /// # Errors
-    /// Returns [`NetworkError::Closed`] if the network is gone.
+    /// Returns [`NetworkError::Closed`] if the network is gone or nothing
+    /// arrived in time.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<SignedMessage, NetworkError> {
         match self.rx.recv_timeout(timeout) {
             Ok(m) => Ok(m),
@@ -355,8 +255,8 @@ impl Endpoint {
         }
     }
 
-    /// The network this endpoint belongs to.
-    pub fn network(&self) -> &Network {
+    /// The transport this endpoint belongs to.
+    pub fn network(&self) -> &NetHandle {
         &self.net
     }
 }
@@ -365,7 +265,7 @@ impl Endpoint {
 #[derive(Clone)]
 pub struct EndpointSender {
     addr: Sender,
-    net: Network,
+    net: NetHandle,
 }
 
 impl fmt::Debug for EndpointSender {
@@ -385,155 +285,18 @@ impl EndpointSender {
     /// Sends `msg` to `to`.
     ///
     /// # Errors
-    /// Returns [`NetworkError::UnknownDestination`] if `to` was never
-    /// registered.
+    /// Returns [`NetworkError::UnknownDestination`] if the backend has no
+    /// route to `to`.
     pub fn send(&self, to: Sender, msg: SignedMessage) -> Result<(), NetworkError> {
-        self.net.send_from(self.addr, to, msg)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rdb_common::messages::Message;
-    use rdb_common::{ReplicaId, SignatureBytes};
-
-    fn r(i: u32) -> Sender {
-        Sender::Replica(ReplicaId(i))
+        self.net.transport.send_from(self.addr, to, msg)
     }
 
-    fn msg(from: Sender) -> SignedMessage {
-        SignedMessage::new(
-            Message::ClientRequest { txns: vec![] },
-            from,
-            SignatureBytes::empty(),
-        )
-    }
-
-    #[test]
-    fn point_to_point_delivery() {
-        let net = Network::new(NetworkConfig::default());
-        let a = net.register(r(0));
-        let b = net.register(r(1));
-        a.send(r(1), msg(r(0))).unwrap();
-        let got = b.recv_timeout(Duration::from_secs(1)).unwrap();
-        assert_eq!(got.sender(), r(0));
-        assert_eq!(net.stats().total_sent(), 1);
-    }
-
-    #[test]
-    fn broadcast_skips_self() {
-        let net = Network::new(NetworkConfig::default());
-        let eps: Vec<Endpoint> = (0..4).map(|i| net.register(r(i))).collect();
-        let all: Vec<Sender> = (0..4).map(r).collect();
-        eps[0].broadcast(&all, &msg(r(0))).unwrap();
-        assert!(eps[0].try_recv().is_none(), "no self-delivery");
-        for ep in &eps[1..] {
-            assert!(ep.recv_timeout(Duration::from_secs(1)).is_ok());
-        }
-    }
-
-    #[test]
-    fn unknown_destination_errors() {
-        let net = Network::new(NetworkConfig::default());
-        let a = net.register(r(0));
-        assert!(matches!(
-            a.send(r(9), msg(r(0))),
-            Err(NetworkError::UnknownDestination(_))
-        ));
-    }
-
-    #[test]
-    fn crashed_node_receives_nothing() {
-        let net = Network::new(NetworkConfig::default());
-        let a = net.register(r(0));
-        let b = net.register(r(1));
-        net.faults().crash(r(1));
-        a.send(r(1), msg(r(0))).unwrap(); // no error: silent drop
-        assert!(b.try_recv().is_none());
-        assert_eq!(net.stats().dropped(), 1);
-        net.faults().recover(r(1));
-        a.send(r(1), msg(r(0))).unwrap();
-        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
-    }
-
-    #[test]
-    fn latency_delays_delivery() {
-        let net = Network::new(NetworkConfig {
-            latency: Duration::from_millis(30),
-            queue_capacity: None,
-        });
-        let a = net.register(r(0));
-        let b = net.register(r(1));
-        let start = Instant::now();
-        a.send(r(1), msg(r(0))).unwrap();
-        assert!(b.try_recv().is_none(), "must not arrive instantly");
-        let got = b.recv_timeout(Duration::from_secs(2));
-        assert!(got.is_ok());
-        let elapsed = start.elapsed();
-        assert!(
-            elapsed >= Duration::from_millis(25),
-            "arrived after {elapsed:?}"
-        );
-        net.shutdown();
-    }
-
-    #[test]
-    fn latency_preserves_fifo_per_link() {
-        let net = Network::new(NetworkConfig {
-            latency: Duration::from_millis(5),
-            queue_capacity: None,
-        });
-        let a = net.register(r(0));
-        let b = net.register(r(1));
-        for i in 0..20u64 {
-            let m = SignedMessage::new(
-                Message::Checkpoint {
-                    seq: rdb_common::SeqNum(i),
-                    state_digest: rdb_common::Digest::ZERO,
-                    replica: ReplicaId(0),
-                },
-                r(0),
-                SignatureBytes::empty(),
-            );
-            a.send(r(1), m).unwrap();
-        }
-        for i in 0..20u64 {
-            let got = b.recv_timeout(Duration::from_secs(2)).unwrap();
-            assert_eq!(got.msg().seq(), Some(rdb_common::SeqNum(i)));
-        }
-        net.shutdown();
-    }
-
-    #[test]
-    fn deregister_stops_delivery() {
-        let net = Network::new(NetworkConfig::default());
-        let a = net.register(r(0));
-        let _b = net.register(r(1));
-        net.deregister(r(1));
-        assert!(a.send(r(1), msg(r(0))).is_err());
-    }
-
-    #[test]
-    #[should_panic(expected = "registered twice")]
-    fn double_registration_panics() {
-        let net = Network::new(NetworkConfig::default());
-        let _a = net.register(r(0));
-        let _a2 = net.register(r(0));
-    }
-
-    #[test]
-    fn multi_consumer_receiver() {
-        let net = Network::new(NetworkConfig::default());
-        let a = net.register(r(0));
-        let b = net.register(r(1));
-        let rx2 = b.receiver();
-        a.send(r(1), msg(r(0))).unwrap();
-        a.send(r(1), msg(r(0))).unwrap();
-        // Both receivers drain from the same queue.
-        let m1 = b.recv_timeout(Duration::from_secs(1));
-        let m2 = rx2.recv_timeout(Duration::from_secs(1));
-        assert!(m1.is_ok());
-        assert!(m2.is_ok());
+    /// Sends `msg` to every address in `to` (skipping this sender).
+    ///
+    /// # Errors
+    /// Returns the first [`NetworkError`] encountered; remaining
+    /// destinations are still attempted.
+    pub fn broadcast(&self, to: &[Sender], msg: &SignedMessage) -> Result<(), NetworkError> {
+        self.net.transport.broadcast_from(self.addr, to, msg)
     }
 }

@@ -31,7 +31,7 @@ use rdb_common::{
 };
 use rdb_consensus::{Action, ConsensusConfig, ReplicaEngine};
 use rdb_crypto::{digest, CryptoProvider, CryptoStats, KeyRegistry, PeerClass};
-use rdb_net::{EndpointSender, Network};
+use rdb_net::{EndpointSender, NetHandle};
 use rdb_storage::blockchain::ChainMode;
 use rdb_storage::pagedb::{PagedStore, PagedStoreConfig};
 use rdb_storage::{Blockchain, MemStore, StateStore};
@@ -144,7 +144,7 @@ impl ReplicaHandle {
 pub fn spawn_replica(
     config: &SystemConfig,
     id: ReplicaId,
-    net: &Network,
+    net: &NetHandle,
     registry: &KeyRegistry,
 ) -> ReplicaHandle {
     config.validate().expect("invalid system configuration");
@@ -422,6 +422,8 @@ pub fn spawn_replica(
                     last_flush: Instant::now(),
                     inline_exec_buf: BTreeMap::new(),
                     inline_next_exec: SeqNum(1),
+                    stable_checkpoint: SeqNum(0),
+                    pruned_to: SeqNum(0),
                 };
                 while !stop.load(Ordering::Relaxed) {
                     match rx.recv_timeout(poll) {
@@ -692,6 +694,11 @@ struct WorkerCtx {
     /// inline execution stays sequential.
     inline_exec_buf: BTreeMap<SeqNum, ExecuteItem>,
     inline_next_exec: SeqNum,
+    /// Highest stable checkpoint seen; chain pruning up to here is
+    /// retried as execution catches up (it is clamped at the head).
+    stable_checkpoint: SeqNum,
+    /// How far the chain has actually been pruned (tracks the clamp).
+    pruned_to: SeqNum,
 }
 
 impl WorkerCtx {
@@ -727,7 +734,22 @@ impl WorkerCtx {
             Work::Executed { seq, state_digest } => {
                 let actions = self.engine.on_executed(seq, state_digest);
                 self.run_actions(actions);
+                // A checkpoint can stabilize (2f+1 remote checkpoint
+                // messages) while local execution still lags; pruning is
+                // clamped at the chain head then, so retry as execution
+                // advances.
+                self.prune_to_stable();
             }
+        }
+    }
+
+    fn prune_to_stable(&mut self) {
+        // Only lock the chain while pruning genuinely lags the stable
+        // checkpoint — once caught up, this is a field comparison, not a
+        // per-batch acquisition of the mutex the execute path appends
+        // under.
+        if self.stable_checkpoint > self.pruned_to {
+            self.pruned_to = self.chain.lock().prune_below(self.stable_checkpoint);
         }
     }
 
@@ -809,7 +831,9 @@ impl WorkerCtx {
                     });
                 }
                 Action::StableCheckpoint { seq } => {
-                    self.chain.lock().prune_below(seq);
+                    self.stable_checkpoint = self.stable_checkpoint.max(seq);
+                    let pruned = self.chain.lock().prune_below(seq);
+                    self.pruned_to = self.pruned_to.max(pruned);
                 }
                 Action::EnterView { .. } => {
                     // View installation is engine-internal; the runtime has
@@ -835,6 +859,7 @@ impl WorkerCtx {
             self.inline_next_exec = self.inline_next_exec.next();
             let actions = self.engine.on_executed(item.seq, state_digest);
             self.run_actions(actions);
+            self.prune_to_stable();
         }
     }
 }

@@ -71,7 +71,7 @@ impl TestClient {
 
 fn spawn_cluster(cfg: &SystemConfig, net: &Network, registry: &KeyRegistry) -> Vec<ReplicaHandle> {
     (0..cfg.n as u32)
-        .map(|i| spawn_replica(cfg, ReplicaId(i), net, registry))
+        .map(|i| spawn_replica(cfg, ReplicaId(i), &net.handle(), registry))
         .collect()
 }
 

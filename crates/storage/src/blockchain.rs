@@ -148,13 +148,26 @@ impl Blockchain {
 
     /// Discards blocks strictly below `keep_from` (checkpoint GC,
     /// Section 4.7: a stable checkpoint lets replicas clear old blocks).
-    pub fn prune_below(&mut self, keep_from: SeqNum) {
+    ///
+    /// Never prunes past the head: a checkpoint becomes stable from 2f+1
+    /// *remote* checkpoint messages, which can happen while this
+    /// replica's own execution still lags behind the covered sequence —
+    /// advancing the base past the head would make the replica's next
+    /// (perfectly sequential) append look like a gap. The unpruned tail
+    /// is collected by a later checkpoint once execution catches up.
+    ///
+    /// Returns the base after pruning, so callers can tell whether the
+    /// request was clamped (returned base < requested `keep_from`) and
+    /// needs retrying later.
+    pub fn prune_below(&mut self, keep_from: SeqNum) -> SeqNum {
+        let keep_from = SeqNum(keep_from.0.min(self.head_seq().0));
         if keep_from <= self.base_seq {
-            return;
+            return self.base_seq;
         }
         let cut = ((keep_from.0 - self.base_seq.0) as usize).min(self.blocks.len());
         self.blocks.drain(..cut);
         self.base_seq = keep_from;
+        self.base_seq
     }
 
     /// Verifies the retained chain: sequence continuity, certificate
@@ -359,6 +372,40 @@ mod tests {
         // Pruning below the base is a no-op.
         c.prune_below(SeqNum(2));
         assert_eq!(c.block_at(SeqNum(6)).unwrap().seq, SeqNum(6));
+    }
+
+    #[test]
+    fn pruning_past_the_head_clamps_instead_of_gapping() {
+        // Regression: a stable checkpoint (assembled from 2f+1 remote
+        // checkpoints) can cover sequences this replica has not executed
+        // yet. Pruning must clamp at the head so the execute thread's
+        // next append is still `head + 1`, not a phantom gap.
+        let mut c = chain(ChainMode::Certificate);
+        for i in 1..=3u64 {
+            c.append(
+                SeqNum(i),
+                digest(&i.to_le_bytes()),
+                ViewNum(0),
+                cert(3),
+                10,
+                Digest::ZERO,
+            )
+            .unwrap();
+        }
+        c.prune_below(SeqNum(10)); // checkpoint ahead of local execution
+        assert_eq!(c.head_seq(), SeqNum(3), "head must not jump forward");
+        assert_eq!(c.retained(), 1, "the head block itself is kept");
+        // Execution continues exactly where it left off.
+        c.append(
+            SeqNum(4),
+            Digest::ZERO,
+            ViewNum(0),
+            cert(3),
+            10,
+            Digest::ZERO,
+        )
+        .unwrap();
+        assert!(c.verify().is_ok());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! cargo run --release --example protocol_comparison
 //! ```
 
-use rdb_common::{ProtocolKind, ReplicaId, ThreadConfig};
+use rdb_common::{MessageKind, ProtocolKind, ReplicaId, ThreadConfig};
 use rdb_pipeline::Stage;
 use resilientdb::{run_closed_loop, SystemBuilder};
 use std::time::Duration;
@@ -22,8 +22,35 @@ fn threaded_measurement(protocol: ProtocolKind) -> resilientdb::Measurement {
         .build()
         .expect("valid configuration");
     let m = run_closed_loop(&db, 3, 30, Duration::from_secs(2));
+    print_wire_breakdown(protocol, &db);
     db.shutdown();
     m
+}
+
+/// Per-kind message and bytes-on-wire breakdown. The byte counts come
+/// from the exact canonical encoding (`Wire::encoded_len`) of every sent
+/// envelope, so the same table is directly comparable between the
+/// in-memory switchboard and a TCP deployment.
+fn print_wire_breakdown(protocol: ProtocolKind, db: &resilientdb::ResilientDb) {
+    let stats = db.network().stats();
+    println!("\n-- wire traffic by message kind ({}) --", protocol.name());
+    for kind in MessageKind::ALL {
+        let sent = stats.sent(kind);
+        if sent == 0 {
+            continue;
+        }
+        let bytes = stats.bytes_for(kind);
+        println!(
+            "{kind:>14?}: {sent:>7} msgs, {bytes:>10} bytes ({:>5} B/msg)",
+            bytes / sent
+        );
+    }
+    println!(
+        "{:>14}: {:>7} msgs, {:>10} bytes",
+        "total",
+        stats.total_sent(),
+        stats.bytes_sent()
+    );
 }
 
 /// Runs PBFT on the parallel-execution pipeline and prints the primary's

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Installs the Rust toolchain pinned in rust-toolchain.toml and verifies
+# that it is what the repository actually resolves to — CI must test the
+# pinned compiler, not whatever `rustup default stable` happens to be.
+# Fails the job if the pin and the active toolchain diverge.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+channel=$(sed -n 's/^channel *= *"\(.*\)"/\1/p' rust-toolchain.toml)
+if [ -z "$channel" ]; then
+  echo "::error::rust-toolchain.toml has no channel pin" >&2
+  exit 1
+fi
+
+# Components listed in the pin (e.g. rustfmt, clippy).
+components=$(sed -n 's/^components *= *\[\(.*\)\]/\1/p' rust-toolchain.toml | tr -d '" ' | tr ',' ' ')
+
+if rustup toolchain list | awk '{print $1}' | grep -q "^${channel}\(-\|$\)"; then
+  # Already present (e.g. preinstalled on the runner): just make sure the
+  # pinned components exist, without a channel re-sync.
+  echo "pinned toolchain '$channel' already installed"
+  for c in $components; do
+    rustup component add --toolchain "$channel" "$c"
+  done
+else
+  install_args=(--profile minimal)
+  for c in $components; do
+    install_args+=(--component "$c")
+  done
+  echo "installing pinned toolchain '$channel' (components:${components:+ $components})"
+  rustup toolchain install "$channel" "${install_args[@]}"
+fi
+
+# rustup resolves rust-toolchain.toml automatically inside the repo; the
+# active toolchain here must be the pin (channel aliases like `stable`
+# resolve to `stable-<target>`).
+active=$(rustup show active-toolchain | head -n1 | awk '{print $1}')
+case "$active" in
+  "$channel" | "$channel"-*) ;;
+  *)
+    echo "::error::active toolchain '$active' diverges from rust-toolchain.toml pin '$channel'" >&2
+    exit 1
+    ;;
+esac
+
+echo "active toolchain: $active ($(rustc --version))"
