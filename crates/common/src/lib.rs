@@ -24,6 +24,7 @@ pub mod config;
 pub mod error;
 pub mod ids;
 pub mod messages;
+pub mod options;
 pub mod peers;
 pub mod quorum;
 pub mod transaction;
@@ -34,5 +35,6 @@ pub use config::{CryptoScheme, ProtocolKind, StorageMode, SystemConfig, ThreadCo
 pub use error::{CommonError, Result};
 pub use ids::{ClientId, Digest, ReplicaId, SeqNum, SignatureBytes, TxnId, ViewNum};
 pub use messages::{Message, MessageKind};
+pub use options::{NetOptions, NodeOptions, TransportMode};
 pub use peers::PeerMap;
 pub use transaction::{Batch, Operation, ReadWriteSet, Transaction};

@@ -1,0 +1,549 @@
+//! Unified node configuration: one layered options struct for every way
+//! a node comes up.
+//!
+//! Historically the knobs were scattered — `SystemConfig` (consensus +
+//! threads) lived here, `TransportMode`/`NodeConfig` in the fabric, TCP
+//! queue sizes in `rdb_net::TcpConfig`, and `rdb-node` re-plumbed all of
+//! them through ad-hoc flags. [`NodeOptions`] consolidates them:
+//!
+//! ```text
+//! NodeOptions
+//! ├── system: SystemConfig    consensus, batching, threads, crypto, storage
+//! ├── net:    NetOptions      transport mode + reactor/queue sizing
+//! ├── peers:  PeerMap         replica id → TCP address (empty ⇒ in-memory)
+//! ├── client_keys             client identities to derive keys for
+//! └── seed                    deterministic key-generation seed
+//! ```
+//!
+//! `SystemBuilder`, `start_replica`, `connect_client` and the `rdb-node`
+//! binary all consume the same struct, and [`NodeOptions::validate`] is
+//! the single place cross-field consistency is checked. The `rdb-node`
+//! config file carries a `[node]` section parsed by
+//! [`NodeOptions::apply_toml`] alongside the existing `[peers]` section.
+
+use crate::config::{CryptoScheme, ProtocolKind, SystemConfig, ThreadConfig};
+use crate::error::{CommonError, Result};
+use crate::peers::PeerMap;
+use std::time::Duration;
+
+/// Which transport backend a deployment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportMode {
+    /// The in-memory switchboard: fastest, zero-copy, the default for
+    /// tests and simulation-adjacent runs.
+    #[default]
+    InMemory,
+    /// Real TCP sockets driven by the nonblocking reactor — loopback
+    /// inside one process or a genuine multi-process cluster; every
+    /// message crosses a socket with length-prefixed framing either way.
+    Tcp,
+}
+
+impl TransportMode {
+    /// The pre-reactor name for socket transport, kept so older call
+    /// sites compile: loopback stopped being a separate mode once the
+    /// same reactor served single- and multi-process clusters.
+    #[deprecated(since = "0.1.0", note = "use `TransportMode::Tcp`")]
+    #[allow(non_upper_case_globals)]
+    pub const TcpLoopback: TransportMode = TransportMode::Tcp;
+}
+
+/// Transport sizing: how much machinery the node's network backend runs.
+///
+/// Only meaningful for [`TransportMode::Tcp`] except `latency_us`, which
+/// models a one-way delay on the in-memory switchboard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetOptions {
+    /// Which backend to run.
+    pub mode: TransportMode,
+    /// Reactor event-loop threads per TCP transport. Two loops drive a
+    /// replica mesh comfortably; swarm-scale client hosts may want more.
+    pub event_loops: usize,
+    /// Per-link outbound frame budget for replica gossip (drop-oldest
+    /// under overflow).
+    pub queue_capacity: usize,
+    /// Per-link outbound frame budget for client connections
+    /// (backpressured, never shed).
+    pub client_queue_capacity: usize,
+    /// Modeled one-way latency in microseconds (in-memory backend only;
+    /// sockets pay whatever the kernel charges).
+    pub latency_us: u64,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            mode: TransportMode::InMemory,
+            event_loops: 2,
+            queue_capacity: 4_096,
+            client_queue_capacity: 4_096,
+            latency_us: 0,
+        }
+    }
+}
+
+impl NetOptions {
+    /// The modeled latency as a [`Duration`].
+    pub fn latency(&self) -> Duration {
+        Duration::from_micros(self.latency_us)
+    }
+}
+
+/// Everything a node needs to come up, in one place — see the module
+/// docs for the layering.
+///
+/// All processes of one cluster must agree on `system`, `client_keys`
+/// and `seed`, so every node derives the same key registry.
+#[derive(Debug, Clone)]
+pub struct NodeOptions {
+    /// The cluster-wide system configuration (`n` must equal the peer
+    /// map's size when the map is non-empty).
+    pub system: SystemConfig,
+    /// Transport selection and sizing.
+    pub net: NetOptions,
+    /// Replica id → TCP address, identical on every node. Empty for
+    /// purely in-memory deployments.
+    pub peers: PeerMap,
+    /// Client identities to generate keys for.
+    pub client_keys: usize,
+    /// Deterministic key-generation seed shared by all nodes.
+    pub seed: u64,
+}
+
+/// The laptop-scale defaults shared by both constructors (the paper-scale
+/// population lives in the simulator, not the threaded runtime).
+fn scale_down(system: &mut SystemConfig) {
+    system.num_clients = 8;
+    system.table_size = 4_096;
+}
+
+impl NodeOptions {
+    /// Options for a TCP cluster of `peers.len()` replicas with
+    /// laptop-scale defaults.
+    ///
+    /// # Errors
+    /// Returns `InvalidConfig` if the map is not a dense `0..n`
+    /// membership of at least 4 replicas.
+    pub fn new(peers: PeerMap) -> Result<Self> {
+        peers.validate_dense()?;
+        let mut system = SystemConfig::new(peers.len())?;
+        scale_down(&mut system);
+        Ok(NodeOptions {
+            system,
+            net: NetOptions {
+                mode: TransportMode::Tcp,
+                ..NetOptions::default()
+            },
+            peers,
+            client_keys: 8,
+            seed: 42,
+        })
+    }
+
+    /// Options for an in-memory deployment of `n` replicas with
+    /// laptop-scale defaults.
+    ///
+    /// # Errors
+    /// Returns `InvalidConfig` if `n < 4`.
+    pub fn in_memory(n: usize) -> Result<Self> {
+        let mut system = SystemConfig::new(n)?;
+        scale_down(&mut system);
+        Ok(NodeOptions {
+            system,
+            net: NetOptions::default(),
+            peers: PeerMap::new(),
+            client_keys: 8,
+            seed: 42,
+        })
+    }
+
+    // --- builder methods ---------------------------------------------------
+
+    /// Sets the consensus protocol.
+    pub fn protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.system.protocol = protocol;
+        self
+    }
+
+    /// Sets transactions per consensus batch.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.system.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the signing scheme.
+    pub fn crypto(mut self, crypto: CryptoScheme) -> Self {
+        self.system.crypto = crypto;
+        self
+    }
+
+    /// Sets the storage backend.
+    pub fn storage(mut self, storage: crate::config::StorageMode) -> Self {
+        self.system.storage = storage;
+        self
+    }
+
+    /// Sets the thread allocation (the `xE yB` knob of Figure 8).
+    pub fn threads(mut self, threads: ThreadConfig) -> Self {
+        self.system.threads = threads;
+        self
+    }
+
+    /// Sets the number of pre-loaded table records.
+    pub fn table_size(mut self, records: u64) -> Self {
+        self.system.table_size = records;
+        self
+    }
+
+    /// Sets the checkpoint interval Δ (in transactions).
+    pub fn checkpoint_interval(mut self, txns: u64) -> Self {
+        self.system.checkpoint_interval = txns;
+        self
+    }
+
+    /// Number of client identities to generate keys for (also sizes the
+    /// modeled client population).
+    pub fn client_keys(mut self, clients: usize) -> Self {
+        self.client_keys = clients;
+        self.system.num_clients = clients;
+        self
+    }
+
+    /// Seed for deterministic key generation.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the transport backend.
+    pub fn transport(mut self, mode: TransportMode) -> Self {
+        self.net.mode = mode;
+        self
+    }
+
+    /// One-way modeled latency (in-memory backend only).
+    pub fn latency(mut self, latency: Duration) -> Self {
+        self.net.latency_us = latency.as_micros() as u64;
+        self
+    }
+
+    /// Reactor event-loop threads per TCP transport.
+    pub fn event_loops(mut self, loops: usize) -> Self {
+        self.net.event_loops = loops;
+        self
+    }
+
+    /// Per-link gossip queue budget (drop-oldest overflow).
+    pub fn queue_capacity(mut self, frames: usize) -> Self {
+        self.net.queue_capacity = frames;
+        self
+    }
+
+    /// Per-link client queue budget (backpressured, never shed).
+    pub fn client_queue_capacity(mut self, frames: usize) -> Self {
+        self.net.client_queue_capacity = frames;
+        self
+    }
+
+    // --- validation --------------------------------------------------------
+
+    /// Checks the whole option tree for consistency — the single
+    /// validation point every launch path goes through.
+    ///
+    /// # Errors
+    /// Returns `InvalidConfig` on any inconsistent knob: the system
+    /// config's own rules, a peer map that is non-dense or disagrees
+    /// with `n`, a TCP mode with zero event loops or queue budgets, or a
+    /// zero client-key population.
+    pub fn validate(&self) -> Result<()> {
+        self.system.validate()?;
+        if !self.peers.is_empty() {
+            self.peers.validate_dense()?;
+            if self.peers.len() != self.system.n {
+                return Err(CommonError::InvalidConfig(format!(
+                    "peer map has {} replicas but the system config says n={}",
+                    self.peers.len(),
+                    self.system.n
+                )));
+            }
+        }
+        if self.net.mode == TransportMode::Tcp {
+            if self.net.event_loops == 0 {
+                return Err(CommonError::InvalidConfig(
+                    "event_loops must be positive for the TCP transport".into(),
+                ));
+            }
+            if self.net.queue_capacity == 0 || self.net.client_queue_capacity == 0 {
+                return Err(CommonError::InvalidConfig(
+                    "TCP queue capacities must be positive".into(),
+                ));
+            }
+        }
+        if self.client_keys == 0 {
+            return Err(CommonError::InvalidConfig(
+                "need at least one client key".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    // --- config-file support ------------------------------------------------
+
+    /// Applies a `[node]` section from the same minimal TOML subset the
+    /// peer map uses, overriding the current values:
+    ///
+    /// ```toml
+    /// [node]
+    /// protocol = "zyzzyva"        # or "pbft"
+    /// crypto = "cmac-ed25519"     # "nocrypto" | "ed25519" | "rsa"
+    /// batch_size = 100
+    /// checkpoint_interval = 10000
+    /// client_keys = 64
+    /// seed = 42
+    /// table_size = 65536
+    /// event_loops = 2
+    /// queue_capacity = 4096
+    /// client_queue_capacity = 4096
+    /// ```
+    ///
+    /// Files without a `[node]` section are a no-op, so a bare peer map
+    /// keeps working.
+    ///
+    /// # Errors
+    /// Returns `InvalidConfig` on malformed lines, bad values, or keys
+    /// this version does not know (typos must not silently configure
+    /// nothing).
+    pub fn apply_toml(&mut self, text: &str) -> Result<()> {
+        let mut in_node = false;
+        for raw in text.lines() {
+            let line = match raw.split_once('#') {
+                Some((before, _)) => before.trim(),
+                None => raw.trim(),
+            };
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_node = line == "[node]";
+                continue;
+            }
+            if !in_node {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                CommonError::InvalidConfig(format!("node line '{line}' is not key = value"))
+            })?;
+            let key = key.trim();
+            let value = value.trim().trim_matches('"');
+            self.apply_key(key, value)?;
+        }
+        Ok(())
+    }
+
+    fn apply_key(&mut self, key: &str, value: &str) -> Result<()> {
+        let bad = |what: &str| {
+            CommonError::InvalidConfig(format!("node key '{key}': bad {what} '{value}'"))
+        };
+        match key {
+            "protocol" => {
+                self.system.protocol = match value.to_ascii_lowercase().as_str() {
+                    "pbft" => ProtocolKind::Pbft,
+                    "zyzzyva" => ProtocolKind::Zyzzyva,
+                    _ => return Err(bad("protocol")),
+                }
+            }
+            "crypto" => {
+                self.system.crypto = match value.to_ascii_lowercase().as_str() {
+                    "nocrypto" | "none" => CryptoScheme::NoCrypto,
+                    "ed25519" => CryptoScheme::Ed25519,
+                    "rsa" => CryptoScheme::Rsa,
+                    "cmac-ed25519" | "cmac_ed25519" | "cmac+ed25519" => CryptoScheme::CmacEd25519,
+                    _ => return Err(bad("crypto scheme")),
+                }
+            }
+            "batch_size" => self.system.batch_size = value.parse().map_err(|_| bad("integer"))?,
+            "checkpoint_interval" => {
+                self.system.checkpoint_interval = value.parse().map_err(|_| bad("integer"))?
+            }
+            "client_keys" => {
+                let keys: usize = value.parse().map_err(|_| bad("integer"))?;
+                self.client_keys = keys;
+                self.system.num_clients = keys;
+            }
+            "seed" => self.seed = value.parse().map_err(|_| bad("integer"))?,
+            "table_size" => self.system.table_size = value.parse().map_err(|_| bad("integer"))?,
+            "event_loops" => self.net.event_loops = value.parse().map_err(|_| bad("integer"))?,
+            "queue_capacity" => {
+                self.net.queue_capacity = value.parse().map_err(|_| bad("integer"))?
+            }
+            "client_queue_capacity" => {
+                self.net.client_queue_capacity = value.parse().map_err(|_| bad("integer"))?
+            }
+            _ => {
+                return Err(CommonError::InvalidConfig(format!(
+                    "unknown [node] key '{key}'"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds cluster options from a config file holding a `[peers]`
+    /// section (required) and an optional `[node]` section.
+    ///
+    /// # Errors
+    /// Returns `InvalidConfig` if the file cannot be read, either
+    /// section is malformed, or the resulting options fail validation.
+    pub fn from_file(path: &std::path::Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            CommonError::InvalidConfig(format!("cannot read node config {}: {e}", path.display()))
+        })?;
+        let peers = PeerMap::parse_toml(&text)?;
+        let mut opts = NodeOptions::new(peers)?;
+        opts.apply_toml(&text)?;
+        opts.validate()?;
+        Ok(opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ReplicaId;
+
+    fn four_peers() -> PeerMap {
+        let mut map = PeerMap::new();
+        for i in 0..4u32 {
+            map.insert(
+                ReplicaId(i),
+                format!("127.0.0.1:{}", 7000 + i).parse().unwrap(),
+            );
+        }
+        map
+    }
+
+    #[test]
+    fn cluster_constructor_matches_old_node_config_defaults() {
+        let opts = NodeOptions::new(four_peers()).unwrap();
+        assert_eq!(opts.system.n, 4);
+        assert_eq!(opts.system.num_clients, 8);
+        assert_eq!(opts.system.table_size, 4_096);
+        assert_eq!(opts.client_keys, 8);
+        assert_eq!(opts.seed, 42);
+        assert_eq!(opts.net.mode, TransportMode::Tcp);
+        assert!(opts.validate().is_ok());
+    }
+
+    #[test]
+    fn in_memory_constructor_defaults() {
+        let opts = NodeOptions::in_memory(4).unwrap();
+        assert_eq!(opts.net.mode, TransportMode::InMemory);
+        assert!(opts.peers.is_empty());
+        assert!(opts.validate().is_ok());
+        assert!(NodeOptions::in_memory(3).is_err());
+    }
+
+    #[test]
+    fn builders_layer_over_system_and_net() {
+        let opts = NodeOptions::in_memory(4)
+            .unwrap()
+            .protocol(ProtocolKind::Zyzzyva)
+            .batch_size(50)
+            .client_keys(32)
+            .seed(7)
+            .transport(TransportMode::Tcp)
+            .event_loops(4)
+            .queue_capacity(128)
+            .client_queue_capacity(256)
+            .latency(Duration::from_micros(150));
+        assert_eq!(opts.system.protocol, ProtocolKind::Zyzzyva);
+        assert_eq!(opts.system.batch_size, 50);
+        assert_eq!(opts.system.num_clients, 32);
+        assert_eq!(opts.client_keys, 32);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.net.event_loops, 4);
+        assert_eq!(opts.net.queue_capacity, 128);
+        assert_eq!(opts.net.client_queue_capacity, 256);
+        assert_eq!(opts.net.latency(), Duration::from_micros(150));
+        assert!(opts.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_is_centralized() {
+        // Peer map vs n disagreement.
+        let mut opts = NodeOptions::new(four_peers()).unwrap();
+        opts.system = SystemConfig::new(7).unwrap();
+        assert!(opts.validate().is_err());
+
+        // TCP sizing.
+        let opts = NodeOptions::new(four_peers()).unwrap().event_loops(0);
+        assert!(opts.validate().is_err());
+        let opts = NodeOptions::new(four_peers()).unwrap().queue_capacity(0);
+        assert!(opts.validate().is_err());
+
+        // System-level rules still apply through the same entry point.
+        let opts = NodeOptions::in_memory(4).unwrap().batch_size(0);
+        assert!(opts.validate().is_err());
+    }
+
+    #[test]
+    fn node_section_round_trips_through_toml() {
+        let text = r#"
+[node]
+protocol = "zyzzyva"
+crypto = "ed25519"
+batch_size = 25
+client_keys = 64
+seed = 9
+table_size = 100000
+event_loops = 3
+queue_capacity = 512
+client_queue_capacity = 1024
+
+[peers]
+0 = "127.0.0.1:7100"
+1 = "127.0.0.1:7101"
+2 = "127.0.0.1:7102"
+3 = "127.0.0.1:7103"
+"#;
+        let peers = PeerMap::parse_toml(text).unwrap();
+        let mut opts = NodeOptions::new(peers).unwrap();
+        opts.apply_toml(text).unwrap();
+        assert_eq!(opts.system.protocol, ProtocolKind::Zyzzyva);
+        assert_eq!(opts.system.crypto, CryptoScheme::Ed25519);
+        assert_eq!(opts.system.batch_size, 25);
+        assert_eq!(opts.client_keys, 64);
+        assert_eq!(opts.system.num_clients, 64);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.system.table_size, 100_000);
+        assert_eq!(opts.net.event_loops, 3);
+        assert_eq!(opts.net.queue_capacity, 512);
+        assert_eq!(opts.net.client_queue_capacity, 1024);
+        assert!(opts.validate().is_ok());
+    }
+
+    #[test]
+    fn missing_node_section_is_a_no_op() {
+        let mut opts = NodeOptions::new(four_peers()).unwrap();
+        let before = opts.clone();
+        opts.apply_toml("[peers]\n0 = \"127.0.0.1:7000\"\n")
+            .unwrap();
+        assert_eq!(opts.system, before.system);
+        assert_eq!(opts.seed, before.seed);
+    }
+
+    #[test]
+    fn unknown_and_malformed_node_keys_rejected() {
+        let mut opts = NodeOptions::new(four_peers()).unwrap();
+        assert!(opts.apply_toml("[node]\nbatchsize = 10\n").is_err());
+        assert!(opts.apply_toml("[node]\nbatch_size = ten\n").is_err());
+        assert!(opts.apply_toml("[node]\nprotocol = \"raft\"\n").is_err());
+        assert!(opts.apply_toml("[node]\njust a line\n").is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_loopback_alias_still_names_tcp() {
+        assert_eq!(TransportMode::TcpLoopback, TransportMode::Tcp);
+    }
+}

@@ -2,39 +2,66 @@
 //!
 //! A replica process runs the full pipeline over the TCP transport and
 //! reports progress on stdout; a client process submits a closed-loop
-//! write workload and exits when it completes. All processes must agree
-//! on the peer map, seed and crypto scheme so they derive identical keys.
+//! write workload and exits when it completes; a swarm process multiplexes
+//! thousands of client sessions — each with its own dedicated socket to
+//! the primary — onto a few shard threads. All processes must agree on
+//! the peer map, seed and crypto scheme so they derive identical keys.
+//!
+//! Configuration is the unified `NodeOptions`: the `--peers` file may
+//! carry a `[node]` section alongside `[peers]`, and the individual flags
+//! below override it (they predate the section and are kept as aliases).
 //!
 //! ```text
 //! # replica 0 of a 4-replica cluster
-//! rdb-node --replica 0 --peers 0=127.0.0.1:7000,1=127.0.0.1:7001,\
-//!          2=127.0.0.1:7002,3=127.0.0.1:7003 --exit-after-txns 200
+//! rdb-node --replica 0 --peers cluster.toml --exit-after-txns 2000
 //!
-//! # the client driving it
+//! # a closed-loop client
 //! rdb-node --client --peers cluster.toml --txns 200
+//!
+//! # a 1000-client swarm, 2 txns each
+//! rdb-node --swarm 1000 --peers cluster.toml --txns-per-client 2
+//!
+//! # the same swarm against an in-process in-memory fabric (reference
+//! # run for digest comparison)
+//! rdb-node --swarm 1000 --mem --peers cluster.toml --txns-per-client 2
 //! ```
 //!
-//! Replica output protocol (consumed by the loopback smoke harness):
+//! Replica output protocol (consumed by the smoke harnesses):
 //!
 //! ```text
 //! READY replica=0 listen=127.0.0.1:7000
 //! STATE replica=0 executed=120 digest=ab…   (periodic)
 //! FINAL replica=0 executed=200 digest=ab…   (once --exit-after-txns is reached)
 //! ```
+//!
+//! Swarm output (one line, plus FINAL lines per replica in `--mem` mode):
+//!
+//! ```text
+//! SWARM clients=1000 submitted=2000 committed=2000 elapsed_ms=813 \
+//!       tps=2460.0 p50_us=41000 p95_us=95000 p99_us=120000
+//! ```
 
-use rdb_common::{ClientId, CryptoScheme, PeerMap, ProtocolKind, ReplicaId};
-use resilientdb::{connect_client, start_replica, NodeConfig};
+use rdb_common::{ClientId, CryptoScheme, NodeOptions, PeerMap, ProtocolKind, ReplicaId};
+use resilientdb::{
+    connect_client, run_swarm, start_replica, swarm_net, SwarmConfig, SwarmReport, SystemBuilder,
+};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 struct Args {
     role: Role,
     peers: PeerMap,
-    protocol: ProtocolKind,
-    crypto: CryptoScheme,
-    batch_size: usize,
-    client_keys: usize,
-    seed: u64,
+    /// Raw text of the `--peers` file (if it was a file): carries the
+    /// optional `[node]` section.
+    config_text: Option<String>,
+    // [node]-equivalent flag overrides (None = not given, use file/default)
+    protocol: Option<ProtocolKind>,
+    crypto: Option<CryptoScheme>,
+    batch_size: Option<usize>,
+    client_keys: Option<usize>,
+    seed: Option<u64>,
+    table_size: Option<u64>,
+    event_loops: Option<usize>,
     // replica knobs
     exit_after_txns: Option<u64>,
     report_every_ms: u64,
@@ -45,24 +72,33 @@ struct Args {
     txns: u64,
     burst: Option<usize>,
     wait_secs: u64,
+    // swarm knobs
+    txns_per_client: u64,
+    shards: usize,
+    first_client: u64,
+    mem: bool,
 }
 
 enum Role {
     Replica(ReplicaId),
     Client,
+    Swarm(usize),
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rdb-node (--replica <id> | --client) --peers <spec|file> [options]
+        "usage: rdb-node (--replica <id> | --client | --swarm <n>) --peers <spec|file> [options]
 
 options:
-  --peers <spec|file>     0=host:port,1=host:port,… or a TOML file with [peers]
+  --peers <spec|file>     0=host:port,1=host:port,… or a TOML file with
+                          [peers] and an optional [node] section
   --protocol <p>          pbft (default) | zyzzyva
   --crypto <c>            cmac (default) | ed25519 | rsa | nocrypto
   --batch-size <n>        transactions per consensus batch (default 20)
   --client-keys <n>       client identities to derive keys for (default 8)
   --seed <n>              deterministic key seed, identical cluster-wide (default 42)
+  --table-size <n>        pre-loaded table records (default 4096)
+  --event-loops <n>       reactor threads per TCP transport (default 2)
 
 replica options:
   --exit-after-txns <n>   print FINAL and exit once n txns executed
@@ -74,7 +110,16 @@ client options:
   --client-id <n>         which client identity to use (default 0)
   --txns <n>              total transactions to submit (default 100)
   --burst <n>             transactions per request (default: batch size)
-  --wait-secs <n>         per-burst completion deadline (default 60)"
+  --wait-secs <n>         per-burst completion deadline (default 60)
+
+swarm options:
+  --txns-per-client <n>   transactions each swarm client submits (default 2)
+  --shards <n>            threads multiplexing the sessions (default 8)
+  --first-client <n>      first client id of this process's range (default 0)
+  --mem                   run against an in-process in-memory fabric instead
+                          of the TCP cluster (reference run; prints FINAL
+                          digest lines for every replica)
+  --wait-secs <n>         overall swarm deadline (default 60)"
     );
     std::process::exit(2);
 }
@@ -83,11 +128,14 @@ fn parse_args() -> Args {
     let mut args = Args {
         role: Role::Client,
         peers: PeerMap::new(),
-        protocol: ProtocolKind::Pbft,
-        crypto: CryptoScheme::CmacEd25519,
-        batch_size: 20,
-        client_keys: 8,
-        seed: 42,
+        config_text: None,
+        protocol: None,
+        crypto: None,
+        batch_size: None,
+        client_keys: None,
+        seed: None,
+        table_size: None,
+        event_loops: None,
         exit_after_txns: None,
         report_every_ms: 1_000,
         run_secs: 600,
@@ -96,6 +144,10 @@ fn parse_args() -> Args {
         txns: 100,
         burst: None,
         wait_secs: 60,
+        txns_per_client: 2,
+        shards: 8,
+        first_client: 0,
+        mem: false,
     };
     let mut role = None;
     let mut it = std::env::args().skip(1);
@@ -128,12 +180,23 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--replica" => role = Some(Role::Replica(ReplicaId(parsed!()))),
             "--client" => role = Some(Role::Client),
+            "--swarm" => role = Some(Role::Swarm(parsed!())),
             "--peers" => {
                 let v = value!();
                 let parsed = if v.contains('=') {
                     PeerMap::parse_flag(&v)
                 } else {
-                    PeerMap::from_file(std::path::Path::new(&v))
+                    match std::fs::read_to_string(&v) {
+                        Ok(text) => {
+                            let p = PeerMap::parse_toml(&text);
+                            args.config_text = Some(text);
+                            p
+                        }
+                        Err(e) => {
+                            eprintln!("rdb-node: cannot read {v}: {e}");
+                            std::process::exit(2);
+                        }
+                    }
                 };
                 match parsed {
                     Ok(p) => args.peers = p,
@@ -145,25 +208,27 @@ fn parse_args() -> Args {
             }
             "--protocol" => {
                 let v = value!();
-                args.protocol = match v.as_str() {
+                args.protocol = Some(match v.as_str() {
                     "pbft" => ProtocolKind::Pbft,
                     "zyzzyva" => ProtocolKind::Zyzzyva,
                     _ => bad(&flag, &v),
-                };
+                });
             }
             "--crypto" => {
                 let v = value!();
-                args.crypto = match v.as_str() {
+                args.crypto = Some(match v.as_str() {
                     "cmac" => CryptoScheme::CmacEd25519,
                     "ed25519" => CryptoScheme::Ed25519,
                     "rsa" => CryptoScheme::Rsa,
                     "nocrypto" => CryptoScheme::NoCrypto,
                     _ => bad(&flag, &v),
-                };
+                });
             }
-            "--batch-size" => args.batch_size = parsed!(),
-            "--client-keys" => args.client_keys = parsed!(),
-            "--seed" => args.seed = parsed!(),
+            "--batch-size" => args.batch_size = Some(parsed!()),
+            "--client-keys" => args.client_keys = Some(parsed!()),
+            "--seed" => args.seed = Some(parsed!()),
+            "--table-size" => args.table_size = Some(parsed!()),
+            "--event-loops" => args.event_loops = Some(parsed!()),
             "--exit-after-txns" => args.exit_after_txns = Some(parsed!()),
             "--report-every-ms" => args.report_every_ms = parsed!(),
             "--run-secs" => args.run_secs = parsed!(),
@@ -172,6 +237,10 @@ fn parse_args() -> Args {
             "--txns" => args.txns = parsed!(),
             "--burst" => args.burst = Some(parsed!()),
             "--wait-secs" => args.wait_secs = parsed!(),
+            "--txns-per-client" => args.txns_per_client = parsed!(),
+            "--shards" => args.shards = parsed!(),
+            "--first-client" => args.first_client = parsed!(),
+            "--mem" => args.mem = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("rdb-node: unknown flag '{other}'");
@@ -186,25 +255,55 @@ fn parse_args() -> Args {
     args
 }
 
-fn node_config(args: &Args) -> NodeConfig {
-    let mut node = match NodeConfig::new(args.peers.clone()) {
-        Ok(n) => n,
-        Err(e) => {
-            eprintln!("rdb-node: {e}");
-            std::process::exit(2);
-        }
+/// Layers the unified options: constructor defaults, then the config
+/// file's `[node]` section, then explicit flag overrides — one validate
+/// at the end.
+fn node_options(args: &Args) -> NodeOptions {
+    let fail = |e: rdb_common::CommonError| -> ! {
+        eprintln!("rdb-node: {e}");
+        std::process::exit(2);
     };
-    node.system.protocol = args.protocol;
-    node.system.crypto = args.crypto;
-    node.system.batch_size = args.batch_size;
-    node.client_keys = args.client_keys;
-    node.system.num_clients = args.client_keys;
-    node.seed = args.seed;
+    let mut node = match NodeOptions::new(args.peers.clone()) {
+        Ok(n) => n,
+        Err(e) => fail(e),
+    };
+    // The binary's historical default batch size (smoke-test scale).
+    node.system.batch_size = 20;
+    if let Some(text) = &args.config_text {
+        if let Err(e) = node.apply_toml(text) {
+            fail(e);
+        }
+    }
+    if let Some(p) = args.protocol {
+        node.system.protocol = p;
+    }
+    if let Some(c) = args.crypto {
+        node.system.crypto = c;
+    }
+    if let Some(b) = args.batch_size {
+        node.system.batch_size = b;
+    }
+    if let Some(k) = args.client_keys {
+        node.client_keys = k;
+        node.system.num_clients = k;
+    }
+    if let Some(s) = args.seed {
+        node.seed = s;
+    }
+    if let Some(t) = args.table_size {
+        node.system.table_size = t;
+    }
+    if let Some(l) = args.event_loops {
+        node.net.event_loops = l;
+    }
+    if let Err(e) = node.validate() {
+        fail(e);
+    }
     node
 }
 
 fn run_replica(args: &Args, id: ReplicaId) -> ExitCode {
-    let node_cfg = node_config(args);
+    let node_cfg = node_options(args);
     let node = match start_replica(&node_cfg, id) {
         Ok(n) => n,
         Err(e) => {
@@ -261,7 +360,7 @@ fn run_replica(args: &Args, id: ReplicaId) -> ExitCode {
 }
 
 fn run_client(args: &Args) -> ExitCode {
-    let node_cfg = node_config(args);
+    let node_cfg = node_options(args);
     let (mut session, net) = match connect_client(&node_cfg, ClientId(args.client_id)) {
         Ok(x) => x,
         Err(e) => {
@@ -269,7 +368,7 @@ fn run_client(args: &Args) -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    let burst = args.burst.unwrap_or(args.batch_size).max(1) as u64;
+    let burst = args.burst.unwrap_or(node_cfg.system.batch_size).max(1) as u64;
     let wait = Duration::from_secs(args.wait_secs);
     let table = node_cfg.system.table_size;
     let mut done: u64 = 0;
@@ -298,10 +397,126 @@ fn run_client(args: &Args) -> ExitCode {
     }
 }
 
+fn print_swarm(report: &SwarmReport) {
+    println!(
+        "SWARM clients={} submitted={} committed={} elapsed_ms={} tps={:.1} p50_us={} p95_us={} p99_us={}",
+        report.clients,
+        report.submitted,
+        report.committed,
+        report.elapsed.as_millis(),
+        report.tps(),
+        report.p50_us,
+        report.p95_us,
+        report.p99_us,
+    );
+}
+
+fn run_swarm_mode(args: &Args, clients: usize) -> ExitCode {
+    let node_cfg = node_options(args);
+    let cfg = SwarmConfig {
+        clients,
+        txns_per_client: args.txns_per_client,
+        burst: args.burst.unwrap_or(args.txns_per_client.max(1) as usize),
+        shards: args.shards,
+        first_client: args.first_client,
+        deadline: Duration::from_secs(args.wait_secs),
+    };
+    let total = clients as u64 * args.txns_per_client;
+    // The swarm needs a key per client id and a unique table slot per
+    // transaction (digest determinism). These are cluster-wide agreements,
+    // so they must be raised explicitly — in the [node] section or flags —
+    // rather than silently bumped on this process alone.
+    let top_id = args.first_client + clients as u64;
+    if (node_cfg.client_keys as u64) < top_id {
+        eprintln!(
+            "rdb-node: swarm needs client_keys >= {top_id} (have {}); set client_keys \
+             in the [node] section or --client-keys on every process",
+            node_cfg.client_keys
+        );
+        return ExitCode::from(2);
+    }
+    let keyspace = top_id * args.txns_per_client;
+    if node_cfg.system.table_size < keyspace {
+        eprintln!(
+            "rdb-node: swarm needs table_size >= {keyspace} (have {}); set table_size \
+             in the [node] section or --table-size on every process",
+            node_cfg.system.table_size
+        );
+        return ExitCode::from(2);
+    }
+
+    if args.mem {
+        // Reference run: the same swarm shape against an in-process
+        // in-memory fabric, printing FINAL digest lines so a TCP run can
+        // be digest-compared against it.
+        let db = match SystemBuilder::from_options(
+            node_cfg.transport(rdb_common::TransportMode::InMemory),
+        )
+        .build()
+        {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("rdb-node: cannot build in-memory fabric: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        let report = db.run_swarm(&cfg);
+        print_swarm(&report);
+        // Let every replica finish executing before reading digests.
+        let deadline = Instant::now() + Duration::from_secs(args.wait_secs);
+        let n = db.replica_count();
+        loop {
+            let counts: Vec<u64> = (0..n as u32)
+                .map(|i| db.executed_txns(ReplicaId(i)))
+                .collect();
+            if counts.iter().all(|&c| c >= total) || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        for (i, digest) in db.state_digests().iter().enumerate() {
+            let executed = db.executed_txns(ReplicaId(i as u32));
+            println!("FINAL replica={i} executed={executed} digest={digest}");
+        }
+        db.shutdown();
+        return if report.committed == total {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "rdb-node: swarm committed {}/{total} transactions",
+                report.committed
+            );
+            ExitCode::from(1)
+        };
+    }
+
+    let net = match swarm_net(&node_cfg, ReplicaId(0)) {
+        Ok(net) => net,
+        Err(e) => {
+            eprintln!("rdb-node: cannot start swarm transport: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let registry = resilientdb::registry_for(&node_cfg);
+    let report = run_swarm(&net, &registry, &node_cfg.system, &cfg);
+    print_swarm(&report);
+    net.shutdown();
+    if report.committed == total {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "rdb-node: swarm committed {}/{total} transactions",
+            report.committed
+        );
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     match args.role {
         Role::Replica(id) => run_replica(&args, id),
         Role::Client => run_client(&args),
+        Role::Swarm(n) => run_swarm_mode(&args, n),
     }
 }

@@ -33,6 +33,9 @@ pub struct ClientSession {
     counter: u64,
     results: HashMap<u64, Vec<u8>>,
     last_progress: Instant,
+    /// Requests that have distributed a Zyzzyva commit certificate and are
+    /// waiting on `LocalCommit` acknowledgements.
+    cc_counters: Vec<u64>,
 }
 
 impl fmt::Debug for ClientSession {
@@ -75,6 +78,7 @@ impl ClientSession {
             counter: 0,
             results: HashMap::new(),
             last_progress: Instant::now(),
+            cc_counters: Vec::new(),
         }
     }
 
@@ -124,7 +128,9 @@ impl ClientSession {
         let sm = SignedMessage::sign_with(msg, Sender::Client(self.id), |bytes| {
             self.provider.sign(PeerClass::Replica, bytes)
         });
-        let _ = self.endpoint.send(Sender::Replica(self.primary), sm);
+        // Requests ride the reliable client surface: under load the swarm
+        // backpressures rather than losing submissions.
+        let _ = self.endpoint.send_direct(Sender::Replica(self.primary), sm);
     }
 
     /// Number of requests still awaiting completion.
@@ -148,7 +154,7 @@ impl ClientSession {
         for r in 0..self.n as u32 {
             let _ = self
                 .endpoint
-                .send(Sender::Replica(ReplicaId(r)), sm.clone());
+                .send_direct(Sender::Replica(ReplicaId(r)), sm.clone());
         }
     }
 
@@ -169,8 +175,50 @@ impl ClientSession {
                     let sm = SignedMessage::sign_with(msg, Sender::Client(self.id), |bytes| {
                         self.provider.sign(PeerClass::Replica, bytes)
                     });
-                    let _ = self.endpoint.send(Sender::Replica(r), sm);
+                    let _ = self.endpoint.send_direct(Sender::Replica(r), sm);
                 }
+            }
+        }
+        completed
+    }
+
+    /// Feeds one inbound envelope through the protocol tracker; returns
+    /// requests completed by it.
+    fn on_message(&mut self, sm: SignedMessage) -> usize {
+        let acts = match (&mut self.tracker, sm.msg()) {
+            (Tracker::Pbft(p), Message::ClientReply { .. }) => p.on_reply(&sm),
+            (Tracker::Zyzzyva(z), Message::SpecResponse { .. }) => z.on_spec_response(&sm),
+            (Tracker::Zyzzyva(z), Message::LocalCommit { .. }) => {
+                // The acknowledgement carries only the sequence; offer it to
+                // every request that distributed a certificate.
+                let mut acts = Vec::new();
+                for &c in &self.cc_counters {
+                    acts.extend(z.on_local_commit(c, &sm));
+                }
+                acts
+            }
+            _ => Vec::new(),
+        };
+        self.handle_actions(acts)
+    }
+
+    /// Quiet-period bookkeeping: if Zyzzyva's fast path has stalled past the
+    /// client timeout, distribute commit certificates for every pending
+    /// request. Returns requests completed by the fallback.
+    fn on_quiet(&mut self) -> usize {
+        let mut completed = 0;
+        if let Tracker::Zyzzyva(z) = &mut self.tracker {
+            if self.last_progress.elapsed() > ZYZZYVA_CLIENT_TIMEOUT {
+                let mut acts = Vec::new();
+                for c in 0..self.counter {
+                    let a = z.on_timeout(c);
+                    if !a.is_empty() {
+                        self.cc_counters.push(c);
+                        acts.extend(a);
+                    }
+                }
+                completed += self.handle_actions(acts);
+                self.last_progress = Instant::now();
             }
         }
         completed
@@ -184,49 +232,31 @@ impl ClientSession {
         let start = Instant::now();
         let mut completed = 0;
         self.last_progress = Instant::now();
-        let mut cc_counters: Vec<u64> = Vec::new();
         while self.pending() > 0 && start.elapsed() < deadline {
-            let msg = self.endpoint.recv_timeout(Duration::from_millis(50));
-            match msg {
-                Ok(sm) => {
-                    let acts = match (&mut self.tracker, sm.msg()) {
-                        (Tracker::Pbft(p), Message::ClientReply { .. }) => p.on_reply(&sm),
-                        (Tracker::Zyzzyva(z), Message::SpecResponse { .. }) => {
-                            z.on_spec_response(&sm)
-                        }
-                        (Tracker::Zyzzyva(z), Message::LocalCommit { .. }) => {
-                            // The acknowledgement carries only the sequence;
-                            // offer it to every request that distributed a
-                            // certificate.
-                            let mut acts = Vec::new();
-                            for &c in &cc_counters {
-                                acts.extend(z.on_local_commit(c, &sm));
-                            }
-                            acts
-                        }
-                        _ => Vec::new(),
-                    };
-                    completed += self.handle_actions(acts);
-                }
-                Err(_) => {
-                    // Quiet period: if Zyzzyva's fast path has stalled,
-                    // fire the client timeout on every pending request.
-                    if let Tracker::Zyzzyva(z) = &mut self.tracker {
-                        if self.last_progress.elapsed() > ZYZZYVA_CLIENT_TIMEOUT {
-                            let mut acts = Vec::new();
-                            for c in 0..self.counter {
-                                let a = z.on_timeout(c);
-                                if !a.is_empty() {
-                                    cc_counters.push(c);
-                                    acts.extend(a);
-                                }
-                            }
-                            completed += self.handle_actions(acts);
-                            self.last_progress = Instant::now();
-                        }
-                    }
-                }
+            match self.endpoint.recv_timeout(Duration::from_millis(50)) {
+                Ok(sm) => completed += self.on_message(sm),
+                Err(_) => completed += self.on_quiet(),
             }
+        }
+        completed
+    }
+
+    /// Non-blocking progress pump for swarm drivers multiplexing thousands
+    /// of sessions on one thread: drains whatever replies have arrived,
+    /// fires the Zyzzyva timeout fallback if the session has gone quiet,
+    /// and returns immediately. Returns requests completed by this call.
+    pub fn poll_progress(&mut self) -> usize {
+        let mut completed = 0;
+        let mut saw_any = false;
+        while let Some(sm) = self.endpoint.try_recv() {
+            saw_any = true;
+            completed += self.on_message(sm);
+            if self.pending() == 0 {
+                break;
+            }
+        }
+        if !saw_any && self.pending() > 0 {
+            completed += self.on_quiet();
         }
         completed
     }

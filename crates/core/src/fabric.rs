@@ -2,19 +2,24 @@
 //!
 //! [`SystemBuilder`] configures and launches a replica set — over the
 //! in-memory switchboard (the default) or over real TCP loopback sockets
-//! ([`TransportMode::TcpLoopback`]), still inside one process.
-//! [`ResilientDb`] is the running deployment handle — create client
-//! sessions, inject faults, inspect chains, shut down.
+//! ([`TransportMode::Tcp`]), still inside one process. [`ResilientDb`] is
+//! the running deployment handle — create client sessions, inject faults,
+//! inspect chains, shut down.
 //!
-//! For genuine multi-process clusters, [`NodeConfig`] plus
-//! [`start_replica`]/[`connect_client`] launch a *single* node against a
-//! shared peer address map; the `rdb-node` binary is a thin CLI over
-//! exactly these entry points.
+//! For genuine multi-process clusters, [`NodeOptions`]
+//! (`rdb_common::NodeOptions`) plus [`start_replica`]/[`connect_client`]
+//! launch a *single* node against a shared peer address map; the
+//! `rdb-node` binary is a thin CLI over exactly these entry points.
+//!
+//! Every launch path consumes the same [`NodeOptions`] struct and goes
+//! through its single `validate()` — the builder here is a fluent shell
+//! over it.
 
 use crate::client::ClientSession;
 use rdb_common::messages::Sender;
 use rdb_common::{
-    ClientId, CryptoScheme, Digest, PeerMap, ProtocolKind, ReplicaId, StorageMode, SystemConfig,
+    ClientId, CryptoScheme, Digest, NodeOptions, ProtocolKind, ReplicaId, StorageMode,
+    SystemConfig, TransportMode,
 };
 use rdb_crypto::KeyRegistry;
 use rdb_net::{NetHandle, Network, NetworkConfig, TcpConfig, TcpTransport};
@@ -22,18 +27,14 @@ use rdb_pipeline::{spawn_replica, ReplicaHandle, ReplicaShared, SaturationReport
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Which transport backend an in-process deployment runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum TransportMode {
-    /// The in-memory switchboard: fastest, zero-copy, the default for
-    /// tests and simulation-adjacent runs.
-    #[default]
-    InMemory,
-    /// Real TCP sockets over 127.0.0.1, one transport per replica plus
-    /// one for clients — every message crosses a genuine socket with
-    /// length-prefixed framing, exactly as a multi-process cluster would
-    /// send it.
-    TcpLoopback,
+/// Derives the key registry every node of a deployment must agree on.
+pub fn registry_for(opts: &NodeOptions) -> KeyRegistry {
+    KeyRegistry::generate(
+        opts.system.crypto,
+        opts.system.n,
+        opts.client_keys,
+        opts.seed,
+    )
 }
 
 /// Builder for a [`ResilientDb`] deployment.
@@ -54,11 +55,7 @@ pub enum TransportMode {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SystemBuilder {
-    config: SystemConfig,
-    client_keys: usize,
-    latency: Duration,
-    seed: u64,
-    transport: TransportMode,
+    opts: NodeOptions,
 }
 
 impl SystemBuilder {
@@ -68,91 +65,91 @@ impl SystemBuilder {
     /// # Panics
     /// Panics if `n < 4`.
     pub fn new(n: usize) -> Self {
-        let mut config = SystemConfig::new(n).expect("need at least 4 replicas");
-        // Laptop-scale defaults; the paper-scale population lives in the
-        // simulator, not the threaded runtime.
-        config.num_clients = 8;
-        config.table_size = 4_096;
         SystemBuilder {
-            config,
-            client_keys: 8,
-            latency: Duration::ZERO,
-            seed: 42,
-            transport: TransportMode::InMemory,
+            opts: NodeOptions::in_memory(n).expect("need at least 4 replicas"),
         }
+    }
+
+    /// Starts a builder from fully formed options.
+    pub fn from_options(opts: NodeOptions) -> Self {
+        SystemBuilder { opts }
     }
 
     /// Sets the consensus protocol.
     pub fn protocol(mut self, protocol: ProtocolKind) -> Self {
-        self.config.protocol = protocol;
+        self.opts = self.opts.protocol(protocol);
         self
     }
 
     /// Sets transactions per consensus batch.
     pub fn batch_size(mut self, batch_size: usize) -> Self {
-        self.config.batch_size = batch_size;
+        self.opts = self.opts.batch_size(batch_size);
         self
     }
 
     /// Sets the signing scheme.
     pub fn crypto(mut self, crypto: CryptoScheme) -> Self {
-        self.config.crypto = crypto;
+        self.opts = self.opts.crypto(crypto);
         self
     }
 
     /// Sets the storage backend.
     pub fn storage(mut self, storage: StorageMode) -> Self {
-        self.config.storage = storage;
+        self.opts = self.opts.storage(storage);
         self
     }
 
     /// Sets the thread allocation (the `xE yB` knob of Figure 8).
     pub fn threads(mut self, threads: rdb_common::ThreadConfig) -> Self {
-        self.config.threads = threads;
+        self.opts = self.opts.threads(threads);
         self
     }
 
     /// Sets the number of pre-loaded table records.
     pub fn table_size(mut self, records: u64) -> Self {
-        self.config.table_size = records;
+        self.opts = self.opts.table_size(records);
         self
     }
 
     /// Sets the checkpoint interval Δ (in transactions).
     pub fn checkpoint_interval(mut self, txns: u64) -> Self {
-        self.config.checkpoint_interval = txns;
+        self.opts = self.opts.checkpoint_interval(txns);
         self
     }
 
     /// Number of client identities to generate keys for.
     pub fn client_keys(mut self, clients: usize) -> Self {
-        self.client_keys = clients;
-        self.config.num_clients = clients;
+        self.opts = self.opts.client_keys(clients);
         self
     }
 
     /// One-way network latency between all nodes (in-memory backend only;
     /// TCP loopback pays whatever the kernel charges).
     pub fn latency(mut self, latency: Duration) -> Self {
-        self.latency = latency;
+        self.opts = self.opts.latency(latency);
         self
     }
 
     /// Seed for deterministic key generation.
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.opts = self.opts.seed(seed);
         self
     }
 
     /// Selects the transport backend (default: in-memory).
     pub fn transport(mut self, transport: TransportMode) -> Self {
-        self.transport = transport;
+        self.opts = self.opts.transport(transport);
         self
     }
 
-    /// Access to the underlying config for advanced tweaks.
+    /// Access to the underlying system config for advanced tweaks.
     pub fn config_mut(&mut self) -> &mut SystemConfig {
-        &mut self.config
+        &mut self.opts.system
+    }
+
+    /// Access to the full option tree for advanced tweaks.
+    pub fn options_mut(&mut self) -> &mut NodeOptions {
+        &mut self.opts
     }
 
     /// Launches the deployment: generates keys, starts the transport(s)
@@ -163,25 +160,22 @@ impl SystemBuilder {
     /// or an `InvalidConfig` error if the TCP loopback sockets cannot be
     /// bound.
     pub fn build(self) -> Result<ResilientDb, rdb_common::CommonError> {
-        self.config.validate()?;
-        let registry = KeyRegistry::generate(
-            self.config.crypto,
-            self.config.n,
-            self.client_keys,
-            self.seed,
-        );
-        let (replica_nets, client_net) = match self.transport {
+        let opts = self.opts;
+        opts.validate()?;
+        let registry = registry_for(&opts);
+        let config = opts.system.clone();
+        let (replica_nets, client_net) = match opts.net.mode {
             TransportMode::InMemory => {
                 let net = Network::new(NetworkConfig {
-                    latency: self.latency,
+                    latency: opts.net.latency(),
                     queue_capacity: None,
                 })
                 .handle();
-                (vec![net.clone(); self.config.n], net)
+                (vec![net.clone(); config.n], net)
             }
-            TransportMode::TcpLoopback => {
-                let (peers, listeners) = TcpTransport::bind_loopback_cluster(self.config.n)
-                    .map_err(|e| {
+            TransportMode::Tcp => {
+                let (peers, listeners) =
+                    TcpTransport::bind_loopback_cluster(config.n).map_err(|e| {
                         rdb_common::CommonError::InvalidConfig(format!(
                             "cannot bind loopback cluster: {e}"
                         ))
@@ -194,29 +188,26 @@ impl SystemBuilder {
                                 listen: listener.local_addr().ok(),
                                 peers: peers.clone(),
                                 ..TcpConfig::default()
-                            },
+                            }
+                            .with_options(&opts.net),
                             Some(listener),
                         )
                         .handle()
                     })
                     .collect();
-                let client_net =
-                    TcpTransport::with_listener(TcpConfig::for_client(peers), None).handle();
+                let client_net = TcpTransport::with_listener(
+                    TcpConfig::for_client(peers).with_options(&opts.net),
+                    None,
+                )
+                .handle();
                 (replica_nets, client_net)
             }
         };
-        let replicas: Vec<ReplicaHandle> = (0..self.config.n as u32)
-            .map(|i| {
-                spawn_replica(
-                    &self.config,
-                    ReplicaId(i),
-                    &replica_nets[i as usize],
-                    &registry,
-                )
-            })
+        let replicas: Vec<ReplicaHandle> = (0..config.n as u32)
+            .map(|i| spawn_replica(&config, ReplicaId(i), &replica_nets[i as usize], &registry))
             .collect();
         Ok(ResilientDb {
-            config: self.config,
+            config,
             registry,
             replica_nets,
             client_net,
@@ -355,6 +346,12 @@ impl ResilientDb {
         self.replicas[id.as_usize()].shared().metrics.report()
     }
 
+    /// Runs a multiplexed client swarm against this deployment — the
+    /// in-process counterpart of `rdb-node --swarm` (see [`crate::swarm`]).
+    pub fn run_swarm(&self, cfg: &crate::swarm::SwarmConfig) -> crate::swarm::SwarmReport {
+        crate::swarm::run_swarm(&self.client_net, &self.registry, &self.config, cfg)
+    }
+
     /// Stops every replica and the transport(s).
     pub fn shutdown(self) {
         for r in self.replicas {
@@ -371,52 +368,10 @@ impl ResilientDb {
 // Multi-process deployment: one node per OS process.
 // ---------------------------------------------------------------------------
 
-/// Everything a single node of a multi-process cluster needs to know:
-/// the shared system configuration, the replica address map, and the key
-/// generation parameters (all processes must agree on `seed` and
-/// `client_keys`, so every node derives the same [`KeyRegistry`]).
-#[derive(Debug, Clone)]
-pub struct NodeConfig {
-    /// The cluster-wide system configuration (`n` must equal the peer
-    /// map's size).
-    pub system: SystemConfig,
-    /// Replica id → TCP address, identical on every node.
-    pub peers: PeerMap,
-    /// Client identities to generate keys for.
-    pub client_keys: usize,
-    /// Deterministic key-generation seed shared by all nodes.
-    pub seed: u64,
-}
-
-impl NodeConfig {
-    /// A node configuration for `peers.len()` replicas with the fabric's
-    /// laptop-scale defaults.
-    ///
-    /// # Errors
-    /// Returns `InvalidConfig` if the map is not a dense `0..n` membership
-    /// of at least 4 replicas.
-    pub fn new(peers: PeerMap) -> Result<Self, rdb_common::CommonError> {
-        peers.validate_dense()?;
-        let mut system = SystemConfig::new(peers.len())?;
-        system.num_clients = 8;
-        system.table_size = 4_096;
-        Ok(NodeConfig {
-            system,
-            peers,
-            client_keys: 8,
-            seed: 42,
-        })
-    }
-
-    fn registry(&self) -> KeyRegistry {
-        KeyRegistry::generate(
-            self.system.crypto,
-            self.system.n,
-            self.client_keys,
-            self.seed,
-        )
-    }
-}
+/// The old name for what is now the unified [`NodeOptions`] — same
+/// fields, same `new(peers)` constructor, one extra `net` layer.
+#[deprecated(since = "0.1.0", note = "use `NodeOptions` (re-exported here)")]
+pub type NodeConfig = NodeOptions;
 
 /// A single replica process: its pipeline plus its TCP transport.
 pub struct ReplicaNode {
@@ -455,10 +410,11 @@ impl ReplicaNode {
 /// node.
 ///
 /// # Errors
-/// Returns an error if `id` is missing from the map, the map is
-/// inconsistent with `system.n`, or the listener cannot be bound.
-pub fn start_replica(node: &NodeConfig, id: ReplicaId) -> std::io::Result<ReplicaNode> {
+/// Returns an error if the options fail validation, `id` is missing from
+/// the map, or the listener cannot be bound.
+pub fn start_replica(node: &NodeOptions, id: ReplicaId) -> std::io::Result<ReplicaNode> {
     let invalid = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, m);
+    node.validate().map_err(|e| invalid(e.to_string()))?;
     if node.peers.len() != node.system.n {
         return Err(invalid(format!(
             "peer map has {} replicas but the system config says n={}",
@@ -469,9 +425,10 @@ pub fn start_replica(node: &NodeConfig, id: ReplicaId) -> std::io::Result<Replic
     if node.peers.get(id).is_none() {
         return Err(invalid(format!("replica {id} is not in the peer map")));
     }
-    let transport = TcpTransport::new(TcpConfig::for_replica(id, node.peers.clone()))?;
+    let transport =
+        TcpTransport::new(TcpConfig::for_replica(id, node.peers.clone()).with_options(&node.net))?;
     let net = transport.handle();
-    let handle = spawn_replica(&node.system, id, &net, &node.registry());
+    let handle = spawn_replica(&node.system, id, &net, &registry_for(node));
     Ok(ReplicaNode { net, handle })
 }
 
@@ -481,8 +438,29 @@ pub fn start_replica(node: &NodeConfig, id: ReplicaId) -> std::io::Result<Replic
 ///
 /// # Errors
 /// Returns an error if the peer map is empty.
+/// Creates the swarm-mode client transport for a multi-process cluster:
+/// no listener, shared links to every replica, and one *dedicated*
+/// connection per registered client endpoint to `primary` — so an
+/// N-client swarm exercises N real sockets. Pair with
+/// [`crate::swarm::run_swarm`].
+///
+/// # Errors
+/// Returns an error if the options fail validation or the peer map is
+/// empty or missing `primary`.
+pub fn swarm_net(node: &NodeOptions, primary: ReplicaId) -> std::io::Result<NetHandle> {
+    let invalid = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, m);
+    node.validate().map_err(|e| invalid(e.to_string()))?;
+    if node.peers.get(primary).is_none() {
+        return Err(invalid(format!("primary {primary} is not in the peer map")));
+    }
+    let transport = TcpTransport::new(
+        TcpConfig::for_swarm(node.peers.clone(), primary).with_options(&node.net),
+    )?;
+    Ok(transport.handle())
+}
+
 pub fn connect_client(
-    node: &NodeConfig,
+    node: &NodeOptions,
     id: ClientId,
 ) -> std::io::Result<(ClientSession, NetHandle)> {
     if node.peers.is_empty() {
@@ -491,12 +469,13 @@ pub fn connect_client(
             "peer map is empty",
         ));
     }
-    let transport = TcpTransport::new(TcpConfig::for_client(node.peers.clone()))?;
+    let transport =
+        TcpTransport::new(TcpConfig::for_client(node.peers.clone()).with_options(&node.net))?;
     let net = transport.handle();
     let session = ClientSession::connect(
         id,
         &net,
-        &node.registry(),
+        &registry_for(node),
         node.system.protocol,
         node.system.f,
         ReplicaId(0),

@@ -48,13 +48,17 @@
 pub mod bench_driver;
 pub mod client;
 pub mod fabric;
+pub mod swarm;
 
 pub use bench_driver::{run_closed_loop, Measurement};
 pub use client::ClientSession;
+#[allow(deprecated)]
+pub use fabric::NodeConfig;
 pub use fabric::{
-    connect_client, start_replica, NodeConfig, ReplicaNode, ResilientDb, SystemBuilder,
-    TransportMode,
+    connect_client, registry_for, start_replica, swarm_net, ReplicaNode, ResilientDb, SystemBuilder,
 };
+pub use rdb_common::{NetOptions, NodeOptions, TransportMode};
+pub use swarm::{run_swarm, SwarmConfig, SwarmReport};
 
 /// Re-export of the shared types crate.
 pub use rdb_common as common;
@@ -127,10 +131,10 @@ mod tests {
     #[test]
     fn quickstart_over_tcp_loopback() {
         // The same fabric, every message over a real socket: an
-        // in-process cluster on TransportMode::TcpLoopback must commit
-        // and converge exactly like the in-memory default.
+        // in-process cluster on TransportMode::Tcp must commit and
+        // converge exactly like the in-memory default.
         let db = SystemBuilder::new(4)
-            .transport(TransportMode::TcpLoopback)
+            .transport(TransportMode::Tcp)
             .batch_size(5)
             .table_size(256)
             .client_keys(1)

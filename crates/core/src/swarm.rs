@@ -1,0 +1,249 @@
+//! Client-swarm driver: thousands of concurrent sessions from one process.
+//!
+//! The paper's experiments run up to 80K clients against a 4–91 replica
+//! cluster. A thread per client does not scale to that population, so the
+//! swarm driver multiplexes many [`ClientSession`]s onto a small pool of
+//! shard threads, pumping each session with the non-blocking
+//! [`ClientSession::poll_progress`] instead of a blocking wait. Over the
+//! TCP transport in swarm mode (`TcpConfig::dedicated_to`), every session
+//! still owns a real socket to the primary — an N-client swarm exercises
+//! N concurrent connections through the reactor.
+//!
+//! The workload is deterministic and interleaving-independent: client
+//! `c` writes keys `c*txns_per_client ..` exactly once each, so the final
+//! state digest depends only on the set of committed transactions, never
+//! on commit order — which lets a multi-process run be digest-compared
+//! against an in-memory reference run of the same shape.
+
+use crate::client::ClientSession;
+use rdb_common::{ClientId, ReplicaId, SystemConfig};
+use rdb_crypto::KeyRegistry;
+use rdb_net::NetHandle;
+use std::time::{Duration, Instant};
+
+/// Shape of a swarm run.
+#[derive(Debug, Clone)]
+pub struct SwarmConfig {
+    /// Concurrent client sessions.
+    pub clients: usize,
+    /// Transactions each client submits over its lifetime.
+    pub txns_per_client: u64,
+    /// Transactions per request burst (client-side batching).
+    pub burst: usize,
+    /// Shard threads the sessions are multiplexed onto.
+    pub shards: usize,
+    /// First client id; a multi-process swarm partitions the id space by
+    /// giving each process a disjoint `[first_client, first_client+clients)`.
+    pub first_client: u64,
+    /// Overall deadline; the run reports whatever committed by then.
+    pub deadline: Duration,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        SwarmConfig {
+            clients: 1_000,
+            txns_per_client: 2,
+            burst: 2,
+            shards: 8,
+            first_client: 0,
+            deadline: Duration::from_secs(120),
+        }
+    }
+}
+
+/// What a swarm run measured.
+#[derive(Debug, Clone)]
+pub struct SwarmReport {
+    /// Sessions that ran.
+    pub clients: usize,
+    /// Transactions submitted.
+    pub submitted: u64,
+    /// Transactions committed (quorum-confirmed at the clients).
+    pub committed: u64,
+    /// Wall-clock from first submit to last commit (or the deadline).
+    pub elapsed: Duration,
+    /// Median request-burst completion latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile burst latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile burst latency, microseconds.
+    pub p99_us: u64,
+}
+
+impl SwarmReport {
+    /// Committed transactions per second.
+    pub fn tps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / secs
+        }
+    }
+}
+
+/// One multiplexed session and its burst state.
+struct Pumped {
+    session: ClientSession,
+    /// Transactions submitted by this session so far.
+    submitted: u64,
+    /// When the in-flight burst was submitted.
+    burst_started: Option<Instant>,
+}
+
+/// Runs a swarm of `cfg.clients` sessions against whatever cluster `net`
+/// reaches. All processes must share `registry`/`system` so keys match.
+///
+/// # Panics
+/// Panics if `cfg.clients` is zero or the registry lacks keys for the id
+/// range `[first_client, first_client + clients)`.
+pub fn run_swarm(
+    net: &NetHandle,
+    registry: &KeyRegistry,
+    system: &SystemConfig,
+    cfg: &SwarmConfig,
+) -> SwarmReport {
+    assert!(cfg.clients > 0, "swarm needs at least one client");
+    let shards = cfg.shards.clamp(1, cfg.clients);
+    let burst = cfg.burst.max(1) as u64;
+    let start = Instant::now();
+    let deadline = start + cfg.deadline;
+
+    // Shard c → sessions c, c+shards, c+2*shards, … so uneven tails stay
+    // one session wide.
+    let results: Vec<(u64, u64, Vec<Duration>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|shard| {
+                let net = net.clone();
+                let cfg = cfg.clone();
+                scope.spawn(move || {
+                    let mut pumped: Vec<Pumped> = (shard..cfg.clients)
+                        .step_by(shards)
+                        .map(|i| Pumped {
+                            session: ClientSession::connect(
+                                ClientId(cfg.first_client + i as u64),
+                                &net,
+                                registry,
+                                system.protocol,
+                                system.f,
+                                ReplicaId(0),
+                                system.n,
+                            ),
+                            submitted: 0,
+                            burst_started: None,
+                        })
+                        .collect();
+                    let mut submitted = 0u64;
+                    let mut committed = 0u64;
+                    let mut samples: Vec<Duration> = Vec::new();
+                    loop {
+                        let mut all_done = true;
+                        let mut progressed = false;
+                        for p in &mut pumped {
+                            if p.session.pending() > 0 {
+                                let c = p.session.poll_progress() as u64;
+                                committed += c;
+                                progressed |= c > 0;
+                            }
+                            if p.session.pending() == 0 {
+                                if let Some(t0) = p.burst_started.take() {
+                                    samples.push(t0.elapsed());
+                                }
+                                if p.submitted < cfg.txns_per_client {
+                                    let count = burst.min(cfg.txns_per_client - p.submitted);
+                                    // Unique key per transaction, fixed by
+                                    // (client, index): digest is commit-set
+                                    // deterministic.
+                                    let base = p.session.id().0 * cfg.txns_per_client + p.submitted;
+                                    let txns: Vec<_> = (0..count)
+                                        .map(|i| {
+                                            let key = base + i;
+                                            p.session.write_txn(key, key.to_le_bytes().to_vec())
+                                        })
+                                        .collect();
+                                    p.burst_started = Some(Instant::now());
+                                    p.session.submit(txns);
+                                    p.submitted += count;
+                                    submitted += count;
+                                    progressed = true;
+                                }
+                            }
+                            if p.session.pending() > 0 || p.submitted < cfg.txns_per_client {
+                                all_done = false;
+                            }
+                        }
+                        if all_done || Instant::now() > deadline {
+                            break;
+                        }
+                        if !progressed {
+                            // Nothing arrived this pass: brief nap instead
+                            // of a hot spin across thousands of sessions.
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                    }
+                    (submitted, committed, samples)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let elapsed = start.elapsed();
+    let mut submitted = 0;
+    let mut committed = 0;
+    let mut samples: Vec<Duration> = Vec::new();
+    for (s, c, mut lat) in results {
+        submitted += s;
+        committed += c;
+        samples.append(&mut lat);
+    }
+    samples.sort_unstable();
+    let pct = |p: usize| -> u64 {
+        if samples.is_empty() {
+            return 0;
+        }
+        let idx = (samples.len() * p / 100).min(samples.len() - 1);
+        samples[idx].as_micros() as u64
+    };
+    SwarmReport {
+        clients: cfg.clients,
+        submitted,
+        committed,
+        elapsed,
+        p50_us: pct(50),
+        p95_us: pct(95),
+        p99_us: pct(99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemBuilder;
+
+    #[test]
+    fn swarm_commits_against_in_memory_fabric() {
+        let clients = 64;
+        let db = SystemBuilder::new(4)
+            .batch_size(16)
+            .client_keys(clients)
+            .table_size(1_024)
+            .build()
+            .unwrap();
+        let cfg = SwarmConfig {
+            clients,
+            txns_per_client: 2,
+            burst: 2,
+            shards: 4,
+            first_client: 0,
+            deadline: Duration::from_secs(60),
+        };
+        let report = db.run_swarm(&cfg);
+        assert_eq!(report.submitted, clients as u64 * 2);
+        assert_eq!(report.committed, report.submitted, "all txns must commit");
+        assert!(report.p50_us > 0, "latency samples must be recorded");
+        assert!(report.tps() > 0.0);
+        db.shutdown();
+    }
+}

@@ -4,7 +4,7 @@
 //! runs the client as its own process).
 
 use rdb_common::{ClientId, PeerMap, ReplicaId};
-use resilientdb::{connect_client, NodeConfig};
+use resilientdb::{connect_client, NodeOptions};
 use std::net::TcpListener;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
@@ -105,7 +105,7 @@ fn four_replica_process_cluster_commits_and_converges() {
     // Drive the workload from this process through the same fabric entry
     // point the client binary uses.
     let node_cfg = {
-        let mut cfg = NodeConfig::new(peers).expect("valid peer map");
+        let mut cfg = NodeOptions::new(peers).expect("valid peer map");
         cfg.system.batch_size = BATCH;
         cfg
     };

@@ -85,43 +85,40 @@ pub fn parse_frame(body: &[u8]) -> io::Result<Frame> {
     }
 }
 
-/// Resumable frame reader over a [`TcpStream`] with a read timeout.
+/// Resumable frame parser with no stream of its own: the caller supplies
+/// the `Read` on every poll, so the same state machine serves both the
+/// blocking-with-timeout [`FrameReader`] and the reactor's nonblocking
+/// connections (which own their socket and lend it per readiness event).
 ///
-/// `poll_frame` returns `Ok(Some(body))` when a full frame has arrived,
-/// `Ok(None)` when the socket timed out mid-wait (call again after
-/// checking for shutdown), and `Err` on EOF or a transport error. Partial
-/// header or body bytes accumulated before a timeout are kept, so frame
-/// synchronization survives arbitrarily slow senders.
-pub struct FrameReader {
-    stream: TcpStream,
+/// `poll` returns `Ok(Some(body))` when a full frame has arrived,
+/// `Ok(None)` when the read would block (or timed out) mid-frame, and
+/// `Err` on EOF or a transport error. Partial header or body bytes are
+/// kept across polls, so frame synchronization survives arbitrarily slow
+/// senders.
+#[derive(Debug, Default)]
+pub struct FrameAccumulator {
     header: [u8; 4],
     filled: usize,
     body: Vec<u8>,
     in_body: bool,
 }
 
-impl FrameReader {
-    /// Wraps `stream` (whose read timeout should already be configured).
-    pub fn new(stream: TcpStream) -> Self {
-        FrameReader {
-            stream,
-            header: [0; 4],
-            filled: 0,
-            body: Vec::new(),
-            in_body: false,
-        }
+impl FrameAccumulator {
+    /// An accumulator positioned at a frame boundary.
+    pub fn new() -> Self {
+        FrameAccumulator::default()
     }
 
-    /// Advances the frame state machine by at most one `read` per call
-    /// site; see the type docs for the return contract.
+    /// Advances the frame state machine; see the type docs for the return
+    /// contract.
     ///
     /// # Errors
     /// Returns an [`io::Error`] on EOF (`UnexpectedEof`), oversized or
     /// zero-length frames (`InvalidData`), or any socket error.
-    pub fn poll_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+    pub fn poll(&mut self, stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
         loop {
             if !self.in_body {
-                match self.stream.read(&mut self.header[self.filled..]) {
+                match stream.read(&mut self.header[self.filled..]) {
                     Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
                     Ok(n) => self.filled += n,
                     Err(e) if would_block(&e) => return Ok(None),
@@ -141,7 +138,7 @@ impl FrameReader {
                 self.filled = 0;
                 self.in_body = true;
             }
-            match self.stream.read(&mut self.body[self.filled..]) {
+            match stream.read(&mut self.body[self.filled..]) {
                 Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
                 Ok(n) => self.filled += n,
                 Err(e) if would_block(&e) => return Ok(None),
@@ -153,6 +150,33 @@ impl FrameReader {
                 return Ok(Some(std::mem::take(&mut self.body)));
             }
         }
+    }
+}
+
+/// Resumable frame reader over an owned [`TcpStream`] with a read timeout:
+/// a [`FrameAccumulator`] bound to its stream, for threads that block.
+pub struct FrameReader {
+    stream: TcpStream,
+    acc: FrameAccumulator,
+}
+
+impl FrameReader {
+    /// Wraps `stream` (whose read timeout should already be configured).
+    pub fn new(stream: TcpStream) -> Self {
+        FrameReader {
+            stream,
+            acc: FrameAccumulator::new(),
+        }
+    }
+
+    /// Advances the frame state machine; see [`FrameAccumulator::poll`]
+    /// for the return contract.
+    ///
+    /// # Errors
+    /// Returns an [`io::Error`] on EOF (`UnexpectedEof`), oversized or
+    /// zero-length frames (`InvalidData`), or any socket error.
+    pub fn poll_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        self.acc.poll(&mut self.stream)
     }
 }
 

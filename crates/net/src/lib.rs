@@ -9,9 +9,16 @@
 //!   optional modeled latency, the default for tests and single-process
 //!   deployments.
 //! - [`TcpTransport`] — real sockets: length-prefixed frames over the
-//!   canonical wire encoding, one writer thread per peer with bounded
-//!   queues, reconnect-with-backoff, and reply routing for clients that
-//!   dial in. The substrate for multi-process clusters (`rdb-node`).
+//!   canonical wire encoding, driven by a nonblocking reactor
+//!   ([`reactor`]) whose event-loop pool holds tens of thousands of
+//!   connections, with bounded per-link queues, vectored-write frame
+//!   coalescing, reconnect-with-backoff, and reply routing for clients
+//!   that dial in. The substrate for multi-process clusters (`rdb-node`)
+//!   and client swarms.
+//!
+//! The trait splits into [`MeshTransport`] (replica gossip — droppable)
+//! and [`ClientTransport`] (request/reply — reliable), so backends can
+//! size the two surfaces independently.
 //!
 //! Both support byte-accounted delivery statistics ([`NetworkStats`]) and
 //! send-side fault injection ([`FaultController`]: crashes, message drops,
@@ -41,6 +48,7 @@
 pub mod fault;
 pub mod frame;
 pub mod memory;
+pub mod reactor;
 pub mod stats;
 pub mod tcp;
 pub mod transport;
@@ -49,4 +57,6 @@ pub use fault::FaultController;
 pub use memory::{Network, NetworkConfig};
 pub use stats::NetworkStats;
 pub use tcp::{TcpConfig, TcpTransport};
-pub use transport::{Endpoint, EndpointSender, NetHandle, NetworkError, Transport};
+pub use transport::{
+    ClientTransport, Endpoint, EndpointSender, MeshTransport, NetHandle, NetworkError, Transport,
+};

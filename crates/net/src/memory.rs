@@ -7,7 +7,9 @@
 
 use crate::fault::FaultController;
 use crate::stats::NetworkStats;
-use crate::transport::{Endpoint, NetHandle, NetworkError, Transport};
+use crate::transport::{
+    ClientTransport, Endpoint, MeshTransport, NetHandle, NetworkError, Transport,
+};
 use crossbeam::channel::{self, Receiver, Sender as ChanSender};
 use parking_lot::{Condvar, Mutex, RwLock};
 use rdb_common::codec::Wire;
@@ -210,21 +212,7 @@ impl Network {
     }
 }
 
-impl Transport for Network {
-    fn register_mailbox(&self, addr: Sender) -> Receiver<SignedMessage> {
-        let (tx, rx) = match self.inner.config.queue_capacity {
-            Some(cap) => channel::bounded(cap),
-            None => channel::unbounded(),
-        };
-        let prev = self.inner.mailboxes.write().insert(addr, tx);
-        assert!(prev.is_none(), "address {addr:?} registered twice");
-        rx
-    }
-
-    fn deregister(&self, addr: Sender) {
-        Network::deregister(self, addr);
-    }
-
+impl MeshTransport for Network {
     fn send_from(&self, from: Sender, to: Sender, msg: SignedMessage) -> Result<(), NetworkError> {
         if !self.inner.mailboxes.read().contains_key(&to) {
             self.inner.stats.record_dropped();
@@ -254,6 +242,35 @@ impl Transport for Network {
             self.inner.wire_signal.notify_one();
         }
         Ok(())
+    }
+}
+
+impl ClientTransport for Network {
+    fn send_direct(
+        &self,
+        from: Sender,
+        to: Sender,
+        msg: SignedMessage,
+    ) -> Result<(), NetworkError> {
+        // Channel hand-off never sheds, so the reliable client path is
+        // the same code path as mesh traffic in this backend.
+        self.send_from(from, to, msg)
+    }
+}
+
+impl Transport for Network {
+    fn register_mailbox(&self, addr: Sender) -> Receiver<SignedMessage> {
+        let (tx, rx) = match self.inner.config.queue_capacity {
+            Some(cap) => channel::bounded(cap),
+            None => channel::unbounded(),
+        };
+        let prev = self.inner.mailboxes.write().insert(addr, tx);
+        assert!(prev.is_none(), "address {addr:?} registered twice");
+        rx
+    }
+
+    fn deregister(&self, addr: Sender) {
+        Network::deregister(self, addr);
     }
 
     fn stats(&self) -> &NetworkStats {

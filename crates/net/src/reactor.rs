@@ -1,0 +1,470 @@
+//! Readiness polling for the reactor-based TCP transport.
+//!
+//! A [`Poller`] multiplexes many nonblocking sockets onto one event-loop
+//! thread: sockets are registered with a `usize` token and an interest set
+//! (read and/or write), and [`Poller::wait`] blocks until at least one is
+//! ready — the classic epoll shape, wrapped thinly enough that the event
+//! loop above it stays portable.
+//!
+//! On Linux this is raw `epoll` via FFI (the workspace vendors no `libc`
+//! crate, but `std` already links the C library, so the four syscall
+//! wrappers are declared directly). Readiness is **level-triggered**: an
+//! event repeats every wait until the handler drains the socket to
+//! `WouldBlock`, which is exactly the contract the connection handlers are
+//! written against.
+//!
+//! On other platforms a degraded fallback reports every registered socket
+//! as ready after a short sleep. That is semantically correct for
+//! level-triggered consumers of nonblocking sockets (handlers simply see
+//! `WouldBlock` and move on) but burns CPU proportional to connection
+//! count — it exists so the crate builds and tests pass off-Linux, not for
+//! production swarms.
+//!
+//! A [`Waker`] lets other threads interrupt a blocked [`Poller::wait`]:
+//! it is a nonblocking `UnixStream` pair whose read end is registered like
+//! any other socket under a caller-chosen token.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// One readiness notification from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the file descriptor was registered with.
+    pub token: usize,
+    /// Reading would make progress (includes EOF — a read returning 0).
+    pub readable: bool,
+    /// Writing would make progress.
+    pub writable: bool,
+    /// Error or hangup: the connection is dead and should be torn down.
+    pub hangup: bool,
+}
+
+/// Interest set for a registered file descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the steady state of an idle connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read + write interest — a connection with a blocked outbound burst.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::raw::c_int;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// Mirrors the kernel's `struct epoll_event`; packed on x86-64, where
+    /// the kernel ABI has no padding between the fields.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    /// Level-triggered epoll instance owned by one event-loop thread.
+    pub struct Poller {
+        epfd: RawFd,
+        /// Scratch buffer reused across waits (kernel fills it in place).
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poller {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest_bits(interest),
+                data: token as u64,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn reregister(
+            &mut self,
+            fd: RawFd,
+            token: usize,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+            out.clear();
+            let ms = timeout.as_millis().min(i32::MAX as u128) as c_int;
+            let n = match cvt(unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as c_int,
+                    ms,
+                )
+            }) {
+                Ok(n) => n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            for ev in &self.buf[..n] {
+                // Copy out of the (possibly packed) struct by value.
+                let bits = ev.events;
+                let token = ev.data as usize;
+                out.push(Event {
+                    token,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::{Event, Interest};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    /// Degraded fallback: after a short sleep, report every registered fd
+    /// ready per its interest set. Correct for level-triggered consumers
+    /// of nonblocking sockets; wasteful, and only used off-Linux.
+    pub struct Poller {
+        registered: HashMap<RawFd, (usize, Interest)>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                registered: HashMap::new(),
+            })
+        }
+
+        pub fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.registered.insert(fd, (token, interest));
+            Ok(())
+        }
+
+        pub fn reregister(
+            &mut self,
+            fd: RawFd,
+            token: usize,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.registered.insert(fd, (token, interest));
+            Ok(())
+        }
+
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            self.registered.remove(&fd);
+            Ok(())
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+            out.clear();
+            std::thread::sleep(timeout.min(Duration::from_millis(1)));
+            for (&_fd, &(token, interest)) in &self.registered {
+                out.push(Event {
+                    token,
+                    readable: interest.readable,
+                    writable: interest.writable,
+                    hangup: false,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Readiness poller: one per event-loop thread.
+///
+/// All methods take `&mut self` — a poller has exactly one owner, the loop
+/// thread; cross-thread interruption goes through a [`Waker`] instead.
+pub struct Poller {
+    sys: sys::Poller,
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Poller")
+    }
+}
+
+impl Poller {
+    /// Creates a poller.
+    ///
+    /// # Errors
+    /// Returns the OS error if the epoll instance cannot be created.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            sys: sys::Poller::new()?,
+        })
+    }
+
+    /// Starts watching `fd` under `token`.
+    ///
+    /// # Errors
+    /// Returns the OS error (e.g. the fd is already registered).
+    pub fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        self.sys.register(fd, token, interest)
+    }
+
+    /// Changes the interest set of an already-registered `fd`.
+    ///
+    /// # Errors
+    /// Returns the OS error (e.g. the fd was never registered).
+    pub fn reregister(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        self.sys.reregister(fd, token, interest)
+    }
+
+    /// Stops watching `fd`. Must be called before the fd is closed.
+    ///
+    /// # Errors
+    /// Returns the OS error.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        self.sys.deregister(fd)
+    }
+
+    /// Blocks until readiness or `timeout`, filling `out` (cleared first).
+    /// A signal-interrupted wait returns `Ok` with no events.
+    ///
+    /// # Errors
+    /// Returns the OS error from the underlying wait.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+        self.sys.wait(out, timeout)
+    }
+}
+
+/// The sending half of a wake pipe; clone freely across threads.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    tx: std::sync::Arc<std::os::unix::net::UnixStream>,
+}
+
+impl Waker {
+    /// Interrupts the paired poller's current (or next) wait. Lossy by
+    /// design: if the pipe is already full the poller is overdue for a
+    /// wakeup anyway.
+    pub fn wake(&self) {
+        use std::io::Write;
+        let _ = (&*self.tx).write(&[1]);
+    }
+}
+
+/// The receiving half of a wake pipe; register its fd with the poller and
+/// drain it whenever its token fires.
+#[derive(Debug)]
+pub struct WakeReceiver {
+    rx: std::os::unix::net::UnixStream,
+}
+
+impl WakeReceiver {
+    /// The fd to register with the poller (read interest).
+    pub fn raw_fd(&self) -> RawFd {
+        use std::os::unix::io::AsRawFd;
+        self.rx.as_raw_fd()
+    }
+
+    /// Consumes queued wake bytes so a level-triggered poller stops
+    /// reporting the pipe readable.
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+/// Creates a connected waker pair (both ends nonblocking).
+///
+/// # Errors
+/// Returns the OS error if the socket pair cannot be created.
+pub fn wake_pair() -> io::Result<(Waker, WakeReceiver)> {
+    let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((
+        Waker {
+            tx: std::sync::Arc::new(tx),
+        },
+        WakeReceiver { rx },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Instant;
+
+    const T: Duration = Duration::from_secs(5);
+
+    fn nonblocking_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    fn wait_for(poller: &mut Poller, token: usize) -> Event {
+        let mut events = Vec::new();
+        let deadline = Instant::now() + T;
+        while Instant::now() < deadline {
+            poller.wait(&mut events, Duration::from_millis(50)).unwrap();
+            if let Some(ev) = events.iter().find(|e| e.token == token) {
+                return *ev;
+            }
+        }
+        panic!("no event for token {token} within {T:?}");
+    }
+
+    #[test]
+    fn readable_when_bytes_arrive() {
+        let (mut a, b) = nonblocking_pair();
+        let mut poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 3, Interest::READ).unwrap();
+        a.write_all(b"hi").unwrap();
+        let ev = wait_for(&mut poller, 3);
+        assert!(ev.readable);
+        let mut buf = [0u8; 8];
+        assert_eq!((&b).read(&mut buf).unwrap(), 2);
+    }
+
+    #[test]
+    fn write_interest_reports_writable() {
+        let (a, _b) = nonblocking_pair();
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(a.as_raw_fd(), 9, Interest::READ_WRITE)
+            .unwrap();
+        let ev = wait_for(&mut poller, 9);
+        assert!(ev.writable);
+    }
+
+    #[test]
+    fn waker_interrupts_wait() {
+        let mut poller = Poller::new().unwrap();
+        let (waker, wake_rx) = wake_pair().unwrap();
+        poller
+            .register(wake_rx.raw_fd(), 7, Interest::READ)
+            .unwrap();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.wake();
+        });
+        let ev = wait_for(&mut poller, 7);
+        assert!(ev.readable);
+        wake_rx.drain();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn deregister_stops_events() {
+        let (mut a, b) = nonblocking_pair();
+        let mut poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 1, Interest::READ).unwrap();
+        a.write_all(b"x").unwrap();
+        wait_for(&mut poller, 1);
+        poller.deregister(b.as_raw_fd()).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Duration::from_millis(50)).unwrap();
+        assert!(events.iter().all(|e| e.token != 1));
+    }
+
+    #[test]
+    fn peer_close_reports_readable_or_hangup() {
+        let (a, b) = nonblocking_pair();
+        let mut poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 4, Interest::READ).unwrap();
+        drop(a);
+        let ev = wait_for(&mut poller, 4);
+        assert!(ev.readable || ev.hangup);
+    }
+}

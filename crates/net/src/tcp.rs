@@ -1,45 +1,64 @@
-//! Real TCP transport: the in-memory switchboard's semantics over sockets.
+//! Real TCP transport: the in-memory switchboard's semantics over sockets,
+//! driven by a nonblocking reactor.
 //!
 //! One [`TcpTransport`] is one node of a multi-process deployment (it can
-//! host several local endpoints, e.g. many client sessions in a client
-//! process). Architecture:
+//! host several local endpoints, e.g. thousands of client sessions in a
+//! swarm process). Architecture:
 //!
-//! - **Outbound**: one writer thread per peer with a bounded frame queue.
-//!   Replica-destined traffic (consensus gossip) uses a *drop-oldest*
-//!   policy on overflow — the protocol tolerates loss and retransmits by
-//!   design — while client-destined replies are *never* dropped: the
-//!   sender blocks on the queue (backpressure) until space frees up.
+//! - **Event loops**: a small fixed pool of reactor threads
+//!   ([`crate::reactor::Poller`], level-triggered) owns every socket.
+//!   Connections are distributed round-robin across loops; each loop
+//!   multiplexes accept, read and write readiness, so one process holds
+//!   tens of thousands of sockets on a handful of threads instead of two
+//!   threads per connection.
+//! - **Outbound**: senders push frames onto a per-link bounded queue and
+//!   notify the owning loop (once — an armed link is never re-notified).
+//!   The loop drains the queue into a per-connection pending list and
+//!   writes it with **vectored writes**, coalescing up to 64 frames per
+//!   syscall. Replica-destined traffic (consensus gossip) uses a
+//!   *drop-oldest* policy on overflow — the protocol tolerates loss and
+//!   retransmits by design — while client-path traffic is *never* shed:
+//!   the sender blocks on the queue (backpressure) until space frees up.
 //!   Broadcasts serialize the envelope **once** and share the encoded
-//!   buffer across every peer's queue.
-//! - **Inbound**: an acceptor plus one reader thread per connection.
-//!   Frames decode through [`SignedMessage::decode`]'s memo-seeding path,
-//!   so the zero-copy envelope (canonical bytes memoized, verified
-//!   without re-serialization) survives the socket.
-//! - **Routing**: replicas are dialed from the [`PeerMap`]; dialed links
-//!   reconnect with exponential backoff, so a restarted replica rejoins
-//!   without any coordination. Clients are *not* in the map — a client
-//!   dials every replica and announces itself with a HELLO frame, and
-//!   replies travel back over the client-initiated connection (learned as
-//!   a *reverse link*).
+//!   buffer across every destination's queue.
+//! - **Inbound**: frames decode through [`SignedMessage::decode`]'s
+//!   memo-seeding path, so the zero-copy envelope (canonical bytes
+//!   memoized, verified without re-serialization) survives the socket.
+//! - **Routing**: replicas are dialed from the [`PeerMap`] by a single
+//!   dialer thread (reconnect with exponential backoff, so a restarted
+//!   replica rejoins without coordination). Clients are *not* in the map —
+//!   a client dials every replica and announces itself with a HELLO frame,
+//!   and replies travel back over the client-initiated connection (learned
+//!   as a *reverse link*). In swarm mode ([`TcpConfig::dedicated_to`])
+//!   each client endpoint instead gets its own *dedicated* connection to
+//!   one replica, so an N-client swarm exercises N real sockets.
+//! - **Reclamation**: closed connections are reaped *eagerly* — the loop
+//!   deregisters the fd, frees the slab slot and drops the routes the
+//!   moment the socket dies, so churned connections cannot accumulate
+//!   (see [`TcpTransport::open_connections`]).
 //! - **Faults**: [`FaultController`] is evaluated on the send side, same
 //!   as the in-memory backend, so drops and partitions behave identically
 //!   over both.
 
 use crate::fault::FaultController;
-use crate::frame::{self, Frame, FrameReader};
+use crate::frame::{self, Frame, FrameAccumulator};
+use crate::reactor::{Event, Interest, Poller, WakeReceiver, Waker};
 use crate::stats::NetworkStats;
-use crate::transport::{Endpoint, NetHandle, NetworkError, Transport};
-use crossbeam::channel::{self, Receiver, Sender as ChanSender};
+use crate::transport::{
+    ClientTransport, Endpoint, MeshTransport, NetHandle, NetworkError, Transport,
+};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender as ChanSender};
 use parking_lot::{Condvar, Mutex, RwLock};
 use rdb_common::codec::Wire;
 use rdb_common::messages::{Sender, SignedMessage};
 use rdb_common::{PeerMap, ReplicaId};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::io::{self, Write};
+use std::io::{self, IoSlice, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -51,16 +70,24 @@ pub struct TcpConfig {
     pub listen: Option<SocketAddr>,
     /// Replica id → address map (clients are learned via HELLO frames).
     pub peers: PeerMap,
-    /// Outbound frames buffered per peer link before the overflow policy
-    /// applies (drop-oldest for replica gossip, blocking for client
-    /// replies).
+    /// Outbound frames buffered per replica (gossip) link before the
+    /// drop-oldest policy applies.
     pub queue_capacity: usize,
+    /// Outbound frames buffered per client-path link (reverse and
+    /// dedicated links) before senders block.
+    pub client_queue_capacity: usize,
+    /// Reactor threads driving the sockets. More loops add read/decode
+    /// parallelism; 2 is plenty for a 4-replica cluster.
+    pub event_loops: usize,
+    /// Swarm mode: give every locally registered client endpoint its own
+    /// dedicated connection to this replica (normally the view-0 primary)
+    /// instead of sharing one link per replica. The id must be in `peers`.
+    pub dedicated_to: Option<ReplicaId>,
     /// Initial reconnect backoff for dialed links.
     pub reconnect_min: Duration,
     /// Backoff ceiling (doubles from `reconnect_min` up to this).
     pub reconnect_max: Duration,
-    /// Socket write timeout; a peer stuck longer than this is treated as
-    /// disconnected.
+    /// Connect timeout for the dialer thread.
     pub write_timeout: Duration,
     /// Granularity at which blocked threads re-check for shutdown.
     pub poll_interval: Duration,
@@ -72,6 +99,9 @@ impl Default for TcpConfig {
             listen: None,
             peers: PeerMap::new(),
             queue_capacity: 4096,
+            client_queue_capacity: 4096,
+            event_loops: 2,
+            dedicated_to: None,
             reconnect_min: Duration::from_millis(10),
             reconnect_max: Duration::from_secs(1),
             write_timeout: Duration::from_secs(2),
@@ -102,130 +132,415 @@ impl TcpConfig {
             ..TcpConfig::default()
         }
     }
+
+    /// Config for a swarm process: no listener, one dedicated connection
+    /// per client endpoint to `primary`, shared links to the rest.
+    pub fn for_swarm(peers: PeerMap, primary: ReplicaId) -> Self {
+        TcpConfig {
+            listen: None,
+            peers,
+            dedicated_to: Some(primary),
+            ..TcpConfig::default()
+        }
+    }
+
+    /// Applies the transport sizing from a [`NetOptions`]
+    /// (`rdb_common::NetOptions`) — the bridge from the unified node
+    /// configuration to this backend's knobs.
+    pub fn with_options(mut self, net: &rdb_common::NetOptions) -> Self {
+        self.event_loops = net.event_loops;
+        self.queue_capacity = net.queue_capacity;
+        self.client_queue_capacity = net.client_queue_capacity;
+        self
+    }
 }
 
 /// Upper bound of the per-destination MSG frame header (tag + `Sender`),
 /// used by the send-side oversize guard.
 const MSG_HEADER_MAX: usize = 16;
 
+/// Reserved poller token: the loop's wake pipe.
+const WAKER_TOKEN: usize = usize::MAX;
+/// Reserved poller token: the accept listener (loop 0 only).
+const LISTENER_TOKEN: usize = usize::MAX - 1;
+
+/// Frames coalesced into one vectored write (two iovecs each).
+const MAX_WRITE_FRAMES: usize = 64;
+/// Pending frames refilled from the link queue per drain.
+const REFILL_BATCH: usize = 128;
+/// Frames parsed per readiness event before yielding (level-triggered
+/// polling re-reports a still-readable socket, so fairness is free).
+const MAX_READ_FRAMES: usize = 256;
+
 /// One queued outbound frame.
+#[derive(Clone)]
 enum OutFrame {
     /// Announce a local endpoint to the peer (routing for replies).
     Hello(Sender),
     /// An envelope for `to`; `payload` is the shared canonical encoding.
-    Msg { to: Sender, payload: Arc<Vec<u8>> },
+    /// `reliable` frames are never shed by the overflow policy.
+    Msg {
+        to: Sender,
+        payload: Arc<Vec<u8>>,
+        reliable: bool,
+    },
 }
 
-enum Popped {
-    Frame(OutFrame),
-    Empty,
-    Done,
+impl OutFrame {
+    fn sheddable(&self) -> bool {
+        matches!(
+            self,
+            OutFrame::Msg {
+                reliable: false,
+                ..
+            }
+        )
+    }
 }
 
-/// A bounded outbound queue feeding one writer thread.
+/// What a link connects to — determines hello policy and teardown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LinkPeer {
+    /// Shared dialed link to a replica in the peer map.
+    Replica(ReplicaId),
+    /// Dedicated dialed link carrying exactly one client endpoint.
+    Dedicated { owner: Sender },
+    /// Reverse link bound to one accepted connection.
+    Accepted,
+}
+
+/// A bounded outbound queue drained by the event loop that owns its
+/// connection. Senders push and (at most once while the queue is armed)
+/// notify the owner; the loop drains, and disarms only after observing an
+/// empty queue under the same lock pushes take — so a push can never be
+/// stranded without either a pending notify or a registered write
+/// interest.
 struct Link {
-    state: Mutex<LinkState>,
-    ready: Condvar,
-    space: Condvar,
+    peer: LinkPeer,
+    /// Dial target; `None` for accepted (reverse) links.
+    addr: Option<SocketAddr>,
     capacity: usize,
+    state: Mutex<LinkState>,
+    space: Condvar,
 }
 
 struct LinkState {
     frames: VecDeque<OutFrame>,
     closed: bool,
+    /// The owning loop already knows about queued frames (a flush command
+    /// is in flight or write interest is registered).
+    armed: bool,
+    /// Owning connection, if currently bound: (loop index, token).
+    owner: Option<(usize, usize)>,
+}
+
+enum PushPolicy {
+    /// Drop-oldest on overflow — replica gossip tolerates loss.
+    Gossip,
+    /// Never shed; blocks the sender (backpressure) on overflow.
+    Reliable,
 }
 
 impl Link {
-    fn new(capacity: usize) -> Arc<Link> {
+    fn new(peer: LinkPeer, addr: Option<SocketAddr>, capacity: usize) -> Arc<Link> {
         Arc::new(Link {
+            peer,
+            addr,
+            capacity: capacity.max(1),
             state: Mutex::new(LinkState {
                 frames: VecDeque::new(),
                 closed: false,
+                armed: false,
+                owner: None,
             }),
-            ready: Condvar::new(),
             space: Condvar::new(),
-            capacity: capacity.max(1),
         })
     }
 
-    /// Drop-oldest on overflow: consensus gossip tolerates loss, so a slow
-    /// peer sheds its own backlog instead of stalling the pipeline.
-    /// Only `Msg` frames are ever shed — a queued HELLO is a routing
-    /// announcement, and losing one would permanently strand the reply
-    /// path of an endpoint registered after the connection came up.
-    fn push_gossip(&self, f: OutFrame, stats: &NetworkStats) {
+    /// Queues `f`, returning the `(loop, token)` to notify if the link was
+    /// not already armed. HELLO frames bypass the capacity check — a
+    /// routing announcement is never shed and never a backpressure source
+    /// (there are at most as many as local endpoints).
+    fn push(
+        &self,
+        f: OutFrame,
+        policy: PushPolicy,
+        stats: &NetworkStats,
+    ) -> Option<(usize, usize)> {
         let mut s = self.state.lock();
         if s.closed {
-            return;
+            return None;
         }
-        if s.frames.len() >= self.capacity {
-            if let Some(idx) = s
-                .frames
-                .iter()
-                .position(|f| matches!(f, OutFrame::Msg { .. }))
-            {
-                s.frames.remove(idx);
-                stats.record_dropped();
+        if !matches!(f, OutFrame::Hello(_)) {
+            loop {
+                if s.frames.len() < self.capacity {
+                    break;
+                }
+                // Overflow: shed the oldest sheddable frame. A queued
+                // HELLO is a routing announcement and losing one would
+                // permanently strand a reply path, so only non-reliable
+                // Msg frames are victims.
+                if let Some(idx) = s.frames.iter().position(OutFrame::sheddable) {
+                    s.frames.remove(idx);
+                    stats.record_dropped();
+                    break;
+                }
+                match policy {
+                    // Nothing sheddable (hellos/reliable only): gossip may
+                    // exceed capacity rather than stall the pipeline.
+                    PushPolicy::Gossip => break,
+                    PushPolicy::Reliable => {
+                        self.space.wait(&mut s);
+                        if s.closed {
+                            return None;
+                        }
+                    }
+                }
             }
         }
         s.frames.push_back(f);
-        self.ready.notify_one();
-    }
-
-    /// Blocking on overflow: client replies are never shed — the sending
-    /// stage backpressures until the writer drains.
-    fn push_reliable(&self, f: OutFrame) {
-        let mut s = self.state.lock();
-        while !s.closed && s.frames.len() >= self.capacity {
-            self.space.wait(&mut s);
-        }
-        if s.closed {
-            return;
-        }
-        s.frames.push_back(f);
-        self.ready.notify_one();
-    }
-
-    fn pop_wait(&self, timeout: Duration) -> Popped {
-        let mut s = self.state.lock();
-        if s.frames.is_empty() && !s.closed {
-            self.ready.wait_for(&mut s, timeout);
-        }
-        match s.frames.pop_front() {
-            Some(f) => {
-                self.space.notify_one();
-                Popped::Frame(f)
+        if !s.armed {
+            if let Some(owner) = s.owner {
+                s.armed = true;
+                return Some(owner);
             }
-            None if s.closed => Popped::Done,
-            None => Popped::Empty,
         }
+        None
+    }
+
+    /// Moves up to `max` frames into the connection's pending list.
+    fn drain_into(&self, out: &mut VecDeque<PendingFrame>, max: usize) {
+        let mut s = self.state.lock();
+        let mut n = 0;
+        while n < max {
+            match s.frames.pop_front() {
+                Some(f) => {
+                    out.push_back(PendingFrame::new(f));
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        if n > 0 {
+            self.space.notify_all();
+        }
+    }
+
+    /// Disarms iff the queue is still empty (checked under the push lock,
+    /// closing the push/disarm race). Returns whether it disarmed.
+    fn disarm_if_empty(&self) -> bool {
+        let mut s = self.state.lock();
+        if s.frames.is_empty() {
+            s.armed = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns unsent frames to the queue front (in order) after a
+    /// connection died; they retry on the next connection.
+    fn requeue_front(&self, frames: Vec<OutFrame>) {
+        let mut s = self.state.lock();
+        for f in frames.into_iter().rev() {
+            s.frames.push_front(f);
+        }
+    }
+
+    fn bind(&self, loop_idx: usize, token: usize) {
+        let mut s = self.state.lock();
+        s.owner = Some((loop_idx, token));
+        // The adopting loop flushes immediately; arm so senders skip
+        // redundant notifies meanwhile.
+        s.armed = true;
+    }
+
+    fn unbind(&self, loop_idx: usize, token: usize) {
+        let mut s = self.state.lock();
+        if s.owner == Some((loop_idx, token)) {
+            s.owner = None;
+            s.armed = false;
+        }
+    }
+
+    fn owner(&self) -> Option<(usize, usize)> {
+        self.state.lock().owner
     }
 
     fn close(&self) {
         let mut s = self.state.lock();
         s.closed = true;
-        self.ready.notify_all();
         self.space.notify_all();
     }
+
+    fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+}
+
+/// One outbound frame staged on a connection, with partial-write progress.
+struct PendingFrame {
+    /// Length prefix + (hello body | per-destination MSG header).
+    head: Vec<u8>,
+    /// The broadcast-shared envelope bytes (MSG frames only).
+    payload: Option<Arc<Vec<u8>>>,
+    /// The original frame, retained so a dead connection can requeue it.
+    frame: OutFrame,
+    written: usize,
+}
+
+impl PendingFrame {
+    fn new(frame: OutFrame) -> PendingFrame {
+        let (head, payload) = match &frame {
+            OutFrame::Hello(from) => {
+                let body = frame::hello_body(*from);
+                let mut head = (body.len() as u32).to_le_bytes().to_vec();
+                head.extend_from_slice(&body);
+                (head, None)
+            }
+            OutFrame::Msg { to, payload, .. } => {
+                let header = frame::msg_header(*to);
+                let total = (header.len() + payload.len()) as u32;
+                let mut head = total.to_le_bytes().to_vec();
+                head.extend_from_slice(&header);
+                (head, Some(Arc::clone(payload)))
+            }
+        };
+        PendingFrame {
+            head,
+            payload,
+            frame,
+            written: 0,
+        }
+    }
+
+    fn total_len(&self) -> usize {
+        self.head.len() + self.payload.as_ref().map_or(0, |p| p.len())
+    }
+}
+
+/// One live socket owned by an event loop.
+struct Conn {
+    stream: TcpStream,
+    acc: FrameAccumulator,
+    /// The outbound queue this connection drains. Dialed connections use
+    /// the persistent (shared or dedicated) link; accepted connections get
+    /// a fresh reverse link.
+    link: Arc<Link>,
+    pending: VecDeque<PendingFrame>,
+    /// Endpoints the peer announced over this connection (reverse routes
+    /// to drop on teardown).
+    announced: Vec<Sender>,
+    /// Write interest currently registered with the poller.
+    want_write: bool,
+    /// Dialed links persist (requeue + redial on death); accepted links
+    /// die with their connection.
+    dialed: bool,
+}
+
+/// Token-indexed connection storage with slot reuse.
+#[derive(Default)]
+struct Slab {
+    slots: Vec<Option<Conn>>,
+    free: Vec<usize>,
+}
+
+impl Slab {
+    fn insert(&mut self, conn: Conn) -> usize {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(conn);
+                i
+            }
+            None => {
+                self.slots.push(Some(conn));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    fn get_mut(&mut self, token: usize) -> Option<&mut Conn> {
+        self.slots.get_mut(token)?.as_mut()
+    }
+
+    fn remove(&mut self, token: usize) -> Option<Conn> {
+        let conn = self.slots.get_mut(token)?.take();
+        if conn.is_some() {
+            self.free.push(token);
+        }
+        conn
+    }
+
+    fn tokens(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+            .collect()
+    }
+}
+
+enum LoopCmd {
+    /// Take ownership of an established connection.
+    Adopt {
+        stream: TcpStream,
+        link: Arc<Link>,
+        dialed: bool,
+    },
+    /// A link owned by connection `token` has queued frames.
+    Flush(usize),
+    /// Tear down connection `token` now (eager reclamation).
+    Close(usize),
+}
+
+/// The sending side of one event loop.
+struct LoopHandle {
+    cmd_tx: ChanSender<LoopCmd>,
+    waker: Waker,
+    /// True while the loop is (about to be) blocked in the poller; lets
+    /// senders skip the wake syscall when the loop is already running.
+    sleeping: Arc<AtomicBool>,
+}
+
+struct DialRequest {
+    link: Arc<Link>,
+    /// Wait this long before attempting.
+    delay: Duration,
+    /// Delay after the next failure (doubles up to `reconnect_max`).
+    backoff: Duration,
 }
 
 struct TcpInner {
     cfg: TcpConfig,
     local_addr: Option<SocketAddr>,
     mailboxes: RwLock<HashMap<Sender, ChanSender<SignedMessage>>>,
-    /// Endpoints hosted by this transport, announced in HELLOs.
-    local_addrs: RwLock<Vec<Sender>>,
-    /// Outbound links to replicas in the peer map, created on first use.
+    /// Endpoints hosted by this transport, announced in HELLOs, with
+    /// their dedicated-link target (swarm mode) if any.
+    locals: RwLock<Vec<(Sender, Option<ReplicaId>)>>,
+    /// Shared links to replicas in the peer map, created on first use.
     dialed: RwLock<HashMap<u32, Arc<Link>>>,
+    /// Dedicated per-client links (swarm mode).
+    dedicated: RwLock<HashMap<Sender, Arc<Link>>>,
     /// Links learned from inbound HELLOs (clients, chiefly).
     reverse: RwLock<HashMap<Sender, Arc<Link>>>,
+    loops: OnceLock<Vec<LoopHandle>>,
+    dial_tx: OnceLock<ChanSender<DialRequest>>,
     stats: NetworkStats,
     faults: FaultController,
     shutdown: AtomicBool,
+    /// Live socket gauge across all loops (readable via
+    /// [`TcpTransport::open_connections`]).
+    open_conns: AtomicUsize,
+    /// Round-robin cursor for assigning connections to loops.
+    rr: AtomicUsize,
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl TcpInner {
+    fn loops(&self) -> &[LoopHandle] {
+        self.loops.get().expect("event loops started")
+    }
+
     fn deliver(&self, to: Sender, msg: SignedMessage) {
         let kind = msg.kind();
         if let Some(tx) = self.mailboxes.read().get(&to) {
@@ -237,24 +552,51 @@ impl TcpInner {
         self.stats.record_dropped();
     }
 
-    fn spawn(self: &Arc<Self>, name: String, f: impl FnOnce() + Send + 'static) {
-        let handle = std::thread::Builder::new()
-            .name(name)
-            .spawn(f)
-            .expect("spawn tcp transport thread");
-        let mut threads = self.threads.lock();
-        // Reap finished readers/writers as we go: a long-lived node serves
-        // many short-lived connections, and keeping every dead handle
-        // until shutdown would grow this vector without bound.
-        threads.retain(|h| !h.is_finished());
-        threads.push(handle);
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
     }
 
-    /// Get-or-create the dialed link (and its writer thread) for a mapped
-    /// replica. Read-locked fast path: after the first message to a peer
-    /// this is a shared-lock map lookup, so concurrent sender threads do
-    /// not serialize on the hot path.
-    fn dialed_link(self: &Arc<Self>, id: ReplicaId, addr: SocketAddr) -> Arc<Link> {
+    /// Hands a flush/close/adopt command to loop `li`, waking it only if
+    /// it is parked in the poller.
+    fn send_loop_cmd(&self, li: usize, cmd: LoopCmd) {
+        let h = &self.loops()[li];
+        let _ = h.cmd_tx.send(cmd);
+        if h.sleeping.load(Ordering::SeqCst) {
+            h.waker.wake();
+        }
+    }
+
+    fn notify_owner(&self, owner: Option<(usize, usize)>) {
+        if let Some((li, token)) = owner {
+            self.send_loop_cmd(li, LoopCmd::Flush(token));
+        }
+    }
+
+    fn push_link(&self, link: &Link, f: OutFrame, policy: PushPolicy) {
+        let owner = link.push(f, policy, &self.stats);
+        self.notify_owner(owner);
+    }
+
+    /// Round-robin loop assignment for new connections.
+    fn next_loop(&self) -> usize {
+        self.rr.fetch_add(1, Ordering::Relaxed) % self.loops().len()
+    }
+
+    fn request_dial(&self, link: Arc<Link>, delay: Duration) {
+        let backoff = self.cfg.reconnect_min.max(Duration::from_millis(1));
+        if let Some(tx) = self.dial_tx.get() {
+            let _ = tx.send(DialRequest {
+                link,
+                delay,
+                backoff,
+            });
+        }
+    }
+
+    /// Get-or-create the shared dialed link for a mapped replica.
+    /// Read-locked fast path: after the first message to a peer this is a
+    /// shared-lock map lookup, so concurrent senders do not serialize.
+    fn dialed_link(&self, id: ReplicaId, addr: SocketAddr) -> Arc<Link> {
         if let Some(link) = self.dialed.read().get(&id.0) {
             return Arc::clone(link);
         }
@@ -263,18 +605,22 @@ impl TcpInner {
         if let Some(link) = dialed.get(&id.0) {
             return Arc::clone(link);
         }
-        let link = Link::new(self.cfg.queue_capacity);
+        let link = Link::new(LinkPeer::Replica(id), Some(addr), self.cfg.queue_capacity);
         dialed.insert(id.0, Arc::clone(&link));
-        let inner = Arc::clone(self);
-        let writer_link = Arc::clone(&link);
-        self.spawn(format!("tcp-dial-r{}", id.0), move || {
-            dialed_writer(&inner, &writer_link, addr);
-        });
+        drop(dialed);
+        self.request_dial(Arc::clone(&link), Duration::ZERO);
         link
     }
 
-    /// The outbound link for `to`, if any route exists.
-    fn route_to(self: &Arc<Self>, to: Sender) -> Option<Arc<Link>> {
+    /// The outbound link for `from → to`, if any route exists.
+    fn route_to(&self, from: Sender, to: Sender) -> Option<Arc<Link>> {
+        if let (Some(primary), Sender::Replica(r)) = (self.cfg.dedicated_to, to) {
+            if r == primary {
+                if let Some(link) = self.dedicated.read().get(&from) {
+                    return Some(Arc::clone(link));
+                }
+            }
+        }
         if let Sender::Replica(r) = to {
             if let Some(addr) = self.cfg.peers.get(r) {
                 return Some(self.dialed_link(r, addr));
@@ -283,255 +629,442 @@ impl TcpInner {
         self.reverse.read().get(&to).cloned()
     }
 
-    fn push_out(&self, link: &Link, to: Sender, payload: Arc<Vec<u8>>) {
-        let frame = OutFrame::Msg { to, payload };
-        if matches!(to, Sender::Client(_)) {
-            link.push_reliable(frame);
-        } else {
-            link.push_gossip(frame, &self.stats);
-        }
-    }
-
-    fn is_shutdown(&self) -> bool {
-        self.shutdown.load(Ordering::Relaxed)
-    }
-
-    /// Sleeps `dur` in `poll_interval` slices so shutdown stays responsive.
-    fn interruptible_sleep(&self, dur: Duration) {
-        let deadline = Instant::now() + dur;
-        while !self.is_shutdown() {
-            let left = deadline.saturating_duration_since(Instant::now());
-            if left.is_zero() {
-                return;
-            }
-            std::thread::sleep(left.min(self.cfg.poll_interval));
+    /// The HELLOs a freshly connected dialed link announces. A dedicated
+    /// link announces exactly its one client; a shared link to replica `r`
+    /// announces every local endpoint *except* clients whose dedicated
+    /// link targets `r` (those announce themselves on their own
+    /// connection — announcing them here too would flap the peer's
+    /// latest-wins reverse route between the two sockets).
+    fn hellos_for(&self, link: &Link) -> Vec<Sender> {
+        match link.peer {
+            LinkPeer::Dedicated { owner } => vec![owner],
+            LinkPeer::Replica(r) => self
+                .locals
+                .read()
+                .iter()
+                .filter(|(_, dedicated)| *dedicated != Some(r))
+                .map(|(addr, _)| *addr)
+                .collect(),
+            LinkPeer::Accepted => Vec::new(),
         }
     }
 }
 
-fn configure_stream(stream: &TcpStream, cfg: &TcpConfig) -> io::Result<()> {
+fn configure_stream(stream: &TcpStream) -> io::Result<()> {
     stream.set_nodelay(true)?;
-    stream.set_write_timeout(Some(cfg.write_timeout))?;
-    Ok(())
+    stream.set_nonblocking(true)
 }
 
-fn write_out_frame(stream: &mut TcpStream, frame: &OutFrame) -> io::Result<()> {
-    match frame {
-        OutFrame::Hello(from) => {
-            let body = frame::hello_body(*from);
-            let mut head = (body.len() as u32).to_le_bytes().to_vec();
-            head.extend_from_slice(&body);
-            stream.write_all(&head)
+/// The single dialer thread: establishes outbound connections (blocking
+/// `connect_timeout` — `std` has no nonblocking connect) from a deadline
+/// queue with per-link exponential backoff, then hands each socket to an
+/// event loop. Dials are serialized, so a cluster of unreachable peers
+/// with filtered ports can delay each other by up to the connect timeout;
+/// on loopback (and healthy networks) refusal is immediate.
+fn dialer(inner: &Arc<TcpInner>, rx: &Receiver<DialRequest>) {
+    let mut pending: Vec<(Instant, DialRequest)> = Vec::new();
+    while !inner.is_shutdown() {
+        let now = Instant::now();
+        let mut next_due = now + inner.cfg.poll_interval;
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].0 <= now {
+                let (_, req) = pending.swap_remove(i);
+                attempt_dial(inner, req, &mut pending);
+            } else {
+                next_due = next_due.min(pending[i].0);
+                i += 1;
+            }
         }
-        OutFrame::Msg { to, payload } => {
-            // Length prefix + tiny per-destination header in one small
-            // buffer; the payload is the broadcast-shared encoding and is
-            // written straight from the shared allocation.
-            let header = frame::msg_header(*to);
-            let total = (header.len() + payload.len()) as u32;
-            let mut head = total.to_le_bytes().to_vec();
-            head.extend_from_slice(&header);
-            stream.write_all(&head)?;
-            stream.write_all(payload)
+        let wait = next_due
+            .saturating_duration_since(Instant::now())
+            .max(Duration::from_millis(1));
+        match rx.recv_timeout(wait) {
+            Ok(req) => {
+                let due = Instant::now() + req.delay;
+                pending.push((due, req));
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
         }
     }
 }
 
-/// Writes HELLO frames announcing every locally hosted endpoint; called on
-/// every (re)connect so a restarted peer relearns reply routes.
-fn write_hellos(stream: &mut TcpStream, inner: &TcpInner) -> io::Result<()> {
-    let addrs: Vec<Sender> = inner.local_addrs.read().clone();
-    for addr in addrs {
-        write_out_frame(stream, &OutFrame::Hello(addr))?;
+fn attempt_dial(
+    inner: &Arc<TcpInner>,
+    req: DialRequest,
+    pending: &mut Vec<(Instant, DialRequest)>,
+) {
+    if req.link.is_closed() || inner.is_shutdown() {
+        return;
     }
-    Ok(())
+    let addr = req.link.addr.expect("dialed link has an address");
+    match TcpStream::connect_timeout(&addr, inner.cfg.write_timeout) {
+        Ok(stream) if configure_stream(&stream).is_ok() => {
+            let li = inner.next_loop();
+            inner.send_loop_cmd(
+                li,
+                LoopCmd::Adopt {
+                    stream,
+                    link: req.link,
+                    dialed: true,
+                },
+            );
+        }
+        _ => {
+            pending.push((
+                Instant::now() + req.backoff,
+                DialRequest {
+                    link: req.link,
+                    delay: req.backoff,
+                    backoff: (req.backoff * 2).min(inner.cfg.reconnect_max),
+                },
+            ));
+        }
+    }
 }
 
-/// Writer loop for a dialed (peer-map) link: connects with exponential
-/// backoff, announces local endpoints, drains the queue, reconnects on any
-/// write failure without losing the failed frame.
-fn dialed_writer(inner: &Arc<TcpInner>, link: &Link, peer: SocketAddr) {
-    let mut stream: Option<TcpStream> = None;
-    let mut backoff = inner.cfg.reconnect_min;
-    loop {
-        if inner.is_shutdown() {
+/// One reactor thread: owns a poller, a slab of connections, and (for
+/// loop 0) the accept listener.
+struct EventLoop {
+    idx: usize,
+    inner: Arc<TcpInner>,
+    poller: Poller,
+    conns: Slab,
+    cmd_rx: Receiver<LoopCmd>,
+    wake_rx: WakeReceiver,
+    sleeping: Arc<AtomicBool>,
+    listener: Option<TcpListener>,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        if self
+            .poller
+            .register(self.wake_rx.raw_fd(), WAKER_TOKEN, Interest::READ)
+            .is_err()
+        {
             return;
         }
-        let frame = match link.pop_wait(inner.cfg.poll_interval) {
-            Popped::Frame(f) => f,
-            Popped::Empty => continue,
-            Popped::Done => return,
-        };
-        loop {
-            if inner.is_shutdown() {
+        if let Some(listener) = &self.listener {
+            if listener.set_nonblocking(true).is_err()
+                || self
+                    .poller
+                    .register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
+                    .is_err()
+            {
                 return;
             }
-            if stream.is_none() {
-                match TcpStream::connect_timeout(&peer, inner.cfg.write_timeout) {
-                    Ok(mut s) => {
-                        if configure_stream(&s, &inner.cfg).is_ok()
-                            && write_hellos(&mut s, inner).is_ok()
-                        {
-                            // Links are full-duplex: the peer replies over
-                            // the connection we initiated (that is how
-                            // client processes, which never listen, get
-                            // their replies), so every established stream
-                            // also gets a reader.
-                            if let Ok(rs) = s.try_clone() {
-                                let inner2 = Arc::clone(inner);
-                                inner.spawn("tcp-dial-reader".into(), move || {
-                                    serve_conn(&inner2, rs);
-                                });
-                            }
-                            stream = Some(s);
-                            backoff = inner.cfg.reconnect_min;
-                        } else {
-                            inner.interruptible_sleep(backoff);
-                            backoff = (backoff * 2).min(inner.cfg.reconnect_max);
-                            continue;
-                        }
+        }
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            while let Ok(cmd) = self.cmd_rx.try_recv() {
+                self.handle_cmd(cmd);
+            }
+            if self.inner.is_shutdown() {
+                break;
+            }
+            // Sleep/wake protocol: publish "sleeping", then re-check the
+            // command queue — a sender that enqueued after our check will
+            // observe sleeping=true and wake us; one that enqueued before
+            // is caught by this re-check.
+            self.sleeping.store(true, Ordering::SeqCst);
+            if !self.cmd_rx.is_empty() || self.inner.is_shutdown() {
+                self.sleeping.store(false, Ordering::SeqCst);
+                continue;
+            }
+            let res = self.poller.wait(&mut events, self.inner.cfg.poll_interval);
+            self.sleeping.store(false, Ordering::SeqCst);
+            if res.is_err() {
+                break;
+            }
+            for &ev in &events {
+                match ev.token {
+                    WAKER_TOKEN => self.wake_rx.drain(),
+                    LISTENER_TOKEN => self.accept_burst(),
+                    token => self.conn_event(token, ev),
+                }
+            }
+        }
+        self.teardown_all();
+    }
+
+    fn handle_cmd(&mut self, cmd: LoopCmd) {
+        match cmd {
+            LoopCmd::Adopt {
+                stream,
+                link,
+                dialed,
+            } => self.adopt(stream, link, dialed),
+            LoopCmd::Flush(token) => {
+                // If write interest is registered the poller is already
+                // driving this connection; a flush attempt would just
+                // collect another WouldBlock.
+                if let Some(conn) = self.conns.get_mut(token) {
+                    if conn.want_write {
+                        return;
                     }
-                    Err(_) => {
-                        inner.interruptible_sleep(backoff);
-                        backoff = (backoff * 2).min(inner.cfg.reconnect_max);
+                }
+                self.flush_conn(token);
+            }
+            LoopCmd::Close(token) => self.close_conn(token),
+        }
+    }
+
+    fn adopt(&mut self, stream: TcpStream, link: Arc<Link>, dialed: bool) {
+        if self.inner.is_shutdown() || (dialed && link.is_closed()) {
+            return; // dropping the stream closes it
+        }
+        let hellos = if dialed {
+            self.inner.hellos_for(&link)
+        } else {
+            Vec::new()
+        };
+        let fd = stream.as_raw_fd();
+        let token = self.conns.insert(Conn {
+            stream,
+            acc: FrameAccumulator::new(),
+            link: Arc::clone(&link),
+            pending: hellos
+                .into_iter()
+                .map(|from| PendingFrame::new(OutFrame::Hello(from)))
+                .collect(),
+            announced: Vec::new(),
+            want_write: false,
+            dialed,
+        });
+        if self.poller.register(fd, token, Interest::READ).is_err() {
+            self.conns.remove(token);
+            if dialed {
+                self.inner.request_dial(link, self.inner.cfg.reconnect_min);
+            }
+            return;
+        }
+        link.bind(self.idx, token);
+        self.inner.open_conns.fetch_add(1, Ordering::Relaxed);
+        self.flush_conn(token);
+    }
+
+    fn accept_burst(&mut self) {
+        loop {
+            let accepted = match &self.listener {
+                Some(listener) => listener.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _)) => {
+                    if configure_stream(&stream).is_err() {
                         continue;
                     }
+                    let link = Link::new(
+                        LinkPeer::Accepted,
+                        None,
+                        self.inner.cfg.client_queue_capacity,
+                    );
+                    // Spread accepted connections across all loops; the
+                    // command is drained at the top of each iteration, so
+                    // self-assignment works too.
+                    let li = self.inner.next_loop();
+                    self.inner.send_loop_cmd(
+                        li,
+                        LoopCmd::Adopt {
+                            stream,
+                            link,
+                            dialed: false,
+                        },
+                    );
                 }
-            }
-            match write_out_frame(stream.as_mut().expect("stream connected"), &frame) {
-                Ok(()) => break,
-                Err(_) => {
-                    // Connection died (or stalled past the write timeout);
-                    // retry the same frame on a fresh one. Shut the old
-                    // socket down fully so its reader thread — which holds
-                    // a clone of the same connection — sees EOF and exits
-                    // instead of polling a zombie stream forever.
-                    if let Some(dead) = stream.take() {
-                        let _ = dead.shutdown(std::net::Shutdown::Both);
-                    }
-                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                // Transient accept failure (e.g. EMFILE): level-triggered
+                // polling retries on the next tick.
+                Err(_) => return,
             }
         }
     }
-}
 
-/// Writer loop for a reverse link (an accepted connection): no reconnect —
-/// if the peer-initiated socket dies, the peer re-dials and re-announces.
-fn reverse_writer(inner: &Arc<TcpInner>, link: &Link, mut stream: TcpStream) {
-    loop {
-        if inner.is_shutdown() {
-            return;
-        }
-        let frame = match link.pop_wait(inner.cfg.poll_interval) {
-            Popped::Frame(f) => f,
-            Popped::Empty => continue,
-            Popped::Done => return,
+    fn conn_event(&mut self, token: usize, ev: Event) {
+        let dead = if let Some(conn) = self.conns.get_mut(token) {
+            // A pure hangup (no pending bytes) kills the connection; if
+            // it is also readable, drain first so the final frames are
+            // not lost, and let the read error/EOF report the death.
+            let dead = (ev.hangup && !ev.readable)
+                || (ev.readable && read_burst(&self.inner, conn).is_err());
+            if !dead && ev.writable {
+                self.flush_conn(token);
+                return;
+            }
+            dead
+        } else {
+            return; // torn down earlier in this batch
         };
-        if write_out_frame(&mut stream, &frame).is_err() {
-            // Fully shut the socket down so the paired serve_conn reader
-            // sees EOF, exits, and removes the stale reverse route —
-            // otherwise replies would keep routing to this closed link
-            // while the connection still looked healthy.
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-            link.close();
+        if dead {
+            self.close_conn(token);
+        }
+    }
+
+    /// Drains the connection's link through vectored writes until the
+    /// socket blocks or the queue is empty, maintaining write interest
+    /// and the link's armed flag.
+    fn flush_conn(&mut self, token: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return;
+            };
+            if conn.pending.len() < MAX_WRITE_FRAMES {
+                let room = REFILL_BATCH - conn.pending.len().min(REFILL_BATCH);
+                conn.link.drain_into(&mut conn.pending, room);
+            }
+            if conn.pending.is_empty() {
+                if conn.link.disarm_if_empty() {
+                    if conn.want_write {
+                        conn.want_write = false;
+                        let fd = conn.stream.as_raw_fd();
+                        let _ = self.poller.reregister(fd, token, Interest::READ);
+                    }
+                    return;
+                }
+                continue; // frames landed between drain and disarm
+            }
+            match write_pending(conn) {
+                Ok(true) => {
+                    // Socket is full: register write interest and let the
+                    // poller resume us. The link stays armed — senders
+                    // need not notify while the kernel drives the flush.
+                    if !conn.want_write {
+                        conn.want_write = true;
+                        let fd = conn.stream.as_raw_fd();
+                        let _ = self.poller.reregister(fd, token, Interest::READ_WRITE);
+                    }
+                    return;
+                }
+                Ok(false) => continue,
+                // Write error: fall through to teardown (the only way out
+                // of the loop other than return).
+                Err(_) => break,
+            }
+        }
+        self.close_conn(token);
+    }
+
+    /// Eagerly reclaims a dead connection: poller slot, slab slot, gauge,
+    /// reverse routes; requeues + redials for dialed links, closes
+    /// accepted links so senders stop routing to them.
+    fn close_conn(&mut self, token: usize) {
+        let Some(conn) = self.conns.remove(token) else {
             return;
-        }
-    }
-}
-
-/// Reader loop for one accepted connection: parses frames, learns reverse
-/// links from HELLOs, delivers envelopes to local mailboxes.
-fn serve_conn(inner: &Arc<TcpInner>, stream: TcpStream) {
-    if stream.set_nodelay(true).is_err()
-        || stream
-            .set_read_timeout(Some(inner.cfg.poll_interval))
-            .is_err()
-    {
-        return;
-    }
-    let Ok(reader_stream) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = FrameReader::new(reader_stream);
-    // One writer link per connection, shared by every endpoint the peer
-    // announces over it.
-    let mut conn_link: Option<Arc<Link>> = None;
-    let mut announced: Vec<Sender> = Vec::new();
-    while !inner.is_shutdown() {
-        let body = match reader.poll_frame() {
-            Ok(Some(body)) => body,
-            Ok(None) => continue,
-            Err(_) => break, // EOF or transport error: connection is gone
         };
-        match frame::parse_frame(&body) {
-            Ok(Frame::Hello(from)) => {
-                let link = match &conn_link {
-                    Some(l) => Arc::clone(l),
-                    None => {
-                        let link = Link::new(inner.cfg.queue_capacity);
-                        if let Ok(ws) = stream.try_clone() {
-                            if configure_stream(&ws, &inner.cfg).is_err() {
-                                break;
-                            }
-                            let inner2 = Arc::clone(inner);
-                            let wl = Arc::clone(&link);
-                            inner.spawn("tcp-reverse-writer".into(), move || {
-                                reverse_writer(&inner2, &wl, ws);
-                            });
-                        } else {
-                            break;
-                        }
-                        conn_link = Some(Arc::clone(&link));
-                        link
-                    }
-                };
-                // Latest announcement wins: a restarted client's new
-                // connection replaces the stale route.
-                if let Some(old) = inner.reverse.write().insert(from, link) {
-                    if !conn_link.as_ref().is_some_and(|l| Arc::ptr_eq(l, &old)) {
-                        old.close();
-                    }
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        self.inner.open_conns.fetch_sub(1, Ordering::Relaxed);
+        conn.link.unbind(self.idx, token);
+        if !conn.announced.is_empty() {
+            let mut reverse = self.inner.reverse.write();
+            for addr in &conn.announced {
+                if reverse
+                    .get(addr)
+                    .is_some_and(|l| Arc::ptr_eq(l, &conn.link))
+                {
+                    reverse.remove(addr);
                 }
-                announced.push(from);
             }
-            Ok(Frame::Msg { to, msg }) => inner.deliver(to, msg),
-            Err(_) => break, // protocol violation: drop the connection
+        }
+        if conn.dialed {
+            // A partially written frame is safe to resend in full: the
+            // receiver saw a truncated frame and discarded the connection
+            // state with it.
+            let unsent: Vec<OutFrame> = conn.pending.into_iter().map(|pf| pf.frame).collect();
+            conn.link.requeue_front(unsent);
+            if !conn.link.is_closed() && !self.inner.is_shutdown() {
+                self.inner
+                    .request_dial(conn.link, self.inner.cfg.reconnect_min);
+            }
+        } else {
+            conn.link.close();
         }
     }
-    // Tear down routes announced over this connection (unless a newer
-    // connection already replaced them).
-    if let Some(link) = conn_link {
-        link.close();
-        let mut reverse = inner.reverse.write();
-        for addr in announced {
-            if reverse.get(&addr).is_some_and(|l| Arc::ptr_eq(l, &link)) {
-                reverse.remove(&addr);
-            }
+
+    fn teardown_all(&mut self) {
+        for token in self.conns.tokens() {
+            self.close_conn(token);
+        }
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
         }
     }
 }
 
-fn acceptor(inner: &Arc<TcpInner>, listener: TcpListener) {
-    if listener.set_nonblocking(true).is_err() {
-        return;
-    }
-    while !inner.is_shutdown() {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                // Accepted sockets must block (reads use a timeout).
-                if stream.set_nonblocking(false).is_err() {
-                    continue;
-                }
-                let inner2 = Arc::clone(inner);
-                inner.spawn("tcp-conn-reader".into(), move || {
-                    serve_conn(&inner2, stream);
-                });
-            }
-            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(inner.cfg.poll_interval.min(Duration::from_millis(10)));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+/// Parses inbound frames until the socket would block (bounded per event;
+/// level-triggered polling re-reports leftover readability).
+fn read_burst(inner: &Arc<TcpInner>, conn: &mut Conn) -> io::Result<()> {
+    for _ in 0..MAX_READ_FRAMES {
+        match conn.acc.poll(&mut (&conn.stream)) {
+            Ok(Some(body)) => handle_frame(inner, conn, &body)?,
+            Ok(None) => return Ok(()),
+            Err(e) => return Err(e),
         }
+    }
+    Ok(())
+}
+
+fn handle_frame(inner: &Arc<TcpInner>, conn: &mut Conn, body: &[u8]) -> io::Result<()> {
+    match frame::parse_frame(body)? {
+        Frame::Hello(from) => {
+            // Latest announcement wins: a restarted client's new
+            // connection replaces the stale route. Only accepted links
+            // are closed when replaced — a shared dialed link may carry
+            // other endpoints' traffic and must survive.
+            if let Some(old) = inner.reverse.write().insert(from, Arc::clone(&conn.link)) {
+                if !Arc::ptr_eq(&old, &conn.link) && old.peer == LinkPeer::Accepted {
+                    old.close();
+                }
+            }
+            conn.announced.push(from);
+        }
+        Frame::Msg { to, msg } => inner.deliver(to, msg),
+    }
+    Ok(())
+}
+
+/// Writes a vectored burst from the pending list. Returns `Ok(true)` if
+/// the socket blocked, `Ok(false)` if progress was made.
+fn write_pending(conn: &mut Conn) -> io::Result<bool> {
+    let mut slices: Vec<IoSlice<'_>> =
+        Vec::with_capacity(2 * conn.pending.len().min(MAX_WRITE_FRAMES));
+    for (i, pf) in conn.pending.iter().take(MAX_WRITE_FRAMES).enumerate() {
+        let mut off = if i == 0 { pf.written } else { 0 };
+        if off < pf.head.len() {
+            slices.push(IoSlice::new(&pf.head[off..]));
+            off = 0;
+        } else {
+            off -= pf.head.len();
+        }
+        if let Some(payload) = &pf.payload {
+            if off < payload.len() {
+                slices.push(IoSlice::new(&payload[off..]));
+            }
+        }
+    }
+    match (&conn.stream).write_vectored(&slices) {
+        Ok(0) => Err(io::ErrorKind::WriteZero.into()),
+        Ok(mut n) => {
+            while n > 0 {
+                let pf = conn
+                    .pending
+                    .front_mut()
+                    .expect("wrote more bytes than were pending");
+                let remaining = pf.total_len() - pf.written;
+                if n >= remaining {
+                    n -= remaining;
+                    conn.pending.pop_front();
+                } else {
+                    pf.written += n;
+                    n = 0;
+                }
+            }
+            Ok(false)
+        }
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(true),
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(false),
+        Err(e) => Err(e),
     }
 }
 
@@ -549,13 +1082,14 @@ impl fmt::Debug for TcpTransport {
         f.debug_struct("TcpTransport")
             .field("listen", &self.inner.local_addr)
             .field("peers", &self.inner.cfg.peers.len())
+            .field("event_loops", &self.inner.cfg.event_loops)
             .finish()
     }
 }
 
 impl TcpTransport {
     /// Starts a transport, binding the listener named in `cfg.listen` (if
-    /// any) and spawning the acceptor.
+    /// any) and spawning the reactor threads.
     ///
     /// # Errors
     /// Returns the bind error if the listen address is taken or invalid.
@@ -572,24 +1106,64 @@ impl TcpTransport {
     /// map is assembled from the actual bound addresses.
     pub fn with_listener(cfg: TcpConfig, listener: Option<TcpListener>) -> TcpTransport {
         let local_addr = listener.as_ref().and_then(|l| l.local_addr().ok());
+        let loops_n = cfg.event_loops.max(1);
         let inner = Arc::new(TcpInner {
             cfg,
             local_addr,
             mailboxes: RwLock::new(HashMap::new()),
-            local_addrs: RwLock::new(Vec::new()),
+            locals: RwLock::new(Vec::new()),
             dialed: RwLock::new(HashMap::new()),
+            dedicated: RwLock::new(HashMap::new()),
             reverse: RwLock::new(HashMap::new()),
+            loops: OnceLock::new(),
+            dial_tx: OnceLock::new(),
             stats: NetworkStats::new(),
             faults: FaultController::new(),
             shutdown: AtomicBool::new(false),
+            open_conns: AtomicUsize::new(0),
+            rr: AtomicUsize::new(0),
             threads: Mutex::new(Vec::new()),
         });
-        if let Some(listener) = listener {
-            let inner2 = Arc::clone(&inner);
-            inner.spawn("tcp-acceptor".into(), move || {
-                acceptor(&inner2, listener);
+        let mut handles = Vec::with_capacity(loops_n);
+        let mut threads = Vec::with_capacity(loops_n + 1);
+        let mut listener = listener;
+        for idx in 0..loops_n {
+            let (cmd_tx, cmd_rx) = channel::unbounded();
+            let (waker, wake_rx) = crate::reactor::wake_pair().expect("create reactor wake pipe");
+            let sleeping = Arc::new(AtomicBool::new(false));
+            handles.push(LoopHandle {
+                cmd_tx,
+                waker,
+                sleeping: Arc::clone(&sleeping),
             });
+            let ev_loop = EventLoop {
+                idx,
+                inner: Arc::clone(&inner),
+                poller: Poller::new().expect("create reactor poller"),
+                conns: Slab::default(),
+                cmd_rx,
+                wake_rx,
+                sleeping,
+                listener: listener.take(), // loop 0 gets the listener
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("tcp-loop-{idx}"))
+                    .spawn(move || ev_loop.run())
+                    .expect("spawn tcp event loop"),
+            );
         }
+        inner.loops.set(handles).ok().expect("loops set once");
+        let (dial_tx, dial_rx) = channel::unbounded();
+        inner.dial_tx.set(dial_tx).expect("dialer set once");
+        let dial_inner = Arc::clone(&inner);
+        threads.push(
+            std::thread::Builder::new()
+                .name("tcp-dialer".into())
+                .spawn(move || dialer(&dial_inner, &dial_rx))
+                .expect("spawn tcp dialer"),
+        );
+        *inner.threads.lock() = threads;
         TcpTransport { inner }
     }
 
@@ -613,6 +1187,12 @@ impl TcpTransport {
     /// The actually bound listen address, if this transport listens.
     pub fn local_addr(&self) -> Option<SocketAddr> {
         self.inner.local_addr
+    }
+
+    /// Live sockets currently owned by this transport's event loops —
+    /// the observable for connection-reclamation tests and swarm sizing.
+    pub fn open_connections(&self) -> usize {
+        self.inner.open_conns.load(Ordering::Relaxed)
     }
 
     /// A [`NetHandle`] over this transport.
@@ -644,18 +1224,24 @@ impl TcpTransport {
     /// endpoints; self-sends behave like in-memory), everything else
     /// goes through a peer link. `payload` memoizes the serialized bytes
     /// so a broadcast encodes once no matter how many link destinations.
+    /// `reliable` marks client-path traffic that must never be shed.
     ///
     /// The one copy of the stats/fault/routing sequence shared by
-    /// `send_from` and `broadcast_from`.
+    /// `send_from`, `broadcast_from` and `send_direct`.
     fn dispatch_one(
         &self,
         from: Sender,
         to: Sender,
         msg: &SignedMessage,
         payload: &mut Option<Arc<Vec<u8>>>,
+        reliable: bool,
     ) -> Result<(), NetworkError> {
         let local = self.inner.mailboxes.read().contains_key(&to);
-        let link = if local { None } else { self.inner.route_to(to) };
+        let link = if local {
+            None
+        } else {
+            self.inner.route_to(from, to)
+        };
         if !local && link.is_none() {
             self.inner.stats.record_dropped();
             return Err(NetworkError::UnknownDestination(format!("{to:?}")));
@@ -670,10 +1256,10 @@ impl TcpTransport {
             Some(link) => {
                 // Send-side twin of the reader's MAX_FRAME guard: an
                 // envelope the receiver is guaranteed to reject must not
-                // reach the wire — a dialed writer would otherwise retry
-                // the same doomed frame through endless reconnects,
-                // wedging the link. Dropping it (counted) is the only
-                // deliverable outcome.
+                // reach the wire — the link would otherwise retry the
+                // same doomed frame through endless reconnects, wedging
+                // it. Dropping it (counted) is the only deliverable
+                // outcome.
                 if msg.encoded_len() + MSG_HEADER_MAX > frame::MAX_FRAME {
                     self.inner.stats.record_dropped();
                     return Ok(());
@@ -681,13 +1267,29 @@ impl TcpTransport {
                 let shared = payload
                     .get_or_insert_with(|| Arc::new(msg.encode()))
                     .clone();
-                self.inner.push_out(&link, to, shared);
+                // Replies to clients stay reliable even over the mesh
+                // path, matching the pre-reactor backend.
+                let reliable = reliable || matches!(to, Sender::Client(_));
+                let policy = if reliable {
+                    PushPolicy::Reliable
+                } else {
+                    PushPolicy::Gossip
+                };
+                self.inner.push_link(
+                    &link,
+                    OutFrame::Msg {
+                        to,
+                        payload: shared,
+                        reliable,
+                    },
+                    policy,
+                );
             }
         }
         Ok(())
     }
 
-    /// Stops the acceptor, readers and writers, and joins them.
+    /// Stops the reactor threads and the dialer, and joins them.
     pub fn shutdown(&self) {
         if self.inner.shutdown.swap(true, Ordering::SeqCst) {
             return;
@@ -695,48 +1297,25 @@ impl TcpTransport {
         for link in self.inner.dialed.read().values() {
             link.close();
         }
+        for link in self.inner.dedicated.read().values() {
+            link.close();
+        }
         for link in self.inner.reverse.read().values() {
             link.close();
         }
-        // Reader threads spawn writer threads, so drain until quiescent.
-        loop {
-            let handles: Vec<JoinHandle<()>> = self.inner.threads.lock().drain(..).collect();
-            if handles.is_empty() {
-                break;
-            }
-            for h in handles {
-                let _ = h.join();
-            }
+        for h in self.inner.loops() {
+            h.waker.wake();
+        }
+        let handles: Vec<JoinHandle<()>> = self.inner.threads.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
         }
     }
 }
 
-impl Transport for TcpTransport {
-    fn register_mailbox(&self, addr: Sender) -> Receiver<SignedMessage> {
-        let (tx, rx) = channel::unbounded();
-        let prev = self.inner.mailboxes.write().insert(addr, tx);
-        assert!(prev.is_none(), "address {addr:?} registered twice");
-        self.inner.local_addrs.write().push(addr);
-        // A client eagerly dials every replica and announces itself, so
-        // replicas it has never messaged (PBFT backups replying to a
-        // request sent only to the primary) still have a reply route.
-        if matches!(addr, Sender::Client(_)) {
-            let peers: Vec<(ReplicaId, SocketAddr)> = self.inner.cfg.peers.iter().collect();
-            for (id, peer_addr) in peers {
-                let link = self.inner.dialed_link(id, peer_addr);
-                link.push_reliable(OutFrame::Hello(addr));
-            }
-        }
-        rx
-    }
-
-    fn deregister(&self, addr: Sender) {
-        self.inner.mailboxes.write().remove(&addr);
-        self.inner.local_addrs.write().retain(|a| *a != addr);
-    }
-
+impl MeshTransport for TcpTransport {
     fn send_from(&self, from: Sender, to: Sender, msg: SignedMessage) -> Result<(), NetworkError> {
-        self.dispatch_one(from, to, &msg, &mut None)
+        self.dispatch_one(from, to, &msg, &mut None, false)
     }
 
     fn broadcast_from(
@@ -754,13 +1333,78 @@ impl Transport for TcpTransport {
             if dest == from {
                 continue; // no self-delivery on broadcast
             }
-            if let Err(e) = self.dispatch_one(from, dest, msg, &mut payload) {
+            if let Err(e) = self.dispatch_one(from, dest, msg, &mut payload, false) {
                 first_err.get_or_insert(e);
             }
         }
         match first_err {
             Some(e) => Err(e),
             None => Ok(()),
+        }
+    }
+}
+
+impl ClientTransport for TcpTransport {
+    fn send_direct(
+        &self,
+        from: Sender,
+        to: Sender,
+        msg: SignedMessage,
+    ) -> Result<(), NetworkError> {
+        self.dispatch_one(from, to, &msg, &mut None, true)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn register_mailbox(&self, addr: Sender) -> Receiver<SignedMessage> {
+        let (tx, rx) = channel::unbounded();
+        let prev = self.inner.mailboxes.write().insert(addr, tx);
+        assert!(prev.is_none(), "address {addr:?} registered twice");
+        // Swarm mode: this client gets its own connection to the primary.
+        let dedicated_target = match (self.inner.cfg.dedicated_to, addr) {
+            (Some(t), Sender::Client(_)) if self.inner.cfg.peers.get(t).is_some() => Some(t),
+            _ => None,
+        };
+        self.inner.locals.write().push((addr, dedicated_target));
+        if let Some(target) = dedicated_target {
+            let link = Link::new(
+                LinkPeer::Dedicated { owner: addr },
+                self.inner.cfg.peers.get(target),
+                self.inner.cfg.client_queue_capacity,
+            );
+            self.inner.dedicated.write().insert(addr, Arc::clone(&link));
+            self.inner.request_dial(link, Duration::ZERO);
+        }
+        // A client eagerly dials every replica and announces itself, so
+        // replicas it has never messaged (PBFT backups replying to a
+        // request sent only to the primary) still have a reply route.
+        // The dedicated target (if any) is skipped: its own connection
+        // announces the endpoint at adoption.
+        if matches!(addr, Sender::Client(_)) {
+            let peers: Vec<(ReplicaId, SocketAddr)> = self.inner.cfg.peers.iter().collect();
+            for (id, peer_addr) in peers {
+                if Some(id) == dedicated_target {
+                    continue;
+                }
+                let link = self.inner.dialed_link(id, peer_addr);
+                self.inner
+                    .push_link(&link, OutFrame::Hello(addr), PushPolicy::Reliable);
+            }
+        }
+        rx
+    }
+
+    fn deregister(&self, addr: Sender) {
+        self.inner.mailboxes.write().remove(&addr);
+        self.inner.locals.write().retain(|(a, _)| *a != addr);
+        // Eagerly reclaim the dedicated connection (swarm churn): close
+        // the link so senders stop using it, then tell the owning loop to
+        // tear the socket down now rather than at peer-side EOF.
+        if let Some(link) = self.inner.dedicated.write().remove(&addr) {
+            link.close();
+            if let Some((li, token)) = link.owner() {
+                self.inner.send_loop_cmd(li, LoopCmd::Close(token));
+            }
         }
     }
 
@@ -886,26 +1530,98 @@ mod tests {
     #[test]
     fn gossip_overflow_sheds_messages_never_hellos() {
         let stats = NetworkStats::new();
-        let link = Link::new(2);
-        link.push_reliable(OutFrame::Hello(Sender::Client(ClientId(1))));
+        let link = Link::new(LinkPeer::Accepted, None, 2);
+        link.push(
+            OutFrame::Hello(Sender::Client(ClientId(1))),
+            PushPolicy::Reliable,
+            &stats,
+        );
         let msg_frame = |b: u8| OutFrame::Msg {
             to: r(1),
             payload: Arc::new(vec![b]),
+            reliable: false,
         };
-        link.push_gossip(msg_frame(1), &stats);
+        link.push(msg_frame(1), PushPolicy::Gossip, &stats);
         // Queue is at capacity: the overflow victim must be the Msg, not
         // the routing announcement sitting in front of it.
-        link.push_gossip(msg_frame(2), &stats);
+        link.push(msg_frame(2), PushPolicy::Gossip, &stats);
         assert_eq!(stats.dropped(), 1);
-        match link.pop_wait(Duration::from_millis(10)) {
-            Popped::Frame(OutFrame::Hello(from)) => {
-                assert_eq!(from, Sender::Client(ClientId(1)));
-            }
+        let s = link.state.lock();
+        assert_eq!(s.frames.len(), 2);
+        assert!(matches!(s.frames[0], OutFrame::Hello(_)));
+        match &s.frames[1] {
+            OutFrame::Msg { payload, .. } => assert_eq!(***payload, vec![2]),
             other => panic!(
-                "hello must survive gossip overflow, got {:?}",
-                matches!(other, Popped::Frame(_))
+                "expected msg frame, got hello={}",
+                matches!(other, OutFrame::Hello(_))
             ),
         }
+    }
+
+    #[test]
+    fn reliable_overflow_sheds_gossip_to_make_room() {
+        let stats = NetworkStats::new();
+        let link = Link::new(LinkPeer::Accepted, None, 1);
+        let frame = |reliable| OutFrame::Msg {
+            to: r(1),
+            payload: Arc::new(vec![0]),
+            reliable,
+        };
+        link.push(frame(false), PushPolicy::Gossip, &stats);
+        // The reliable push must not block: the queued gossip frame is
+        // sheddable and yields its slot.
+        link.push(frame(true), PushPolicy::Reliable, &stats);
+        assert_eq!(stats.dropped(), 1);
+        let s = link.state.lock();
+        assert_eq!(s.frames.len(), 1);
+        assert!(matches!(s.frames[0], OutFrame::Msg { reliable: true, .. }));
+    }
+
+    #[test]
+    fn dedicated_mode_uses_one_connection_per_client() {
+        let (peers, mut listeners) = TcpTransport::bind_loopback_cluster(1).unwrap();
+        let server = TcpTransport::with_listener(
+            TcpConfig {
+                peers: peers.clone(),
+                ..TcpConfig::default()
+            },
+            Some(listeners.remove(0)),
+        );
+        let replica = server.register(r(0));
+        let swarm = TcpTransport::new(TcpConfig::for_swarm(peers, ReplicaId(0))).unwrap();
+        let c1 = swarm.register(Sender::Client(ClientId(1)));
+        let c2 = swarm.register(Sender::Client(ClientId(2)));
+        c1.send(r(0), msg(Sender::Client(ClientId(1)))).unwrap();
+        c2.send(r(0), msg(Sender::Client(ClientId(2)))).unwrap();
+        for _ in 0..2 {
+            replica.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        // One dedicated socket per client on the swarm side (and no
+        // shared link: the only replica is the dedicated target).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while swarm.open_connections() != 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(swarm.open_connections(), 2);
+        // Replies route over each client's own connection.
+        replica
+            .send(Sender::Client(ClientId(1)), msg(r(0)))
+            .unwrap();
+        replica
+            .send(Sender::Client(ClientId(2)), msg(r(0)))
+            .unwrap();
+        assert!(c1.recv_timeout(Duration::from_secs(5)).is_ok());
+        assert!(c2.recv_timeout(Duration::from_secs(5)).is_ok());
+        // Deregistering reclaims the dedicated socket eagerly.
+        drop(c1);
+        swarm.handle().deregister(Sender::Client(ClientId(1)));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while swarm.open_connections() != 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(swarm.open_connections(), 1);
+        server.shutdown();
+        swarm.shutdown();
     }
 
     #[test]

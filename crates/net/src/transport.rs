@@ -46,24 +46,13 @@ impl fmt::Display for NetworkError {
 
 impl std::error::Error for NetworkError {}
 
-/// A message transport connecting replicas and clients.
+/// The replica-facing transport surface: consensus gossip between peers
+/// in the replica map.
 ///
-/// Object-safe so deployments can choose a backend at runtime; consumers
-/// hold a [`NetHandle`] rather than a concrete network type. Fault
-/// injection is evaluated on the **send side** for both backends: a
-/// message is discarded when the sender's controller says
-/// [`FaultController::should_drop`], which makes drop/partition semantics
-/// identical whether the link is a channel or a socket.
-pub trait Transport: Send + Sync + fmt::Debug {
-    /// Creates the inbound mailbox for `addr` and returns its receiver.
-    ///
-    /// # Panics
-    /// Panics if `addr` is already registered on this transport.
-    fn register_mailbox(&self, addr: Sender) -> Receiver<SignedMessage>;
-
-    /// Removes `addr`; future sends to it fail or are dropped.
-    fn deregister(&self, addr: Sender);
-
+/// Mesh traffic is *droppable* — the protocol tolerates loss and
+/// retransmits by design, so backends may shed it under backpressure
+/// (the TCP backend's drop-oldest link policy).
+pub trait MeshTransport: Send + Sync + fmt::Debug {
     /// Sends `msg` from `from` to `to`.
     ///
     /// # Errors
@@ -74,10 +63,11 @@ pub trait Transport: Send + Sync + fmt::Debug {
 
     /// Sends `msg` to every address in `to`, skipping `from` itself.
     ///
-    /// The default forwards to [`Transport::send_from`] per destination
-    /// (cheap for the in-memory backend: a clone is reference-count
-    /// bumps). The TCP backend overrides this to serialize the envelope
-    /// once and share the encoded bytes across every peer's writer queue.
+    /// The default forwards to [`MeshTransport::send_from`] per
+    /// destination (cheap for the in-memory backend: a clone is
+    /// reference-count bumps). The TCP backend overrides this to
+    /// serialize the envelope once and share the encoded bytes across
+    /// every peer's queue.
     ///
     /// # Errors
     /// Returns the first error encountered; remaining destinations are
@@ -102,6 +92,45 @@ pub trait Transport: Send + Sync + fmt::Debug {
             None => Ok(()),
         }
     }
+}
+
+/// The client-facing transport surface: request submission and reply
+/// routing.
+///
+/// Direct traffic is *reliable* — never shed by backpressure policies;
+/// the sender blocks until the backend accepts it. This is the half that
+/// lets backends size client resources (dedicated connections, separate
+/// queue capacities) independently of the replica mesh.
+pub trait ClientTransport: Send + Sync + fmt::Debug {
+    /// Sends `msg` from `from` to `to` on the reliable client path
+    /// (client → replica requests, replica → client replies).
+    ///
+    /// # Errors
+    /// Returns [`NetworkError::UnknownDestination`] if the backend has no
+    /// route to `to`. Messages discarded by fault injection do *not*
+    /// error — like a real network, the sender cannot tell.
+    fn send_direct(&self, from: Sender, to: Sender, msg: SignedMessage)
+        -> Result<(), NetworkError>;
+}
+
+/// A message transport connecting replicas and clients: the mesh and
+/// client sub-surfaces plus endpoint lifecycle and observability.
+///
+/// Object-safe so deployments can choose a backend at runtime; consumers
+/// hold a [`NetHandle`] rather than a concrete network type. Fault
+/// injection is evaluated on the **send side** for both backends: a
+/// message is discarded when the sender's controller says
+/// [`FaultController::should_drop`], which makes drop/partition semantics
+/// identical whether the link is a channel or a socket.
+pub trait Transport: MeshTransport + ClientTransport {
+    /// Creates the inbound mailbox for `addr` and returns its receiver.
+    ///
+    /// # Panics
+    /// Panics if `addr` is already registered on this transport.
+    fn register_mailbox(&self, addr: Sender) -> Receiver<SignedMessage>;
+
+    /// Removes `addr`; future sends to it fail or are dropped.
+    fn deregister(&self, addr: Sender);
 
     /// The shared delivery statistics.
     fn stats(&self) -> &NetworkStats;
@@ -109,7 +138,7 @@ pub trait Transport: Send + Sync + fmt::Debug {
     /// The shared fault controller.
     fn faults(&self) -> &FaultController;
 
-    /// Stops background threads (wire thread, acceptors, writers).
+    /// Stops background threads (wire thread, reactors, dialers).
     fn shutdown(&self);
 }
 
@@ -214,6 +243,16 @@ impl Endpoint {
         self.net.transport.broadcast_from(self.addr, to, msg)
     }
 
+    /// Sends `msg` to `to` on the reliable client path (requests and
+    /// replies) — see [`ClientTransport::send_direct`].
+    ///
+    /// # Errors
+    /// Returns [`NetworkError::UnknownDestination`] if the backend has no
+    /// route to `to`.
+    pub fn send_direct(&self, to: Sender, msg: SignedMessage) -> Result<(), NetworkError> {
+        self.net.transport.send_direct(self.addr, to, msg)
+    }
+
     /// Blocks until a message arrives.
     ///
     /// # Errors
@@ -298,5 +337,15 @@ impl EndpointSender {
     /// destinations are still attempted.
     pub fn broadcast(&self, to: &[Sender], msg: &SignedMessage) -> Result<(), NetworkError> {
         self.net.transport.broadcast_from(self.addr, to, msg)
+    }
+
+    /// Sends `msg` to `to` on the reliable client path — see
+    /// [`ClientTransport::send_direct`].
+    ///
+    /// # Errors
+    /// Returns [`NetworkError::UnknownDestination`] if the backend has no
+    /// route to `to`.
+    pub fn send_direct(&self, to: Sender, msg: SignedMessage) -> Result<(), NetworkError> {
+        self.net.transport.send_direct(self.addr, to, msg)
     }
 }

@@ -492,3 +492,180 @@ fn tcp_reconnects_after_peer_restart() {
     t0.shutdown();
     t1b.shutdown();
 }
+
+/// Swarm scale through the reactor: ≥1K concurrent client sessions, each
+/// on its own dedicated socket, run a HELLO + request/reply conversation
+/// against one replica. Per-link FIFO must hold per client, the stats
+/// must stay byte-exact across thousands of links, and the connection
+/// gauge must show every socket.
+#[test]
+fn tcp_many_clients_request_reply_over_dedicated_links() {
+    const CLIENTS: u64 = 1_000;
+    const PER_CLIENT: u64 = 4;
+    let wait = Duration::from_secs(60);
+
+    let (peers, mut listeners) = TcpTransport::bind_loopback_cluster(1).unwrap();
+    let l0 = listeners.remove(0);
+    let t0 = TcpTransport::with_listener(
+        TcpConfig {
+            listen: l0.local_addr().ok(),
+            peers: peers.clone(),
+            ..TcpConfig::default()
+        },
+        Some(l0),
+    );
+    let replica = t0.register(r(0));
+    // One swarm transport hosts every session; `dedicated_to` gives each
+    // registered client endpoint its own connection to replica 0.
+    let swarm = TcpTransport::new(TcpConfig::for_swarm(peers, ReplicaId(0))).unwrap();
+    let swarm_handle = swarm.handle();
+    let sessions: Vec<Endpoint> = (0..CLIENTS).map(|k| swarm_handle.register(c(k))).collect();
+
+    // Every client fires its requests; seq = k * 1000 + i makes per-client
+    // FIFO checkable from the replica's interleaved inbox.
+    let mut want_bytes = 0u64;
+    for (k, ep) in sessions.iter().enumerate() {
+        for i in 0..PER_CLIENT {
+            let sm = prepare_msg(c(k as u64), k as u64 * 1_000 + i);
+            want_bytes += sm.encoded_len() as u64;
+            ep.send_direct(r(0), sm).unwrap();
+        }
+    }
+
+    // Drain at the replica: all requests arrive, in order per client.
+    let mut last_seq: Vec<Option<u64>> = vec![None; CLIENTS as usize];
+    let deadline = Instant::now() + wait;
+    for n in 0..CLIENTS * PER_CLIENT {
+        let got = replica
+            .recv_timeout(deadline.saturating_duration_since(Instant::now()))
+            .unwrap_or_else(|e| panic!("request {n} missing: {e}"));
+        let Sender::Client(ClientId(k)) = got.sender() else {
+            panic!("unexpected sender {:?}", got.sender());
+        };
+        let seq = got.msg().seq().expect("prepare has a seq").0;
+        assert_eq!(seq / 1_000, k, "seq namespace must match the client");
+        let prev = last_seq[k as usize].replace(seq);
+        assert!(prev.is_none_or(|p| p < seq), "client {k} out of order");
+        // Reply over the learned reverse route (same dedicated socket).
+        replica
+            .send_direct(got.sender(), prepare_msg(r(0), seq))
+            .unwrap();
+    }
+
+    // The gauge sees every dedicated socket (+ shared replica link).
+    assert!(
+        swarm.open_connections() >= CLIENTS as usize,
+        "expected ≥{CLIENTS} open connections, gauge says {}",
+        swarm.open_connections()
+    );
+
+    // Every session collects its own replies, FIFO per link.
+    for (k, ep) in sessions.iter().enumerate() {
+        for i in 0..PER_CLIENT {
+            let got = ep
+                .recv_timeout(wait)
+                .unwrap_or_else(|e| panic!("client {k} reply {i} missing: {e}"));
+            assert_eq!(got.msg().seq(), Some(SeqNum(k as u64 * 1_000 + i)));
+        }
+    }
+
+    // Byte-exact accounting across 1K links: requests on the swarm
+    // transport, replies on the replica's.
+    assert_eq!(swarm.stats().bytes_sent(), want_bytes);
+    assert_eq!(
+        swarm.stats().sent(MessageKind::Prepare),
+        CLIENTS * PER_CLIENT
+    );
+    assert_eq!(t0.stats().sent(MessageKind::Prepare), CLIENTS * PER_CLIENT);
+
+    swarm_handle.shutdown();
+    t0.shutdown();
+}
+
+#[cfg(target_os = "linux")]
+fn open_fd_count() -> usize {
+    std::fs::read_dir("/proc/self/fd").map_or(0, |d| d.count())
+}
+
+/// Reclamation regression: 1K connect/disconnect cycles through the
+/// reactor must not leak file descriptors or connection state — closed
+/// connections are reaped eagerly on both the dialing and accepting side.
+#[test]
+fn tcp_connection_churn_reclaims_fds_and_state() {
+    const CYCLES: u64 = 1_000;
+    let wait = Duration::from_secs(30);
+
+    let (peers, mut listeners) = TcpTransport::bind_loopback_cluster(1).unwrap();
+    let l0 = listeners.remove(0);
+    let t0 = TcpTransport::with_listener(
+        TcpConfig {
+            listen: l0.local_addr().ok(),
+            peers: peers.clone(),
+            ..TcpConfig::default()
+        },
+        Some(l0),
+    );
+    let replica = t0.register(r(0));
+    let swarm = TcpTransport::new(TcpConfig::for_swarm(peers, ReplicaId(0))).unwrap();
+    let swarm_handle = swarm.handle();
+
+    // Warm up the shared link and thread pool before baselining fds.
+    let warm = swarm_handle.register(c(u64::MAX));
+    warm.send_direct(r(0), prepare_msg(c(u64::MAX), 0)).unwrap();
+    replica.recv_timeout(wait).expect("warmup round trip");
+    swarm_handle.deregister(c(u64::MAX));
+    drop(warm);
+
+    #[cfg(target_os = "linux")]
+    let fd_baseline = open_fd_count();
+
+    for k in 0..CYCLES {
+        let ep = swarm_handle.register(c(k));
+        ep.send_direct(r(0), prepare_msg(c(k), k)).unwrap();
+        let got = replica
+            .recv_timeout(wait)
+            .unwrap_or_else(|e| panic!("cycle {k} round trip failed: {e}"));
+        assert_eq!(got.sender(), c(k));
+        // Deregistering tears the dedicated connection down eagerly; the
+        // replica side reaps the accepted socket on EOF.
+        swarm_handle.deregister(c(k));
+    }
+
+    // Both gauges converge back to the steady state: the swarm keeps at
+    // most its shared replica link, the replica at most that same link.
+    let deadline = Instant::now() + wait;
+    loop {
+        let open = swarm.open_connections() + t0.open_connections();
+        if open <= 2 || Instant::now() > deadline {
+            assert!(
+                open <= 2,
+                "churned connections not reclaimed: swarm={} replica={}",
+                swarm.open_connections(),
+                t0.open_connections()
+            );
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // And the process-level fd table shows no growth beyond slack for
+    // in-flight reaping.
+    #[cfg(target_os = "linux")]
+    {
+        let deadline = Instant::now() + wait;
+        loop {
+            let now = open_fd_count();
+            if now <= fd_baseline + 8 || Instant::now() > deadline {
+                assert!(
+                    now <= fd_baseline + 8,
+                    "fd leak across churn: {fd_baseline} before, {now} after"
+                );
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    swarm_handle.shutdown();
+    t0.shutdown();
+}

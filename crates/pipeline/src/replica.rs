@@ -574,7 +574,14 @@ pub fn spawn_replica(
                             if dest == me {
                                 continue;
                             }
-                            let _ = sender.send(dest, sm.clone());
+                            // Client replies ride the reliable surface so a
+                            // swarm of slow readers backpressures the output
+                            // stage instead of shedding replies; replica
+                            // gossip stays on the droppable mesh path.
+                            let _ = match dest {
+                                Sender::Client(_) => sender.send_direct(dest, sm.clone()),
+                                Sender::Replica(_) => sender.send(dest, sm.clone()),
+                            };
                         }
                     });
                 }

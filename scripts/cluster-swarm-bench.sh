@@ -1,0 +1,188 @@
+#!/usr/bin/env bash
+# Client-swarm cluster benchmark: 4 rdb-node replica processes over
+# 127.0.0.1 TCP driven by an N-client swarm process (one dedicated socket
+# per client through the reactor). For every count in $CLIENTS the script
+# records end-to-end committed-txn/s and burst latency percentiles into
+# BENCH_cluster.json, and digest-compares the TCP run against an
+# in-memory reference run of the same shape (`rdb-node --swarm --mem`) —
+# the two must commit to bit-identical state.
+#
+# Usage: scripts/cluster-swarm-bench.sh [path-to-rdb-node] [log-dir]
+#   CLIENTS="1000 10000"   client counts to sweep (default "1000")
+#   RDB_SWARM_TPC=2        transactions per client
+#   RDB_SWARM_SHARDS=8     swarm pump threads
+#   RDB_SWARM_BATCH=50     consensus batch size
+#   RDB_SWARM_RUN_SECS=300 per-run deadline
+# Builds the release binary if no path is given.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN="${1:-}"
+LOG_DIR="${2:-target/cluster-swarm-bench}"
+CLIENTS="${CLIENTS:-1000}"
+TPC="${RDB_SWARM_TPC:-2}"
+SHARDS="${RDB_SWARM_SHARDS:-8}"
+BATCH="${RDB_SWARM_BATCH:-50}"
+RUN_SECS="${RDB_SWARM_RUN_SECS:-300}"
+BASE_PORT="${RDB_SWARM_BASE_PORT:-17800}"
+OUT="${RDB_SWARM_OUT:-BENCH_cluster.json}"
+
+# --- fd budget: every swarm client is a real socket on both ends -------------
+max_clients=0
+for n in $CLIENTS; do
+  if [ "$n" -gt "$max_clients" ]; then max_clients=$n; fi
+done
+need=$((max_clients + 2048))
+cur=$(ulimit -n)
+if [ "$cur" != "unlimited" ] && [ "$cur" -lt "$need" ]; then
+  hard=$(ulimit -Hn)
+  if [ "$hard" = "unlimited" ]; then
+    ulimit -n "$need"
+  elif [ "$hard" -ge "$need" ]; then
+    ulimit -n "$need"
+  else
+    echo "::error::fd limit too low for a $max_clients-client swarm:" \
+      "need $need, hard cap is $hard. Raise it (ulimit -n / limits.conf)" >&2
+    exit 1
+  fi
+fi
+echo "fd limit: $(ulimit -n) (need $need for $max_clients clients)"
+
+if [ -z "$BIN" ]; then
+  echo "building rdb-node (release)…"
+  cargo build --release --bin rdb-node
+  BIN=target/release/rdb-node
+fi
+
+mkdir -p "$LOG_DIR"
+rm -f "$LOG_DIR"/*.log
+
+PEERS="0=127.0.0.1:$BASE_PORT,1=127.0.0.1:$((BASE_PORT + 1)),2=127.0.0.1:$((BASE_PORT + 2)),3=127.0.0.1:$((BASE_PORT + 3))"
+echo "peer map: $PEERS"
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# Pulls `key=value` fields out of a SWARM/FINAL line.
+field() { sed -n "s/.*$2=\([0-9a-f.]*\).*/\1/p" <<<"$1"; }
+
+runs_json=""
+for n in $CLIENTS; do
+  total=$((n * TPC))
+  table=$total
+  echo "=== swarm run: $n clients × $TPC txns (target $total) ==="
+  common=(--peers "$PEERS" --batch-size "$BATCH" --client-keys "$n" --table-size "$table")
+
+  for i in 0 1 2 3; do
+    "$BIN" --replica "$i" "${common[@]}" \
+      --exit-after-txns "$total" --report-every-ms 1000 --run-secs "$RUN_SECS" \
+      >"$LOG_DIR/replica-$n-$i.log" 2>&1 &
+    pids+=($!)
+  done
+  sleep 1
+
+  if ! timeout "$RUN_SECS" "$BIN" --swarm "$n" "${common[@]}" \
+    --txns-per-client "$TPC" --shards "$SHARDS" --wait-secs "$RUN_SECS" \
+    >"$LOG_DIR/swarm-$n.log" 2>&1; then
+    echo "::error::swarm ($n clients) failed or timed out" >&2
+    cat "$LOG_DIR/swarm-$n.log" >&2
+    exit 1
+  fi
+  swarm_line=$(grep '^SWARM ' "$LOG_DIR/swarm-$n.log" | tail -n1)
+  echo "$swarm_line"
+
+  # Replicas exit on their own once they hit --exit-after-txns.
+  for idx in "${!pids[@]}"; do
+    if ! wait "${pids[$idx]}"; then
+      echo "::error::a replica exited non-zero in the $n-client run" >&2
+      tail -n 20 "$LOG_DIR"/replica-"$n"-*.log >&2
+      exit 1
+    fi
+  done
+  pids=()
+
+  digest=""
+  for i in 0 1 2 3; do
+    final=$(grep '^FINAL ' "$LOG_DIR/replica-$n-$i.log" | tail -n1)
+    if [ -z "$final" ]; then
+      echo "::error::replica $i printed no FINAL line ($n clients)" >&2
+      exit 1
+    fi
+    if ! grep -q "executed=$total" <<<"$final"; then
+      echo "::error::replica $i stopped short of $total txns: $final" >&2
+      exit 1
+    fi
+    d=$(field "$final" digest)
+    if [ -z "$digest" ]; then
+      digest=$d
+    elif [ "$d" != "$digest" ]; then
+      echo "::error::digests diverged across replicas ($n clients)" >&2
+      exit 1
+    fi
+  done
+  echo "TCP cluster digest: $digest"
+
+  # In-memory reference run of the same shape: digests must match the
+  # socket run bit-for-bit.
+  if ! timeout "$RUN_SECS" "$BIN" --swarm "$n" --mem "${common[@]}" \
+    --txns-per-client "$TPC" --shards "$SHARDS" --wait-secs "$RUN_SECS" \
+    >"$LOG_DIR/mem-$n.log" 2>&1; then
+    echo "::error::in-memory reference swarm ($n clients) failed" >&2
+    cat "$LOG_DIR/mem-$n.log" >&2
+    exit 1
+  fi
+  mem_digest=""
+  while read -r final; do
+    if ! grep -q "executed=$total" <<<"$final"; then
+      echo "::error::in-memory replica stopped short: $final" >&2
+      exit 1
+    fi
+    d=$(field "$final" digest)
+    if [ -z "$mem_digest" ]; then
+      mem_digest=$d
+    elif [ "$d" != "$mem_digest" ]; then
+      echo "::error::in-memory digests diverged ($n clients)" >&2
+      exit 1
+    fi
+  done < <(grep '^FINAL ' "$LOG_DIR/mem-$n.log")
+  if [ "$mem_digest" != "$digest" ]; then
+    echo "::error::TCP digest $digest != in-memory digest $mem_digest ($n clients)" >&2
+    exit 1
+  fi
+  echo "digest matches in-memory reference: $mem_digest"
+
+  entry=$(printf '{"clients": %s, "submitted": %s, "committed": %s, "elapsed_ms": %s, "tps": %s, "p50_us": %s, "p95_us": %s, "p99_us": %s, "digest": "%s", "digest_matches_memory": true}' \
+    "$(field "$swarm_line" clients)" "$(field "$swarm_line" submitted)" \
+    "$(field "$swarm_line" committed)" "$(field "$swarm_line" elapsed_ms)" \
+    "$(field "$swarm_line" tps)" "$(field "$swarm_line" p50_us)" \
+    "$(field "$swarm_line" p95_us)" "$(field "$swarm_line" p99_us)" "$digest")
+  if [ -z "$runs_json" ]; then
+    runs_json="    $entry"
+  else
+    runs_json="$runs_json,
+    $entry"
+  fi
+done
+
+cat >"$OUT" <<EOF
+{
+  "bench": "cluster_swarm",
+  "replicas": 4,
+  "txns_per_client": $TPC,
+  "batch_size": $BATCH,
+  "shards": $SHARDS,
+  "transport": "tcp-reactor (one dedicated socket per client)",
+  "runs": [
+$runs_json
+  ]
+}
+EOF
+echo "wrote $OUT:"
+cat "$OUT"
