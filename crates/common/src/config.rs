@@ -254,6 +254,13 @@ pub struct SystemConfig {
     pub table_size: u64,
     /// Client request timeout in milliseconds (drives Zyzzyva's slow path).
     pub client_timeout_ms: u64,
+    /// How long a replica waits without consensus progress (while demand
+    /// is pending) before voting to change views, in milliseconds.
+    pub view_timeout_ms: u64,
+    /// Fault injection: make this deployment's initial primary byzantine —
+    /// it equivocates, proposing conflicting batches to different backups,
+    /// so no sequence can gather a quorum until a view change removes it.
+    pub byzantine_primary: bool,
 }
 
 impl SystemConfig {
@@ -284,6 +291,8 @@ impl SystemConfig {
             cores: 8,
             table_size: 600_000,
             client_timeout_ms: 50,
+            view_timeout_ms: 2_000,
+            byzantine_primary: false,
         })
     }
 
@@ -338,6 +347,19 @@ impl SystemConfig {
     /// Builder-style: sets cores per replica machine.
     pub fn with_cores(mut self, cores: usize) -> Self {
         self.cores = cores;
+        self
+    }
+
+    /// Builder-style: sets the view-change suspicion timeout.
+    pub fn with_view_timeout_ms(mut self, ms: u64) -> Self {
+        self.view_timeout_ms = ms;
+        self
+    }
+
+    /// Builder-style: makes the initial primary equivocate (fault
+    /// injection for the byzantine-primary scenario).
+    pub fn with_byzantine_primary(mut self, byzantine: bool) -> Self {
+        self.byzantine_primary = byzantine;
         self
     }
 
@@ -400,6 +422,11 @@ impl SystemConfig {
         if self.num_clients == 0 || self.max_outstanding == 0 {
             return Err(CommonError::InvalidConfig(
                 "need at least one client request".into(),
+            ));
+        }
+        if self.view_timeout_ms == 0 {
+            return Err(CommonError::InvalidConfig(
+                "view_timeout_ms must be positive".into(),
             ));
         }
         Ok(())

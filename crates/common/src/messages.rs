@@ -15,6 +15,11 @@ use crate::ids::{ClientId, Digest, ReplicaId, SeqNum, SignatureBytes, TxnId, Vie
 use crate::transaction::{Batch, Transaction};
 use std::sync::{Arc, OnceLock};
 
+/// The batch tail a `ViewChange` vote carries: each in-flight sequence
+/// above the stable checkpoint with its digest and payload, so the
+/// incoming primary can re-issue sequences it never saw proposed.
+pub type BatchTail = Vec<(SeqNum, Digest, Arc<Batch>)>;
+
 /// Originator of a message: a replica or a client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Sender {
@@ -250,6 +255,11 @@ pub enum Message {
         last_stable: SeqNum,
         /// Sequences prepared above the stable checkpoint: `(seq, digest)`.
         prepared: Vec<(SeqNum, Digest)>,
+        /// The batches behind `prepared` (PBFT) or the spec-executed tail
+        /// above the stable checkpoint (Zyzzyva): `(seq, digest, batch)`.
+        /// Travels with the vote so the incoming primary can re-issue an
+        /// in-flight sequence even if it never saw the original proposal.
+        tail: Vec<(SeqNum, Digest, Arc<Batch>)>,
         /// Requesting replica.
         replica: ReplicaId,
     },
@@ -312,7 +322,17 @@ impl Message {
             }
             Message::LocalCommit { .. } => HDR + 8 + 8 + 4,
             Message::Checkpoint { .. } => HDR + 8 + DIG + 4,
-            Message::ViewChange { prepared, .. } => HDR + 8 + 8 + 4 + prepared.len() * (8 + DIG),
+            Message::ViewChange { prepared, tail, .. } => {
+                HDR + 8
+                    + 8
+                    + 4
+                    + prepared.len() * (8 + DIG)
+                    + 4
+                    + tail
+                        .iter()
+                        .map(|(_, _, b)| 8 + DIG + b.wire_size())
+                        .sum::<usize>()
+            }
             Message::NewView { reissued, .. } => HDR + 8 + 4 + reissued.len() * (8 + DIG),
         }
     }
@@ -336,6 +356,38 @@ fn read_seq_digest_pairs(r: &mut WireReader<'_>) -> Result<Vec<(SeqNum, Digest)>
         out.push((SeqNum(r.get_u64()?), Digest(r.get_array32()?)));
     }
     Ok(out)
+}
+
+fn write_batch_tail(w: &mut WireWriter, tail: &[(SeqNum, Digest, Arc<Batch>)]) {
+    w.put_u32(tail.len() as u32);
+    for (s, d, b) in tail {
+        w.put_u64(s.0);
+        w.put_bytes(d.as_bytes());
+        b.write(w);
+    }
+}
+
+fn read_batch_tail(r: &mut WireReader<'_>) -> Result<Vec<(SeqNum, Digest, Arc<Batch>)>> {
+    let n = r.get_u32()? as usize;
+    if n > r.remaining() {
+        return Err(CommonError::Codec("tail count exceeds input".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push((
+            SeqNum(r.get_u64()?),
+            Digest(r.get_array32()?),
+            Arc::new(Batch::read(r)?),
+        ));
+    }
+    Ok(out)
+}
+
+fn batch_tail_encoded_len(tail: &[(SeqNum, Digest, Arc<Batch>)]) -> usize {
+    4 + tail
+        .iter()
+        .map(|(_, _, b)| 8 + 32 + b.encoded_len())
+        .sum::<usize>()
 }
 
 impl Wire for Message {
@@ -435,12 +487,14 @@ impl Wire for Message {
                 new_view,
                 last_stable,
                 prepared,
+                tail,
                 replica,
             } => {
                 w.put_u8(9);
                 w.put_u64(new_view.0);
                 w.put_u64(last_stable.0);
                 write_seq_digest_pairs(w, prepared);
+                write_batch_tail(w, tail);
                 w.put_u32(replica.0);
             }
             Message::NewView { new_view, reissued } => {
@@ -508,6 +562,7 @@ impl Wire for Message {
                 new_view: ViewNum(r.get_u64()?),
                 last_stable: SeqNum(r.get_u64()?),
                 prepared: read_seq_digest_pairs(r)?,
+                tail: read_batch_tail(r)?,
                 replica: ReplicaId(r.get_u32()?),
             }),
             10 => Ok(Message::NewView {
@@ -529,7 +584,9 @@ impl Wire for Message {
             Message::CommitCert { cert, .. } => 8 + 8 + DIG + cert.encoded_len() + 8,
             Message::LocalCommit { .. } => 8 + 8 + 4,
             Message::Checkpoint { .. } => 8 + DIG + 4,
-            Message::ViewChange { prepared, .. } => 8 + 8 + 4 + prepared.len() * (8 + DIG) + 4,
+            Message::ViewChange { prepared, tail, .. } => {
+                8 + 8 + 4 + prepared.len() * (8 + DIG) + batch_tail_encoded_len(tail) + 4
+            }
             Message::NewView { reissued, .. } => 8 + 4 + reissued.len() * (8 + DIG),
         }
     }
@@ -801,6 +858,7 @@ mod tests {
                 new_view: ViewNum(2),
                 last_stable: SeqNum(90),
                 prepared: vec![(SeqNum(91), Digest([1; 32]))],
+                tail: vec![(SeqNum(91), Digest([1; 32]), Arc::new(sample_batch()))],
                 replica: ReplicaId(3),
             },
             Message::NewView {

@@ -201,6 +201,18 @@ impl NodeOptions {
         self
     }
 
+    /// Sets the view-change suspicion timeout.
+    pub fn view_timeout_ms(mut self, ms: u64) -> Self {
+        self.system.view_timeout_ms = ms;
+        self
+    }
+
+    /// Makes the initial primary equivocate (byzantine fault injection).
+    pub fn byzantine_primary(mut self, byzantine: bool) -> Self {
+        self.system.byzantine_primary = byzantine;
+        self
+    }
+
     /// Number of client identities to generate keys for (also sizes the
     /// modeled client population).
     pub fn client_keys(mut self, clients: usize) -> Self {
@@ -372,6 +384,9 @@ impl NodeOptions {
             }
             "seed" => self.seed = value.parse().map_err(|_| bad("integer"))?,
             "table_size" => self.system.table_size = value.parse().map_err(|_| bad("integer"))?,
+            "view_timeout_ms" => {
+                self.system.view_timeout_ms = value.parse().map_err(|_| bad("integer"))?
+            }
             "event_loops" => self.net.event_loops = value.parse().map_err(|_| bad("integer"))?,
             "queue_capacity" => {
                 self.net.queue_capacity = value.parse().map_err(|_| bad("integer"))?

@@ -94,11 +94,14 @@ impl PbftClient {
     }
 }
 
-/// A matching-group key for speculative responses: all five fields must
-/// agree for responses to count toward the same quorum.
+/// A matching-group key for speculative responses: sequence, digests and
+/// result must agree for responses to count toward the same quorum. The
+/// view is deliberately *not* part of the key: after a view change a
+/// re-issued sequence executes in different views at different replicas,
+/// yet the executions match — the group tracks the highest view seen so
+/// the commit certificate names one every replica has reached.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct SpecKey {
-    view: ViewNum,
     seq: SeqNum,
     digest: Digest,
     history: Digest,
@@ -107,7 +110,7 @@ struct SpecKey {
 
 #[derive(Debug, Default)]
 struct SpecTracker {
-    groups: HashMap<SpecKey, Vec<(ReplicaId, SignatureBytes)>>,
+    groups: HashMap<SpecKey, (ViewNum, Vec<(ReplicaId, SignatureBytes)>)>,
     done: bool,
     cc_sent: bool,
     local_commits: HashSet<ReplicaId>,
@@ -173,16 +176,16 @@ impl ZyzzyvaClient {
             return Vec::new();
         }
         let key = SpecKey {
-            view: *view,
             seq: *seq,
             digest: *digest,
             history: *history,
             result: result.clone(),
         };
-        let group = tracker.groups.entry(key).or_default();
+        let (group_view, group) = tracker.groups.entry(key).or_default();
         if group.iter().any(|(r, _)| r == replica) {
             return Vec::new(); // duplicate response from the same replica
         }
+        *group_view = (*group_view).max(*view);
         group.push((*replica, sm.sig().clone()));
         if group.len() >= quorum::zyzzyva_fast_quorum(self.f) {
             tracker.done = true;
@@ -201,19 +204,24 @@ impl ZyzzyvaClient {
     /// least `2f+1` matching responses, distribute a commit certificate;
     /// with fewer, the request must be retransmitted (returned as a
     /// no-action here; the driver handles retransmission policy).
+    ///
+    /// Re-fires re-distribute the certificate: a lost broadcast or lost
+    /// acknowledgements would otherwise wedge the request forever.
+    /// `LocalCommit` acknowledgements deduplicate by replica, so re-sends
+    /// are idempotent.
     pub fn on_timeout(&mut self, counter: u64) -> Vec<ClientAction> {
         let Some(tracker) = self.outstanding.get_mut(&counter) else {
             return Vec::new();
         };
-        if tracker.done || tracker.cc_sent {
+        if tracker.done {
             return Vec::new();
         }
         let cc_quorum = quorum::zyzzyva_cc_quorum(self.f);
-        let Some((key, group)) = tracker
+        let Some((key, (view, group))) = tracker
             .groups
             .iter()
-            .filter(|(_, g)| g.len() >= cc_quorum)
-            .max_by_key(|(_, g)| g.len())
+            .filter(|(_, (_, g))| g.len() >= cc_quorum)
+            .max_by_key(|(_, (_, g))| g.len())
         else {
             return Vec::new(); // not enough agreement: caller retransmits
         };
@@ -221,13 +229,39 @@ impl ZyzzyvaClient {
         tracker.cc_result = key.result.clone();
         let cert = BlockCertificate::new(group.clone());
         let msg = Message::CommitCert {
-            view: key.view,
+            view: *view,
             seq: key.seq,
             digest: key.digest,
             cert,
             client: self.id,
         };
         vec![ClientAction::BroadcastReplicas(msg)]
+    }
+
+    /// One diagnostic line per stuck request: response-group shapes, whether
+    /// a commit certificate went out, and how many acknowledgements are in.
+    pub fn debug_stuck(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .outstanding
+            .iter()
+            .filter(|(_, t)| !t.done)
+            .map(|(c, t)| {
+                let mut groups: Vec<String> = t
+                    .groups
+                    .iter()
+                    .map(|(k, (v, g))| format!("seq={} view={} n={}", k.seq.0, v.0, g.len()))
+                    .collect();
+                groups.sort();
+                format!(
+                    "counter={c} cc_sent={} acks={} groups=[{}]",
+                    t.cc_sent,
+                    t.local_commits.len(),
+                    groups.join(", ")
+                )
+            })
+            .collect();
+        out.sort();
+        out
     }
 
     /// Handles a `LocalCommit` acknowledging our certificate. Completes on
@@ -431,17 +465,22 @@ mod tests {
     }
 
     #[test]
-    fn zyzzyva_timeout_only_sends_cc_once() {
+    fn zyzzyva_timeout_resends_cc_until_acked() {
         let mut c = ZyzzyvaClient::new(ClientId(7), 1);
         c.track(0);
         for r in 0..3 {
             c.on_spec_response(&spec(7, 0, r, b"ok"));
         }
         assert_eq!(c.on_timeout(0).len(), 1);
-        assert!(
-            c.on_timeout(0).is_empty(),
-            "second timeout must not re-send"
-        );
+        // The first certificate (or its acks) may be lost: a later timeout
+        // re-distributes it rather than wedging the request.
+        assert_eq!(c.on_timeout(0).len(), 1, "re-fire must re-send the CC");
+        // Partial acks survive the re-send; completion still needs 2f+1.
+        assert!(c.on_local_commit(0, &local_commit(0)).is_empty());
+        assert_eq!(c.on_timeout(0).len(), 1);
+        assert!(c.on_local_commit(0, &local_commit(1)).is_empty());
+        let acts = c.on_local_commit(0, &local_commit(2));
+        assert!(matches!(&acts[..], [ClientAction::Complete { .. }]));
     }
 
     #[test]

@@ -13,6 +13,11 @@ pub struct ConsensusConfig {
     pub f: usize,
     /// Broadcast a checkpoint every this many executed *batches*.
     pub checkpoint_interval_batches: u64,
+    /// Byzantine test mode: when this replica is the primary it sends
+    /// *different* proposals for the same sequence number to different
+    /// backups, so no prepare quorum can form and the honest replicas must
+    /// oust it through a view change.
+    pub equivocate: bool,
 }
 
 impl ConsensusConfig {
@@ -30,7 +35,14 @@ impl ConsensusConfig {
             n,
             f: quorum::max_faults(n),
             checkpoint_interval_batches,
+            equivocate: false,
         }
+    }
+
+    /// Enables or disables the equivocating-primary test mode.
+    pub fn with_equivocation(mut self, equivocate: bool) -> Self {
+        self.equivocate = equivocate;
+        self
     }
 }
 

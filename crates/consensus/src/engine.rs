@@ -92,6 +92,24 @@ impl ReplicaEngine {
             ReplicaEngine::Zyzzyva(z) => z.on_executed(seq, state_digest),
         }
     }
+
+    /// Whether ordered-but-unfinished work is stuck — the signal the
+    /// runtime's suspicion timer combines with client demand to decide the
+    /// primary is dead.
+    pub fn has_stalled_work(&self) -> bool {
+        match self {
+            ReplicaEngine::Pbft(p) => p.has_stalled_work(),
+            ReplicaEngine::Zyzzyva(z) => z.has_stalled_work(),
+        }
+    }
+
+    /// Suspicion timer fired: vote to replace the primary.
+    pub fn on_timeout(&mut self) -> Vec<Action> {
+        match self {
+            ReplicaEngine::Pbft(p) => p.on_timeout(),
+            ReplicaEngine::Zyzzyva(z) => z.on_timeout(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,21 +8,46 @@
 //! sequence numbers progress independently, and PBFT's quorum logic — not
 //! hash-chaining between requests — guarantees a single common order.
 //!
-//! The view-change subprotocol is implemented in skeleton form: timeouts
-//! produce `ViewChange` messages, 2f+1 of them install a new view whose
-//! primary re-issues unresolved sequences. The full new-view proof
-//! machinery of the original paper is out of scope (documented in
-//! DESIGN.md); the paper's experiments only fail *backup* replicas, which
-//! PBFT absorbs without view changes.
+//! The view-change subprotocol: timeouts produce `ViewChange` votes that
+//! carry the voter's in-flight *batch tail* (sequence, digest and the
+//! batch itself for everything above the stable checkpoint). 2f+1 votes
+//! install a new view whose primary merges the tails, fills holes with
+//! no-op batches, and re-issues every unresolved sequence at its original
+//! number — so requests in flight when the old primary died commit exactly
+//! once in the new view. The full new-view proof machinery of the original
+//! paper is still out of scope (documented in DESIGN.md), but the re-issue
+//! path is real and exercised by the failure-scenario matrix.
 
 use crate::actions::Action;
 use crate::checkpoint::CheckpointTracker;
 use crate::config::ConsensusConfig;
 use rdb_common::block::BlockCertificate;
-use rdb_common::messages::{Message, Sender, SignedMessage};
+use rdb_common::messages::{BatchTail, Message, Sender, SignedMessage};
 use rdb_common::{quorum, Batch, Digest, ReplicaId, SeqNum, SignatureBytes, ViewNum};
-use std::collections::{HashMap, HashSet};
+use rdb_crypto::digest as batch_digest;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
+
+/// After this many timer re-fires without the voted view installing, vote
+/// for the next view instead (the voted-for primary may itself be down).
+const ESCALATE_AFTER: u32 = 3;
+
+/// Bound on parked future-view messages (proposals and votes that raced
+/// ahead of our `NewView` processing).
+const MAX_PARKED: usize = 4096;
+
+/// A prepare/commit vote that arrived for a view ahead of ours; replayed
+/// once the view installs so quorums formed across the change are not
+/// lost to message reordering.
+#[derive(Debug)]
+struct FutureVote {
+    view: ViewNum,
+    seq: SeqNum,
+    from: ReplicaId,
+    digest: Digest,
+    commit: bool,
+    sig: SignatureBytes,
+}
 
 /// Per-sequence consensus instance state.
 #[derive(Debug, Default)]
@@ -56,10 +81,16 @@ pub struct Pbft {
     executed_since_checkpoint: u64,
     /// Highest sequence this replica has been told was executed.
     last_executed: SeqNum,
-    /// View-change votes: new view → voters.
-    view_change_votes: HashMap<ViewNum, HashSet<ReplicaId>>,
+    /// View-change votes: new view → voter → the voter's batch tail.
+    view_change_votes: HashMap<ViewNum, HashMap<ReplicaId, BatchTail>>,
     /// Set when this replica has voted for a view change.
     voted_view: Option<ViewNum>,
+    /// Timer re-fires since the vote for `voted_view` (drives escalation).
+    timeout_strikes: u32,
+    /// Pre-prepares for views ahead of ours, parked until the view installs.
+    future_proposals: BTreeMap<(ViewNum, SeqNum), (ReplicaId, Digest, Arc<Batch>)>,
+    /// Prepare/commit votes for views ahead of ours.
+    future_votes: Vec<FutureVote>,
 }
 
 impl Pbft {
@@ -77,6 +108,9 @@ impl Pbft {
             last_executed: SeqNum(0),
             view_change_votes: HashMap::new(),
             voted_view: None,
+            timeout_strikes: 0,
+            future_proposals: BTreeMap::new(),
+            future_votes: Vec::new(),
         }
     }
 
@@ -105,6 +139,20 @@ impl Pbft {
         self.instances.len()
     }
 
+    /// Whether any instance has started but not committed — the signal the
+    /// runtime's suspicion timer watches for a stalled primary.
+    ///
+    /// Commits stranded above an execution hole also count: a sequence this
+    /// replica never saw (its PrePrepare was lost) can only be refilled by a
+    /// view-change re-issue, so committing past the hole is not progress.
+    pub fn has_stalled_work(&self) -> bool {
+        if self.instances.values().any(|i| !i.committed) {
+            return true;
+        }
+        let next = self.last_executed.next();
+        !self.instances.contains_key(&next) && self.instances.keys().any(|seq| *seq > next)
+    }
+
     /// Highest executed sequence this machine knows about.
     pub fn last_executed(&self) -> SeqNum {
         self.last_executed
@@ -126,6 +174,9 @@ impl Pbft {
         if !self.is_primary() {
             return Vec::new();
         }
+        if self.config.equivocate {
+            return self.propose_equivocating(batch);
+        }
         let seq = self.next_seq;
         self.next_seq = self.next_seq.next();
         // One allocation for the batch; the instance and the broadcast
@@ -141,6 +192,40 @@ impl Pbft {
             digest,
             batch,
         })]
+    }
+
+    /// Byzantine test mode: send each backup a differently-ordered variant
+    /// of the batch (honest digests over *different* content). With three
+    /// or more transactions per batch every backup sees a unique digest, so
+    /// no prepare quorum can form and the honest replicas oust this primary
+    /// through a view change; the new primary's tail merge then picks one
+    /// variant and commits it exactly once. The equivocator records no
+    /// instance — it does not even try to commit its own lies.
+    fn propose_equivocating(&mut self, batch: Batch) -> Vec<Action> {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.next();
+        let mut actions = Vec::new();
+        for r in 0..self.config.n as u32 {
+            let rid = ReplicaId(r);
+            if rid == self.id {
+                continue;
+            }
+            let mut txns = batch.txns.clone();
+            let rot = (r as usize) % txns.len().max(1);
+            txns.rotate_left(rot);
+            let variant = Batch::new(txns);
+            let d = batch_digest(&variant.canonical_bytes());
+            actions.push(Action::SendReplica(
+                rid,
+                Message::PrePrepare {
+                    view: self.view,
+                    seq,
+                    digest: d,
+                    batch: Arc::new(variant),
+                },
+            ));
+        }
+        actions
     }
 
     /// Handles a signed message from another replica.
@@ -169,8 +254,11 @@ impl Pbft {
                 replica,
             } => self.on_checkpoint(*replica, *seq, *state_digest),
             Message::ViewChange {
-                new_view, replica, ..
-            } => self.on_view_change(*replica, *new_view),
+                new_view,
+                replica,
+                tail,
+                ..
+            } => self.on_view_change(*replica, *new_view, tail.clone()),
             Message::NewView { new_view, .. } => self.on_new_view(from, *new_view),
             _ => Vec::new(),
         }
@@ -184,8 +272,17 @@ impl Pbft {
         digest: Digest,
         batch: Arc<Batch>,
     ) -> Vec<Action> {
-        if view != self.view || from != self.primary() || self.is_primary() {
-            return Vec::new(); // wrong view, not from the primary, or echo
+        if view > self.view {
+            // A re-issued proposal raced ahead of the NewView announcement:
+            // park it until the view installs.
+            if from == view.primary(self.config.n) && self.future_proposals.len() < MAX_PARKED {
+                self.future_proposals
+                    .insert((view, seq), (from, digest, batch));
+            }
+            return Vec::new();
+        }
+        if view < self.view || from != self.primary() || self.is_primary() {
+            return Vec::new(); // old view, not from the primary, or echo
         }
         if seq <= self.checkpoints.stable_seq() {
             return Vec::new(); // already garbage-collected
@@ -202,6 +299,16 @@ impl Pbft {
         inst.view = view;
         inst.sent_prepare = true;
         let mut actions = vec![Action::Broadcast(Message::Prepare { view, seq, digest })];
+        if inst.committed {
+            // A post-view-change re-issue of a sequence this replica has
+            // already committed: a straggler that missed the original
+            // commit round needs a fresh 2f+1 — our Prepare alone cannot
+            // unblock it because everyone else's `sent_commit` is long
+            // since true. Re-cast the Commit too (same digest, so
+            // repeating it is safe); without this, the straggler stalls,
+            // keeps voting, and view changes churn forever.
+            actions.push(Action::Broadcast(Message::Commit { view, seq, digest }));
+        }
         // Prepares and commits may have raced ahead of this pre-prepare.
         actions.extend(self.check_progress(seq));
         actions
@@ -214,8 +321,21 @@ impl Pbft {
         seq: SeqNum,
         digest: Digest,
     ) -> Vec<Action> {
-        if view != self.view || from == self.primary() {
-            return Vec::new(); // the primary never sends Prepare
+        if view > self.view {
+            if self.future_votes.len() < MAX_PARKED {
+                self.future_votes.push(FutureVote {
+                    view,
+                    seq,
+                    from,
+                    digest,
+                    commit: false,
+                    sig: SignatureBytes::empty(),
+                });
+            }
+            return Vec::new();
+        }
+        if view < self.view || from == view.primary(self.config.n) {
+            return Vec::new(); // old view, or that view's primary (it never prepares)
         }
         if seq <= self.checkpoints.stable_seq() {
             return Vec::new();
@@ -236,7 +356,20 @@ impl Pbft {
         digest: Digest,
         sig: SignatureBytes,
     ) -> Vec<Action> {
-        if view != self.view {
+        if view > self.view {
+            if self.future_votes.len() < MAX_PARKED {
+                self.future_votes.push(FutureVote {
+                    view,
+                    seq,
+                    from,
+                    digest,
+                    commit: true,
+                    sig,
+                });
+            }
+            return Vec::new();
+        }
+        if view < self.view {
             return Vec::new();
         }
         if seq <= self.checkpoints.stable_seq() {
@@ -342,23 +475,74 @@ impl Pbft {
         }
     }
 
-    /// Suspicion timer fired (e.g. a proposal stalled): vote to replace the
-    /// primary.
+    /// Suspicion timer fired (a proposal stalled, or clients signalled
+    /// unmet demand): vote to replace the primary. Re-fires re-broadcast
+    /// the same vote (lossy networks drop votes too); after
+    /// [`ESCALATE_AFTER`] fruitless re-fires the vote escalates to the next
+    /// view in case the voted-for primary is itself down.
     pub fn on_timeout(&mut self) -> Vec<Action> {
-        let target = self.view.next();
-        if self.voted_view == Some(target) {
-            return Vec::new(); // already voted
-        }
+        let target = match self.voted_view {
+            Some(t) if t > self.view => {
+                self.timeout_strikes += 1;
+                if self.timeout_strikes >= ESCALATE_AFTER {
+                    self.timeout_strikes = 0;
+                    t.next()
+                } else {
+                    t
+                }
+            }
+            _ => self.view.next(),
+        };
+        self.vote_view_change(target)
+    }
+
+    /// Broadcasts this replica's `ViewChange` vote for `target` and counts
+    /// it toward the quorum.
+    fn vote_view_change(&mut self, target: ViewNum) -> Vec<Action> {
         self.voted_view = Some(target);
+        let tail = self.batch_tail();
         let mut actions = vec![Action::Broadcast(Message::ViewChange {
             new_view: target,
             last_stable: self.checkpoints.stable_seq(),
             prepared: self.prepared_summary(),
+            tail: tail.clone(),
             replica: self.id,
         })];
         // Our own vote counts toward the quorum.
-        actions.extend(self.on_view_change(self.id, target));
+        actions.extend(self.on_view_change(self.id, target, tail));
         actions
+    }
+
+    /// PBFT's liveness join rule (§4.5.2 of the paper): once f+1 replicas
+    /// are voting for views beyond ours, join them at the smallest such
+    /// view even though our own suspicion timer has not fired — at least
+    /// one of those voters is correct, so the suspicion is genuine.
+    /// Without this, a straggling minority (replicas that lost Commit
+    /// messages on a lossy network, or a healed partition's small side)
+    /// votes forever while the healthy majority ignores it and no quorum
+    /// ever forms.
+    fn maybe_join_view_change(&mut self) -> Vec<Action> {
+        if self.voted_view.is_some_and(|t| t > self.view) {
+            return Vec::new(); // already voting for a future view
+        }
+        let voters: HashSet<ReplicaId> = self
+            .view_change_votes
+            .iter()
+            .filter(|(v, _)| **v > self.view)
+            .flat_map(|(_, votes)| votes.keys().copied())
+            .collect();
+        if voters.len() <= self.config.f {
+            return Vec::new();
+        }
+        let target = self
+            .view_change_votes
+            .keys()
+            .copied()
+            .filter(|v| *v > self.view)
+            .min()
+            .expect("f+1 voters imply a future-view vote bucket");
+        self.timeout_strikes = 0;
+        self.vote_view_change(target)
     }
 
     fn prepared_summary(&self) -> Vec<(SeqNum, Digest)> {
@@ -372,22 +556,122 @@ impl Pbft {
         v
     }
 
-    fn on_view_change(&mut self, from: ReplicaId, new_view: ViewNum) -> Vec<Action> {
+    /// Every instance above the stable checkpoint whose batch this replica
+    /// holds — committed ones included, so the new primary can catch up
+    /// stragglers. This is what a `ViewChange` vote carries.
+    fn batch_tail(&self) -> Vec<(SeqNum, Digest, Arc<Batch>)> {
+        let stable = self.checkpoints.stable_seq();
+        let mut v: Vec<(SeqNum, Digest, Arc<Batch>)> = self
+            .instances
+            .iter()
+            .filter(|(s, _)| **s > stable)
+            .filter_map(|(s, i)| match (&i.digest, &i.batch) {
+                (Some(d), Some(b)) => Some((*s, *d, Arc::clone(b))),
+                _ => None,
+            })
+            .collect();
+        v.sort_by_key(|(s, _, _)| *s);
+        v
+    }
+
+    fn on_view_change(
+        &mut self,
+        from: ReplicaId,
+        new_view: ViewNum,
+        tail: Vec<(SeqNum, Digest, Arc<Batch>)>,
+    ) -> Vec<Action> {
         if new_view <= self.view {
             return Vec::new();
         }
         let quorum = self.commit_quorum();
         let votes = self.view_change_votes.entry(new_view).or_default();
-        votes.insert(from);
-        let vote_count = votes.len();
-        if vote_count >= quorum && new_view.primary(self.config.n) == self.id {
-            // We are the incoming primary: install and announce.
-            let reissued = self.prepared_summary();
-            let mut actions = self.install_view(new_view);
-            actions.push(Action::Broadcast(Message::NewView { new_view, reissued }));
-            return actions;
+        votes.insert(from, tail);
+        if votes.len() >= quorum && new_view.primary(self.config.n) == self.id {
+            return self.become_primary(new_view);
         }
-        Vec::new()
+        self.maybe_join_view_change()
+    }
+
+    /// 2f+1 votes named this replica the incoming primary: merge the vote
+    /// tails (majority digest per sequence, so an equivocating old primary
+    /// cannot split the new view), fill interior holes with no-op batches
+    /// (sequential execution must not stall on a sequence nobody carried),
+    /// announce the view, and re-issue every unresolved sequence at its
+    /// original number.
+    fn become_primary(&mut self, new_view: ViewNum) -> Vec<Action> {
+        let votes = self.view_change_votes.remove(&new_view).unwrap_or_default();
+        let mut merged: BTreeMap<SeqNum, Vec<(Digest, Arc<Batch>, usize)>> = BTreeMap::new();
+        let own = self.batch_tail();
+        for tail in votes.values().chain(std::iter::once(&own)) {
+            for (seq, d, batch) in tail {
+                let cands = merged.entry(*seq).or_default();
+                match cands.iter_mut().find(|(cd, _, _)| cd == d) {
+                    Some((_, _, count)) => *count += 1,
+                    None => cands.push((*d, Arc::clone(batch), 1)),
+                }
+            }
+        }
+        let mut actions = self.install_view(new_view);
+        let stable = self.checkpoints.stable_seq();
+        let hi = merged.keys().next_back().copied().unwrap_or(stable);
+        let mut reissue: Vec<(SeqNum, Digest, Arc<Batch>)> = Vec::new();
+        for s in (stable.0 + 1)..=hi.0 {
+            let seq = SeqNum(s);
+            let (d, batch) = match merged.get(&seq) {
+                Some(cands) => {
+                    let (d, b, _) = cands
+                        .iter()
+                        .max_by_key(|(_, _, count)| *count)
+                        .expect("candidate list is never empty");
+                    (*d, Arc::clone(b))
+                }
+                None => {
+                    // Interior hole: no vote carried this sequence, so no
+                    // correct replica can have prepared it. A no-op batch
+                    // keeps execution sequential.
+                    let batch = Arc::new(Batch::new(Vec::new()));
+                    (batch_digest(&batch.canonical_bytes()), batch)
+                }
+            };
+            reissue.push((seq, d, batch));
+        }
+        // Announce first so backups install the view before the re-issued
+        // pre-prepares reach them (in-order transports).
+        actions.push(Action::Broadcast(Message::NewView {
+            new_view,
+            reissued: reissue.iter().map(|(s, d, _)| (*s, *d)).collect(),
+        }));
+        for (seq, d, batch) in reissue {
+            let inst = self.instances.entry(seq).or_default();
+            let (d, batch) = if inst.committed {
+                // Locally committed already: re-announce our copy so
+                // stragglers catch up, without touching the instance.
+                match (&inst.digest, &inst.batch) {
+                    (Some(cd), Some(cb)) => (*cd, Arc::clone(cb)),
+                    _ => (d, batch),
+                }
+            } else {
+                inst.digest = Some(d);
+                inst.batch = Some(Arc::clone(&batch));
+                inst.view = new_view;
+                inst.prepares.clear();
+                inst.commits.clear();
+                inst.commit_sigs.clear();
+                inst.sent_prepare = false;
+                inst.sent_commit = false;
+                (d, batch)
+            };
+            actions.push(Action::Broadcast(Message::PrePrepare {
+                view: new_view,
+                seq,
+                digest: d,
+                batch,
+            }));
+        }
+        if self.next_seq <= hi {
+            self.next_seq = hi.next();
+        }
+        actions
     }
 
     fn on_new_view(&mut self, from: ReplicaId, new_view: ViewNum) -> Vec<Action> {
@@ -400,11 +684,44 @@ impl Pbft {
     fn install_view(&mut self, new_view: ViewNum) -> Vec<Action> {
         self.view = new_view;
         self.voted_view = None;
+        self.timeout_strikes = 0;
         self.view_change_votes.retain(|v, _| *v > new_view);
-        // Uncommitted instances are abandoned; the new primary re-proposes.
+        // Uncommitted instances are abandoned; the new primary re-issues.
         self.instances.retain(|_, i| i.committed);
-        self.next_seq = self.last_executed.next();
-        vec![Action::EnterView { view: new_view }]
+        let head = self.instances.keys().copied().max().unwrap_or(SeqNum(0));
+        self.next_seq = self.last_executed.max(head).next();
+        let mut actions = vec![Action::EnterView { view: new_view }];
+        // Replay parked messages addressed to the view just installed:
+        // proposals first (they create the instances), then votes.
+        type Parked = (ReplicaId, Digest, Arc<Batch>);
+        let parked: Vec<(SeqNum, Parked)> = {
+            let keys: Vec<(ViewNum, SeqNum)> = self
+                .future_proposals
+                .range((new_view, SeqNum(0))..=(new_view, SeqNum(u64::MAX)))
+                .map(|(k, _)| *k)
+                .collect();
+            keys.into_iter()
+                .filter_map(|k| self.future_proposals.remove(&k).map(|v| (k.1, v)))
+                .collect()
+        };
+        for (seq, (from, d, batch)) in parked {
+            actions.extend(self.on_pre_prepare(from, new_view, seq, d, batch));
+        }
+        self.future_proposals.retain(|(v, _), _| *v > new_view);
+        let votes = std::mem::take(&mut self.future_votes);
+        for fv in votes {
+            if fv.view > new_view {
+                self.future_votes.push(fv);
+            } else if fv.view == new_view {
+                let acts = if fv.commit {
+                    self.on_commit(fv.from, fv.view, fv.seq, fv.digest, fv.sig)
+                } else {
+                    self.on_prepare(fv.from, fv.view, fv.seq, fv.digest)
+                };
+                actions.extend(acts);
+            }
+        }
+        actions
     }
 }
 
@@ -589,6 +906,94 @@ mod tests {
         assert!(
             matches!(&acts[..], [Action::CommitBatch { .. }]),
             "got {acts:?}"
+        );
+    }
+
+    #[test]
+    fn reissued_committed_sequence_recasts_commit_vote() {
+        // r2 commits seq 1 in view 0. After a view change, the new primary
+        // r1 re-issues seq 1 (a straggler somewhere missed it). r2 must
+        // re-cast BOTH its Prepare and its Commit: the straggler needs a
+        // fresh 2f+1 commit quorum, and every other replica's sent_commit
+        // flag is long since true.
+        let mut r2 = Pbft::new(ReplicaId(2), cfg(4));
+        let commit = |from: u32| {
+            signed(
+                from,
+                Message::Commit {
+                    view: ViewNum(0),
+                    seq: SeqNum(1),
+                    digest: d(7),
+                },
+            )
+        };
+        r2.on_message(&signed(
+            0,
+            Message::PrePrepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(7),
+                batch: batch().into(),
+            },
+        ));
+        r2.on_message(&signed(
+            1,
+            Message::Prepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(7),
+            },
+        ));
+        r2.on_message(&signed(
+            3,
+            Message::Prepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(7),
+            },
+        ));
+        r2.on_message(&commit(0));
+        let acts = r2.on_message(&commit(1));
+        assert!(
+            acts.iter().any(|a| matches!(a, Action::CommitBatch { .. })),
+            "setup must commit seq 1: {acts:?}"
+        );
+        // View change: r1 announces view 1 and re-issues seq 1.
+        r2.on_message(&signed(
+            1,
+            Message::NewView {
+                new_view: ViewNum(1),
+                reissued: vec![(SeqNum(1), d(7))],
+            },
+        ));
+        let acts = r2.on_message(&signed(
+            1,
+            Message::PrePrepare {
+                view: ViewNum(1),
+                seq: SeqNum(1),
+                digest: d(7),
+                batch: batch().into(),
+            },
+        ));
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                Action::Broadcast(Message::Prepare { view, seq, .. })
+                    if *view == ViewNum(1) && *seq == SeqNum(1)
+            )),
+            "must re-prepare: {acts:?}"
+        );
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                Action::Broadcast(Message::Commit { view, seq, .. })
+                    if *view == ViewNum(1) && *seq == SeqNum(1)
+            )),
+            "must re-cast the commit vote: {acts:?}"
+        );
+        assert!(
+            !acts.iter().any(|a| matches!(a, Action::CommitBatch { .. })),
+            "must not execute twice: {acts:?}"
         );
     }
 
@@ -856,13 +1261,23 @@ mod tests {
                     new_view: ViewNum(1),
                     last_stable: SeqNum(0),
                     prepared: vec![],
+                    tail: vec![],
                     replica: ReplicaId(from),
                 },
             )
         };
         assert!(r1.on_message(&vote(0)).is_empty());
-        assert!(r1.on_message(&vote(2)).is_empty());
-        let acts = r1.on_message(&vote(3));
+        // The second vote reaches the f+1 join threshold: r1 joins the
+        // view change without waiting for its own timer, its own vote
+        // completes the 2f+1 quorum, and it becomes the view-1 primary.
+        let acts = r1.on_message(&vote(2));
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                Action::Broadcast(Message::ViewChange { new_view, .. }) if *new_view == ViewNum(1)
+            )),
+            "must join the view change: {acts:?}"
+        );
         assert!(
             acts.iter()
                 .any(|a| matches!(a, Action::EnterView { view } if *view == ViewNum(1))),
@@ -874,6 +1289,36 @@ mod tests {
             "incoming primary must announce"
         );
         assert!(r1.is_primary());
+    }
+
+    #[test]
+    fn backup_joins_view_change_after_f_plus_one_votes() {
+        // r3 is not view 1's primary and its own timer never fired, but
+        // f+1 = 2 distinct replicas voting for a future view mean at least
+        // one correct replica suspects the primary — r3 must join rather
+        // than leave the voters stranded short of a quorum.
+        let mut r3 = Pbft::new(ReplicaId(3), cfg(4));
+        let vote = |from: u32| {
+            signed(
+                from,
+                Message::ViewChange {
+                    new_view: ViewNum(1),
+                    last_stable: SeqNum(0),
+                    prepared: vec![],
+                    tail: vec![],
+                    replica: ReplicaId(from),
+                },
+            )
+        };
+        assert!(r3.on_message(&vote(0)).is_empty(), "one vote is not enough");
+        let acts = r3.on_message(&vote(2));
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                Action::Broadcast(Message::ViewChange { new_view, .. }) if *new_view == ViewNum(1)
+            )),
+            "f+1 votes must trigger the join rule: {acts:?}"
+        );
     }
 
     #[test]
@@ -900,15 +1345,203 @@ mod tests {
     }
 
     #[test]
-    fn timeout_votes_once() {
+    fn timeout_rebroadcasts_then_escalates() {
         let mut r2 = Pbft::new(ReplicaId(2), cfg(4));
-        let acts = r2.on_timeout();
-        assert!(acts
-            .iter()
-            .any(|a| matches!(a, Action::Broadcast(Message::ViewChange { new_view, .. }) if *new_view == ViewNum(1))));
+        let vote_target = |acts: &[Action]| -> Option<ViewNum> {
+            acts.iter().find_map(|a| match a {
+                Action::Broadcast(Message::ViewChange { new_view, .. }) => Some(*new_view),
+                _ => None,
+            })
+        };
+        assert_eq!(vote_target(&r2.on_timeout()), Some(ViewNum(1)));
+        // Re-fires re-broadcast the same vote (lossy networks drop votes).
+        assert_eq!(vote_target(&r2.on_timeout()), Some(ViewNum(1)));
+        assert_eq!(vote_target(&r2.on_timeout()), Some(ViewNum(1)));
+        // After ESCALATE_AFTER fruitless re-fires, vote for the next view:
+        // the voted-for primary may itself be down.
+        assert_eq!(vote_target(&r2.on_timeout()), Some(ViewNum(2)));
+    }
+
+    #[test]
+    fn view_change_reissues_in_flight_batches() {
+        // r1 prepared seq 1 in view 0 but never committed it; the old
+        // primary r0 died. Votes carrying r1's batch tail must make the new
+        // primary (r1) re-issue seq 1 at its original number in view 1.
+        let mut r1 = Pbft::new(ReplicaId(1), cfg(4));
+        let b = batch();
+        r1.on_message(&signed(
+            0,
+            Message::PrePrepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(7),
+                batch: b.clone().into(),
+            },
+        ));
+        // Our own timeout vote carries the tail.
+        r1.on_timeout();
+        let vote = |from: u32, tail: Vec<(SeqNum, Digest, Arc<Batch>)>| {
+            signed(
+                from,
+                Message::ViewChange {
+                    new_view: ViewNum(1),
+                    last_stable: SeqNum(0),
+                    prepared: vec![],
+                    tail,
+                    replica: ReplicaId(from),
+                },
+            )
+        };
+        assert!(r1
+            .on_message(&vote(2, vec![(SeqNum(1), d(7), Arc::new(batch()))]))
+            .is_empty());
+        let acts = r1.on_message(&vote(3, vec![]));
         assert!(
-            r2.on_timeout().is_empty(),
-            "second timeout must not re-vote"
+            acts.iter()
+                .any(|a| matches!(a, Action::EnterView { view } if *view == ViewNum(1))),
+            "got {acts:?}"
+        );
+        let reissued: Vec<(ViewNum, SeqNum, Digest)> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::Broadcast(Message::PrePrepare {
+                    view, seq, digest, ..
+                }) => Some((*view, *seq, *digest)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            reissued,
+            vec![(ViewNum(1), SeqNum(1), d(7))],
+            "in-flight batch must be re-issued at its original sequence"
+        );
+        assert!(r1.is_primary());
+        // The re-issued instance commits exactly once in the new view.
+        for from in [2u32, 3] {
+            r1.on_message(&signed(
+                from,
+                Message::Prepare {
+                    view: ViewNum(1),
+                    seq: SeqNum(1),
+                    digest: d(7),
+                },
+            ));
+        }
+        let mut commits = Vec::new();
+        for from in [2u32, 3] {
+            commits.extend(r1.on_message(&signed(
+                from,
+                Message::Commit {
+                    view: ViewNum(1),
+                    seq: SeqNum(1),
+                    digest: d(7),
+                },
+            )));
+        }
+        assert_eq!(
+            commits
+                .iter()
+                .filter(|a| matches!(a, Action::CommitBatch { seq, .. } if *seq == SeqNum(1)))
+                .count(),
+            1,
+            "re-issued sequence commits exactly once: {commits:?}"
+        );
+    }
+
+    #[test]
+    fn new_primary_fills_holes_with_noops() {
+        // Votes carry seq 2 but nobody carried seq 1: the new primary must
+        // fill the hole with a no-op batch so execution cannot stall.
+        let mut r1 = Pbft::new(ReplicaId(1), cfg(4));
+        r1.on_timeout();
+        let tail = vec![(SeqNum(2), d(9), Arc::new(batch()))];
+        let vote = |from: u32, tail: Vec<(SeqNum, Digest, Arc<Batch>)>| {
+            signed(
+                from,
+                Message::ViewChange {
+                    new_view: ViewNum(1),
+                    last_stable: SeqNum(0),
+                    prepared: vec![],
+                    tail,
+                    replica: ReplicaId(from),
+                },
+            )
+        };
+        r1.on_message(&vote(2, tail.clone()));
+        let acts = r1.on_message(&vote(3, tail));
+        let reissued: Vec<(SeqNum, usize)> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::Broadcast(Message::PrePrepare { seq, batch, .. }) => {
+                    Some((*seq, batch.len()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reissued.len(), 2, "got {reissued:?}");
+        assert_eq!(reissued[0], (SeqNum(1), 0), "hole filled with a no-op");
+        assert_eq!(reissued[1].0, SeqNum(2));
+    }
+
+    #[test]
+    fn future_view_preprepare_parks_until_install() {
+        // The re-issued PrePrepare races ahead of the NewView announcement;
+        // it must be replayed once the view installs, not dropped.
+        let mut r2 = Pbft::new(ReplicaId(2), cfg(4));
+        let acts = r2.on_message(&signed(
+            1,
+            Message::PrePrepare {
+                view: ViewNum(1),
+                seq: SeqNum(1),
+                digest: d(7),
+                batch: batch().into(),
+            },
+        ));
+        assert!(acts.is_empty(), "future-view proposal is parked");
+        let acts = r2.on_message(&signed(
+            1,
+            Message::NewView {
+                new_view: ViewNum(1),
+                reissued: vec![(SeqNum(1), d(7))],
+            },
+        ));
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                Action::Broadcast(Message::Prepare { view, seq, .. })
+                    if *view == ViewNum(1) && *seq == SeqNum(1)
+            )),
+            "parked proposal replays on install: {acts:?}"
+        );
+    }
+
+    #[test]
+    fn equivocating_primary_sends_distinct_proposals() {
+        let mut p = Pbft::new(ReplicaId(0), cfg(4).with_equivocation(true));
+        let b: Batch = (0..3u64)
+            .map(|i| {
+                Transaction::new(
+                    ClientId(i),
+                    i,
+                    vec![Operation::Write {
+                        key: i,
+                        value: vec![i as u8],
+                    }],
+                )
+            })
+            .collect();
+        let acts = p.propose(b, d(1));
+        let digests: Vec<Digest> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::SendReplica(_, Message::PrePrepare { digest, .. }) => Some(*digest),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(digests.len(), 3, "one per backup: {acts:?}");
+        assert!(
+            digests.windows(2).all(|w| w[0] != w[1]),
+            "each backup must see a unique digest: {digests:?}"
         );
     }
 }

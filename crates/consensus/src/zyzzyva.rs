@@ -11,17 +11,26 @@
 //! why one crashed backup collapses Zyzzyva's throughput (Figure 17): the
 //! fast path needs *all* replicas to answer.
 //!
-//! View changes and the fill-hole subprotocol are out of scope (documented
-//! in DESIGN.md); the evaluation only fails backups.
+//! A skeleton view change is implemented for the failure-scenario matrix:
+//! replicas retain the speculatively executed tail above the stable
+//! checkpoint, `ViewChange` votes carry it, and the incoming primary
+//! adopts the union (correct replicas' logs are prefixes of one another
+//! under a crashed primary), catches its own execution up, and re-issues
+//! the tail so laggards fill their gaps. The full Zyzzyva new-view proof
+//! and fill-hole subprotocols remain out of scope (DESIGN.md).
 
 use crate::actions::Action;
 use crate::checkpoint::CheckpointTracker;
 use crate::config::ConsensusConfig;
-use rdb_common::messages::{Message, Sender, SignedMessage};
+use rdb_common::messages::{BatchTail, Message, Sender, SignedMessage};
 use rdb_common::{quorum, Batch, Digest, ReplicaId, SeqNum, ViewNum};
 use rdb_crypto::chain_digest;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
+
+/// After this many timer re-fires without the voted view installing, vote
+/// for the next view instead (mirrors [`crate::pbft`]).
+const ESCALATE_AFTER: u32 = 3;
 
 /// The Zyzzyva replica state machine.
 #[derive(Debug)]
@@ -43,6 +52,15 @@ pub struct Zyzzyva {
     committed: SeqNum,
     checkpoints: CheckpointTracker,
     executed_since_checkpoint: u64,
+    /// Speculatively executed batches above the stable checkpoint — the
+    /// tail a `ViewChange` vote carries. Pruned at stable checkpoints.
+    spec_log: BTreeMap<SeqNum, (Digest, Arc<Batch>)>,
+    /// View-change votes: new view → voter → the voter's spec tail.
+    view_change_votes: HashMap<ViewNum, HashMap<ReplicaId, BatchTail>>,
+    /// Set when this replica has voted for a view change.
+    voted_view: Option<ViewNum>,
+    /// Timer re-fires since the vote for `voted_view` (drives escalation).
+    timeout_strikes: u32,
 }
 
 impl Zyzzyva {
@@ -60,6 +78,10 @@ impl Zyzzyva {
             committed: SeqNum(0),
             checkpoints: CheckpointTracker::new(q),
             executed_since_checkpoint: 0,
+            spec_log: BTreeMap::new(),
+            view_change_votes: HashMap::new(),
+            voted_view: None,
+            timeout_strikes: 0,
         }
     }
 
@@ -98,6 +120,12 @@ impl Zyzzyva {
         self.history
     }
 
+    /// Whether ordered proposals are stuck behind a sequence hole — the
+    /// signal the runtime's suspicion timer watches for a dead primary.
+    pub fn has_stalled_work(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
     /// Primary path: order a batch and broadcast it. The primary also
     /// speculatively executes its own proposal.
     pub fn propose(&mut self, batch: Batch, digest: Digest) -> Vec<Action> {
@@ -131,7 +159,11 @@ impl Zyzzyva {
                 },
                 Sender::Replica(from),
             ) => {
-                if *view != self.view || from != self.primary() || self.is_primary() {
+                // Accept proposals from the primary of the current *or a
+                // later* view (re-issues can race ahead of the NewView
+                // announcement); execution order is fixed by the sequence
+                // number either way.
+                if *view < self.view || from != view.primary(self.config.n) || from == self.id {
                     return Vec::new();
                 }
                 self.enqueue_proposal(*seq, *view, *digest, Arc::clone(batch))
@@ -142,7 +174,9 @@ impl Zyzzyva {
                 },
                 Sender::Client(client),
             ) => {
-                if *view != self.view {
+                // Certificates assembled before a view change still prove
+                // 2f+1 matching speculative executions of this sequence.
+                if *view > self.view {
                     return Vec::new();
                 }
                 // The runtime verified the certificate's signatures; the
@@ -172,10 +206,26 @@ impl Zyzzyva {
             ) => match self.checkpoints.record(*replica, *seq, *state_digest) {
                 Some(stable) => {
                     self.pending.retain(|s, _| *s > stable);
+                    self.spec_log.retain(|s, _| *s > stable);
                     vec![Action::StableCheckpoint { seq: stable }]
                 }
                 None => Vec::new(),
             },
+            (
+                Message::ViewChange {
+                    new_view,
+                    replica,
+                    tail,
+                    ..
+                },
+                Sender::Replica(_),
+            ) => self.on_view_change(*replica, *new_view, tail.clone()),
+            (Message::NewView { new_view, .. }, Sender::Replica(from)) => {
+                if *new_view <= self.view || from != new_view.primary(self.config.n) {
+                    return Vec::new();
+                }
+                self.install_view(*new_view)
+            }
             _ => Vec::new(),
         }
     }
@@ -215,6 +265,7 @@ impl Zyzzyva {
         );
         self.spec_executed = seq;
         self.history = chain_digest(&self.history, &digest);
+        self.spec_log.insert(seq, (digest, Arc::clone(&batch)));
         vec![Action::SpecExecute {
             seq,
             view,
@@ -239,11 +290,157 @@ impl Zyzzyva {
             // (broadcast skips self-delivery, so record the vote here).
             if let Some(stable) = self.checkpoints.record(self.id, seq, state_digest) {
                 self.pending.retain(|s, _| *s > stable);
+                self.spec_log.retain(|s, _| *s > stable);
                 actions.push(Action::StableCheckpoint { seq: stable });
             }
             return actions;
         }
         Vec::new()
+    }
+
+    /// Suspicion timer fired: vote to replace the primary. Re-fires
+    /// re-broadcast the same vote (lossy networks drop votes too); after
+    /// [`ESCALATE_AFTER`] fruitless re-fires the vote escalates to the next
+    /// view in case the voted-for primary is itself down.
+    pub fn on_timeout(&mut self) -> Vec<Action> {
+        let target = match self.voted_view {
+            Some(t) if t > self.view => {
+                self.timeout_strikes += 1;
+                if self.timeout_strikes >= ESCALATE_AFTER {
+                    self.timeout_strikes = 0;
+                    t.next()
+                } else {
+                    t
+                }
+            }
+            _ => self.view.next(),
+        };
+        self.vote_view_change(target)
+    }
+
+    /// Broadcasts this replica's `ViewChange` vote for `target` and counts
+    /// it toward the quorum.
+    fn vote_view_change(&mut self, target: ViewNum) -> Vec<Action> {
+        self.voted_view = Some(target);
+        let tail = self.spec_tail();
+        let mut actions = vec![Action::Broadcast(Message::ViewChange {
+            new_view: target,
+            last_stable: self.checkpoints.stable_seq(),
+            prepared: Vec::new(),
+            tail: tail.clone(),
+            replica: self.id,
+        })];
+        // Our own vote counts toward the quorum.
+        actions.extend(self.on_view_change(self.id, target, tail));
+        actions
+    }
+
+    /// The f+1 join rule (same liveness argument as PBFT's §4.5.2): once
+    /// f+1 replicas vote for views beyond ours, at least one of them is
+    /// correct — join at the smallest such view so a straggling minority
+    /// is never outvoted into a permanent stall.
+    fn maybe_join_view_change(&mut self) -> Vec<Action> {
+        if self.voted_view.is_some_and(|t| t > self.view) {
+            return Vec::new(); // already voting for a future view
+        }
+        let voters: HashSet<ReplicaId> = self
+            .view_change_votes
+            .iter()
+            .filter(|(v, _)| **v > self.view)
+            .flat_map(|(_, votes)| votes.keys().copied())
+            .collect();
+        if voters.len() <= self.config.f {
+            return Vec::new();
+        }
+        let target = self
+            .view_change_votes
+            .keys()
+            .copied()
+            .filter(|v| *v > self.view)
+            .min()
+            .expect("f+1 voters imply a future-view vote bucket");
+        self.timeout_strikes = 0;
+        self.vote_view_change(target)
+    }
+
+    /// The speculatively executed tail above the stable checkpoint — what a
+    /// `ViewChange` vote carries.
+    fn spec_tail(&self) -> Vec<(SeqNum, Digest, Arc<Batch>)> {
+        self.spec_log
+            .iter()
+            .map(|(s, (d, b))| (*s, *d, Arc::clone(b)))
+            .collect()
+    }
+
+    fn on_view_change(
+        &mut self,
+        from: ReplicaId,
+        new_view: ViewNum,
+        tail: Vec<(SeqNum, Digest, Arc<Batch>)>,
+    ) -> Vec<Action> {
+        if new_view <= self.view {
+            return Vec::new();
+        }
+        let quorum = quorum::commit_quorum(self.config.f);
+        let votes = self.view_change_votes.entry(new_view).or_default();
+        votes.insert(from, tail);
+        if votes.len() >= quorum && new_view.primary(self.config.n) == self.id {
+            return self.become_primary(new_view);
+        }
+        self.maybe_join_view_change()
+    }
+
+    /// 2f+1 votes named this replica the incoming primary. Correct
+    /// replicas' speculative logs are prefixes of one another under a
+    /// crashed primary, so the union of the vote tails is the longest
+    /// surviving log: adopt it, catch our own execution up, announce the
+    /// view, and re-issue the tail so laggards fill their gaps.
+    fn become_primary(&mut self, new_view: ViewNum) -> Vec<Action> {
+        let votes = self.view_change_votes.remove(&new_view).unwrap_or_default();
+        let mut merged: BTreeMap<SeqNum, (Digest, Arc<Batch>)> = BTreeMap::new();
+        let own = self.spec_tail();
+        for tail in votes.values().chain(std::iter::once(&own)) {
+            for (seq, d, batch) in tail {
+                merged
+                    .entry(*seq)
+                    .or_insert_with(|| (*d, Arc::clone(batch)));
+            }
+        }
+        let mut actions = self.install_view(new_view);
+        // Catch our own execution up to the merged log before proposing
+        // anything new (execution is strictly sequential).
+        let mut catchup = Vec::new();
+        while let Some((d, b)) = merged.get(&self.spec_executed.next()).cloned() {
+            catchup.extend(self.try_spec_execute(self.spec_executed.next(), new_view, d, b));
+        }
+        // Announce first so backups install the view before the re-issued
+        // pre-prepares reach them (in-order transports).
+        actions.push(Action::Broadcast(Message::NewView {
+            new_view,
+            reissued: merged.iter().map(|(s, (d, _))| (*s, *d)).collect(),
+        }));
+        for (seq, (d, batch)) in &merged {
+            actions.push(Action::Broadcast(Message::PrePrepare {
+                view: new_view,
+                seq: *seq,
+                digest: *d,
+                batch: Arc::clone(batch),
+            }));
+        }
+        actions.extend(catchup);
+        self.next_seq = self.spec_executed.next();
+        actions
+    }
+
+    fn install_view(&mut self, new_view: ViewNum) -> Vec<Action> {
+        self.view = new_view;
+        self.voted_view = None;
+        self.timeout_strikes = 0;
+        self.view_change_votes.retain(|v, _| *v > new_view);
+        self.next_seq = self.spec_executed.next();
+        // `pending` survives: re-issued proposals park there keyed by
+        // sequence until their predecessors arrive.
+        vec![Action::EnterView { view: new_view }]
     }
 }
 
@@ -438,5 +635,200 @@ mod tests {
             &acts[..],
             [Action::Broadcast(Message::Checkpoint { .. })]
         ));
+    }
+
+    fn view_change(
+        from: u32,
+        new_view: u64,
+        tail: Vec<(SeqNum, Digest, Arc<Batch>)>,
+    ) -> SignedMessage {
+        SignedMessage::new(
+            Message::ViewChange {
+                new_view: ViewNum(new_view),
+                last_stable: SeqNum(0),
+                prepared: vec![],
+                tail,
+                replica: ReplicaId(from),
+            },
+            Sender::Replica(ReplicaId(from)),
+            SignatureBytes::empty(),
+        )
+    }
+
+    #[test]
+    fn timeout_broadcasts_vote_with_spec_tail() {
+        let mut r2 = Zyzzyva::new(ReplicaId(2), cfg());
+        r2.on_message(&pre_prepare(1, d(1)));
+        let acts = r2.on_timeout();
+        match &acts[..] {
+            [Action::Broadcast(Message::ViewChange { new_view, tail, .. })] => {
+                assert_eq!(*new_view, ViewNum(1));
+                assert_eq!(tail.len(), 1);
+                assert_eq!(tail[0].0, SeqNum(1));
+                assert_eq!(tail[0].1, d(1));
+            }
+            other => panic!("expected ViewChange broadcast, got {other:?}"),
+        }
+        // Re-fires re-broadcast the same target until escalation.
+        for _ in 0..(ESCALATE_AFTER - 1) {
+            let acts = r2.on_timeout();
+            assert!(matches!(
+                &acts[..],
+                [Action::Broadcast(Message::ViewChange { new_view, .. })] if *new_view == ViewNum(1)
+            ));
+        }
+        let acts = r2.on_timeout();
+        assert!(matches!(
+            &acts[..],
+            [Action::Broadcast(Message::ViewChange { new_view, .. })] if *new_view == ViewNum(2)
+        ));
+    }
+
+    #[test]
+    fn new_primary_adopts_union_tail_and_reissues() {
+        // Replica 1 is the primary of view 1. It only saw seq 1; the vote
+        // tails carry seq 1 and 2, so it must catch up seq 2 and re-issue
+        // both in the new view.
+        let mut r1 = Zyzzyva::new(ReplicaId(1), cfg());
+        r1.on_message(&pre_prepare(1, d(1)));
+        let longer: Vec<(SeqNum, Digest, Arc<Batch>)> = vec![
+            (SeqNum(1), d(1), Arc::new(batch())),
+            (SeqNum(2), d(2), Arc::new(batch())),
+        ];
+        assert!(r1.on_message(&view_change(2, 1, longer.clone())).is_empty());
+        // The second vote reaches the f+1 join threshold: r1 joins the
+        // view change, its own vote completes the 2f+1 quorum, and
+        // become_primary fires in the same step.
+        let acts = r1.on_message(&view_change(3, 1, longer));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Broadcast(Message::ViewChange { new_view, .. }) if *new_view == ViewNum(1)
+        )));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::EnterView { view } if *view == ViewNum(1))));
+        assert!(acts.iter().any(
+            |a| matches!(a, Action::Broadcast(Message::NewView { new_view, reissued })
+                if *new_view == ViewNum(1) && reissued.len() == 2)
+        ));
+        let reissued: Vec<u64> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::Broadcast(Message::PrePrepare { view, seq, .. }) if *view == ViewNum(1) => {
+                    Some(seq.0)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reissued, vec![1, 2]);
+        // Catch-up executed seq 2 locally.
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::SpecExecute { seq, .. } if *seq == SeqNum(2))));
+        assert_eq!(r1.spec_executed(), SeqNum(2));
+        assert_eq!(r1.view(), ViewNum(1));
+        assert!(r1.is_primary());
+        // The next fresh proposal continues after the adopted tail.
+        let acts = r1.propose(batch(), d(9));
+        assert!(acts.iter().any(
+            |a| matches!(a, Action::Broadcast(Message::PrePrepare { seq, .. }) if *seq == SeqNum(3))
+        ));
+    }
+
+    #[test]
+    fn backup_joins_view_change_after_f_plus_one_votes() {
+        // r3's own timer never fired, but two distinct replicas voting
+        // for view 1 include at least one correct suspecter — r3 joins so
+        // the view change can reach its 2f+1 quorum.
+        let mut r3 = Zyzzyva::new(ReplicaId(3), cfg());
+        assert!(r3.on_message(&view_change(0, 1, vec![])).is_empty());
+        let acts = r3.on_message(&view_change(2, 1, vec![]));
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                Action::Broadcast(Message::ViewChange { new_view, .. }) if *new_view == ViewNum(1)
+            )),
+            "f+1 votes must trigger the join rule: {acts:?}"
+        );
+    }
+
+    #[test]
+    fn backup_installs_new_view_and_accepts_reissues() {
+        let mut r2 = Zyzzyva::new(ReplicaId(2), cfg());
+        // A re-issued proposal from the view-1 primary arrives before the
+        // NewView announcement: accepted (future view) and executed.
+        let early = SignedMessage::new(
+            Message::PrePrepare {
+                view: ViewNum(1),
+                seq: SeqNum(1),
+                digest: d(1),
+                batch: batch().into(),
+            },
+            Sender::Replica(ReplicaId(1)),
+            SignatureBytes::empty(),
+        );
+        let acts = r2.on_message(&early);
+        assert!(matches!(&acts[..], [Action::SpecExecute { seq, .. }] if *seq == SeqNum(1)));
+        let nv = SignedMessage::new(
+            Message::NewView {
+                new_view: ViewNum(1),
+                reissued: vec![(SeqNum(1), d(1))],
+            },
+            Sender::Replica(ReplicaId(1)),
+            SignatureBytes::empty(),
+        );
+        let acts = r2.on_message(&nv);
+        assert!(matches!(&acts[..], [Action::EnterView { view }] if *view == ViewNum(1)));
+        assert_eq!(r2.view(), ViewNum(1));
+        // NewView from a non-primary of that view is rejected.
+        let bogus = SignedMessage::new(
+            Message::NewView {
+                new_view: ViewNum(2),
+                reissued: vec![],
+            },
+            Sender::Replica(ReplicaId(0)),
+            SignatureBytes::empty(),
+        );
+        assert!(r2.on_message(&bogus).is_empty());
+    }
+
+    #[test]
+    fn stale_commit_cert_from_old_view_accepted() {
+        let mut r1 = Zyzzyva::new(ReplicaId(1), cfg());
+        r1.on_message(&pre_prepare(1, d(1)));
+        // View change happens before the client's certificate lands.
+        let nv = SignedMessage::new(
+            Message::NewView {
+                new_view: ViewNum(1),
+                reissued: vec![],
+            },
+            Sender::Replica(ReplicaId(1)),
+            SignatureBytes::empty(),
+        );
+        // Self-addressed NewView is fine for the test: install view 1.
+        let _ = r1.on_message(&nv);
+        assert_eq!(r1.view(), ViewNum(1));
+        let cert = BlockCertificate::new(
+            (0..3)
+                .map(|i| (ReplicaId(i), SignatureBytes(vec![i as u8])))
+                .collect(),
+        );
+        let cc = SignedMessage::new(
+            Message::CommitCert {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d(1),
+                cert,
+                client: ClientId(7),
+            },
+            Sender::Client(ClientId(7)),
+            SignatureBytes::empty(),
+        );
+        let acts = r1.on_message(&cc);
+        assert!(matches!(
+            &acts[..],
+            [Action::SendClient(_, Message::LocalCommit { .. })]
+        ));
+        assert_eq!(r1.committed(), SeqNum(1));
     }
 }

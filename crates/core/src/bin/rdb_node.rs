@@ -42,6 +42,7 @@
 //! ```
 
 use rdb_common::{ClientId, CryptoScheme, NodeOptions, PeerMap, ProtocolKind, ReplicaId};
+use resilientdb::scenario::{FaultPlan, Mark};
 use resilientdb::{
     connect_client, run_swarm, start_replica, swarm_net, SwarmConfig, SwarmReport, SystemBuilder,
 };
@@ -67,6 +68,7 @@ struct Args {
     report_every_ms: u64,
     run_secs: u64,
     linger_ms: u64,
+    fault_plan: Option<String>,
     // client knobs
     client_id: u64,
     txns: u64,
@@ -105,6 +107,15 @@ replica options:
   --report-every-ms <n>   STATE line period (default 1000)
   --run-secs <n>          hard lifetime limit (default 600)
   --linger-ms <n>         drain time after FINAL before shutdown (default 2000)
+  --fault-plan <file>     deterministic fault schedule applied to this
+                          node's transport; every process of the cluster
+                          should load the same file. Directives:
+                            seed <n>
+                            at committed <n> crash <r> | recover <r>
+                            at elapsed_ms <n> partition 0,1|2,3 | heal
+                            at elapsed_ms <n> drop_rate <f> | delay_jitter_us <n>
+                          (committed marks fire on this node's local
+                          executed-transaction count)
 
 client options:
   --client-id <n>         which client identity to use (default 0)
@@ -140,6 +151,7 @@ fn parse_args() -> Args {
         report_every_ms: 1_000,
         run_secs: 600,
         linger_ms: 2_000,
+        fault_plan: None,
         client_id: 0,
         txns: 100,
         burst: None,
@@ -233,6 +245,7 @@ fn parse_args() -> Args {
             "--report-every-ms" => args.report_every_ms = parsed!(),
             "--run-secs" => args.run_secs = parsed!(),
             "--linger-ms" => args.linger_ms = parsed!(),
+            "--fault-plan" => args.fault_plan = Some(value!()),
             "--client-id" => args.client_id = parsed!(),
             "--txns" => args.txns = parsed!(),
             "--burst" => args.burst = Some(parsed!()),
@@ -302,8 +315,60 @@ fn node_options(args: &Args) -> NodeOptions {
     node
 }
 
+/// Fires a fault plan against this node's transport: a 10 ms ticker
+/// applies each event once its mark passes (committed marks use the local
+/// executed-transaction count) and logs a `FAULT` line per firing.
+fn spawn_fault_schedule(plan: FaultPlan, node: &resilientdb::ReplicaNode, id: ReplicaId) {
+    let net = node.network().clone();
+    let shared = std::sync::Arc::clone(node.shared());
+    net.faults().set_seed(plan.seed);
+    std::thread::spawn(move || {
+        let started = Instant::now();
+        let mut pending = plan.events;
+        while !pending.is_empty() {
+            let executed = shared.executor.executed_txns();
+            pending.retain(|event| {
+                let due = match event.at {
+                    Mark::Committed(at) => executed >= at,
+                    Mark::Elapsed(at) => started.elapsed() >= at,
+                };
+                if due {
+                    event.action.apply_to_controller(net.faults());
+                    println!(
+                        "FAULT replica={} ms={} action={}",
+                        id.0,
+                        started.elapsed().as_millis(),
+                        event.action.describe()
+                    );
+                }
+                !due
+            });
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    });
+}
+
 fn run_replica(args: &Args, id: ReplicaId) -> ExitCode {
     let node_cfg = node_options(args);
+    let plan = match &args.fault_plan {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("rdb-node: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match FaultPlan::parse(&text) {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    eprintln!("rdb-node: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
     let node = match start_replica(&node_cfg, id) {
         Ok(n) => n,
         Err(e) => {
@@ -311,6 +376,9 @@ fn run_replica(args: &Args, id: ReplicaId) -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    if let Some(plan) = plan {
+        spawn_fault_schedule(plan, &node, id);
+    }
     println!(
         "READY replica={} listen={}",
         id.0,

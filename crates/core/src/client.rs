@@ -5,7 +5,7 @@
 //! commit-certificate fallback driven automatically on timeout).
 
 use rdb_common::messages::{Message, Sender, SignedMessage};
-use rdb_common::{ClientId, Operation, ProtocolKind, ReplicaId, Transaction, TxnId};
+use rdb_common::{ClientId, Operation, ProtocolKind, ReplicaId, Transaction, TxnId, ViewNum};
 use rdb_consensus::{ClientAction, PbftClient, ZyzzyvaClient};
 use rdb_crypto::{CryptoProvider, KeyRegistry, PeerClass};
 use rdb_net::{Endpoint, NetHandle};
@@ -16,6 +16,14 @@ use std::time::{Duration, Instant};
 /// How long a Zyzzyva client waits for the fast path before distributing
 /// commit certificates.
 const ZYZZYVA_CLIENT_TIMEOUT: Duration = Duration::from_millis(300);
+
+/// Quiet period after which a client rebroadcasts its in-flight requests
+/// to *every* replica: the request or its replies may have been lost, or
+/// the primary may have crashed — the rebroadcast both reaches whoever is
+/// primary now and doubles as the backups' client-demand signal for
+/// view-change suspicion. Replicas deduplicate re-ordered transactions,
+/// so retransmission is safe.
+const RETRANSMIT_AFTER: Duration = Duration::from_millis(500);
 
 enum Tracker {
     Pbft(PbftClient),
@@ -29,6 +37,9 @@ pub struct ClientSession {
     provider: CryptoProvider,
     tracker: Tracker,
     primary: ReplicaId,
+    /// Highest view seen in any reply; replies from a newer view re-aim
+    /// `primary` so post-view-change submissions skip the dead leader.
+    known_view: ViewNum,
     n: usize,
     counter: u64,
     results: HashMap<u64, Vec<u8>>,
@@ -36,6 +47,10 @@ pub struct ClientSession {
     /// Requests that have distributed a Zyzzyva commit certificate and are
     /// waiting on `LocalCommit` acknowledgements.
     cc_counters: Vec<u64>,
+    /// Copies of submitted-but-uncompleted transactions, kept for
+    /// retransmission (counter → transaction).
+    in_flight: HashMap<u64, Transaction>,
+    last_retransmit: Instant,
 }
 
 impl fmt::Debug for ClientSession {
@@ -74,11 +89,14 @@ impl ClientSession {
             provider: registry.provider_for_client(id),
             tracker,
             primary,
+            known_view: ViewNum(0),
             n,
             counter: 0,
             results: HashMap::new(),
             last_progress: Instant::now(),
             cc_counters: Vec::new(),
+            in_flight: HashMap::new(),
+            last_retransmit: Instant::now(),
         }
     }
 
@@ -123,7 +141,9 @@ impl ClientSession {
                 Tracker::Pbft(p) => p.track(t.id.counter),
                 Tracker::Zyzzyva(z) => z.track(t.id.counter),
             }
+            self.in_flight.insert(t.id.counter, t.clone());
         }
+        self.last_retransmit = Instant::now();
         let msg = Message::ClientRequest { txns };
         let sm = SignedMessage::sign_with(msg, Sender::Client(self.id), |bytes| {
             self.provider.sign(PeerClass::Replica, bytes)
@@ -131,6 +151,15 @@ impl ClientSession {
         // Requests ride the reliable client surface: under load the swarm
         // backpressures rather than losing submissions.
         let _ = self.endpoint.send_direct(Sender::Replica(self.primary), sm);
+    }
+
+    /// One diagnostic line per stuck request (Zyzzyva only; PBFT requests
+    /// carry no client-side protocol state worth printing).
+    pub fn debug_stuck(&self) -> Vec<String> {
+        match &self.tracker {
+            Tracker::Pbft(_) => Vec::new(),
+            Tracker::Zyzzyva(z) => z.debug_stuck(),
+        }
     }
 
     /// Number of requests still awaiting completion.
@@ -167,6 +196,7 @@ impl ClientSession {
                     result,
                 } => {
                     self.results.insert(txn_counter, result);
+                    self.in_flight.remove(&txn_counter);
                     completed += 1;
                     self.last_progress = Instant::now();
                 }
@@ -185,6 +215,15 @@ impl ClientSession {
     /// Feeds one inbound envelope through the protocol tracker; returns
     /// requests completed by it.
     fn on_message(&mut self, sm: SignedMessage) -> usize {
+        // Clients learn the current view from replies (PBFT §4.1): a reply
+        // stamped with a newer view means a view change happened — re-aim
+        // future submissions at that view's primary.
+        if let Message::ClientReply { view, .. } | Message::SpecResponse { view, .. } = sm.msg() {
+            if *view > self.known_view {
+                self.known_view = *view;
+                self.primary = self.known_view.primary(self.n);
+            }
+        }
         let acts = match (&mut self.tracker, sm.msg()) {
             (Tracker::Pbft(p), Message::ClientReply { .. }) => p.on_reply(&sm),
             (Tracker::Zyzzyva(z), Message::SpecResponse { .. }) => z.on_spec_response(&sm),
@@ -204,7 +243,9 @@ impl ClientSession {
 
     /// Quiet-period bookkeeping: if Zyzzyva's fast path has stalled past the
     /// client timeout, distribute commit certificates for every pending
-    /// request. Returns requests completed by the fallback.
+    /// request; and for either protocol, rebroadcast in-flight requests to
+    /// every replica after a longer quiet spell (lost traffic or a crashed
+    /// primary). Returns requests completed by the fallback.
     fn on_quiet(&mut self) -> usize {
         let mut completed = 0;
         if let Tracker::Zyzzyva(z) = &mut self.tracker {
@@ -213,13 +254,24 @@ impl ClientSession {
                 for c in 0..self.counter {
                     let a = z.on_timeout(c);
                     if !a.is_empty() {
-                        self.cc_counters.push(c);
+                        if !self.cc_counters.contains(&c) {
+                            self.cc_counters.push(c);
+                        }
                         acts.extend(a);
                     }
                 }
                 completed += self.handle_actions(acts);
                 self.last_progress = Instant::now();
             }
+        }
+        if self.pending() > 0
+            && !self.in_flight.is_empty()
+            && self.last_retransmit.elapsed() > RETRANSMIT_AFTER
+        {
+            let mut txns: Vec<Transaction> = self.in_flight.values().cloned().collect();
+            txns.sort_by_key(|t| t.id.counter);
+            self.broadcast(&Message::ClientRequest { txns });
+            self.last_retransmit = Instant::now();
         }
         completed
     }

@@ -248,9 +248,19 @@ impl ResilientDb {
         self.replicas.len()
     }
 
-    /// The current primary (view 0: replica 0).
+    /// The initial primary (view 0: replica 0). Client sessions address
+    /// this replica first; after a view change their retransmissions reach
+    /// whoever leads now.
     pub fn primary(&self) -> ReplicaId {
         ReplicaId(0)
+    }
+
+    /// The view each replica currently has installed.
+    pub fn views(&self) -> Vec<u64> {
+        self.replicas
+            .iter()
+            .map(|r| r.shared().current_view())
+            .collect()
     }
 
     /// The client-side transport handle (for statistics; for the
@@ -290,18 +300,70 @@ impl ResilientDb {
     ///
     /// # Panics
     /// Panics when asked to crash the primary — the paper's failure
-    /// experiments fail backups only.
+    /// experiments fail backups only. Use [`Self::crash_replica`] for the
+    /// view-change scenarios that deliberately kill the primary.
     pub fn crash_backup(&self, id: ReplicaId) {
         assert_ne!(id, self.primary(), "failure experiments crash backups only");
+        self.crash_replica(id);
+    }
+
+    /// Crashes any replica, the primary included (all its traffic is
+    /// dropped until [`Self::recover`]). Crashing the primary forces a
+    /// view change once the remaining replicas' suspicion timers fire.
+    pub fn crash_replica(&self, id: ReplicaId) {
         for faults in self.all_fault_controllers() {
             faults.crash(Sender::Replica(id));
         }
     }
 
-    /// Recovers a crashed backup.
+    /// Recovers a crashed replica.
     pub fn recover(&self, id: ReplicaId) {
         for faults in self.all_fault_controllers() {
             faults.recover(Sender::Replica(id));
+        }
+    }
+
+    /// Partitions the replica set into isolated groups: traffic between
+    /// different groups is dropped, traffic within a group flows. Client
+    /// traffic is unaffected (clients reach every partition).
+    pub fn partition(&self, groups: &[Vec<ReplicaId>]) {
+        for (i, group_a) in groups.iter().enumerate() {
+            for group_b in groups.iter().skip(i + 1) {
+                let a: Vec<Sender> = group_a.iter().map(|&r| Sender::Replica(r)).collect();
+                let b: Vec<Sender> = group_b.iter().map(|&r| Sender::Replica(r)).collect();
+                for faults in self.all_fault_controllers() {
+                    faults.partition(&a, &b);
+                }
+            }
+        }
+    }
+
+    /// Heals all partitions (crashed replicas stay crashed).
+    pub fn heal_partitions(&self) {
+        for faults in self.all_fault_controllers() {
+            faults.heal_all();
+        }
+    }
+
+    /// Sets a uniform message drop rate in `[0.0, 1.0]` on every link
+    /// (deterministic per (seed, link, message index)).
+    pub fn set_drop_rate(&self, rate: f64) {
+        for faults in self.all_fault_controllers() {
+            faults.set_drop_rate(rate);
+        }
+    }
+
+    /// Sets the maximum seeded per-message delivery delay.
+    pub fn set_delay_jitter(&self, max: Duration) {
+        for faults in self.all_fault_controllers() {
+            faults.set_delay_jitter(max);
+        }
+    }
+
+    /// Seeds the deterministic drop/delay schedule on every transport.
+    pub fn set_fault_seed(&self, seed: u64) {
+        for faults in self.all_fault_controllers() {
+            faults.set_seed(seed);
         }
     }
 
@@ -333,12 +395,26 @@ impl ResilientDb {
         Ok(())
     }
 
-    /// Total transactions executed at replica `id`.
+    /// Total *distinct* transactions executed at replica `id`.
     pub fn executed_txns(&self, id: ReplicaId) -> u64 {
         self.replicas[id.as_usize()]
             .shared()
             .executor
             .executed_txns()
+    }
+
+    /// Duplicate transactions suppressed at replica `id` (retransmissions
+    /// that were ordered a second time, e.g. across a view change).
+    pub fn deduped_txns(&self, id: ReplicaId) -> u64 {
+        self.replicas[id.as_usize()]
+            .shared()
+            .executor
+            .deduped_txns()
+    }
+
+    /// Batches committed by consensus at replica `id`.
+    pub fn committed_batches(&self, id: ReplicaId) -> u64 {
+        self.replicas[id.as_usize()].shared().committed_batches()
     }
 
     /// Saturation report for replica `id` (Figure 9's measurement).

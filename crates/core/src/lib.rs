@@ -48,6 +48,7 @@
 pub mod bench_driver;
 pub mod client;
 pub mod fabric;
+pub mod scenario;
 pub mod swarm;
 
 pub use bench_driver::{run_closed_loop, Measurement};
@@ -58,6 +59,10 @@ pub use fabric::{
     connect_client, registry_for, start_replica, swarm_net, ReplicaNode, ResilientDb, SystemBuilder,
 };
 pub use rdb_common::{NetOptions, NodeOptions, TransportMode};
+pub use scenario::{
+    run_scenario, scenario_by_name, scenarios, FaultAction, FaultEvent, FaultPlan, Mark, Scenario,
+    ScenarioResult,
+};
 pub use swarm::{run_swarm, SwarmConfig, SwarmReport};
 
 /// Re-export of the shared types crate.

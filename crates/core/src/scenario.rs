@@ -1,0 +1,783 @@
+//! Deterministic failure-scenario matrix.
+//!
+//! A [`FaultPlan`] is a schedule of fault injections — crashes, recoveries,
+//! partitions, seeded message loss and delay jitter — fired at
+//! deterministic marks: either a committed-transaction count or elapsed
+//! wall clock. [`run_scenario`] executes a plan against a *live* deployment
+//! (both protocols, both transport backends) while client load is in
+//! flight, records committed-transaction-per-second buckets around the
+//! fault events, and checks the robustness properties the paper's failure
+//! experiments (Figure 17) rely on:
+//!
+//! - **liveness** — every submitted transaction completes despite the
+//!   faults (clients retransmit, replicas deduplicate, view changes
+//!   replace dead primaries);
+//! - **safety** — a commit-quorum of replicas converges to an identical
+//!   state digest, and every replica that stayed healthy throughout is in
+//!   that agreeing set.
+//!
+//! [`scenarios`] is the named catalog (backup crash, primary crash → view
+//! change, cascading crashes, partition + heal, lossy links, delay jitter,
+//! equivocating primary, crash during checkpoint, restart + rejoin,
+//! chaos). The `faults` bench binary runs the catalog over the full
+//! protocol × transport matrix and emits `BENCH_faults.json`; the
+//! `rdb-node --fault-plan` flag applies a parsed plan to a single node of
+//! a multi-process cluster.
+
+use crate::fabric::{ResilientDb, SystemBuilder};
+use rdb_common::{ProtocolKind, ReplicaId, Transaction, TransportMode};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// When a fault event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mark {
+    /// Once this many transactions have completed (across all clients).
+    Committed(u64),
+    /// Once this much wall clock has elapsed since load started.
+    Elapsed(Duration),
+}
+
+/// What a fault event does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Crash a replica (all its traffic dropped; sockets torn down on TCP).
+    Crash(u32),
+    /// Recover a crashed replica.
+    Recover(u32),
+    /// Partition the replica set into isolated groups.
+    Partition(Vec<Vec<u32>>),
+    /// Heal all partitions.
+    HealAll,
+    /// Set the uniform per-link message drop rate (`[0.0, 1.0]`).
+    DropRate(f64),
+    /// Set the maximum seeded per-message delivery delay.
+    DelayJitter(Duration),
+}
+
+/// One scheduled fault injection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When to fire.
+    pub at: Mark,
+    /// What to do.
+    pub action: FaultAction,
+}
+
+/// A deterministic fault schedule.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed for the per-link drop/delay schedule (and key generation).
+    pub seed: u64,
+    /// The events, in any order; the runner fires each once when due.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Parses the plan-file mini language used by `rdb-node --fault-plan`.
+    ///
+    /// One directive per line; `#` starts a comment:
+    ///
+    /// ```text
+    /// seed 42
+    /// at committed 50 crash 0
+    /// at elapsed_ms 2000 recover 0
+    /// at elapsed_ms 800 partition 0,1|2,3
+    /// at elapsed_ms 1800 heal
+    /// at elapsed_ms 0 drop_rate 0.05
+    /// at elapsed_ms 0 delay_jitter_us 2000
+    /// ```
+    ///
+    /// # Errors
+    /// Returns a message naming the offending line.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let bad = |why: &str| format!("line {}: {why}: `{line}`", lineno + 1);
+            let mut words = line.split_whitespace();
+            match words.next() {
+                Some("seed") => {
+                    plan.seed = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| bad("expected `seed <u64>`"))?;
+                }
+                Some("at") => {
+                    let kind = words.next().ok_or_else(|| bad("missing mark kind"))?;
+                    let value: u64 = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| bad("missing mark value"))?;
+                    let at = match kind {
+                        "committed" => Mark::Committed(value),
+                        "elapsed_ms" => Mark::Elapsed(Duration::from_millis(value)),
+                        _ => return Err(bad("mark kind must be `committed` or `elapsed_ms`")),
+                    };
+                    let verb = words.next().ok_or_else(|| bad("missing action"))?;
+                    let action = match verb {
+                        "crash" | "recover" => {
+                            let r: u32 = words
+                                .next()
+                                .and_then(|w| w.parse().ok())
+                                .ok_or_else(|| bad("expected a replica id"))?;
+                            if verb == "crash" {
+                                FaultAction::Crash(r)
+                            } else {
+                                FaultAction::Recover(r)
+                            }
+                        }
+                        "partition" => {
+                            let spec = words.next().ok_or_else(|| bad("expected groups"))?;
+                            let groups: Result<Vec<Vec<u32>>, _> = spec
+                                .split('|')
+                                .map(|g| {
+                                    g.split(',')
+                                        .map(|r| {
+                                            r.parse::<u32>().map_err(|_| bad("bad replica id"))
+                                        })
+                                        .collect()
+                                })
+                                .collect();
+                            FaultAction::Partition(groups?)
+                        }
+                        "heal" => FaultAction::HealAll,
+                        "drop_rate" => {
+                            let rate: f64 = words
+                                .next()
+                                .and_then(|w| w.parse().ok())
+                                .ok_or_else(|| bad("expected a rate"))?;
+                            FaultAction::DropRate(rate)
+                        }
+                        "delay_jitter_us" => {
+                            let us: u64 = words
+                                .next()
+                                .and_then(|w| w.parse().ok())
+                                .ok_or_else(|| bad("expected microseconds"))?;
+                            FaultAction::DelayJitter(Duration::from_micros(us))
+                        }
+                        _ => return Err(bad("unknown action")),
+                    };
+                    plan.events.push(FaultEvent { at, action });
+                }
+                _ => return Err(bad("expected `seed` or `at`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Replicas this plan ever crashes.
+    pub fn crashed_replicas(&self) -> HashSet<u32> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.action {
+                FaultAction::Crash(r) => Some(r),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A named scenario: a fault plan plus the load shape it runs under.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (stable; keys `BENCH_faults.json`).
+    pub name: &'static str,
+    /// The fault schedule.
+    pub plan: FaultPlan,
+    /// Make the initial primary equivocate (byzantine fault injection).
+    pub byzantine: bool,
+    /// Only meaningful under PBFT (e.g. equivocation: Zyzzyva's skeleton
+    /// view change handles crashes, not byzantine primaries).
+    pub pbft_only: bool,
+    /// Concurrent client sessions.
+    pub clients: usize,
+    /// Transactions submitted per client.
+    pub txns_per_client: u64,
+    /// Transactions per consensus batch.
+    pub batch_size: usize,
+    /// Replica suspicion timeout (milliseconds).
+    pub view_timeout_ms: u64,
+    /// Checkpoint interval Δ in transactions. Kept above the total load
+    /// for most scenarios so view-change vote tails carry the entire log
+    /// (stragglers catch all the way up); lowered for the
+    /// checkpoint-interaction scenario.
+    pub checkpoint_txns: u64,
+    /// Hard wall-clock cap on the run.
+    pub deadline: Duration,
+    /// Minimum size of the digest-agreeing replica set (default: a commit
+    /// quorum, 2f+1). Lowered only where the scenario can legitimately
+    /// strand one replica: without a state-transfer protocol, a replica
+    /// that loses a *re-issued* PrePrepare to a drop burst keeps an
+    /// execution hole no further view change will fill (its solo
+    /// ViewChange votes stay below the f+1 join threshold).
+    pub min_agreeing: Option<usize>,
+}
+
+impl Scenario {
+    fn base(name: &'static str) -> Scenario {
+        Scenario {
+            name,
+            plan: FaultPlan::default(),
+            byzantine: false,
+            pbft_only: false,
+            clients: 2,
+            txns_per_client: 60,
+            batch_size: 8,
+            view_timeout_ms: 400,
+            checkpoint_txns: 1_000_000,
+            deadline: Duration::from_secs(25),
+            min_agreeing: None,
+        }
+    }
+
+    fn with_events(mut self, events: Vec<FaultEvent>) -> Scenario {
+        self.plan.events = events;
+        self
+    }
+
+    /// Total transactions this scenario submits.
+    pub fn total_txns(&self) -> u64 {
+        self.clients as u64 * self.txns_per_client
+    }
+}
+
+fn at_committed(n: u64, action: FaultAction) -> FaultEvent {
+    FaultEvent {
+        at: Mark::Committed(n),
+        action,
+    }
+}
+
+fn at_ms(ms: u64, action: FaultAction) -> FaultEvent {
+    FaultEvent {
+        at: Mark::Elapsed(Duration::from_millis(ms)),
+        action,
+    }
+}
+
+/// The named scenario catalog.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        // Figure 17's headline case: one crashed backup. PBFT degrades
+        // gracefully (commit quorum still forms); Zyzzyva's fast path dies
+        // and every request takes the client-driven certificate detour.
+        Scenario::base("backup_crash").with_events(vec![at_committed(30, FaultAction::Crash(1))]),
+        // The primary dies mid-stream: suspicion timers fire, a view
+        // change elects replica 1, in-flight batches are re-issued and
+        // committed exactly once.
+        Scenario::base("primary_crash").with_events(vec![at_committed(30, FaultAction::Crash(0))]),
+        // Crashes chase the primaryship: the first new primary dies too
+        // (after the first recovers — f = 1 tolerates one fault at a time).
+        Scenario {
+            deadline: Duration::from_secs(35),
+            ..Scenario::base("cascading_crashes")
+        }
+        .with_events(vec![
+            at_committed(20, FaultAction::Crash(0)),
+            at_ms(4_000, FaultAction::Recover(0)),
+            at_ms(5_000, FaultAction::Crash(1)),
+        ]),
+        // A 2+2 split: neither half has a quorum, commits stall entirely,
+        // then the heal lets the view-change votes union and the log
+        // re-issue catch everyone up.
+        Scenario {
+            deadline: Duration::from_secs(35),
+            ..Scenario::base("partition_heal")
+        }
+        .with_events(vec![
+            at_committed(30, FaultAction::Partition(vec![vec![0, 1], vec![2, 3]])),
+            at_ms(3_000, FaultAction::HealAll),
+        ]),
+        // A loss burst: 5% of messages silently vanish on every link for
+        // 2.5 s, then the links recover. Vote re-broadcast and client
+        // retransmission mask the loss; once the burst ends, any view
+        // changes it triggered settle. (Under *permanent* loss, a lone
+        // straggler can lag forever without a state-transfer protocol —
+        // that regime is out of scope, see DESIGN.md.)
+        Scenario::base("lossy_network").with_events(vec![
+            at_ms(0, FaultAction::DropRate(0.05)),
+            at_ms(2_500, FaultAction::DropRate(0.0)),
+        ]),
+        // Up to 2 ms of seeded per-message delay: exercises reordering
+        // (out-of-order proposals park; execution stays sequential).
+        Scenario::base("delay_jitter").with_events(vec![at_ms(
+            0,
+            FaultAction::DelayJitter(Duration::from_millis(2)),
+        )]),
+        // The byzantine case: the initial primary sends *different*
+        // batches to different backups. No quorum can form, the honest
+        // replicas vote it out, and the new primary's majority merge
+        // commits a single variant. PBFT-only: Zyzzyva's skeleton view
+        // change assumes a crashed (not lying) primary.
+        Scenario {
+            byzantine: true,
+            pbft_only: true,
+            ..Scenario::base("equivocating_primary")
+        },
+        // A backup dies just as a checkpoint interval boundary passes:
+        // checkpoint stability (2f+1) must still be reached and pruning
+        // must not strand the survivors.
+        Scenario {
+            checkpoint_txns: 32,
+            ..Scenario::base("crash_during_checkpoint")
+        }
+        .with_events(vec![at_committed(34, FaultAction::Crash(3))]),
+        // Crash, then recover: the rejoined replica must not poison the
+        // healthy quorum (its own state may lag until a view change
+        // re-issues the log; safety is asserted over the survivors).
+        Scenario {
+            deadline: Duration::from_secs(35),
+            ..Scenario::base("restart_rejoin")
+        }
+        .with_events(vec![
+            at_committed(30, FaultAction::Crash(2)),
+            at_ms(3_000, FaultAction::Recover(2)),
+        ]),
+        // Everything at once: background loss and jitter, a primary
+        // crash, a short partition, and a heal. Digest agreement is
+        // asserted over n - f - 1 replicas: the drop burst can cost one
+        // replica a re-issued PrePrepare it has no way to re-fetch (no
+        // state transfer), and the recovered ex-primary starts empty.
+        //
+        // PBFT-only: under this fault mix Zyzzyva's speculative histories
+        // can diverge 2+1+1 across the replicas (each partition side plus
+        // the recovered ex-primary speculates a different suffix), and the
+        // skeleton view change carries no mis-speculation rollback — so
+        // neither the 3f+1 fast path nor the 2f+1 certificate path can
+        // ever assemble again. Healing that requires Zyzzyva's full
+        // history-reconciliation machinery, which the source paper itself
+        // singles out as the protocol's Achilles' heel.
+        Scenario {
+            deadline: Duration::from_secs(40),
+            min_agreeing: Some(2),
+            pbft_only: true,
+            ..Scenario::base("chaos")
+        }
+        .with_events(vec![
+            at_ms(0, FaultAction::DropRate(0.02)),
+            at_ms(0, FaultAction::DelayJitter(Duration::from_millis(1))),
+            at_committed(20, FaultAction::Crash(0)),
+            at_ms(4_000, FaultAction::Partition(vec![vec![1, 2], vec![3]])),
+            at_ms(6_000, FaultAction::HealAll),
+            at_ms(6_500, FaultAction::Recover(0)),
+            at_ms(7_000, FaultAction::DropRate(0.0)),
+        ]),
+    ]
+}
+
+/// Looks a catalog scenario up by name.
+pub fn scenario_by_name(name: &str) -> Option<Scenario> {
+    scenarios().into_iter().find(|s| s.name == name)
+}
+
+/// The measured outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub scenario: String,
+    /// `"pbft"` or `"zyzzyva"`.
+    pub protocol: String,
+    /// `"memory"` or `"tcp"`.
+    pub transport: String,
+    /// Transactions submitted.
+    pub total_txns: u64,
+    /// Transactions completed at the clients.
+    pub completed: u64,
+    /// Wall clock from first submission to last completion (or deadline).
+    pub elapsed_ms: u64,
+    /// Client-completed transactions per elapsed second (bucket `i` covers
+    /// `[i, i+1)` seconds) — the degradation profile around the faults.
+    pub buckets: Vec<u64>,
+    /// `(ms_since_start, description)` for every fault fired.
+    pub events: Vec<(u64, String)>,
+    /// Final installed view per replica.
+    pub final_views: Vec<u64>,
+    /// Size of the largest digest-agreeing replica set at the end.
+    pub agreeing: usize,
+    /// Whether a commit quorum agrees on the state digest and every
+    /// never-faulted replica is in the agreeing set.
+    pub digests_agree: bool,
+    /// Whether every submitted transaction completed.
+    pub liveness: bool,
+    /// Retransmitted transactions suppressed by the executor (max across
+    /// replicas) — nonzero means exactly-once accounting did real work.
+    pub deduped: u64,
+}
+
+impl ScenarioResult {
+    /// Mean committed-per-second over the run.
+    pub fn mean_tps(&self) -> f64 {
+        if self.elapsed_ms == 0 {
+            return 0.0;
+        }
+        self.completed as f64 * 1000.0 / self.elapsed_ms as f64
+    }
+
+    /// One JSON object (hand-rolled; the repo carries no serializer).
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self.buckets.iter().map(|b| b.to_string()).collect();
+        let events: Vec<String> = self
+            .events
+            .iter()
+            .map(|(ms, d)| format!("{{\"ms\": {ms}, \"action\": \"{d}\"}}"))
+            .collect();
+        let views: Vec<String> = self.final_views.iter().map(|v| v.to_string()).collect();
+        format!(
+            "{{\"scenario\": \"{}\", \"protocol\": \"{}\", \"transport\": \"{}\", \
+             \"total_txns\": {}, \"completed\": {}, \"elapsed_ms\": {}, \"mean_tps\": {:.1}, \
+             \"liveness\": {}, \"digests_agree\": {}, \"agreeing_replicas\": {}, \
+             \"final_views\": [{}], \"deduped_txns\": {}, \
+             \"committed_per_sec\": [{}], \"events\": [{}]}}",
+            self.scenario,
+            self.protocol,
+            self.transport,
+            self.total_txns,
+            self.completed,
+            self.elapsed_ms,
+            self.mean_tps(),
+            self.liveness,
+            self.digests_agree,
+            self.agreeing,
+            views.join(", "),
+            self.deduped,
+            buckets.join(", "),
+            events.join(", ")
+        )
+    }
+}
+
+impl FaultAction {
+    /// Human-readable one-liner (event timelines, `FAULT` log lines).
+    pub fn describe(&self) -> String {
+        match self {
+            FaultAction::Crash(r) => format!("crash r{r}"),
+            FaultAction::Recover(r) => format!("recover r{r}"),
+            FaultAction::Partition(groups) => {
+                let gs: Vec<String> = groups
+                    .iter()
+                    .map(|g| {
+                        g.iter()
+                            .map(|r| r.to_string())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    })
+                    .collect();
+                format!("partition {}", gs.join("|"))
+            }
+            FaultAction::HealAll => "heal".into(),
+            FaultAction::DropRate(r) => format!("drop_rate {r}"),
+            FaultAction::DelayJitter(d) => format!("delay_jitter {}us", d.as_micros()),
+        }
+    }
+
+    /// Applies this action to a single transport's fault controller — the
+    /// per-node half used by `rdb-node --fault-plan`, where every process
+    /// of a multi-process cluster loads the same plan and applies it to
+    /// its own transport (dropping a crashed peer's traffic locally is
+    /// exactly what the in-process fabric does across all controllers).
+    pub fn apply_to_controller(&self, faults: &rdb_net::FaultController) {
+        use rdb_common::messages::Sender;
+        match self {
+            FaultAction::Crash(r) => faults.crash(Sender::Replica(ReplicaId(*r))),
+            FaultAction::Recover(r) => faults.recover(Sender::Replica(ReplicaId(*r))),
+            FaultAction::Partition(groups) => {
+                for (i, group_a) in groups.iter().enumerate() {
+                    for group_b in groups.iter().skip(i + 1) {
+                        let a: Vec<Sender> = group_a
+                            .iter()
+                            .map(|&r| Sender::Replica(ReplicaId(r)))
+                            .collect();
+                        let b: Vec<Sender> = group_b
+                            .iter()
+                            .map(|&r| Sender::Replica(ReplicaId(r)))
+                            .collect();
+                        faults.partition(&a, &b);
+                    }
+                }
+            }
+            FaultAction::HealAll => faults.heal_all(),
+            FaultAction::DropRate(rate) => faults.set_drop_rate(*rate),
+            FaultAction::DelayJitter(max) => faults.set_delay_jitter(*max),
+        }
+    }
+}
+
+fn apply(db: &ResilientDb, action: &FaultAction) {
+    match action {
+        FaultAction::Crash(r) => db.crash_replica(ReplicaId(*r)),
+        FaultAction::Recover(r) => db.recover(ReplicaId(*r)),
+        FaultAction::Partition(groups) => {
+            let groups: Vec<Vec<ReplicaId>> = groups
+                .iter()
+                .map(|g| g.iter().map(|&r| ReplicaId(r)).collect())
+                .collect();
+            db.partition(&groups);
+        }
+        FaultAction::HealAll => db.heal_partitions(),
+        FaultAction::DropRate(rate) => db.set_drop_rate(*rate),
+        FaultAction::DelayJitter(max) => db.set_delay_jitter(*max),
+    }
+}
+
+/// Runs one scenario against a live 4-replica deployment on the given
+/// protocol and transport backend.
+///
+/// # Panics
+/// Panics only on configuration errors (the scenario catalog is valid by
+/// construction); fault-induced failures are reported in the result, not
+/// panicked on.
+pub fn run_scenario(
+    scenario: &Scenario,
+    protocol: ProtocolKind,
+    transport: TransportMode,
+) -> ScenarioResult {
+    let n = 4usize;
+    let mut builder = SystemBuilder::new(n)
+        .protocol(protocol)
+        .transport(transport)
+        .batch_size(scenario.batch_size)
+        .table_size(4_096)
+        .client_keys(scenario.clients)
+        .checkpoint_interval(scenario.checkpoint_txns)
+        .seed(scenario.plan.seed + 7);
+    builder.config_mut().view_timeout_ms = scenario.view_timeout_ms;
+    builder.config_mut().byzantine_primary = scenario.byzantine;
+    let db = builder.build().expect("scenario config must be valid");
+    db.set_fault_seed(scenario.plan.seed);
+
+    // Load is submitted in waves — a client keeps roughly two batches in
+    // flight and tops up as completions drain — so the fault marks fire
+    // while requests are genuinely mid-stream (an upfront bulk submit on
+    // the in-memory backend can finish before the crash even lands).
+    // Unique key per transaction: the final state is independent of the
+    // commit interleaving, so state digests are comparable across
+    // replicas, protocols and transports.
+    let wave = (scenario.batch_size as u64 * 2).max(8);
+    let mut sessions: Vec<_> = (0..scenario.clients as u64).map(|c| db.client(c)).collect();
+    let mut remaining: Vec<u64> = vec![scenario.txns_per_client; scenario.clients];
+
+    let total = scenario.total_txns();
+    let start = Instant::now();
+    let mut completed = 0u64;
+    let mut buckets: Vec<u64> = Vec::new();
+    let mut fired: Vec<(u64, String)> = Vec::new();
+    let mut pending: Vec<FaultEvent> = scenario.plan.events.clone();
+    let mut elapsed_at_done = None;
+    while completed < total && start.elapsed() < scenario.deadline {
+        for (ci, session) in sessions.iter_mut().enumerate() {
+            if remaining[ci] > 0 && (session.pending() as u64) < wave / 2 {
+                let chunk = wave.min(remaining[ci]);
+                let done_so_far = scenario.txns_per_client - remaining[ci];
+                let txns: Vec<Transaction> = (0..chunk)
+                    .map(|i| {
+                        let key = ci as u64 * scenario.txns_per_client + done_so_far + i;
+                        session.write_txn(key, (key + 1).to_le_bytes().to_vec())
+                    })
+                    .collect();
+                session.submit(txns);
+                remaining[ci] -= chunk;
+            }
+            let newly = session.poll_progress() as u64;
+            if newly > 0 {
+                completed += newly;
+                let bucket = start.elapsed().as_secs() as usize;
+                if buckets.len() <= bucket {
+                    buckets.resize(bucket + 1, 0);
+                }
+                buckets[bucket] += newly;
+            }
+        }
+        pending.retain(|event| {
+            let due = match event.at {
+                Mark::Committed(at) => completed >= at,
+                Mark::Elapsed(at) => start.elapsed() >= at,
+            };
+            if due {
+                apply(&db, &event.action);
+                fired.push((start.elapsed().as_millis() as u64, event.action.describe()));
+            }
+            !due
+        });
+        if completed >= total {
+            elapsed_at_done = Some(start.elapsed());
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let elapsed = elapsed_at_done.unwrap_or_else(|| start.elapsed());
+
+    // `RDB_FAULT_DEBUG=1`: dump the client-side protocol state of every
+    // request still stuck at the deadline — which response groups exist,
+    // whether a commit certificate went out, how many acks came back.
+    if completed < total && std::env::var_os("RDB_FAULT_DEBUG").is_some() {
+        for (ci, session) in sessions.iter().enumerate() {
+            for line in session.debug_stuck() {
+                eprintln!("DEBUG stuck client={ci} {line}");
+            }
+        }
+        eprintln!(
+            "DEBUG views={:?} executed={:?}",
+            db.views(),
+            (0..n as u32)
+                .map(|r| db.executed_txns(ReplicaId(r)))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    // Replicas that were never crashed must end in the digest-agreeing
+    // quorum — except under a sustained drop rate, where a *single*
+    // straggler may have lost Commit messages and, voting alone, never
+    // reaches the f+1 join threshold that would trigger the catch-up
+    // view change (there is no state-transfer protocol); only
+    // commit-quorum agreement is guaranteed there. Two or more
+    // stragglers do recover: their votes cross f+1 and the healthy
+    // replicas join them.
+    let lossy = scenario
+        .plan
+        .events
+        .iter()
+        .any(|e| matches!(e.action, FaultAction::DropRate(r) if r > 0.0));
+    let crashed = scenario.plan.crashed_replicas();
+    let witnesses: Vec<usize> = if lossy {
+        Vec::new()
+    } else {
+        (0..n).filter(|r| !crashed.contains(&(*r as u32))).collect()
+    };
+    let quorum = 2 * db.config().f + 1;
+    let required = scenario.min_agreeing.unwrap_or(quorum);
+    let settle_deadline = Instant::now() + Duration::from_secs(5);
+    let (agreeing, digests_agree) = loop {
+        let digests = db.state_digests();
+        let heads = db.chain_heads();
+        // Largest set of replicas sharing (digest, head).
+        let mut best = 0usize;
+        let mut best_members: Vec<usize> = Vec::new();
+        for i in 0..n {
+            let members: Vec<usize> = (0..n)
+                .filter(|&j| digests[j] == digests[i] && heads[j] == heads[i])
+                .collect();
+            if members.len() > best {
+                best = members.len();
+                best_members = members;
+            }
+        }
+        let agree = best >= required && witnesses.iter().all(|w| best_members.contains(w));
+        if agree || Instant::now() > settle_deadline {
+            break (best, agree);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+
+    let deduped = (0..n as u32)
+        .map(|r| db.deduped_txns(ReplicaId(r)))
+        .max()
+        .unwrap_or(0);
+    let final_views = db.views();
+    drop(sessions);
+    db.shutdown();
+
+    ScenarioResult {
+        scenario: scenario.name.to_string(),
+        protocol: match protocol {
+            ProtocolKind::Pbft => "pbft".into(),
+            ProtocolKind::Zyzzyva => "zyzzyva".into(),
+        },
+        transport: match transport {
+            TransportMode::InMemory => "memory".into(),
+            TransportMode::Tcp => "tcp".into(),
+        },
+        total_txns: total,
+        completed,
+        elapsed_ms: elapsed.as_millis() as u64,
+        buckets,
+        events: fired,
+        final_views,
+        agreeing,
+        digests_agree,
+        liveness: completed >= total,
+        deduped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_parser_roundtrips_directives() {
+        let plan = FaultPlan::parse(
+            "# schedule\n\
+             seed 42\n\
+             at committed 50 crash 0\n\
+             at elapsed_ms 2000 recover 0\n\
+             at elapsed_ms 800 partition 0,1|2,3\n\
+             at elapsed_ms 1800 heal\n\
+             at elapsed_ms 0 drop_rate 0.05\n\
+             at elapsed_ms 0 delay_jitter_us 2000\n",
+        )
+        .expect("valid plan");
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.events.len(), 6);
+        assert_eq!(
+            plan.events[0],
+            FaultEvent {
+                at: Mark::Committed(50),
+                action: FaultAction::Crash(0)
+            }
+        );
+        assert_eq!(
+            plan.events[2].action,
+            FaultAction::Partition(vec![vec![0, 1], vec![2, 3]])
+        );
+        assert_eq!(
+            plan.events[5].action,
+            FaultAction::DelayJitter(Duration::from_millis(2))
+        );
+        assert_eq!(plan.crashed_replicas(), [0u32].into_iter().collect());
+    }
+
+    #[test]
+    fn plan_parser_rejects_garbage() {
+        assert!(FaultPlan::parse("at committed x crash 0").is_err());
+        assert!(FaultPlan::parse("at sometime 5 crash 0").is_err());
+        assert!(FaultPlan::parse("at committed 5 explode 0").is_err());
+        assert!(FaultPlan::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn catalog_is_complete_and_named_uniquely() {
+        let cat = scenarios();
+        assert!(cat.len() >= 10, "the matrix promises ten scenarios");
+        let names: HashSet<&str> = cat.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), cat.len(), "names must be unique");
+        assert!(scenario_by_name("primary_crash").is_some());
+        assert!(scenario_by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn result_json_is_wellformed_enough() {
+        let r = ScenarioResult {
+            scenario: "x".into(),
+            protocol: "pbft".into(),
+            transport: "memory".into(),
+            total_txns: 10,
+            completed: 10,
+            elapsed_ms: 100,
+            buckets: vec![5, 5],
+            events: vec![(50, "crash r0".into())],
+            final_views: vec![1, 1, 1, 1],
+            agreeing: 4,
+            digests_agree: true,
+            liveness: true,
+            deduped: 3,
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"committed_per_sec\": [5, 5]"));
+        assert!(json.contains("\"mean_tps\": 100.0"));
+        assert!(json.contains("\"events\": [{\"ms\": 50, \"action\": \"crash r0\"}]"));
+    }
+}

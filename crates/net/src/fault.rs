@@ -1,12 +1,29 @@
-//! Fault injection: crashes, probabilistic drops, and partitions.
+//! Fault injection: crashes, probabilistic drops, delay jitter, and
+//! partitions.
+//!
+//! Drop and delay decisions are deterministic: each directed link keeps
+//! its own message counter, and the decision for message `k` on link
+//! `(from, to)` is a pure hash of `(seed, from, to, k)`. Because every
+//! transport evaluates a link's messages in send order, a scenario with
+//! a fixed seed makes the same drop/delay choices run after run, no
+//! matter how OS threads interleave across links — unlike the old
+//! shared global counter, whose decisions depended on cross-thread
+//! arrival order.
 
 use parking_lot::RwLock;
 use rdb_common::messages::Sender;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-/// Controls which messages the network discards.
+/// Callback invoked when a node is crashed or recovered via the
+/// controller. Transports register one to mirror the logical fault onto
+/// physical resources (e.g. tearing down TCP sockets so recovery
+/// exercises the reconnect path).
+pub type FaultListener = Arc<dyn Fn(Sender, bool) + Send + Sync>;
+
+/// Controls which messages the network discards or delays.
 ///
 /// Cloneable handle; all clones share state, so tests can hold the
 /// controller while the system holds the network.
@@ -15,15 +32,75 @@ pub struct FaultController {
     inner: Arc<FaultInner>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Default)]
 struct FaultInner {
     crashed: RwLock<HashSet<Sender>>,
     /// Pairs (a, b) that cannot communicate, stored in both directions.
     severed: RwLock<HashSet<(Sender, Sender)>>,
     /// Drop probability in units of 1/10000 (0 = reliable).
     drop_per_10k: AtomicU64,
-    /// Deterministic counter-based "randomness" for drop decisions.
-    counter: AtomicU64,
+    /// Maximum extra one-way delay in microseconds (0 = none).
+    delay_jitter_us: AtomicU64,
+    /// Scenario seed mixed into every drop/delay hash.
+    seed: AtomicU64,
+    /// Per-directed-link message counters driving the decision hashes.
+    links: RwLock<HashMap<(Sender, Sender), Arc<LinkCounters>>>,
+    /// Crash/recover observers (socket teardown, logging, ...).
+    listeners: RwLock<Vec<FaultListener>>,
+}
+
+impl std::fmt::Debug for FaultInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInner")
+            .field("crashed", &self.crashed.read().len())
+            .field("severed", &self.severed.read().len())
+            .field("drop_per_10k", &self.drop_per_10k.load(Ordering::Relaxed))
+            .field(
+                "delay_jitter_us",
+                &self.delay_jitter_us.load(Ordering::Relaxed),
+            )
+            .field("seed", &self.seed.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+#[derive(Debug, Default)]
+struct LinkCounters {
+    drop_seq: AtomicU64,
+    delay_seq: AtomicU64,
+}
+
+/// SplitMix64 finalizer: a full-avalanche mix of one 64-bit word.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Packs a sender into a distinct 64-bit tag (replica ids and client
+/// ids occupy disjoint ranges).
+fn sender_tag(s: Sender) -> u64 {
+    match s {
+        Sender::Replica(id) => id.0 as u64,
+        Sender::Client(id) => (1u64 << 32) | id.0,
+    }
+}
+
+impl FaultInner {
+    fn link(&self, from: Sender, to: Sender) -> Arc<LinkCounters> {
+        if let Some(c) = self.links.read().get(&(from, to)) {
+            return Arc::clone(c);
+        }
+        Arc::clone(self.links.write().entry((from, to)).or_default())
+    }
+
+    /// Pure decision hash for message `seq` on the directed link.
+    fn link_hash(&self, from: Sender, to: Sender, seq: u64) -> u64 {
+        let seed = self.seed.load(Ordering::Relaxed);
+        let key = mix64(sender_tag(from).wrapping_mul(0x517c_c1b7_2722_0a95) ^ sender_tag(to));
+        mix64(seed ^ key ^ seq.wrapping_mul(0x2545_f491_4f6c_dd1d))
+    }
 }
 
 impl FaultController {
@@ -32,15 +109,42 @@ impl FaultController {
         Self::default()
     }
 
+    /// Sets the scenario seed mixed into every drop/delay decision.
+    /// Changing the seed replays a different — but equally
+    /// deterministic — fault pattern.
+    pub fn set_seed(&self, seed: u64) {
+        self.inner.seed.store(seed, Ordering::Relaxed);
+    }
+
+    /// Registers a crash/recover observer. The callback receives the
+    /// node and `true` on crash / `false` on recovery, synchronously
+    /// under the caller of [`crash`](Self::crash) /
+    /// [`recover`](Self::recover).
+    pub fn add_listener(&self, listener: FaultListener) {
+        self.inner.listeners.write().push(listener);
+    }
+
     /// Crashes `node`: all traffic to and from it is discarded until
     /// [`FaultController::recover`].
     pub fn crash(&self, node: Sender) {
-        self.inner.crashed.write().insert(node);
+        let newly = self.inner.crashed.write().insert(node);
+        if newly {
+            let listeners: Vec<_> = self.inner.listeners.read().clone();
+            for l in listeners {
+                l(node, true);
+            }
+        }
     }
 
     /// Recovers a crashed node.
     pub fn recover(&self, node: Sender) {
-        self.inner.crashed.write().remove(&node);
+        let was = self.inner.crashed.write().remove(&node);
+        if was {
+            let listeners: Vec<_> = self.inner.listeners.read().clone();
+            for l in listeners {
+                l(node, false);
+            }
+        }
     }
 
     /// Whether `node` is currently crashed.
@@ -88,7 +192,37 @@ impl FaultController {
         self.inner.drop_per_10k.store(per_10k, Ordering::Relaxed);
     }
 
+    /// Sets the maximum extra one-way delay applied per message.
+    /// Each message on a link draws a deterministic uniform delay in
+    /// `[0, max)`; zero disables jitter.
+    pub fn set_delay_jitter(&self, max: Duration) {
+        self.inner
+            .delay_jitter_us
+            .store(max.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// The deterministic extra delay for the next message from `from`
+    /// to `to`, or `None` when jitter is disabled. Advances the link's
+    /// delay counter, so call exactly once per sent message.
+    pub fn delay_for(&self, from: Sender, to: Sender) -> Option<Duration> {
+        let max_us = self.inner.delay_jitter_us.load(Ordering::Relaxed);
+        if max_us == 0 {
+            return None;
+        }
+        let seq = self
+            .inner
+            .link(from, to)
+            .delay_seq
+            .fetch_add(1, Ordering::Relaxed);
+        let h = self.inner.link_hash(from, to, seq ^ 0xdead_beef_0bad_f00d);
+        Some(Duration::from_micros(h % max_us))
+    }
+
     /// Decides whether a message from `from` to `to` should be dropped.
+    ///
+    /// Rate-based decisions are a pure hash of `(seed, from, to, k)`
+    /// where `k` is the link's own message counter, so replays are
+    /// identical run-to-run regardless of thread interleaving.
     pub fn should_drop(&self, from: Sender, to: Sender) -> bool {
         if self.is_crashed(from) || self.is_crashed(to) {
             return true;
@@ -100,11 +234,12 @@ impl FaultController {
         if rate == 0 {
             return false;
         }
-        // Cheap deterministic hash of a counter: evenly spreads drops
-        // without a seeded RNG behind a lock.
-        let tick = self.inner.counter.fetch_add(1, Ordering::Relaxed);
-        let mixed = tick.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17);
-        mixed % 10_000 < rate
+        let seq = self
+            .inner
+            .link(from, to)
+            .drop_seq
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner.link_hash(from, to, seq) % 10_000 < rate
     }
 }
 
@@ -112,6 +247,7 @@ impl FaultController {
 mod tests {
     use super::*;
     use rdb_common::{ClientId, ReplicaId};
+    use std::sync::atomic::AtomicUsize;
 
     fn r(i: u32) -> Sender {
         Sender::Replica(ReplicaId(i))
@@ -162,6 +298,83 @@ mod tests {
         assert!((3_000..7_000).contains(&drops), "drops={drops}");
         fc.set_drop_rate(0.0);
         assert!(!fc.should_drop(r(0), r(1)));
+    }
+
+    #[test]
+    fn drop_decisions_replay_per_link() {
+        // Same seed → identical decision sequence on each link, even
+        // when another link's traffic interleaves arbitrarily.
+        let run = |interleave: bool| -> Vec<bool> {
+            let fc = FaultController::new();
+            fc.set_seed(7);
+            fc.set_drop_rate(0.3);
+            let mut out = Vec::new();
+            for i in 0..1_000 {
+                if interleave && i % 3 == 0 {
+                    // Foreign-link traffic must not perturb (0 → 1).
+                    fc.should_drop(r(2), r(3));
+                    fc.should_drop(r(1), r(0));
+                }
+                out.push(fc.should_drop(r(0), r(1)));
+            }
+            out
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn different_seeds_differ_and_links_decorrelate() {
+        let decisions = |seed: u64, from: Sender, to: Sender| -> Vec<bool> {
+            let fc = FaultController::new();
+            fc.set_seed(seed);
+            fc.set_drop_rate(0.5);
+            (0..256).map(|_| fc.should_drop(from, to)).collect()
+        };
+        assert_ne!(decisions(1, r(0), r(1)), decisions(2, r(0), r(1)));
+        assert_ne!(decisions(1, r(0), r(1)), decisions(1, r(1), r(0)));
+    }
+
+    #[test]
+    fn delay_jitter_is_bounded_and_deterministic() {
+        let fc = FaultController::new();
+        assert!(fc.delay_for(r(0), r(1)).is_none());
+        fc.set_seed(11);
+        fc.set_delay_jitter(Duration::from_micros(500));
+        let a: Vec<_> = (0..64).map(|_| fc.delay_for(r(0), r(1)).unwrap()).collect();
+        assert!(a.iter().all(|d| *d < Duration::from_micros(500)));
+        assert!(a.iter().any(|d| *d > Duration::ZERO));
+
+        let fc2 = FaultController::new();
+        fc2.set_seed(11);
+        fc2.set_delay_jitter(Duration::from_micros(500));
+        let b: Vec<_> = (0..64)
+            .map(|_| fc2.delay_for(r(0), r(1)).unwrap())
+            .collect();
+        assert_eq!(a, b, "same seed must replay the same jitter");
+
+        fc.set_delay_jitter(Duration::ZERO);
+        assert!(fc.delay_for(r(0), r(1)).is_none());
+    }
+
+    #[test]
+    fn listeners_fire_on_crash_and_recover() {
+        let fc = FaultController::new();
+        let crashes = Arc::new(AtomicUsize::new(0));
+        let recoveries = Arc::new(AtomicUsize::new(0));
+        let (c, v) = (Arc::clone(&crashes), Arc::clone(&recoveries));
+        fc.add_listener(Arc::new(move |_, down| {
+            if down {
+                c.fetch_add(1, Ordering::Relaxed);
+            } else {
+                v.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+        fc.crash(r(1));
+        fc.crash(r(1)); // idempotent: no second notification
+        fc.recover(r(1));
+        fc.recover(r(1));
+        assert_eq!(crashes.load(Ordering::Relaxed), 1);
+        assert_eq!(recoveries.load(Ordering::Relaxed), 1);
     }
 
     #[test]

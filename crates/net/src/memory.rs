@@ -70,6 +70,9 @@ struct NetInner {
     faults: FaultController,
     wire: Mutex<WireState>,
     wire_signal: Condvar,
+    /// Spawns the wire thread at most once; delay jitter can demand it
+    /// long after construction.
+    wire_started: std::sync::Once,
 }
 
 impl NetInner {
@@ -113,7 +116,8 @@ impl fmt::Debug for Network {
 
 impl Network {
     /// Creates a network; if `config.latency` is non-zero, spawns the wire
-    /// thread that delays deliveries.
+    /// thread that delays deliveries. (Fault-injected delay jitter spawns
+    /// it on demand later.)
     pub fn new(config: NetworkConfig) -> Self {
         let needs_wire = !config.latency.is_zero();
         let inner = Arc::new(NetInner {
@@ -127,9 +131,19 @@ impl Network {
                 shutdown: false,
             }),
             wire_signal: Condvar::new(),
+            wire_started: std::sync::Once::new(),
         });
+        let net = Network { inner };
         if needs_wire {
-            let weak = Arc::downgrade(&inner);
+            net.ensure_wire_thread();
+        }
+        net
+    }
+
+    /// Spawns the delayed-delivery wire thread exactly once.
+    fn ensure_wire_thread(&self) {
+        let weak = Arc::downgrade(&self.inner);
+        self.inner.wire_started.call_once(move || {
             std::thread::Builder::new()
                 .name("rdb-net-wire".into())
                 .spawn(move || {
@@ -171,8 +185,7 @@ impl Network {
                     }
                 })
                 .expect("spawn wire thread");
-        }
-        Network { inner }
+        });
     }
 
     /// A [`NetHandle`] over this switchboard, for APIs that take the
@@ -227,14 +240,23 @@ impl MeshTransport for Network {
             self.inner.stats.record_dropped();
             return Ok(()); // silently dropped, like a real network
         }
-        if self.inner.config.latency.is_zero() {
+        // Total one-way delay: configured base latency plus any
+        // fault-injected deterministic jitter for this link message.
+        let delay = self.inner.config.latency
+            + self
+                .inner
+                .faults
+                .delay_for(from, to)
+                .unwrap_or(Duration::ZERO);
+        if delay.is_zero() {
             self.inner.deliver(to, msg);
         } else {
+            self.ensure_wire_thread();
             let mut wire = self.inner.wire.lock();
             let seq = wire.next_seq;
             wire.next_seq += 1;
             wire.heap.push(WireEntry {
-                due: Instant::now() + self.inner.config.latency,
+                due: Instant::now() + delay,
                 seq,
                 to,
                 msg,

@@ -534,6 +534,45 @@ struct TcpInner {
     /// Round-robin cursor for assigning connections to loops.
     rr: AtomicUsize,
     threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Deadline heap for fault-injected delay jitter (spawned on demand).
+    delay: Mutex<DelayState>,
+    delay_signal: Condvar,
+    delay_started: std::sync::Once,
+}
+
+/// One jitter-delayed envelope awaiting re-dispatch.
+struct DelayEntry {
+    due: Instant,
+    seq: u64,
+    from: Sender,
+    to: Sender,
+    msg: SignedMessage,
+    reliable: bool,
+}
+
+impl PartialEq for DelayEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for DelayEntry {}
+impl PartialOrd for DelayEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DelayEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse so the BinaryHeap pops the earliest deadline first;
+        // tie-break on sequence for FIFO between equal deadlines.
+        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Default)]
+struct DelayState {
+    heap: std::collections::BinaryHeap<DelayEntry>,
+    next_seq: u64,
 }
 
 impl TcpInner {
@@ -629,6 +668,116 @@ impl TcpInner {
         self.reverse.read().get(&to).cloned()
     }
 
+    /// Whether a dial for `link` must wait: the remote replica — or the
+    /// local node itself — is currently crash-faulted, so re-establishing
+    /// the socket would undo the injected failure. The dialer keeps the
+    /// request in its backoff queue, which is exactly the reconnect path
+    /// a recovery then exercises.
+    fn dial_blocked(&self, link: &Link) -> bool {
+        let target = match link.peer {
+            LinkPeer::Replica(r) => Some(Sender::Replica(r)),
+            LinkPeer::Dedicated { owner } => {
+                if self.faults.is_crashed(owner) {
+                    return true;
+                }
+                self.cfg.dedicated_to.map(Sender::Replica)
+            }
+            LinkPeer::Accepted => None,
+        };
+        if target.is_some_and(|t| self.faults.is_crashed(t)) {
+            return true;
+        }
+        // A crashed local replica endpoint must not keep dialing out.
+        self.locals
+            .read()
+            .iter()
+            .any(|(a, _)| matches!(a, Sender::Replica(_)) && self.faults.is_crashed(*a))
+    }
+
+    /// Tears down every live socket touching `node` (crash fault). Dialed
+    /// links are *not* closed: `close_conn` requeues their unsent frames
+    /// and re-enters the dialer, which stalls in backoff until the node
+    /// recovers — so recovery rides the real reconnect path. Accepted
+    /// (reverse) links are closed by `close_conn` itself; the remote
+    /// re-dials and re-announces after its own recovery.
+    fn teardown_sockets(&self, node: Sender) {
+        let mut links: Vec<Arc<Link>> = Vec::new();
+        let local = self.locals.read().iter().any(|(a, _)| *a == node);
+        if local {
+            // The node itself crashed: drop every connection it owns.
+            links.extend(self.dialed.read().values().cloned());
+            links.extend(self.dedicated.read().values().cloned());
+            links.extend(self.reverse.read().values().cloned());
+        } else {
+            if let Sender::Replica(r) = node {
+                if let Some(l) = self.dialed.read().get(&r.0) {
+                    links.push(Arc::clone(l));
+                }
+                if self.cfg.dedicated_to == Some(r) {
+                    links.extend(self.dedicated.read().values().cloned());
+                }
+            }
+            if let Some(l) = self.reverse.read().get(&node) {
+                links.push(Arc::clone(l));
+            }
+        }
+        for link in links {
+            if let Some((li, token)) = link.owner() {
+                self.send_loop_cmd(li, LoopCmd::Close(token));
+            }
+        }
+    }
+
+    /// Routes one (possibly jitter-delayed) envelope: local mailboxes
+    /// short-circuit the socket, everything else rides a link. Stats and
+    /// fault decisions already happened at send time.
+    fn dispatch_now(
+        &self,
+        from: Sender,
+        to: Sender,
+        msg: &SignedMessage,
+        payload: &mut Option<Arc<Vec<u8>>>,
+        reliable: bool,
+    ) {
+        if self.mailboxes.read().contains_key(&to) {
+            self.deliver(to, msg.clone());
+            return;
+        }
+        let Some(link) = self.route_to(from, to) else {
+            self.stats.record_dropped();
+            return;
+        };
+        // Send-side twin of the reader's MAX_FRAME guard: an envelope the
+        // receiver is guaranteed to reject must not reach the wire — the
+        // link would otherwise retry the same doomed frame through endless
+        // reconnects, wedging it. Dropping it (counted) is the only
+        // deliverable outcome.
+        if msg.encoded_len() + MSG_HEADER_MAX > frame::MAX_FRAME {
+            self.stats.record_dropped();
+            return;
+        }
+        let shared = payload
+            .get_or_insert_with(|| Arc::new(msg.encode()))
+            .clone();
+        // Replies to clients stay reliable even over the mesh path,
+        // matching the pre-reactor backend.
+        let reliable = reliable || matches!(to, Sender::Client(_));
+        let policy = if reliable {
+            PushPolicy::Reliable
+        } else {
+            PushPolicy::Gossip
+        };
+        self.push_link(
+            &link,
+            OutFrame::Msg {
+                to,
+                payload: shared,
+                reliable,
+            },
+            policy,
+        );
+    }
+
     /// The HELLOs a freshly connected dialed link announces. A dedicated
     /// link announces exactly its one client; a shared link to replica `r`
     /// announces every local endpoint *except* clients whose dedicated
@@ -696,6 +845,19 @@ fn attempt_dial(
     pending: &mut Vec<(Instant, DialRequest)>,
 ) {
     if req.link.is_closed() || inner.is_shutdown() {
+        return;
+    }
+    if inner.dial_blocked(&req.link) {
+        // A crash fault is pinning this link down; keep backing off so
+        // recovery reconnects through the normal retry path.
+        pending.push((
+            Instant::now() + req.backoff,
+            DialRequest {
+                link: req.link,
+                delay: req.backoff,
+                backoff: (req.backoff * 2).min(inner.cfg.reconnect_max),
+            },
+        ));
         return;
     }
     let addr = req.link.addr.expect("dialed link has an address");
@@ -1123,7 +1285,21 @@ impl TcpTransport {
             open_conns: AtomicUsize::new(0),
             rr: AtomicUsize::new(0),
             threads: Mutex::new(Vec::new()),
+            delay: Mutex::new(DelayState::default()),
+            delay_signal: Condvar::new(),
+            delay_started: std::sync::Once::new(),
         });
+        // Crash faults tear real sockets down (recovery then re-dials);
+        // the listener holds a weak ref so the controller never keeps the
+        // transport alive.
+        let weak = Arc::downgrade(&inner);
+        inner.faults.add_listener(Arc::new(move |node, down| {
+            if down {
+                if let Some(inner) = weak.upgrade() {
+                    inner.teardown_sockets(node);
+                }
+            }
+        }));
         let mut handles = Vec::with_capacity(loops_n);
         let mut threads = Vec::with_capacity(loops_n + 1);
         let mut listener = listener;
@@ -1237,12 +1413,7 @@ impl TcpTransport {
         reliable: bool,
     ) -> Result<(), NetworkError> {
         let local = self.inner.mailboxes.read().contains_key(&to);
-        let link = if local {
-            None
-        } else {
-            self.inner.route_to(from, to)
-        };
-        if !local && link.is_none() {
+        if !local && self.inner.route_to(from, to).is_none() {
             self.inner.stats.record_dropped();
             return Err(NetworkError::UnknownDestination(format!("{to:?}")));
         }
@@ -1251,42 +1422,69 @@ impl TcpTransport {
             self.inner.stats.record_dropped();
             return Ok(()); // silently dropped, like a real network
         }
-        match link {
-            None => self.inner.deliver(to, msg.clone()),
-            Some(link) => {
-                // Send-side twin of the reader's MAX_FRAME guard: an
-                // envelope the receiver is guaranteed to reject must not
-                // reach the wire — the link would otherwise retry the
-                // same doomed frame through endless reconnects, wedging
-                // it. Dropping it (counted) is the only deliverable
-                // outcome.
-                if msg.encoded_len() + MSG_HEADER_MAX > frame::MAX_FRAME {
-                    self.inner.stats.record_dropped();
-                    return Ok(());
-                }
-                let shared = payload
-                    .get_or_insert_with(|| Arc::new(msg.encode()))
-                    .clone();
-                // Replies to clients stay reliable even over the mesh
-                // path, matching the pre-reactor backend.
-                let reliable = reliable || matches!(to, Sender::Client(_));
-                let policy = if reliable {
-                    PushPolicy::Reliable
-                } else {
-                    PushPolicy::Gossip
-                };
-                self.inner.push_link(
-                    &link,
-                    OutFrame::Msg {
-                        to,
-                        payload: shared,
-                        reliable,
-                    },
-                    policy,
-                );
-            }
+        // Fault-injected jitter parks the envelope on the delay heap; it
+        // re-routes when due (links may have churned meanwhile).
+        if let Some(extra) = self.inner.faults.delay_for(from, to) {
+            self.delay_dispatch(from, to, msg.clone(), reliable, extra);
+            return Ok(());
         }
+        self.inner.dispatch_now(from, to, msg, payload, reliable);
         Ok(())
+    }
+
+    /// Parks one envelope on the delay heap and ensures the delay thread
+    /// is running.
+    fn delay_dispatch(
+        &self,
+        from: Sender,
+        to: Sender,
+        msg: SignedMessage,
+        reliable: bool,
+        extra: Duration,
+    ) {
+        let weak = Arc::downgrade(&self.inner);
+        self.inner.delay_started.call_once(move || {
+            let _ = std::thread::Builder::new()
+                .name("tcp-delay".into())
+                .spawn(move || {
+                    while let Some(inner) = weak.upgrade() {
+                        if inner.is_shutdown() {
+                            return;
+                        }
+                        let mut due_msgs = Vec::new();
+                        {
+                            let mut st = inner.delay.lock();
+                            let now = Instant::now();
+                            while st.heap.peek().is_some_and(|e| e.due <= now) {
+                                due_msgs.push(st.heap.pop().expect("peeked entry exists"));
+                            }
+                            if due_msgs.is_empty() {
+                                let wait = match st.heap.peek().map(|e| e.due) {
+                                    Some(due) => due.saturating_duration_since(Instant::now()),
+                                    None => Duration::from_millis(50),
+                                };
+                                inner.delay_signal.wait_for(&mut st, wait);
+                            }
+                        }
+                        for e in due_msgs {
+                            inner.dispatch_now(e.from, e.to, &e.msg, &mut None, e.reliable);
+                        }
+                        drop(inner);
+                    }
+                });
+        });
+        let mut st = self.inner.delay.lock();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.heap.push(DelayEntry {
+            due: Instant::now() + extra,
+            seq,
+            from,
+            to,
+            msg,
+            reliable,
+        });
+        self.inner.delay_signal.notify_one();
     }
 
     /// Stops the reactor threads and the dialer, and joins them.
@@ -1468,7 +1666,79 @@ mod tests {
         let got = b.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(got.sender(), r(0));
         assert_eq!(t0.stats().total_sent(), 1);
+        // The mailbox push happens before the counter bump, so the recv
+        // above can race ahead of the event loop's record_delivered.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while t1.stats().total_delivered() < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
         assert_eq!(t1.stats().total_delivered(), 1);
+        t0.shutdown();
+        t1.shutdown();
+    }
+
+    #[test]
+    fn crash_tears_down_socket_and_recover_redials() {
+        let (t0, t1) = pair();
+        let a = t0.register(r(0));
+        let b = t1.register(r(1));
+        a.send(r(1), msg(r(0))).unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(5)).is_ok());
+        let connected = |t: &TcpTransport| t.open_connections() > 0;
+        assert!(connected(&t0), "send established a dialed connection");
+
+        // Crash the remote: the dialed socket must actually close, and
+        // the dialer must not re-establish it while the fault holds.
+        t0.faults().crash(r(1));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while t0.open_connections() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(t0.open_connections(), 0, "crash must tear the socket down");
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(t0.open_connections(), 0, "no redial while crashed");
+
+        // Recovery rides the reconnect/backoff path and traffic flows
+        // again over a fresh socket.
+        t0.faults().recover(r(1));
+        a.send(r(1), msg(r(0))).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut delivered = false;
+        while Instant::now() < deadline {
+            if b.recv_timeout(Duration::from_millis(200)).is_ok() {
+                delivered = true;
+                break;
+            }
+            // The torn-down frame may have been requeued before the drop
+            // filter engaged; keep nudging.
+            let _ = a.send(r(1), msg(r(0)));
+        }
+        assert!(delivered, "recovered link must deliver over a new socket");
+        t0.shutdown();
+        t1.shutdown();
+    }
+
+    #[test]
+    fn delay_jitter_defers_socket_delivery() {
+        let (t0, t1) = pair();
+        let a = t0.register(r(0));
+        let b = t1.register(r(1));
+        t0.faults().set_seed(3);
+        t0.faults().set_delay_jitter(Duration::from_millis(80));
+        let start = Instant::now();
+        for _ in 0..8 {
+            a.send(r(1), msg(r(0))).unwrap();
+        }
+        for _ in 0..8 {
+            assert!(b.recv_timeout(Duration::from_secs(5)).is_ok());
+        }
+        // At least one of 8 uniform draws from [0, 80ms) lands late
+        // enough that the batch cannot complete instantly.
+        assert!(
+            start.elapsed() >= Duration::from_millis(10),
+            "jitter must defer delivery, elapsed {:?}",
+            start.elapsed()
+        );
         t0.shutdown();
         t1.shutdown();
     }

@@ -20,10 +20,10 @@ use crate::queues::ExecuteItem;
 use parking_lot::Mutex;
 use rdb_common::messages::{Message, Sender};
 use rdb_common::Digest;
-use rdb_common::{Operation, ProtocolKind, ReplicaId, Transaction};
+use rdb_common::{Operation, ProtocolKind, ReplicaId, Transaction, TxnId};
 use rdb_crypto::chain_digest;
 use rdb_storage::{Blockchain, StateStore, WriteRecord};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -112,6 +112,13 @@ pub struct Executor {
     chain: Arc<Mutex<Blockchain>>,
     executed_txns: AtomicU64,
     executed_batches: AtomicU64,
+    /// Transaction ids already executed, for at-most-once accounting: a
+    /// client retransmission ordered into a second batch (e.g. across a
+    /// view change) is replied to again but not counted again. Its writes
+    /// are content-identical, so re-applying them is state-idempotent and
+    /// keeps serial and parallel execution digest-equal.
+    seen: Mutex<HashSet<TxnId>>,
+    deduped_txns: AtomicU64,
 }
 
 impl std::fmt::Debug for Executor {
@@ -142,12 +149,19 @@ impl Executor {
             chain,
             executed_txns: AtomicU64::new(0),
             executed_batches: AtomicU64::new(0),
+            seen: Mutex::new(HashSet::new()),
+            deduped_txns: AtomicU64::new(0),
         }
     }
 
-    /// Total transactions executed.
+    /// Total *distinct* transactions executed (duplicates excluded).
     pub fn executed_txns(&self) -> u64 {
         self.executed_txns.load(Ordering::Relaxed)
+    }
+
+    /// Duplicate transactions detected (re-ordered retransmissions).
+    pub fn deduped_txns(&self) -> u64 {
+        self.deduped_txns.load(Ordering::Relaxed)
     }
 
     /// Total batches executed.
@@ -241,8 +255,13 @@ impl Executor {
         // the block certificate (each replica legitimately collects a
         // different 2f+1 commit-signature set).
         let state_digest = chain_digest(&item.digest, &store_digest);
-        self.executed_txns
-            .fetch_add(item.batch.len() as u64, Ordering::Relaxed);
+        let fresh = {
+            let mut seen = self.seen.lock();
+            item.batch.txns.iter().filter(|t| seen.insert(t.id)).count() as u64
+        };
+        self.executed_txns.fetch_add(fresh, Ordering::Relaxed);
+        self.deduped_txns
+            .fetch_add(item.batch.len() as u64 - fresh, Ordering::Relaxed);
         self.executed_batches.fetch_add(1, Ordering::Relaxed);
         let _ = self.protocol;
         (state_digest, replies)
@@ -340,6 +359,20 @@ mod tests {
         ex.execute(&exec_item(2, None));
         assert_eq!(ex.chain.lock().head_seq(), SeqNum(2));
         assert!(ex.chain.lock().verify().is_ok());
+    }
+
+    #[test]
+    fn retransmitted_txns_replied_but_counted_once() {
+        let ex = executor(ProtocolKind::Pbft, ChainMode::Certificate);
+        let (_, r1) = ex.execute(&exec_item(1, None));
+        // The same transactions ordered again at a later sequence (a
+        // retransmission that crossed a view change).
+        let (_, r2) = ex.execute(&exec_item(2, None));
+        assert_eq!(r1.len(), 3);
+        assert_eq!(r2.len(), 3, "duplicates still get replies");
+        assert_eq!(ex.executed_txns(), 3, "but are not counted again");
+        assert_eq!(ex.deduped_txns(), 3);
+        assert_eq!(ex.executed_batches(), 2);
     }
 
     #[test]

@@ -57,6 +57,11 @@ enum Work {
     Propose { batch: Batch, digest: Digest },
     /// Execution finished for `seq` (from the execute-thread).
     Executed { seq: SeqNum, state_digest: Digest },
+    /// A backup received client traffic: unmet demand the suspicion timer
+    /// combines with lack of progress to detect a dead or partitioned
+    /// primary (clients rebroadcast requests to every replica when their
+    /// own timers expire).
+    ClientDemand,
 }
 
 /// State shared between the replica's threads and exposed to callers.
@@ -77,6 +82,9 @@ pub struct ReplicaShared {
     pub crypto_stats: CryptoStats,
     committed_batches: AtomicU64,
     dropped_bad_sigs: AtomicU64,
+    /// The installed view, updated by the worker on `EnterView` — the input
+    /// threads route client traffic by `view % n` through this.
+    current_view: Arc<AtomicU64>,
 }
 
 impl ReplicaShared {
@@ -88,6 +96,11 @@ impl ReplicaShared {
     /// Messages dropped due to failed signature verification.
     pub fn dropped_bad_sigs(&self) -> u64 {
         self.dropped_bad_sigs.load(Ordering::Relaxed)
+    }
+
+    /// The view this replica currently has installed.
+    pub fn current_view(&self) -> u64 {
+        self.current_view.load(Ordering::Relaxed)
     }
 }
 
@@ -215,6 +228,7 @@ pub fn spawn_replica(
     let metrics = MetricsRegistry::new();
     metrics.start_window();
     let shutdown = Arc::new(AtomicBool::new(false));
+    let current_view = Arc::new(AtomicU64::new(0));
     let shared = Arc::new(ReplicaShared {
         id,
         store,
@@ -225,14 +239,18 @@ pub fn spawn_replica(
         crypto_stats: provider.stats().clone(),
         committed_batches: AtomicU64::new(0),
         dropped_bad_sigs: AtomicU64::new(0),
+        current_view: Arc::clone(&current_view),
     });
 
     let consensus_cfg = ConsensusConfig::new(
         config.n,
         (config.checkpoint_interval / config.batch_size as u64).max(1),
-    );
+    )
+    // Only the deployment's *initial* primary is byzantine; whoever wins
+    // the ensuing view change behaves honestly.
+    .with_equivocation(config.byzantine_primary && id == rdb_common::ViewNum(0).primary(config.n));
     let engine = ReplicaEngine::new(config.protocol, id, consensus_cfg);
-    let is_primary = engine.is_primary();
+    let n = config.n as u64;
     let replicas: Vec<Sender> = (0..config.n as u32)
         .map(|r| Sender::Replica(ReplicaId(r)))
         .collect();
@@ -246,11 +264,10 @@ pub fn spawn_replica(
     };
 
     // --- input threads ------------------------------------------------------
-    let input_total = if is_primary {
-        config.threads.client_input_threads + config.threads.replica_input_threads
-    } else {
-        config.threads.replica_input_threads.max(1)
-    };
+    // Every replica runs the full input complement: a backup can become the
+    // primary at any view change, so the client-facing threads must already
+    // be listening.
+    let input_total = config.threads.client_input_threads + config.threads.replica_input_threads;
     let verify_window = config.threads.verify_window.max(1);
     for i in 0..input_total {
         let rx = endpoint.receiver();
@@ -259,10 +276,11 @@ pub fn spawn_replica(
         let cq = Arc::clone(&client_queue);
         let stop = Arc::clone(&shutdown);
         let rec = metrics.recorder(Stage::Input, i);
-        let has_batch_threads = config.threads.batch_threads > 0 && is_primary;
+        let has_batch_threads = config.threads.batch_threads > 0;
         let has_ckpt_thread = config.threads.checkpoint_threads > 0;
         let provider = provider.clone();
         let shared2 = Arc::clone(&shared);
+        let view = Arc::clone(&current_view);
         threads.push(spawn(
             format!("r{}-input-{i}", id.0),
             Box::new(move || {
@@ -280,15 +298,20 @@ pub fn spawn_replica(
                 // this thread's verify window.
                 let route = |sm: SignedMessage, window: &mut Vec<SignedMessage>| match sm.msg() {
                     Message::ClientRequest { .. } => {
-                        if is_primary {
+                        // Primaryship is dynamic: re-check the installed
+                        // view on every request.
+                        if view.load(Ordering::Relaxed) % n == id.0 as u64 {
                             if has_batch_threads {
                                 cq.push(sm);
                             } else {
                                 let _ = work_tx.send(Work::ClientRequest(sm));
                             }
+                        } else {
+                            // Backups drop the payload (clients address the
+                            // primary directly; rebroadcasts reach it too)
+                            // but surface the demand to the suspicion timer.
+                            let _ = work_tx.send(Work::ClientDemand);
                         }
-                        // Backups drop direct client traffic; clients
-                        // address the primary.
                     }
                     Message::Checkpoint { .. } if has_ckpt_thread => {
                         let _ = ckpt_tx.send(sm);
@@ -328,33 +351,34 @@ pub fn spawn_replica(
         ));
     }
 
-    // --- batch threads (primary only) ---------------------------------------
-    if is_primary {
-        for b in 0..config.threads.batch_threads {
-            let cq = Arc::clone(&client_queue);
-            let work_tx = work_tx.clone();
-            let stop = Arc::clone(&shutdown);
-            let rec = metrics.recorder(Stage::Batch, b);
-            let provider = provider.clone();
-            let batch_size = config.batch_size;
-            let dropped = Arc::clone(&shared);
-            threads.push(spawn(
-                format!("r{}-batch-{b}", id.0),
-                Box::new(move || {
-                    batch_loop(
-                        &cq,
-                        &work_tx,
-                        &stop,
-                        &rec,
-                        &provider,
-                        batch_size,
-                        verify_window,
-                        flush_after,
-                        &dropped,
-                    );
-                }),
-            ));
-        }
+    // --- batch threads -------------------------------------------------------
+    // Spawned on every replica: the queue only fills while this replica is
+    // the primary (input routing is view-aware), and `propose` on a backup
+    // engine is a no-op, so idle batch threads cost a parked future.
+    for b in 0..config.threads.batch_threads {
+        let cq = Arc::clone(&client_queue);
+        let work_tx = work_tx.clone();
+        let stop = Arc::clone(&shutdown);
+        let rec = metrics.recorder(Stage::Batch, b);
+        let provider = provider.clone();
+        let batch_size = config.batch_size;
+        let dropped = Arc::clone(&shared);
+        threads.push(spawn(
+            format!("r{}-batch-{b}", id.0),
+            Box::new(move || {
+                batch_loop(
+                    &cq,
+                    &work_tx,
+                    &stop,
+                    &rec,
+                    &provider,
+                    batch_size,
+                    verify_window,
+                    flush_after,
+                    &dropped,
+                );
+            }),
+        ));
     }
 
     // --- checkpoint thread ---------------------------------------------------
@@ -401,6 +425,7 @@ pub fn spawn_replica(
         let shared2 = Arc::clone(&shared);
         let chain2 = Arc::clone(&chain);
         let cfg = config.clone();
+        let view = Arc::clone(&current_view);
         threads.push(spawn(
             format!("r{}-worker", id.0),
             Box::new(move || {
@@ -424,6 +449,11 @@ pub fn spawn_replica(
                     inline_next_exec: SeqNum(1),
                     stable_checkpoint: SeqNum(0),
                     pruned_to: SeqNum(0),
+                    current_view: view,
+                    view_timeout: Duration::from_millis(cfg.view_timeout_ms),
+                    last_progress: Instant::now(),
+                    suspect_strikes: 0,
+                    client_demand: false,
                 };
                 while !stop.load(Ordering::Relaxed) {
                     match rx.recv_timeout(poll) {
@@ -437,6 +467,7 @@ pub fn spawn_replica(
                             }
                         }
                     }
+                    ctx.maybe_suspect();
                 }
             }),
         ));
@@ -706,9 +737,47 @@ struct WorkerCtx {
     stable_checkpoint: SeqNum,
     /// How far the chain has actually been pruned (tracks the clamp).
     pruned_to: SeqNum,
+    /// Shared with the input threads so client routing tracks the view.
+    current_view: Arc<AtomicU64>,
+    /// Suspicion timer: no progress for this long while work is stalled
+    /// (or client demand is pending) votes out the primary.
+    view_timeout: Duration,
+    last_progress: Instant,
+    /// Consecutive suspicion fires without real progress in between. The
+    /// effective timeout doubles with each strike (Castro-Liskov §4.5.2's
+    /// exponential backoff), so a replica that cannot be helped by a view
+    /// change — e.g. a straggler with an execution hole and no state
+    /// transfer — stops dragging the healthy quorum into view-change
+    /// storms. Reset whenever execution advances or a view installs.
+    suspect_strikes: u32,
+    client_demand: bool,
 }
 
 impl WorkerCtx {
+    /// The suspicion timer (Section 4.2 of PBFT, simplified): stalled
+    /// consensus work or unmet client demand with no progress for a full
+    /// view timeout means the primary is dead or cut off — vote it out.
+    /// Re-arming the timer after each vote gives the view change its own
+    /// (doubled) timeout before the vote escalates further.
+    fn maybe_suspect(&mut self) {
+        const MAX_BACKOFF_SHIFT: u32 = 5; // cap at 32x the base timeout
+        let shift = self.suspect_strikes.min(MAX_BACKOFF_SHIFT);
+        if self.last_progress.elapsed() < self.view_timeout * (1u32 << shift) {
+            return;
+        }
+        if self.engine.has_stalled_work() || self.client_demand {
+            let actions = self.engine.on_timeout();
+            self.last_progress = Instant::now();
+            self.suspect_strikes = self.suspect_strikes.saturating_add(1);
+            self.run_actions(actions);
+        } else {
+            // Quiet and healthy: keep the timer from firing immediately on
+            // the first demand signal after a long idle stretch.
+            self.last_progress = Instant::now();
+            self.suspect_strikes = 0;
+        }
+    }
+
     fn handle(&mut self, work: Work) {
         match work {
             Work::Verified(sm) => {
@@ -739,6 +808,9 @@ impl WorkerCtx {
                 self.run_actions(actions);
             }
             Work::Executed { seq, state_digest } => {
+                self.last_progress = Instant::now();
+                self.suspect_strikes = 0;
+                self.client_demand = false;
                 let actions = self.engine.on_executed(seq, state_digest);
                 self.run_actions(actions);
                 // A checkpoint can stabilize (2f+1 remote checkpoint
@@ -746,6 +818,9 @@ impl WorkerCtx {
                 // clamped at the chain head then, so retry as execution
                 // advances.
                 self.prune_to_stable();
+            }
+            Work::ClientDemand => {
+                self.client_demand = true;
             }
         }
     }
@@ -806,6 +881,11 @@ impl WorkerCtx {
                     batch,
                     certificate,
                 } => {
+                    // Deliberately NOT a progress signal: the timer re-arms
+                    // on `Work::Executed` (PBFT §2.4 stops the timer when a
+                    // request executes, not when it commits). A commit above
+                    // an execution hole would otherwise starve the view
+                    // change that re-issues the missing sequence.
                     self.shared
                         .committed_batches
                         .fetch_add(1, Ordering::Relaxed);
@@ -842,9 +922,14 @@ impl WorkerCtx {
                     let pruned = self.chain.lock().prune_below(seq);
                     self.pruned_to = self.pruned_to.max(pruned);
                 }
-                Action::EnterView { .. } => {
-                    // View installation is engine-internal; the runtime has
-                    // nothing to do for the skeleton view change.
+                Action::EnterView { view } => {
+                    // Publish the new view so the input threads re-route
+                    // client traffic to the new primary, and re-arm the
+                    // suspicion timer: the view change itself is progress.
+                    self.current_view.store(view.0, Ordering::Relaxed);
+                    self.last_progress = Instant::now();
+                    self.suspect_strikes = 0;
+                    self.client_demand = false;
                 }
             }
         }

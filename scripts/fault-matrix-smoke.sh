@@ -1,0 +1,203 @@
+#!/usr/bin/env bash
+# Fault-matrix smoke: the failure-scenario harness under CI time budgets.
+#
+# Phase A runs a pinned subset of the scenario matrix (primary crash and
+# partition+heal, PBFT and Zyzzyva, over the TCP reactor) through the
+# `faults` binary, which exits non-zero if any run misses liveness or
+# digest agreement, and writes BENCH_faults.json.
+#
+# Phase B exercises *real* process failure: a 4-replica rdb-node cluster
+# over loopback TCP, SIGKILL of the view-0 primary mid-stream, a view
+# change driven by the survivors, a process restart, and a second client
+# burst against the post-change view. Asserts both bursts complete and
+# the never-killed replicas end with identical state digests.
+#
+# Phase C drives the same cluster shape through `rdb-node --fault-plan`:
+# every process loads one schedule that crashes a backup's transport at a
+# committed mark and recovers it later, exercising the plan parser and
+# the crash/recover socket-teardown path end to end.
+#
+# Usage: scripts/fault-matrix-smoke.sh [path-to-rdb-node-dir] [log-dir]
+#   arg1: directory containing the rdb-node and faults binaries
+#         (default: target/release, built if missing)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN_DIR="${1:-target/release}"
+LOG_DIR="${2:-target/fault-matrix-smoke}"
+BASE_PORT="${RDB_FAULT_SMOKE_BASE_PORT:-17800}"
+T1="${RDB_FAULT_SMOKE_T1:-300}"   # burst before the primary kill
+T2="${RDB_FAULT_SMOKE_T2:-200}"   # burst after the restart
+BATCH="${RDB_FAULT_SMOKE_BATCH:-10}"
+WAIT="${RDB_FAULT_SMOKE_WAIT_SECS:-90}"
+
+if [ ! -x "$BIN_DIR/rdb-node" ] || [ ! -x "$BIN_DIR/faults" ]; then
+  echo "building rdb-node + faults (release)…"
+  cargo build --release --bin rdb-node --bin faults
+  BIN_DIR=target/release
+fi
+
+mkdir -p "$LOG_DIR"
+rm -f "$LOG_DIR"/*.log "$LOG_DIR"/*.plan
+
+echo "=== phase A: pinned scenario matrix over TCP ==="
+"$BIN_DIR/faults" --scenario primary_crash,partition_heal \
+  --protocol both --transport tcp --out BENCH_faults.json \
+  | tee "$LOG_DIR/matrix.log"
+
+PEERS="0=127.0.0.1:$BASE_PORT,1=127.0.0.1:$((BASE_PORT + 1)),2=127.0.0.1:$((BASE_PORT + 2)),3=127.0.0.1:$((BASE_PORT + 3))"
+TOTAL=$((T1 + T2))
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "=== phase B: SIGKILL the primary, view change, restart, second burst ==="
+# Survivors exit on their own at TOTAL executed; replica 0 will be killed
+# and restarted, so it gets no exit bound.
+"$BIN_DIR/rdb-node" --replica 0 --peers "$PEERS" --batch-size "$BATCH" \
+  >"$LOG_DIR/replica-0.log" 2>&1 &
+r0_pid=$!
+pids+=($r0_pid)
+for i in 1 2 3; do
+  "$BIN_DIR/rdb-node" --replica "$i" --peers "$PEERS" --batch-size "$BATCH" \
+    --exit-after-txns "$TOTAL" --run-secs "$WAIT" \
+    >"$LOG_DIR/replica-$i.log" 2>&1 &
+  pids+=($!)
+done
+sleep 1
+
+"$BIN_DIR/rdb-node" --client --client-id 0 --peers "$PEERS" \
+  --batch-size "$BATCH" --txns "$T1" --wait-secs "$WAIT" \
+  >"$LOG_DIR/client-0.log" 2>&1 &
+client_pid=$!
+pids+=($client_pid)
+
+# Kill the view-0 primary while the burst is in flight.
+sleep 0.4
+kill -9 "$r0_pid" 2>/dev/null || true
+echo "killed replica 0 (pid $r0_pid)"
+
+if ! wait "$client_pid"; then
+  echo "::error::client burst 1 failed after primary kill" >&2
+  cat "$LOG_DIR/client-0.log" >&2
+  exit 1
+fi
+grep CLIENT "$LOG_DIR/client-0.log" || true
+
+# Restart replica 0: the dialer reconnect path brings it back into the
+# cluster (it rejoins with empty state; digest asserts cover survivors).
+"$BIN_DIR/rdb-node" --replica 0 --peers "$PEERS" --batch-size "$BATCH" \
+  >"$LOG_DIR/replica-0-restarted.log" 2>&1 &
+pids+=($!)
+sleep 1
+
+if ! "$BIN_DIR/rdb-node" --client --client-id 1 --peers "$PEERS" \
+  --batch-size "$BATCH" --txns "$T2" --wait-secs "$WAIT" \
+  >"$LOG_DIR/client-1.log" 2>&1; then
+  echo "::error::client burst 2 failed after restart" >&2
+  cat "$LOG_DIR/client-1.log" >&2
+  exit 1
+fi
+grep CLIENT "$LOG_DIR/client-1.log" || true
+
+digests=()
+for i in 1 2 3; do
+  # The replica processes were started with `--exit-after-txns TOTAL`.
+  for _ in $(seq 1 "$WAIT"); do
+    grep -q '^FINAL ' "$LOG_DIR/replica-$i.log" && break
+    sleep 1
+  done
+  final=$(grep '^FINAL ' "$LOG_DIR/replica-$i.log" | tail -n1)
+  if [ -z "$final" ]; then
+    echo "::error::survivor $i printed no FINAL line" >&2
+    cat "$LOG_DIR/replica-$i.log" >&2
+    exit 1
+  fi
+  echo "$final"
+  if ! grep -q "executed=$TOTAL" <<<"$final"; then
+    echo "::error::survivor $i stopped short of $TOTAL txns: $final" >&2
+    exit 1
+  fi
+  digests+=("$(sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p' <<<"$final")")
+done
+for d in "${digests[@]:1}"; do
+  if [ "$d" != "${digests[0]}" ]; then
+    echo "::error::survivor digests diverged: ${digests[*]}" >&2
+    exit 1
+  fi
+done
+cleanup
+pids=()
+echo "phase B OK: view change survived a real primary kill, digest ${digests[0]}"
+
+echo "=== phase C: --fault-plan schedule (backup crash + recover) ==="
+PLAN="$LOG_DIR/backup-crash.plan"
+cat >"$PLAN" <<'EOF'
+# Crash backup 1's transport once this node has executed 100 txns,
+# bring it back 3 seconds in. Identical file on every process.
+seed 42
+at committed 100 crash 1
+at elapsed_ms 3000 recover 1
+EOF
+
+PEERS_C="0=127.0.0.1:$((BASE_PORT + 10)),1=127.0.0.1:$((BASE_PORT + 11)),2=127.0.0.1:$((BASE_PORT + 12)),3=127.0.0.1:$((BASE_PORT + 13))"
+TC=300
+for i in 0 1 2 3; do
+  extra=()
+  # Replica 1 is crashed mid-run and rejoins with holes it cannot fill
+  # (no state transfer): it gets no exit bound and is killed at the end.
+  if [ "$i" != 1 ]; then
+    extra=(--exit-after-txns "$TC" --run-secs "$WAIT")
+  fi
+  "$BIN_DIR/rdb-node" --replica "$i" --peers "$PEERS_C" --batch-size "$BATCH" \
+    --fault-plan "$PLAN" "${extra[@]}" \
+    >"$LOG_DIR/plan-replica-$i.log" 2>&1 &
+  pids+=($!)
+done
+sleep 1
+
+if ! "$BIN_DIR/rdb-node" --client --client-id 0 --peers "$PEERS_C" \
+  --batch-size "$BATCH" --txns "$TC" --wait-secs "$WAIT" \
+  >"$LOG_DIR/plan-client.log" 2>&1; then
+  echo "::error::client failed under the fault plan" >&2
+  cat "$LOG_DIR/plan-client.log" >&2
+  exit 1
+fi
+grep CLIENT "$LOG_DIR/plan-client.log" || true
+if ! grep -q '^FAULT ' "$LOG_DIR/plan-replica-0.log"; then
+  echo "::error::fault plan never fired on replica 0" >&2
+  cat "$LOG_DIR/plan-replica-0.log" >&2
+  exit 1
+fi
+grep '^FAULT ' "$LOG_DIR/plan-replica-0.log"
+
+digests=()
+for i in 0 2 3; do
+  for _ in $(seq 1 "$WAIT"); do
+    grep -q '^FINAL ' "$LOG_DIR/plan-replica-$i.log" && break
+    sleep 1
+  done
+  final=$(grep '^FINAL ' "$LOG_DIR/plan-replica-$i.log" | tail -n1)
+  if [ -z "$final" ] || ! grep -q "executed=$TC" <<<"$final"; then
+    echo "::error::replica $i did not reach $TC txns under the plan" >&2
+    cat "$LOG_DIR/plan-replica-$i.log" >&2
+    exit 1
+  fi
+  echo "$final"
+  digests+=("$(sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p' <<<"$final")")
+done
+for d in "${digests[@]:1}"; do
+  if [ "$d" != "${digests[0]}" ]; then
+    echo "::error::plan-run digests diverged: ${digests[*]}" >&2
+    exit 1
+  fi
+done
+echo "phase C OK: fault plan fired and survivors agree, digest ${digests[0]}"
+echo "fault-matrix smoke passed"
