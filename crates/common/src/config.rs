@@ -261,6 +261,12 @@ pub struct SystemConfig {
     /// it equivocates, proposing conflicting batches to different backups,
     /// so no sequence can gather a quorum until a view change removes it.
     pub byzantine_primary: bool,
+    /// Number of parallel consensus instances `k` (multi-primary ordering).
+    /// Instance `j` is led by replica `(view + j) mod n` and owns the
+    /// interleaved global sequences `j+1, j+1+k, j+1+2k, …`; commit streams
+    /// merge into one deterministic execute schedule. `1` is classic
+    /// single-primary operation.
+    pub consensus_instances: usize,
 }
 
 impl SystemConfig {
@@ -293,6 +299,7 @@ impl SystemConfig {
             client_timeout_ms: 50,
             view_timeout_ms: 2_000,
             byzantine_primary: false,
+            consensus_instances: 1,
         })
     }
 
@@ -363,6 +370,13 @@ impl SystemConfig {
         self
     }
 
+    /// Builder-style: sets the number of parallel consensus instances
+    /// (multi-primary ordering). `1` restores single-primary operation.
+    pub fn with_consensus_instances(mut self, k: usize) -> Self {
+        self.consensus_instances = k;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -427,6 +441,24 @@ impl SystemConfig {
         if self.view_timeout_ms == 0 {
             return Err(CommonError::InvalidConfig(
                 "view_timeout_ms must be positive".into(),
+            ));
+        }
+        if self.consensus_instances == 0 {
+            return Err(CommonError::InvalidConfig(
+                "consensus_instances must be positive".into(),
+            ));
+        }
+        if self.consensus_instances > self.n {
+            return Err(CommonError::InvalidConfig(format!(
+                "consensus_instances={} exceeds replica count n={}",
+                self.consensus_instances, self.n
+            )));
+        }
+        if self.consensus_instances > 1 && self.protocol != ProtocolKind::Pbft {
+            return Err(CommonError::InvalidConfig(
+                "multi-primary ordering (consensus_instances > 1) requires PBFT; \
+                 Zyzzyva's speculative history chain cannot interleave instances"
+                    .into(),
             ));
         }
         Ok(())
@@ -547,6 +579,27 @@ mod tests {
         assert_eq!(c.cores, 4);
         assert_eq!(c.num_clients, 1000);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn consensus_instances_validation() {
+        let c = SystemConfig::new(4).unwrap();
+        assert_eq!(c.consensus_instances, 1, "default is single-primary");
+
+        let c = SystemConfig::new(4).unwrap().with_consensus_instances(2);
+        assert!(c.validate().is_ok());
+        let c = SystemConfig::new(4).unwrap().with_consensus_instances(4);
+        assert!(c.validate().is_ok());
+
+        let c = SystemConfig::new(4).unwrap().with_consensus_instances(0);
+        assert!(c.validate().is_err(), "zero instances rejected");
+        let c = SystemConfig::new(4).unwrap().with_consensus_instances(5);
+        assert!(c.validate().is_err(), "more instances than replicas");
+        let c = SystemConfig::new(4)
+            .unwrap()
+            .with_protocol(ProtocolKind::Zyzzyva)
+            .with_consensus_instances(2);
+        assert!(c.validate().is_err(), "multi-primary is PBFT-only");
     }
 
     #[test]

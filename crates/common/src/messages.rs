@@ -262,6 +262,9 @@ pub enum Message {
         tail: Vec<(SeqNum, Digest, Arc<Batch>)>,
         /// Requesting replica.
         replica: ReplicaId,
+        /// Consensus instance whose primary is being changed (multi-primary
+        /// ordering; `0` for single-primary deployments).
+        instance: u32,
     },
     /// Incoming primary → all replicas: installs the new view.
     NewView {
@@ -269,6 +272,9 @@ pub enum Message {
         new_view: ViewNum,
         /// Pre-prepares re-issued for in-flight sequences: `(seq, digest)`.
         reissued: Vec<(SeqNum, Digest)>,
+        /// Consensus instance the view applies to (multi-primary ordering;
+        /// `0` for single-primary deployments).
+        instance: u32,
     },
 }
 
@@ -332,8 +338,9 @@ impl Message {
                         .iter()
                         .map(|(_, _, b)| 8 + DIG + b.wire_size())
                         .sum::<usize>()
+                    + 4
             }
-            Message::NewView { reissued, .. } => HDR + 8 + 4 + reissued.len() * (8 + DIG),
+            Message::NewView { reissued, .. } => HDR + 8 + 4 + reissued.len() * (8 + DIG) + 4,
         }
     }
 }
@@ -489,6 +496,7 @@ impl Wire for Message {
                 prepared,
                 tail,
                 replica,
+                instance,
             } => {
                 w.put_u8(9);
                 w.put_u64(new_view.0);
@@ -496,11 +504,17 @@ impl Wire for Message {
                 write_seq_digest_pairs(w, prepared);
                 write_batch_tail(w, tail);
                 w.put_u32(replica.0);
+                w.put_u32(*instance);
             }
-            Message::NewView { new_view, reissued } => {
+            Message::NewView {
+                new_view,
+                reissued,
+                instance,
+            } => {
                 w.put_u8(10);
                 w.put_u64(new_view.0);
                 write_seq_digest_pairs(w, reissued);
+                w.put_u32(*instance);
             }
         }
     }
@@ -564,10 +578,12 @@ impl Wire for Message {
                 prepared: read_seq_digest_pairs(r)?,
                 tail: read_batch_tail(r)?,
                 replica: ReplicaId(r.get_u32()?),
+                instance: r.get_u32()?,
             }),
             10 => Ok(Message::NewView {
                 new_view: ViewNum(r.get_u64()?),
                 reissued: read_seq_digest_pairs(r)?,
+                instance: r.get_u32()?,
             }),
             t => Err(CommonError::Codec(format!("invalid message tag {t}"))),
         }
@@ -585,9 +601,9 @@ impl Wire for Message {
             Message::LocalCommit { .. } => 8 + 8 + 4,
             Message::Checkpoint { .. } => 8 + DIG + 4,
             Message::ViewChange { prepared, tail, .. } => {
-                8 + 8 + 4 + prepared.len() * (8 + DIG) + batch_tail_encoded_len(tail) + 4
+                8 + 8 + 4 + prepared.len() * (8 + DIG) + batch_tail_encoded_len(tail) + 4 + 4
             }
-            Message::NewView { reissued, .. } => 8 + 4 + reissued.len() * (8 + DIG),
+            Message::NewView { reissued, .. } => 8 + 4 + reissued.len() * (8 + DIG) + 4,
         }
     }
 }
@@ -860,10 +876,12 @@ mod tests {
                 prepared: vec![(SeqNum(91), Digest([1; 32]))],
                 tail: vec![(SeqNum(91), Digest([1; 32]), Arc::new(sample_batch()))],
                 replica: ReplicaId(3),
+                instance: 1,
             },
             Message::NewView {
                 new_view: ViewNum(2),
                 reissued: vec![(SeqNum(91), Digest([1; 32]))],
+                instance: 1,
             },
         ]
     }

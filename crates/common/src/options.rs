@@ -213,6 +213,13 @@ impl NodeOptions {
         self
     }
 
+    /// Sets the number of parallel consensus instances `k` (multi-primary
+    /// ordering); `1` is classic single-primary operation.
+    pub fn consensus_instances(mut self, k: usize) -> Self {
+        self.system.consensus_instances = k;
+        self
+    }
+
     /// Number of client identities to generate keys for (also sizes the
     /// modeled client population).
     pub fn client_keys(mut self, clients: usize) -> Self {
@@ -310,6 +317,7 @@ impl NodeOptions {
     /// crypto = "cmac-ed25519"     # "nocrypto" | "ed25519" | "rsa"
     /// batch_size = 100
     /// checkpoint_interval = 10000
+    /// consensus_instances = 1
     /// client_keys = 64
     /// seed = 42
     /// table_size = 65536
@@ -386,6 +394,9 @@ impl NodeOptions {
             "table_size" => self.system.table_size = value.parse().map_err(|_| bad("integer"))?,
             "view_timeout_ms" => {
                 self.system.view_timeout_ms = value.parse().map_err(|_| bad("integer"))?
+            }
+            "consensus_instances" => {
+                self.system.consensus_instances = value.parse().map_err(|_| bad("integer"))?
             }
             "event_loops" => self.net.event_loops = value.parse().map_err(|_| bad("integer"))?,
             "queue_capacity" => {
@@ -535,6 +546,26 @@ client_queue_capacity = 1024
         assert_eq!(opts.net.queue_capacity, 512);
         assert_eq!(opts.net.client_queue_capacity, 1024);
         assert!(opts.validate().is_ok());
+    }
+
+    #[test]
+    fn consensus_instances_layer_and_toml() {
+        let opts = NodeOptions::in_memory(4).unwrap().consensus_instances(2);
+        assert_eq!(opts.system.consensus_instances, 2);
+        assert!(opts.validate().is_ok());
+
+        let mut opts = NodeOptions::new(four_peers()).unwrap();
+        opts.apply_toml("[node]\nconsensus_instances = 4\n")
+            .unwrap();
+        assert_eq!(opts.system.consensus_instances, 4);
+        assert!(opts.validate().is_ok());
+
+        // Zyzzyva + multi-primary is rejected through the same entry point.
+        let opts = NodeOptions::in_memory(4)
+            .unwrap()
+            .protocol(ProtocolKind::Zyzzyva)
+            .consensus_instances(2);
+        assert!(opts.validate().is_err());
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub enum Action {
     EnterView {
         /// The view now active.
         view: ViewNum,
+        /// The consensus instance whose view changed (`0` outside
+        /// multi-primary deployments).
+        instance: u32,
     },
 }
 

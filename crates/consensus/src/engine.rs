@@ -110,6 +110,16 @@ impl ReplicaEngine {
             ReplicaEngine::Zyzzyva(z) => z.on_timeout(),
         }
     }
+
+    /// The next sequence this engine would assign as primary, when the
+    /// protocol exposes it (PBFT only — the multi-primary gap-fill logic
+    /// needs it; Zyzzyva never runs with `k > 1`).
+    pub fn next_seq(&self) -> Option<SeqNum> {
+        match self {
+            ReplicaEngine::Pbft(p) => Some(p.next_seq()),
+            ReplicaEngine::Zyzzyva(_) => None,
+        }
+    }
 }
 
 #[cfg(test)]

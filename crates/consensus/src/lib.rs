@@ -12,6 +12,8 @@
 //!   speculative execution and the client-driven commit-certificate slow
 //!   path (the comparison protocol of Figures 1, 8, 17).
 //! - [`client`] — the matching client-side machines.
+//! - [`multi`] — multi-primary ordering: k parallel PBFT instances over
+//!   one replica set, interleaved into a single global sequence space.
 //!
 //! # Example
 //!
@@ -29,6 +31,7 @@ pub mod checkpoint;
 pub mod client;
 pub mod config;
 pub mod engine;
+pub mod multi;
 pub mod pbft;
 pub mod zyzzyva;
 
@@ -37,5 +40,6 @@ pub use checkpoint::CheckpointTracker;
 pub use client::{PbftClient, ZyzzyvaClient};
 pub use config::ConsensusConfig;
 pub use engine::ReplicaEngine;
+pub use multi::MultiEngine;
 pub use pbft::Pbft;
 pub use zyzzyva::Zyzzyva;

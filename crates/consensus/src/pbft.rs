@@ -101,7 +101,7 @@ impl Pbft {
             config,
             id,
             view: ViewNum(0),
-            next_seq: SeqNum(1),
+            next_seq: config.first_seq(),
             instances: HashMap::new(),
             checkpoints: CheckpointTracker::new(quorum),
             executed_since_checkpoint: 0,
@@ -124,9 +124,15 @@ impl Pbft {
         self.view
     }
 
-    /// The current primary.
+    /// The current primary (of this machine's consensus instance).
     pub fn primary(&self) -> ReplicaId {
-        self.view.primary(self.config.n)
+        self.config.primary_of(self.view)
+    }
+
+    /// The next sequence this machine would assign as primary (exposed for
+    /// the multi-primary runtime's gap-fill logic).
+    pub fn next_seq(&self) -> SeqNum {
+        self.next_seq
     }
 
     /// Whether this replica is the current primary.
@@ -149,7 +155,7 @@ impl Pbft {
         if self.instances.values().any(|i| !i.committed) {
             return true;
         }
-        let next = self.last_executed.next();
+        let next = self.config.next_owned(self.last_executed);
         !self.instances.contains_key(&next) && self.instances.keys().any(|seq| *seq > next)
     }
 
@@ -178,7 +184,7 @@ impl Pbft {
             return self.propose_equivocating(batch);
         }
         let seq = self.next_seq;
-        self.next_seq = self.next_seq.next();
+        self.next_seq = self.config.next_owned(self.next_seq);
         // One allocation for the batch; the instance and the broadcast
         // message share it from here on.
         let batch = Arc::new(batch);
@@ -203,7 +209,7 @@ impl Pbft {
     /// instance — it does not even try to commit its own lies.
     fn propose_equivocating(&mut self, batch: Batch) -> Vec<Action> {
         let seq = self.next_seq;
-        self.next_seq = self.next_seq.next();
+        self.next_seq = self.config.next_owned(self.next_seq);
         let mut actions = Vec::new();
         for r in 0..self.config.n as u32 {
             let rid = ReplicaId(r);
@@ -257,9 +263,14 @@ impl Pbft {
                 new_view,
                 replica,
                 tail,
+                instance,
                 ..
-            } => self.on_view_change(*replica, *new_view, tail.clone()),
-            Message::NewView { new_view, .. } => self.on_new_view(from, *new_view),
+            } if *instance == self.config.instance => {
+                self.on_view_change(*replica, *new_view, tail.clone())
+            }
+            Message::NewView {
+                new_view, instance, ..
+            } if *instance == self.config.instance => self.on_new_view(from, *new_view),
             _ => Vec::new(),
         }
     }
@@ -275,7 +286,7 @@ impl Pbft {
         if view > self.view {
             // A re-issued proposal raced ahead of the NewView announcement:
             // park it until the view installs.
-            if from == view.primary(self.config.n) && self.future_proposals.len() < MAX_PARKED {
+            if from == self.config.primary_of(view) && self.future_proposals.len() < MAX_PARKED {
                 self.future_proposals
                     .insert((view, seq), (from, digest, batch));
             }
@@ -334,7 +345,7 @@ impl Pbft {
             }
             return Vec::new();
         }
-        if view < self.view || from == view.primary(self.config.n) {
+        if view < self.view || from == self.config.primary_of(view) {
             return Vec::new(); // old view, or that view's primary (it never prepares)
         }
         if seq <= self.checkpoints.stable_seq() {
@@ -507,6 +518,7 @@ impl Pbft {
             prepared: self.prepared_summary(),
             tail: tail.clone(),
             replica: self.id,
+            instance: self.config.instance,
         })];
         // Our own vote counts toward the quorum.
         actions.extend(self.on_view_change(self.id, target, tail));
@@ -586,7 +598,7 @@ impl Pbft {
         let quorum = self.commit_quorum();
         let votes = self.view_change_votes.entry(new_view).or_default();
         votes.insert(from, tail);
-        if votes.len() >= quorum && new_view.primary(self.config.n) == self.id {
+        if votes.len() >= quorum && self.config.primary_of(new_view) == self.id {
             return self.become_primary(new_view);
         }
         self.maybe_join_view_change()
@@ -615,8 +627,10 @@ impl Pbft {
         let stable = self.checkpoints.stable_seq();
         let hi = merged.keys().next_back().copied().unwrap_or(stable);
         let mut reissue: Vec<(SeqNum, Digest, Arc<Batch>)> = Vec::new();
-        for s in (stable.0 + 1)..=hi.0 {
-            let seq = SeqNum(s);
+        // Walk only the sequences this instance owns (a stride-k grid in a
+        // multi-primary deployment; every sequence when k = 1).
+        let mut seq = self.config.next_owned(stable);
+        while seq <= hi {
             let (d, batch) = match merged.get(&seq) {
                 Some(cands) => {
                     let (d, b, _) = cands
@@ -634,12 +648,14 @@ impl Pbft {
                 }
             };
             reissue.push((seq, d, batch));
+            seq = self.config.next_owned(seq);
         }
         // Announce first so backups install the view before the re-issued
         // pre-prepares reach them (in-order transports).
         actions.push(Action::Broadcast(Message::NewView {
             new_view,
             reissued: reissue.iter().map(|(s, d, _)| (*s, *d)).collect(),
+            instance: self.config.instance,
         }));
         for (seq, d, batch) in reissue {
             let inst = self.instances.entry(seq).or_default();
@@ -669,13 +685,13 @@ impl Pbft {
             }));
         }
         if self.next_seq <= hi {
-            self.next_seq = hi.next();
+            self.next_seq = self.config.next_owned(hi);
         }
         actions
     }
 
     fn on_new_view(&mut self, from: ReplicaId, new_view: ViewNum) -> Vec<Action> {
-        if new_view <= self.view || from != new_view.primary(self.config.n) {
+        if new_view <= self.view || from != self.config.primary_of(new_view) {
             return Vec::new();
         }
         self.install_view(new_view)
@@ -689,8 +705,11 @@ impl Pbft {
         // Uncommitted instances are abandoned; the new primary re-issues.
         self.instances.retain(|_, i| i.committed);
         let head = self.instances.keys().copied().max().unwrap_or(SeqNum(0));
-        self.next_seq = self.last_executed.max(head).next();
-        let mut actions = vec![Action::EnterView { view: new_view }];
+        self.next_seq = self.config.next_owned(self.last_executed.max(head));
+        let mut actions = vec![Action::EnterView {
+            view: new_view,
+            instance: self.config.instance,
+        }];
         // Replay parked messages addressed to the view just installed:
         // proposals first (they create the instances), then votes.
         type Parked = (ReplicaId, Digest, Arc<Batch>);
@@ -964,6 +983,7 @@ mod tests {
             Message::NewView {
                 new_view: ViewNum(1),
                 reissued: vec![(SeqNum(1), d(7))],
+                instance: 0,
             },
         ));
         let acts = r2.on_message(&signed(
@@ -1263,6 +1283,7 @@ mod tests {
                     prepared: vec![],
                     tail: vec![],
                     replica: ReplicaId(from),
+                    instance: 0,
                 },
             )
         };
@@ -1280,7 +1301,7 @@ mod tests {
         );
         assert!(
             acts.iter()
-                .any(|a| matches!(a, Action::EnterView { view } if *view == ViewNum(1))),
+                .any(|a| matches!(a, Action::EnterView { view, .. } if *view == ViewNum(1))),
             "got {acts:?}"
         );
         assert!(
@@ -1307,6 +1328,7 @@ mod tests {
                     prepared: vec![],
                     tail: vec![],
                     replica: ReplicaId(from),
+                    instance: 0,
                 },
             )
         };
@@ -1329,9 +1351,10 @@ mod tests {
             Message::NewView {
                 new_view: ViewNum(1),
                 reissued: vec![],
+                instance: 0,
             },
         ));
-        assert!(matches!(&acts[..], [Action::EnterView { view }] if *view == ViewNum(1)));
+        assert!(matches!(&acts[..], [Action::EnterView { view, .. }] if *view == ViewNum(1)));
         assert_eq!(r2.primary(), ReplicaId(1));
         // NewView from a replica that is not the new primary is ignored.
         let acts = r2.on_message(&signed(
@@ -1339,6 +1362,7 @@ mod tests {
             Message::NewView {
                 new_view: ViewNum(2),
                 reissued: vec![],
+                instance: 0,
             },
         ));
         assert!(acts.is_empty());
@@ -1389,6 +1413,7 @@ mod tests {
                     prepared: vec![],
                     tail,
                     replica: ReplicaId(from),
+                    instance: 0,
                 },
             )
         };
@@ -1398,7 +1423,7 @@ mod tests {
         let acts = r1.on_message(&vote(3, vec![]));
         assert!(
             acts.iter()
-                .any(|a| matches!(a, Action::EnterView { view } if *view == ViewNum(1))),
+                .any(|a| matches!(a, Action::EnterView { view, .. } if *view == ViewNum(1))),
             "got {acts:?}"
         );
         let reissued: Vec<(ViewNum, SeqNum, Digest)> = acts
@@ -1464,6 +1489,7 @@ mod tests {
                     prepared: vec![],
                     tail,
                     replica: ReplicaId(from),
+                    instance: 0,
                 },
             )
         };
@@ -1503,6 +1529,7 @@ mod tests {
             Message::NewView {
                 new_view: ViewNum(1),
                 reissued: vec![(SeqNum(1), d(7))],
+                instance: 0,
             },
         ));
         assert!(

@@ -329,6 +329,7 @@ impl Zyzzyva {
             prepared: Vec::new(),
             tail: tail.clone(),
             replica: self.id,
+            instance: 0,
         })];
         // Our own vote counts toward the quorum.
         actions.extend(self.on_view_change(self.id, target, tail));
@@ -418,6 +419,7 @@ impl Zyzzyva {
         actions.push(Action::Broadcast(Message::NewView {
             new_view,
             reissued: merged.iter().map(|(s, (d, _))| (*s, *d)).collect(),
+            instance: 0,
         }));
         for (seq, (d, batch)) in &merged {
             actions.push(Action::Broadcast(Message::PrePrepare {
@@ -440,7 +442,10 @@ impl Zyzzyva {
         self.next_seq = self.spec_executed.next();
         // `pending` survives: re-issued proposals park there keyed by
         // sequence until their predecessors arrive.
-        vec![Action::EnterView { view: new_view }]
+        vec![Action::EnterView {
+            view: new_view,
+            instance: 0,
+        }]
     }
 }
 
@@ -649,6 +654,7 @@ mod tests {
                 prepared: vec![],
                 tail,
                 replica: ReplicaId(from),
+                instance: 0,
             },
             Sender::Replica(ReplicaId(from)),
             SignatureBytes::empty(),
@@ -706,9 +712,9 @@ mod tests {
         )));
         assert!(acts
             .iter()
-            .any(|a| matches!(a, Action::EnterView { view } if *view == ViewNum(1))));
+            .any(|a| matches!(a, Action::EnterView { view, .. } if *view == ViewNum(1))));
         assert!(acts.iter().any(
-            |a| matches!(a, Action::Broadcast(Message::NewView { new_view, reissued })
+            |a| matches!(a, Action::Broadcast(Message::NewView { new_view, reissued, .. })
                 if *new_view == ViewNum(1) && reissued.len() == 2)
         ));
         let reissued: Vec<u64> = acts
@@ -773,18 +779,20 @@ mod tests {
             Message::NewView {
                 new_view: ViewNum(1),
                 reissued: vec![(SeqNum(1), d(1))],
+                instance: 0,
             },
             Sender::Replica(ReplicaId(1)),
             SignatureBytes::empty(),
         );
         let acts = r2.on_message(&nv);
-        assert!(matches!(&acts[..], [Action::EnterView { view }] if *view == ViewNum(1)));
+        assert!(matches!(&acts[..], [Action::EnterView { view, .. }] if *view == ViewNum(1)));
         assert_eq!(r2.view(), ViewNum(1));
         // NewView from a non-primary of that view is rejected.
         let bogus = SignedMessage::new(
             Message::NewView {
                 new_view: ViewNum(2),
                 reissued: vec![],
+                instance: 0,
             },
             Sender::Replica(ReplicaId(0)),
             SignatureBytes::empty(),
@@ -801,6 +809,7 @@ mod tests {
             Message::NewView {
                 new_view: ViewNum(1),
                 reissued: vec![],
+                instance: 0,
             },
             Sender::Replica(ReplicaId(1)),
             SignatureBytes::empty(),

@@ -119,7 +119,7 @@ fn main() -> ExitCode {
             }
             for &transport in &transports {
                 let r = run_scenario(scenario, protocol, transport);
-                let ok = r.liveness && r.digests_agree;
+                let ok = r.liveness && r.digests_agree && r.instances_isolated;
                 println!(
                     "FAULTS scenario={} protocol={} transport={} completed={}/{} \
                      elapsed_ms={} tps={:.1} views={:?} deduped={} liveness={} agree={} {}",

@@ -63,6 +63,7 @@ struct Args {
     seed: Option<u64>,
     table_size: Option<u64>,
     event_loops: Option<usize>,
+    consensus_instances: Option<usize>,
     // replica knobs
     exit_after_txns: Option<u64>,
     report_every_ms: u64,
@@ -101,6 +102,9 @@ options:
   --seed <n>              deterministic key seed, identical cluster-wide (default 42)
   --table-size <n>        pre-loaded table records (default 4096)
   --event-loops <n>       reactor threads per TCP transport (default 2)
+  --consensus-instances <k>
+                          parallel PBFT instances sharing the replica set
+                          (multi-primary ordering; default 1, pbft only)
 
 replica options:
   --exit-after-txns <n>   print FINAL and exit once n txns executed
@@ -147,6 +151,7 @@ fn parse_args() -> Args {
         seed: None,
         table_size: None,
         event_loops: None,
+        consensus_instances: None,
         exit_after_txns: None,
         report_every_ms: 1_000,
         run_secs: 600,
@@ -241,6 +246,7 @@ fn parse_args() -> Args {
             "--seed" => args.seed = Some(parsed!()),
             "--table-size" => args.table_size = Some(parsed!()),
             "--event-loops" => args.event_loops = Some(parsed!()),
+            "--consensus-instances" => args.consensus_instances = Some(parsed!()),
             "--exit-after-txns" => args.exit_after_txns = Some(parsed!()),
             "--report-every-ms" => args.report_every_ms = parsed!(),
             "--run-secs" => args.run_secs = parsed!(),
@@ -308,6 +314,9 @@ fn node_options(args: &Args) -> NodeOptions {
     }
     if let Some(l) = args.event_loops {
         node.net.event_loops = l;
+    }
+    if let Some(k) = args.consensus_instances {
+        node.system.consensus_instances = k;
     }
     if let Err(e) = node.validate() {
         fail(e);

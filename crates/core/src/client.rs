@@ -37,8 +37,14 @@ pub struct ClientSession {
     provider: CryptoProvider,
     tracker: Tracker,
     primary: ReplicaId,
-    /// Highest view seen in any reply; replies from a newer view re-aim
-    /// `primary` so post-view-change submissions skip the dead leader.
+    /// The consensus instance this client shards to (`id % k`): requests
+    /// always target the *same* instance, so a view-change re-aim follows
+    /// that instance's primary rotation and a retransmission can never
+    /// land in a second instance and double-order.
+    instance: usize,
+    /// Highest view seen in any reply (stamped by the sharded instance);
+    /// replies from a newer view re-aim `primary` so post-view-change
+    /// submissions skip the dead leader.
     known_view: ViewNum,
     n: usize,
     counter: u64,
@@ -76,19 +82,23 @@ impl ClientSession {
         registry: &KeyRegistry,
         protocol: ProtocolKind,
         f: usize,
-        primary: ReplicaId,
+        instances: usize,
         n: usize,
     ) -> Self {
         let tracker = match protocol {
             ProtocolKind::Pbft => Tracker::Pbft(PbftClient::new(id, f)),
             ProtocolKind::Zyzzyva => Tracker::Zyzzyva(ZyzzyvaClient::new(id, f)),
         };
+        let instances = instances.max(1);
+        let instance = (id.0 % instances as u64) as usize;
         ClientSession {
             id,
             endpoint: net.register(Sender::Client(id)),
             provider: registry.provider_for_client(id),
             tracker,
-            primary,
+            // Instance `j` at view 0 is led by replica `j`.
+            primary: ReplicaId((instance % n) as u32),
+            instance,
             known_view: ViewNum(0),
             n,
             counter: 0,
@@ -221,7 +231,10 @@ impl ClientSession {
         if let Message::ClientReply { view, .. } | Message::SpecResponse { view, .. } = sm.msg() {
             if *view > self.known_view {
                 self.known_view = *view;
-                self.primary = self.known_view.primary(self.n);
+                // Re-aim at the new primary of *this client's* instance:
+                // instance `j` at view `v` is led by `(v + j) % n`.
+                self.primary =
+                    ReplicaId(((self.known_view.0 + self.instance as u64) % self.n as u64) as u32);
             }
         }
         let acts = match (&mut self.tracker, sm.msg()) {

@@ -87,6 +87,13 @@ impl SystemBuilder {
         self
     }
 
+    /// Number of parallel consensus instances (multi-primary ordering;
+    /// `k > 1` requires PBFT).
+    pub fn consensus_instances(mut self, k: usize) -> Self {
+        self.opts = self.opts.consensus_instances(k);
+        self
+    }
+
     /// Sets the signing scheme.
     pub fn crypto(mut self, crypto: CryptoScheme) -> Self {
         self.opts = self.opts.crypto(crypto);
@@ -255,12 +262,27 @@ impl ResilientDb {
         ReplicaId(0)
     }
 
-    /// The view each replica currently has installed.
+    /// The view each replica currently has installed (instance 0).
     pub fn views(&self) -> Vec<u64> {
         self.replicas
             .iter()
             .map(|r| r.shared().current_view())
             .collect()
+    }
+
+    /// The view each replica has installed for consensus instance `j`.
+    pub fn instance_views(&self, j: usize) -> Vec<u64> {
+        self.replicas
+            .iter()
+            .map(|r| r.shared().instance_view(j))
+            .collect()
+    }
+
+    /// Batches committed by consensus instance `j` at replica `id`.
+    pub fn committed_batches_for(&self, id: ReplicaId, j: usize) -> u64 {
+        self.replicas[id.as_usize()]
+            .shared()
+            .committed_batches_for(j)
     }
 
     /// The client-side transport handle (for statistics; for the
@@ -281,7 +303,7 @@ impl ResilientDb {
             &self.registry,
             self.config.protocol,
             self.config.f,
-            self.primary(),
+            self.config.consensus_instances,
             self.config.n,
         )
     }
@@ -554,7 +576,7 @@ pub fn connect_client(
         &registry_for(node),
         node.system.protocol,
         node.system.f,
-        ReplicaId(0),
+        node.system.consensus_instances,
         node.system.n,
     );
     Ok((session, net))

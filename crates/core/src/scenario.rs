@@ -193,6 +193,9 @@ pub struct Scenario {
     /// Only meaningful under PBFT (e.g. equivocation: Zyzzyva's skeleton
     /// view change handles crashes, not byzantine primaries).
     pub pbft_only: bool,
+    /// Parallel consensus instances (multi-primary ordering; `> 1` forces
+    /// `pbft_only` semantics — the runner skips Zyzzyva).
+    pub consensus_instances: usize,
     /// Concurrent client sessions.
     pub clients: usize,
     /// Transactions submitted per client.
@@ -224,6 +227,7 @@ impl Scenario {
             plan: FaultPlan::default(),
             byzantine: false,
             pbft_only: false,
+            consensus_instances: 1,
             clients: 2,
             txns_per_client: 60,
             batch_size: 8,
@@ -318,6 +322,22 @@ pub fn scenarios() -> Vec<Scenario> {
             pbft_only: true,
             ..Scenario::base("equivocating_primary")
         },
+        // Multi-primary ordering under fire: two consensus instances, and
+        // the crash kills replica 1 — instance 1's view-0 primary but a
+        // mere backup of instance 0. Instance 0 keeps committing
+        // throughout; instance 1 stalls, its suspicion timers fire, a
+        // per-instance view change hands it to replica 2 (= (1+1) mod 4),
+        // and the sharded clients re-aim at the *same instance's* new
+        // primary — never a second instance, so nothing double-orders.
+        // PBFT-only by construction (k > 1 rejects Zyzzyva).
+        Scenario {
+            consensus_instances: 2,
+            pbft_only: true,
+            clients: 4,
+            deadline: Duration::from_secs(35),
+            ..Scenario::base("multi_primary_crash")
+        }
+        .with_events(vec![at_committed(30, FaultAction::Crash(1))]),
         // A backup dies just as a checkpoint interval boundary passes:
         // checkpoint stability (2f+1) must still be reached and pruning
         // must not strand the survivors.
@@ -394,8 +414,16 @@ pub struct ScenarioResult {
     pub buckets: Vec<u64>,
     /// `(ms_since_start, description)` for every fault fired.
     pub events: Vec<(u64, String)>,
-    /// Final installed view per replica.
+    /// Final installed view per replica (instance 0).
     pub final_views: Vec<u64>,
+    /// Parallel consensus instances the deployment ran.
+    pub consensus_instances: usize,
+    /// Final installed view per replica, per instance (`[instance][replica]`).
+    pub instance_views: Vec<Vec<u64>>,
+    /// Multi-primary isolation (trivially true at k = 1): instances whose
+    /// primary was never crashed kept view 0 and committed real work,
+    /// while a crashed instance's view change reached a quorum.
+    pub instances_isolated: bool,
     /// Size of the largest digest-agreeing replica set at the end.
     pub agreeing: usize,
     /// Whether a commit quorum agrees on the state digest and every
@@ -426,11 +454,20 @@ impl ScenarioResult {
             .map(|(ms, d)| format!("{{\"ms\": {ms}, \"action\": \"{d}\"}}"))
             .collect();
         let views: Vec<String> = self.final_views.iter().map(|v| v.to_string()).collect();
+        let iviews: Vec<String> = self
+            .instance_views
+            .iter()
+            .map(|per_replica| {
+                let vs: Vec<String> = per_replica.iter().map(|v| v.to_string()).collect();
+                format!("[{}]", vs.join(", "))
+            })
+            .collect();
         format!(
             "{{\"scenario\": \"{}\", \"protocol\": \"{}\", \"transport\": \"{}\", \
              \"total_txns\": {}, \"completed\": {}, \"elapsed_ms\": {}, \"mean_tps\": {:.1}, \
              \"liveness\": {}, \"digests_agree\": {}, \"agreeing_replicas\": {}, \
-             \"final_views\": [{}], \"deduped_txns\": {}, \
+             \"final_views\": [{}], \"consensus_instances\": {}, \"instance_views\": [{}], \
+             \"instances_isolated\": {}, \"deduped_txns\": {}, \
              \"committed_per_sec\": [{}], \"events\": [{}]}}",
             self.scenario,
             self.protocol,
@@ -443,6 +480,9 @@ impl ScenarioResult {
             self.digests_agree,
             self.agreeing,
             views.join(", "),
+            self.consensus_instances,
+            iviews.join(", "),
+            self.instances_isolated,
             self.deduped,
             buckets.join(", "),
             events.join(", ")
@@ -539,6 +579,7 @@ pub fn run_scenario(
     let mut builder = SystemBuilder::new(n)
         .protocol(protocol)
         .transport(transport)
+        .consensus_instances(scenario.consensus_instances.max(1))
         .batch_size(scenario.batch_size)
         .table_size(4_096)
         .client_keys(scenario.clients)
@@ -677,6 +718,33 @@ pub fn run_scenario(
         .max()
         .unwrap_or(0);
     let final_views = db.views();
+
+    // Multi-primary isolation: a crash that hit one instance's primary
+    // must have view-changed *that* instance only — every instance whose
+    // view-0 primary stayed up keeps view 0 on the healthy replicas and
+    // commits real work, while the crashed instance's new view reaches a
+    // quorum.
+    let kk = scenario.consensus_instances.max(1);
+    let instance_views: Vec<Vec<u64>> = (0..kk).map(|j| db.instance_views(j)).collect();
+    let mut instances_isolated = true;
+    if kk > 1 {
+        let healthy = (0..n as u32).find(|r| !crashed.contains(r)).unwrap_or(0);
+        for (j, per_replica) in instance_views.iter().enumerate() {
+            let initial_primary = (j % n) as u32;
+            if crashed.contains(&initial_primary) {
+                let advanced = per_replica.iter().filter(|v| **v >= 1).count();
+                instances_isolated &= advanced >= quorum;
+            } else {
+                let undisturbed = per_replica
+                    .iter()
+                    .enumerate()
+                    .filter(|(r, _)| !crashed.contains(&(*r as u32)))
+                    .all(|(_, v)| *v == 0);
+                let committed_j = db.committed_batches_for(ReplicaId(healthy), j);
+                instances_isolated &= undisturbed && committed_j > 0;
+            }
+        }
+    }
     drop(sessions);
     db.shutdown();
 
@@ -696,6 +764,9 @@ pub fn run_scenario(
         buckets,
         events: fired,
         final_views,
+        consensus_instances: kk,
+        instance_views,
+        instances_isolated,
         agreeing,
         digests_agree,
         liveness: completed >= total,
@@ -770,6 +841,9 @@ mod tests {
             buckets: vec![5, 5],
             events: vec![(50, "crash r0".into())],
             final_views: vec![1, 1, 1, 1],
+            consensus_instances: 2,
+            instance_views: vec![vec![1, 1, 1, 1], vec![0, 0, 0, 0]],
+            instances_isolated: true,
             agreeing: 4,
             digests_agree: true,
             liveness: true,
@@ -779,5 +853,8 @@ mod tests {
         assert!(json.contains("\"committed_per_sec\": [5, 5]"));
         assert!(json.contains("\"mean_tps\": 100.0"));
         assert!(json.contains("\"events\": [{\"ms\": 50, \"action\": \"crash r0\"}]"));
+        assert!(json.contains("\"consensus_instances\": 2"));
+        assert!(json.contains("\"instance_views\": [[1, 1, 1, 1], [0, 0, 0, 0]]"));
+        assert!(json.contains("\"instances_isolated\": true"));
     }
 }

@@ -16,7 +16,7 @@
 //! against an in-memory reference run of the same shape.
 
 use crate::client::ClientSession;
-use rdb_common::{ClientId, ReplicaId, SystemConfig};
+use rdb_common::{ClientId, SystemConfig};
 use rdb_crypto::KeyRegistry;
 use rdb_net::NetHandle;
 use std::time::{Duration, Instant};
@@ -127,7 +127,7 @@ pub fn run_swarm(
                                 registry,
                                 system.protocol,
                                 system.f,
-                                ReplicaId(0),
+                                system.consensus_instances,
                                 system.n,
                             ),
                             submitted: 0,

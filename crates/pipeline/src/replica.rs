@@ -29,7 +29,7 @@ use rdb_common::{
     Batch, Digest, ProtocolKind, ReplicaId, SeqNum, SignatureBytes, StorageMode, SystemConfig,
     Transaction,
 };
-use rdb_consensus::{Action, ConsensusConfig, ReplicaEngine};
+use rdb_consensus::{Action, ConsensusConfig, MultiEngine};
 use rdb_crypto::{digest, CryptoProvider, CryptoStats, KeyRegistry, PeerClass};
 use rdb_net::{EndpointSender, NetHandle};
 use rdb_storage::blockchain::ChainMode;
@@ -53,15 +53,19 @@ enum Work {
     Verified(SignedMessage),
     /// Client request routed to the worker because `batch_threads == 0`.
     ClientRequest(SignedMessage),
-    /// A digested batch ready to propose (from a batch-thread).
-    Propose { batch: Batch, digest: Digest },
+    /// A digested batch ready to propose on `instance` (from a batch-thread).
+    Propose {
+        instance: usize,
+        batch: Batch,
+        digest: Digest,
+    },
     /// Execution finished for `seq` (from the execute-thread).
     Executed { seq: SeqNum, state_digest: Digest },
-    /// A backup received client traffic: unmet demand the suspicion timer
-    /// combines with lack of progress to detect a dead or partitioned
-    /// primary (clients rebroadcast requests to every replica when their
-    /// own timers expire).
-    ClientDemand,
+    /// A backup received client traffic for `instance`: unmet demand the
+    /// suspicion timer combines with lack of progress to detect a dead or
+    /// partitioned primary (clients rebroadcast requests to every replica
+    /// when their own timers expire).
+    ClientDemand(usize),
 }
 
 /// State shared between the replica's threads and exposed to callers.
@@ -74,23 +78,31 @@ pub struct ReplicaShared {
     pub chain: Arc<Mutex<Blockchain>>,
     /// Per-thread saturation metrics.
     pub metrics: MetricsRegistry,
-    /// The lock-free client request queue (primary only; empty on backups).
-    pub client_queue: Arc<ClientRequestQueue>,
+    /// Per-instance lock-free client request queues (`queues[j]` fills only
+    /// while this replica leads instance `j`; all empty on pure backups).
+    pub client_queues: Vec<Arc<ClientRequestQueue>>,
     /// The execution engine (owns executed-transaction counters).
     pub executor: Arc<Executor>,
     /// Sign/verify call counters shared by every stage thread's provider.
     pub crypto_stats: CryptoStats,
     committed_batches: AtomicU64,
+    committed_per_instance: Vec<AtomicU64>,
     dropped_bad_sigs: AtomicU64,
-    /// The installed view, updated by the worker on `EnterView` — the input
-    /// threads route client traffic by `view % n` through this.
-    current_view: Arc<AtomicU64>,
+    /// Per-instance installed views, updated by the worker on `EnterView` —
+    /// the input threads route client traffic for instance `j` by
+    /// `(view_j + j) % n` through this.
+    instance_views: Arc<Vec<AtomicU64>>,
 }
 
 impl ReplicaShared {
-    /// Batches committed by consensus so far.
+    /// Batches committed by consensus so far (all instances).
     pub fn committed_batches(&self) -> u64 {
         self.committed_batches.load(Ordering::Relaxed)
+    }
+
+    /// Batches committed by consensus instance `j` so far.
+    pub fn committed_batches_for(&self, j: usize) -> u64 {
+        self.committed_per_instance[j].load(Ordering::Relaxed)
     }
 
     /// Messages dropped due to failed signature verification.
@@ -98,9 +110,20 @@ impl ReplicaShared {
         self.dropped_bad_sigs.load(Ordering::Relaxed)
     }
 
-    /// The view this replica currently has installed.
+    /// The view this replica currently has installed (instance 0's view —
+    /// the classic single-primary notion when `consensus_instances == 1`).
     pub fn current_view(&self) -> u64 {
-        self.current_view.load(Ordering::Relaxed)
+        self.instance_views[0].load(Ordering::Relaxed)
+    }
+
+    /// The view instance `j` currently has installed.
+    pub fn instance_view(&self, j: usize) -> u64 {
+        self.instance_views[j].load(Ordering::Relaxed)
+    }
+
+    /// Number of parallel consensus instances this replica runs.
+    pub fn consensus_instances(&self) -> usize {
+        self.instance_views.len()
     }
 }
 
@@ -221,35 +244,42 @@ pub fn spawn_replica(
         (0..config.threads.output_threads)
             .map(|_| channel::unbounded())
             .collect();
-    let client_queue = Arc::new(ClientRequestQueue::new());
+    let k = config.consensus_instances.max(1);
+    let client_queues: Vec<Arc<ClientRequestQueue>> = (0..k)
+        .map(|_| Arc::new(ClientRequestQueue::new()))
+        .collect();
     let qc = (config.execution_queue_count() as usize).clamp(1024, 1 << 16);
     let exec_queues = Arc::new(ExecutionQueues::new(qc));
 
     let metrics = MetricsRegistry::new();
     metrics.start_window();
     let shutdown = Arc::new(AtomicBool::new(false));
-    let current_view = Arc::new(AtomicU64::new(0));
+    let instance_views: Arc<Vec<AtomicU64>> = Arc::new((0..k).map(|_| AtomicU64::new(0)).collect());
     let shared = Arc::new(ReplicaShared {
         id,
         store,
         chain: Arc::clone(&chain),
         metrics: metrics.clone(),
-        client_queue: Arc::clone(&client_queue),
+        client_queues: client_queues.clone(),
         executor: Arc::clone(&executor),
         crypto_stats: provider.stats().clone(),
         committed_batches: AtomicU64::new(0),
+        committed_per_instance: (0..k).map(|_| AtomicU64::new(0)).collect(),
         dropped_bad_sigs: AtomicU64::new(0),
-        current_view: Arc::clone(&current_view),
+        instance_views: Arc::clone(&instance_views),
     });
 
+    // Each instance checkpoints every Δ of its *own* executed batches;
+    // scaling Δ by 1/k keeps the global prune cadence (in global sequence
+    // numbers) independent of k.
     let consensus_cfg = ConsensusConfig::new(
         config.n,
-        (config.checkpoint_interval / config.batch_size as u64).max(1),
+        (config.checkpoint_interval / config.batch_size as u64 / k as u64).max(1),
     )
     // Only the deployment's *initial* primary is byzantine; whoever wins
     // the ensuing view change behaves honestly.
     .with_equivocation(config.byzantine_primary && id == rdb_common::ViewNum(0).primary(config.n));
-    let engine = ReplicaEngine::new(config.protocol, id, consensus_cfg);
+    let engine = MultiEngine::new(config.protocol, id, consensus_cfg, k);
     let n = config.n as u64;
     let replicas: Vec<Sender> = (0..config.n as u32)
         .map(|r| Sender::Replica(ReplicaId(r)))
@@ -273,14 +303,14 @@ pub fn spawn_replica(
         let rx = endpoint.receiver();
         let work_tx = work_tx.clone();
         let ckpt_tx = ckpt_tx.clone();
-        let cq = Arc::clone(&client_queue);
+        let cqs = client_queues.clone();
         let stop = Arc::clone(&shutdown);
         let rec = metrics.recorder(Stage::Input, i);
         let has_batch_threads = config.threads.batch_threads > 0;
         let has_ckpt_thread = config.threads.checkpoint_threads > 0;
         let provider = provider.clone();
         let shared2 = Arc::clone(&shared);
-        let view = Arc::clone(&current_view);
+        let views = Arc::clone(&instance_views);
         threads.push(spawn(
             format!("r{}-input-{i}", id.0),
             Box::new(move || {
@@ -298,11 +328,18 @@ pub fn spawn_replica(
                 // this thread's verify window.
                 let route = |sm: SignedMessage, window: &mut Vec<SignedMessage>| match sm.msg() {
                     Message::ClientRequest { .. } => {
+                        // Clients shard across instances by id; instance
+                        // `j` at view `v` is led by replica `(v + j) % n`.
                         // Primaryship is dynamic: re-check the installed
                         // view on every request.
-                        if view.load(Ordering::Relaxed) % n == id.0 as u64 {
+                        let j = match sm.sender() {
+                            Sender::Client(c) => (c.0 % cqs.len() as u64) as usize,
+                            _ => 0,
+                        };
+                        let led_by = (views[j].load(Ordering::Relaxed) + j as u64) % n;
+                        if led_by == id.0 as u64 {
                             if has_batch_threads {
-                                cq.push(sm);
+                                cqs[j].push(sm);
                             } else {
                                 let _ = work_tx.send(Work::ClientRequest(sm));
                             }
@@ -310,7 +347,7 @@ pub fn spawn_replica(
                             // Backups drop the payload (clients address the
                             // primary directly; rebroadcasts reach it too)
                             // but surface the demand to the suspicion timer.
-                            let _ = work_tx.send(Work::ClientDemand);
+                            let _ = work_tx.send(Work::ClientDemand(j));
                         }
                     }
                     Message::Checkpoint { .. } if has_ckpt_thread => {
@@ -352,11 +389,20 @@ pub fn spawn_replica(
     }
 
     // --- batch threads -------------------------------------------------------
-    // Spawned on every replica: the queue only fills while this replica is
-    // the primary (input routing is view-aware), and `propose` on a backup
-    // engine is a no-op, so idle batch threads cost a parked future.
-    for b in 0..config.threads.batch_threads {
-        let cq = Arc::clone(&client_queue);
+    // Spawned on every replica: a queue only fills while this replica
+    // leads its instance (input routing is view-aware), and `propose` on a
+    // backup engine is a no-op, so idle batch threads cost a parked
+    // future. With k > 1 instances the count is raised to at least k so
+    // every instance has a dedicated batching path; thread `b` serves
+    // instance `b % k`.
+    let batch_thread_count = if config.threads.batch_threads > 0 {
+        config.threads.batch_threads.max(k)
+    } else {
+        0
+    };
+    for b in 0..batch_thread_count {
+        let instance = b % k;
+        let cq = Arc::clone(&client_queues[instance]);
         let work_tx = work_tx.clone();
         let stop = Arc::clone(&shutdown);
         let rec = metrics.recorder(Stage::Batch, b);
@@ -367,6 +413,7 @@ pub fn spawn_replica(
             format!("r{}-batch-{b}", id.0),
             Box::new(move || {
                 batch_loop(
+                    instance,
                     &cq,
                     &work_tx,
                     &stop,
@@ -425,7 +472,7 @@ pub fn spawn_replica(
         let shared2 = Arc::clone(&shared);
         let chain2 = Arc::clone(&chain);
         let cfg = config.clone();
-        let view = Arc::clone(&current_view);
+        let views = Arc::clone(&instance_views);
         threads.push(spawn(
             format!("r{}-worker", id.0),
             Box::new(move || {
@@ -443,24 +490,26 @@ pub fn spawn_replica(
                     execute_inline: cfg.threads.execute_threads == 0,
                     batch_size: cfg.batch_size,
                     flush_after,
-                    pending_txns: Vec::new(),
+                    pending_txns: (0..k).map(|_| Vec::new()).collect(),
                     last_flush: Instant::now(),
                     inline_exec_buf: BTreeMap::new(),
                     inline_next_exec: SeqNum(1),
                     stable_checkpoint: SeqNum(0),
                     pruned_to: SeqNum(0),
-                    current_view: view,
+                    instance_views: views,
                     view_timeout: Duration::from_millis(cfg.view_timeout_ms),
-                    last_progress: Instant::now(),
-                    suspect_strikes: 0,
-                    client_demand: false,
+                    last_progress: vec![Instant::now(); k],
+                    suspect_strikes: vec![0; k],
+                    client_demand: vec![false; k],
+                    commit_frontier: SeqNum(0),
+                    last_executed: SeqNum(0),
                 };
                 while !stop.load(Ordering::Relaxed) {
                     match rx.recv_timeout(poll) {
                         Ok(work) => rec.record(|| ctx.handle(work)),
                         Err(_) => {
-                            // Idle: flush a partial worker-side batch (0B).
-                            if !ctx.pending_txns.is_empty()
+                            // Idle: flush partial worker-side batches (0B).
+                            if ctx.pending_txns.iter().any(|p| !p.is_empty())
                                 && ctx.last_flush.elapsed() > ctx.flush_after
                             {
                                 rec.record(|| ctx.flush_pending());
@@ -644,6 +693,7 @@ pub fn spawn_replica(
 /// and dropped while the rest proceed.
 #[allow(clippy::too_many_arguments)]
 fn batch_loop(
+    instance: usize,
     cq: &ClientRequestQueue,
     work_tx: &ChanSender<Work>,
     stop: &AtomicBool,
@@ -690,7 +740,11 @@ fn batch_loop(
                     let rest = pending.split_off(batch_size);
                     let batch = Batch::new(std::mem::replace(&mut pending, rest));
                     let d = digest(&batch.canonical_bytes());
-                    let _ = work_tx.send(Work::Propose { batch, digest: d });
+                    let _ = work_tx.send(Work::Propose {
+                        instance,
+                        batch,
+                        digest: d,
+                    });
                     last_flush = Instant::now();
                 }
             }),
@@ -699,7 +753,11 @@ fn batch_loop(
                     rec.record(|| {
                         let batch = Batch::new(std::mem::take(&mut pending));
                         let d = digest(&batch.canonical_bytes());
-                        let _ = work_tx.send(Work::Propose { batch, digest: d });
+                        let _ = work_tx.send(Work::Propose {
+                            instance,
+                            batch,
+                            digest: d,
+                        });
                     });
                     last_flush = Instant::now();
                 } else {
@@ -713,7 +771,7 @@ fn batch_loop(
 /// Worker-thread state: the consensus engine plus everything needed to
 /// interpret its actions.
 struct WorkerCtx {
-    engine: ReplicaEngine,
+    engine: MultiEngine,
     provider: CryptoProvider,
     out_txs: Vec<ChanSender<OutItem>>,
     out_rr: usize,
@@ -726,7 +784,8 @@ struct WorkerCtx {
     execute_inline: bool,
     batch_size: usize,
     flush_after: Duration,
-    pending_txns: Vec<Transaction>,
+    /// 0B mode: per-instance worker-side batch assembly.
+    pending_txns: Vec<Vec<Transaction>>,
     last_flush: Instant,
     /// 0E mode: commit actions may arrive out of order; buffer them so the
     /// inline execution stays sequential.
@@ -737,44 +796,80 @@ struct WorkerCtx {
     stable_checkpoint: SeqNum,
     /// How far the chain has actually been pruned (tracks the clamp).
     pruned_to: SeqNum,
-    /// Shared with the input threads so client routing tracks the view.
-    current_view: Arc<AtomicU64>,
-    /// Suspicion timer: no progress for this long while work is stalled
-    /// (or client demand is pending) votes out the primary.
+    /// Shared with the input threads so client routing tracks each
+    /// instance's view.
+    instance_views: Arc<Vec<AtomicU64>>,
+    /// Suspicion timers, one per instance: no progress on instance `j` for
+    /// this long while its work is stalled (or its client demand is
+    /// pending) votes out *that instance's* primary — the other k−1
+    /// instances keep their timers and their progress.
     view_timeout: Duration,
-    last_progress: Instant,
-    /// Consecutive suspicion fires without real progress in between. The
-    /// effective timeout doubles with each strike (Castro-Liskov §4.5.2's
-    /// exponential backoff), so a replica that cannot be helped by a view
-    /// change — e.g. a straggler with an execution hole and no state
-    /// transfer — stops dragging the healthy quorum into view-change
-    /// storms. Reset whenever execution advances or a view installs.
-    suspect_strikes: u32,
-    client_demand: bool,
+    last_progress: Vec<Instant>,
+    /// Consecutive suspicion fires per instance without real progress in
+    /// between. The effective timeout doubles with each strike
+    /// (Castro-Liskov §4.5.2's exponential backoff), so a replica that
+    /// cannot be helped by a view change — e.g. a straggler with an
+    /// execution hole and no state transfer — stops dragging the healthy
+    /// quorum into view-change storms. Reset whenever the instance's
+    /// execution advances or it installs a view.
+    suspect_strikes: Vec<u32>,
+    client_demand: Vec<bool>,
+    /// Highest globally committed sequence seen (any instance). Execution
+    /// drains strictly in global order, so a committed sequence above an
+    /// instance we lead obliges us to fill our slots below it (no-op
+    /// batches) — otherwise one idle instance stalls the whole schedule.
+    commit_frontier: SeqNum,
+    /// Highest sequence executed locally. When `commit_frontier` sits
+    /// above it, the instance owning `last_executed + 1` is holding up
+    /// the global schedule — suspicion treats that as stalled work even
+    /// if the instance itself ordered nothing (its primary may be dead
+    /// with no client traffic to surface demand).
+    last_executed: SeqNum,
 }
 
 impl WorkerCtx {
-    /// The suspicion timer (Section 4.2 of PBFT, simplified): stalled
-    /// consensus work or unmet client demand with no progress for a full
-    /// view timeout means the primary is dead or cut off — vote it out.
-    /// Re-arming the timer after each vote gives the view change its own
-    /// (doubled) timeout before the vote escalates further.
+    /// Which instance owns global sequence `seq`.
+    fn owner(&self, seq: SeqNum) -> usize {
+        if seq.0 == 0 {
+            0
+        } else {
+            ((seq.0 - 1) % self.engine.k() as u64) as usize
+        }
+    }
+
+    /// The suspicion timers (Section 4.2 of PBFT, simplified), one per
+    /// instance: stalled consensus work or unmet client demand with no
+    /// progress for a full view timeout means that instance's primary is
+    /// dead or cut off — vote it out. Re-arming the timer after each vote
+    /// gives the view change its own (doubled) timeout before the vote
+    /// escalates further.
     fn maybe_suspect(&mut self) {
         const MAX_BACKOFF_SHIFT: u32 = 5; // cap at 32x the base timeout
-        let shift = self.suspect_strikes.min(MAX_BACKOFF_SHIFT);
-        if self.last_progress.elapsed() < self.view_timeout * (1u32 << shift) {
-            return;
-        }
-        if self.engine.has_stalled_work() || self.client_demand {
-            let actions = self.engine.on_timeout();
-            self.last_progress = Instant::now();
-            self.suspect_strikes = self.suspect_strikes.saturating_add(1);
-            self.run_actions(actions);
-        } else {
-            // Quiet and healthy: keep the timer from firing immediately on
-            // the first demand signal after a long idle stretch.
-            self.last_progress = Instant::now();
-            self.suspect_strikes = 0;
+        for j in 0..self.engine.k() {
+            let shift = self.suspect_strikes[j].min(MAX_BACKOFF_SHIFT);
+            if self.last_progress[j].elapsed() < self.view_timeout * (1u32 << shift) {
+                continue;
+            }
+            // An instance with a dead primary and *no* client traffic
+            // still stalls the merged schedule once another instance
+            // commits past its slot: that hold-up is this instance's
+            // fault, so it counts as stalled work for its timer.
+            let next_needed = self.last_executed.next();
+            let holds_schedule = self.engine.k() > 1
+                && self.commit_frontier >= next_needed
+                && self.owner(next_needed) == j;
+            if self.engine.has_stalled_work(j) || self.client_demand[j] || holds_schedule {
+                let actions = self.engine.on_timeout(j);
+                self.last_progress[j] = Instant::now();
+                self.suspect_strikes[j] = self.suspect_strikes[j].saturating_add(1);
+                self.run_actions(actions);
+                self.fill_gaps();
+            } else {
+                // Quiet and healthy: keep the timer from firing immediately
+                // on the first demand signal after a long idle stretch.
+                self.last_progress[j] = Instant::now();
+                self.suspect_strikes[j] = 0;
+            }
         }
     }
 
@@ -794,23 +889,33 @@ impl WorkerCtx {
                     self.shared.dropped_bad_sigs.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
+                let j = match sm.sender() {
+                    Sender::Client(c) => (c.0 % self.engine.k() as u64) as usize,
+                    _ => 0,
+                };
                 if let Message::ClientRequest { txns } = sm.into_message() {
-                    self.pending_txns.extend(txns);
+                    self.pending_txns[j].extend(txns);
                 }
-                while self.pending_txns.len() >= self.batch_size {
-                    let rest = self.pending_txns.split_off(self.batch_size);
-                    let batch = Batch::new(std::mem::replace(&mut self.pending_txns, rest));
-                    self.propose(batch);
+                while self.pending_txns[j].len() >= self.batch_size {
+                    let rest = self.pending_txns[j].split_off(self.batch_size);
+                    let batch = Batch::new(std::mem::replace(&mut self.pending_txns[j], rest));
+                    self.propose(j, batch);
                 }
             }
-            Work::Propose { batch, digest } => {
-                let actions = self.engine.propose(batch, digest);
+            Work::Propose {
+                instance,
+                batch,
+                digest,
+            } => {
+                let actions = self.engine.propose(instance, batch, digest);
                 self.run_actions(actions);
             }
             Work::Executed { seq, state_digest } => {
-                self.last_progress = Instant::now();
-                self.suspect_strikes = 0;
-                self.client_demand = false;
+                self.last_executed = self.last_executed.max(seq);
+                let j = self.owner(seq);
+                self.last_progress[j] = Instant::now();
+                self.suspect_strikes[j] = 0;
+                self.client_demand[j] = false;
                 let actions = self.engine.on_executed(seq, state_digest);
                 self.run_actions(actions);
                 // A checkpoint can stabilize (2f+1 remote checkpoint
@@ -819,8 +924,42 @@ impl WorkerCtx {
                 // advances.
                 self.prune_to_stable();
             }
-            Work::ClientDemand => {
-                self.client_demand = true;
+            Work::ClientDemand(j) => {
+                if j < self.client_demand.len() {
+                    self.client_demand[j] = true;
+                }
+            }
+        }
+        self.fill_gaps();
+    }
+
+    /// Multi-primary gap-fill: execution consumes the global sequence
+    /// space strictly in order, so once any instance commits past a slot
+    /// owned by an instance *we* lead, we must propose into that slot —
+    /// an empty no-op batch if no client traffic is pending — or the
+    /// committed tail above it never executes. (RCC resolves the same
+    /// obligation with explicit no-op proposals.) `k == 1` never triggers:
+    /// a single primary's frontier cannot pass its own next slot.
+    fn fill_gaps(&mut self) {
+        if self.engine.k() == 1 {
+            return;
+        }
+        for j in 0..self.engine.k() {
+            if !self.engine.is_primary(j) {
+                continue;
+            }
+            while self
+                .engine
+                .next_seq(j)
+                .is_some_and(|s| s <= self.commit_frontier)
+            {
+                let batch = Batch::new(Vec::new());
+                let d = digest(&batch.canonical_bytes());
+                let actions = self.engine.propose(j, batch, d);
+                if actions.is_empty() {
+                    break; // engine refused (e.g. mid view change)
+                }
+                self.run_actions(actions);
             }
         }
     }
@@ -836,16 +975,18 @@ impl WorkerCtx {
     }
 
     fn flush_pending(&mut self) {
-        if self.pending_txns.is_empty() {
-            return;
+        for j in 0..self.pending_txns.len() {
+            if self.pending_txns[j].is_empty() {
+                continue;
+            }
+            let batch = Batch::new(std::mem::take(&mut self.pending_txns[j]));
+            self.propose(j, batch);
         }
-        let batch = Batch::new(std::mem::take(&mut self.pending_txns));
-        self.propose(batch);
     }
 
-    fn propose(&mut self, batch: Batch) {
+    fn propose(&mut self, instance: usize, batch: Batch) {
         let d = digest(&batch.canonical_bytes());
-        let actions = self.engine.propose(batch, d);
+        let actions = self.engine.propose(instance, batch, d);
         self.last_flush = Instant::now();
         self.run_actions(actions);
     }
@@ -889,6 +1030,9 @@ impl WorkerCtx {
                     self.shared
                         .committed_batches
                         .fetch_add(1, Ordering::Relaxed);
+                    let j = self.owner(seq);
+                    self.shared.committed_per_instance[j].fetch_add(1, Ordering::Relaxed);
+                    self.commit_frontier = self.commit_frontier.max(seq);
                     self.dispatch_execution(ExecuteItem {
                         seq,
                         view,
@@ -908,6 +1052,8 @@ impl WorkerCtx {
                     self.shared
                         .committed_batches
                         .fetch_add(1, Ordering::Relaxed);
+                    self.shared.committed_per_instance[0].fetch_add(1, Ordering::Relaxed);
+                    self.commit_frontier = self.commit_frontier.max(seq);
                     self.dispatch_execution(ExecuteItem {
                         seq,
                         view,
@@ -922,14 +1068,18 @@ impl WorkerCtx {
                     let pruned = self.chain.lock().prune_below(seq);
                     self.pruned_to = self.pruned_to.max(pruned);
                 }
-                Action::EnterView { view } => {
+                Action::EnterView { view, instance } => {
                     // Publish the new view so the input threads re-route
-                    // client traffic to the new primary, and re-arm the
-                    // suspicion timer: the view change itself is progress.
-                    self.current_view.store(view.0, Ordering::Relaxed);
-                    self.last_progress = Instant::now();
-                    self.suspect_strikes = 0;
-                    self.client_demand = false;
+                    // client traffic to the instance's new primary, and
+                    // re-arm that instance's suspicion timer: the view
+                    // change itself is progress.
+                    let j = instance as usize;
+                    if let Some(v) = self.instance_views.get(j) {
+                        v.store(view.0, Ordering::Relaxed);
+                        self.last_progress[j] = Instant::now();
+                        self.suspect_strikes[j] = 0;
+                        self.client_demand[j] = false;
+                    }
                 }
             }
         }
@@ -949,6 +1099,11 @@ impl WorkerCtx {
                 self.send_out(out);
             }
             self.inline_next_exec = self.inline_next_exec.next();
+            self.last_executed = self.last_executed.max(item.seq);
+            let j = self.owner(item.seq);
+            self.last_progress[j] = Instant::now();
+            self.suspect_strikes[j] = 0;
+            self.client_demand[j] = false;
             let actions = self.engine.on_executed(item.seq, state_digest);
             self.run_actions(actions);
             self.prune_to_stable();

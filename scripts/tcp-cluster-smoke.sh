@@ -4,6 +4,12 @@
 # transaction and that all four replicas report bit-identical state
 # digests for the same executed-transaction count.
 #
+# Runs twice: single-primary (k=1) and multi-primary ordering (k=2, two
+# parallel PBFT instances with rotated leadership). The same workload
+# must execute to the same state digest in both deployments — the merged
+# k-stream schedule is deterministic — so the second phase asserts its
+# digest equals the first phase's.
+#
 # Usage: scripts/tcp-cluster-smoke.sh [path-to-rdb-node] [log-dir]
 # Builds the release binary if no path is given.
 set -euo pipefail
@@ -26,9 +32,6 @@ fi
 mkdir -p "$LOG_DIR"
 rm -f "$LOG_DIR"/*.log
 
-PEERS="0=127.0.0.1:$BASE_PORT,1=127.0.0.1:$((BASE_PORT + 1)),2=127.0.0.1:$((BASE_PORT + 2)),3=127.0.0.1:$((BASE_PORT + 3))"
-echo "peer map: $PEERS"
-
 pids=()
 cleanup() {
   for pid in "${pids[@]}"; do
@@ -38,54 +41,79 @@ cleanup() {
 }
 trap cleanup EXIT
 
-for i in 0 1 2 3; do
-  "$BIN" --replica "$i" --peers "$PEERS" --batch-size "$BATCH" \
-    --exit-after-txns "$TXNS" --report-every-ms 500 --run-secs "$RUN_SECS" \
-    >"$LOG_DIR/replica-$i.log" 2>&1 &
-  pids+=($!)
-done
+# run_cluster <k> <port-base> <tag>
+# Starts 4 replicas + 1 client with --consensus-instances <k>, waits for
+# completion, checks per-replica FINAL lines agree, and leaves the common
+# digest in $CLUSTER_DIGEST.
+run_cluster() {
+  local k="$1" port="$2" tag="$3"
+  local peers="0=127.0.0.1:$port,1=127.0.0.1:$((port + 1)),2=127.0.0.1:$((port + 2)),3=127.0.0.1:$((port + 3))"
+  echo "[$tag] peer map: $peers (consensus instances: $k)"
 
-sleep 1
-echo "submitting $TXNS transactions…"
-if ! timeout "$RUN_SECS" "$BIN" --client --peers "$PEERS" --batch-size "$BATCH" \
-  --txns "$TXNS" --wait-secs "$RUN_SECS" >"$LOG_DIR/client.log" 2>&1; then
-  echo "::error::client failed or timed out" >&2
-  cat "$LOG_DIR/client.log" >&2
+  pids=()
+  for i in 0 1 2 3; do
+    "$BIN" --replica "$i" --peers "$peers" --batch-size "$BATCH" \
+      --consensus-instances "$k" \
+      --exit-after-txns "$TXNS" --report-every-ms 500 --run-secs "$RUN_SECS" \
+      >"$LOG_DIR/$tag-replica-$i.log" 2>&1 &
+    pids+=($!)
+  done
+
+  sleep 1
+  echo "[$tag] submitting $TXNS transactions…"
+  if ! timeout "$RUN_SECS" "$BIN" --client --peers "$peers" --batch-size "$BATCH" \
+    --consensus-instances "$k" \
+    --txns "$TXNS" --wait-secs "$RUN_SECS" >"$LOG_DIR/$tag-client.log" 2>&1; then
+    echo "::error::[$tag] client failed or timed out" >&2
+    cat "$LOG_DIR/$tag-client.log" >&2
+    exit 1
+  fi
+  grep CLIENT "$LOG_DIR/$tag-client.log"
+
+  # Replicas exit on their own once they hit --exit-after-txns.
+  for idx in "${!pids[@]}"; do
+    if ! wait "${pids[$idx]}"; then
+      echo "::error::[$tag] replica $idx exited non-zero" >&2
+      cat "$LOG_DIR/$tag-replica-$idx.log" >&2
+      exit 1
+    fi
+  done
+  pids=()
+
+  local digests=()
+  for i in 0 1 2 3; do
+    local final
+    final=$(grep '^FINAL ' "$LOG_DIR/$tag-replica-$i.log" | tail -n1)
+    if [ -z "$final" ]; then
+      echo "::error::[$tag] replica $i printed no FINAL line" >&2
+      cat "$LOG_DIR/$tag-replica-$i.log" >&2
+      exit 1
+    fi
+    echo "[$tag] $final"
+    if ! grep -q "executed=$TXNS" <<<"$final"; then
+      echo "::error::[$tag] replica $i stopped short of $TXNS transactions: $final" >&2
+      exit 1
+    fi
+    digests+=("$(sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p' <<<"$final")")
+  done
+
+  for d in "${digests[@]:1}"; do
+    if [ "$d" != "${digests[0]}" ]; then
+      echo "::error::[$tag] state digests diverged across replicas: ${digests[*]}" >&2
+      exit 1
+    fi
+  done
+  CLUSTER_DIGEST="${digests[0]}"
+  echo "[$tag] OK: 4-replica TCP cluster committed $TXNS txns with identical digest $CLUSTER_DIGEST"
+}
+
+run_cluster 1 "$BASE_PORT" k1
+K1_DIGEST="$CLUSTER_DIGEST"
+
+run_cluster 2 $((BASE_PORT + 10)) multi-primary-smoke
+if [ "$CLUSTER_DIGEST" != "$K1_DIGEST" ]; then
+  echo "::error::multi-primary (k=2) digest $CLUSTER_DIGEST differs from single-primary digest $K1_DIGEST" >&2
   exit 1
 fi
-grep CLIENT "$LOG_DIR/client.log"
 
-# Replicas exit on their own once they hit --exit-after-txns.
-for idx in "${!pids[@]}"; do
-  if ! wait "${pids[$idx]}"; then
-    echo "::error::replica $idx exited non-zero" >&2
-    cat "$LOG_DIR/replica-$idx.log" >&2
-    exit 1
-  fi
-done
-pids=()
-
-digests=()
-for i in 0 1 2 3; do
-  final=$(grep '^FINAL ' "$LOG_DIR/replica-$i.log" | tail -n1)
-  if [ -z "$final" ]; then
-    echo "::error::replica $i printed no FINAL line" >&2
-    cat "$LOG_DIR/replica-$i.log" >&2
-    exit 1
-  fi
-  echo "$final"
-  if ! grep -q "executed=$TXNS" <<<"$final"; then
-    echo "::error::replica $i stopped short of $TXNS transactions: $final" >&2
-    exit 1
-  fi
-  digests+=("$(sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p' <<<"$final")")
-done
-
-for d in "${digests[@]:1}"; do
-  if [ "$d" != "${digests[0]}" ]; then
-    echo "::error::state digests diverged across replicas: ${digests[*]}" >&2
-    exit 1
-  fi
-done
-
-echo "OK: 4-replica TCP cluster committed $TXNS txns with identical digest ${digests[0]}"
+echo "OK: k=2 multi-primary schedule executed to the single-primary digest $K1_DIGEST"
