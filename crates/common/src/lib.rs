@@ -27,6 +27,7 @@ pub mod messages;
 pub mod options;
 pub mod peers;
 pub mod quorum;
+pub mod snapshot;
 pub mod transaction;
 
 pub use block::{Block, BlockCertificate, BlockLink};
@@ -37,4 +38,5 @@ pub use ids::{ClientId, Digest, ReplicaId, SeqNum, SignatureBytes, TxnId, ViewNu
 pub use messages::{Message, MessageKind};
 pub use options::{NetOptions, NodeOptions, TransportMode};
 pub use peers::PeerMap;
+pub use snapshot::Snapshot;
 pub use transaction::{Batch, Operation, ReadWriteSet, Transaction};

@@ -102,11 +102,18 @@ pub enum MessageKind {
     ViewChange,
     /// New-view installation by the incoming primary.
     NewView,
+    /// Request to re-fetch committed batches for missing sequences.
+    FetchRequest,
+    /// A committed batch plus its commit certificate, answering a fetch.
+    FetchResponse,
+    /// A checkpoint snapshot (store records + chain block), answering a
+    /// fetch for sequences already garbage-collected at the server.
+    SnapshotResponse,
 }
 
 impl MessageKind {
     /// Number of message kinds (the length of [`MessageKind::ALL`]).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 14;
 
     /// Dense index of this kind into [`MessageKind::ALL`], for atomic
     /// per-kind counter tables that avoid hashing.
@@ -123,6 +130,9 @@ impl MessageKind {
             MessageKind::Checkpoint => 8,
             MessageKind::ViewChange => 9,
             MessageKind::NewView => 10,
+            MessageKind::FetchRequest => 11,
+            MessageKind::FetchResponse => 12,
+            MessageKind::SnapshotResponse => 13,
         }
     }
 
@@ -139,6 +149,9 @@ impl MessageKind {
         MessageKind::Checkpoint,
         MessageKind::ViewChange,
         MessageKind::NewView,
+        MessageKind::FetchRequest,
+        MessageKind::FetchResponse,
+        MessageKind::SnapshotResponse,
     ];
 }
 
@@ -276,6 +289,43 @@ pub enum Message {
         /// `0` for single-primary deployments).
         instance: u32,
     },
+    /// Replica → replica: a replica with execution holes below the commit
+    /// frontier asks a peer for the committed batches it is missing.
+    FetchRequest {
+        /// The missing sequences (bounded by the requester).
+        seqs: Vec<SeqNum>,
+        /// Requesting replica (responses are addressed back to it).
+        replica: ReplicaId,
+    },
+    /// Replica → replica: a committed batch plus the 2f+1 commit
+    /// certificate proving its order, filling one requested hole. The
+    /// requester re-verifies the certificate before installing; under
+    /// Zyzzyva the certificate is empty and f+1 matching responses from
+    /// distinct peers stand in for it.
+    FetchResponse {
+        /// The sequence being filled.
+        seq: SeqNum,
+        /// View in which the batch committed (the view its commit votes
+        /// were signed over).
+        view: ViewNum,
+        /// Batch digest.
+        digest: Digest,
+        /// The transactions, shared with the server's retained copy.
+        batch: Arc<Batch>,
+        /// The 2f+1 commit signatures (empty under Zyzzyva speculation).
+        certificate: BlockCertificate,
+        /// Responding replica.
+        replica: ReplicaId,
+    },
+    /// Replica → replica: answers a fetch whose sequences fell at or below
+    /// the server's pruning horizon — the full state at the last stable
+    /// checkpoint, so the requester can skip re-executing history.
+    SnapshotResponse {
+        /// The serialized checkpoint state.
+        snapshot: Arc<crate::snapshot::Snapshot>,
+        /// Responding replica.
+        replica: ReplicaId,
+    },
 }
 
 impl Message {
@@ -293,10 +343,15 @@ impl Message {
             Message::Checkpoint { .. } => MessageKind::Checkpoint,
             Message::ViewChange { .. } => MessageKind::ViewChange,
             Message::NewView { .. } => MessageKind::NewView,
+            Message::FetchRequest { .. } => MessageKind::FetchRequest,
+            Message::FetchResponse { .. } => MessageKind::FetchResponse,
+            Message::SnapshotResponse { .. } => MessageKind::SnapshotResponse,
         }
     }
 
     /// The consensus sequence number this message refers to, if any.
+    /// Fetch-protocol messages deliberately return `None`: they are a
+    /// runtime-level recovery protocol handled before engine routing.
     pub fn seq(&self) -> Option<SeqNum> {
         match self {
             Message::PrePrepare { seq, .. }
@@ -341,6 +396,23 @@ impl Message {
                     + 4
             }
             Message::NewView { reissued, .. } => HDR + 8 + 4 + reissued.len() * (8 + DIG) + 4,
+            Message::FetchRequest { seqs, .. } => HDR + 4 + seqs.len() * 8 + 4,
+            Message::FetchResponse {
+                batch, certificate, ..
+            } => {
+                HDR + 8
+                    + 8
+                    + DIG
+                    + batch.wire_size()
+                    + 4
+                    + certificate
+                        .commits
+                        .iter()
+                        .map(|(_, s)| 4 + s.len())
+                        .sum::<usize>()
+                    + 4
+            }
+            Message::SnapshotResponse { snapshot, .. } => HDR + snapshot.encoded_len() + 4,
         }
     }
 }
@@ -516,6 +588,35 @@ impl Wire for Message {
                 write_seq_digest_pairs(w, reissued);
                 w.put_u32(*instance);
             }
+            Message::FetchRequest { seqs, replica } => {
+                w.put_u8(11);
+                w.put_u32(seqs.len() as u32);
+                for s in seqs {
+                    w.put_u64(s.0);
+                }
+                w.put_u32(replica.0);
+            }
+            Message::FetchResponse {
+                seq,
+                view,
+                digest,
+                batch,
+                certificate,
+                replica,
+            } => {
+                w.put_u8(12);
+                w.put_u64(seq.0);
+                w.put_u64(view.0);
+                w.put_bytes(digest.as_bytes());
+                batch.write(w);
+                certificate.write(w);
+                w.put_u32(replica.0);
+            }
+            Message::SnapshotResponse { snapshot, replica } => {
+                w.put_u8(13);
+                snapshot.write(w);
+                w.put_u32(replica.0);
+            }
         }
     }
 
@@ -585,6 +686,32 @@ impl Wire for Message {
                 reissued: read_seq_digest_pairs(r)?,
                 instance: r.get_u32()?,
             }),
+            11 => {
+                let n = r.get_u32()? as usize;
+                if n > r.remaining() {
+                    return Err(CommonError::Codec("fetch seq count exceeds input".into()));
+                }
+                let mut seqs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    seqs.push(SeqNum(r.get_u64()?));
+                }
+                Ok(Message::FetchRequest {
+                    seqs,
+                    replica: ReplicaId(r.get_u32()?),
+                })
+            }
+            12 => Ok(Message::FetchResponse {
+                seq: SeqNum(r.get_u64()?),
+                view: ViewNum(r.get_u64()?),
+                digest: Digest(r.get_array32()?),
+                batch: Arc::new(Batch::read(r)?),
+                certificate: BlockCertificate::read(r)?,
+                replica: ReplicaId(r.get_u32()?),
+            }),
+            13 => Ok(Message::SnapshotResponse {
+                snapshot: Arc::new(crate::snapshot::Snapshot::read(r)?),
+                replica: ReplicaId(r.get_u32()?),
+            }),
             t => Err(CommonError::Codec(format!("invalid message tag {t}"))),
         }
     }
@@ -604,6 +731,11 @@ impl Wire for Message {
                 8 + 8 + 4 + prepared.len() * (8 + DIG) + batch_tail_encoded_len(tail) + 4 + 4
             }
             Message::NewView { reissued, .. } => 8 + 4 + reissued.len() * (8 + DIG) + 4,
+            Message::FetchRequest { seqs, .. } => 4 + seqs.len() * 8 + 4,
+            Message::FetchResponse {
+                batch, certificate, ..
+            } => 8 + 8 + DIG + batch.encoded_len() + certificate.encoded_len() + 4,
+            Message::SnapshotResponse { snapshot, .. } => snapshot.encoded_len() + 4,
         }
     }
 }
@@ -724,6 +856,18 @@ impl SignedMessage {
     /// The discriminant of the message body.
     pub fn kind(&self) -> MessageKind {
         self.body.kind()
+    }
+
+    /// The canonical bytes a signature from `from` over `msg` covers,
+    /// computed without building an envelope. This is what lets a third
+    /// party re-verify a *forwarded* signature — e.g. each commit vote
+    /// inside a fetched block certificate, where the verifier must
+    /// reconstruct the exact `Commit` message the signer signed.
+    pub fn signing_bytes_for(from: Sender, msg: &Message) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(from.encoded_len() + msg.encoded_len());
+        from.write(&mut w);
+        msg.write(&mut w);
+        w.into_bytes()
     }
 
     /// The bytes that are signed: sender followed by the message body, so a
@@ -882,6 +1026,31 @@ mod tests {
                 new_view: ViewNum(2),
                 reissued: vec![(SeqNum(91), Digest([1; 32]))],
                 instance: 1,
+            },
+            Message::FetchRequest {
+                seqs: vec![SeqNum(5), SeqNum(7)],
+                replica: ReplicaId(2),
+            },
+            Message::FetchResponse {
+                seq: SeqNum(5),
+                view: ViewNum(1),
+                digest: Digest([3; 32]),
+                batch: sample_batch().into(),
+                certificate: BlockCertificate::new(vec![
+                    (ReplicaId(0), SignatureBytes(vec![1; 16])),
+                    (ReplicaId(1), SignatureBytes(vec![2; 16])),
+                    (ReplicaId(3), SignatureBytes(vec![3; 16])),
+                ]),
+                replica: ReplicaId(3),
+            },
+            Message::SnapshotResponse {
+                snapshot: Arc::new(crate::snapshot::Snapshot {
+                    base_seq: SeqNum(8),
+                    block: crate::block::Block::genesis(Digest([6; 32])),
+                    history: Digest([2; 32]),
+                    records: vec![(1, vec![7; 8]), (2, vec![5; 8])],
+                }),
+                replica: ReplicaId(1),
             },
         ]
     }
@@ -1114,5 +1283,23 @@ mod tests {
     #[test]
     fn bad_message_tag_rejected() {
         assert!(Message::decode(&[99]).is_err());
+    }
+
+    #[test]
+    fn signing_bytes_for_matches_envelope_path() {
+        // The reconstruction used to re-verify forwarded certificate
+        // signatures must produce byte-identical input to what the
+        // original signer's envelope signed.
+        let msg = Message::Commit {
+            view: ViewNum(2),
+            seq: SeqNum(9),
+            digest: Digest([5; 32]),
+        };
+        let from = Sender::Replica(ReplicaId(3));
+        let sm = SignedMessage::new(msg.clone(), from, SignatureBytes::empty());
+        assert_eq!(
+            SignedMessage::signing_bytes_for(from, &msg),
+            sm.signing_bytes()
+        );
     }
 }

@@ -1,0 +1,129 @@
+//! Checkpoint snapshots for state transfer.
+//!
+//! A [`Snapshot`] captures everything a lagging or freshly restarted
+//! replica needs to resume execution from a 2f+1-stable checkpoint
+//! instead of genesis: the full `StateStore` contents at that sequence,
+//! the chain block recorded there, and (for Zyzzyva) the rolling
+//! speculative-history digest. The snapshot is self-committing: the
+//! block's `result_digest` binds the batch digest to the store digest at
+//! that sequence, so a receiver recomputes the store digest from the
+//! transferred records and rejects any snapshot whose contents do not
+//! hash back to the block it claims to sit under (the hash functions
+//! live in `rdb_crypto`/`rdb_storage`; this crate only defines the data
+//! and its wire form).
+
+use crate::block::Block;
+use crate::codec::{Wire, WireReader, WireWriter};
+use crate::error::{CommonError, Result};
+use crate::ids::{Digest, SeqNum};
+
+/// A serialized replica state at a stable checkpoint boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The checkpoint sequence this snapshot captures; execution resumes
+    /// at `base_seq + 1`.
+    pub base_seq: SeqNum,
+    /// The chain block at `base_seq` — its `result_digest` is the state
+    /// commitment the transferred records must hash back to.
+    pub block: Block,
+    /// Zyzzyva's rolling history digest after `base_seq`
+    /// ([`Digest::ZERO`] under PBFT, which carries no history).
+    pub history: Digest,
+    /// Every `(key, value)` record in the state store at `base_seq`.
+    pub records: Vec<(u64, Vec<u8>)>,
+}
+
+impl Snapshot {
+    /// The identity a receiver matches across peers before installing:
+    /// f+1 distinct replicas must present the same `(base_seq,
+    /// result_digest, history)` triple, so at least one honest replica
+    /// vouches for the state.
+    pub fn agreement_key(&self) -> (SeqNum, Digest, Digest) {
+        (self.base_seq, self.block.result_digest, self.history)
+    }
+}
+
+impl Wire for Snapshot {
+    fn write(&self, w: &mut WireWriter) {
+        w.put_u64(self.base_seq.0);
+        self.block.write(w);
+        w.put_bytes(self.history.as_bytes());
+        w.put_u32(self.records.len() as u32);
+        for (key, value) in &self.records {
+            w.put_u64(*key);
+            w.put_var_bytes(value);
+        }
+    }
+
+    fn read(r: &mut WireReader<'_>) -> Result<Self> {
+        let base_seq = SeqNum(r.get_u64()?);
+        let block = Block::read(r)?;
+        let history = Digest(r.get_array32()?);
+        let n = r.get_u32()? as usize;
+        if n > r.remaining() {
+            return Err(CommonError::Codec("record count exceeds input".into()));
+        }
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            let key = r.get_u64()?;
+            let value = r.get_var_bytes()?.to_vec();
+            records.push((key, value));
+        }
+        Ok(Snapshot {
+            base_seq,
+            block,
+            history,
+            records,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + self.block.encoded_len()
+            + 32
+            + 4
+            + self
+                .records
+                .iter()
+                .map(|(_, v)| 8 + 4 + v.len())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ViewNum;
+
+    fn snap() -> Snapshot {
+        Snapshot {
+            base_seq: SeqNum(8),
+            block: Block {
+                seq: SeqNum(8),
+                digest: Digest([1; 32]),
+                view: ViewNum(0),
+                link: crate::block::BlockLink::Hash(Digest([9; 32])),
+                txn_count: 5,
+                result_digest: Digest([4; 32]),
+            },
+            history: Digest([2; 32]),
+            records: vec![(1, vec![7; 8]), (2, vec![]), (u64::MAX, vec![3])],
+        }
+    }
+
+    #[test]
+    fn round_trips_and_exact_len() {
+        let s = snap();
+        let bytes = s.encode();
+        assert_eq!(bytes.len(), s.encoded_len());
+        assert_eq!(Snapshot::decode(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn agreement_key_binds_base_commitment_and_history() {
+        let s = snap();
+        assert_eq!(s.agreement_key(), (SeqNum(8), Digest([4; 32]), Digest([2; 32])));
+        let mut tampered = snap();
+        tampered.history = Digest([3; 32]);
+        assert_ne!(s.agreement_key(), tampered.agreement_key());
+    }
+}

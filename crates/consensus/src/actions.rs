@@ -53,6 +53,17 @@ pub enum Action {
         /// The stable sequence number.
         seq: SeqNum,
     },
+    /// Zyzzyva mis-speculation: the speculative suffix above `to` diverged
+    /// from the authoritative history (view change or certificate
+    /// mismatch). The runtime must undo every speculative execution with
+    /// `seq > to` — restoring overwritten records and rolling the chain
+    /// back — before applying any re-emitted `SpecExecute`/`CommitBatch`
+    /// actions for the reconciled history.
+    Rollback {
+        /// Last sequence number that survives: the committed/checkpointed
+        /// prefix both histories agree on.
+        to: SeqNum,
+    },
     /// The replica moved to a new view (primary may have changed).
     EnterView {
         /// The view now active.

@@ -50,6 +50,18 @@ impl CheckpointTracker {
         None
     }
 
+    /// Forces the stable point to `seq` (snapshot install: the snapshot's
+    /// base checkpoint was already proven stable by the peers that served
+    /// it, so this replica adopts it without re-collecting votes).
+    /// Never moves the stable point backwards.
+    pub fn force_stable(&mut self, seq: SeqNum) {
+        if seq <= self.stable {
+            return;
+        }
+        self.stable = seq;
+        self.votes.retain(|s, _| *s > seq);
+    }
+
     /// Number of sequences with outstanding (unstable) votes.
     pub fn pending(&self) -> usize {
         self.votes.len()
@@ -95,6 +107,17 @@ mod tests {
         assert_eq!(t.record(ReplicaId(2), SeqNum(10), d(1)), None);
         assert_eq!(t.record(ReplicaId(2), SeqNum(5), d(1)), None);
         assert_eq!(t.pending(), 0);
+    }
+
+    #[test]
+    fn force_stable_adopts_remote_checkpoint_and_never_regresses() {
+        let mut t = CheckpointTracker::new(3);
+        t.record(ReplicaId(0), SeqNum(5), d(1));
+        t.force_stable(SeqNum(10));
+        assert_eq!(t.stable_seq(), SeqNum(10));
+        assert_eq!(t.pending(), 0, "stale vote state is dropped");
+        t.force_stable(SeqNum(4));
+        assert_eq!(t.stable_seq(), SeqNum(10), "never moves backwards");
     }
 
     #[test]

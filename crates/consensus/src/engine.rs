@@ -8,8 +8,10 @@ use crate::actions::Action;
 use crate::config::ConsensusConfig;
 use crate::pbft::Pbft;
 use crate::zyzzyva::Zyzzyva;
+use rdb_common::block::BlockCertificate;
 use rdb_common::messages::SignedMessage;
 use rdb_common::{Batch, Digest, ProtocolKind, ReplicaId, SeqNum, ViewNum};
+use std::sync::Arc;
 
 /// A replica's consensus engine: PBFT or Zyzzyva behind one interface.
 #[derive(Debug)]
@@ -118,6 +120,54 @@ impl ReplicaEngine {
         match self {
             ReplicaEngine::Pbft(p) => Some(p.next_seq()),
             ReplicaEngine::Zyzzyva(_) => None,
+        }
+    }
+
+    /// Serves a peer's `FetchRequest` for `seq`: the batch plus whatever
+    /// ordering proof the protocol retains (2f+1 commit signatures under
+    /// PBFT, an empty certificate under Zyzzyva where the requester relies
+    /// on f+1 matching peers instead).
+    pub fn serve_fetch(
+        &self,
+        seq: SeqNum,
+    ) -> Option<(ViewNum, Digest, Arc<Batch>, BlockCertificate)> {
+        match self {
+            ReplicaEngine::Pbft(p) => p.serve_fetch(seq),
+            ReplicaEngine::Zyzzyva(z) => z.serve_fetch(seq),
+        }
+    }
+
+    /// Installs a fetched batch the runtime has validated, filling an
+    /// execution hole without a view change.
+    pub fn install_fetched(
+        &mut self,
+        seq: SeqNum,
+        view: ViewNum,
+        digest: Digest,
+        batch: Arc<Batch>,
+        certificate: BlockCertificate,
+    ) -> Vec<Action> {
+        match self {
+            ReplicaEngine::Pbft(p) => p.install_fetched(seq, view, digest, batch, certificate),
+            ReplicaEngine::Zyzzyva(z) => z.install_fetched(seq, view, digest, batch, certificate),
+        }
+    }
+
+    /// Adopts a verified snapshot at `base` (with the Zyzzyva rolling
+    /// history at that point; ignored under PBFT).
+    pub fn install_snapshot(&mut self, base: SeqNum, history: Digest) {
+        match self {
+            ReplicaEngine::Pbft(p) => p.install_snapshot(base, history),
+            ReplicaEngine::Zyzzyva(z) => z.install_snapshot(base, history),
+        }
+    }
+
+    /// Sequences worth fetching from peers (execution holes below the
+    /// commit frontier), oldest first, at most `limit`.
+    pub fn fetch_wanted(&self, limit: usize) -> Vec<SeqNum> {
+        match self {
+            ReplicaEngine::Pbft(p) => p.fetch_wanted(limit),
+            ReplicaEngine::Zyzzyva(z) => z.fetch_wanted(limit),
         }
     }
 }

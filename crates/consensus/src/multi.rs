@@ -24,8 +24,10 @@
 use crate::actions::Action;
 use crate::config::ConsensusConfig;
 use crate::engine::ReplicaEngine;
+use rdb_common::block::BlockCertificate;
 use rdb_common::messages::{Message, SignedMessage};
 use rdb_common::{Batch, Digest, ProtocolKind, ReplicaId, SeqNum, ViewNum};
+use std::sync::Arc;
 
 /// k consensus instances behind one engine-shaped interface.
 ///
@@ -148,6 +150,50 @@ impl MultiEngine {
     /// Whether instance `j` has ordered-but-unfinished work stuck.
     pub fn has_stalled_work(&self, j: usize) -> bool {
         self.engines[j].has_stalled_work()
+    }
+
+    /// Serves a peer's `FetchRequest` for `seq` from the owning instance.
+    pub fn serve_fetch(
+        &self,
+        seq: SeqNum,
+    ) -> Option<(ViewNum, Digest, Arc<Batch>, BlockCertificate)> {
+        self.engines[self.owner(seq)].serve_fetch(seq)
+    }
+
+    /// Installs a runtime-validated fetched batch on the owning instance.
+    pub fn install_fetched(
+        &mut self,
+        seq: SeqNum,
+        view: ViewNum,
+        digest: Digest,
+        batch: Arc<Batch>,
+        certificate: BlockCertificate,
+    ) -> Vec<Action> {
+        let j = self.owner(seq);
+        let actions = self.engines[j].install_fetched(seq, view, digest, batch, certificate);
+        self.merge_stability(actions)
+    }
+
+    /// Adopts a verified snapshot at `base` on every instance (the global
+    /// execution prefix covers all of their interleaved slices).
+    pub fn install_snapshot(&mut self, base: SeqNum, history: Digest) {
+        for e in &mut self.engines {
+            e.install_snapshot(base, history);
+        }
+        self.merged_stable = self.merged_stable.max(base);
+    }
+
+    /// Sequences worth fetching, merged across instances, oldest first.
+    pub fn fetch_wanted(&self, limit: usize) -> Vec<SeqNum> {
+        let mut wanted: Vec<SeqNum> = self
+            .engines
+            .iter()
+            .flat_map(|e| e.fetch_wanted(limit))
+            .collect();
+        wanted.sort();
+        wanted.dedup();
+        wanted.truncate(limit);
+        wanted
     }
 
     /// Rewrites per-instance `StableCheckpoint` actions into the merged
@@ -369,6 +415,41 @@ mod tests {
             !stable_emitted.contains(&SeqNum(2)),
             "instance 1's late stability at 2 is behind the merged point: {stable_emitted:?}"
         );
+    }
+
+    #[test]
+    fn fetch_routes_to_owning_instance_and_merges_wants() {
+        let mut engines = net(2, 1_000);
+        // Commit seq 1 (instance 0) and seq 2 (instance 1) everywhere.
+        let b1 = batch(1);
+        let d1 = batch_digest(&b1.canonical_bytes());
+        let b2 = batch(2);
+        let d2 = batch_digest(&b2.canonical_bytes());
+        let mut pending: Vec<(ReplicaId, Action)> = Vec::new();
+        for a in engines[0].propose(0, b1, d1) {
+            pending.push((ReplicaId(0), a));
+        }
+        for a in engines[1].propose(1, b2, d2) {
+            pending.push((ReplicaId(1), a));
+        }
+        let _ = run_to_quiescence(&mut engines, pending);
+        // Both sequences are servable, each from its owning instance.
+        let (_, dg1, _, cert1) = engines[2].serve_fetch(SeqNum(1)).expect("seq 1 committed");
+        let (_, dg2, _, _) = engines[2].serve_fetch(SeqNum(2)).expect("seq 2 committed");
+        assert_eq!(dg1, d1);
+        assert_eq!(dg2, d2);
+        assert!(cert1.signer_count() >= 3);
+        // A fresh replica that installs only seq 2 reports the seq-1 hole.
+        let cfg = ConsensusConfig::new(4, 1_000);
+        let mut late = MultiEngine::new(ProtocolKind::Pbft, ReplicaId(3), cfg, 2);
+        let (v2, dg2, b2, c2) = engines[2].serve_fetch(SeqNum(2)).unwrap();
+        let acts = late.install_fetched(SeqNum(2), v2, dg2, b2, c2);
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::CommitBatch { seq, .. } if *seq == SeqNum(2))));
+        // Snapshot install covers every instance.
+        late.install_snapshot(SeqNum(6), Digest::ZERO);
+        assert!(late.fetch_wanted(8).is_empty());
     }
 
     #[test]

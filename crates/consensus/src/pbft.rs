@@ -475,6 +475,116 @@ impl Pbft {
         Vec::new()
     }
 
+    /// Serves a peer's `FetchRequest` for `seq`: the committed batch plus
+    /// the 2f+1 commit certificate proving its order. Returns `None` when
+    /// the sequence never committed here or was garbage-collected by a
+    /// stable checkpoint (the runtime then falls back to a snapshot).
+    pub fn serve_fetch(&self, seq: SeqNum) -> Option<(ViewNum, Digest, Arc<Batch>, BlockCertificate)> {
+        let inst = self.instances.get(&seq)?;
+        if !inst.committed {
+            return None;
+        }
+        let (digest, batch) = match (inst.digest, &inst.batch) {
+            (Some(d), Some(b)) => (d, Arc::clone(b)),
+            _ => return None,
+        };
+        let mut certificate = BlockCertificate::new(inst.commit_sigs.clone());
+        if inst.sent_commit && !certificate.contains(self.id) {
+            // Our own commit: the empty placeholder marks the serving
+            // replica, vouched for by its verified response envelope.
+            certificate.commits.push((self.id, SignatureBytes::empty()));
+        }
+        Some((inst.view, digest, batch, certificate))
+    }
+
+    /// Installs a fetched batch whose certificate the runtime has already
+    /// verified: the instance commits directly off the remote proof — this
+    /// replica never voted, so no quorum bookkeeping applies. Fills an
+    /// execution hole without waiting for a view change to re-issue it.
+    pub fn install_fetched(
+        &mut self,
+        seq: SeqNum,
+        view: ViewNum,
+        digest: Digest,
+        batch: Arc<Batch>,
+        certificate: BlockCertificate,
+    ) -> Vec<Action> {
+        if seq <= self.checkpoints.stable_seq() || seq <= self.last_executed {
+            return Vec::new();
+        }
+        let inst = self.instances.entry(seq).or_default();
+        if inst.committed {
+            return Vec::new();
+        }
+        inst.digest = Some(digest);
+        inst.batch = Some(Arc::clone(&batch));
+        inst.view = view;
+        inst.committed = true;
+        // A primary whose log advanced through fetch (e.g. a recovered
+        // ex-primary catching up) must not re-propose a sequence the
+        // cluster already decided.
+        if self.next_seq <= seq {
+            self.next_seq = self.config.next_owned(seq);
+        }
+        vec![Action::CommitBatch {
+            seq,
+            view,
+            digest,
+            batch,
+            certificate,
+        }]
+    }
+
+    /// Adopts a verified snapshot at `base`: execution state below it is
+    /// authoritative, so the stable point jumps forward, covered instances
+    /// are dropped, and proposals resume past whatever survives.
+    pub fn install_snapshot(&mut self, base: SeqNum, _history: Digest) {
+        self.last_executed = self.last_executed.max(base);
+        self.instances.retain(|s, _| *s > base);
+        self.checkpoints.force_stable(base);
+        self.executed_since_checkpoint = 0;
+        let head = self.instances.keys().copied().max().unwrap_or(SeqNum(0));
+        self.next_seq = self
+            .next_seq
+            .max(self.config.next_owned(self.last_executed.max(head)));
+    }
+
+    /// Sequences worth fetching from peers, oldest first: execution holes
+    /// below the local commit frontier, plus instances where f+1 commit
+    /// votes arrived but the `PrePrepare` itself was lost. At most `limit`.
+    pub fn fetch_wanted(&self, limit: usize) -> Vec<SeqNum> {
+        let floor = self.last_executed.max(self.checkpoints.stable_seq());
+        let frontier = self
+            .instances
+            .iter()
+            .filter(|(s, i)| i.committed && **s > floor)
+            .map(|(s, _)| *s)
+            .max();
+        let mut wanted: Vec<SeqNum> = Vec::new();
+        if let Some(frontier) = frontier {
+            let mut seq = self.config.next_owned(floor);
+            while seq < frontier {
+                if !self.instances.get(&seq).is_some_and(|i| i.committed) {
+                    wanted.push(seq);
+                }
+                seq = self.config.next_owned(seq);
+            }
+        }
+        for (s, i) in &self.instances {
+            if *s > floor
+                && !i.committed
+                && i.batch.is_none()
+                && i.commits.len() > self.config.f
+                && !wanted.contains(s)
+            {
+                wanted.push(*s);
+            }
+        }
+        wanted.sort();
+        wanted.truncate(limit);
+        wanted
+    }
+
     fn on_checkpoint(&mut self, from: ReplicaId, seq: SeqNum, digest: Digest) -> Vec<Action> {
         match self.checkpoints.record(from, seq, digest) {
             Some(stable) => {
@@ -613,7 +723,14 @@ impl Pbft {
     fn become_primary(&mut self, new_view: ViewNum) -> Vec<Action> {
         let votes = self.view_change_votes.remove(&new_view).unwrap_or_default();
         let mut merged: BTreeMap<SeqNum, Vec<(Digest, Arc<Batch>, usize)>> = BTreeMap::new();
-        let own = self.batch_tail();
+        // Our own tail counts once: it is usually already in `votes` (we
+        // voted on the way here); chaining it unconditionally would double
+        // its weight in the majority merge.
+        let own = if votes.contains_key(&self.id) {
+            Vec::new()
+        } else {
+            self.batch_tail()
+        };
         for tail in votes.values().chain(std::iter::once(&own)) {
             for (seq, d, batch) in tail {
                 let cands = merged.entry(*seq).or_default();
@@ -1540,6 +1657,141 @@ mod tests {
             )),
             "parked proposal replays on install: {acts:?}"
         );
+    }
+
+    /// Drives r1 (backup of a 4-node system) to commit `seq` with digest
+    /// `dg` via the normal three-phase path.
+    fn commit_at(r: &mut Pbft, seq: u64, dg: Digest) {
+        r.on_message(&signed(
+            0,
+            Message::PrePrepare {
+                view: ViewNum(0),
+                seq: SeqNum(seq),
+                digest: dg,
+                batch: batch().into(),
+            },
+        ));
+        for from in [2u32, 3] {
+            r.on_message(&signed(
+                from,
+                Message::Prepare {
+                    view: ViewNum(0),
+                    seq: SeqNum(seq),
+                    digest: dg,
+                },
+            ));
+        }
+        for from in [0u32, 2] {
+            r.on_message(&signed(
+                from,
+                Message::Commit {
+                    view: ViewNum(0),
+                    seq: SeqNum(seq),
+                    digest: dg,
+                },
+            ));
+        }
+    }
+
+    #[test]
+    fn serve_fetch_returns_committed_batch_with_certificate() {
+        let mut r1 = Pbft::new(ReplicaId(1), cfg(4));
+        commit_at(&mut r1, 1, d(7));
+        let (view, dg, b, cert) = r1.serve_fetch(SeqNum(1)).expect("committed");
+        assert_eq!(view, ViewNum(0));
+        assert_eq!(dg, d(7));
+        assert_eq!(b.len(), 1);
+        assert!(cert.signer_count() >= 3, "2f+1 commit proof");
+        assert!(cert.contains(ReplicaId(1)), "server's own vote included");
+        // Uncommitted and unknown sequences are not served.
+        assert!(r1.serve_fetch(SeqNum(9)).is_none());
+    }
+
+    #[test]
+    fn install_fetched_commits_without_voting() {
+        // r3 missed everything about seq 1 (the hole) but committed seq 2.
+        let mut r3 = Pbft::new(ReplicaId(3), cfg(4));
+        let cert = BlockCertificate::new(
+            (0..3)
+                .map(|i| (ReplicaId(i), SignatureBytes(vec![i as u8; 8])))
+                .collect(),
+        );
+        assert_eq!(r3.fetch_wanted(8), vec![], "no evidence yet");
+        let acts = r3.install_fetched(SeqNum(1), ViewNum(0), d(7), batch().into(), cert.clone());
+        assert!(
+            matches!(&acts[..], [Action::CommitBatch { seq, .. }] if *seq == SeqNum(1)),
+            "got {acts:?}"
+        );
+        // Installing again is a no-op (already committed).
+        let acts = r3.install_fetched(SeqNum(1), ViewNum(0), d(7), batch().into(), cert);
+        assert!(acts.is_empty(), "must not commit twice: {acts:?}");
+    }
+
+    #[test]
+    fn fetch_wanted_reports_holes_below_commit_frontier() {
+        let mut r1 = Pbft::new(ReplicaId(1), cfg(4));
+        // Commit seq 3 while seqs 1 and 2 never arrived.
+        commit_at(&mut r1, 3, d(3));
+        assert_eq!(r1.fetch_wanted(8), vec![SeqNum(1), SeqNum(2)]);
+        assert_eq!(r1.fetch_wanted(1), vec![SeqNum(1)], "limit respected");
+        // Filling seq 1 narrows the gap.
+        let cert = BlockCertificate::new(
+            (0..3)
+                .map(|i| (ReplicaId(i), SignatureBytes(vec![1u8; 8])))
+                .collect(),
+        );
+        r1.install_fetched(SeqNum(1), ViewNum(0), d(1), batch().into(), cert);
+        assert_eq!(r1.fetch_wanted(8), vec![SeqNum(2)]);
+    }
+
+    #[test]
+    fn fetch_wanted_flags_lost_pre_prepare_with_vote_evidence() {
+        // f+1 = 2 commit votes for seq 1 arrive but the PrePrepare never
+        // does: the batch is being committed out there without us.
+        let mut r1 = Pbft::new(ReplicaId(1), cfg(4));
+        for from in [2u32, 3] {
+            r1.on_message(&signed(
+                from,
+                Message::Commit {
+                    view: ViewNum(0),
+                    seq: SeqNum(1),
+                    digest: d(7),
+                },
+            ));
+        }
+        assert_eq!(r1.fetch_wanted(8), vec![SeqNum(1)]);
+    }
+
+    #[test]
+    fn install_snapshot_jumps_past_missed_history() {
+        let mut r2 = Pbft::new(ReplicaId(2), cfg(4));
+        r2.install_snapshot(SeqNum(10), Digest::ZERO);
+        assert_eq!(r2.last_executed(), SeqNum(10));
+        assert!(r2.next_seq() > SeqNum(10));
+        assert!(r2.fetch_wanted(8).is_empty());
+        // Pre-snapshot traffic is now below the stable point and ignored.
+        let acts = r2.on_message(&signed(
+            0,
+            Message::PrePrepare {
+                view: ViewNum(0),
+                seq: SeqNum(5),
+                digest: d(5),
+                batch: batch().into(),
+            },
+        ));
+        assert!(acts.is_empty(), "covered sequence must be rejected");
+        let acts = r2.install_fetched(
+            SeqNum(5),
+            ViewNum(0),
+            d(5),
+            batch().into(),
+            BlockCertificate::new(
+                (0..3)
+                    .map(|i| (ReplicaId(i), SignatureBytes(vec![0u8; 8])))
+                    .collect(),
+            ),
+        );
+        assert!(acts.is_empty(), "covered fetch must be rejected");
     }
 
     #[test]

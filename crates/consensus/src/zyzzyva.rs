@@ -22,6 +22,7 @@
 use crate::actions::Action;
 use crate::checkpoint::CheckpointTracker;
 use crate::config::ConsensusConfig;
+use rdb_common::block::BlockCertificate;
 use rdb_common::messages::{BatchTail, Message, Sender, SignedMessage};
 use rdb_common::{quorum, Batch, Digest, ReplicaId, SeqNum, ViewNum};
 use rdb_crypto::chain_digest;
@@ -31,6 +32,17 @@ use std::sync::Arc;
 /// After this many timer re-fires without the voted view installing, vote
 /// for the next view instead (mirrors [`crate::pbft`]).
 const ESCALATE_AFTER: u32 = 3;
+
+/// One speculatively executed batch retained for view changes, fetch
+/// serving and mis-speculation rollback.
+#[derive(Debug)]
+struct SpecEntry {
+    digest: Digest,
+    /// Rolling history digest *after* this batch — what a rollback to this
+    /// sequence restores.
+    history: Digest,
+    batch: Arc<Batch>,
+}
 
 /// The Zyzzyva replica state machine.
 #[derive(Debug)]
@@ -54,7 +66,10 @@ pub struct Zyzzyva {
     executed_since_checkpoint: u64,
     /// Speculatively executed batches above the stable checkpoint — the
     /// tail a `ViewChange` vote carries. Pruned at stable checkpoints.
-    spec_log: BTreeMap<SeqNum, (Digest, Arc<Batch>)>,
+    spec_log: BTreeMap<SeqNum, SpecEntry>,
+    /// Rolling history just below the lowest `spec_log` entry (the value a
+    /// rollback all the way to the stable checkpoint restores).
+    base_history: Digest,
     /// View-change votes: new view → voter → the voter's spec tail.
     view_change_votes: HashMap<ViewNum, HashMap<ReplicaId, BatchTail>>,
     /// Set when this replica has voted for a view change.
@@ -79,6 +94,7 @@ impl Zyzzyva {
             checkpoints: CheckpointTracker::new(q),
             executed_since_checkpoint: 0,
             spec_log: BTreeMap::new(),
+            base_history: Digest::ZERO,
             view_change_votes: HashMap::new(),
             voted_view: None,
             timeout_strikes: 0,
@@ -132,8 +148,10 @@ impl Zyzzyva {
         if !self.is_primary() {
             return Vec::new();
         }
-        let seq = self.next_seq;
-        self.next_seq = self.next_seq.next();
+        // Never below the speculation frontier: installs (fetch, snapshot)
+        // can move `spec_executed` past a stale `next_seq`.
+        let seq = self.next_seq.max(self.spec_executed.next());
+        self.next_seq = seq.next();
         // One allocation; the broadcast and the speculative execution
         // share the same batch.
         let batch = Arc::new(batch);
@@ -170,7 +188,11 @@ impl Zyzzyva {
             }
             (
                 Message::CommitCert {
-                    view, seq, cert, ..
+                    view,
+                    seq,
+                    digest,
+                    cert,
+                    ..
                 },
                 Sender::Client(client),
             ) => {
@@ -184,17 +206,25 @@ impl Zyzzyva {
                 if cert.signer_count() < quorum::zyzzyva_cc_quorum(self.config.f) {
                     return Vec::new();
                 }
+                // Mis-speculation: 2f+1 replicas certified a different
+                // digest at this sequence than we executed. Our suffix from
+                // here on contradicts the agreed order — roll it back; the
+                // certified batch itself arrives via fetch (`committed`
+                // advances past `spec_executed`, which `fetch_wanted`
+                // reports as a hole).
+                let mut actions = self.reconcile(&[(*seq, *digest)]);
                 if *seq > self.committed {
                     self.committed = *seq;
                 }
-                vec![Action::SendClient(
+                actions.push(Action::SendClient(
                     client,
                     Message::LocalCommit {
                         view: *view,
                         seq: *seq,
                         replica: self.id,
                     },
-                )]
+                ));
+                actions
             }
             (
                 Message::Checkpoint {
@@ -205,8 +235,7 @@ impl Zyzzyva {
                 Sender::Replica(_),
             ) => match self.checkpoints.record(*replica, *seq, *state_digest) {
                 Some(stable) => {
-                    self.pending.retain(|s, _| *s > stable);
-                    self.spec_log.retain(|s, _| *s > stable);
+                    self.prune_to(stable);
                     vec![Action::StableCheckpoint { seq: stable }]
                 }
                 None => Vec::new(),
@@ -220,11 +249,22 @@ impl Zyzzyva {
                 },
                 Sender::Replica(_),
             ) => self.on_view_change(*replica, *new_view, tail.clone()),
-            (Message::NewView { new_view, .. }, Sender::Replica(from)) => {
+            (
+                Message::NewView {
+                    new_view, reissued, ..
+                },
+                Sender::Replica(from),
+            ) => {
                 if *new_view <= self.view || from != new_view.primary(self.config.n) {
                     return Vec::new();
                 }
-                self.install_view(*new_view)
+                let mut actions = self.install_view(*new_view);
+                // The reissued list is the new primary's authoritative
+                // history: if our speculative suffix diverges from it, roll
+                // back to the last agreeing sequence before the re-issued
+                // `PrePrepare`s re-execute the reconciled order.
+                actions.extend(self.reconcile(reissued));
+                actions
             }
             _ => Vec::new(),
         }
@@ -265,7 +305,14 @@ impl Zyzzyva {
         );
         self.spec_executed = seq;
         self.history = chain_digest(&self.history, &digest);
-        self.spec_log.insert(seq, (digest, Arc::clone(&batch)));
+        self.spec_log.insert(
+            seq,
+            SpecEntry {
+                digest,
+                history: self.history,
+                batch: Arc::clone(&batch),
+            },
+        );
         vec![Action::SpecExecute {
             seq,
             view,
@@ -273,6 +320,155 @@ impl Zyzzyva {
             history: self.history,
             batch,
         }]
+    }
+
+    /// Garbage-collects speculation state at a stable checkpoint, keeping
+    /// the rolling history at the prune point so later rollbacks bottom
+    /// out there.
+    fn prune_to(&mut self, stable: SeqNum) {
+        if let Some(e) = self.spec_log.get(&stable) {
+            self.base_history = e.history;
+        }
+        self.pending.retain(|s, _| *s > stable);
+        self.spec_log.retain(|s, _| *s > stable);
+    }
+
+    /// Rolls the speculative suffix back to `to`: every execution above it
+    /// is undone by the runtime (the emitted [`Action::Rollback`]), the
+    /// rolling history rewinds to its value at `to`, and re-execution of
+    /// the reconciled order resumes from `to + 1`.
+    fn rollback_to(&mut self, to: SeqNum) -> Vec<Action> {
+        if to >= self.spec_executed {
+            return Vec::new();
+        }
+        debug_assert!(to >= self.checkpoints.stable_seq(), "never below stable");
+        self.spec_log.retain(|s, _| *s <= to);
+        self.history = self
+            .spec_log
+            .get(&to)
+            .map(|e| e.history)
+            .unwrap_or(self.base_history);
+        self.spec_executed = to;
+        self.next_seq = to.next();
+        vec![Action::Rollback { to }]
+    }
+
+    /// Compares an authoritative `(seq, digest)` history — a new primary's
+    /// reissued list, a commit certificate, or an f+1-vouched fetch —
+    /// against the local speculation. Parked proposals it contradicts are
+    /// dropped; at the first executed divergence the suffix rolls back to
+    /// the last agreeing sequence (never below the stable checkpoint).
+    fn reconcile(&mut self, authoritative: &[(SeqNum, Digest)]) -> Vec<Action> {
+        for (seq, dg) in authoritative {
+            if self.pending.get(seq).is_some_and(|(_, pd, _)| pd != dg) {
+                self.pending.remove(seq);
+            }
+        }
+        let stable = self.checkpoints.stable_seq();
+        for (seq, dg) in authoritative {
+            if self.spec_log.get(seq).is_some_and(|e| e.digest != *dg) {
+                let to = SeqNum(seq.0.saturating_sub(1)).max(stable);
+                return self.rollback_to(to);
+            }
+        }
+        Vec::new()
+    }
+
+    /// Serves a peer's `FetchRequest` for `seq` from the speculative log.
+    /// Zyzzyva has no per-sequence commit certificate to attach (ordering
+    /// proof lives client-side), so the certificate is empty and the
+    /// requester accepts on f+1 distinct peers agreeing instead.
+    pub fn serve_fetch(
+        &self,
+        seq: SeqNum,
+    ) -> Option<(ViewNum, Digest, Arc<Batch>, BlockCertificate)> {
+        let e = self.spec_log.get(&seq)?;
+        Some((
+            self.view,
+            e.digest,
+            Arc::clone(&e.batch),
+            BlockCertificate::new(Vec::new()),
+        ))
+    }
+
+    /// Installs a fetched batch the runtime has validated (f+1 matching
+    /// peers, or a full commit certificate). A fetched digest contradicting
+    /// local speculation at the same sequence triggers rollback first; the
+    /// batch then (re-)executes through the ordinary in-order path.
+    pub fn install_fetched(
+        &mut self,
+        seq: SeqNum,
+        view: ViewNum,
+        digest: Digest,
+        batch: Arc<Batch>,
+        certificate: BlockCertificate,
+    ) -> Vec<Action> {
+        if certificate.signer_count() >= quorum::zyzzyva_cc_quorum(self.config.f)
+            && seq > self.committed
+        {
+            self.committed = seq;
+        }
+        let mut actions = Vec::new();
+        if view > self.view {
+            // Vouched evidence of a view change we slept through (the
+            // `NewView` and its reissue list never reached us): everything
+            // we speculated beyond the certified prefix may follow the old
+            // primary's abandoned order, and no reissue will ever arrive to
+            // reconcile it. Roll back to the certified prefix and rebuild
+            // the suffix from authoritative fetches.
+            let floor = self.committed.max(self.checkpoints.stable_seq());
+            actions.extend(self.rollback_to(floor));
+            self.view = view;
+            self.voted_view = None;
+            self.timeout_strikes = 0;
+        }
+        actions.extend(self.reconcile(&[(seq, digest)]));
+        actions.extend(self.enqueue_proposal(seq, view, digest, batch));
+        // A primary whose speculation frontier advanced through fetch must
+        // not re-propose a sequence the cluster already decided.
+        self.next_seq = self.next_seq.max(self.spec_executed.next());
+        actions
+    }
+
+    /// Adopts a verified snapshot at `base` with the rolling history the
+    /// snapshotting replicas had there: execution state below `base` is
+    /// authoritative, speculation bookkeeping restarts on top of it.
+    pub fn install_snapshot(&mut self, base: SeqNum, history: Digest) {
+        self.checkpoints.force_stable(base);
+        if base > self.spec_executed {
+            self.spec_executed = base;
+            self.history = history;
+        }
+        self.base_history = self.history;
+        self.pending.retain(|s, _| *s > base);
+        self.spec_log.retain(|s, _| *s > base);
+        self.committed = self.committed.max(base);
+        self.next_seq = self.spec_executed.next();
+        self.executed_since_checkpoint = 0;
+    }
+
+    /// Sequences worth fetching from peers, oldest first: the hole stalling
+    /// in-order execution below the first parked proposal, plus certified
+    /// sequences (`committed`) this replica never executed. At most `limit`.
+    pub fn fetch_wanted(&self, limit: usize) -> Vec<SeqNum> {
+        let mut wanted = Vec::new();
+        if let Some(first) = self.pending.keys().next().copied() {
+            let mut s = self.spec_executed.next();
+            while s < first && wanted.len() < limit {
+                wanted.push(s);
+                s = s.next();
+            }
+        }
+        let mut s = self.spec_executed.next();
+        while s <= self.committed && wanted.len() < limit {
+            if !wanted.contains(&s) && !self.pending.contains_key(&s) {
+                wanted.push(s);
+            }
+            s = s.next();
+        }
+        wanted.sort();
+        wanted.truncate(limit);
+        wanted
     }
 
     /// Notification that the batch at `seq` finished executing. Emits a
@@ -289,8 +485,7 @@ impl Zyzzyva {
             // Own checkpoint counts toward the 2f+1 stability quorum
             // (broadcast skips self-delivery, so record the vote here).
             if let Some(stable) = self.checkpoints.record(self.id, seq, state_digest) {
-                self.pending.retain(|s, _| *s > stable);
-                self.spec_log.retain(|s, _| *s > stable);
+                self.prune_to(stable);
                 actions.push(Action::StableCheckpoint { seq: stable });
             }
             return actions;
@@ -369,7 +564,7 @@ impl Zyzzyva {
     fn spec_tail(&self) -> Vec<(SeqNum, Digest, Arc<Batch>)> {
         self.spec_log
             .iter()
-            .map(|(s, (d, b))| (*s, *d, Arc::clone(b)))
+            .map(|(s, e)| (*s, e.digest, Arc::clone(&e.batch)))
             .collect()
     }
 
@@ -391,23 +586,49 @@ impl Zyzzyva {
         self.maybe_join_view_change()
     }
 
-    /// 2f+1 votes named this replica the incoming primary. Correct
-    /// replicas' speculative logs are prefixes of one another under a
-    /// crashed primary, so the union of the vote tails is the longest
-    /// surviving log: adopt it, catch our own execution up, announce the
-    /// view, and re-issue the tail so laggards fill their gaps.
+    /// 2f+1 votes named this replica the incoming primary. Under a merely
+    /// crashed primary correct replicas' speculative logs are prefixes of
+    /// one another; under an equivocating one they can *diverge*, so the
+    /// vote tails are majority-merged per sequence. If this replica's own
+    /// speculation contradicts the merged history, the suffix rolls back
+    /// before catching up — then the view is announced and the reconciled
+    /// tail re-issued so every backup converges the same way.
     fn become_primary(&mut self, new_view: ViewNum) -> Vec<Action> {
         let votes = self.view_change_votes.remove(&new_view).unwrap_or_default();
-        let mut merged: BTreeMap<SeqNum, (Digest, Arc<Batch>)> = BTreeMap::new();
-        let own = self.spec_tail();
+        let mut candidates: BTreeMap<SeqNum, Vec<(Digest, Arc<Batch>, usize)>> = BTreeMap::new();
+        // Our own tail counts once: usually it is already in `votes` (we
+        // voted on the way here); chaining it unconditionally would double
+        // its weight and let a divergent own suffix tie a true majority.
+        let own = if votes.contains_key(&self.id) {
+            Vec::new()
+        } else {
+            self.spec_tail()
+        };
         for tail in votes.values().chain(std::iter::once(&own)) {
             for (seq, d, batch) in tail {
-                merged
-                    .entry(*seq)
-                    .or_insert_with(|| (*d, Arc::clone(batch)));
+                let cands = candidates.entry(*seq).or_default();
+                match cands.iter_mut().find(|(cd, _, _)| cd == d) {
+                    Some((_, _, count)) => *count += 1,
+                    None => cands.push((*d, Arc::clone(batch), 1)),
+                }
             }
         }
+        let merged: BTreeMap<SeqNum, (Digest, Arc<Batch>)> = candidates
+            .into_iter()
+            .map(|(s, cands)| {
+                let (d, b, _) = cands
+                    .into_iter()
+                    .max_by_key(|(_, _, count)| *count)
+                    .expect("candidate list is never empty");
+                (s, (d, b))
+            })
+            .collect();
         let mut actions = self.install_view(new_view);
+        // Mis-speculation: roll our own suffix back to the last sequence
+        // agreeing with the merged history before catching up on it.
+        let authoritative: Vec<(SeqNum, Digest)> =
+            merged.iter().map(|(s, (d, _))| (*s, *d)).collect();
+        actions.extend(self.reconcile(&authoritative));
         // Catch our own execution up to the merged log before proposing
         // anything new (execution is strictly sequential).
         let mut catchup = Vec::new();
@@ -418,7 +639,7 @@ impl Zyzzyva {
         // pre-prepares reach them (in-order transports).
         actions.push(Action::Broadcast(Message::NewView {
             new_view,
-            reissued: merged.iter().map(|(s, (d, _))| (*s, *d)).collect(),
+            reissued: authoritative,
             instance: 0,
         }));
         for (seq, (d, batch)) in &merged {
@@ -798,6 +1019,195 @@ mod tests {
             SignatureBytes::empty(),
         );
         assert!(r2.on_message(&bogus).is_empty());
+    }
+
+    fn commit_cert(seq: u64, digest: Digest) -> SignedMessage {
+        let cert = BlockCertificate::new(
+            (0..3)
+                .map(|i| (ReplicaId(i), SignatureBytes(vec![i as u8])))
+                .collect(),
+        );
+        SignedMessage::new(
+            Message::CommitCert {
+                view: ViewNum(0),
+                seq: SeqNum(seq),
+                digest,
+                cert,
+                client: ClientId(7),
+            },
+            Sender::Client(ClientId(7)),
+            SignatureBytes::empty(),
+        )
+    }
+
+    #[test]
+    fn commit_cert_digest_mismatch_rolls_back_speculative_suffix() {
+        let mut r1 = Zyzzyva::new(ReplicaId(1), cfg());
+        r1.on_message(&pre_prepare(1, d(1)));
+        let h1 = r1.history();
+        r1.on_message(&pre_prepare(2, d(99))); // mis-speculated batch
+        r1.on_message(&pre_prepare(3, d(3)));
+        // The client's certificate proves 2f+1 replicas executed d(2) at
+        // seq 2 — our d(99) suffix is wrong.
+        let acts = r1.on_message(&commit_cert(2, d(2)));
+        assert!(
+            acts.iter()
+                .any(|a| matches!(a, Action::Rollback { to } if *to == SeqNum(1))),
+            "must roll back to the agreed prefix: {acts:?}"
+        );
+        assert!(
+            acts.iter()
+                .any(|a| matches!(a, Action::SendClient(_, Message::LocalCommit { .. }))),
+            "still acknowledges the certificate: {acts:?}"
+        );
+        assert_eq!(r1.spec_executed(), SeqNum(1));
+        assert_eq!(r1.history(), h1, "history rewinds with the rollback");
+        assert_eq!(r1.committed(), SeqNum(2));
+        // The certified-but-unexecuted sequence is now a fetch target.
+        assert_eq!(r1.fetch_wanted(8), vec![SeqNum(2)]);
+        // Re-executing the certified history converges with a replica
+        // that never mis-speculated.
+        r1.on_message(&pre_prepare(2, d(2)));
+        r1.on_message(&pre_prepare(3, d(3)));
+        let mut clean = Zyzzyva::new(ReplicaId(2), cfg());
+        clean.on_message(&pre_prepare(1, d(1)));
+        clean.on_message(&pre_prepare(2, d(2)));
+        clean.on_message(&pre_prepare(3, d(3)));
+        assert_eq!(r1.history(), clean.history());
+        assert_eq!(r1.spec_executed(), SeqNum(3));
+    }
+
+    #[test]
+    fn matching_commit_cert_does_not_roll_back() {
+        let mut r1 = Zyzzyva::new(ReplicaId(1), cfg());
+        r1.on_message(&pre_prepare(1, d(1)));
+        r1.on_message(&pre_prepare(2, d(2)));
+        let acts = r1.on_message(&commit_cert(2, d(2)));
+        assert!(
+            !acts.iter().any(|a| matches!(a, Action::Rollback { .. })),
+            "agreeing certificate must not disturb speculation: {acts:?}"
+        );
+        assert_eq!(r1.spec_executed(), SeqNum(2));
+    }
+
+    #[test]
+    fn new_view_reissue_mismatch_rolls_back_backup() {
+        // r2 speculated d(66) at seq 2; the view-1 primary's NewView says
+        // the surviving history has d(2) there.
+        let mut r2 = Zyzzyva::new(ReplicaId(2), cfg());
+        r2.on_message(&pre_prepare(1, d(1)));
+        let h1 = r2.history();
+        r2.on_message(&pre_prepare(2, d(66)));
+        let nv = SignedMessage::new(
+            Message::NewView {
+                new_view: ViewNum(1),
+                reissued: vec![(SeqNum(1), d(1)), (SeqNum(2), d(2))],
+                instance: 0,
+            },
+            Sender::Replica(ReplicaId(1)),
+            SignatureBytes::empty(),
+        );
+        let acts = r2.on_message(&nv);
+        assert!(
+            acts.iter()
+                .any(|a| matches!(a, Action::Rollback { to } if *to == SeqNum(1))),
+            "got {acts:?}"
+        );
+        assert_eq!(r2.history(), h1);
+        // The re-issued PrePrepare re-executes the reconciled sequence.
+        let reissue = SignedMessage::new(
+            Message::PrePrepare {
+                view: ViewNum(1),
+                seq: SeqNum(2),
+                digest: d(2),
+                batch: batch().into(),
+            },
+            Sender::Replica(ReplicaId(1)),
+            SignatureBytes::empty(),
+        );
+        let acts = r2.on_message(&reissue);
+        assert!(matches!(&acts[..], [Action::SpecExecute { seq, .. }] if *seq == SeqNum(2)));
+        // Digest-identical to a never-speculated run.
+        let mut clean = Zyzzyva::new(ReplicaId(3), cfg());
+        clean.on_message(&pre_prepare(1, d(1)));
+        clean.on_message(&pre_prepare(2, d(2)));
+        assert_eq!(r2.history(), clean.history());
+    }
+
+    #[test]
+    fn new_primary_rolls_back_own_divergent_speculation() {
+        // r1 (view-1 primary) speculated d(66) at seq 2, but both other
+        // vote tails carry d(2): the majority merge wins and r1 must roll
+        // its own suffix back before re-executing.
+        let mut r1 = Zyzzyva::new(ReplicaId(1), cfg());
+        r1.on_message(&pre_prepare(1, d(1)));
+        r1.on_message(&pre_prepare(2, d(66)));
+        let majority: Vec<(SeqNum, Digest, Arc<Batch>)> = vec![
+            (SeqNum(1), d(1), Arc::new(batch())),
+            (SeqNum(2), d(2), Arc::new(batch())),
+        ];
+        r1.on_message(&view_change(2, 1, majority.clone()));
+        let acts = r1.on_message(&view_change(3, 1, majority));
+        assert!(
+            acts.iter()
+                .any(|a| matches!(a, Action::Rollback { to } if *to == SeqNum(1))),
+            "own suffix must roll back: {acts:?}"
+        );
+        assert!(
+            acts.iter()
+                .any(|a| matches!(a, Action::SpecExecute { seq, digest, .. }
+                    if *seq == SeqNum(2) && *digest == d(2))),
+            "catch-up re-executes the majority digest: {acts:?}"
+        );
+        assert_eq!(r1.spec_executed(), SeqNum(2));
+        let mut clean = Zyzzyva::new(ReplicaId(2), cfg());
+        clean.on_message(&pre_prepare(1, d(1)));
+        clean.on_message(&pre_prepare(2, d(2)));
+        assert_eq!(r1.history(), clean.history());
+    }
+
+    #[test]
+    fn serve_and_install_fetch_fill_holes() {
+        let mut donor = Zyzzyva::new(ReplicaId(1), cfg());
+        donor.on_message(&pre_prepare(1, d(1)));
+        donor.on_message(&pre_prepare(2, d(2)));
+        let (view, dg, b, cert) = donor.serve_fetch(SeqNum(1)).expect("in spec log");
+        assert_eq!((view, dg), (ViewNum(0), d(1)));
+        assert_eq!(cert.signer_count(), 0, "no server-side ordering proof");
+        assert!(donor.serve_fetch(SeqNum(9)).is_none());
+
+        // r2 missed seq 1: seq 2 parks, fetch_wanted names the hole, and
+        // installing the fetched batch releases the parked proposal.
+        let mut r2 = Zyzzyva::new(ReplicaId(2), cfg());
+        r2.on_message(&pre_prepare(2, d(2)));
+        assert_eq!(r2.fetch_wanted(8), vec![SeqNum(1)]);
+        let acts = r2.install_fetched(SeqNum(1), view, dg, b, cert);
+        let seqs: Vec<u64> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::SpecExecute { seq, .. } => Some(seq.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, vec![1, 2], "hole fill releases the parked tail");
+        assert_eq!(r2.history(), donor.history());
+        assert!(r2.fetch_wanted(8).is_empty());
+    }
+
+    #[test]
+    fn install_snapshot_adopts_remote_history() {
+        let mut r2 = Zyzzyva::new(ReplicaId(2), cfg());
+        r2.install_snapshot(SeqNum(10), d(42));
+        assert_eq!(r2.spec_executed(), SeqNum(10));
+        assert_eq!(r2.history(), d(42));
+        assert_eq!(r2.committed(), SeqNum(10));
+        assert!(r2.fetch_wanted(8).is_empty());
+        // Pre-snapshot proposals are duplicates now.
+        assert!(r2.on_message(&pre_prepare(5, d(5))).is_empty());
+        // The next sequence continues on the adopted history.
+        let acts = r2.on_message(&pre_prepare(11, d(11)));
+        assert!(matches!(&acts[..], [Action::SpecExecute { seq, history, .. }]
+            if *seq == SeqNum(11) && *history == chain_digest(&d(42), &d(11))));
     }
 
     #[test]

@@ -12,14 +12,15 @@
 //! - **liveness** — every submitted transaction completes despite the
 //!   faults (clients retransmit, replicas deduplicate, view changes
 //!   replace dead primaries);
-//! - **safety** — a commit-quorum of replicas converges to an identical
-//!   state digest, and every replica that stayed healthy throughout is in
-//!   that agreeing set.
+//! - **safety** — every replica that is up at the end (never crashed, or
+//!   crashed and recovered) converges to an identical state digest: loss
+//!   bursts and rejoins are repaired by the fetch / state-transfer
+//!   protocol, so only permanently-crashed replicas are excused.
 //!
 //! [`scenarios`] is the named catalog (backup crash, primary crash → view
 //! change, cascading crashes, partition + heal, lossy links, delay jitter,
 //! equivocating primary, crash during checkpoint, restart + rejoin,
-//! chaos). The `faults` bench binary runs the catalog over the full
+//! rejoin via state transfer, chaos). The `faults` bench binary runs the catalog over the full
 //! protocol × transport matrix and emits `BENCH_faults.json`; the
 //! `rdb-node --fault-plan` flag applies a parsed plan to a single node of
 //! a multi-process cluster.
@@ -179,6 +180,25 @@ impl FaultPlan {
             })
             .collect()
     }
+
+    /// Replicas this plan crashes and never recovers. A recovered replica
+    /// is expected to rejoin via the fetch / state-transfer protocol and
+    /// converge with the survivors; only a permanently-down replica is
+    /// excused from final digest agreement.
+    pub fn permanently_down(&self) -> HashSet<u32> {
+        let recovered: HashSet<u32> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.action {
+                FaultAction::Recover(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        self.crashed_replicas()
+            .into_iter()
+            .filter(|r| !recovered.contains(r))
+            .collect()
+    }
 }
 
 /// A named scenario: a fault plan plus the load shape it runs under.
@@ -211,13 +231,6 @@ pub struct Scenario {
     pub checkpoint_txns: u64,
     /// Hard wall-clock cap on the run.
     pub deadline: Duration,
-    /// Minimum size of the digest-agreeing replica set (default: a commit
-    /// quorum, 2f+1). Lowered only where the scenario can legitimately
-    /// strand one replica: without a state-transfer protocol, a replica
-    /// that loses a *re-issued* PrePrepare to a drop burst keeps an
-    /// execution hole no further view change will fill (its solo
-    /// ViewChange votes stay below the f+1 join threshold).
-    pub min_agreeing: Option<usize>,
 }
 
 impl Scenario {
@@ -234,7 +247,6 @@ impl Scenario {
             view_timeout_ms: 400,
             checkpoint_txns: 1_000_000,
             deadline: Duration::from_secs(25),
-            min_agreeing: None,
         }
     }
 
@@ -299,9 +311,10 @@ pub fn scenarios() -> Vec<Scenario> {
         // A loss burst: 5% of messages silently vanish on every link for
         // 2.5 s, then the links recover. Vote re-broadcast and client
         // retransmission mask the loss; once the burst ends, any view
-        // changes it triggered settle. (Under *permanent* loss, a lone
-        // straggler can lag forever without a state-transfer protocol —
-        // that regime is out of scope, see DESIGN.md.)
+        // changes it triggered settle, and a straggler that lost a
+        // re-issued PrePrepare outright fetches the committed batch (plus
+        // its certificate) from a peer — so ALL FOUR replicas must end on
+        // the same digest, not just a commit quorum.
         Scenario::base("lossy_network").with_events(vec![
             at_ms(0, FaultAction::DropRate(0.05)),
             at_ms(2_500, FaultAction::DropRate(0.0)),
@@ -347,8 +360,11 @@ pub fn scenarios() -> Vec<Scenario> {
         }
         .with_events(vec![at_committed(34, FaultAction::Crash(3))]),
         // Crash, then recover: the rejoined replica must not poison the
-        // healthy quorum (its own state may lag until a view change
-        // re-issues the log; safety is asserted over the survivors).
+        // healthy quorum — and with the fetch protocol it must do better
+        // than not poisoning: it detects its execution hole, fetches the
+        // committed batches (with certificates) it slept through, and
+        // converges to the survivors' exact digest. All four replicas
+        // must agree at the end.
         Scenario {
             deadline: Duration::from_secs(35),
             ..Scenario::base("restart_rejoin")
@@ -357,24 +373,38 @@ pub fn scenarios() -> Vec<Scenario> {
             at_committed(30, FaultAction::Crash(2)),
             at_ms(3_000, FaultAction::Recover(2)),
         ]),
+        // Rejoin through a *snapshot*: checkpointing is on (Δ = 32 txns),
+        // so by the time the crashed replica returns, the survivors have
+        // pruned the log below the stable checkpoint and cannot serve the
+        // oldest holes batch-by-batch. The rejoiner must instead install
+        // a verified state snapshot (f+1 peers agreeing on the state
+        // commitment) at the checkpoint base and fetch only the tail —
+        // and still converge to the survivors' digest.
+        Scenario {
+            checkpoint_txns: 32,
+            deadline: Duration::from_secs(35),
+            ..Scenario::base("rejoin_via_state_transfer")
+        }
+        .with_events(vec![
+            at_committed(30, FaultAction::Crash(2)),
+            at_ms(3_000, FaultAction::Recover(2)),
+        ]),
         // Everything at once: background loss and jitter, a primary
-        // crash, a short partition, and a heal. Digest agreement is
-        // asserted over n - f - 1 replicas: the drop burst can cost one
-        // replica a re-issued PrePrepare it has no way to re-fetch (no
-        // state transfer), and the recovered ex-primary starts empty.
-        //
-        // PBFT-only: under this fault mix Zyzzyva's speculative histories
-        // can diverge 2+1+1 across the replicas (each partition side plus
-        // the recovered ex-primary speculates a different suffix), and the
-        // skeleton view change carries no mis-speculation rollback — so
-        // neither the 3f+1 fast path nor the 2f+1 certificate path can
-        // ever assemble again. Healing that requires Zyzzyva's full
-        // history-reconciliation machinery, which the source paper itself
-        // singles out as the protocol's Achilles' heel.
+        // crash, a short partition, and a heal — on BOTH protocols, with
+        // ALL FOUR replicas required to agree at the end. The drop burst
+        // can cost a replica a re-issued PrePrepare; it re-fetches the
+        // committed batch from a peer. The recovered ex-primary rejoins
+        // the same way. Under Zyzzyva the speculative histories diverge
+        // 2+1+1 across the partition sides and the recovered ex-primary —
+        // the view change rolls every replica's mis-speculated suffix
+        // back to the committed prefix and re-executes the new primary's
+        // merged history, which is exactly the reconciliation machinery
+        // the source paper singles out as Zyzzyva's Achilles' heel.
+        // Checkpointing stays off (Δ above the load) so recovery here is
+        // pure per-batch fetch; the snapshot path is exercised by
+        // `rejoin_via_state_transfer`.
         Scenario {
             deadline: Duration::from_secs(40),
-            min_agreeing: Some(2),
-            pbft_only: true,
             ..Scenario::base("chaos")
         }
         .with_events(vec![
@@ -426,8 +456,8 @@ pub struct ScenarioResult {
     pub instances_isolated: bool,
     /// Size of the largest digest-agreeing replica set at the end.
     pub agreeing: usize,
-    /// Whether a commit quorum agrees on the state digest and every
-    /// never-faulted replica is in the agreeing set.
+    /// Whether every replica that is up at the end (never crashed, or
+    /// crashed and recovered) agrees on the state digest and chain head.
     pub digests_agree: bool,
     /// Whether every submitted transaction completed.
     pub liveness: bool,
@@ -669,29 +699,44 @@ pub fn run_scenario(
         );
     }
 
-    // Replicas that were never crashed must end in the digest-agreeing
-    // quorum — except under a sustained drop rate, where a *single*
-    // straggler may have lost Commit messages and, voting alone, never
-    // reaches the f+1 join threshold that would trigger the catch-up
-    // view change (there is no state-transfer protocol); only
-    // commit-quorum agreement is guaranteed there. Two or more
-    // stragglers do recover: their votes cross f+1 and the healthy
-    // replicas join them.
-    let lossy = scenario
+    // Every replica that is up at the end — never crashed, or crashed and
+    // recovered — must land in the digest-agreeing set. Loss bursts are no
+    // excuse anymore: a straggler that lost a re-issued PrePrepare fetches
+    // the committed batch (with its 2f+1 certificate, or f+1 matching
+    // copies under Zyzzyva) from its peers, and a rejoiner whose holes
+    // were pruned installs a verified checkpoint snapshot. Only replicas
+    // the plan leaves permanently crashed are excused.
+    let crashed = scenario.plan.crashed_replicas();
+    let down = scenario.plan.permanently_down();
+    let witnesses: Vec<usize> = (0..n).filter(|r| !down.contains(&(*r as u32))).collect();
+    let required = witnesses.len();
+    // On the in-memory fabric the load can drain before wall-clock marks
+    // come due (a recovery at 3 s when the burst took 100 ms), so the
+    // settle phase keeps firing overdue plan events — a recovered replica
+    // still needs real time after its `recover` to fetch its way back.
+    let last_mark = scenario
         .plan
         .events
         .iter()
-        .any(|e| matches!(e.action, FaultAction::DropRate(r) if r > 0.0));
-    let crashed = scenario.plan.crashed_replicas();
-    let witnesses: Vec<usize> = if lossy {
-        Vec::new()
-    } else {
-        (0..n).filter(|r| !crashed.contains(&(*r as u32))).collect()
-    };
-    let quorum = 2 * db.config().f + 1;
-    let required = scenario.min_agreeing.unwrap_or(quorum);
-    let settle_deadline = Instant::now() + Duration::from_secs(5);
+        .filter_map(|e| match e.at {
+            Mark::Elapsed(d) => Some(d),
+            Mark::Committed(_) => None,
+        })
+        .max()
+        .unwrap_or(Duration::ZERO);
+    let settle_deadline = (start + last_mark).max(Instant::now()) + Duration::from_secs(10);
     let (agreeing, digests_agree) = loop {
+        pending.retain(|event| {
+            let due = match event.at {
+                Mark::Committed(at) => completed >= at,
+                Mark::Elapsed(at) => start.elapsed() >= at,
+            };
+            if due {
+                apply(&db, &event.action);
+                fired.push((start.elapsed().as_millis() as u64, event.action.describe()));
+            }
+            !due
+        });
         let digests = db.state_digests();
         let heads = db.chain_heads();
         // Largest set of replicas sharing (digest, head).
@@ -727,6 +772,7 @@ pub fn run_scenario(
     let kk = scenario.consensus_instances.max(1);
     let instance_views: Vec<Vec<u64>> = (0..kk).map(|j| db.instance_views(j)).collect();
     let mut instances_isolated = true;
+    let quorum = 2 * db.config().f + 1;
     if kk > 1 {
         let healthy = (0..n as u32).find(|r| !crashed.contains(r)).unwrap_or(0);
         for (j, per_replica) in instance_views.iter().enumerate() {
@@ -809,6 +855,11 @@ mod tests {
             FaultAction::DelayJitter(Duration::from_millis(2))
         );
         assert_eq!(plan.crashed_replicas(), [0u32].into_iter().collect());
+        // r0 is recovered later, so nobody is *permanently* down.
+        assert!(plan.permanently_down().is_empty());
+        let mut abandoned = plan;
+        abandoned.events.remove(1);
+        assert_eq!(abandoned.permanently_down(), [0u32].into_iter().collect());
     }
 
     #[test]
@@ -822,7 +873,7 @@ mod tests {
     #[test]
     fn catalog_is_complete_and_named_uniquely() {
         let cat = scenarios();
-        assert!(cat.len() >= 10, "the matrix promises ten scenarios");
+        assert!(cat.len() >= 11, "the matrix promises eleven scenarios");
         let names: HashSet<&str> = cat.iter().map(|s| s.name).collect();
         assert_eq!(names.len(), cat.len(), "names must be unique");
         assert!(scenario_by_name("primary_crash").is_some());

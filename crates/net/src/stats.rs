@@ -24,6 +24,11 @@ struct StatsInner {
     /// the same message, so in-memory and TCP runs are comparable.
     bytes: KindCounters,
     dropped: AtomicU64,
+    /// Fetch-protocol accounting (recorded by the replica runtime, not the
+    /// transport): holes served to peers vs. requests shed by the
+    /// anti-amplification cap.
+    fetch_served: AtomicU64,
+    fetch_dropped: AtomicU64,
 }
 
 /// One atomic counter per message kind, indexed densely.
@@ -88,6 +93,29 @@ impl NetworkStats {
         self.inner.dropped.load(Ordering::Relaxed)
     }
 
+    /// Records `n` sequences served in response to a `FetchRequest`.
+    /// Public because the replica runtime (which owns the committed
+    /// batches) does the serving, not the transport.
+    pub fn note_fetch_served(&self, n: u64) {
+        self.inner.fetch_served.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` requested sequences shed by the per-request serving cap
+    /// (an abusive fetcher cannot amplify traffic past it).
+    pub fn note_fetch_dropped(&self, n: u64) {
+        self.inner.fetch_dropped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sequences served to fetching peers.
+    pub fn fetch_served(&self) -> u64 {
+        self.inner.fetch_served.load(Ordering::Relaxed)
+    }
+
+    /// Requested sequences shed by the serving cap.
+    pub fn fetch_dropped(&self) -> u64 {
+        self.inner.fetch_dropped.load(Ordering::Relaxed)
+    }
+
     /// Total payload bytes offered to the network (sum over all kinds).
     pub fn bytes_sent(&self) -> u64 {
         self.inner.bytes.total()
@@ -135,6 +163,16 @@ mod tests {
         let s2 = s.clone();
         s.record_sent(MessageKind::Checkpoint, 5);
         assert_eq!(s2.sent(MessageKind::Checkpoint), 1);
+    }
+
+    #[test]
+    fn fetch_counters_accumulate() {
+        let s = NetworkStats::new();
+        s.note_fetch_served(3);
+        s.note_fetch_served(2);
+        s.note_fetch_dropped(7);
+        assert_eq!(s.fetch_served(), 5);
+        assert_eq!(s.clone().fetch_dropped(), 7);
     }
 
     #[test]

@@ -19,11 +19,11 @@
 use crate::queues::ExecuteItem;
 use parking_lot::Mutex;
 use rdb_common::messages::{Message, Sender};
-use rdb_common::Digest;
+use rdb_common::{Digest, SeqNum, Snapshot};
 use rdb_common::{Operation, ProtocolKind, ReplicaId, Transaction, TxnId};
 use rdb_crypto::chain_digest;
 use rdb_storage::{Blockchain, StateStore, WriteRecord};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -103,6 +103,20 @@ where
     }
 }
 
+/// What undoing one speculatively executed batch takes: the pre-batch
+/// value of every key it touched (`None` = the key did not exist), plus
+/// the bookkeeping deltas to reverse.
+#[derive(Debug)]
+struct UndoRecord {
+    /// Pre-batch image per touched key (first-touch capture, so restoring
+    /// all entries — in any order — rewinds the batch exactly).
+    pre: Vec<(u64, Option<Vec<u8>>)>,
+    /// Transaction ids this batch inserted into the dedup set.
+    fresh_ids: Vec<TxnId>,
+    /// Duplicates this batch counted.
+    dups: u64,
+}
+
 /// The execution engine shared by the execute-thread (1E) or the worker
 /// (0E: integrated ordering and execution).
 pub struct Executor {
@@ -119,6 +133,15 @@ pub struct Executor {
     /// keeps serial and parallel execution digest-equal.
     seen: Mutex<HashSet<TxnId>>,
     deduped_txns: AtomicU64,
+    /// Per-sequence undo records for the speculative (uncheckpointed)
+    /// suffix. Only maintained under Zyzzyva — PBFT never rolls back.
+    undo: Mutex<BTreeMap<SeqNum, UndoRecord>>,
+    /// Capture a serving snapshot whenever `seq % interval == 0`
+    /// (0 disables). Aligned with the checkpoint cadence so every replica
+    /// captures identical state at identical sequences.
+    snapshot_interval: AtomicU64,
+    /// The most recent captured snapshot, served to rejoining peers.
+    latest_snapshot: Mutex<Option<Arc<Snapshot>>>,
 }
 
 impl std::fmt::Debug for Executor {
@@ -151,7 +174,20 @@ impl Executor {
             executed_batches: AtomicU64::new(0),
             seen: Mutex::new(HashSet::new()),
             deduped_txns: AtomicU64::new(0),
+            undo: Mutex::new(BTreeMap::new()),
+            snapshot_interval: AtomicU64::new(0),
+            latest_snapshot: Mutex::new(None),
         }
+    }
+
+    /// Enables snapshot capture every `interval` sequences (0 disables).
+    pub fn set_snapshot_interval(&self, interval: u64) {
+        self.snapshot_interval.store(interval, Ordering::Relaxed);
+    }
+
+    /// The most recently captured serving snapshot, if any.
+    pub fn latest_snapshot(&self) -> Option<Arc<Snapshot>> {
+        self.latest_snapshot.lock().clone()
     }
 
     /// Total *distinct* transactions executed (duplicates excluded).
@@ -210,6 +246,19 @@ impl Executor {
         writes: &[WriteRecord],
     ) -> (Digest, Vec<OutItem>) {
         debug_assert_eq!(results.len(), item.batch.len());
+        // Zyzzyva executes speculatively: capture the pre-batch image of
+        // every touched key so a mis-speculation can be rewound exactly.
+        let pre_images = if self.protocol == ProtocolKind::Zyzzyva {
+            let mut captured: Vec<(u64, Option<Vec<u8>>)> = Vec::with_capacity(writes.len());
+            for w in writes {
+                if !captured.iter().any(|(k, _)| *k == w.key) {
+                    captured.push((w.key, self.store.get(w.key)));
+                }
+            }
+            Some(captured)
+        } else {
+            None
+        };
         self.store.apply(writes);
         let mut replies = Vec::with_capacity(item.batch.len());
         for (txn, result) in item.batch.txns.iter().zip(results) {
@@ -255,16 +304,107 @@ impl Executor {
         // the block certificate (each replica legitimately collects a
         // different 2f+1 commit-signature set).
         let state_digest = chain_digest(&item.digest, &store_digest);
-        let fresh = {
+        let fresh_ids: Vec<TxnId> = {
             let mut seen = self.seen.lock();
-            item.batch.txns.iter().filter(|t| seen.insert(t.id)).count() as u64
+            item.batch
+                .txns
+                .iter()
+                .filter(|t| seen.insert(t.id))
+                .map(|t| t.id)
+                .collect()
         };
+        let fresh = fresh_ids.len() as u64;
         self.executed_txns.fetch_add(fresh, Ordering::Relaxed);
         self.deduped_txns
             .fetch_add(item.batch.len() as u64 - fresh, Ordering::Relaxed);
         self.executed_batches.fetch_add(1, Ordering::Relaxed);
-        let _ = self.protocol;
+        if let Some(pre) = pre_images {
+            self.undo.lock().insert(
+                item.seq,
+                UndoRecord {
+                    pre,
+                    fresh_ids,
+                    dups: item.batch.len() as u64 - fresh,
+                },
+            );
+        }
+        let interval = self.snapshot_interval.load(Ordering::Relaxed);
+        if interval > 0 && item.seq.0 % interval == 0 {
+            self.capture_snapshot(item.seq, item.history);
+        }
         (state_digest, replies)
+    }
+
+    /// Captures the serving snapshot at `seq`: the full store contents
+    /// plus the chain block just appended there. Runs on the execute path
+    /// at checkpoint cadence, so every replica captures identical state
+    /// at identical sequences (the f+1 agreement a receiver requires).
+    fn capture_snapshot(&self, seq: SeqNum, history: Option<Digest>) {
+        let Some(block) = self.chain.lock().blocks_between(SeqNum(seq.0 - 1), seq).pop() else {
+            return;
+        };
+        let snapshot = Snapshot {
+            base_seq: seq,
+            block,
+            history: history.unwrap_or(Digest::ZERO),
+            records: self.store.export_records(),
+        };
+        *self.latest_snapshot.lock() = Some(Arc::new(snapshot));
+    }
+
+    /// Rolls speculative execution back so the last executed sequence is
+    /// `to`: restores pre-batch images newest-first, truncates the ledger,
+    /// and reverses the dedup/counter bookkeeping. Returns the number of
+    /// batches undone. The rewound state is bit-identical to a replica
+    /// that never executed the suffix — the XOR-fold store digest folds
+    /// each restored record back to its pre-batch hash.
+    pub fn rollback_to(&self, to: SeqNum) -> usize {
+        let suffix: BTreeMap<SeqNum, UndoRecord> = self.undo.lock().split_off(&SeqNum(to.0 + 1));
+        let undone = suffix.len();
+        let mut seen = self.seen.lock();
+        for (_, rec) in suffix.into_iter().rev() {
+            for (key, pre) in &rec.pre {
+                match pre {
+                    Some(value) => self.store.put(*key, value),
+                    None => {
+                        self.store.remove(*key);
+                    }
+                }
+            }
+            for id in &rec.fresh_ids {
+                seen.remove(id);
+            }
+            self.executed_txns
+                .fetch_sub(rec.fresh_ids.len() as u64, Ordering::Relaxed);
+            self.deduped_txns.fetch_sub(rec.dups, Ordering::Relaxed);
+            self.executed_batches.fetch_sub(1, Ordering::Relaxed);
+        }
+        drop(seen);
+        if undone > 0 {
+            let mut chain = self.chain.lock();
+            let target = SeqNum(to.0.min(chain.head_seq().0));
+            chain.truncate_to(target);
+        }
+        undone
+    }
+
+    /// Drops undo records at or below a stable checkpoint: nothing below
+    /// it can ever be rolled back.
+    pub fn prune_undo(&self, through: SeqNum) {
+        self.undo.lock().retain(|seq, _| *seq > through);
+    }
+
+    /// Replaces the replica state with a verified snapshot: the store
+    /// contents, the ledger re-based at the snapshot block, and a cleared
+    /// undo log. Executed-counter totals are deliberately *not* advanced —
+    /// the point of state transfer is that the receiver skips re-executing
+    /// the transferred history.
+    pub fn install_snapshot(&self, snapshot: &Snapshot) {
+        self.store.install_records(&snapshot.records);
+        self.chain
+            .lock()
+            .install_snapshot_block(snapshot.block.clone());
+        self.undo.lock().clear();
     }
 }
 
@@ -325,7 +465,7 @@ mod tests {
 
     #[test]
     fn zyzzyva_execution_sends_spec_responses() {
-        let ex = executor(ProtocolKind::Zyzzyva, ChainMode::PrevHash);
+        let ex = zyz_executor();
         let h = Digest([9; 32]);
         let (_, replies) = ex.execute(&exec_item(1, Some(h)));
         for r in &replies {
@@ -373,6 +513,115 @@ mod tests {
         assert_eq!(ex.executed_txns(), 3, "but are not counted again");
         assert_eq!(ex.deduped_txns(), 3);
         assert_eq!(ex.executed_batches(), 2);
+    }
+
+    /// A Zyzzyva executor: speculative chains carry no certificates, so
+    /// the ledger's certificate quorum is zero (as in `spawn_replica`).
+    fn zyz_executor() -> Executor {
+        let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+        let chain = Arc::new(Mutex::new(Blockchain::new(
+            Digest::ZERO,
+            0,
+            ChainMode::PrevHash,
+        )));
+        Executor::new(ReplicaId(1), ProtocolKind::Zyzzyva, store, chain)
+    }
+
+    /// An exec item whose transactions write distinct values derived from
+    /// `tag`, so different speculative suffixes produce different state.
+    fn tagged_item(seq: u64, tag: u8) -> ExecuteItem {
+        let batch: Batch = (0..3u64)
+            .map(|i| {
+                Transaction::new(
+                    ClientId(seq * 100 + i),
+                    tag as u64,
+                    vec![Operation::Write {
+                        key: 10 + i,
+                        value: vec![tag, seq as u8, i as u8],
+                    }],
+                )
+            })
+            .collect();
+        ExecuteItem {
+            seq: SeqNum(seq),
+            view: ViewNum(0),
+            digest: Digest([tag ^ seq as u8; 32]),
+            batch: batch.into(),
+            certificate: BlockCertificate::default(),
+            history: Some(Digest([seq as u8; 32])),
+        }
+    }
+
+    #[test]
+    fn rollback_restores_state_counters_and_chain() {
+        let ex = zyz_executor();
+        ex.execute(&tagged_item(1, 1));
+        let state_at_1 = ex.store.state_digest();
+        let head_at_1 = ex.chain.lock().head_digest();
+        // A divergent speculative suffix.
+        ex.execute(&tagged_item(2, 66));
+        ex.execute(&tagged_item(3, 66));
+        assert_eq!(ex.executed_batches(), 3);
+        assert_eq!(ex.rollback_to(SeqNum(1)), 2);
+        assert_eq!(ex.store.state_digest(), state_at_1);
+        assert_eq!(ex.chain.lock().head_digest(), head_at_1);
+        assert_eq!(ex.executed_batches(), 1);
+        assert_eq!(ex.executed_txns(), 3);
+        // Re-executing the reconciled history converges with a replica
+        // that never speculated.
+        ex.execute(&tagged_item(2, 2));
+        ex.execute(&tagged_item(3, 2));
+        let clean = zyz_executor();
+        clean.execute(&tagged_item(1, 1));
+        clean.execute(&tagged_item(2, 2));
+        clean.execute(&tagged_item(3, 2));
+        assert_eq!(ex.store.state_digest(), clean.store.state_digest());
+        assert_eq!(ex.executed_txns(), clean.executed_txns());
+    }
+
+    #[test]
+    fn rollback_removes_rewound_txns_from_dedup_set() {
+        let ex = zyz_executor();
+        ex.execute(&tagged_item(1, 1));
+        ex.execute(&tagged_item(2, 9));
+        ex.rollback_to(SeqNum(1));
+        // The same transactions re-ordered after reconciliation must count
+        // as fresh, not as retransmissions.
+        ex.execute(&tagged_item(2, 9));
+        assert_eq!(ex.executed_txns(), 6);
+        assert_eq!(ex.deduped_txns(), 0);
+    }
+
+    #[test]
+    fn snapshot_capture_and_install_round_trip() {
+        let ex = executor(ProtocolKind::Pbft, ChainMode::Certificate);
+        ex.set_snapshot_interval(2);
+        ex.execute(&exec_item(1, None));
+        assert!(ex.latest_snapshot().is_none(), "seq 1 is off-cadence");
+        ex.execute(&exec_item(2, None));
+        let snap = ex.latest_snapshot().expect("captured at seq 2");
+        assert_eq!(snap.base_seq, SeqNum(2));
+        assert_eq!(snap.block.result_digest, ex.store.state_digest());
+
+        // A fresh replica installs the snapshot instead of replaying.
+        let fresh = executor(ProtocolKind::Pbft, ChainMode::Certificate);
+        fresh.install_snapshot(&snap);
+        assert_eq!(fresh.store.state_digest(), ex.store.state_digest());
+        assert_eq!(fresh.chain.lock().head_seq(), SeqNum(2));
+        assert_eq!(fresh.executed_txns(), 0, "transferred history is not re-counted");
+        // Execution resumes at base + 1 and both replicas stay in step.
+        let (da, _) = ex.execute(&exec_item(3, None));
+        let (db, _) = fresh.execute(&exec_item(3, None));
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn prune_undo_caps_rollback_depth() {
+        let ex = zyz_executor();
+        ex.execute(&tagged_item(1, 1));
+        ex.execute(&tagged_item(2, 2));
+        ex.prune_undo(SeqNum(2));
+        assert_eq!(ex.rollback_to(SeqNum(0)), 0, "checkpointed prefix cannot rewind");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 pub mod executor;
 pub mod metrics;
 pub mod queues;
+pub mod recovery;
 pub mod replica;
 pub mod scheduler;
 

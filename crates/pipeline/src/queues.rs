@@ -85,10 +85,21 @@ pub struct ExecuteItem {
 /// Slot `k mod QC` holds the item for sequence `k`. Because at most `QC`
 /// sequences can be in flight (bounded by clients × outstanding requests),
 /// no two live sequences collide in a slot.
+///
+/// Recovery additions: the next-to-execute *cursor* lives here (shared
+/// between the execute stage and the worker) together with an execution
+/// *gate* and an *epoch* counter. The execute stage holds the gate while
+/// executing and advances the cursor under it; the worker takes the gate
+/// to roll the cursor back (Zyzzyva mis-speculation) or jump it forward
+/// (snapshot install), bumping the epoch so in-flight `Executed`
+/// notifications from the displaced timeline are recognizably stale.
 #[derive(Debug)]
 pub struct ExecutionQueues {
     slots: Vec<Mutex<Vec<ExecuteItem>>>,
     ready: Vec<Condvar>,
+    cursor: AtomicU64,
+    epoch: AtomicU64,
+    gate: Mutex<()>,
 }
 
 impl ExecutionQueues {
@@ -101,7 +112,66 @@ impl ExecutionQueues {
         ExecutionQueues {
             slots: (0..qc).map(|_| Mutex::new(Vec::new())).collect(),
             ready: (0..qc).map(|_| Condvar::new()).collect(),
+            cursor: AtomicU64::new(1),
+            epoch: AtomicU64::new(0),
+            gate: Mutex::new(()),
         }
+    }
+
+    /// The next sequence the execute stage should run.
+    pub fn cursor(&self) -> SeqNum {
+        SeqNum(self.cursor.load(Ordering::Acquire))
+    }
+
+    /// Advances the cursor (execute stage, under the gate).
+    pub fn set_cursor(&self, next: SeqNum) {
+        self.cursor.store(next.0, Ordering::Release);
+    }
+
+    /// The current execution epoch. Bumped by [`Self::repoint`]; an
+    /// `Executed` notification carrying an older epoch refers to a
+    /// rolled-back or superseded timeline and must be ignored.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Locks out the execute stage while the worker mutates execution
+    /// state (rollback or snapshot install).
+    pub fn gate(&self) -> parking_lot::MutexGuard<'_, ()> {
+        self.gate.lock()
+    }
+
+    /// Moves the cursor to `next` and starts a new epoch. Caller must hold
+    /// the [`Self::gate`].
+    pub fn repoint(&self, next: SeqNum) {
+        self.cursor.store(next.0, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Discards every parked item with `seq > above` (rolled-back
+    /// speculative suffix — the engine re-emits the reconciled history).
+    pub fn purge_above(&self, above: SeqNum) -> usize {
+        let mut purged = 0;
+        for slot in &self.slots {
+            let mut s = slot.lock();
+            let before = s.len();
+            s.retain(|i| i.seq <= above);
+            purged += before - s.len();
+        }
+        purged
+    }
+
+    /// Discards every parked item with `seq <= through` (history a
+    /// freshly installed snapshot already covers).
+    pub fn purge_through(&self, through: SeqNum) -> usize {
+        let mut purged = 0;
+        for slot in &self.slots {
+            let mut s = slot.lock();
+            let before = s.len();
+            s.retain(|i| i.seq > through);
+            purged += before - s.len();
+        }
+        purged
     }
 
     /// Number of logical queues (`QC`).
@@ -264,6 +334,35 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_queues_panics() {
         let _ = ExecutionQueues::new(0);
+    }
+
+    #[test]
+    fn repoint_moves_cursor_and_bumps_epoch() {
+        let eq = ExecutionQueues::new(8);
+        assert_eq!(eq.cursor(), SeqNum(1));
+        assert_eq!(eq.epoch(), 0);
+        eq.set_cursor(SeqNum(5));
+        assert_eq!(eq.cursor(), SeqNum(5));
+        assert_eq!(eq.epoch(), 0, "normal advance keeps the epoch");
+        let g = eq.gate();
+        eq.repoint(SeqNum(3));
+        drop(g);
+        assert_eq!(eq.cursor(), SeqNum(3));
+        assert_eq!(eq.epoch(), 1, "repoint starts a new epoch");
+    }
+
+    #[test]
+    fn purge_drops_exactly_the_requested_range() {
+        let eq = ExecutionQueues::new(4);
+        for seq in 1..=6u64 {
+            eq.deposit(item(seq));
+        }
+        assert_eq!(eq.purge_above(SeqNum(4)), 2, "5 and 6 dropped");
+        assert_eq!(eq.depth(), 4);
+        assert_eq!(eq.purge_through(SeqNum(2)), 2, "1 and 2 dropped");
+        assert_eq!(eq.depth(), 2);
+        assert!(eq.try_take(SeqNum(3)).is_some());
+        assert!(eq.try_take(SeqNum(4)).is_some());
     }
 
     #[test]

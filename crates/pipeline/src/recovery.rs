@@ -1,0 +1,266 @@
+//! Requester-side validation for the fetch/state-transfer protocol.
+//!
+//! A `FetchResponse` is only as trustworthy as the ordering proof it
+//! carries: under PBFT that is the responder's 2f+1 commit-signature
+//! certificate, re-verified here signature by signature before the batch
+//! is installed. Under Zyzzyva (and for certificates whose votes span a
+//! view change) the certificate cannot be checked offline, so the worker
+//! falls back to demanding f+1 *distinct* peers return byte-identical
+//! responses — at least one of them is honest. Snapshots are
+//! self-committing: the transferred records must hash back (via the same
+//! XOR-fold the store maintains incrementally) to the state commitment in
+//! the snapshot's chain block, and the worker additionally requires f+1
+//! peers to agree on that commitment before installing.
+
+use rdb_common::block::BlockCertificate;
+use rdb_common::messages::{Message, Sender, SignedMessage};
+use rdb_common::{Digest, ReplicaId, SeqNum, Snapshot, ViewNum};
+use rdb_crypto::CryptoProvider;
+use rdb_storage::record_hash;
+use std::collections::HashSet;
+
+/// Re-verifies a fetched commit certificate: counts distinct replicas
+/// whose signature checks out over the exact bytes they would have signed
+/// broadcasting `Commit { view, seq, digest }`, and accepts when at least
+/// `quorum` (= 2f+1) did. The responder's own empty-signature placeholder
+/// counts — its vote is vouched for by the (already verified) envelope
+/// signature on the `FetchResponse` itself.
+pub fn verify_fetch_certificate(
+    provider: &CryptoProvider,
+    quorum: usize,
+    responder: ReplicaId,
+    view: ViewNum,
+    seq: SeqNum,
+    digest: Digest,
+    certificate: &BlockCertificate,
+) -> bool {
+    if certificate.signer_count() < quorum {
+        return false;
+    }
+    let commit = Message::Commit { view, seq, digest };
+    let mut valid: HashSet<ReplicaId> = HashSet::new();
+    for (rid, sig) in &certificate.commits {
+        if valid.contains(rid) {
+            continue;
+        }
+        if *rid == responder && sig.as_ref().is_empty() {
+            valid.insert(*rid);
+            continue;
+        }
+        let bytes = SignedMessage::signing_bytes_for(Sender::Replica(*rid), &commit);
+        if provider.verify(Sender::Replica(*rid), &bytes, sig) {
+            valid.insert(*rid);
+        }
+    }
+    valid.len() >= quorum
+}
+
+/// Checks a snapshot's internal consistency: the transferred records must
+/// XOR-fold to exactly the state commitment recorded in its chain block,
+/// and the block must sit at the claimed base sequence. Peer agreement
+/// (f+1 matching [`Snapshot::agreement_key`]s) is the caller's job — this
+/// only proves the payload matches what the responder committed to.
+pub fn verify_snapshot(snapshot: &Snapshot) -> bool {
+    if snapshot.block.seq != snapshot.base_seq {
+        return false;
+    }
+    let mut acc = [0u8; 32];
+    for (key, value) in &snapshot.records {
+        let h = record_hash(*key, value);
+        for (a, b) in acc.iter_mut().zip(h.iter()) {
+            *a ^= b;
+        }
+    }
+    Digest(acc) == snapshot.block.result_digest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_common::block::{Block, BlockLink};
+    use rdb_common::SignatureBytes;
+    use rdb_common::CryptoScheme;
+    use rdb_crypto::{KeyRegistry, PeerClass};
+    use rdb_storage::{MemStore, StateStore};
+
+    fn commit_sig(
+        registry: &KeyRegistry,
+        rid: ReplicaId,
+        view: ViewNum,
+        seq: SeqNum,
+        digest: Digest,
+    ) -> (ReplicaId, SignatureBytes) {
+        let commit = Message::Commit { view, seq, digest };
+        let bytes = SignedMessage::signing_bytes_for(Sender::Replica(rid), &commit);
+        let sig = registry
+            .provider_for_replica(rid)
+            .sign(PeerClass::Replica, &bytes);
+        (rid, sig)
+    }
+
+    fn setup() -> (KeyRegistry, CryptoProvider) {
+        let registry = KeyRegistry::generate(CryptoScheme::CmacEd25519, 4, 1, 7);
+        let requester = registry.provider_for_replica(ReplicaId(3));
+        (registry, requester)
+    }
+
+    const VIEW: ViewNum = ViewNum(0);
+    const SEQ: SeqNum = SeqNum(5);
+    const D: Digest = Digest([9; 32]);
+
+    #[test]
+    fn accepts_a_genuine_quorum_certificate() {
+        let (registry, requester) = setup();
+        let cert = BlockCertificate::new(
+            (0..3)
+                .map(|r| commit_sig(&registry, ReplicaId(r), VIEW, SEQ, D))
+                .collect(),
+        );
+        assert!(verify_fetch_certificate(
+            &requester,
+            3,
+            ReplicaId(0),
+            VIEW,
+            SEQ,
+            D,
+            &cert
+        ));
+    }
+
+    #[test]
+    fn counts_the_responders_vouched_placeholder() {
+        let (registry, requester) = setup();
+        let mut commits = vec![(ReplicaId(0), SignatureBytes::empty())];
+        commits.extend((1..3).map(|r| commit_sig(&registry, ReplicaId(r), VIEW, SEQ, D)));
+        let cert = BlockCertificate::new(commits);
+        assert!(verify_fetch_certificate(
+            &requester,
+            3,
+            ReplicaId(0),
+            VIEW,
+            SEQ,
+            D,
+            &cert
+        ));
+        // The same empty signature attributed to a replica that is NOT the
+        // responder is just a missing vote.
+        assert!(!verify_fetch_certificate(
+            &requester,
+            3,
+            ReplicaId(2),
+            VIEW,
+            SEQ,
+            D,
+            &cert
+        ));
+    }
+
+    #[test]
+    fn rejects_forged_signatures() {
+        let (registry, requester) = setup();
+        let mut commits: Vec<(ReplicaId, SignatureBytes)> = (0..3)
+            .map(|r| commit_sig(&registry, ReplicaId(r), VIEW, SEQ, D))
+            .collect();
+        // A byzantine server flips a byte in one vote: the quorum no
+        // longer holds.
+        commits[2].1 .0[0] ^= 0xff;
+        let cert = BlockCertificate::new(commits);
+        assert!(!verify_fetch_certificate(
+            &requester,
+            3,
+            ReplicaId(0),
+            VIEW,
+            SEQ,
+            D,
+            &cert
+        ));
+    }
+
+    #[test]
+    fn rejects_signatures_over_a_different_decision() {
+        let (registry, requester) = setup();
+        // Votes for a different digest cannot certify this one.
+        let cert = BlockCertificate::new(
+            (0..3)
+                .map(|r| commit_sig(&registry, ReplicaId(r), VIEW, SEQ, Digest([1; 32])))
+                .collect(),
+        );
+        assert!(!verify_fetch_certificate(
+            &requester,
+            3,
+            ReplicaId(0),
+            VIEW,
+            SEQ,
+            D,
+            &cert
+        ));
+    }
+
+    #[test]
+    fn rejects_insufficient_and_duplicated_signers() {
+        let (registry, requester) = setup();
+        let two: Vec<_> = (0..2)
+            .map(|r| commit_sig(&registry, ReplicaId(r), VIEW, SEQ, D))
+            .collect();
+        assert!(!verify_fetch_certificate(
+            &requester,
+            3,
+            ReplicaId(0),
+            VIEW,
+            SEQ,
+            D,
+            &BlockCertificate::new(two.clone())
+        ));
+        // Padding with a duplicate of an existing signer must not reach
+        // quorum either.
+        let mut padded = two;
+        padded.push(padded[0].clone());
+        assert!(!verify_fetch_certificate(
+            &requester,
+            3,
+            ReplicaId(0),
+            VIEW,
+            SEQ,
+            D,
+            &BlockCertificate::new(padded)
+        ));
+    }
+
+    fn snapshot_over(records: Vec<(u64, Vec<u8>)>) -> Snapshot {
+        let store = MemStore::new();
+        for (k, v) in &records {
+            store.put(*k, v);
+        }
+        Snapshot {
+            base_seq: SeqNum(8),
+            block: Block {
+                seq: SeqNum(8),
+                digest: Digest([1; 32]),
+                view: ViewNum(0),
+                link: BlockLink::Hash(Digest([2; 32])),
+                txn_count: 3,
+                result_digest: store.state_digest(),
+            },
+            history: Digest::ZERO,
+            records,
+        }
+    }
+
+    #[test]
+    fn snapshot_records_must_hash_to_the_block_commitment() {
+        let snap = snapshot_over(vec![(1, vec![7; 8]), (2, vec![5; 4])]);
+        assert!(verify_snapshot(&snap));
+
+        let mut tampered = snap.clone();
+        tampered.records[0].1[0] ^= 1;
+        assert!(!verify_snapshot(&tampered), "altered value detected");
+
+        let mut truncated = snap.clone();
+        truncated.records.pop();
+        assert!(!verify_snapshot(&truncated), "missing record detected");
+
+        let mut relocated = snap;
+        relocated.base_seq = SeqNum(9);
+        assert!(!verify_snapshot(&relocated), "block/base mismatch detected");
+    }
+}

@@ -21,21 +21,22 @@
 use crate::executor::{Executor, OutItem};
 use crate::metrics::{MetricsRegistry, Stage, StageRecorder};
 use crate::queues::{ClientRequestQueue, ExecuteItem, ExecutionQueues};
+use crate::recovery;
 use crate::scheduler::{ExecPool, ParallelExecutor};
 use crossbeam::channel::{self, Receiver, Sender as ChanSender};
 use parking_lot::Mutex;
 use rdb_common::messages::{Message, Sender, SignedMessage};
 use rdb_common::{
-    Batch, Digest, ProtocolKind, ReplicaId, SeqNum, SignatureBytes, StorageMode, SystemConfig,
-    Transaction,
+    Batch, Digest, ProtocolKind, ReplicaId, SeqNum, SignatureBytes, Snapshot, StorageMode,
+    SystemConfig, Transaction, ViewNum,
 };
 use rdb_consensus::{Action, ConsensusConfig, MultiEngine};
 use rdb_crypto::{digest, CryptoProvider, CryptoStats, KeyRegistry, PeerClass};
-use rdb_net::{EndpointSender, NetHandle};
+use rdb_net::{EndpointSender, NetHandle, NetworkStats};
 use rdb_storage::blockchain::ChainMode;
 use rdb_storage::pagedb::{PagedStore, PagedStoreConfig};
 use rdb_storage::{Blockchain, MemStore, StateStore};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -59,8 +60,15 @@ enum Work {
         batch: Batch,
         digest: Digest,
     },
-    /// Execution finished for `seq` (from the execute-thread).
-    Executed { seq: SeqNum, state_digest: Digest },
+    /// Execution finished for `seq` (from the execute-thread). `epoch`
+    /// identifies the execution timeline the result belongs to; after a
+    /// rollback or snapshot install the worker bumps the queue epoch, and
+    /// notifications from the displaced timeline are dropped.
+    Executed {
+        seq: SeqNum,
+        state_digest: Digest,
+        epoch: u64,
+    },
     /// A backup received client traffic for `instance`: unmet demand the
     /// suspicion timer combines with lack of progress to detect a dead or
     /// partitioned primary (clients rebroadcast requests to every replica
@@ -272,10 +280,13 @@ pub fn spawn_replica(
     // Each instance checkpoints every Δ of its *own* executed batches;
     // scaling Δ by 1/k keeps the global prune cadence (in global sequence
     // numbers) independent of k.
-    let consensus_cfg = ConsensusConfig::new(
-        config.n,
-        (config.checkpoint_interval / config.batch_size as u64 / k as u64).max(1),
-    )
+    let ckpt_delta = (config.checkpoint_interval / config.batch_size as u64 / k as u64).max(1);
+    // Serving snapshots are captured on the same cadence as checkpoints
+    // (Δ per-instance batches × k instances in global sequence numbers),
+    // so every replica snapshots identical state at identical sequences —
+    // the f+1 cross-peer agreement a state-transferring receiver demands.
+    executor.set_snapshot_interval(ckpt_delta * k as u64);
+    let consensus_cfg = ConsensusConfig::new(config.n, ckpt_delta)
     // Only the deployment's *initial* primary is byzantine; whoever wins
     // the ensuing view change behaves honestly.
     .with_equivocation(config.byzantine_primary && id == rdb_common::ViewNum(0).primary(config.n));
@@ -473,9 +484,11 @@ pub fn spawn_replica(
         let chain2 = Arc::clone(&chain);
         let cfg = config.clone();
         let views = Arc::clone(&instance_views);
+        let net_stats = net.stats().clone();
         threads.push(spawn(
             format!("r{}-worker", id.0),
             Box::new(move || {
+                let view_timeout = Duration::from_millis(cfg.view_timeout_ms);
                 let mut ctx = WorkerCtx {
                     engine,
                     provider,
@@ -497,12 +510,27 @@ pub fn spawn_replica(
                     stable_checkpoint: SeqNum(0),
                     pruned_to: SeqNum(0),
                     instance_views: views,
-                    view_timeout: Duration::from_millis(cfg.view_timeout_ms),
+                    view_timeout,
                     last_progress: vec![Instant::now(); k],
                     suspect_strikes: vec![0; k],
                     client_demand: vec![false; k],
                     commit_frontier: SeqNum(0),
                     last_executed: SeqNum(0),
+                    f: cfg.f,
+                    protocol: cfg.protocol,
+                    net_stats,
+                    fetch_inflight: HashMap::new(),
+                    fetch_votes: HashMap::new(),
+                    snap_votes: HashMap::new(),
+                    fetch_rr: id.0 as usize,
+                    last_fetch_poll: Instant::now(),
+                    probe_mark: (SeqNum(0), Instant::now()),
+                    // Retries must fit several rounds inside a view timeout
+                    // so a straggler repairs itself before suspecting anyone.
+                    fetch_backoff: (view_timeout / 4).clamp(
+                        Duration::from_millis(40),
+                        Duration::from_millis(250),
+                    ),
                 };
                 while !stop.load(Ordering::Relaxed) {
                     match rx.recv_timeout(poll) {
@@ -517,6 +545,7 @@ pub fn spawn_replica(
                         }
                     }
                     ctx.maybe_suspect();
+                    ctx.maybe_fetch();
                 }
             }),
         ));
@@ -535,12 +564,21 @@ pub fn spawn_replica(
         threads.push(spawn(
             format!("r{}-execute-0", id.0),
             Box::new(move || {
-                let mut next = SeqNum(1);
                 let mut rr = 0usize;
                 while !stop.load(Ordering::Relaxed) {
+                    // The cursor is shared with the worker: a rollback or
+                    // snapshot install repoints it under the gate.
+                    let next = exec_queues2.cursor();
                     let Some(item) = exec_queues2.take(next, poll) else {
                         continue;
                     };
+                    let gate = exec_queues2.gate();
+                    if exec_queues2.cursor() != next {
+                        // The worker repointed execution while this item was
+                        // being taken: it belongs to a displaced timeline.
+                        continue;
+                    }
+                    let epoch = exec_queues2.epoch();
                     rec.record(|| {
                         let (state_digest, replies) = executor2.execute(&item);
                         for out in replies {
@@ -551,9 +589,11 @@ pub fn spawn_replica(
                         let _ = work_tx2.send(Work::Executed {
                             seq: item.seq,
                             state_digest,
+                            epoch,
                         });
                     });
-                    next = next.next();
+                    exec_queues2.set_cursor(next.next());
+                    drop(gate);
                 }
             }),
         ));
@@ -585,13 +625,18 @@ pub fn spawn_replica(
                 // shutdown closes the task channel and joins the workers.
                 let pool = ExecPool::new(&pool_name, workers, pool_recorders);
                 let parallel = ParallelExecutor::new(executor2, pool);
-                let mut next = SeqNum(1);
                 let mut rr = 0usize;
                 let mut window = Vec::with_capacity(window_cap);
                 while !stop.load(Ordering::Relaxed) {
+                    let next = exec_queues2.cursor();
                     let Some(first) = exec_queues2.take(next, poll) else {
                         continue;
                     };
+                    let gate = exec_queues2.gate();
+                    if exec_queues2.cursor() != next {
+                        continue; // repointed mid-take: stale item
+                    }
+                    let epoch = exec_queues2.epoch();
                     window.clear();
                     window.push(first);
                     // Widen the window with whatever committed sequences
@@ -615,10 +660,12 @@ pub fn spawn_replica(
                             let _ = work_tx2.send(Work::Executed {
                                 seq: item.seq,
                                 state_digest,
+                                epoch,
                             });
                         }
                     });
-                    next = SeqNum(next.0 + window.len() as u64);
+                    exec_queues2.set_cursor(SeqNum(next.0 + window.len() as u64));
+                    drop(gate);
                 }
             }),
         ));
@@ -825,7 +872,35 @@ struct WorkerCtx {
     /// if the instance itself ordered nothing (its primary may be dead
     /// with no client traffic to surface demand).
     last_executed: SeqNum,
+    /// Fault tolerance threshold (certificate quorums, f+1 vouching).
+    f: usize,
+    protocol: ProtocolKind,
+    /// Fetch served/dropped accounting lives on the shared network stats.
+    net_stats: NetworkStats,
+    /// Sequences with an outstanding `FetchRequest` and the deadline after
+    /// which they may be re-requested (from a rotated peer).
+    fetch_inflight: HashMap<SeqNum, Instant>,
+    /// Zyzzyva fallback: distinct peers that returned an identical
+    /// `FetchResponse` for `(seq, digest)` — f+1 of them stand in for an
+    /// offline-verifiable certificate.
+    fetch_votes: HashMap<(SeqNum, ViewNum, Digest), HashSet<ReplicaId>>,
+    /// Distinct peers that presented each snapshot `agreement_key`, plus
+    /// the (payload-verified) snapshot itself.
+    #[allow(clippy::type_complexity)]
+    snap_votes: HashMap<(SeqNum, Digest, Digest), (HashSet<ReplicaId>, Arc<Snapshot>)>,
+    /// Rotating peer index so retries spread across the cluster.
+    fetch_rr: usize,
+    last_fetch_poll: Instant,
+    /// Last-executed watermark and when it last moved — the quiescence
+    /// detector behind the catch-up probe.
+    probe_mark: (SeqNum, Instant),
+    fetch_backoff: Duration,
 }
+
+/// Sequences per `FetchRequest` (and per catch-up probe window).
+const FETCH_BATCH: usize = 32;
+/// Cap on outstanding fetch requests awaiting responses.
+const MAX_INFLIGHT: usize = 64;
 
 impl WorkerCtx {
     /// Which instance owns global sequence `seq`.
@@ -876,8 +951,23 @@ impl WorkerCtx {
     fn handle(&mut self, work: Work) {
         match work {
             Work::Verified(sm) => {
-                let actions = self.engine.on_message(&sm);
-                self.run_actions(actions);
+                // Fetch-protocol traffic is point-to-point runtime state,
+                // not consensus input: intercept it before engine routing
+                // (`Message::seq()` is `None` for these kinds, so the
+                // multi-instance router would drop them anyway).
+                match sm.msg() {
+                    Message::FetchRequest { seqs, replica } => {
+                        let (requester, seqs) = (*replica, seqs.clone());
+                        self.serve_fetch_request(requester, &seqs);
+                    }
+                    Message::FetchResponse { .. } | Message::SnapshotResponse { .. } => {
+                        self.on_recovery_response(&sm);
+                    }
+                    _ => {
+                        let actions = self.engine.on_message(&sm);
+                        self.run_actions(actions);
+                    }
+                }
             }
             Work::ClientRequest(sm) => {
                 // 0B configuration: the worker performs the batch-thread's
@@ -910,7 +1000,14 @@ impl WorkerCtx {
                 let actions = self.engine.propose(instance, batch, digest);
                 self.run_actions(actions);
             }
-            Work::Executed { seq, state_digest } => {
+            Work::Executed {
+                seq,
+                state_digest,
+                epoch,
+            } => {
+                if epoch != self.exec_queues.epoch() {
+                    return; // executed on a rolled-back/superseded timeline
+                }
                 self.last_executed = self.last_executed.max(seq);
                 let j = self.owner(seq);
                 self.last_progress[j] = Instant::now();
@@ -1067,6 +1164,12 @@ impl WorkerCtx {
                     self.stable_checkpoint = self.stable_checkpoint.max(seq);
                     let pruned = self.chain.lock().prune_below(seq);
                     self.pruned_to = self.pruned_to.max(pruned);
+                    // Nothing at or below a 2f+1-stable checkpoint can ever
+                    // roll back; its undo images are dead weight.
+                    self.executor.prune_undo(seq);
+                }
+                Action::Rollback { to } => {
+                    self.apply_rollback(to);
                 }
                 Action::EnterView { view, instance } => {
                     // Publish the new view so the input threads re-route
@@ -1083,6 +1186,284 @@ impl WorkerCtx {
                 }
             }
         }
+    }
+
+    /// This replica's id (the worker addresses fetch responses with it).
+    fn my_id(&self) -> ReplicaId {
+        match self.me {
+            Sender::Replica(r) => r,
+            _ => unreachable!("worker always runs at a replica address"),
+        }
+    }
+
+    /// Undoes the speculative suffix above `to`: repoints the shared
+    /// execution cursor (new epoch, so in-flight `Executed` notifications
+    /// from the displaced timeline are dropped), discards parked items
+    /// above `to`, and rewinds store/chain/counters through the
+    /// executor's undo log. The engine re-emits the reconciled history
+    /// right after, and re-execution proceeds from `to + 1`.
+    fn apply_rollback(&mut self, to: SeqNum) {
+        if self.execute_inline {
+            self.inline_exec_buf.retain(|seq, _| *seq <= to);
+            self.executor.rollback_to(to);
+            self.inline_next_exec = self.inline_next_exec.min(to.next());
+        } else {
+            let gate = self.exec_queues.gate();
+            self.exec_queues.purge_above(to);
+            let resume = self.exec_queues.cursor().min(to.next());
+            self.exec_queues.repoint(resume);
+            self.executor.rollback_to(to);
+            drop(gate);
+        }
+        self.last_executed = self.last_executed.min(to);
+        self.fetch_votes.retain(|(seq, _, _), _| *seq > to);
+    }
+
+    /// Serves a peer's `FetchRequest`: one `FetchResponse` per retained
+    /// committed sequence, one `SnapshotResponse` (at most) for sequences
+    /// at or below this replica's pruning horizon, and nothing for
+    /// sequences it cannot vouch for. A per-request cap bounds the
+    /// amplification an abusive fetcher can extract.
+    fn serve_fetch_request(&mut self, requester: ReplicaId, seqs: &[SeqNum]) {
+        const SERVE_CAP: usize = 32;
+        if requester == self.my_id() {
+            return;
+        }
+        let mut served = 0u64;
+        let mut dropped = seqs.len().saturating_sub(SERVE_CAP) as u64;
+        let mut snapshot_sent = false;
+        for &seq in seqs.iter().take(SERVE_CAP) {
+            if let Some((view, digest, batch, certificate)) = self.engine.serve_fetch(seq) {
+                let msg = Message::FetchResponse {
+                    seq,
+                    view,
+                    digest,
+                    batch,
+                    certificate,
+                    replica: self.my_id(),
+                };
+                self.send_out(OutItem::to(Sender::Replica(requester), msg));
+                served += 1;
+            } else if seq <= self.stable_checkpoint.max(self.pruned_to) {
+                // Pruned below the stable checkpoint: the snapshot covers
+                // it (and every other pruned sequence — send it once).
+                match self.executor.latest_snapshot() {
+                    Some(snapshot) if !snapshot_sent && snapshot.base_seq >= seq => {
+                        snapshot_sent = true;
+                        served += 1;
+                        let msg = Message::SnapshotResponse {
+                            snapshot,
+                            replica: self.my_id(),
+                        };
+                        self.send_out(OutItem::to(Sender::Replica(requester), msg));
+                    }
+                    Some(_) => {}
+                    None => dropped += 1,
+                }
+            } else {
+                dropped += 1;
+            }
+        }
+        self.net_stats.note_fetch_served(served);
+        self.net_stats.note_fetch_dropped(dropped);
+    }
+
+    /// Validates and installs a `FetchResponse` or `SnapshotResponse`.
+    fn on_recovery_response(&mut self, sm: &SignedMessage) {
+        let Sender::Replica(from) = sm.sender() else {
+            return; // clients cannot vouch for ordering
+        };
+        match sm.msg() {
+            Message::FetchResponse {
+                seq,
+                view,
+                digest: claimed,
+                batch,
+                certificate,
+                replica,
+            } => {
+                if *replica != from || *seq <= self.last_executed {
+                    return;
+                }
+                // The digest must bind the transferred batch content —
+                // otherwise a valid certificate could smuggle a forged
+                // batch in beside it.
+                if digest(&batch.canonical_bytes()) != *claimed {
+                    return;
+                }
+                let quorum = rdb_common::quorum::commit_quorum(self.f);
+                let certified = recovery::verify_fetch_certificate(
+                    &self.provider,
+                    quorum,
+                    from,
+                    *view,
+                    *seq,
+                    *claimed,
+                    certificate,
+                );
+                let vouched = {
+                    // f+1 distinct peers presenting identical (seq, view,
+                    // digest) responses: at least one is honest. This is
+                    // the only path for Zyzzyva, whose speculation has no
+                    // offline-verifiable certificate to ship. The view is
+                    // part of the match: the engine treats a fetched later
+                    // view as proof of a missed view change, so a lone
+                    // byzantine responder must not get to invent one.
+                    let votes = self.fetch_votes.entry((*seq, *view, *claimed)).or_default();
+                    votes.insert(from);
+                    votes.len() > self.f
+                };
+                if certified || vouched {
+                    let (seq, view, claimed) = (*seq, *view, *claimed);
+                    let (batch, certificate) = (Arc::clone(batch), certificate.clone());
+                    self.fetch_votes.retain(|(s, _, _), _| *s != seq);
+                    self.fetch_inflight.remove(&seq);
+                    let actions = self
+                        .engine
+                        .install_fetched(seq, view, claimed, batch, certificate);
+                    self.run_actions(actions);
+                }
+            }
+            Message::SnapshotResponse { snapshot, replica } => {
+                if *replica != from || snapshot.base_seq <= self.last_executed {
+                    return;
+                }
+                if !recovery::verify_snapshot(snapshot) {
+                    return;
+                }
+                let key = snapshot.agreement_key();
+                let (voters, kept) = self
+                    .snap_votes
+                    .entry(key)
+                    .or_insert_with(|| (HashSet::new(), Arc::clone(snapshot)));
+                voters.insert(from);
+                if voters.len() > self.f {
+                    let snapshot = Arc::clone(kept);
+                    self.snap_votes.clear();
+                    self.adopt_snapshot(&snapshot);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Installs an f+1-vouched, payload-verified snapshot: replaces the
+    /// store and ledger, jumps the execution cursor past the transferred
+    /// history, and fast-forwards the consensus engines.
+    fn adopt_snapshot(&mut self, snapshot: &Snapshot) {
+        let base = snapshot.base_seq;
+        if self.execute_inline {
+            self.inline_exec_buf.retain(|seq, _| *seq > base);
+            self.executor.install_snapshot(snapshot);
+            self.inline_next_exec = self.inline_next_exec.max(base.next());
+        } else {
+            let gate = self.exec_queues.gate();
+            self.exec_queues.purge_through(base);
+            let resume = self.exec_queues.cursor().max(base.next());
+            self.exec_queues.repoint(resume);
+            self.executor.install_snapshot(snapshot);
+            drop(gate);
+        }
+        self.engine.install_snapshot(base, snapshot.history);
+        self.last_executed = self.last_executed.max(base);
+        self.commit_frontier = self.commit_frontier.max(base);
+        self.stable_checkpoint = self.stable_checkpoint.max(base);
+        self.pruned_to = self.pruned_to.max(base);
+        self.fetch_inflight.retain(|seq, _| *seq > base);
+        self.fetch_votes.retain(|(seq, _, _), _| *seq > base);
+        // Installing a snapshot is progress: re-arm every suspicion timer.
+        for j in 0..self.engine.k() {
+            self.last_progress[j] = Instant::now();
+            self.suspect_strikes[j] = 0;
+        }
+    }
+
+    /// The fetch driver: when the engine reports execution holes below
+    /// the commit frontier, request the missing batches from rotating
+    /// peers — deduplicating in-flight sequences, capping the outstanding
+    /// set, and retrying (next peer) after a backoff. Under Zyzzyva each
+    /// request fans out to f+1 peers, since acceptance needs f+1 matching
+    /// responses rather than one verifiable certificate.
+    fn maybe_fetch(&mut self) {
+        const POLL_EVERY: Duration = Duration::from_millis(20);
+        if self.last_fetch_poll.elapsed() < POLL_EVERY {
+            return;
+        }
+        self.last_fetch_poll = Instant::now();
+        let now = Instant::now();
+        // Expired entries are eligible for re-request (peer rotation below
+        // naturally lands retries elsewhere).
+        self.fetch_inflight.retain(|_, deadline| *deadline > now);
+        let budget = MAX_INFLIGHT.saturating_sub(self.fetch_inflight.len());
+        if budget == 0 {
+            return;
+        }
+        let seqs: Vec<SeqNum> = self
+            .engine
+            .fetch_wanted(FETCH_BATCH + self.fetch_inflight.len())
+            .into_iter()
+            .filter(|s| *s > self.last_executed && !self.fetch_inflight.contains_key(s))
+            .take(budget.min(FETCH_BATCH))
+            .collect();
+        if seqs.is_empty() {
+            self.maybe_probe();
+            return;
+        }
+        self.send_fetch(seqs, now);
+    }
+
+    /// Quiescent-network catch-up. A replica that rejoins after the load
+    /// has drained receives no new traffic that would reveal the committed
+    /// frontier, so the engine reports no holes and [`Self::maybe_fetch`]
+    /// has nothing to do — forever. When execution has not advanced for a
+    /// couple of backoff periods and nothing is in flight, probe a peer
+    /// with a plain `FetchRequest` for the next sequence window: either it
+    /// comes back served (the log moved on without us — install and keep
+    /// going) or the peer is equally idle and drops it, which costs one
+    /// tiny message per idle interval.
+    fn maybe_probe(&mut self) {
+        if self.probe_mark.0 != self.last_executed {
+            self.probe_mark = (self.last_executed, Instant::now());
+            return;
+        }
+        if self.probe_mark.1.elapsed() < self.fetch_backoff * 2 || !self.fetch_inflight.is_empty()
+        {
+            return;
+        }
+        self.probe_mark.1 = Instant::now();
+        let seqs: Vec<SeqNum> = (1..=FETCH_BATCH as u64)
+            .map(|i| SeqNum(self.last_executed.0 + i))
+            .collect();
+        self.send_fetch(seqs, Instant::now());
+    }
+
+    fn send_fetch(&mut self, seqs: Vec<SeqNum>, now: Instant) {
+        let deadline = now + self.fetch_backoff;
+        for &seq in &seqs {
+            self.fetch_inflight.insert(seq, deadline);
+        }
+        let peers: Vec<Sender> = self
+            .replicas
+            .iter()
+            .copied()
+            .filter(|r| *r != self.me)
+            .collect();
+        if peers.is_empty() {
+            return;
+        }
+        let fanout = match self.protocol {
+            ProtocolKind::Pbft => 1,
+            ProtocolKind::Zyzzyva => (self.f + 1).min(peers.len()),
+        };
+        let targets: Vec<Sender> = (0..fanout)
+            .map(|i| peers[(self.fetch_rr + i) % peers.len()])
+            .collect();
+        self.fetch_rr = self.fetch_rr.wrapping_add(1);
+        let msg = Message::FetchRequest {
+            seqs,
+            replica: self.my_id(),
+        };
+        self.send_out(OutItem { targets, msg });
     }
 
     fn dispatch_execution(&mut self, item: ExecuteItem) {

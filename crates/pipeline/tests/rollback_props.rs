@@ -1,0 +1,153 @@
+//! Property tests for speculative rollback: after executing a random
+//! speculative suffix and rolling it back to an arbitrary cut point, the
+//! replica's store digest, ledger head and transaction counters must be
+//! bit-identical to a replica that *never executed the rolled-back
+//! suffix at all* — and re-executing a different (reconciled) suffix on
+//! top must converge with a clean replica that executed the reconciled
+//! history directly. This is the correctness obligation behind
+//! Zyzzyva's view-change rollback: mis-speculation must leave no trace.
+//!
+//! Keys are drawn from a tiny space so batches overwrite each other
+//! constantly — the hard case for undo, since most rolled-back writes
+//! must restore a *previous* value rather than delete a fresh key.
+
+use proptest::prelude::*;
+use rdb_common::block::BlockCertificate;
+use rdb_common::{
+    Batch, ClientId, Digest, Operation, ProtocolKind, ReplicaId, SeqNum, Transaction, ViewNum,
+};
+use rdb_pipeline::queues::ExecuteItem;
+use rdb_pipeline::Executor;
+use rdb_storage::blockchain::ChainMode;
+use rdb_storage::{Blockchain, MemStore, StateStore};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+const KEY_SPACE: u64 = 16;
+
+/// Decodes one raw u64 into a write over the tiny key space (values keep
+/// enough entropy that distinct suffixes produce distinct state).
+fn decode_op(raw: u64) -> Operation {
+    if (raw >> 5) & 0b11 == 0 {
+        Operation::Read { key: raw % KEY_SPACE }
+    } else {
+        Operation::Write {
+            key: raw % KEY_SPACE,
+            value: vec![(raw >> 8) as u8, (raw >> 16) as u8, (raw >> 24) as u8],
+        }
+    }
+}
+
+/// Builds speculative execute items (one per sequence) from a raw op
+/// stream, starting at `first_seq`. `salt` keeps transaction ids of
+/// different suffixes distinct, as reconciliation re-orders different
+/// client requests, not byte-identical ones.
+fn build_items(raw_ops: &[u64], first_seq: u64, salt: u64) -> Vec<ExecuteItem> {
+    let mut items = Vec::new();
+    let mut txns: Vec<Transaction> = Vec::new();
+    let mut ops: Vec<Operation> = Vec::new();
+    let mut counter = salt;
+    for (i, &raw) in raw_ops.iter().enumerate() {
+        ops.push(decode_op(raw));
+        if ops.len() > (raw % 3) as usize {
+            txns.push(Transaction::new(
+                ClientId(raw % 4),
+                counter,
+                std::mem::take(&mut ops),
+            ));
+            counter += 1;
+        }
+        let flush = txns.len() >= 1 + (raw % 3) as usize || i == raw_ops.len() - 1;
+        if flush && !txns.is_empty() {
+            let seq = first_seq + items.len() as u64;
+            let batch: Batch = std::mem::take(&mut txns).into_iter().collect();
+            let digest = rdb_crypto::digest(&batch.canonical_bytes());
+            items.push(ExecuteItem {
+                seq: SeqNum(seq),
+                view: ViewNum(0),
+                digest,
+                batch: batch.into(),
+                certificate: BlockCertificate::default(),
+                history: Some(Digest([seq as u8; 32])),
+            });
+        }
+    }
+    items
+}
+
+fn zyz_executor() -> Executor {
+    let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+    let chain = Arc::new(Mutex::new(Blockchain::new(
+        Digest::ZERO,
+        0,
+        ChainMode::PrevHash,
+    )));
+    Executor::new(ReplicaId(0), ProtocolKind::Zyzzyva, store, chain)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Rollback to any cut point inside a random speculative suffix, then
+    /// re-execution of a different suffix, converges exactly with a
+    /// replica that never speculated past the cut.
+    #[test]
+    fn rollback_and_reexecute_equals_never_speculated(
+        prefix_raw in proptest::collection::vec(any::<u64>(), 1..24),
+        wrong_raw in proptest::collection::vec(any::<u64>(), 1..24),
+        right_raw in proptest::collection::vec(any::<u64>(), 1..24),
+        cut_ticks in 0u64..100,
+    ) {
+        let prefix = build_items(&prefix_raw, 1, 0);
+        let p = prefix.len() as u64;
+        let wrong = build_items(&wrong_raw, p + 1, 1_000_000);
+        // The rollback target: anywhere from the prefix head to just
+        // below the speculative tip.
+        let cut = p + cut_ticks * wrong.len() as u64 / 100;
+
+        let spec = zyz_executor();
+        for item in prefix.iter().chain(wrong.iter()) {
+            spec.execute(item);
+        }
+        let undone = spec.rollback_to(SeqNum(cut));
+        prop_assert_eq!(undone as u64, p + wrong.len() as u64 - cut);
+
+        // Reference A: a replica that executed exactly up to the cut.
+        let clean = zyz_executor();
+        for item in prefix.iter().chain(wrong.iter()).take(cut as usize) {
+            clean.execute(item);
+        }
+        prop_assert_eq!(spec.store().state_digest(), clean.store().state_digest());
+        prop_assert_eq!(spec.executed_txns(), clean.executed_txns());
+        prop_assert_eq!(spec.executed_batches(), clean.executed_batches());
+
+        // Both now execute the reconciled history; digests must stay in
+        // lock-step (the rolled-back replica carries no residue).
+        let right = build_items(&right_raw, cut + 1, 2_000_000);
+        for item in &right {
+            let (da, _) = spec.execute(item);
+            let (db, _) = clean.execute(item);
+            prop_assert_eq!(da, db);
+        }
+        prop_assert_eq!(spec.store().state_digest(), clean.store().state_digest());
+        prop_assert_eq!(spec.deduped_txns(), clean.deduped_txns());
+    }
+
+    /// Rolling back to the current tip (or above) is a no-op.
+    #[test]
+    fn rollback_at_or_above_tip_is_noop(
+        raw in proptest::collection::vec(any::<u64>(), 1..24),
+        overshoot in 0u64..4,
+    ) {
+        let items = build_items(&raw, 1, 0);
+        let ex = zyz_executor();
+        for item in &items {
+            ex.execute(item);
+        }
+        let tip = items.len() as u64;
+        let before = ex.store().state_digest();
+        prop_assert_eq!(ex.rollback_to(SeqNum(tip + overshoot)), 0);
+        prop_assert_eq!(ex.store().state_digest(), before);
+        prop_assert_eq!(ex.executed_batches(), tip);
+    }
+}

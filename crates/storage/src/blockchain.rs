@@ -170,6 +170,48 @@ impl Blockchain {
         self.base_seq
     }
 
+    /// Rolls the chain back to `seq`, discarding every block above it
+    /// (Zyzzyva mis-speculation rollback: the speculative suffix is
+    /// abandoned and the reconciled history re-appended).
+    ///
+    /// `seq` must be retained (at or above the pruning base) — rolling back
+    /// below a stable checkpoint would contradict 2f+1 replicas.
+    ///
+    /// Returns how many blocks were discarded.
+    pub fn truncate_to(&mut self, seq: SeqNum) -> usize {
+        assert!(
+            seq >= self.base_seq,
+            "cannot roll back to {seq}: pruned below base {}",
+            self.base_seq
+        );
+        if seq >= self.head_seq() {
+            return 0;
+        }
+        let keep = (seq.0 - self.base_seq.0) as usize + 1;
+        let dropped = self.blocks.len() - keep;
+        self.blocks.truncate(keep);
+        self.appended = self.appended.saturating_sub(dropped as u64);
+        self.head_hash = digest(
+            &self
+                .blocks
+                .last()
+                .expect("base block is always retained")
+                .canonical_bytes(),
+        );
+        dropped
+    }
+
+    /// Replaces the whole chain with a single snapshot block: the verified
+    /// block at a remote peer's stable checkpoint. Everything this replica
+    /// held (possibly nothing but genesis) is discarded; execution resumes
+    /// at `block.seq + 1` on top of the installed state.
+    pub fn install_snapshot_block(&mut self, block: Block) {
+        self.head_hash = digest(&block.canonical_bytes());
+        self.base_seq = block.seq;
+        self.appended = block.seq.0;
+        self.blocks = vec![block];
+    }
+
     /// Verifies the retained chain: sequence continuity, certificate
     /// quorums, and (in `PrevHash` mode) the hash links.
     pub fn verify(&self) -> Result<()> {
@@ -425,6 +467,107 @@ mod tests {
         let blocks = c.blocks_between(SeqNum(3), SeqNum(7));
         let seqs: Vec<u64> = blocks.iter().map(|b| b.seq.0).collect();
         assert_eq!(seqs, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn truncate_discards_suffix_and_reappends_identically() {
+        let build = |upto: u64| {
+            let mut c = chain(ChainMode::PrevHash);
+            for i in 1..=upto {
+                c.append(
+                    SeqNum(i),
+                    digest(&i.to_le_bytes()),
+                    ViewNum(0),
+                    cert(3),
+                    10,
+                    Digest::ZERO,
+                )
+                .unwrap();
+            }
+            c
+        };
+        let mut rolled = build(8);
+        assert_eq!(rolled.truncate_to(SeqNum(5)), 3);
+        assert_eq!(rolled.head_seq(), SeqNum(5));
+        assert!(rolled.block_at(SeqNum(6)).is_none());
+        // Re-executing 6..=8 yields a chain indistinguishable from one
+        // that never speculated.
+        for i in 6..=8u64 {
+            rolled
+                .append(
+                    SeqNum(i),
+                    digest(&i.to_le_bytes()),
+                    ViewNum(0),
+                    cert(3),
+                    10,
+                    Digest::ZERO,
+                )
+                .unwrap();
+        }
+        let straight = build(8);
+        assert_eq!(rolled.head_digest(), straight.head_digest());
+        assert!(rolled.verify().is_ok());
+        // Truncating at or above the head is a no-op.
+        assert_eq!(rolled.truncate_to(SeqNum(8)), 0);
+        assert_eq!(rolled.truncate_to(SeqNum(20)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pruned below base")]
+    fn truncate_below_stable_base_panics() {
+        let mut c = chain(ChainMode::Certificate);
+        for i in 1..=6u64 {
+            c.append(
+                SeqNum(i),
+                digest(&i.to_le_bytes()),
+                ViewNum(0),
+                cert(3),
+                10,
+                Digest::ZERO,
+            )
+            .unwrap();
+        }
+        c.prune_below(SeqNum(4));
+        c.truncate_to(SeqNum(3));
+    }
+
+    #[test]
+    fn install_snapshot_block_resumes_from_base() {
+        // Build the "authoritative" chain a peer snapshotted at seq 5.
+        let mut donor = chain(ChainMode::Certificate);
+        for i in 1..=5u64 {
+            donor
+                .append(
+                    SeqNum(i),
+                    digest(&i.to_le_bytes()),
+                    ViewNum(0),
+                    cert(3),
+                    10,
+                    digest(&[i as u8]),
+                )
+                .unwrap();
+        }
+        let base_block = donor.block_at(SeqNum(5)).unwrap().clone();
+
+        // A rejoining replica installs it over its genesis-only chain.
+        let mut rejoiner = chain(ChainMode::Certificate);
+        rejoiner.install_snapshot_block(base_block);
+        assert_eq!(rejoiner.head_seq(), SeqNum(5));
+        assert_eq!(rejoiner.retained(), 1);
+        assert_eq!(rejoiner.head_digest(), donor.head_digest());
+        assert!(rejoiner.block_at(SeqNum(0)).is_none(), "genesis discarded");
+        // Execution resumes at base + 1.
+        rejoiner
+            .append(
+                SeqNum(6),
+                digest(b"next"),
+                ViewNum(0),
+                cert(3),
+                10,
+                Digest::ZERO,
+            )
+            .unwrap();
+        assert!(rejoiner.verify().is_ok());
     }
 
     #[test]

@@ -307,6 +307,60 @@ impl StateStore for PagedStore {
     fn state_digest(&self) -> Digest {
         Digest(self.state.lock().digest_acc)
     }
+
+    fn remove(&self, key: u64) -> bool {
+        assert!(
+            key < self.config.capacity,
+            "key {key} beyond store capacity"
+        );
+        let mut st = self.state.lock();
+        let off = self.slot_offset(key);
+        let raw = self
+            .read_at(&mut st, off, SLOT_HDR + self.config.record_size)
+            .expect("paged read failed");
+        let old_len = u16::from_le_bytes([raw[0], raw[1]]);
+        if old_len == EMPTY_LEN {
+            return false;
+        }
+        let old = &raw[SLOT_HDR..SLOT_HDR + old_len as usize];
+        let h = record_hash(key, old);
+        for i in 0..32 {
+            st.digest_acc[i] ^= h[i];
+        }
+        st.record_count -= 1;
+        self.write_at(&mut st, off, &EMPTY_LEN.to_le_bytes())
+            .expect("paged write failed");
+        true
+    }
+
+    fn export_records(&self) -> Vec<(u64, Vec<u8>)> {
+        let mut st = self.state.lock();
+        let mut out = Vec::with_capacity(st.record_count);
+        for key in 0..self.config.capacity {
+            let off = self.slot_offset(key);
+            let raw = self
+                .read_at(&mut st, off, SLOT_HDR + self.config.record_size)
+                .expect("paged read failed");
+            let len = u16::from_le_bytes([raw[0], raw[1]]);
+            if len != EMPTY_LEN {
+                out.push((key, raw[SLOT_HDR..SLOT_HDR + len as usize].to_vec()));
+            }
+        }
+        out
+    }
+
+    fn install_records(&self, records: &[(u64, Vec<u8>)]) {
+        self.initialize_empty().expect("paged re-init failed");
+        {
+            let mut st = self.state.lock();
+            st.cache.clear();
+            st.digest_acc = [0u8; 32];
+            st.record_count = 0;
+        }
+        for (key, value) in records {
+            self.put(*key, value);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -430,6 +484,50 @@ mod tests {
         }
         drop(s);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn remove_restores_pre_put_digest() {
+        let (s, path) = temp_store(small_config());
+        s.put(1, b"base");
+        let before = s.state_digest();
+        s.put(42, b"transient");
+        assert_ne!(s.state_digest(), before);
+        assert!(s.remove(42));
+        assert_eq!(s.state_digest(), before);
+        assert_eq!(s.len(), 1);
+        assert!(s.get(42).is_none());
+        assert!(!s.remove(42), "second removal finds an empty slot");
+        drop(s);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn export_install_round_trips_content_and_digest() {
+        let (src, path_a) = temp_store(small_config());
+        for key in [999u64, 3, 118, 120] {
+            src.put(key, &key.to_le_bytes());
+        }
+        let records = src.export_records();
+        assert_eq!(records.len(), 4);
+        assert!(records.windows(2).all(|w| w[0].0 < w[1].0), "key-sorted");
+
+        let (dst, path_b) = temp_store(small_config());
+        dst.put(7, b"stale state to be wiped");
+        dst.install_records(&records);
+        assert_eq!(dst.state_digest(), src.state_digest());
+        assert_eq!(dst.len(), src.len());
+        assert!(dst.get(7).is_none());
+        assert_eq!(dst.get(118).as_deref(), Some(&118u64.to_le_bytes()[..]));
+
+        // A MemStore installed from the same records agrees too.
+        let m = MemStore::new();
+        m.install_records(&records);
+        assert_eq!(m.state_digest(), src.state_digest());
+        drop(src);
+        drop(dst);
+        let _ = std::fs::remove_file(path_a);
+        let _ = std::fs::remove_file(path_b);
     }
 
     #[test]

@@ -84,6 +84,33 @@ pub trait StateStore: Send + Sync {
 
     /// Incrementally-maintained digest over all records.
     fn state_digest(&self) -> Digest;
+
+    /// Removes `key`, returning whether it was present. Backends that
+    /// maintain an incremental digest fold the removed record's hash out,
+    /// so remove-after-put restores the exact pre-put digest — the
+    /// property speculative rollback relies on to undo writes to
+    /// previously-absent keys.
+    ///
+    /// The default panics: only recovery-capable backends opt in.
+    fn remove(&self, _key: u64) -> bool {
+        unimplemented!("this StateStore backend does not support removal")
+    }
+
+    /// Every `(key, value)` record, sorted by key — the deterministic
+    /// payload of a checkpoint snapshot.
+    ///
+    /// The default panics: only recovery-capable backends opt in.
+    fn export_records(&self) -> Vec<(u64, Vec<u8>)> {
+        unimplemented!("this StateStore backend does not support snapshot export")
+    }
+
+    /// Replaces the entire contents with `records` (snapshot install).
+    /// Afterwards `state_digest()` reflects exactly the installed records.
+    ///
+    /// The default panics: only recovery-capable backends opt in.
+    fn install_records(&self, _records: &[(u64, Vec<u8>)]) {
+        unimplemented!("this StateStore backend does not support snapshot install")
+    }
 }
 
 fn xor_into(acc: &mut [u8; 32], h: &[u8; 32]) {
@@ -169,6 +196,43 @@ impl StateStore for MemStore {
 
     fn state_digest(&self) -> Digest {
         Digest(*self.digest_acc.lock())
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        let mut shard = self.shard(key).write();
+        match shard.remove(&key) {
+            Some(old) => {
+                let mut acc = self.digest_acc.lock();
+                xor_into(&mut acc, &old.hash);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn export_records(&self) -> Vec<(u64, Vec<u8>)> {
+        let mut out: Vec<(u64, Vec<u8>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .iter()
+                    .map(|(k, r)| (*k, r.value.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
+
+    fn install_records(&self, records: &[(u64, Vec<u8>)]) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        *self.digest_acc.lock() = [0u8; 32];
+        for (key, value) in records {
+            self.put(*key, value);
+        }
     }
 }
 
@@ -261,6 +325,38 @@ mod tests {
         let p = MemStore::new();
         p.put(7, b"payload");
         assert_eq!(s.state_digest(), p.state_digest());
+    }
+
+    #[test]
+    fn remove_restores_pre_put_digest() {
+        let s = MemStore::new();
+        s.put(1, b"x");
+        let before = s.state_digest();
+        s.put(2, b"new");
+        assert!(s.remove(2), "present key removes");
+        assert_eq!(s.state_digest(), before, "digest folds the record back out");
+        assert_eq!(s.len(), 1);
+        assert!(!s.remove(2), "absent key is a no-op");
+        assert_eq!(s.state_digest(), before);
+    }
+
+    #[test]
+    fn export_install_round_trips_content_and_digest() {
+        let a = MemStore::new();
+        a.put(5, b"five");
+        a.put(1, b"one");
+        a.put(99, b"ninety-nine");
+        let records = a.export_records();
+        assert_eq!(records.len(), 3);
+        assert!(records.windows(2).all(|w| w[0].0 < w[1].0), "sorted by key");
+
+        let b = MemStore::new();
+        b.put(42, b"stale state that install must wipe");
+        b.install_records(&records);
+        assert_eq!(b.state_digest(), a.state_digest());
+        assert_eq!(b.len(), 3);
+        assert!(b.get(42).is_none());
+        assert_eq!(b.get(5).as_deref(), Some(&b"five"[..]));
     }
 
     #[test]

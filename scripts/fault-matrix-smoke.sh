@@ -7,15 +7,22 @@
 # digest agreement, and writes BENCH_faults.json.
 #
 # Phase B exercises *real* process failure: a 4-replica rdb-node cluster
-# over loopback TCP, SIGKILL of the view-0 primary mid-stream, a view
-# change driven by the survivors, a process restart, and a second client
-# burst against the post-change view. Asserts both bursts complete and
-# the never-killed replicas end with identical state digests.
+# over loopback TCP with checkpointing enabled, SIGKILL of the view-0
+# primary mid-stream, a view change driven by the survivors, a process
+# restart, and a second client burst against the post-change view.
+# Asserts both bursts complete, the never-killed replicas end with
+# identical state digests, and the restarted process rejoins through
+# snapshot transfer: its digest converges to the survivors' FINAL digest
+# while its executed count stays below the cluster total — the survivors
+# pruned their logs at checkpoints, so a genesis replay is impossible and
+# the convergence proves a verified snapshot was installed.
 #
 # Phase C drives the same cluster shape through `rdb-node --fault-plan`:
 # every process loads one schedule that crashes a backup's transport at a
 # committed mark and recovers it later, exercising the plan parser and
-# the crash/recover socket-teardown path end to end.
+# the crash/recover socket-teardown path end to end. Checkpointing stays
+# off here, so the recovered backup closes its execution hole through the
+# fetch-missing protocol alone and must converge to the survivors' digest.
 #
 # Usage: scripts/fault-matrix-smoke.sh [path-to-rdb-node-dir] [log-dir]
 #   arg1: directory containing the rdb-node and faults binaries
@@ -46,8 +53,24 @@ echo "=== phase A: pinned scenario matrix over TCP ==="
   --protocol both --transport tcp --out BENCH_faults.json \
   | tee "$LOG_DIR/matrix.log"
 
-PEERS="0=127.0.0.1:$BASE_PORT,1=127.0.0.1:$((BASE_PORT + 1)),2=127.0.0.1:$((BASE_PORT + 2)),3=127.0.0.1:$((BASE_PORT + 3))"
 TOTAL=$((T1 + T2))
+CKPT="${RDB_FAULT_SMOKE_CKPT_TXNS:-100}"
+
+# Phase B cluster config: peer map plus a [node] section enabling
+# checkpoints every CKPT transactions, so the survivors prune their logs
+# and capture serving snapshots — the restarted replica 0 must rejoin via
+# snapshot transfer, not genesis replay. Every process (replicas and
+# clients) loads the same file.
+CONF="$LOG_DIR/cluster.toml"
+{
+  echo "[peers]"
+  for i in 0 1 2 3; do
+    echo "$i = \"127.0.0.1:$((BASE_PORT + i))\""
+  done
+  echo "[node]"
+  echo "batch_size = $BATCH"
+  echo "checkpoint_interval = $CKPT"
+} >"$CONF"
 
 pids=()
 cleanup() {
@@ -60,21 +83,24 @@ trap cleanup EXIT
 
 echo "=== phase B: SIGKILL the primary, view change, restart, second burst ==="
 # Survivors exit on their own at TOTAL executed; replica 0 will be killed
-# and restarted, so it gets no exit bound.
-"$BIN_DIR/rdb-node" --replica 0 --peers "$PEERS" --batch-size "$BATCH" \
+# and restarted, so it gets no exit bound. Survivors linger well past
+# their FINAL line so the restarted replica can still fetch snapshots
+# and missing batches from them while we poll it for convergence.
+LINGER_MS=$((WAIT * 1000))
+"$BIN_DIR/rdb-node" --replica 0 --peers "$CONF" \
   >"$LOG_DIR/replica-0.log" 2>&1 &
 r0_pid=$!
 pids+=($r0_pid)
 for i in 1 2 3; do
-  "$BIN_DIR/rdb-node" --replica "$i" --peers "$PEERS" --batch-size "$BATCH" \
-    --exit-after-txns "$TOTAL" --run-secs "$WAIT" \
+  "$BIN_DIR/rdb-node" --replica "$i" --peers "$CONF" \
+    --exit-after-txns "$TOTAL" --run-secs "$WAIT" --linger-ms "$LINGER_MS" \
     >"$LOG_DIR/replica-$i.log" 2>&1 &
   pids+=($!)
 done
 sleep 1
 
-"$BIN_DIR/rdb-node" --client --client-id 0 --peers "$PEERS" \
-  --batch-size "$BATCH" --txns "$T1" --wait-secs "$WAIT" \
+"$BIN_DIR/rdb-node" --client --client-id 0 --peers "$CONF" \
+  --txns "$T1" --wait-secs "$WAIT" \
   >"$LOG_DIR/client-0.log" 2>&1 &
 client_pid=$!
 pids+=($client_pid)
@@ -92,14 +118,17 @@ fi
 grep CLIENT "$LOG_DIR/client-0.log" || true
 
 # Restart replica 0: the dialer reconnect path brings it back into the
-# cluster (it rejoins with empty state; digest asserts cover survivors).
-"$BIN_DIR/rdb-node" --replica 0 --peers "$PEERS" --batch-size "$BATCH" \
+# cluster. It starts from genesis in a fresh process, but the survivors
+# have pruned their logs at checkpoints, so the only way back to the
+# cluster digest is a verified snapshot plus the unpruned tail — asserted
+# below once the survivors print FINAL.
+"$BIN_DIR/rdb-node" --replica 0 --peers "$CONF" \
   >"$LOG_DIR/replica-0-restarted.log" 2>&1 &
 pids+=($!)
 sleep 1
 
-if ! "$BIN_DIR/rdb-node" --client --client-id 1 --peers "$PEERS" \
-  --batch-size "$BATCH" --txns "$T2" --wait-secs "$WAIT" \
+if ! "$BIN_DIR/rdb-node" --client --client-id 1 --peers "$CONF" \
+  --txns "$T2" --wait-secs "$WAIT" \
   >"$LOG_DIR/client-1.log" 2>&1; then
   echo "::error::client burst 2 failed after restart" >&2
   cat "$LOG_DIR/client-1.log" >&2
@@ -133,9 +162,37 @@ for d in "${digests[@]:1}"; do
     exit 1
   fi
 done
+
+# The restarted replica 0 must converge to the survivors' digest via
+# snapshot transfer. Poll its STATE lines: once its digest matches, its
+# executed count is the number of transactions it actually re-executed —
+# strictly less than TOTAL proves the transferred prefix was installed,
+# not replayed from genesis (the survivors' pruned logs could not have
+# served it anyway).
+rejoin=""
+for _ in $(seq 1 "$WAIT"); do
+  rejoin=$(grep '^STATE ' "$LOG_DIR/replica-0-restarted.log" | tail -n1 || true)
+  if grep -q "digest=${digests[0]}" <<<"$rejoin"; then
+    break
+  fi
+  rejoin=""
+  sleep 1
+done
+if [ -z "$rejoin" ]; then
+  echo "::error::restarted replica 0 never converged to digest ${digests[0]}" >&2
+  tail -n 20 "$LOG_DIR/replica-0-restarted.log" >&2
+  exit 1
+fi
+echo "$rejoin"
+r0_executed=$(sed -n 's/.*executed=\([0-9]*\).*/\1/p' <<<"$rejoin")
+if [ -z "$r0_executed" ] || [ "$r0_executed" -ge "$TOTAL" ]; then
+  echo "::error::restarted replica 0 executed $r0_executed/$TOTAL txns — it replayed history instead of installing a snapshot" >&2
+  exit 1
+fi
 cleanup
 pids=()
 echo "phase B OK: view change survived a real primary kill, digest ${digests[0]}"
+echo "phase B OK: replica 0 rejoined via snapshot transfer (re-executed $r0_executed of $TOTAL txns)"
 
 echo "=== phase C: --fault-plan schedule (backup crash + recover) ==="
 PLAN="$LOG_DIR/backup-crash.plan"
@@ -151,10 +208,13 @@ PEERS_C="0=127.0.0.1:$((BASE_PORT + 10)),1=127.0.0.1:$((BASE_PORT + 11)),2=127.0
 TC=300
 for i in 0 1 2 3; do
   extra=()
-  # Replica 1 is crashed mid-run and rejoins with holes it cannot fill
-  # (no state transfer): it gets no exit bound and is killed at the end.
+  # Replica 1 is crashed mid-run and closes its execution hole through
+  # the fetch-missing protocol once it recovers (checkpointing is off in
+  # this phase, so the survivors' full logs serve every missing batch):
+  # it gets no exit bound — we poll it for convergence and kill it at
+  # the end.
   if [ "$i" != 1 ]; then
-    extra=(--exit-after-txns "$TC" --run-secs "$WAIT")
+    extra=(--exit-after-txns "$TC" --run-secs "$WAIT" --linger-ms $((WAIT * 1000)))
   fi
   "$BIN_DIR/rdb-node" --replica "$i" --peers "$PEERS_C" --batch-size "$BATCH" \
     --fault-plan "$PLAN" "${extra[@]}" \
@@ -199,5 +259,24 @@ for d in "${digests[@]:1}"; do
     exit 1
   fi
 done
-echo "phase C OK: fault plan fired and survivors agree, digest ${digests[0]}"
+
+# The recovered backup must fetch the batches it missed while crashed and
+# converge to the survivors' digest — with its executed count at exactly
+# TC (every hole filled once, nothing double-executed).
+rejoin=""
+for _ in $(seq 1 "$WAIT"); do
+  rejoin=$(grep '^STATE ' "$LOG_DIR/plan-replica-1.log" | tail -n1 || true)
+  if grep -q "digest=${digests[0]}" <<<"$rejoin" && grep -q "executed=$TC" <<<"$rejoin"; then
+    break
+  fi
+  rejoin=""
+  sleep 1
+done
+if [ -z "$rejoin" ]; then
+  echo "::error::recovered replica 1 never fetched its way back to digest ${digests[0]} at $TC txns" >&2
+  tail -n 20 "$LOG_DIR/plan-replica-1.log" >&2
+  exit 1
+fi
+echo "$rejoin"
+echo "phase C OK: fault plan fired, survivors agree, recovered backup fetched back to digest ${digests[0]}"
 echo "fault-matrix smoke passed"
