@@ -24,6 +24,13 @@
 //!   this is the execution/validation bottleneck case the parallel
 //!   executor is built for.
 //!
+//! A third sweep (`execution/wal/…`) attaches the durable write-ahead
+//! log to the serial executor and varies the fsync policy — `always`,
+//! group-commit windows of 250µs/1ms/4ms, `never` — recording both
+//! throughput and the number of fsyncs actually issued, so the JSON
+//! captures how group commit amortizes the one-fsync-per-batch cost of
+//! `always` down to roughly one per window.
+//!
 //! The detected CPU count is recorded in the emitted JSON so readers can
 //! interpret the `mem` rows. Alongside the criterion output it emits
 //! `BENCH_execution.json` at the workspace root so the perf trajectory is
@@ -32,10 +39,12 @@
 
 use criterion::{criterion_group, Criterion};
 use rdb_common::block::BlockCertificate;
-use rdb_common::{Batch, ClientId, Digest, ProtocolKind, ReplicaId, SeqNum, ViewNum};
+use rdb_common::{
+    Batch, ClientId, Digest, DurabilityConfig, FsyncMode, ProtocolKind, ReplicaId, SeqNum, ViewNum,
+};
 use rdb_pipeline::queues::ExecuteItem;
 use rdb_pipeline::scheduler::{ExecPool, ParallelExecutor};
-use rdb_pipeline::Executor;
+use rdb_pipeline::{Durability, Executor};
 use rdb_storage::blockchain::ChainMode;
 use rdb_storage::{Blockchain, MemStore, StateStore, WriteRecord};
 use rdb_workload::{WorkloadConfig, WorkloadGenerator};
@@ -149,6 +158,18 @@ const SCENARIOS: [Scenario; 2] = [
 /// Builds the committed workload for one scenario: `batches` sequences of
 /// `BATCH_TXNS` transactions each, identical across thread counts.
 fn build_items(scenario: &Scenario, write_ratio: f64, batches: usize) -> Vec<ExecuteItem> {
+    build_sized_items(scenario, write_ratio, batches, BATCH_TXNS)
+}
+
+/// As [`build_items`] but with an explicit batch size — the WAL sweep
+/// uses small batches so the append stream is dense enough for group
+/// commit windows to coalesce anything.
+fn build_sized_items(
+    scenario: &Scenario,
+    write_ratio: f64,
+    batches: usize,
+    txns_per_batch: usize,
+) -> Vec<ExecuteItem> {
     let mut gen = WorkloadGenerator::new(
         WorkloadConfig {
             table_size: TABLE_SIZE,
@@ -165,7 +186,7 @@ fn build_items(scenario: &Scenario, write_ratio: f64, batches: usize) -> Vec<Exe
     let clients: Vec<ClientId> = (0..64).map(ClientId).collect();
     (0..batches)
         .map(|i| {
-            let batch: Batch = gen.next_batch(&clients, BATCH_TXNS);
+            let batch: Batch = gen.next_batch(&clients, txns_per_batch);
             ExecuteItem {
                 seq: SeqNum(i as u64 + 1),
                 view: ViewNum(0),
@@ -176,6 +197,37 @@ fn build_items(scenario: &Scenario, write_ratio: f64, batches: usize) -> Vec<Exe
             }
         })
         .collect()
+}
+
+/// Executes all items through the serial path with a write-ahead log
+/// attached under the given fsync policy; returns (txns/sec, fsyncs
+/// issued). One WAL append per committed batch — the group-commit rows
+/// show the flusher amortizing many appends into few fsyncs, `always`
+/// pays one fsync per batch, `none` bounds the pure append overhead.
+fn run_durable(items: &[ExecuteItem], fsync: FsyncMode, window_us: u64, tag: &str) -> (f64, u64) {
+    let dir = std::env::temp_dir().join(format!("rdb-walbench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = DurabilityConfig {
+        data_dir: Some(dir.display().to_string()),
+        fsync,
+        group_commit_window_us: window_us.max(1),
+    };
+    let executor = Backend::Mem.fresh_executor();
+    let (durability, _state) = Durability::open(&dir, &config).expect("open bench WAL");
+    let durability = Arc::new(durability);
+    executor.set_durability(Arc::clone(&durability));
+    let total_txns: usize = items.iter().map(|i| i.batch.len()).sum();
+    let start = Instant::now();
+    for item in items {
+        let (digest, replies) = executor.execute(item);
+        std::hint::black_box((digest, replies.len()));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let syncs = durability.wal_syncs();
+    drop(durability);
+    drop(executor);
+    let _ = std::fs::remove_dir_all(&dir);
+    (total_txns as f64 / elapsed, syncs)
 }
 
 /// Executes all items with `threads` execute workers (1 = serial path)
@@ -271,6 +323,48 @@ fn run_suite() -> Vec<Sample> {
             }
         }
     }
+
+    // --- durable-backend sweep: fsync policy × group-commit window ------
+    // Serial execution over the low-contention mem workload with the WAL
+    // attached. The interesting ratio is txn/s vs the wal/none row (pure
+    // append cost) and the fsync counts: group commit collapses one-per-
+    // batch fsyncs into one per window.
+    let wal_policies: [(&'static str, FsyncMode, u64); 5] = [
+        ("always", FsyncMode::Always, 0),
+        ("group-250us", FsyncMode::Group, 250),
+        ("group-1ms", FsyncMode::Group, 1_000),
+        ("group-4ms", FsyncMode::Group, 4_000),
+        ("none", FsyncMode::Never, 0),
+    ];
+    // Small batches (the smoke-test scale) commit fast enough that the
+    // wider windows genuinely coalesce several appends per fsync; the
+    // 256-txn bench batches would arrive slower than any window.
+    let (write_ratio, _) = Backend::Mem.workload();
+    let items = build_sized_items(&SCENARIOS[0], write_ratio, 192, 32);
+    for (name, fsync, window_us) in wal_policies {
+        let _ = run_durable(&items, fsync, window_us, name); // warm-up
+        let mut best = 0.0f64;
+        let mut syncs = 0u64;
+        for _ in 0..repeats {
+            let (tput, s) = run_durable(&items, fsync, window_us, name);
+            if tput > best {
+                best = tput;
+                syncs = s;
+            }
+        }
+        record(
+            &mut samples,
+            format!("execution/wal/{name}/threads-1"),
+            best,
+            "txn/s",
+        );
+        record(
+            &mut samples,
+            format!("execution/wal/{name}/fsyncs"),
+            syncs as f64,
+            "syncs",
+        );
+    }
     samples
 }
 
@@ -284,12 +378,15 @@ fn emit_json(samples: &[Sample]) {
     out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str(&format!(
         "  \"workload\": \"{BATCH_TXNS} txns/batch x {OPS_PER_TXN} ops, {VALUE_SIZE}B values, \
-         table {TABLE_SIZE}, window {WINDOW}; io backend reads pay {}us\",\n",
+         table {TABLE_SIZE}, window {WINDOW}; io backend reads pay {}us; \
+         wal sweep runs 192 batches x 32 txns\",\n",
         IO_DELAY.as_micros()
     ));
     out.push_str(
         "  \"unit\": \"txn/s (speedup entries are ratios vs the serial execute-thread; \
-         mem rows scale with physical cores, io rows with overlapped read latency)\",\n",
+         mem rows scale with physical cores, io rows with overlapped read latency; \
+         wal rows are serial execution with the write-ahead log attached under the \
+         named fsync policy, fsyncs rows count syncs for the whole run)\",\n",
     );
     out.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {

@@ -79,6 +79,79 @@ impl StorageMode {
     }
 }
 
+/// When the write-ahead log forces appended records to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum FsyncMode {
+    /// fsync on every append — strongest durability, one disk flush per
+    /// committed batch.
+    Always,
+    /// Group commit: appends only mark the log dirty and a flusher thread
+    /// issues one fsync per `group_commit_window_us` window, amortizing
+    /// the flush across every batch committed inside it.
+    #[default]
+    Group,
+    /// Never fsync — the OS page cache decides; a machine crash may lose
+    /// the unsynced tail (a process crash does not).
+    Never,
+}
+
+impl FsyncMode {
+    /// Stable lowercase name, used by config files and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            FsyncMode::Always => "always",
+            FsyncMode::Group => "group",
+            FsyncMode::Never => "never",
+        }
+    }
+}
+
+/// Durability knobs for the recovery path: where replica state lives on
+/// disk and how aggressively the write-ahead log flushes.
+///
+/// With `data_dir` unset (the default) replicas are memory-only, exactly
+/// as before this layer existed: a restarted replica recovers over the
+/// network via snapshot transfer. Setting it gives each replica a
+/// `<data_dir>/replica-<id>` directory holding its WAL and persisted
+/// checkpoint snapshots, and a restart replays local state first, falling
+/// back to the network only when the directory is missing or corrupt.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DurabilityConfig {
+    /// Root directory for per-replica persistent state (`None` ⇒ memory
+    /// only, no WAL, no persisted snapshots).
+    pub data_dir: Option<String>,
+    /// When WAL appends reach stable storage.
+    pub fsync: FsyncMode,
+    /// Group-commit window in microseconds (only meaningful with
+    /// [`FsyncMode::Group`]; default 1 ms).
+    pub group_commit_window_us: u64,
+}
+
+impl DurabilityConfig {
+    /// Default group-commit window: 1 ms.
+    pub const DEFAULT_GROUP_COMMIT_WINDOW_US: u64 = 1_000;
+
+    /// Whether this configuration persists anything at all.
+    pub fn enabled(&self) -> bool {
+        self.data_dir.is_some()
+    }
+
+    /// The group-commit window as a [`std::time::Duration`].
+    pub fn group_commit_window(&self) -> std::time::Duration {
+        std::time::Duration::from_micros(self.group_commit_window_us)
+    }
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            data_dir: None,
+            fsync: FsyncMode::Group,
+            group_commit_window_us: Self::DEFAULT_GROUP_COMMIT_WINDOW_US,
+        }
+    }
+}
+
 /// Per-replica thread allocation, mirroring Figures 6a/6b.
 ///
 /// The paper's `xE yB` notation maps to `execute_threads = x`,
@@ -267,6 +340,9 @@ pub struct SystemConfig {
     /// merge into one deterministic execute schedule. `1` is classic
     /// single-primary operation.
     pub consensus_instances: usize,
+    /// Durability of the recovery path: data directory, fsync policy and
+    /// group-commit window.
+    pub durability: DurabilityConfig,
 }
 
 impl SystemConfig {
@@ -300,6 +376,7 @@ impl SystemConfig {
             view_timeout_ms: 2_000,
             byzantine_primary: false,
             consensus_instances: 1,
+            durability: DurabilityConfig::default(),
         })
     }
 
@@ -374,6 +451,12 @@ impl SystemConfig {
     /// (multi-primary ordering). `1` restores single-primary operation.
     pub fn with_consensus_instances(mut self, k: usize) -> Self {
         self.consensus_instances = k;
+        self
+    }
+
+    /// Builder-style: sets the durability configuration.
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = durability;
         self
     }
 
@@ -460,6 +543,19 @@ impl SystemConfig {
                  Zyzzyva's speculative history chain cannot interleave instances"
                     .into(),
             ));
+        }
+        if self.durability.fsync == FsyncMode::Group && self.durability.group_commit_window_us == 0
+        {
+            return Err(CommonError::InvalidConfig(
+                "group_commit_window_us must be positive under fsync = group".into(),
+            ));
+        }
+        if let Some(dir) = &self.durability.data_dir {
+            if dir.is_empty() {
+                return Err(CommonError::InvalidConfig(
+                    "data_dir must be a non-empty path when set".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -608,5 +704,32 @@ mod tests {
         assert_eq!(ProtocolKind::Zyzzyva.name(), "Zyzzyva");
         assert_eq!(CryptoScheme::CmacEd25519.name(), "CMAC+ED25519");
         assert_eq!(StorageMode::Paged.name(), "paged");
+        assert_eq!(FsyncMode::Group.name(), "group");
+    }
+
+    #[test]
+    fn durability_defaults_and_validation() {
+        let c = SystemConfig::new(4).unwrap();
+        assert!(!c.durability.enabled(), "memory-only by default");
+        assert_eq!(c.durability.fsync, FsyncMode::Group);
+        assert_eq!(
+            c.durability.group_commit_window(),
+            std::time::Duration::from_millis(1)
+        );
+
+        let mut c = SystemConfig::new(4).unwrap();
+        c.durability.data_dir = Some("/tmp/rdb".into());
+        assert!(c.durability.enabled());
+        assert!(c.validate().is_ok());
+
+        // A zero window under group commit would spin the flusher.
+        c.durability.group_commit_window_us = 0;
+        assert!(c.validate().is_err());
+        c.durability.fsync = FsyncMode::Always;
+        assert!(c.validate().is_ok(), "window is irrelevant off group mode");
+
+        let mut c = SystemConfig::new(4).unwrap();
+        c.durability.data_dir = Some(String::new());
+        assert!(c.validate().is_err(), "empty data_dir rejected");
     }
 }

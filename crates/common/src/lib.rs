@@ -32,7 +32,10 @@ pub mod transaction;
 
 pub use block::{Block, BlockCertificate, BlockLink};
 pub use codec::{Wire, WireReader, WireWriter};
-pub use config::{CryptoScheme, ProtocolKind, StorageMode, SystemConfig, ThreadConfig};
+pub use config::{
+    CryptoScheme, DurabilityConfig, FsyncMode, ProtocolKind, StorageMode, SystemConfig,
+    ThreadConfig,
+};
 pub use error::{CommonError, Result};
 pub use ids::{ClientId, Digest, ReplicaId, SeqNum, SignatureBytes, TxnId, ViewNum};
 pub use messages::{Message, MessageKind};

@@ -21,7 +21,7 @@
 //! config file carries a `[node]` section parsed by
 //! [`NodeOptions::apply_toml`] alongside the existing `[peers]` section.
 
-use crate::config::{CryptoScheme, ProtocolKind, SystemConfig, ThreadConfig};
+use crate::config::{CryptoScheme, FsyncMode, ProtocolKind, SystemConfig, ThreadConfig};
 use crate::error::{CommonError, Result};
 use crate::peers::PeerMap;
 use std::time::Duration;
@@ -220,6 +220,25 @@ impl NodeOptions {
         self
     }
 
+    /// Root directory for per-replica durable state (WAL + persisted
+    /// snapshots). Unset ⇒ memory-only replicas, network-only recovery.
+    pub fn data_dir(mut self, dir: impl Into<String>) -> Self {
+        self.system.durability.data_dir = Some(dir.into());
+        self
+    }
+
+    /// When WAL appends reach stable storage.
+    pub fn fsync(mut self, mode: FsyncMode) -> Self {
+        self.system.durability.fsync = mode;
+        self
+    }
+
+    /// Group-commit window ([`FsyncMode::Group`] only).
+    pub fn group_commit_window(mut self, window: Duration) -> Self {
+        self.system.durability.group_commit_window_us = window.as_micros() as u64;
+        self
+    }
+
     /// Number of client identities to generate keys for (also sizes the
     /// modeled client population).
     pub fn client_keys(mut self, clients: usize) -> Self {
@@ -324,6 +343,9 @@ impl NodeOptions {
     /// event_loops = 2
     /// queue_capacity = 4096
     /// client_queue_capacity = 4096
+    /// data_dir = "/var/lib/rdb"   # durable state root (unset ⇒ memory-only)
+    /// fsync = "group"             # "always" | "group" | "never"
+    /// group_commit_window_us = 1000
     /// ```
     ///
     /// Files without a `[node]` section are a no-op, so a bare peer map
@@ -397,6 +419,19 @@ impl NodeOptions {
             }
             "consensus_instances" => {
                 self.system.consensus_instances = value.parse().map_err(|_| bad("integer"))?
+            }
+            "data_dir" => self.system.durability.data_dir = Some(value.to_string()),
+            "fsync" => {
+                self.system.durability.fsync = match value.to_ascii_lowercase().as_str() {
+                    "always" => FsyncMode::Always,
+                    "group" => FsyncMode::Group,
+                    "never" => FsyncMode::Never,
+                    _ => return Err(bad("fsync mode")),
+                }
+            }
+            "group_commit_window_us" => {
+                self.system.durability.group_commit_window_us =
+                    value.parse().map_err(|_| bad("integer"))?
             }
             "event_loops" => self.net.event_loops = value.parse().map_err(|_| bad("integer"))?,
             "queue_capacity" => {
@@ -565,6 +600,42 @@ client_queue_capacity = 1024
             .unwrap()
             .protocol(ProtocolKind::Zyzzyva)
             .consensus_instances(2);
+        assert!(opts.validate().is_err());
+    }
+
+    #[test]
+    fn durability_layer_and_toml() {
+        let opts = NodeOptions::in_memory(4)
+            .unwrap()
+            .data_dir("/tmp/rdb-data")
+            .fsync(FsyncMode::Always)
+            .group_commit_window(Duration::from_micros(250));
+        assert_eq!(
+            opts.system.durability.data_dir.as_deref(),
+            Some("/tmp/rdb-data")
+        );
+        assert_eq!(opts.system.durability.fsync, FsyncMode::Always);
+        assert_eq!(opts.system.durability.group_commit_window_us, 250);
+        assert!(opts.validate().is_ok());
+
+        let mut opts = NodeOptions::new(four_peers()).unwrap();
+        opts.apply_toml(
+            "[node]\ndata_dir = \"/var/lib/rdb\"\nfsync = \"never\"\ngroup_commit_window_us = 4000\n",
+        )
+        .unwrap();
+        assert_eq!(
+            opts.system.durability.data_dir.as_deref(),
+            Some("/var/lib/rdb")
+        );
+        assert_eq!(opts.system.durability.fsync, FsyncMode::Never);
+        assert_eq!(opts.system.durability.group_commit_window_us, 4_000);
+        assert!(opts.validate().is_ok());
+
+        assert!(opts.apply_toml("[node]\nfsync = \"sometimes\"\n").is_err());
+        // A zero group-commit window fails through the same entry point.
+        let opts = NodeOptions::in_memory(4)
+            .unwrap()
+            .group_commit_window(Duration::ZERO);
         assert!(opts.validate().is_err());
     }
 

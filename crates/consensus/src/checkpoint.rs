@@ -1,9 +1,13 @@
 //! Checkpoint collection (Section 4.7).
 //!
 //! After every Δ executed batches a replica broadcasts a `Checkpoint`
-//! message carrying its state digest. When 2f+1 matching checkpoints for
-//! the same sequence arrive, the checkpoint is *stable*: everything below
-//! it can be garbage-collected.
+//! message carrying its state digest (whose state component is the
+//! store's sparse-Merkle root — see `rdb_storage::merkle` — the same
+//! commitment snapshot transfer and durable recovery verify against).
+//! When 2f+1 matching checkpoints for the same sequence arrive, the
+//! checkpoint is *stable*: everything below it can be garbage-collected,
+//! and a replica with a data directory persists the covering snapshot
+//! and compacts its write-ahead log down to the suffix above it.
 
 use rdb_common::{Digest, ReplicaId, SeqNum};
 use std::collections::{HashMap, HashSet};

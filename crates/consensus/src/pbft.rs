@@ -479,7 +479,10 @@ impl Pbft {
     /// the 2f+1 commit certificate proving its order. Returns `None` when
     /// the sequence never committed here or was garbage-collected by a
     /// stable checkpoint (the runtime then falls back to a snapshot).
-    pub fn serve_fetch(&self, seq: SeqNum) -> Option<(ViewNum, Digest, Arc<Batch>, BlockCertificate)> {
+    pub fn serve_fetch(
+        &self,
+        seq: SeqNum,
+    ) -> Option<(ViewNum, Digest, Arc<Batch>, BlockCertificate)> {
         let inst = self.instances.get(&seq)?;
         if !inst.committed {
             return None;

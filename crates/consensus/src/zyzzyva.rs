@@ -1206,8 +1206,10 @@ mod tests {
         assert!(r2.on_message(&pre_prepare(5, d(5))).is_empty());
         // The next sequence continues on the adopted history.
         let acts = r2.on_message(&pre_prepare(11, d(11)));
-        assert!(matches!(&acts[..], [Action::SpecExecute { seq, history, .. }]
-            if *seq == SeqNum(11) && *history == chain_digest(&d(42), &d(11))));
+        assert!(
+            matches!(&acts[..], [Action::SpecExecute { seq, history, .. }]
+            if *seq == SeqNum(11) && *history == chain_digest(&d(42), &d(11)))
+        );
     }
 
     #[test]

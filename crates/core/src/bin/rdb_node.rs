@@ -29,6 +29,8 @@
 //! Replica output protocol (consumed by the smoke harnesses):
 //!
 //! ```text
+//! RECOVER replica=0 source=local snapshot_seq=40 replayed_batches=3 replayed_txns=60
+//!                                           (only with --data-dir, before READY)
 //! READY replica=0 listen=127.0.0.1:7000
 //! STATE replica=0 executed=120 digest=ab…   (periodic)
 //! FINAL replica=0 executed=200 digest=ab…   (once --exit-after-txns is reached)
@@ -41,7 +43,9 @@
 //!       tps=2460.0 p50_us=41000 p95_us=95000 p99_us=120000
 //! ```
 
-use rdb_common::{ClientId, CryptoScheme, NodeOptions, PeerMap, ProtocolKind, ReplicaId};
+use rdb_common::{
+    ClientId, CryptoScheme, FsyncMode, NodeOptions, PeerMap, ProtocolKind, ReplicaId,
+};
 use resilientdb::scenario::{FaultPlan, Mark};
 use resilientdb::{
     connect_client, run_swarm, start_replica, swarm_net, SwarmConfig, SwarmReport, SystemBuilder,
@@ -70,6 +74,9 @@ struct Args {
     run_secs: u64,
     linger_ms: u64,
     fault_plan: Option<String>,
+    data_dir: Option<String>,
+    fsync: Option<FsyncMode>,
+    group_commit_window_us: Option<u64>,
     // client knobs
     client_id: u64,
     txns: u64,
@@ -120,6 +127,15 @@ replica options:
                             at elapsed_ms <n> drop_rate <f> | delay_jitter_us <n>
                           (committed marks fire on this node's local
                           executed-transaction count)
+  --data-dir <dir>        root directory for durable state; the replica
+                          writes <dir>/replica-<id>/ (WAL + snapshots) and
+                          recovers from it on restart, printing a RECOVER
+                          line. Without it the replica is memory-only.
+  --fsync <policy>        always | group (default) | never — when WAL
+                          appends reach the disk platter
+  --group-commit-window-us <n>
+                          fsync coalescing window for --fsync group
+                          (default 1000)
 
 client options:
   --client-id <n>         which client identity to use (default 0)
@@ -157,6 +173,9 @@ fn parse_args() -> Args {
         run_secs: 600,
         linger_ms: 2_000,
         fault_plan: None,
+        data_dir: None,
+        fsync: None,
+        group_commit_window_us: None,
         client_id: 0,
         txns: 100,
         burst: None,
@@ -252,6 +271,17 @@ fn parse_args() -> Args {
             "--run-secs" => args.run_secs = parsed!(),
             "--linger-ms" => args.linger_ms = parsed!(),
             "--fault-plan" => args.fault_plan = Some(value!()),
+            "--data-dir" => args.data_dir = Some(value!()),
+            "--fsync" => {
+                let v = value!();
+                args.fsync = Some(match v.as_str() {
+                    "always" => FsyncMode::Always,
+                    "group" => FsyncMode::Group,
+                    "never" => FsyncMode::Never,
+                    _ => bad(&flag, &v),
+                });
+            }
+            "--group-commit-window-us" => args.group_commit_window_us = Some(parsed!()),
             "--client-id" => args.client_id = parsed!(),
             "--txns" => args.txns = parsed!(),
             "--burst" => args.burst = Some(parsed!()),
@@ -317,6 +347,15 @@ fn node_options(args: &Args) -> NodeOptions {
     }
     if let Some(k) = args.consensus_instances {
         node.system.consensus_instances = k;
+    }
+    if let Some(dir) = &args.data_dir {
+        node.system.durability.data_dir = Some(dir.clone());
+    }
+    if let Some(f) = args.fsync {
+        node.system.durability.fsync = f;
+    }
+    if let Some(w) = args.group_commit_window_us {
+        node.system.durability.group_commit_window_us = w;
     }
     if let Err(e) = node.validate() {
         fail(e);
@@ -387,6 +426,16 @@ fn run_replica(args: &Args, id: ReplicaId) -> ExitCode {
     };
     if let Some(plan) = plan {
         spawn_fault_schedule(plan, &node, id);
+    }
+    if let Some(report) = node.shared().recovery_report() {
+        println!(
+            "RECOVER replica={} source={} snapshot_seq={} replayed_batches={} replayed_txns={}",
+            id.0,
+            report.source.name(),
+            report.snapshot_seq.0,
+            report.replayed_batches,
+            report.replayed_txns,
+        );
     }
     println!(
         "READY replica={} listen={}",

@@ -1230,6 +1230,96 @@ fn write_pending(conn: &mut Conn) -> io::Result<bool> {
     }
 }
 
+/// Binds a listener with `SO_REUSEADDR` set, so a replica restarted onto
+/// its old address does not trip over the TIME_WAIT sockets its killed
+/// predecessor left behind (std's `TcpListener::bind` leaves the option
+/// off, which makes a quick kill-and-restart fail with `EADDRINUSE` for
+/// up to a minute). Non-IPv4 addresses and non-Linux targets fall back
+/// to the std bind.
+#[cfg(target_os = "linux")]
+fn bind_reuseaddr(addr: SocketAddr) -> io::Result<TcpListener> {
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::FromRawFd;
+
+    let SocketAddr::V4(v4) = addr else {
+        return TcpListener::bind(addr);
+    };
+
+    const AF_INET: c_int = 2;
+    const SOCK_STREAM: c_int = 1;
+    const SOCK_CLOEXEC: c_int = 0o2000000;
+    const SOL_SOCKET: c_int = 1;
+    const SO_REUSEADDR: c_int = 2;
+
+    /// Mirrors the kernel's `struct sockaddr_in` (16 bytes, no padding).
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        /// Network byte order.
+        port: u16,
+        /// Network byte order.
+        addr: u32,
+        zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            name: c_int,
+            value: *const c_void,
+            len: u32,
+        ) -> c_int;
+        fn bind(fd: c_int, addr: *const SockaddrIn, len: u32) -> c_int;
+        fn listen(fd: c_int, backlog: c_int) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    // SAFETY: plain syscalls on a socket fd this function owns until it
+    // is wrapped into a TcpListener (or closed on the error paths).
+    let fd = unsafe { socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let fail = |fd: c_int| -> io::Error {
+        let e = io::Error::last_os_error();
+        unsafe { close(fd) };
+        e
+    };
+    let one: c_int = 1;
+    let rc = unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_REUSEADDR,
+            (&one as *const c_int).cast(),
+            std::mem::size_of::<c_int>() as u32,
+        )
+    };
+    if rc < 0 {
+        return Err(fail(fd));
+    }
+    let sa = SockaddrIn {
+        family: AF_INET as u16,
+        port: v4.port().to_be(),
+        addr: u32::from(*v4.ip()).to_be(),
+        zero: [0; 8],
+    };
+    if unsafe { bind(fd, &sa, std::mem::size_of::<SockaddrIn>() as u32) } < 0 {
+        return Err(fail(fd));
+    }
+    if unsafe { listen(fd, 1024) } < 0 {
+        return Err(fail(fd));
+    }
+    Ok(unsafe { TcpListener::from_raw_fd(fd) })
+}
+
+#[cfg(not(target_os = "linux"))]
+fn bind_reuseaddr(addr: SocketAddr) -> io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}
+
 /// A TCP-backed [`Transport`]: one instance per OS process/node.
 ///
 /// Call [`TcpTransport::shutdown`] (or `NetHandle::shutdown`) when done —
@@ -1257,7 +1347,7 @@ impl TcpTransport {
     /// Returns the bind error if the listen address is taken or invalid.
     pub fn new(cfg: TcpConfig) -> io::Result<TcpTransport> {
         let listener = match cfg.listen {
-            Some(addr) => Some(TcpListener::bind(addr)?),
+            Some(addr) => Some(bind_reuseaddr(addr)?),
             None => None,
         };
         Ok(Self::with_listener(cfg, listener))
@@ -1655,6 +1745,24 @@ mod tests {
             Some(listeners.remove(0)),
         );
         (t0, t1)
+    }
+
+    /// A restarted replica must rebind its old address immediately even
+    /// though the predecessor's served connections left TIME_WAIT
+    /// sockets on the same local port (the kill-and-restart path of the
+    /// durable-recovery smoke test).
+    #[test]
+    fn rebind_survives_time_wait_from_a_served_connection() {
+        let listener = bind_reuseaddr("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (served, _) = listener.accept().unwrap();
+        // Server closes first: its side of the connection ends up owning
+        // the port in FIN_WAIT/TIME_WAIT.
+        drop(served);
+        drop(listener);
+        drop(client);
+        bind_reuseaddr(addr).expect("rebind onto the lingering port");
     }
 
     #[test]

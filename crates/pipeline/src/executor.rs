@@ -16,6 +16,7 @@
 //! - [`Executor::commit`] — the in-order half: apply writes, append the
 //!   block, build replies, maintain counters.
 
+use crate::durable::{commit_entry_bytes, Durability, WalEntry};
 use crate::queues::ExecuteItem;
 use parking_lot::Mutex;
 use rdb_common::messages::{Message, Sender};
@@ -142,6 +143,10 @@ pub struct Executor {
     snapshot_interval: AtomicU64,
     /// The most recent captured snapshot, served to rejoining peers.
     latest_snapshot: Mutex<Option<Arc<Snapshot>>>,
+    /// The replica's write-ahead log, when it runs durable. Attached
+    /// *after* restart replay (see [`crate::durable::recover_replica`]) so
+    /// replayed batches do not re-log themselves.
+    durability: Mutex<Option<Arc<Durability>>>,
 }
 
 impl std::fmt::Debug for Executor {
@@ -177,7 +182,19 @@ impl Executor {
             undo: Mutex::new(BTreeMap::new()),
             snapshot_interval: AtomicU64::new(0),
             latest_snapshot: Mutex::new(None),
+            durability: Mutex::new(None),
         }
+    }
+
+    /// Attaches the durable WAL: every commit, rollback and stable mark
+    /// from here on is logged. Call after restart replay, never before.
+    pub fn set_durability(&self, durability: Arc<Durability>) {
+        *self.durability.lock() = Some(durability);
+    }
+
+    /// The attached durable state, if this executor runs durable.
+    pub fn durability(&self) -> Option<Arc<Durability>> {
+        self.durability.lock().clone()
     }
 
     /// Enables snapshot capture every `interval` sequences (0 disables).
@@ -329,8 +346,12 @@ impl Executor {
             );
         }
         let interval = self.snapshot_interval.load(Ordering::Relaxed);
-        if interval > 0 && item.seq.0 % interval == 0 {
+        if interval > 0 && item.seq.0.is_multiple_of(interval) {
             self.capture_snapshot(item.seq, item.history);
+        }
+        // Make the batch durable before its replies leave the replica.
+        if let Some(durability) = self.durability.lock().clone() {
+            durability.log_raw(&commit_entry_bytes(item));
         }
         (state_digest, replies)
     }
@@ -340,7 +361,12 @@ impl Executor {
     /// at checkpoint cadence, so every replica captures identical state
     /// at identical sequences (the f+1 agreement a receiver requires).
     fn capture_snapshot(&self, seq: SeqNum, history: Option<Digest>) {
-        let Some(block) = self.chain.lock().blocks_between(SeqNum(seq.0 - 1), seq).pop() else {
+        let Some(block) = self
+            .chain
+            .lock()
+            .blocks_between(SeqNum(seq.0 - 1), seq)
+            .pop()
+        else {
             return;
         };
         let snapshot = Snapshot {
@@ -356,8 +382,8 @@ impl Executor {
     /// `to`: restores pre-batch images newest-first, truncates the ledger,
     /// and reverses the dedup/counter bookkeeping. Returns the number of
     /// batches undone. The rewound state is bit-identical to a replica
-    /// that never executed the suffix — the XOR-fold store digest folds
-    /// each restored record back to its pre-batch hash.
+    /// that never executed the suffix — the store's Merkle commitment is
+    /// content-only, so restoring every touched record restores the root.
     pub fn rollback_to(&self, to: SeqNum) -> usize {
         let suffix: BTreeMap<SeqNum, UndoRecord> = self.undo.lock().split_off(&SeqNum(to.0 + 1));
         let undone = suffix.len();
@@ -384,6 +410,9 @@ impl Executor {
             let mut chain = self.chain.lock();
             let target = SeqNum(to.0.min(chain.head_seq().0));
             chain.truncate_to(target);
+            if let Some(durability) = self.durability.lock().clone() {
+                durability.log(&WalEntry::Rollback { to });
+            }
         }
         undone
     }
@@ -394,11 +423,33 @@ impl Executor {
         self.undo.lock().retain(|seq, _| *seq > through);
     }
 
+    /// Records that the checkpoint at `seq` became 2f+1-stable: prunes the
+    /// undo log, and — when running durable — logs a `Stable` marker and
+    /// persists the serving snapshot to disk (compacting the WAL down to
+    /// the suffix above it) once the captured snapshot's base is covered
+    /// by the stable floor.
+    pub fn note_stable(&self, seq: SeqNum) {
+        self.prune_undo(seq);
+        let Some(durability) = self.durability.lock().clone() else {
+            return;
+        };
+        durability.log(&WalEntry::Stable { seq });
+        let snapshot = self.latest_snapshot.lock().clone();
+        if let Some(snapshot) = snapshot {
+            if snapshot.base_seq <= seq {
+                durability.persist_stable(&snapshot);
+            }
+        }
+    }
+
     /// Replaces the replica state with a verified snapshot: the store
     /// contents, the ledger re-based at the snapshot block, and a cleared
-    /// undo log. Executed-counter totals are deliberately *not* advanced —
-    /// the point of state transfer is that the receiver skips re-executing
-    /// the transferred history.
+    /// undo log. Executed-counter totals (`executed_txns`,
+    /// `executed_batches`, `deduped_txns`) are deliberately *not*
+    /// advanced — the point of state transfer is that the receiver skips
+    /// re-executing the transferred history, so the counters keep meaning
+    /// "work this process actually performed" (restart replay and the
+    /// smoke scripts rely on that reading).
     pub fn install_snapshot(&self, snapshot: &Snapshot) {
         self.store.install_records(&snapshot.records);
         self.chain
@@ -608,11 +659,42 @@ mod tests {
         fresh.install_snapshot(&snap);
         assert_eq!(fresh.store.state_digest(), ex.store.state_digest());
         assert_eq!(fresh.chain.lock().head_seq(), SeqNum(2));
-        assert_eq!(fresh.executed_txns(), 0, "transferred history is not re-counted");
+        assert_eq!(
+            fresh.executed_txns(),
+            0,
+            "transferred history is not re-counted"
+        );
         // Execution resumes at base + 1 and both replicas stay in step.
         let (da, _) = ex.execute(&exec_item(3, None));
         let (db, _) = fresh.execute(&exec_item(3, None));
         assert_eq!(da, db);
+    }
+
+    /// The documented `install_snapshot` invariant: transferred history is
+    /// installed, never counted as executed work. Restart replay and the
+    /// fault-matrix smoke script both read the counters as "work this
+    /// process performed", so advancing them here would break that math.
+    #[test]
+    fn install_snapshot_does_not_advance_executed_counters() {
+        let source = executor(ProtocolKind::Pbft, ChainMode::Certificate);
+        source.set_snapshot_interval(2);
+        source.execute(&exec_item(1, None));
+        source.execute(&exec_item(2, None));
+        let snap = source.latest_snapshot().expect("captured at seq 2");
+
+        let receiver = executor(ProtocolKind::Pbft, ChainMode::Certificate);
+        receiver.execute(&exec_item(1, None)); // some pre-transfer work
+        let (txns, batches, dups) = (
+            receiver.executed_txns(),
+            receiver.executed_batches(),
+            receiver.deduped_txns(),
+        );
+        receiver.install_snapshot(&snap);
+        assert_eq!(receiver.executed_txns(), txns);
+        assert_eq!(receiver.executed_batches(), batches);
+        assert_eq!(receiver.deduped_txns(), dups);
+        // The state itself did move to the snapshot.
+        assert_eq!(receiver.store.state_digest(), source.store.state_digest());
     }
 
     #[test]
@@ -621,7 +703,11 @@ mod tests {
         ex.execute(&tagged_item(1, 1));
         ex.execute(&tagged_item(2, 2));
         ex.prune_undo(SeqNum(2));
-        assert_eq!(ex.rollback_to(SeqNum(0)), 0, "checkpointed prefix cannot rewind");
+        assert_eq!(
+            ex.rollback_to(SeqNum(0)),
+            0,
+            "checkpointed prefix cannot rewind"
+        );
     }
 
     #[test]

@@ -11,12 +11,15 @@
 //! - [`metrics`] — per-thread busy-time tracking, producing the saturation
 //!   percentages of Figure 9.
 //! - [`executor`] — ordered execution, block creation, client replies.
+//! - [`durable`] — the typed write-ahead log and restart-from-disk
+//!   replay behind the recovery path.
 //! - [`replica`] — [`spawn_replica`] wires it all together.
 //!
 //! Thread counts are configuration (`ThreadConfig`), so the paper's
 //! `0E 0B` → `1E 2B` progression (Figure 8) is a parameter sweep, not a
 //! code change.
 
+pub mod durable;
 pub mod executor;
 pub mod metrics;
 pub mod queues;
@@ -24,6 +27,7 @@ pub mod recovery;
 pub mod replica;
 pub mod scheduler;
 
+pub use durable::{recover_replica, Durability, RecoveryReport, RecoverySource, WalEntry};
 pub use executor::{execute_txn, Executor, OutItem, TxnOutcome};
 pub use metrics::{MetricsRegistry, SaturationReport, Stage, StageRecorder, ThreadSaturation};
 pub use queues::{ClientRequestQueue, ExecuteItem, ExecutionQueues};

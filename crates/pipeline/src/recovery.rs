@@ -8,15 +8,18 @@
 //! falls back to demanding f+1 *distinct* peers return byte-identical
 //! responses — at least one of them is honest. Snapshots are
 //! self-committing: the transferred records must hash back (via the same
-//! XOR-fold the store maintains incrementally) to the state commitment in
-//! the snapshot's chain block, and the worker additionally requires f+1
-//! peers to agree on that commitment before installing.
+//! sparse Merkle commitment the store maintains incrementally) to the
+//! state commitment in the snapshot's chain block, and the worker
+//! additionally requires f+1 peers to agree on that commitment before
+//! installing. The Merkle root replaced PR 9's XOR fold here: a Byzantine
+//! responder can assemble record sets that cancel under XOR, but not ones
+//! that collide a SHA-256 tree.
 
 use rdb_common::block::BlockCertificate;
 use rdb_common::messages::{Message, Sender, SignedMessage};
 use rdb_common::{Digest, ReplicaId, SeqNum, Snapshot, ViewNum};
 use rdb_crypto::CryptoProvider;
-use rdb_storage::record_hash;
+use rdb_storage::merkle::commitment_of;
 use std::collections::HashSet;
 
 /// Re-verifies a fetched commit certificate: counts distinct replicas
@@ -56,30 +59,27 @@ pub fn verify_fetch_certificate(
 }
 
 /// Checks a snapshot's internal consistency: the transferred records must
-/// XOR-fold to exactly the state commitment recorded in its chain block,
-/// and the block must sit at the claimed base sequence. Peer agreement
-/// (f+1 matching [`Snapshot::agreement_key`]s) is the caller's job — this
-/// only proves the payload matches what the responder committed to.
+/// rebuild to exactly the Merkle state commitment recorded in its chain
+/// block, and the block must sit at the claimed base sequence. Peer
+/// agreement (f+1 matching [`Snapshot::agreement_key`]s) is the caller's
+/// job — this only proves the payload matches what the responder committed
+/// to. The same check gates snapshots loaded from local disk on restart,
+/// so a corrupt or stale data directory degrades to the network path
+/// instead of installing bad state.
 pub fn verify_snapshot(snapshot: &Snapshot) -> bool {
     if snapshot.block.seq != snapshot.base_seq {
         return false;
     }
-    let mut acc = [0u8; 32];
-    for (key, value) in &snapshot.records {
-        let h = record_hash(*key, value);
-        for (a, b) in acc.iter_mut().zip(h.iter()) {
-            *a ^= b;
-        }
-    }
-    Digest(acc) == snapshot.block.result_digest
+    let rebuilt = commitment_of(snapshot.records.iter().map(|(k, v)| (*k, v.as_slice())));
+    rebuilt == snapshot.block.result_digest
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rdb_common::block::{Block, BlockLink};
-    use rdb_common::SignatureBytes;
     use rdb_common::CryptoScheme;
+    use rdb_common::SignatureBytes;
     use rdb_crypto::{KeyRegistry, PeerClass};
     use rdb_storage::{MemStore, StateStore};
 

@@ -18,6 +18,7 @@
 //! execute workers ([`crate::scheduler`]) whose committed results are
 //! bit-identical to serial execution.
 
+use crate::durable;
 use crate::executor::{Executor, OutItem};
 use crate::metrics::{MetricsRegistry, Stage, StageRecorder};
 use crate::queues::{ClientRequestQueue, ExecuteItem, ExecutionQueues};
@@ -100,6 +101,9 @@ pub struct ReplicaShared {
     /// the input threads route client traffic for instance `j` by
     /// `(view_j + j) % n` through this.
     instance_views: Arc<Vec<AtomicU64>>,
+    /// What restart-from-disk rebuilt (`None` when the replica runs
+    /// memory-only, i.e. no `data_dir` configured).
+    recovery: Option<durable::RecoveryReport>,
 }
 
 impl ReplicaShared {
@@ -132,6 +136,12 @@ impl ReplicaShared {
     /// Number of parallel consensus instances this replica runs.
     pub fn consensus_instances(&self) -> usize {
         self.instance_views.len()
+    }
+
+    /// What restart-from-disk recovery rebuilt at spawn time (`None` when
+    /// the replica runs memory-only).
+    pub fn recovery_report(&self) -> Option<durable::RecoveryReport> {
+        self.recovery
     }
 }
 
@@ -182,9 +192,16 @@ impl ReplicaHandle {
 
 /// Spawns the full pipeline for replica `id` on `net`.
 ///
+/// When `config.durability.data_dir` is set, the replica first rebuilds
+/// itself from its per-replica directory (newest verified snapshot plus
+/// the WAL suffix — see [`durable::recover_replica`]) and resumes
+/// consensus past the recovered head; the outcome is published via
+/// [`ReplicaShared::recovery_report`].
+///
 /// # Panics
-/// Panics if the configuration is invalid (`config.validate()` fails) or a
-/// paged store cannot be created.
+/// Panics if the configuration is invalid (`config.validate()` fails), a
+/// paged store cannot be created, or the replica data directory exists
+/// but cannot be opened for recovery.
 pub fn spawn_replica(
     config: &SystemConfig,
     id: ReplicaId,
@@ -199,18 +216,32 @@ pub fn spawn_replica(
     let flush_after = config.threads.batch_flush_after();
 
     // --- storage ----------------------------------------------------------
+    // With durability configured, everything this replica persists lives
+    // under its own subdirectory of the shared data root.
+    let data_dir: Option<std::path::PathBuf> = config.durability.data_dir.as_ref().map(|root| {
+        let dir = std::path::Path::new(root).join(format!("replica-{}", id.0));
+        std::fs::create_dir_all(&dir).expect("create replica data directory");
+        dir
+    });
     let store: Arc<dyn StateStore> = match config.storage {
         StorageMode::InMemory => Arc::new(MemStore::with_table(config.table_size, 8)),
         StorageMode::Paged => {
-            let path = std::env::temp_dir().join(format!(
-                "rdb-paged-{}-r{}-{:x}",
-                std::process::id(),
-                id.0,
-                std::time::SystemTime::now()
-                    .duration_since(std::time::UNIX_EPOCH)
-                    .map(|d| d.as_nanos() as u64)
-                    .unwrap_or(0)
-            ));
+            // The paged file is a cache of state the WAL + snapshots can
+            // rebuild, so (re)creating it fresh per boot is always safe.
+            let path = data_dir
+                .as_ref()
+                .map(|d| d.join("paged.db"))
+                .unwrap_or_else(|| {
+                    std::env::temp_dir().join(format!(
+                        "rdb-paged-{}-r{}-{:x}",
+                        std::process::id(),
+                        id.0,
+                        std::time::SystemTime::now()
+                            .duration_since(std::time::UNIX_EPOCH)
+                            .map(|d| d.as_nanos() as u64)
+                            .unwrap_or(0)
+                    ))
+                });
             let paged = PagedStore::create(
                 &path,
                 PagedStoreConfig {
@@ -263,6 +294,41 @@ pub fn spawn_replica(
     metrics.start_window();
     let shutdown = Arc::new(AtomicBool::new(false));
     let instance_views: Arc<Vec<AtomicU64>> = Arc::new((0..k).map(|_| AtomicU64::new(0)).collect());
+
+    // Each instance checkpoints every Δ of its *own* executed batches;
+    // scaling Δ by 1/k keeps the global prune cadence (in global sequence
+    // numbers) independent of k.
+    let ckpt_delta = (config.checkpoint_interval / config.batch_size as u64 / k as u64).max(1);
+    // Serving snapshots are captured on the same cadence as checkpoints
+    // (Δ per-instance batches × k instances in global sequence numbers),
+    // so every replica snapshots identical state at identical sequences —
+    // the f+1 cross-peer agreement a state-transferring receiver demands.
+    executor.set_snapshot_interval(ckpt_delta * k as u64);
+    let consensus_cfg = ConsensusConfig::new(config.n, ckpt_delta)
+        // Only the deployment's *initial* primary is byzantine; whoever wins
+        // the ensuing view change behaves honestly.
+        .with_equivocation(
+            config.byzantine_primary && id == rdb_common::ViewNum(0).primary(config.n),
+        );
+    let mut engine = MultiEngine::new(config.protocol, id, consensus_cfg, k);
+
+    // --- durable recovery ---------------------------------------------------
+    // Rebuild from the local WAL + snapshots before any stage thread runs:
+    // replay re-executes through the ordinary executor (the snapshot
+    // interval is already set, so serving snapshots recapture too), then
+    // the consensus engines and execution cursor fast-forward past the
+    // recovered head. Anything the disk could not prove is left to the
+    // network state-transfer path.
+    let recovery = data_dir.as_ref().map(|dir| {
+        let (_, report) = durable::recover_replica(&executor, dir, &config.durability)
+            .expect("replica data directory unusable");
+        if report.head.0 > 0 {
+            engine.install_snapshot(report.head, report.history);
+            exec_queues.repoint(report.head.next());
+        }
+        report
+    });
+
     let shared = Arc::new(ReplicaShared {
         id,
         store,
@@ -275,22 +341,8 @@ pub fn spawn_replica(
         committed_per_instance: (0..k).map(|_| AtomicU64::new(0)).collect(),
         dropped_bad_sigs: AtomicU64::new(0),
         instance_views: Arc::clone(&instance_views),
+        recovery,
     });
-
-    // Each instance checkpoints every Δ of its *own* executed batches;
-    // scaling Δ by 1/k keeps the global prune cadence (in global sequence
-    // numbers) independent of k.
-    let ckpt_delta = (config.checkpoint_interval / config.batch_size as u64 / k as u64).max(1);
-    // Serving snapshots are captured on the same cadence as checkpoints
-    // (Δ per-instance batches × k instances in global sequence numbers),
-    // so every replica snapshots identical state at identical sequences —
-    // the f+1 cross-peer agreement a state-transferring receiver demands.
-    executor.set_snapshot_interval(ckpt_delta * k as u64);
-    let consensus_cfg = ConsensusConfig::new(config.n, ckpt_delta)
-    // Only the deployment's *initial* primary is byzantine; whoever wins
-    // the ensuing view change behaves honestly.
-    .with_equivocation(config.byzantine_primary && id == rdb_common::ViewNum(0).primary(config.n));
-    let engine = MultiEngine::new(config.protocol, id, consensus_cfg, k);
     let n = config.n as u64;
     let replicas: Vec<Sender> = (0..config.n as u32)
         .map(|r| Sender::Replica(ReplicaId(r)))
@@ -485,6 +537,7 @@ pub fn spawn_replica(
         let cfg = config.clone();
         let views = Arc::clone(&instance_views);
         let net_stats = net.stats().clone();
+        let recovered = shared.recovery;
         threads.push(spawn(
             format!("r{}-worker", id.0),
             Box::new(move || {
@@ -506,16 +559,19 @@ pub fn spawn_replica(
                     pending_txns: (0..k).map(|_| Vec::new()).collect(),
                     last_flush: Instant::now(),
                     inline_exec_buf: BTreeMap::new(),
-                    inline_next_exec: SeqNum(1),
-                    stable_checkpoint: SeqNum(0),
-                    pruned_to: SeqNum(0),
+                    // A replica that rebuilt itself from disk resumes its
+                    // cursors past the recovered head; everything below it
+                    // is already executed (and its prefix pruned).
+                    inline_next_exec: recovered.map_or(SeqNum(1), |r| r.head.next()),
+                    stable_checkpoint: recovered.map_or(SeqNum(0), |r| r.stable),
+                    pruned_to: recovered.map_or(SeqNum(0), |r| r.snapshot_seq),
                     instance_views: views,
                     view_timeout,
                     last_progress: vec![Instant::now(); k],
                     suspect_strikes: vec![0; k],
                     client_demand: vec![false; k],
-                    commit_frontier: SeqNum(0),
-                    last_executed: SeqNum(0),
+                    commit_frontier: recovered.map_or(SeqNum(0), |r| r.head),
+                    last_executed: recovered.map_or(SeqNum(0), |r| r.head),
                     f: cfg.f,
                     protocol: cfg.protocol,
                     net_stats,
@@ -527,10 +583,8 @@ pub fn spawn_replica(
                     probe_mark: (SeqNum(0), Instant::now()),
                     // Retries must fit several rounds inside a view timeout
                     // so a straggler repairs itself before suspecting anyone.
-                    fetch_backoff: (view_timeout / 4).clamp(
-                        Duration::from_millis(40),
-                        Duration::from_millis(250),
-                    ),
+                    fetch_backoff: (view_timeout / 4)
+                        .clamp(Duration::from_millis(40), Duration::from_millis(250)),
                 };
                 while !stop.load(Ordering::Relaxed) {
                     match rx.recv_timeout(poll) {
@@ -1165,8 +1219,10 @@ impl WorkerCtx {
                     let pruned = self.chain.lock().prune_below(seq);
                     self.pruned_to = self.pruned_to.max(pruned);
                     // Nothing at or below a 2f+1-stable checkpoint can ever
-                    // roll back; its undo images are dead weight.
-                    self.executor.prune_undo(seq);
+                    // roll back; its undo images are dead weight. With a
+                    // data directory configured this also persists the
+                    // covering snapshot and compacts the WAL behind it.
+                    self.executor.note_stable(seq);
                 }
                 Action::Rollback { to } => {
                     self.apply_rollback(to);
@@ -1318,9 +1374,9 @@ impl WorkerCtx {
                     let (batch, certificate) = (Arc::clone(batch), certificate.clone());
                     self.fetch_votes.retain(|(s, _, _), _| *s != seq);
                     self.fetch_inflight.remove(&seq);
-                    let actions = self
-                        .engine
-                        .install_fetched(seq, view, claimed, batch, certificate);
+                    let actions =
+                        self.engine
+                            .install_fetched(seq, view, claimed, batch, certificate);
                     self.run_actions(actions);
                 }
             }
@@ -1426,8 +1482,7 @@ impl WorkerCtx {
             self.probe_mark = (self.last_executed, Instant::now());
             return;
         }
-        if self.probe_mark.1.elapsed() < self.fetch_backoff * 2 || !self.fetch_inflight.is_empty()
-        {
+        if self.probe_mark.1.elapsed() < self.fetch_backoff * 2 || !self.fetch_inflight.is_empty() {
             return;
         }
         self.probe_mark.1 = Instant::now();

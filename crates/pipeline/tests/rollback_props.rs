@@ -11,6 +11,7 @@
 //! constantly — the hard case for undo, since most rolled-back writes
 //! must restore a *previous* value rather than delete a fresh key.
 
+use parking_lot::Mutex;
 use proptest::prelude::*;
 use rdb_common::block::BlockCertificate;
 use rdb_common::{
@@ -20,7 +21,6 @@ use rdb_pipeline::queues::ExecuteItem;
 use rdb_pipeline::Executor;
 use rdb_storage::blockchain::ChainMode;
 use rdb_storage::{Blockchain, MemStore, StateStore};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 const KEY_SPACE: u64 = 16;
@@ -29,7 +29,9 @@ const KEY_SPACE: u64 = 16;
 /// enough entropy that distinct suffixes produce distinct state).
 fn decode_op(raw: u64) -> Operation {
     if (raw >> 5) & 0b11 == 0 {
-        Operation::Read { key: raw % KEY_SPACE }
+        Operation::Read {
+            key: raw % KEY_SPACE,
+        }
     } else {
         Operation::Write {
             key: raw % KEY_SPACE,
@@ -57,7 +59,7 @@ fn build_items(raw_ops: &[u64], first_seq: u64, salt: u64) -> Vec<ExecuteItem> {
             ));
             counter += 1;
         }
-        let flush = txns.len() >= 1 + (raw % 3) as usize || i == raw_ops.len() - 1;
+        let flush = txns.len() > (raw % 3) as usize || i == raw_ops.len() - 1;
         if flush && !txns.is_empty() {
             let seq = first_seq + items.len() as u64;
             let batch: Batch = std::mem::take(&mut txns).into_iter().collect();

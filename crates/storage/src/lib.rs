@@ -11,13 +11,22 @@
 //!   the previous block on the critical path (Section 4.6).
 //! - [`pool`] — object pools that avoid per-message allocation
 //!   (Section 4.8, "Buffer Pool Management").
+//! - [`merkle`] — the incremental sparse Merkle commitment both stores
+//!   maintain over their records (checkpoint digests, snapshot vouching,
+//!   partial state proofs).
+//! - [`wal`] — the write-ahead log with group commit that makes the
+//!   recovery path durable across process death.
 
 pub mod blockchain;
+pub mod merkle;
 pub mod pagedb;
 pub mod pool;
 pub mod store;
+pub mod wal;
 
 pub use blockchain::Blockchain;
+pub use merkle::{MerkleAccumulator, MerkleProof};
 pub use pagedb::PagedStore;
 pub use pool::BufferPool;
 pub use store::{record_hash, MemStore, StateStore, WriteRecord};
+pub use wal::{FsyncPolicy, Wal, WalRecovery};

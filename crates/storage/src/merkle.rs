@@ -1,0 +1,443 @@
+//! Incremental sparse binary Merkle commitment over store records.
+//!
+//! PR 9's state commitment was an XOR fold of per-record hashes: cheap and
+//! order-independent, but a Byzantine responder can craft record *sets* that
+//! cancel under XOR, and it admits no partial proofs. This module replaces it
+//! with a fixed-depth sparse binary Merkle tree:
+//!
+//! - Records are bucketed into `2^DEPTH` leaves by a Fibonacci hash of their
+//!   key. A leaf commits to the sorted `(key, record_hash)` pairs of its
+//!   bucket; interior nodes are `SHA-256(left ‖ right)`.
+//! - The tree is **sparse**: only non-empty nodes are materialized, and each
+//!   level's all-empty subtree hash is precomputed once, so an empty or
+//!   lightly-populated table costs memory proportional to its occupancy,
+//!   not to `2^DEPTH`.
+//! - Updates are **incremental**: a single `put`/`remove` re-hashes one leaf
+//!   and its root path (`DEPTH` compressions); a batched [`apply`] re-hashes
+//!   each dirty leaf once and propagates dirty parents level by level, so a
+//!   256-write batch shares most of its upper-tree work.
+//! - The root is a pure function of the record *contents* — identical across
+//!   backends (`MemStore` ≡ `PagedStore`) and across put/remove histories
+//!   that converge on the same state, which the Zyzzyva undo log depends on.
+//!
+//! An empty store commits to [`Digest::ZERO`], preserving the XOR-fold
+//! convention every genesis block and test fixture already assumes.
+//!
+//! [`apply`]: MerkleAccumulator::apply
+//!
+//! [`prove`](MerkleAccumulator::prove) / [`verify_proof`] add what the XOR
+//! fold never could: a replica can hand over one bucket plus `DEPTH` sibling
+//! hashes and a verifier checks membership against the 32-byte commitment
+//! without the full record set.
+
+use rdb_common::Digest;
+use rdb_crypto::sha2::Sha256;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::OnceLock;
+
+/// Tree depth: `2^16` leaf buckets. At the paper-scale 600K-row table this
+/// averages ~9 records per bucket; the per-update path is 16 compressions.
+pub const DEPTH: usize = 16;
+const LEAVES: u32 = 1 << DEPTH;
+
+/// Leaf bucket for a key: top `DEPTH` bits of the Fibonacci product, so
+/// sequential workload keys spread across distinct buckets.
+#[inline]
+pub fn bucket_of(key: u64) -> u32 {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - DEPTH)) as u32
+}
+
+/// Per-level hash of an all-empty subtree, computed once per process.
+fn empty_levels() -> &'static [[u8; 32]; DEPTH + 1] {
+    static EMPTY: OnceLock<[[u8; 32]; DEPTH + 1]> = OnceLock::new();
+    EMPTY.get_or_init(|| {
+        let mut levels = [[0u8; 32]; DEPTH + 1];
+        for l in 0..DEPTH {
+            levels[l + 1] = hash_pair(&levels[l], &levels[l]);
+        }
+        levels
+    })
+}
+
+fn hash_pair(left: &[u8; 32], right: &[u8; 32]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(left);
+    h.update(right);
+    h.finalize()
+}
+
+/// Hash of one leaf bucket: the concatenation of `key ‖ record_hash` for
+/// every entry in key order. The empty bucket hashes to all-zero (the
+/// sparse default), so vacating a bucket restores the empty subtree hash.
+fn leaf_hash(bucket: &BTreeMap<u64, [u8; 32]>) -> [u8; 32] {
+    if bucket.is_empty() {
+        return [0u8; 32];
+    }
+    let mut h = Sha256::new();
+    for (key, rh) in bucket {
+        h.update(&key.to_le_bytes());
+        h.update(rh);
+    }
+    h.finalize()
+}
+
+/// The incremental commitment. Owned by a store (under the same lock that
+/// previously guarded the XOR accumulator); not internally synchronized.
+#[derive(Debug, Default, Clone)]
+pub struct MerkleAccumulator {
+    /// Bucket contents: key → record hash, grouped by leaf index.
+    buckets: HashMap<u32, BTreeMap<u64, [u8; 32]>>,
+    /// Materialized non-empty nodes, `nodes[level][index]`. Level 0 is the
+    /// leaves; level `DEPTH` holds only the root at index 0.
+    nodes: Vec<HashMap<u32, [u8; 32]>>,
+    len: usize,
+}
+
+impl MerkleAccumulator {
+    pub fn new() -> Self {
+        MerkleAccumulator {
+            buckets: HashMap::new(),
+            nodes: (0..=DEPTH).map(|_| HashMap::new()).collect(),
+            len: 0,
+        }
+    }
+
+    /// Number of records committed to.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn node(&self, level: usize, index: u32) -> [u8; 32] {
+        self.nodes[level]
+            .get(&index)
+            .copied()
+            .unwrap_or(empty_levels()[level])
+    }
+
+    fn set_node(&mut self, level: usize, index: u32, hash: [u8; 32]) {
+        if hash == empty_levels()[level] {
+            self.nodes[level].remove(&index);
+        } else {
+            self.nodes[level].insert(index, hash);
+        }
+    }
+
+    /// Mutates one bucket entry, maintaining `len`; returns the leaf index
+    /// if the bucket's contents actually changed.
+    fn touch(&mut self, key: u64, record_hash: Option<[u8; 32]>) -> Option<u32> {
+        let leaf = bucket_of(key);
+        let bucket = self.buckets.entry(leaf).or_default();
+        let changed = match record_hash {
+            Some(h) => {
+                let prior = bucket.insert(key, h);
+                if prior.is_none() {
+                    self.len += 1;
+                }
+                prior != Some(h)
+            }
+            None => {
+                let removed = bucket.remove(&key).is_some();
+                if removed {
+                    self.len -= 1;
+                }
+                removed
+            }
+        };
+        if self.buckets[&leaf].is_empty() {
+            self.buckets.remove(&leaf);
+        }
+        changed.then_some(leaf)
+    }
+
+    /// Inserts or replaces the record hash for `key` and re-hashes its root
+    /// path.
+    pub fn update(&mut self, key: u64, record_hash: [u8; 32]) {
+        if let Some(leaf) = self.touch(key, Some(record_hash)) {
+            self.rehash_path(leaf);
+        }
+    }
+
+    /// Removes `key` (no-op if absent) and re-hashes its root path.
+    pub fn remove(&mut self, key: u64) {
+        if let Some(leaf) = self.touch(key, None) {
+            self.rehash_path(leaf);
+        }
+    }
+
+    /// Batched update: every dirty leaf is re-hashed once and parents are
+    /// propagated level by level, deduplicated, so a batch shares the upper
+    /// tree instead of walking `DEPTH` levels per write.
+    pub fn apply<I>(&mut self, writes: I)
+    where
+        I: IntoIterator<Item = (u64, Option<[u8; 32]>)>,
+    {
+        let mut dirty: Vec<u32> = Vec::new();
+        for (key, rh) in writes {
+            if let Some(leaf) = self.touch(key, rh) {
+                dirty.push(leaf);
+            }
+        }
+        self.rehash_many(&mut dirty);
+    }
+
+    /// Drops every record and resets the commitment to empty.
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+        for level in &mut self.nodes {
+            level.clear();
+        }
+        self.len = 0;
+    }
+
+    fn rehash_path(&mut self, leaf: u32) {
+        let hash = leaf_hash(self.buckets.get(&leaf).unwrap_or(&BTreeMap::new()));
+        self.set_node(0, leaf, hash);
+        let mut index = leaf;
+        for level in 0..DEPTH {
+            let parent = index >> 1;
+            let pair = hash_pair(
+                &self.node(level, parent << 1),
+                &self.node(level, (parent << 1) | 1),
+            );
+            self.set_node(level + 1, parent, pair);
+            index = parent;
+        }
+    }
+
+    fn rehash_many(&mut self, dirty: &mut Vec<u32>) {
+        if dirty.is_empty() {
+            return;
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        for &leaf in dirty.iter() {
+            let hash = leaf_hash(self.buckets.get(&leaf).unwrap_or(&BTreeMap::new()));
+            self.set_node(0, leaf, hash);
+        }
+        let mut level_dirty: Vec<u32> = dirty.clone();
+        for level in 0..DEPTH {
+            let mut parents: Vec<u32> = level_dirty.iter().map(|i| i >> 1).collect();
+            parents.dedup();
+            for &parent in &parents {
+                let pair = hash_pair(
+                    &self.node(level, parent << 1),
+                    &self.node(level, (parent << 1) | 1),
+                );
+                self.set_node(level + 1, parent, pair);
+            }
+            level_dirty = parents;
+        }
+    }
+
+    /// The 32-byte state commitment. An empty accumulator commits to
+    /// [`Digest::ZERO`] (the pre-Merkle convention); any occupancy yields
+    /// the sparse-tree root.
+    pub fn root(&self) -> Digest {
+        if self.len == 0 {
+            return Digest::ZERO;
+        }
+        Digest(self.node(DEPTH, 0))
+    }
+
+    /// Membership proof for `key`: its full leaf bucket plus the `DEPTH`
+    /// sibling hashes on the root path. `None` if the key is absent.
+    pub fn prove(&self, key: u64) -> Option<MerkleProof> {
+        let leaf = bucket_of(key);
+        let bucket = self.buckets.get(&leaf)?;
+        if !bucket.contains_key(&key) {
+            return None;
+        }
+        let mut siblings = Vec::with_capacity(DEPTH);
+        let mut index = leaf;
+        for level in 0..DEPTH {
+            siblings.push(self.node(level, index ^ 1));
+            index >>= 1;
+        }
+        Some(MerkleProof {
+            leaf,
+            entries: bucket.iter().map(|(k, h)| (*k, *h)).collect(),
+            siblings,
+        })
+    }
+}
+
+/// A partial state proof: one leaf bucket and its root path.
+#[derive(Debug, Clone)]
+pub struct MerkleProof {
+    /// Leaf index the bucket hashes into.
+    pub leaf: u32,
+    /// The complete `(key, record_hash)` contents of that bucket.
+    pub entries: Vec<(u64, [u8; 32])>,
+    /// Sibling hash at each level, leaf-side first.
+    pub siblings: Vec<[u8; 32]>,
+}
+
+/// Verifies that `proof` places `(key, record_hash)` under `root`.
+///
+/// Checks, in order: the bucket really is the one `key` hashes to, the
+/// claimed pair appears in it, and folding the bucket hash with the sibling
+/// path reproduces the commitment.
+pub fn verify_proof(root: Digest, key: u64, record_hash: [u8; 32], proof: &MerkleProof) -> bool {
+    if proof.leaf != bucket_of(key) || proof.leaf >= LEAVES || proof.siblings.len() != DEPTH {
+        return false;
+    }
+    if !proof
+        .entries
+        .iter()
+        .any(|(k, h)| *k == key && *h == record_hash)
+    {
+        return false;
+    }
+    let bucket: BTreeMap<u64, [u8; 32]> = proof.entries.iter().copied().collect();
+    if bucket.len() != proof.entries.len() || bucket.keys().any(|k| bucket_of(*k) != proof.leaf) {
+        return false;
+    }
+    let mut hash = leaf_hash(&bucket);
+    let mut index = proof.leaf;
+    for sibling in &proof.siblings {
+        hash = if index & 1 == 0 {
+            hash_pair(&hash, sibling)
+        } else {
+            hash_pair(sibling, &hash)
+        };
+        index >>= 1;
+    }
+    Digest(hash) == root
+}
+
+/// One-shot commitment over a record set (the snapshot-verification path):
+/// hashes every record and bulk-builds the tree.
+pub fn commitment_of<'a, I>(records: I) -> Digest
+where
+    I: IntoIterator<Item = (u64, &'a [u8])>,
+{
+    let mut acc = MerkleAccumulator::new();
+    acc.apply(
+        records
+            .into_iter()
+            .map(|(k, v)| (k, Some(crate::store::record_hash(k, v)))),
+    );
+    acc.root()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::record_hash;
+
+    fn rh(key: u64, tag: u8) -> [u8; 32] {
+        record_hash(key, &[tag; 8])
+    }
+
+    #[test]
+    fn empty_commits_to_zero() {
+        assert_eq!(MerkleAccumulator::new().root(), Digest::ZERO);
+    }
+
+    #[test]
+    fn root_is_content_only() {
+        let mut a = MerkleAccumulator::new();
+        a.update(1, rh(1, 1));
+        a.update(2, rh(2, 2));
+        let mut b = MerkleAccumulator::new();
+        b.update(2, rh(2, 2));
+        b.update(7, rh(7, 7));
+        b.update(1, rh(1, 1));
+        b.remove(7);
+        assert_eq!(a.root(), b.root());
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn remove_restores_prior_root() {
+        let mut a = MerkleAccumulator::new();
+        a.update(1, rh(1, 1));
+        let before = a.root();
+        a.update(9, rh(9, 9));
+        assert_ne!(a.root(), before);
+        a.remove(9);
+        assert_eq!(a.root(), before);
+        a.remove(1);
+        assert_eq!(a.root(), Digest::ZERO);
+    }
+
+    #[test]
+    fn distinct_contents_distinct_roots() {
+        // Value swap between two keys, same multiset of values: roots differ.
+        let (mut a, mut b) = (MerkleAccumulator::new(), MerkleAccumulator::new());
+        a.update(1, rh(1, 1));
+        a.update(2, rh(2, 2));
+        b.update(1, rh(2, 2));
+        b.update(2, rh(1, 1));
+        assert_ne!(a.root(), b.root());
+        // A strict subset commits differently too.
+        let mut c = MerkleAccumulator::new();
+        c.update(1, rh(1, 1));
+        assert_ne!(a.root(), c.root());
+        // Colliding buckets (keys LEAVES apart may share one) still separate.
+        let (mut d, mut e) = (MerkleAccumulator::new(), MerkleAccumulator::new());
+        d.update(0, rh(0, 1));
+        e.update(0, rh(0, 2));
+        assert_ne!(d.root(), e.root());
+    }
+
+    #[test]
+    fn batched_apply_equals_incremental() {
+        let writes: Vec<(u64, Option<[u8; 32]>)> = (0..300u64)
+            .map(|k| (k * 7919, Some(rh(k * 7919, k as u8))))
+            .chain([(7919u64 * 3, None), (7919u64 * 4, None)])
+            .collect();
+        let mut batched = MerkleAccumulator::new();
+        batched.apply(writes.iter().copied());
+        let mut stepped = MerkleAccumulator::new();
+        for (k, h) in &writes {
+            match h {
+                Some(h) => stepped.update(*k, *h),
+                None => stepped.remove(*k),
+            }
+        }
+        assert_eq!(batched.root(), stepped.root());
+        assert_eq!(batched.len(), stepped.len());
+    }
+
+    #[test]
+    fn proofs_verify_and_reject_tampering() {
+        let mut acc = MerkleAccumulator::new();
+        for k in 0..64u64 {
+            acc.update(k, rh(k, k as u8));
+        }
+        let root = acc.root();
+        let proof = acc.prove(17).expect("present key proves");
+        assert!(verify_proof(root, 17, rh(17, 17), &proof));
+        // Wrong value hash.
+        assert!(!verify_proof(root, 17, rh(17, 18), &proof));
+        // Wrong key for this bucket's proof.
+        assert!(!verify_proof(root, 99_999, rh(17, 17), &proof));
+        // Tampered sibling.
+        let mut bad = proof.clone();
+        bad.siblings[3][0] ^= 1;
+        assert!(!verify_proof(root, 17, rh(17, 17), &bad));
+        // Padded bucket (smuggled entry) no longer matches the root.
+        let mut padded = proof.clone();
+        padded.entries.push((17 + (LEAVES as u64) * 17, [9u8; 32]));
+        assert!(!verify_proof(root, 17, rh(17, 17), &padded));
+        // Absent key has no proof.
+        assert!(acc.prove(1 << 40).is_none());
+    }
+
+    #[test]
+    fn commitment_of_matches_accumulated_store_order() {
+        let records: Vec<(u64, Vec<u8>)> =
+            (0..40u64).map(|k| (k * 31, vec![k as u8; 16])).collect();
+        let mut acc = MerkleAccumulator::new();
+        for (k, v) in records.iter().rev() {
+            acc.update(*k, record_hash(*k, v));
+        }
+        let oneshot = commitment_of(records.iter().map(|(k, v)| (*k, v.as_slice())));
+        assert_eq!(acc.root(), oneshot);
+    }
+}

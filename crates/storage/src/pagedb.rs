@@ -8,6 +8,7 @@
 //! real `read`/`write` syscall; every put pays a write (plus an optional
 //! `fsync`).
 
+use crate::merkle::MerkleAccumulator;
 use crate::store::{record_hash, StateStore, WriteRecord};
 use parking_lot::Mutex;
 use rdb_common::Digest;
@@ -58,7 +59,9 @@ struct PagerState {
     file: File,
     cache: HashMap<u64, Page>,
     tick: u64,
-    digest_acc: [u8; 32],
+    /// Incremental state commitment — the same Merkle accumulator the
+    /// in-memory backend maintains, so both backends agree digest-for-digest.
+    merkle: MerkleAccumulator,
     record_count: usize,
     /// Cache statistics: (hits, misses).
     hits: u64,
@@ -102,7 +105,7 @@ impl PagedStore {
                 file,
                 cache: HashMap::new(),
                 tick: 0,
-                digest_acc: [0u8; 32],
+                merkle: MerkleAccumulator::new(),
                 record_count: 0,
                 hits: 0,
                 misses: 0,
@@ -228,9 +231,10 @@ impl PagedStore {
 impl PagedStore {
     /// Shared put body: `new_hash` is the caller's precomputed
     /// `record_hash(key, value)`, so the deferred-commit path does not
-    /// re-hash values it already hashed in the execute workers. The *old*
-    /// value's hash still has to be recomputed from the slot bytes — the
-    /// file format stores raw records, not hashes.
+    /// re-hash values it already hashed in the execute workers. The Merkle
+    /// accumulator is keyed, so overwrites replace the bucket entry
+    /// directly — the old slot only has to be read for its empty/occupied
+    /// header, not re-hashed.
     fn put_hashed(&self, key: u64, value: &[u8], new_hash: [u8; 32]) {
         assert!(
             key < self.config.capacity,
@@ -244,25 +248,15 @@ impl PagedStore {
         );
         let mut st = self.state.lock();
         let off = self.slot_offset(key);
-        // Read old value for digest maintenance.
+        // Read the old header for record accounting.
         let raw = self
-            .read_at(&mut st, off, SLOT_HDR + self.config.record_size)
+            .read_at(&mut st, off, SLOT_HDR)
             .expect("paged read failed");
         let old_len = u16::from_le_bytes([raw[0], raw[1]]);
-        let mut acc = st.digest_acc;
-        if old_len != EMPTY_LEN {
-            let old = &raw[SLOT_HDR..SLOT_HDR + old_len as usize];
-            let h = record_hash(key, old);
-            for i in 0..32 {
-                acc[i] ^= h[i];
-            }
-        } else {
+        if old_len == EMPTY_LEN {
             st.record_count += 1;
         }
-        for i in 0..32 {
-            acc[i] ^= new_hash[i];
-        }
-        st.digest_acc = acc;
+        st.merkle.update(key, new_hash);
         // Write slot: length header + payload.
         let mut buf = Vec::with_capacity(SLOT_HDR + value.len());
         buf.extend_from_slice(&(value.len() as u16).to_le_bytes());
@@ -305,7 +299,7 @@ impl StateStore for PagedStore {
     }
 
     fn state_digest(&self) -> Digest {
-        Digest(self.state.lock().digest_acc)
+        self.state.lock().merkle.root()
     }
 
     fn remove(&self, key: u64) -> bool {
@@ -316,17 +310,13 @@ impl StateStore for PagedStore {
         let mut st = self.state.lock();
         let off = self.slot_offset(key);
         let raw = self
-            .read_at(&mut st, off, SLOT_HDR + self.config.record_size)
+            .read_at(&mut st, off, SLOT_HDR)
             .expect("paged read failed");
         let old_len = u16::from_le_bytes([raw[0], raw[1]]);
         if old_len == EMPTY_LEN {
             return false;
         }
-        let old = &raw[SLOT_HDR..SLOT_HDR + old_len as usize];
-        let h = record_hash(key, old);
-        for i in 0..32 {
-            st.digest_acc[i] ^= h[i];
-        }
+        st.merkle.remove(key);
         st.record_count -= 1;
         self.write_at(&mut st, off, &EMPTY_LEN.to_le_bytes())
             .expect("paged write failed");
@@ -354,7 +344,7 @@ impl StateStore for PagedStore {
         {
             let mut st = self.state.lock();
             st.cache.clear();
-            st.digest_acc = [0u8; 32];
+            st.merkle.clear();
             st.record_count = 0;
         }
         for (key, value) in records {

@@ -1,18 +1,22 @@
 //! Key-value state stores.
 //!
 //! The execute stage applies transaction operations against a
-//! [`StateStore`]. The digest of the state (needed by checkpoints) is
-//! maintained *incrementally* as an XOR-fold of per-record hashes, so
-//! taking a checkpoint never requires scanning the store.
+//! [`StateStore`]. The digest of the state (needed by checkpoints and
+//! snapshot vouching) is maintained *incrementally* as a sparse Merkle
+//! commitment over per-record hashes ([`crate::merkle`]), so taking a
+//! checkpoint never requires scanning the store, a Byzantine snapshot
+//! cannot exploit XOR cancellation, and membership can be proven against
+//! the 32-byte root ([`MemStore::prove`]).
 //!
 //! Execution never mutates the store directly: it buffers writes as
 //! [`WriteRecord`]s (hashing each record where it is produced — under
 //! parallel execution that is an execute-worker, off the commit path) and
 //! commits them in canonical order through [`StateStore::apply`]. Because
-//! the state digest is content-based (an XOR fold over final records),
-//! any apply schedule that produces the same final contents produces the
-//! same digest.
+//! the state digest is content-based (a pure function of the final
+//! records), any apply schedule that produces the same final contents
+//! produces the same digest.
 
+use crate::merkle::{MerkleAccumulator, MerkleProof};
 use parking_lot::{Mutex, RwLock};
 use rdb_common::Digest;
 use rdb_crypto::digest;
@@ -113,25 +117,15 @@ pub trait StateStore: Send + Sync {
     }
 }
 
-fn xor_into(acc: &mut [u8; 32], h: &[u8; 32]) {
-    for i in 0..32 {
-        acc[i] ^= h[i];
-    }
-}
-
-/// One stored record: the value plus its folded hash, kept so overwrites
-/// can XOR the old hash out of the digest without re-hashing the old value.
-#[derive(Debug, Clone)]
-struct Record {
-    value: Vec<u8>,
-    hash: [u8; 32],
-}
-
 /// Sharded in-memory key-value store — ResilientDB's default state backend.
+///
+/// Values live in lock-sharded hash maps; the state commitment lives in a
+/// single [`MerkleAccumulator`] updated under its own lock, exactly where
+/// the XOR accumulator used to sit.
 #[derive(Debug)]
 pub struct MemStore {
-    shards: Vec<RwLock<HashMap<u64, Record>>>,
-    digest_acc: Mutex<[u8; 32]>,
+    shards: Vec<RwLock<HashMap<u64, Vec<u8>>>>,
+    merkle: Mutex<MerkleAccumulator>,
 }
 
 impl Default for MemStore {
@@ -145,39 +139,49 @@ impl MemStore {
     pub fn new() -> Self {
         MemStore {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-            digest_acc: Mutex::new([0u8; 32]),
+            merkle: Mutex::new(MerkleAccumulator::new()),
         }
     }
 
     /// Creates a store pre-loaded with `n` records of `value_size` zero
     /// bytes, mirroring the paper's 600K-record YCSB table initialization.
+    /// Bulk-builds the commitment (one batched tree rebuild, not `n`
+    /// root-path walks).
     pub fn with_table(n: u64, value_size: usize) -> Self {
         let store = Self::new();
         let value = vec![0u8; value_size];
-        for key in 0..n {
-            store.put(key, &value);
+        {
+            let mut merkle = store.merkle.lock();
+            merkle.apply((0..n).map(|key| {
+                store.shard(key).write().insert(key, value.clone());
+                (key, Some(record_hash(key, &value)))
+            }));
         }
         store
     }
 
-    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, Record>> {
+    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, Vec<u8>>> {
         &self.shards[(key as usize) & (SHARDS - 1)]
     }
 
     fn insert_hashed(&self, key: u64, value: Vec<u8>, hash: [u8; 32]) {
-        let mut shard = self.shard(key).write();
-        let old = shard.insert(key, Record { value, hash });
-        let mut acc = self.digest_acc.lock();
-        if let Some(old) = old {
-            xor_into(&mut acc, &old.hash);
-        }
-        xor_into(&mut acc, &hash);
+        self.shard(key).write().insert(key, value);
+        self.merkle.lock().update(key, hash);
+    }
+
+    /// Membership proof for `key` against the current [`state_digest`]:
+    /// the record's leaf bucket plus its sibling path. Verified with
+    /// [`crate::merkle::verify_proof`].
+    ///
+    /// [`state_digest`]: StateStore::state_digest
+    pub fn prove(&self, key: u64) -> Option<MerkleProof> {
+        self.merkle.lock().prove(key)
     }
 }
 
 impl StateStore for MemStore {
     fn get(&self, key: u64) -> Option<Vec<u8>> {
-        self.shard(key).read().get(&key).map(|r| r.value.clone())
+        self.shard(key).read().get(&key).cloned()
     }
 
     fn put(&self, key: u64, value: &[u8]) {
@@ -185,9 +189,13 @@ impl StateStore for MemStore {
     }
 
     fn apply(&self, writes: &[WriteRecord]) {
-        for w in writes {
-            self.insert_hashed(w.key, w.value.clone(), w.hash);
-        }
+        // Batched commitment update: every dirty leaf hashes once and the
+        // upper tree is shared across the whole batch.
+        let mut merkle = self.merkle.lock();
+        merkle.apply(writes.iter().map(|w| {
+            self.shard(w.key).write().insert(w.key, w.value.clone());
+            (w.key, Some(w.hash))
+        }));
     }
 
     fn len(&self) -> usize {
@@ -195,19 +203,15 @@ impl StateStore for MemStore {
     }
 
     fn state_digest(&self) -> Digest {
-        Digest(*self.digest_acc.lock())
+        self.merkle.lock().root()
     }
 
     fn remove(&self, key: u64) -> bool {
-        let mut shard = self.shard(key).write();
-        match shard.remove(&key) {
-            Some(old) => {
-                let mut acc = self.digest_acc.lock();
-                xor_into(&mut acc, &old.hash);
-                true
-            }
-            None => false,
+        let removed = self.shard(key).write().remove(&key).is_some();
+        if removed {
+            self.merkle.lock().remove(key);
         }
+        removed
     }
 
     fn export_records(&self) -> Vec<(u64, Vec<u8>)> {
@@ -217,7 +221,7 @@ impl StateStore for MemStore {
             .flat_map(|s| {
                 s.read()
                     .iter()
-                    .map(|(k, r)| (*k, r.value.clone()))
+                    .map(|(k, v)| (*k, v.clone()))
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -229,10 +233,12 @@ impl StateStore for MemStore {
         for shard in &self.shards {
             shard.write().clear();
         }
-        *self.digest_acc.lock() = [0u8; 32];
-        for (key, value) in records {
-            self.put(*key, value);
-        }
+        let mut merkle = self.merkle.lock();
+        merkle.clear();
+        merkle.apply(records.iter().map(|(key, value)| {
+            self.shard(*key).write().insert(*key, value.clone());
+            (*key, Some(record_hash(*key, value)))
+        }));
     }
 }
 
@@ -357,6 +363,35 @@ mod tests {
         assert_eq!(b.len(), 3);
         assert!(b.get(42).is_none());
         assert_eq!(b.get(5).as_deref(), Some(&b"five"[..]));
+    }
+
+    #[test]
+    fn proofs_check_out_against_the_state_digest() {
+        let s = MemStore::with_table(64, 8);
+        s.put(7, b"proven");
+        let proof = s.prove(7).expect("present key");
+        assert!(crate::merkle::verify_proof(
+            s.state_digest(),
+            7,
+            record_hash(7, b"proven"),
+            &proof
+        ));
+        // The proof pins the value: a different value hash fails.
+        assert!(!crate::merkle::verify_proof(
+            s.state_digest(),
+            7,
+            record_hash(7, b"forged"),
+            &proof
+        ));
+        // And the proof is against *this* state: a later write invalidates it.
+        s.put(7, b"moved on");
+        assert!(!crate::merkle::verify_proof(
+            s.state_digest(),
+            7,
+            record_hash(7, b"proven"),
+            &proof
+        ));
+        assert!(s.prove(1 << 40).is_none(), "absent key has no proof");
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Property tests pinning the incremental Merkle accumulator to its
+//! from-scratch definition.
+//!
+//! The store never rebuilds the tree — every `put`/`remove`/`apply`
+//! nudges the cached node hashes along one path (or one batched dirty
+//! set). These properties assert that after an arbitrary interleaving of
+//! such nudges the root is bit-identical to hashing the surviving record
+//! set from scratch ([`commitment_of`], the same function snapshot
+//! verification uses), that batching is order-insensitive within a batch
+//! (last write per key wins), and that every surviving key still proves
+//! membership against the final root.
+
+use proptest::prelude::*;
+use rdb_storage::merkle::{commitment_of, verify_proof, MerkleAccumulator};
+use rdb_storage::record_hash;
+use std::collections::BTreeMap;
+
+/// Decode one raw u64 into an op: a small key space (64 keys across a
+/// 2^16-bucket tree forces same-bucket collisions) and a ~25% remove mix.
+fn op_of(raw: u64) -> (u64, Option<Vec<u8>>) {
+    let key = raw % 64;
+    if raw % 4 == 3 {
+        (key, None)
+    } else {
+        (key, Some(raw.to_le_bytes().to_vec()))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental updates/removes ≡ from-scratch rebuild of the final
+    /// record set, for any op sequence.
+    #[test]
+    fn incremental_root_equals_from_scratch_rebuild(
+        raw_ops in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let mut acc = MerkleAccumulator::new();
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for raw in raw_ops {
+            let (key, value) = op_of(raw);
+            match value {
+                Some(v) => {
+                    acc.update(key, record_hash(key, &v));
+                    model.insert(key, v);
+                }
+                None => {
+                    acc.remove(key);
+                    model.remove(&key);
+                }
+            }
+        }
+        let rebuilt = commitment_of(model.iter().map(|(k, v)| (*k, v.as_slice())));
+        prop_assert_eq!(acc.root(), rebuilt);
+    }
+
+    /// Batched `apply` ≡ one-at-a-time application of the same writes, for
+    /// any chunking of the op stream.
+    #[test]
+    fn batched_apply_equals_singleton_application(
+        raw_ops in proptest::collection::vec(any::<u64>(), 1..200),
+        chunk in 1usize..17,
+    ) {
+        let mut batched = MerkleAccumulator::new();
+        let mut singly = MerkleAccumulator::new();
+        for window in raw_ops.chunks(chunk) {
+            batched.apply(window.iter().map(|&raw| {
+                let (key, value) = op_of(raw);
+                (key, value.map(|v| record_hash(key, &v)))
+            }));
+            for &raw in window {
+                let (key, value) = op_of(raw);
+                match value {
+                    Some(v) => singly.update(key, record_hash(key, &v)),
+                    None => singly.remove(key),
+                }
+            }
+            prop_assert_eq!(batched.root(), singly.root());
+        }
+    }
+
+    /// After any op sequence, every surviving key proves membership
+    /// against the final root, and a tampered record hash is rejected.
+    #[test]
+    fn surviving_keys_prove_membership(
+        raw_ops in proptest::collection::vec(any::<u64>(), 1..120),
+    ) {
+        let mut acc = MerkleAccumulator::new();
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for raw in raw_ops {
+            let (key, value) = op_of(raw);
+            match value {
+                Some(v) => {
+                    acc.update(key, record_hash(key, &v));
+                    model.insert(key, v);
+                }
+                None => {
+                    acc.remove(key);
+                    model.remove(&key);
+                }
+            }
+        }
+        let root = acc.root();
+        for (key, value) in &model {
+            let proof = acc.prove(*key).expect("present key must prove");
+            let hash = record_hash(*key, value);
+            prop_assert!(verify_proof(root, *key, hash, &proof));
+            let mut tampered = hash;
+            tampered[0] ^= 1;
+            prop_assert!(!verify_proof(root, *key, tampered, &proof));
+        }
+        // Absent keys yield no proof at all.
+        prop_assert!(acc.prove(u64::MAX).is_none());
+    }
+}

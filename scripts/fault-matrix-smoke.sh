@@ -24,6 +24,14 @@
 # off here, so the recovered backup closes its execution hole through the
 # fetch-missing protocol alone and must converge to the survivors' digest.
 #
+# Phase D exercises the durable-recovery path: the same cluster shape
+# with --data-dir set, SIGKILL of a backup after the first burst, and a
+# restart pointed at the same directory. The restarted process must print
+# a RECOVER line proving it rebuilt from *local* disk — a persisted
+# snapshot plus only the WAL suffix past it, not a genesis replay and not
+# a network transfer — and then converge to the survivors' FINAL digest
+# through the second burst.
+#
 # Usage: scripts/fault-matrix-smoke.sh [path-to-rdb-node-dir] [log-dir]
 #   arg1: directory containing the rdb-node and faults binaries
 #         (default: target/release, built if missing)
@@ -279,4 +287,155 @@ if [ -z "$rejoin" ]; then
 fi
 echo "$rejoin"
 echo "phase C OK: fault plan fired, survivors agree, recovered backup fetched back to digest ${digests[0]}"
+cleanup
+pids=()
+
+echo "=== phase D: SIGKILL a backup, restart with --data-dir, recover from local disk ==="
+DATA_DIR="$LOG_DIR/phase-d-data"
+rm -rf "$DATA_DIR"
+CONF_D="$LOG_DIR/cluster-durable.toml"
+{
+  echo "[peers]"
+  for i in 0 1 2 3; do
+    echo "$i = \"127.0.0.1:$((BASE_PORT + 20 + i))\""
+  done
+  echo "[node]"
+  echo "batch_size = $BATCH"
+  echo "checkpoint_interval = $CKPT"
+  echo "data_dir = \"$DATA_DIR\""
+  echo "fsync = \"group\""
+} >"$CONF_D"
+
+# Replicas 0-2 survive throughout (n=4, f=1: exactly a quorum) and exit
+# at the cluster total; backup replica 3 is the kill/restart target, so
+# it gets no exit bound.
+for i in 0 1 2; do
+  "$BIN_DIR/rdb-node" --replica "$i" --peers "$CONF_D" \
+    --exit-after-txns "$TOTAL" --run-secs "$WAIT" --linger-ms "$LINGER_MS" \
+    >"$LOG_DIR/durable-replica-$i.log" 2>&1 &
+  pids+=($!)
+done
+"$BIN_DIR/rdb-node" --replica 3 --peers "$CONF_D" \
+  >"$LOG_DIR/durable-replica-3.log" 2>&1 &
+r3_pid=$!
+pids+=($r3_pid)
+sleep 1
+
+if ! "$BIN_DIR/rdb-node" --client --client-id 0 --peers "$CONF_D" \
+  --txns "$T1" --wait-secs "$WAIT" \
+  >"$LOG_DIR/durable-client-0.log" 2>&1; then
+  echo "::error::client burst 1 failed in the durable cluster" >&2
+  cat "$LOG_DIR/durable-client-0.log" >&2
+  exit 1
+fi
+grep CLIENT "$LOG_DIR/durable-client-0.log" || true
+
+# Wait until replica 3 has executed the whole first burst, then give the
+# checkpoint protocol and the group-commit flusher a moment to land the
+# covering snapshot and the WAL tail on disk before pulling the plug.
+r3_caught_up=""
+for _ in $(seq 1 "$WAIT"); do
+  state=$(grep '^STATE ' "$LOG_DIR/durable-replica-3.log" | tail -n1 || true)
+  executed=$(sed -n 's/.*executed=\([0-9]*\).*/\1/p' <<<"$state")
+  if [ -n "$executed" ] && [ "$executed" -ge "$T1" ]; then
+    r3_caught_up=yes
+    break
+  fi
+  sleep 1
+done
+if [ -z "$r3_caught_up" ]; then
+  echo "::error::replica 3 never executed the first burst" >&2
+  tail -n 20 "$LOG_DIR/durable-replica-3.log" >&2
+  exit 1
+fi
+sleep 2
+kill -9 "$r3_pid" 2>/dev/null || true
+echo "killed replica 3 (pid $r3_pid)"
+
+# Restart against the same directory: recovery must come from local disk.
+"$BIN_DIR/rdb-node" --replica 3 --peers "$CONF_D" \
+  >"$LOG_DIR/durable-replica-3-restarted.log" 2>&1 &
+pids+=($!)
+recover=""
+for _ in $(seq 1 "$WAIT"); do
+  recover=$(grep '^RECOVER ' "$LOG_DIR/durable-replica-3-restarted.log" | tail -n1 || true)
+  [ -n "$recover" ] && break
+  sleep 1
+done
+if [ -z "$recover" ]; then
+  echo "::error::restarted replica 3 printed no RECOVER line" >&2
+  tail -n 20 "$LOG_DIR/durable-replica-3-restarted.log" >&2
+  exit 1
+fi
+echo "$recover"
+if ! grep -q 'source=local' <<<"$recover"; then
+  echo "::error::restart did not recover from local disk: $recover" >&2
+  exit 1
+fi
+snap_seq=$(sed -n 's/.*snapshot_seq=\([0-9]*\).*/\1/p' <<<"$recover")
+replayed=$(sed -n 's/.*replayed_txns=\([0-9]*\).*/\1/p' <<<"$recover")
+if [ -z "$snap_seq" ] || [ "$snap_seq" -eq 0 ]; then
+  echo "::error::no persisted snapshot was used (snapshot_seq=$snap_seq): $recover" >&2
+  exit 1
+fi
+if [ -z "$replayed" ] || [ "$replayed" -ge "$T1" ]; then
+  echo "::error::restart replayed $replayed/$T1 txns — the whole history instead of the WAL suffix past the snapshot" >&2
+  exit 1
+fi
+
+if ! "$BIN_DIR/rdb-node" --client --client-id 1 --peers "$CONF_D" \
+  --txns "$T2" --wait-secs "$WAIT" \
+  >"$LOG_DIR/durable-client-1.log" 2>&1; then
+  echo "::error::client burst 2 failed after the durable restart" >&2
+  cat "$LOG_DIR/durable-client-1.log" >&2
+  exit 1
+fi
+grep CLIENT "$LOG_DIR/durable-client-1.log" || true
+
+digests=()
+for i in 0 1 2; do
+  for _ in $(seq 1 "$WAIT"); do
+    grep -q '^FINAL ' "$LOG_DIR/durable-replica-$i.log" && break
+    sleep 1
+  done
+  final=$(grep '^FINAL ' "$LOG_DIR/durable-replica-$i.log" | tail -n1)
+  if [ -z "$final" ] || ! grep -q "executed=$TOTAL" <<<"$final"; then
+    echo "::error::durable-cluster survivor $i stopped short of $TOTAL txns" >&2
+    cat "$LOG_DIR/durable-replica-$i.log" >&2
+    exit 1
+  fi
+  echo "$final"
+  digests+=("$(sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p' <<<"$final")")
+done
+for d in "${digests[@]:1}"; do
+  if [ "$d" != "${digests[0]}" ]; then
+    echo "::error::durable-cluster survivor digests diverged: ${digests[*]}" >&2
+    exit 1
+  fi
+done
+
+# The restarted replica must converge to the survivors' digest with an
+# executed count strictly below the cluster total: the snapshot prefix
+# was *installed* from disk, not re-executed.
+rejoin=""
+for _ in $(seq 1 "$WAIT"); do
+  rejoin=$(grep '^STATE ' "$LOG_DIR/durable-replica-3-restarted.log" | tail -n1 || true)
+  if grep -q "digest=${digests[0]}" <<<"$rejoin"; then
+    break
+  fi
+  rejoin=""
+  sleep 1
+done
+if [ -z "$rejoin" ]; then
+  echo "::error::restarted replica 3 never converged to digest ${digests[0]}" >&2
+  tail -n 20 "$LOG_DIR/durable-replica-3-restarted.log" >&2
+  exit 1
+fi
+echo "$rejoin"
+r3_executed=$(sed -n 's/.*executed=\([0-9]*\).*/\1/p' <<<"$rejoin")
+if [ -z "$r3_executed" ] || [ "$r3_executed" -ge "$TOTAL" ]; then
+  echo "::error::restarted replica 3 executed $r3_executed/$TOTAL txns — it re-executed the snapshotted prefix" >&2
+  exit 1
+fi
+echo "phase D OK: replica 3 recovered from local disk (snapshot_seq=$snap_seq, replayed $replayed txns) and converged to digest ${digests[0]}"
 echo "fault-matrix smoke passed"
